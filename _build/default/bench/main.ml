@@ -1,0 +1,316 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   plus ablations and micro-benchmarks.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe fig2       -- latency/distance calibration scatter
+     dune exec bench/main.exe fig3       -- error CDFs, all four methods
+     dune exec bench/main.exe fig4       -- coverage vs number of landmarks
+     dune exec bench/main.exe ablation   -- per-mechanism ablation
+     dune exec bench/main.exe timing     -- end-to-end solution times
+     dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
+
+   Absolute numbers come from the simulator substrate, not PlanetLab; the
+   comparisons against the paper's numbers are printed alongside. *)
+
+let seed = 7
+let n_hosts = 51
+
+let banner title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  banner "FIG2: latency vs distance calibration (paper Figure 2)";
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
+  let bridge = Eval.Bridge.create deployment in
+  let n = Eval.Bridge.host_count bridge in
+  let all = Array.init n Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) all in
+  let inter = Eval.Bridge.inter_rtt_for bridge all in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  (* The paper plots planetlab1.cs.rochester.edu; we use the first
+     deployed host. *)
+  let city = Netsim.Deployment.host_city deployment (Eval.Bridge.host_id bridge 0) in
+  Printf.printf "# landmark 0: %s\n" city.Netsim.City.name;
+  Eval.Report.print_figure2 (Octant.Pipeline.calibration ctx 0);
+  (* Shape checks the paper's plot exhibits. *)
+  let samples = Octant.Calibration.samples (Octant.Pipeline.calibration ctx 0) in
+  let sol_violations =
+    List.length
+      (List.filter
+         (fun s ->
+           s.Octant.Calibration.distance_km
+           > Geo.Geodesy.rtt_to_max_distance_km s.Octant.Calibration.latency_ms +. 1.0)
+         samples)
+  in
+  Printf.printf "# shape check: %d samples, %d above the speed-of-light line (expect 0)\n"
+    (List.length samples) sol_violations
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  banner "FIG3: error CDF, Octant vs GeoLim vs GeoPing vs GeoTrack (paper Figure 3)";
+  let study = Eval.Study.run ~seed ~n_hosts () in
+  Eval.Report.print_figure3 study;
+  let octant = Eval.Study.median_miles study.Eval.Study.octant in
+  let geolim = Eval.Study.median_miles study.Eval.Study.geolim in
+  let geoping = Eval.Study.median_miles study.Eval.Study.geoping in
+  let geotrack = Eval.Study.median_miles study.Eval.Study.geotrack in
+  let best_prior = Float.min geolim (Float.min geoping geotrack) in
+  Printf.printf "# shape check: Octant median %.1f mi vs best prior %.1f mi -> factor %.1fx\n"
+    octant best_prior
+    (best_prior /. Float.max octant 0.1);
+  Printf.printf "# (paper: 22 mi vs 68 mi -> factor 3.1x; Octant also has the shortest tail)\n";
+  (* Extra row: GeoCluster/NetGeo-style pure-database localization over the
+     same WHOIS registry (paper section 4 calls its granularity "very
+     coarse"). *)
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
+  let bridge = Eval.Bridge.create deployment in
+  let whois_reg = Netsim.Deployment.whois deployment in
+  let fallback = (Netsim.City.find_exn "NYC").Netsim.City.location in
+  let errs =
+    Array.map
+      (fun i ->
+        let node = Eval.Bridge.host_id bridge i in
+        let truth = Eval.Bridge.position bridge i in
+        let r =
+          Baselines.Geocluster.localize
+            ~whois:(fun key ->
+              Option.map
+                (fun rec_ -> rec_.Netsim.Whois.city.Netsim.City.location)
+                (Netsim.Whois.lookup whois_reg key))
+            ~fallback ~target_key:node
+        in
+        Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km r.Baselines.Geocluster.point truth))
+      (Array.init (Eval.Bridge.host_count bridge) Fun.id)
+  in
+  Printf.printf "GeoCluster median=%7.1f mi  p90=%7.1f  worst=%7.1f  (pure database, no probing)\n"
+    (Stats.Sample.median errs)
+    (Stats.Sample.percentile 90.0 errs)
+    (Stats.Sample.max errs);
+  Printf.printf
+    "# (a correct registry record scores ~0 in the simulator because hosts sit\n\
+     #  at city centers; the tail is what the paper means by \"very coarse\":\n\
+     #  stale and missing records land thousands of miles away)\n";
+  study
+
+let timing study =
+  banner "TIMING: per-target solution time (paper: \"a few seconds\")";
+  Eval.Report.print_timing study
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  banner "FIG4: correctly localized targets vs number of landmarks (paper Figure 4)";
+  let sweep = Eval.Sweep.run ~seed ~n_hosts ~landmark_counts:[ 10; 20; 30; 40; 50 ] () in
+  Eval.Report.print_figure4 sweep;
+  (match (sweep, List.rev sweep) with
+  | first :: _, last :: _ ->
+      Printf.printf
+        "# shape check: Octant hit-rate %.0f%% -> %.0f%% as landmarks grow (stays high);\n"
+        (100.0 *. first.Eval.Sweep.octant_hit_rate)
+        (100.0 *. last.Eval.Sweep.octant_hit_rate);
+      Printf.printf "#              GeoLim hit-rate %.0f%% -> %.0f%% (paper: GeoLim degrades)\n"
+        (100.0 *. first.Eval.Sweep.geolim_hit_rate)
+        (100.0 *. last.Eval.Sweep.geolim_hit_rate)
+  | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablation *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  banner "ABLATION: each Octant mechanism disabled in turn (paper sections 2.1-2.5)";
+  Eval.Report.print_ablation (Eval.Ablation.run ~seed ~n_hosts ())
+
+(* ------------------------------------------------------------------ *)
+(* Robustness to erroneous constraints (paper section 2.4) *)
+(* ------------------------------------------------------------------ *)
+
+let robustness () =
+  banner "ROBUSTNESS: corrupted measurements (paper section 2.4)";
+  let points = Eval.Robustness.run ~seed ~n_hosts () in
+  Printf.printf "# a fraction of each target's RTTs is replaced by 0.3x-3x the true value\n";
+  Printf.printf "# %-10s %14s %12s %14s %12s %14s\n" "corrupt%" "octant_med_mi" "octant_hit%"
+    "geolim_med_mi" "geolim_hit%" "geolim_empty%";
+  List.iter
+    (fun p ->
+      Printf.printf "  %-10.0f %14.1f %12.1f %14.1f %12.1f %14.1f\n"
+        (100.0 *. p.Eval.Robustness.corruption_rate)
+        p.Eval.Robustness.octant_median_miles
+        (100.0 *. p.Eval.Robustness.octant_hit_rate)
+        p.Eval.Robustness.geolim_median_miles
+        (100.0 *. p.Eval.Robustness.geolim_hit_rate)
+        (100.0 *. p.Eval.Robustness.geolim_empty_rate))
+    points;
+  Printf.printf
+    "# the paper's brittleness argument: a pure intersection collapses to the\n\
+     # empty set under a single erroneous constraint, while the weighted\n\
+     # arrangement only demotes the true cell by one weight step.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Secondary landmarks (paper section 2: primary vs secondary landmarks) *)
+(* ------------------------------------------------------------------ *)
+
+let secondary () =
+  banner "SECONDARY: region-valued secondary landmarks (paper section 2)";
+  let rows = Eval.Secondary.run ~seed ~n_hosts ~n_primary:12 () in
+  Printf.printf "# 12 primary landmarks; every other host localized, then reused as a\n";
+  Printf.printf "# secondary landmark with a region-valued position.\n";
+  Printf.printf "# %-18s %10s %10s %8s %16s\n" "condition" "median_mi" "p90_mi" "hit%" "median_area_mi2";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-18s %10.1f %10.1f %8.1f %16.0f\n" r.Eval.Secondary.label
+        r.Eval.Secondary.median_miles r.Eval.Secondary.p90_miles
+        (100.0 *. r.Eval.Secondary.hit_rate) r.Eval.Secondary.median_area_sq_miles)
+    rows;
+  Printf.printf
+    "# the framework accepts landmarks whose own position is only a region:\n\
+     # positive constraints dilate by the region, negative ones erode to the\n\
+     # common disk (paper section 2).  With this substrate's region sizes the\n\
+     # net effect is a modest coverage gain at a small median cost; the same\n\
+     # mechanism applied to routers (piecewise, section 2.3) is where the\n\
+     # paper gets its large wins.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Vivaldi comparison (extension; paper references Vivaldi in section 2.2) *)
+(* ------------------------------------------------------------------ *)
+
+let vivaldi () =
+  banner "VIVALDI: idealized coordinate embedding vs Octant (extension)";
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
+  let bridge = Eval.Bridge.create deployment in
+  let n = Eval.Bridge.host_count bridge in
+  let all = Array.init n Fun.id in
+  let errs = ref [] in
+  for target = 0 to n - 1 do
+    let truth = Eval.Bridge.position bridge target in
+    let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:target all in
+    let lm_indices = Array.of_list (List.filter (fun i -> i <> target) (Array.to_list all)) in
+    let inter = Eval.Bridge.inter_rtt_for bridge lm_indices in
+    let obs = Eval.Bridge.observations bridge ~with_traceroutes:false ~landmark_indices:all ~target in
+    let v = Baselines.Vivaldi.embed ~landmarks ~inter_landmark_rtt_ms:inter () in
+    let r = Baselines.Vivaldi.localize v ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms in
+    errs :=
+      Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km r.Baselines.Vivaldi.point truth) :: !errs
+  done;
+  let arr = Array.of_list !errs in
+  Printf.printf
+    "Vivaldi (anchored to true landmark positions, best case for embeddings):\n";
+  Printf.printf "  median=%7.1f mi  p90=%7.1f  worst=%7.1f\n" (Stats.Sample.median arr)
+    (Stats.Sample.percentile 90.0 arr)
+    (Stats.Sample.max arr);
+  Printf.printf
+    "# even with ground-truth anchoring, a metric embedding cannot express\n\
+     # the asymmetric, non-metric structure that Octant's constraints capture.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  banner "MICRO: Bechamel benchmarks of the geometric and solver kernels";
+  let open Bechamel in
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts:20 () in
+  let bridge = Eval.Bridge.create deployment in
+  let n = Eval.Bridge.host_count bridge in
+  let all = Array.init n Fun.id in
+  let target = 0 in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:target all in
+  let lm_indices = Array.of_list (List.filter (fun i -> i <> target) (Array.to_list all)) in
+  let inter = Eval.Bridge.inter_rtt_for bridge lm_indices in
+  let obs = Eval.Bridge.observations bridge ~landmark_indices:all ~target in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let disk_a = Geo.Region.disk ~center:(Geo.Point.make 0.0 0.0) ~radius:500.0 () in
+  let disk_b = Geo.Region.disk ~center:(Geo.Point.make 300.0 100.0) ~radius:400.0 () in
+  let ring =
+    Geo.Region.annulus ~center:(Geo.Point.make 100.0 0.0) ~r_inner:200.0 ~r_outer:600.0 ()
+  in
+  let positions = Array.map (fun l -> l.Octant.Pipeline.lm_position) landmarks in
+  let tests =
+    Test.make_grouped ~name:"octant"
+      [
+        Test.make ~name:"region-inter-disk-disk"
+          (Staged.stage (fun () -> ignore (Geo.Region.inter disk_a disk_b)));
+        Test.make ~name:"region-diff-disk-ring"
+          (Staged.stage (fun () -> ignore (Geo.Region.diff disk_a ring)));
+        Test.make ~name:"bezier-circle-flatten"
+          (Staged.stage (fun () ->
+               ignore
+                 (Geo.Bezier.to_polygon ~tolerance:0.5
+                    (Geo.Bezier.circle ~center:Geo.Point.zero ~radius:300.0))));
+        Test.make ~name:"convex-hull-50pts"
+          (Staged.stage (fun () ->
+               let rng = Stats.Rng.create 5 in
+               let pts =
+                 Array.init 50 (fun _ ->
+                     Geo.Point.make (Stats.Rng.uniform rng 0.0 100.0)
+                       (Stats.Rng.uniform rng 0.0 100.0))
+               in
+               ignore (Geo.Convex_hull.hull pts)));
+        Test.make ~name:"heights-lsq-19-landmarks"
+          (Staged.stage (fun () ->
+               ignore (Octant.Heights.solve_landmarks ~positions ~rtt_ms:inter)));
+        Test.make ~name:"full-localization-19lm"
+          (Staged.stage (fun () ->
+               ignore (Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.5) ~kde:(Some 10) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if ns > 1e6 then Printf.printf "%-40s %10.2f ms/op\n" name (ns /. 1e6)
+      else if ns > 1e3 then Printf.printf "%-40s %10.2f us/op\n" name (ns /. 1e3)
+      else Printf.printf "%-40s %10.0f ns/op\n" name ns)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "fig2" -> fig2 ()
+  | "fig3" -> ignore (fig3 ())
+  | "fig4" -> fig4 ()
+  | "ablation" -> ablation ()
+  | "vivaldi" -> vivaldi ()
+  | "secondary" -> secondary ()
+  | "robustness" -> robustness ()
+  | "timing" -> timing (Eval.Study.run ~seed ~n_hosts ())
+  | "micro" -> micro ()
+  | "all" ->
+      fig2 ();
+      let study = fig3 () in
+      fig4 ();
+      ablation ();
+      robustness ();
+      secondary ();
+      vivaldi ();
+      timing study;
+      micro ()
+  | other ->
+      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|secondary|vivaldi|timing|micro|all)\n" other;
+      exit 1

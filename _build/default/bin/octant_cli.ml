@@ -1,0 +1,145 @@
+(* Command-line front end for the Octant reproduction.
+
+   Subcommands mirror the experiment surface:
+
+     octant_cli localize --seed 7 --hosts 51 --target 3
+     octant_cli calibrate --seed 7 --hosts 51 --landmark 0
+     octant_cli study --seed 7 --hosts 51
+     octant_cli sweep --seed 7 --counts 10,20,30,40,50
+     octant_cli ablation --seed 7 --hosts 51 *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Deployment random seed.")
+
+let hosts_arg =
+  Arg.(value & opt int 51 & info [ "hosts" ] ~docv:"N" ~doc:"Number of deployed hosts.")
+
+let probes_arg =
+  Arg.(value & opt int 10 & info [ "probes" ] ~docv:"K" ~doc:"Ping probes per measurement.")
+
+let mk_bridge seed n_hosts probes =
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
+  (deployment, Eval.Bridge.create ~probes deployment)
+
+(* --- localize --- *)
+
+let localize seed hosts probes target no_piecewise no_geo =
+  let deployment, bridge = mk_bridge seed hosts probes in
+  let n = Eval.Bridge.host_count bridge in
+  if target < 0 || target >= n then begin
+    Printf.eprintf "target must be in [0, %d)\n" n;
+    exit 1
+  end;
+  let all = Array.init n Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:target all in
+  let lm_indices = Array.of_list (List.filter (fun i -> i <> target) (Array.to_list all)) in
+  let inter = Eval.Bridge.inter_rtt_for bridge lm_indices in
+  let obs = Eval.Bridge.observations bridge ~landmark_indices:all ~target in
+  let config =
+    {
+      Octant.Pipeline.default_config with
+      Octant.Pipeline.use_piecewise = not no_piecewise;
+      use_land_mask = not no_geo;
+      whois_weight = (if no_geo then 0.0 else Octant.Pipeline.default_config.Octant.Pipeline.whois_weight);
+    }
+  in
+  let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let est = Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs in
+  let truth = Eval.Bridge.position bridge target in
+  let city = Netsim.Deployment.host_city deployment (Eval.Bridge.host_id bridge target) in
+  Printf.printf "target:      host %d in %s (%.3f, %.3f)\n" target city.Netsim.City.name
+    truth.Geo.Geodesy.lat truth.Geo.Geodesy.lon;
+  Printf.printf "estimate:    (%.3f, %.3f)\n" est.Octant.Estimate.point.Geo.Geodesy.lat
+    est.Octant.Estimate.point.Geo.Geodesy.lon;
+  Printf.printf "error:       %.1f miles\n" (Octant.Estimate.error_miles est truth);
+  Printf.printf "region:      %.0f sq mi across %d cells (covers truth: %b)\n"
+    (Octant.Estimate.region_area_sq_miles est)
+    est.Octant.Estimate.cells_used
+    (Octant.Estimate.covers est truth);
+  Printf.printf "height:      %.2f ms\n" est.Octant.Estimate.target_height_ms;
+  Printf.printf "constraints: %d\n" est.Octant.Estimate.constraints_used;
+  Printf.printf "time:        %.2f s\n" est.Octant.Estimate.solve_time_s
+
+let localize_cmd =
+  let target =
+    Arg.(value & opt int 0 & info [ "target" ] ~docv:"I" ~doc:"Host index to localize.")
+  in
+  let no_piecewise =
+    Arg.(value & flag & info [ "no-piecewise" ] ~doc:"Disable piecewise router localization.")
+  in
+  let no_geo = Arg.(value & flag & info [ "no-geo" ] ~doc:"Disable geographic constraints.") in
+  Cmd.v
+    (Cmd.info "localize" ~doc:"Localize one host of a simulated deployment")
+    Term.(const localize $ seed_arg $ hosts_arg $ probes_arg $ target $ no_piecewise $ no_geo)
+
+(* --- calibrate --- *)
+
+let calibrate seed hosts probes landmark =
+  let _, bridge = mk_bridge seed hosts probes in
+  let n = Eval.Bridge.host_count bridge in
+  let all = Array.init n Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) all in
+  let inter = Eval.Bridge.inter_rtt_for bridge all in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  Eval.Report.print_figure2 (Octant.Pipeline.calibration ctx landmark)
+
+let calibrate_cmd =
+  let landmark =
+    Arg.(value & opt int 0 & info [ "landmark" ] ~docv:"I" ~doc:"Landmark index to calibrate.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Print one landmark's latency-distance calibration (Figure 2)")
+    Term.(const calibrate $ seed_arg $ hosts_arg $ probes_arg $ landmark)
+
+(* --- study --- *)
+
+let study seed hosts probes =
+  let s = Eval.Study.run ~seed ~n_hosts:hosts ~probes () in
+  Eval.Report.print_figure3 s;
+  print_newline ();
+  Eval.Report.print_timing s
+
+let study_cmd =
+  Cmd.v
+    (Cmd.info "study" ~doc:"Leave-one-out comparison of all methods (Figure 3)")
+    Term.(const study $ seed_arg $ hosts_arg $ probes_arg)
+
+(* --- sweep --- *)
+
+let sweep seed hosts counts =
+  let landmark_counts =
+    String.split_on_char ',' counts |> List.map String.trim |> List.map int_of_string
+  in
+  let s = Eval.Sweep.run ~seed ~n_hosts:hosts ~landmark_counts () in
+  Eval.Report.print_figure4 s
+
+let sweep_cmd =
+  let counts =
+    Arg.(
+      value
+      & opt string "10,15,20,25,30,35,40,45,50"
+      & info [ "counts" ] ~docv:"LIST" ~doc:"Comma-separated landmark counts.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Coverage vs number of landmarks (Figure 4)")
+    Term.(const sweep $ seed_arg $ hosts_arg $ counts)
+
+(* --- ablation --- *)
+
+let ablation seed hosts =
+  Eval.Report.print_ablation (Eval.Ablation.run ~seed ~n_hosts:hosts ())
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Disable each Octant mechanism in turn")
+    Term.(const ablation $ seed_arg $ hosts_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "octant_cli" ~version:"1.0.0"
+       ~doc:"Octant geolocalization framework — reproduction CLI")
+    [ localize_cmd; calibrate_cmd; study_cmd; sweep_cmd; ablation_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/calibration_plot.ml: Array Eval Fun Netsim Octant Printf Sys

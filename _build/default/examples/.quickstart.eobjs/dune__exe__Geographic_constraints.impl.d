@@ -1,0 +1,1 @@
+examples/geographic_constraints.ml: Array Eval Fun Geo List Netsim Octant Printf

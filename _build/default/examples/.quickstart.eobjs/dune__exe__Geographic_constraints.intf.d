@@ -1,0 +1,1 @@
+examples/geographic_constraints.mli:

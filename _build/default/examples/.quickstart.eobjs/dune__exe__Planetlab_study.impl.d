@@ -1,0 +1,1 @@
+examples/planetlab_study.ml: Array Eval Float List Printf Sys

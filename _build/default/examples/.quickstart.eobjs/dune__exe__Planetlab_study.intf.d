@@ -1,0 +1,1 @@
+examples/planetlab_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Eval Fun Geo List Netsim Octant Printf

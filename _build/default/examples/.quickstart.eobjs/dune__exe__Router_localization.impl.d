@@ -1,0 +1,1 @@
+examples/router_localization.ml: Array Eval Fun Geo List Netsim Octant Option Printf Stats

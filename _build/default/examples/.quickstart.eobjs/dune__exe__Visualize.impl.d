@@ -1,0 +1,1 @@
+examples/visualize.ml: Array Eval Fun Geo List Netsim Octant Printf Sys

@@ -1,0 +1,21 @@
+(* Reproduce Figure 2: the latency-to-distance scatter of one landmark
+   against its peers, with the convex-hull facets Octant uses as R_L and
+   r_L, the percentile cutoff rho, and the 2/3-c speed-of-light line.
+
+   Output is gnuplot-friendly rows (series label, x, y).
+
+   Run with: dune exec examples/calibration_plot.exe [host_index] *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 0 in
+  let deployment = Netsim.Deployment.make ~seed:7 ~n_hosts:51 () in
+  let bridge = Eval.Bridge.create deployment in
+  let n = Eval.Bridge.host_count bridge in
+  let all = Array.init n Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) all in
+  let inter = Eval.Bridge.inter_rtt_for bridge all in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let city = Netsim.Deployment.host_city deployment (Eval.Bridge.host_id bridge which) in
+  Printf.printf "# Figure 2 for landmark %d: %s (the paper used planetlab1.cs.rochester.edu)\n"
+    which city.Netsim.City.name;
+  Eval.Report.print_figure2 (Octant.Pipeline.calibration ctx which)

@@ -1,0 +1,66 @@
+(* Quickstart: localize one Internet host with Octant.
+
+   This example builds a small simulated deployment (the stand-in for
+   PlanetLab), uses 15 hosts as landmarks, and localizes a 16th host.  It
+   shows the full public API surface a user needs:
+
+   - [Netsim.Deployment] for measurements (swap in your own data source),
+   - [Octant.Pipeline.prepare] for per-deployment calibration,
+   - [Octant.Pipeline.localize] for per-target solving,
+   - [Octant.Estimate] for reading the answer.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A deployment: 16 hosts in distinct cities; deterministic seed. *)
+  let deployment = Netsim.Deployment.make ~seed:2007 ~n_hosts:16 () in
+  let bridge = Eval.Bridge.create deployment in
+  let n = Eval.Bridge.host_count bridge in
+  let target = n - 1 in
+  let all = Array.init n Fun.id in
+
+  (* 2. Landmarks: every host except the target, with known positions. *)
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:target all in
+  let landmark_indices =
+    Array.of_list (List.filter (fun i -> i <> target) (Array.to_list all))
+  in
+  let inter_rtt = Eval.Bridge.inter_rtt_for bridge landmark_indices in
+
+  (* 3. Calibrate: landmark heights (queuing floors) and per-landmark
+     latency-to-distance hulls, from the inter-landmark ping matrix. *)
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter_rtt () in
+  Printf.printf "Landmark heights (ms):";
+  Array.iteri
+    (fun i h -> if i < 8 then Printf.printf " %.2f" h)
+    (Octant.Pipeline.landmark_heights ctx);
+  Printf.printf " ...\n";
+
+  (* 4. Measure the target: min-of-10 pings + traceroutes from every
+     landmark, plus a WHOIS registry hint when one exists. *)
+  let obs = Eval.Bridge.observations bridge ~landmark_indices:all ~target in
+
+  (* 5. Solve. *)
+  let estimate = Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs in
+
+  (* 6. Read the answer. *)
+  let truth = Eval.Bridge.position bridge target in
+  let city = Netsim.Deployment.host_city deployment (Eval.Bridge.host_id bridge target) in
+  Printf.printf "Target is really in:      %s (%.2f, %.2f)\n" city.Netsim.City.name
+    truth.Geo.Geodesy.lat truth.Geo.Geodesy.lon;
+  Printf.printf "Octant point estimate:    (%.2f, %.2f)\n"
+    estimate.Octant.Estimate.point.Geo.Geodesy.lat
+    estimate.Octant.Estimate.point.Geo.Geodesy.lon;
+  Printf.printf "Error:                    %.1f miles\n"
+    (Octant.Estimate.error_miles estimate truth);
+  Printf.printf "Estimated region:         %.0f square miles in %d weighted cells\n"
+    (Octant.Estimate.region_area_sq_miles estimate)
+    estimate.Octant.Estimate.cells_used;
+  Printf.printf "Region covers the truth:  %b\n" (Octant.Estimate.covers estimate truth);
+  Printf.printf "Target queuing height:    %.2f ms\n" estimate.Octant.Estimate.target_height_ms;
+  Printf.printf "Constraints used:         %d\n" estimate.Octant.Estimate.constraints_used;
+  Printf.printf "Solve time:               %.2f s\n" estimate.Octant.Estimate.solve_time_s;
+  (* The region in the paper's compact form: closed Bezier paths. *)
+  let paths = Octant.Estimate.bezier_boundaries estimate in
+  Printf.printf "Bezier boundary:          %d closed paths, %d segments total\n"
+    (List.length paths)
+    (List.fold_left (fun acc p -> acc + Geo.Bezier.segment_count p) 0 paths)

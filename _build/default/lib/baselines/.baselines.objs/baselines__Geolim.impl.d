@@ -1,0 +1,1 @@
+lib/baselines/geolim.ml: Array Float Geo List Octant

@@ -1,0 +1,1 @@
+lib/baselines/geolim.mli: Geo Octant

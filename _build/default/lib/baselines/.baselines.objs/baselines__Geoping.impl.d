@@ -1,0 +1,1 @@
+lib/baselines/geoping.ml: Array Geo Octant

@@ -1,0 +1,1 @@
+lib/baselines/geoping.mli: Geo Octant

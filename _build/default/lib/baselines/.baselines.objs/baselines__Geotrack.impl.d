@@ -1,0 +1,1 @@
+lib/baselines/geotrack.ml: Array Float Geo Octant Option

@@ -1,0 +1,1 @@
+lib/baselines/geotrack.mli: Geo Octant

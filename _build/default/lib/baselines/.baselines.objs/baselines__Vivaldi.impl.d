@@ -1,0 +1,1 @@
+lib/baselines/vivaldi.ml: Array Float Geo Linalg Octant

@@ -1,0 +1,1 @@
+lib/baselines/vivaldi.mli: Geo Octant

@@ -1,0 +1,6 @@
+type result = { point : Geo.Geodesy.coord; from_registry : bool }
+
+let localize ~whois ~fallback ~target_key =
+  match whois target_key with
+  | Some coord -> { point = coord; from_registry = true }
+  | None -> { point = fallback; from_registry = false }

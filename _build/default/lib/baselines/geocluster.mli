@@ -1,0 +1,29 @@
+(** GeoCluster (Padmanabhan & Subramanian, SIGCOMM 2001) — and in the same
+    family, NetGeo and IP2LL (paper §4).
+
+    Database techniques: break the address space into clusters that are
+    likely co-located and assign each cluster a location from IP-to-ZIP /
+    WHOIS-style registries.  No measurements at all — which is both the
+    appeal (zero probing cost) and the failure mode the paper calls out:
+    "the granularity of such a scheme is very coarse for large IP address
+    blocks that contain geographically diverse nodes", and registration
+    records are routinely stale.
+
+    Our simulator's WHOIS registry carries exactly that error model, so
+    this baseline quantifies what pure-database geolocalization achieves
+    on the same deployment. *)
+
+type result = {
+  point : Geo.Geodesy.coord;
+  from_registry : bool;  (** False when the registry had no record and the
+                             estimate fell back to the nearest exchange
+                             city (the "provider NOC" default). *)
+}
+
+val localize :
+  whois:(int -> Geo.Geodesy.coord option) ->
+  fallback:Geo.Geodesy.coord ->
+  target_key:int ->
+  result
+(** [localize ~whois ~fallback ~target_key] returns the registry location
+    when one exists, the fallback otherwise. *)

@@ -1,0 +1,133 @@
+type t = {
+  landmarks : Octant.Pipeline.landmark array;
+  bestlines : (float * float) array; (* slope ms/km, intercept ms *)
+}
+
+(* Slope of the hard physical limit: ms of RTT per km of distance. *)
+let sol_slope = 2.0 /. Geo.Geodesy.c_fiber_km_per_ms
+
+(* CBG bestline: the line y = m x + b lying below all (distance, delay)
+   points, with slope no smaller than the speed-of-light slope, minimizing
+   the total vertical distance to the cloud.  The optimum is supported by
+   points of the lower-left convex hull, so searching candidate lines
+   through hull point pairs (plus sol-slope lines through each hull point)
+   is exact. *)
+let fit_bestline samples =
+  match samples with
+  | [] -> (sol_slope, 0.0)
+  | _ ->
+      let pts = Array.of_list (List.map (fun (d, rtt) -> Geo.Point.make d rtt) samples) in
+      let hull = Geo.Convex_hull.lower_chain pts in
+      let candidates = ref [] in
+      let n = Array.length hull in
+      for i = 0 to n - 1 do
+        (* Speed-of-light slope through this support point. *)
+        let p = hull.(i) in
+        candidates := (sol_slope, p.Geo.Point.y -. (sol_slope *. p.Geo.Point.x)) :: !candidates;
+        for j = i + 1 to n - 1 do
+          let q = hull.(j) in
+          if q.Geo.Point.x -. p.Geo.Point.x > 1e-9 then begin
+            let m = (q.Geo.Point.y -. p.Geo.Point.y) /. (q.Geo.Point.x -. p.Geo.Point.x) in
+            if m >= sol_slope then
+              candidates := (m, p.Geo.Point.y -. (m *. p.Geo.Point.x)) :: !candidates
+          end
+        done
+      done;
+      let feasible (m, b) =
+        Array.for_all (fun p -> p.Geo.Point.y >= (m *. p.Geo.Point.x) +. b -. 1e-9) pts
+        && b >= 0.0
+      in
+      let cost (m, b) =
+        Array.fold_left (fun acc p -> acc +. (p.Geo.Point.y -. (m *. p.Geo.Point.x) -. b)) 0.0 pts
+      in
+      let best = ref (sol_slope, 0.0) and best_cost = ref (cost (sol_slope, 0.0)) in
+      List.iter
+        (fun cand ->
+          if feasible cand then begin
+            let c = cost cand in
+            if c < !best_cost then begin
+              best := cand;
+              best_cost := c
+            end
+          end)
+        !candidates;
+      !best
+
+let prepare ~landmarks ~inter_landmark_rtt_ms () =
+  let n = Array.length landmarks in
+  if n < 3 then invalid_arg "Geolim.prepare: need at least 3 landmarks";
+  let bestlines =
+    Array.init n (fun i ->
+        let samples = ref [] in
+        for j = 0 to n - 1 do
+          if j <> i && inter_landmark_rtt_ms.(i).(j) > 0.0 then
+            samples :=
+              ( Geo.Geodesy.distance_km landmarks.(i).Octant.Pipeline.lm_position
+                  landmarks.(j).Octant.Pipeline.lm_position,
+                inter_landmark_rtt_ms.(i).(j) )
+              :: !samples
+        done;
+        fit_bestline !samples)
+  in
+  { landmarks; bestlines }
+
+let bestline t i = t.bestlines.(i)
+
+let distance_bound_km t i rtt =
+  let m, b = t.bestlines.(i) in
+  let d = (rtt -. b) /. m in
+  Float.max 5.0 d
+
+type result = {
+  point : Geo.Geodesy.coord;
+  covers_truth : Geo.Geodesy.coord -> bool;
+  area_km2 : float;
+  relaxations : int;
+}
+
+let localize t ~target_rtt_ms =
+  let n = Array.length t.landmarks in
+  if Array.length target_rtt_ms <> n then invalid_arg "Geolim.localize: length mismatch";
+  let usable = ref [] in
+  Array.iteri (fun i rtt -> if rtt > 0.0 then usable := (i, rtt) :: !usable) target_rtt_ms;
+  if List.length !usable < 3 then invalid_arg "Geolim.localize: need at least 3 RTTs";
+  let usable = Array.of_list (List.rev !usable) in
+  (* Project around the strongest (lowest-RTT) landmark. *)
+  let focus_i, _ =
+    Array.fold_left
+      (fun ((_, best_rtt) as best) (i, rtt) -> if rtt < best_rtt then (i, rtt) else best)
+      usable.(0) usable
+  in
+  let projection = Geo.Projection.make t.landmarks.(focus_i).Octant.Pipeline.lm_position in
+  let intersection scale =
+    let disks =
+      Array.to_list usable
+      |> List.map (fun (i, rtt) ->
+             let center =
+               Geo.Projection.project projection t.landmarks.(i).Octant.Pipeline.lm_position
+             in
+             let radius = scale *. distance_bound_km t i rtt in
+             Geo.Region.disk ~segments:48 ~center ~radius ())
+    in
+    Geo.Region.inter_all disks
+  in
+  let raw = intersection 1.0 in
+  let rec relax scale rounds =
+    if rounds > 24 then (Geo.Region.disk ~segments:48 ~center:Geo.Point.zero ~radius:50.0 (), rounds)
+    else
+      let r = intersection scale in
+      if Geo.Region.is_empty r then relax (scale *. 1.15) (rounds + 1) else (r, rounds)
+  in
+  let region_for_point, relaxations =
+    if Geo.Region.is_empty raw then relax 1.15 1 else (raw, 0)
+  in
+  let point = Geo.Projection.unproject projection (Geo.Region.centroid region_for_point) in
+  {
+    point;
+    covers_truth =
+      (fun truth ->
+        (not (Geo.Region.is_empty raw))
+        && Geo.Region.contains raw (Geo.Projection.project projection truth));
+    area_km2 = Geo.Region.area raw;
+    relaxations;
+  }

@@ -1,0 +1,45 @@
+(** GeoLim — Constraint-Based Geolocation (Gueye, Ziviani, Crovella, Fdida,
+    IMC 2004), the paper's strongest prior-work comparison.
+
+    Each landmark learns a linear "bestline" mapping delay to an upper
+    distance bound: the line lying {e below} every (distance, delay)
+    sample — the tightest linear bound consistent with all observations —
+    never faster than light.  A target measured at RTT [r] from landmark
+    [L] must then be inside the disk of radius [bestline_L^-1](r).  The
+    estimated region is the intersection of all disks; the point estimate
+    is its centroid.
+
+    Two properties matter for reproducing the paper's Figures 3–4:
+    GeoLim uses only positive constraints and a pure intersection, so one
+    over-aggressive bestline (a landmark whose sample set happened to
+    include a fast long-distance path) can make the intersection miss the
+    target — and the probability of that grows with the number of
+    landmarks.  When the intersection is empty we progressively relax all
+    radii to produce a point estimate, but coverage (Figure 4) is assessed
+    against the unrelaxed intersection, as in the original system. *)
+
+type t
+
+val prepare :
+  landmarks:Octant.Pipeline.landmark array ->
+  inter_landmark_rtt_ms:float array array ->
+  unit ->
+  t
+(** Fit one bestline per landmark from the inter-landmark measurements. *)
+
+type result = {
+  point : Geo.Geodesy.coord;       (** Centroid of the (possibly relaxed) intersection. *)
+  covers_truth : Geo.Geodesy.coord -> bool;
+      (** Membership in the {e unrelaxed} intersection region. *)
+  area_km2 : float;                (** Area of the unrelaxed region (0 if empty). *)
+  relaxations : int;               (** Radius-scaling rounds needed for a point (0 = none). *)
+}
+
+val localize : t -> target_rtt_ms:float array -> result
+(** @raise Invalid_argument on length mismatch or fewer than 3 usable RTTs. *)
+
+val bestline : t -> int -> float * float
+(** (slope ms/km, intercept ms) of a landmark's bestline — for tests. *)
+
+val distance_bound_km : t -> int -> float -> float
+(** Distance bound implied by a given RTT at a given landmark. *)

@@ -1,0 +1,48 @@
+type t = {
+  landmarks : Octant.Pipeline.landmark array;
+  signatures : float array array; (* row i = landmark i's RTT vector *)
+}
+
+let prepare ~landmarks ~inter_landmark_rtt_ms () =
+  let n = Array.length landmarks in
+  if n < 2 then invalid_arg "Geoping.prepare: need at least 2 landmarks";
+  if Array.length inter_landmark_rtt_ms <> n then invalid_arg "Geoping.prepare: matrix mismatch";
+  { landmarks; signatures = inter_landmark_rtt_ms }
+
+type result = { point : Geo.Geodesy.coord; matched_landmark : int; score : float }
+
+(* Normalized L2 over coordinates measured by both vectors; coordinate k
+   is skipped for candidate i when k = i (a landmark has no RTT to
+   itself). *)
+let signature_distance candidate_index sig_a sig_b =
+  let acc = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun k a ->
+      if k <> candidate_index then begin
+        let b = sig_b.(k) in
+        if a > 0.0 && b > 0.0 then begin
+          let d = a -. b in
+          acc := !acc +. (d *. d);
+          incr count
+        end
+      end)
+    sig_a;
+  if !count = 0 then infinity else sqrt (!acc /. float_of_int !count)
+
+let localize t ~target_rtt_ms =
+  let n = Array.length t.landmarks in
+  if Array.length target_rtt_ms <> n then invalid_arg "Geoping.localize: length mismatch";
+  let best = ref (-1) and best_score = ref infinity in
+  for i = 0 to n - 1 do
+    let score = signature_distance i t.signatures.(i) target_rtt_ms in
+    if score < !best_score then begin
+      best := i;
+      best_score := score
+    end
+  done;
+  if !best < 0 then invalid_arg "Geoping.localize: no usable signature coordinates";
+  {
+    point = t.landmarks.(!best).Octant.Pipeline.lm_position;
+    matched_landmark = !best;
+    score = !best_score;
+  }

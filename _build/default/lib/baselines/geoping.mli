@@ -1,0 +1,26 @@
+(** GeoPing (Padmanabhan & Subramanian, SIGCOMM 2001).
+
+    Maps the target to the landmark with the most similar {e delay
+    signature}: the vector of RTTs to the common set of vantage points.
+    The estimate is that landmark's own position, so accuracy is bounded
+    below by the distance to the nearest landmark — the reason the paper's
+    Figure 3 shows GeoPing's long tail. *)
+
+type t
+
+val prepare :
+  landmarks:Octant.Pipeline.landmark array ->
+  inter_landmark_rtt_ms:float array array ->
+  unit ->
+  t
+
+type result = {
+  point : Geo.Geodesy.coord;  (** Position of the best-matching landmark. *)
+  matched_landmark : int;     (** Its index. *)
+  score : float;              (** Signature distance (lower = closer match). *)
+}
+
+val localize : t -> target_rtt_ms:float array -> result
+(** Nearest landmark in signature space (normalized L2 over the RTT
+    vectors, restricted to coordinates both sides measured).
+    @raise Invalid_argument on length mismatch or no usable coordinates. *)

@@ -1,0 +1,39 @@
+type result = {
+  point : Geo.Geodesy.coord;
+  residual_rtt_ms : float;
+  hops_from_target : int;
+}
+
+let localize ~undns ~traceroutes ~target_rtt_ms =
+  (* GeoTrack is a single-vantage technique: one traceroute to the target,
+     last recognizable router wins.  We use the first vantage point with a
+     usable measurement, like the original tool driven from one probe
+     machine. *)
+  let result = ref None in
+  (try
+     Array.iteri
+       (fun lm_index trace ->
+         let target_rtt =
+           if lm_index < Array.length target_rtt_ms then target_rtt_ms.(lm_index) else 0.0
+         in
+         if target_rtt > 0.0 && Array.length trace >= 2 then begin
+           let n = Array.length trace in
+           let rec scan k hops_back =
+             if k < 0 then ()
+             else
+               let hop = trace.(k) in
+               match Option.bind hop.Octant.Pipeline.hop_dns undns with
+               | Some coord ->
+                   let residual = Float.max 0.0 (target_rtt -. hop.Octant.Pipeline.hop_rtt_ms) in
+                   result := Some (coord, residual, hops_back)
+               | None -> scan (k - 1) (hops_back + 1)
+           in
+           (* Skip the final entry (the target host itself). *)
+           scan (n - 2) 1;
+           raise Exit
+         end)
+       traceroutes
+   with Exit -> ());
+  Option.map
+    (fun (point, residual_rtt_ms, hops_from_target) -> { point; residual_rtt_ms; hops_from_target })
+    !result

@@ -1,0 +1,21 @@
+(** GeoTrack (Padmanabhan & Subramanian, SIGCOMM 2001).
+
+    Traceroutes towards the target from one vantage point, decodes router
+    DNS names, and places the target at the {e last} router on the path
+    whose location is recognizable.  Accuracy is limited by the distance
+    between the target and its last recognizable router — often an
+    upstream PoP in a different city, hence the paper's 2709-mile worst
+    case. *)
+
+type result = {
+  point : Geo.Geodesy.coord;   (** Location of the chosen router. *)
+  residual_rtt_ms : float;     (** RTT gap between that router and the target. *)
+  hops_from_target : int;      (** How many hops upstream the anchor was. *)
+}
+
+val localize :
+  undns:(string -> Geo.Geodesy.coord option) ->
+  traceroutes:Octant.Pipeline.hop array array ->
+  target_rtt_ms:float array ->
+  result option
+(** [None] when no router on any path resolves. *)

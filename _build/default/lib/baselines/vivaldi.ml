@@ -1,0 +1,111 @@
+type config = { dimensions : int; iterations : int; timestep : float }
+
+let default_config = { dimensions = 2; iterations = 60; timestep = 0.25 }
+
+type t = {
+  config : config;
+  landmarks : Octant.Pipeline.landmark array;
+  projection : Geo.Projection.t;
+  coords : float array array; (* per landmark: [x_km; y_km] *)
+  heights : float array;      (* per landmark, ms *)
+  rtt : float array array;
+}
+
+(* Predicted RTT between two embedded nodes: coordinate distance converted
+   at 2/3 c plus both heights (the Vivaldi height model). *)
+let predict_pair coords_a height_a coords_b height_b =
+  let acc = ref 0.0 in
+  Array.iteri (fun k va -> let d = va -. coords_b.(k) in acc := !acc +. (d *. d)) coords_a;
+  Geo.Geodesy.distance_to_min_rtt_ms (sqrt !acc) +. height_a +. height_b
+
+let embed ?(config = default_config) ~landmarks ~inter_landmark_rtt_ms () =
+  let n = Array.length landmarks in
+  if n < 3 then invalid_arg "Vivaldi.embed: need at least 3 landmarks";
+  if config.dimensions <> 2 then invalid_arg "Vivaldi.embed: only 2 dimensions supported";
+  (* Project around the landmark centroid. *)
+  let lat = ref 0.0 and lon = ref 0.0 in
+  Array.iter
+    (fun l ->
+      lat := !lat +. l.Octant.Pipeline.lm_position.Geo.Geodesy.lat;
+      lon := !lon +. l.Octant.Pipeline.lm_position.Geo.Geodesy.lon)
+    landmarks;
+  let focus = Geo.Geodesy.coord ~lat:(!lat /. float_of_int n) ~lon:(!lon /. float_of_int n) in
+  let projection = Geo.Projection.make focus in
+  (* Anchored initialization: true projected positions, zero heights. *)
+  let coords =
+    Array.map
+      (fun l ->
+        let p = Geo.Projection.project projection l.Octant.Pipeline.lm_position in
+        [| p.Geo.Point.x; p.Geo.Point.y |])
+      landmarks
+  in
+  let heights = Array.make n 0.5 in
+  (* Spring relaxation with a decaying timestep; positions stay anchored
+     (we only relax heights for anchored landmarks) — this is the
+     idealized, ground-truth-assisted variant described in the mli. *)
+  for round = 0 to config.iterations - 1 do
+    let dt = config.timestep /. (1.0 +. (float_of_int round /. 8.0)) in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && inter_landmark_rtt_ms.(i).(j) > 0.0 then begin
+          let predicted = predict_pair coords.(i) heights.(i) coords.(j) heights.(j) in
+          let error = inter_landmark_rtt_ms.(i).(j) -. predicted in
+          (* Positive error: RTT larger than predicted -> grow heights. *)
+          heights.(i) <- Float.max 0.0 (heights.(i) +. (dt *. error /. 2.0))
+        end
+      done
+    done
+  done;
+  { config; landmarks; projection; coords; heights; rtt = inter_landmark_rtt_ms }
+
+let prediction_error_ms t =
+  let n = Array.length t.landmarks in
+  let acc = ref 0.0 and count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if t.rtt.(i).(j) > 0.0 then begin
+        let p = predict_pair t.coords.(i) t.heights.(i) t.coords.(j) t.heights.(j) in
+        let e = p -. t.rtt.(i).(j) in
+        acc := !acc +. (e *. e);
+        incr count
+      end
+    done
+  done;
+  if !count = 0 then 0.0 else sqrt (!acc /. float_of_int !count)
+
+type result = { point : Geo.Geodesy.coord; height_ms : float; fit_error_ms : float }
+
+let localize t ~target_rtt_ms =
+  let n = Array.length t.landmarks in
+  if Array.length target_rtt_ms <> n then invalid_arg "Vivaldi.localize: length mismatch";
+  let usable = ref 0 in
+  Array.iter (fun rtt -> if rtt > 0.0 then incr usable) target_rtt_ms;
+  if !usable < 3 then invalid_arg "Vivaldi.localize: need at least 3 RTTs";
+  (* Embed the target by direct stress minimization over (x, y, h). *)
+  let objective v =
+    let pos = [| v.(0); v.(1) |] and h = Float.max 0.0 v.(2) in
+    let penalty = if v.(2) < 0.0 then 100.0 *. v.(2) *. v.(2) else 0.0 in
+    let acc = ref penalty in
+    Array.iteri
+      (fun i rtt ->
+        if rtt > 0.0 then begin
+          let predicted = predict_pair pos h t.coords.(i) t.heights.(i) in
+          let e = predicted -. rtt in
+          acc := !acc +. (e *. e)
+        end)
+      target_rtt_ms;
+    !acc
+  in
+  let r =
+    Linalg.Nelder_mead.minimize_multistart ~step:200.0 ~max_iter:3000 ~restarts:4
+      ~perturb:(fun k ->
+        let angle = Float.pi *. float_of_int k /. 2.0 in
+        [| 1200.0 *. cos angle; 1200.0 *. sin angle; 0.5 *. float_of_int k |])
+      ~f:objective ~init:[| 0.0; 0.0; 1.0 |] ()
+  in
+  let x = r.Linalg.Nelder_mead.x in
+  {
+    point = Geo.Projection.unproject t.projection (Geo.Point.make x.(0) x.(1));
+    height_ms = Float.max 0.0 x.(2);
+    fit_error_ms = sqrt (r.Linalg.Nelder_mead.fx /. float_of_int !usable);
+  }

@@ -1,0 +1,47 @@
+(** Vivaldi network coordinates (Dabek, Cox, Kaashoek, Morris — SIGCOMM
+    2004), the system Octant's height mechanism is derived from (paper
+    §2.2).
+
+    Vivaldi embeds hosts in a low-dimensional space plus a non-Euclidean
+    "height" so that coordinate distance predicts RTT.  It is {e not} a
+    geolocalization system — its coordinates live in an abstract space —
+    but it makes an instructive extra baseline: we anchor the embedding to
+    the landmarks' true positions (a best case Vivaldi itself cannot
+    achieve) and read the target's embedded position as its location
+    estimate.  The gap between even this idealized variant and Octant
+    quantifies what constraint-based solving buys over embeddings. *)
+
+type config = {
+  dimensions : int;        (** Euclidean dimensions (we use 2: the plane). *)
+  iterations : int;        (** Relaxation rounds over all pairs. *)
+  timestep : float;        (** Initial adaptive timestep (delta). *)
+}
+
+val default_config : config
+
+type t
+
+val embed :
+  ?config:config ->
+  landmarks:Octant.Pipeline.landmark array ->
+  inter_landmark_rtt_ms:float array array ->
+  unit ->
+  t
+(** Embed the landmarks.  Coordinates are anchored at the landmarks' true
+    projected positions and refined by spring relaxation on the RTT
+    matrix; per-node heights absorb the inelastic RTT component. *)
+
+type result = {
+  point : Geo.Geodesy.coord;  (** Embedded target position, unprojected. *)
+  height_ms : float;          (** Target height in the embedding. *)
+  fit_error_ms : float;       (** RMS RTT prediction error for the target. *)
+}
+
+val localize : t -> target_rtt_ms:float array -> result
+(** Place the target by minimizing the embedding stress of its RTT
+    vector.
+    @raise Invalid_argument on length mismatch or fewer than 3 RTTs. *)
+
+val prediction_error_ms : t -> float
+(** RMS error of RTT predictions across landmark pairs — the embedding
+    quality metric from the Vivaldi paper. *)

@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Array Float Geo List Stats

@@ -1,0 +1,1 @@
+lib/core/constr.ml: Array Calibration Float Geo Printf

@@ -1,0 +1,1 @@
+lib/core/geo_hints.mli: Constr Geo

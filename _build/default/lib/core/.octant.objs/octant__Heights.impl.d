@@ -1,0 +1,1 @@
+lib/core/heights.ml: Array Float Geo Linalg List

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Calibration Constr Estimate Float Geo Geo_hints Hashtbl Heights List Option Printf Solver Sys Weight

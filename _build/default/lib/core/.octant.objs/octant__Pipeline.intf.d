@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Calibration Constr Estimate Geo Solver Weight

@@ -1,0 +1,1 @@
+lib/core/posterior.ml: Float Geo List Solver

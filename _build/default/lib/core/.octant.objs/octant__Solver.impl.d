@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Constr Float Geo Lazy List

@@ -1,0 +1,110 @@
+type sample = { latency_ms : float; distance_km : float }
+
+type t =
+  | Conservative
+  | Fitted of {
+      samples : sample list;
+      upper : Geo.Point.t array;  (* hull upper chain, x = latency, y = distance *)
+      lower : Geo.Point.t array;  (* hull lower chain *)
+      cutoff : float;             (* rho *)
+      upper_at_cutoff : float;
+      lower_at_cutoff : float;
+      sentinel_slope : float;     (* km per ms beyond rho *)
+      upper_margin : float;       (* multiplicative slack on R_L *)
+      lower_margin : float;       (* multiplicative slack on r_L *)
+    }
+
+let sol_km rtt = Geo.Geodesy.rtt_to_max_distance_km rtt
+
+let conservative = Conservative
+
+let calibrate ?(cutoff_percentile = 75.0) ?(sentinel_ms = 400.0) ?(upper_margin = 1.1)
+    ?(lower_margin = 0.65) samples =
+  let pts =
+    List.map (fun s -> Geo.Point.make s.latency_ms s.distance_km) samples
+    |> Array.of_list
+  in
+  let distinct_latencies =
+    List.sort_uniq compare (List.map (fun s -> s.latency_ms) samples)
+  in
+  if List.length distinct_latencies < 3 then
+    invalid_arg "Calibration.calibrate: need at least 3 samples with distinct latencies";
+  let upper = Geo.Convex_hull.upper_chain pts in
+  let lower = Geo.Convex_hull.lower_chain pts in
+  let latencies = Array.of_list (List.map (fun s -> s.latency_ms) samples) in
+  let cutoff = Stats.Sample.percentile cutoff_percentile latencies in
+  let upper_at_cutoff = Geo.Convex_hull.eval_chain upper cutoff in
+  let lower_at_cutoff = Geo.Convex_hull.eval_chain lower cutoff in
+  (* Sentinel z on the speed-of-light line, far to the right: the upper
+     bound relaxes linearly from (rho, R(rho)) towards z, so it smoothly
+     approaches the conservative bound instead of extrapolating hull
+     facets into unsampled territory. *)
+  let sentinel_ms = Float.max sentinel_ms (cutoff +. 50.0) in
+  let sentinel_km = sol_km sentinel_ms in
+  let sentinel_slope = (sentinel_km -. upper_at_cutoff) /. (sentinel_ms -. cutoff) in
+  let sentinel_slope = Float.max sentinel_slope 0.0 in
+  Fitted
+    {
+      samples;
+      upper;
+      lower;
+      cutoff;
+      upper_at_cutoff;
+      lower_at_cutoff;
+      sentinel_slope;
+      upper_margin;
+      lower_margin;
+    }
+
+let upper_km t rtt =
+  if rtt < 0.0 then invalid_arg "Calibration.upper_km: negative RTT";
+  match t with
+  | Conservative -> sol_km rtt
+  | Fitted f ->
+      let raw =
+        if rtt >= f.cutoff then f.upper_at_cutoff +. (f.sentinel_slope *. (rtt -. f.cutoff))
+        else begin
+          let min_lat = f.upper.(0).Geo.Point.x in
+          if rtt < min_lat then
+            (* Below the sampled range the hull says nothing; clamping at
+               the leftmost knot is the conservative choice (scaling the
+               bound towards zero would manufacture aggressive constraints
+               out of thin air and mislocalize every target closer to a
+               landmark than any landmark pair is to each other). *)
+            Geo.Convex_hull.eval_chain f.upper min_lat
+          else Geo.Convex_hull.eval_chain f.upper rtt
+        end
+      in
+      (* A small multiplicative margin absorbs the sampling error of small
+         deployments; the hard physical bound still applies on top. *)
+      Float.min (Float.max (raw *. f.upper_margin) 1.0) (sol_km rtt +. 1.0)
+
+let lower_km t rtt =
+  if rtt < 0.0 then invalid_arg "Calibration.lower_km: negative RTT";
+  match t with
+  | Conservative -> 0.0
+  | Fitted f ->
+      let raw =
+        if rtt >= f.cutoff then f.lower_at_cutoff
+        else begin
+          let min_lat = f.lower.(0).Geo.Point.x in
+          if rtt < min_lat then 0.0 else Geo.Convex_hull.eval_chain f.lower rtt
+        end
+      in
+      (* The negative bound can never contradict the positive one. *)
+      Float.max 0.0 (Float.min (raw *. f.lower_margin) (0.95 *. upper_km t rtt))
+
+let cutoff_ms = function Conservative -> 0.0 | Fitted f -> f.cutoff
+
+let samples = function Conservative -> [] | Fitted f -> f.samples
+
+let chain_points arr = Array.to_list (Array.map (fun p -> (p.Geo.Point.x, p.Geo.Point.y)) arr)
+
+let upper_chain = function Conservative -> [] | Fitted f -> chain_points f.upper
+let lower_chain = function Conservative -> [] | Fitted f -> chain_points f.lower
+
+let pool ts =
+  let all = List.concat_map samples ts in
+  match calibrate all with
+  | t -> t
+  | exception Invalid_argument _ -> Conservative

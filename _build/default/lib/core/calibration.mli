@@ -1,0 +1,70 @@
+(** Per-landmark latency-to-distance calibration (paper §2.1, Figure 2).
+
+    Each landmark periodically pings its peer landmarks, producing a
+    (latency, distance) scatter.  The convex hull of the scatter gives two
+    piecewise-linear facet chains:
+
+    - the {e upper} facets [R_L(d)]: the largest distance ever seen for a
+      given latency — an aggressive {b positive} bound ("the target is
+      within R_L(d)");
+    - the {e lower} facets [r_L(d)]: the smallest distance seen — an
+      aggressive {b negative} bound ("the target is farther than r_L(d)").
+
+    Because few landmark pairs have very high latencies, the hull is
+    statistically meaningless to the right of a cutoff [rho] (a configured
+    percentile of the sample latencies).  Beyond [rho] the lower bound is
+    frozen and the upper bound relaxes linearly towards the speed-of-light
+    line through a fictitious far-away sentinel point, exactly as in the
+    paper.  [R_L] is additionally capped by the hard speed-of-light bound,
+    so a calibrated positive constraint is never less sound than the
+    conservative one. *)
+
+type sample = { latency_ms : float; distance_km : float }
+
+type t
+
+val calibrate :
+  ?cutoff_percentile:float ->
+  ?sentinel_ms:float ->
+  ?upper_margin:float ->
+  ?lower_margin:float ->
+  sample list ->
+  t
+(** Build a calibration from inter-landmark samples.  [cutoff_percentile]
+    defaults to 75 (the paper's tunable percentile); [sentinel_ms] places
+    the fictitious point z (default 400 ms).  [upper_margin] (default 1.1)
+    and [lower_margin] (default 0.65) relax the hull facets slightly: with
+    a handful of landmarks the strict hull of the samples is statistically
+    too aggressive, and a small slack buys a large drop in violated
+    constraints.  Requires at least 3 samples with distinct latencies.
+    @raise Invalid_argument otherwise. *)
+
+val upper_km : t -> float -> float
+(** [upper_km t rtt] = R_L: max distance compatible with the RTT.
+    Total: conservative speed-of-light fallback outside the sampled
+    range. *)
+
+val lower_km : t -> float -> float
+(** [lower_km t rtt] = r_L: the distance the target must exceed.  Zero for
+    latencies below the sampled range (no negative information). *)
+
+val cutoff_ms : t -> float
+(** The percentile cutoff rho. *)
+
+val samples : t -> sample list
+(** The calibration data (for plotting Figure 2). *)
+
+val upper_chain : t -> (float * float) list
+(** Hull facets of R_L as (latency, distance) knots, for plotting. *)
+
+val lower_chain : t -> (float * float) list
+
+val conservative : t
+(** Degenerate calibration that uses only the speed-of-light bound and
+    yields no negative information; what Octant falls back to with no peer
+    measurements, and the whole story for the speed-of-light-only
+    ablation. *)
+
+val pool : t list -> t
+(** Merge the samples of several calibrations into one (used for routers,
+    which have no peer-measurement history of their own). *)

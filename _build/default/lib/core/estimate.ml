@@ -1,0 +1,28 @@
+type t = {
+  projection : Geo.Projection.t;
+  region : Geo.Region.t;
+  point : Geo.Geodesy.coord;
+  point_plane : Geo.Point.t;
+  area_km2 : float;
+  top_weight : float;
+  cells_used : int;
+  constraints_used : int;
+  target_height_ms : float;
+  solve_time_s : float;
+}
+
+let error_km t truth = Geo.Geodesy.distance_km t.point truth
+let error_miles t truth = Geo.Geodesy.miles_of_km (error_km t truth)
+
+let covers t truth = Geo.Region.contains t.region (Geo.Projection.project t.projection truth)
+
+let region_area_sq_miles t =
+  t.area_km2 /. (Geo.Geodesy.km_per_mile *. Geo.Geodesy.km_per_mile)
+
+let bezier_boundaries t = Geo.Region.to_bezier_paths (Geo.Region.simplify t.region)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "estimate{point=%a area=%.0fkm2 cells=%d constraints=%d height=%.2fms %.2fs}"
+    Geo.Geodesy.pp t.point t.area_km2 t.cells_used t.constraints_used t.target_height_ms
+    t.solve_time_s

@@ -1,0 +1,37 @@
+(** Localization result.
+
+    Octant's output is an {e estimated location region} — possibly
+    non-convex and disconnected — plus a point estimate (the weighted
+    centroid) for consumers that need a single answer.  The region lives in
+    the projected plane; this module carries the projection so callers can
+    move between plane and globe, compute the error against ground truth,
+    and test region coverage (the Figure 4 metric). *)
+
+type t = {
+  projection : Geo.Projection.t;  (** Plane-globe binding for this estimate. *)
+  region : Geo.Region.t;          (** Estimated location region (plane). *)
+  point : Geo.Geodesy.coord;      (** Point estimate on the globe. *)
+  point_plane : Geo.Point.t;
+  area_km2 : float;               (** Region area. *)
+  top_weight : float;             (** Weight of the heaviest cell used. *)
+  cells_used : int;
+  constraints_used : int;
+  target_height_ms : float;       (** Estimated target queuing height. *)
+  solve_time_s : float;           (** Wall-clock of the whole localization. *)
+}
+
+val error_km : t -> Geo.Geodesy.coord -> float
+(** Great-circle distance from the point estimate to the true position. *)
+
+val error_miles : t -> Geo.Geodesy.coord -> float
+
+val covers : t -> Geo.Geodesy.coord -> bool
+(** Is the true position inside the estimated region?  (Figure 4's
+    "correctly localized" criterion.) *)
+
+val region_area_sq_miles : t -> float
+
+val bezier_boundaries : t -> Geo.Bezier.path list
+(** The region boundary in the paper's compact Bezier form. *)
+
+val pp : Format.formatter -> t -> unit

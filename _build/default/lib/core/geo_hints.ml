@@ -1,0 +1,17 @@
+let land_mask ?(weight = 0.6) projection ~within_km =
+  (* Simplify hard: the outlines are only ~100 km accurate to begin with,
+     and every straddled solver cell pays for each coastline vertex. *)
+  let mask = Geo.Region.simplify ~tolerance:12.0 (Geo.Landmass.region projection ~within_km) in
+  if Geo.Region.is_empty mask then None
+  else Some (Constr.positive_region mask ~weight ~source:"land-mask")
+
+let city_hint ?(weight = 0.25) ?(radius_km = 120.0) projection coord ~source =
+  let center = Geo.Projection.project projection coord in
+  Constr.positive_disk ~center ~radius_km ~weight ~source
+
+let uninhabited_mask ?(weight = 0.5) projection ~within_km =
+  let mask =
+    Geo.Region.simplify ~tolerance:12.0 (Geo.Landmass.uninhabited_region projection ~within_km)
+  in
+  if Geo.Region.is_empty mask then None
+  else Some (Constr.negative_region mask ~weight ~source:"uninhabited-mask")

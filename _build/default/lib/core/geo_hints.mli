@@ -1,0 +1,32 @@
+(** Geographic side constraints (paper §2.5).
+
+    Octant folds non-measurement knowledge into the same constraint system:
+    negative constraints from geography (hosts are not in oceans or other
+    uninhabited areas) and weak positive constraints from registries
+    (WHOIS-derived cities, zipcodes of other hosts in the same prefix).
+    Because regions may be non-convex and disconnected, these need no
+    ad-hoc post-processing — they are ordinary weighted constraints. *)
+
+val land_mask :
+  ?weight:float -> Geo.Projection.t -> within_km:float -> Constr.t option
+(** Positive constraint covering the continents near the projection focus
+    (default weight 0.6 — strong, but not strong enough to overrule several
+    agreeing latency constraints).  [None] if no land is in range. *)
+
+val city_hint :
+  ?weight:float ->
+  ?radius_km:float ->
+  Geo.Projection.t ->
+  Geo.Geodesy.coord ->
+  source:string ->
+  Constr.t
+(** Weak positive constraint around a hinted location, e.g. a WHOIS
+    registry city (default weight 0.25, radius 120 km — metro scale:
+    registries are coarse and sometimes wrong, so the weight must be low
+    enough that consistent latency evidence overrides a stale record). *)
+
+val uninhabited_mask :
+  ?weight:float -> Geo.Projection.t -> within_km:float -> Constr.t option
+(** Negative constraint covering large deserts and other uninhabited areas
+    near the projection focus (default weight 0.5) — the rest of the
+    paper's §2.5 list.  [None] when none is in range. *)

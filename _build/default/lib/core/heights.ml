@@ -1,0 +1,107 @@
+type result = { heights_ms : float array; inflation_beta : float; residual_ms : float }
+
+let propagation_ms a b = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b)
+
+let solve_landmarks ~positions ~rtt_ms =
+  let n = Array.length positions in
+  if n < 3 then invalid_arg "Heights.solve_landmarks: need at least 3 landmarks";
+  if Array.length rtt_ms <> n then invalid_arg "Heights.solve_landmarks: matrix size mismatch";
+  (* One equation h_i + h_j + beta * prop(i,j) = excess(i,j) per measured
+     pair.  The shared slope beta soaks up the distance-proportional part
+     of the excess (fiber path stretch, indirect routing); without it the
+     per-node heights absorb route inflation and can reach tens of
+     milliseconds, which then wrecks the constraints of nearby landmarks
+     when subtracted. *)
+  let rows = ref [] and rhs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let rtt = rtt_ms.(i).(j) in
+      if rtt > 0.0 then begin
+        let prop = propagation_ms positions.(i) positions.(j) in
+        let excess = rtt -. prop in
+        let row = Array.make (n + 1) 0.0 in
+        row.(i) <- 1.0;
+        row.(j) <- 1.0;
+        row.(n) <- prop;
+        rows := row :: !rows;
+        rhs := excess :: !rhs
+      end
+    done
+  done;
+  let m = List.length !rows in
+  if m < n + 1 then invalid_arg "Heights.solve_landmarks: not enough measurements";
+  let a = Linalg.Matrix.of_rows (Array.of_list (List.rev !rows)) in
+  let b = Array.of_list (List.rev !rhs) in
+  let x = Linalg.Lsq.solve_ridge a b ~lambda:1e-6 in
+  let residual = Linalg.Lsq.residual_norm a x b /. sqrt (float_of_int m) in
+  {
+    heights_ms = Array.init n (fun i -> Float.max 0.0 x.(i));
+    inflation_beta = Float.max 0.0 x.(n);
+    residual_ms = residual;
+  }
+
+type target_result = {
+  height_ms : float;
+  coarse_position : Geo.Geodesy.coord;
+  fit_residual_ms : float;
+}
+
+let solve_target ?(inflation_beta = 0.0) ~positions ~landmark_heights_ms ~rtt_to_target_ms () =
+  let n = Array.length positions in
+  if n < 3 then invalid_arg "Heights.solve_target: need at least 3 landmarks";
+  if Array.length landmark_heights_ms <> n || Array.length rtt_to_target_ms <> n then
+    invalid_arg "Heights.solve_target: length mismatch";
+  (* Work in a local projection around the latency-weighted landmark mean,
+     so the optimizer moves in km rather than degrees. *)
+  let weights = Array.map (fun rtt -> 1.0 /. ((rtt *. rtt) +. 1.0)) rtt_to_target_ms in
+  let wsum = Array.fold_left ( +. ) 0.0 weights in
+  let lat0 = ref 0.0 and lon0 = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      lat0 := !lat0 +. (weights.(i) *. p.Geo.Geodesy.lat);
+      lon0 := !lon0 +. (weights.(i) *. p.Geo.Geodesy.lon))
+    positions;
+  let focus = Geo.Geodesy.coord ~lat:(!lat0 /. wsum) ~lon:(!lon0 /. wsum) in
+  let projection = Geo.Projection.make focus in
+  let planar = Array.map (Geo.Projection.project projection) positions in
+  let objective v =
+    (* v = [| height; x_km; y_km |]; height clamped by penalty. *)
+    let h = v.(0) and pos = Geo.Point.make v.(1) v.(2) in
+    let penalty = if h < 0.0 then 1000.0 *. h *. h else 0.0 in
+    let acc = ref penalty in
+    for i = 0 to n - 1 do
+      let dist = Geo.Point.dist planar.(i) pos in
+      let predicted =
+        landmark_heights_ms.(i) +. Float.max 0.0 h
+        +. ((1.0 +. inflation_beta) *. Geo.Geodesy.distance_to_min_rtt_ms dist)
+      in
+      let r = predicted -. rtt_to_target_ms.(i) in
+      acc := !acc +. (r *. r)
+    done;
+    !acc
+  in
+  let result =
+    Linalg.Nelder_mead.minimize_multistart ~step:150.0 ~max_iter:4000 ~restarts:4
+      ~perturb:(fun k ->
+        let angle = 2.0 *. Float.pi *. float_of_int k /. 4.0 in
+        [| 0.5 *. float_of_int k; 800.0 *. cos angle; 800.0 *. sin angle |])
+      ~f:objective
+      ~init:[| 1.0; 0.0; 0.0 |]
+      ()
+  in
+  let h = Float.max 0.0 result.Linalg.Nelder_mead.x.(0) in
+  let pos =
+    Geo.Projection.unproject projection
+      (Geo.Point.make result.Linalg.Nelder_mead.x.(1) result.Linalg.Nelder_mead.x.(2))
+  in
+  {
+    height_ms = h;
+    coarse_position = pos;
+    fit_residual_ms = sqrt (result.Linalg.Nelder_mead.fx /. float_of_int n);
+  }
+
+let adjusted_rtt ~landmark_height_ms ~target_height_ms rtt =
+  (* Heights are estimates; subtracting more than most of the raw RTT
+     would manufacture near-zero latencies (and therefore absurdly tight
+     disks) out of estimation error.  Keep at least 20% of the raw RTT. *)
+  Float.max (0.2 *. rtt) (rtt -. landmark_height_ms -. target_height_ms)

@@ -1,0 +1,53 @@
+(** Queuing-delay heights (paper §2.2).
+
+    RTTs carry an inelastic queuing component that no amount of probing
+    removes.  Octant models it as a per-node "height": the minimum queuing
+    delay a node adds to every measurement it participates in.  Landmark
+    heights come from the overdetermined linear system
+
+    [h_i + h_j = rtt(i,j) - propagation(i,j)]   for all landmark pairs,
+
+    where propagation is derived from the known landmark positions (great
+    circle at 2/3 c).  The target's height (plus a coarse position that the
+    paper notes is {e not} used downstream) comes from a small nonlinear
+    least-squares fit.  Subtracting heights from raw RTTs gives the
+    "adjusted" latencies the calibration and constraints consume. *)
+
+type result = {
+  heights_ms : float array;      (** One per landmark, clamped non-negative. *)
+  inflation_beta : float;        (** Shared distance-proportional excess slope:
+                                     the fit is [rtt = (1+beta) prop + h_i + h_j].
+                                     Captures mean route inflation so that the
+                                     heights stay purely nodal. *)
+  residual_ms : float;           (** RMS residual of the linear fit. *)
+}
+
+val solve_landmarks :
+  positions:Geo.Geodesy.coord array -> rtt_ms:float array array -> result
+(** Least-squares landmark heights.  [rtt_ms] is the symmetric min-RTT
+    matrix; entries [<= 0] (missing measurements) are skipped.  Uses a tiny
+    ridge so nearly-degenerate deployments (e.g. collinear landmarks) still
+    solve.
+    @raise Invalid_argument when fewer than 3 landmarks. *)
+
+type target_result = {
+  height_ms : float;             (** Estimated target height, non-negative. *)
+  coarse_position : Geo.Geodesy.coord;  (** Vivaldi-grade estimate; high error, not used downstream. *)
+  fit_residual_ms : float;
+}
+
+val solve_target :
+  ?inflation_beta:float ->
+  positions:Geo.Geodesy.coord array ->
+  landmark_heights_ms:float array ->
+  rtt_to_target_ms:float array ->
+  unit ->
+  target_result
+(** Nelder–Mead fit of (target height, lat, lon) minimizing the residue of
+    [h_L + h_t + propagation(L, t) = rtt(L, t)] over all landmarks. *)
+
+val adjusted_rtt : landmark_height_ms:float -> target_height_ms:float -> float -> float
+(** [adjusted_rtt ~landmark_height_ms ~target_height_ms rtt] subtracts both
+    heights, clamped so that at least 20% of the raw RTT survives —
+    over-subtraction from height estimation error must not fabricate
+    near-zero latencies. *)

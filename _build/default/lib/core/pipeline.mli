@@ -1,0 +1,124 @@
+(** The full Octant pipeline.
+
+    Wires the pieces together the way the paper describes:
+
+    + {b Prepare} (per deployment): landmark heights from the
+      inter-landmark RTT matrix (§2.2), then per-landmark latency-distance
+      calibration on height-adjusted RTTs (§2.1).
+    + {b Localize} (per target): estimate the target height; translate each
+      landmark's RTT into a weighted annulus constraint; translate each
+      traceroute into piecewise constraints anchored at undns-resolved or
+      latency-localized last-hop routers used as secondary landmarks
+      (§2.3); add geographic constraints (§2.5); run the weighted solver
+      (§2.4) and extract the estimated location region.
+
+    Every mechanism can be switched off independently, which is how the
+    ablation benches isolate each section's contribution. *)
+
+type config = {
+  segments : int;               (** Circle discretization for constraint shapes. *)
+  weight_policy : Weight.policy;
+  cutoff_percentile : float;    (** Calibration cutoff rho (default 75). *)
+  sentinel_ms : float;          (** Calibration sentinel latency (default 400). *)
+  max_cells : int;              (** Solver arrangement cap (default 256). *)
+  area_threshold_km2 : float;   (** Estimate extraction threshold (default 30000). *)
+  world_margin_km : float;      (** World half-size beyond the landmark span (default 1500). *)
+  use_heights : bool;           (** §2.2 on/off. *)
+  use_negative : bool;          (** Negative latency constraints on/off. *)
+  use_piecewise : bool;         (** §2.3 on/off. *)
+  piecewise_max_routers : int;  (** Router localizations per target (default 3). *)
+  router_hint_radius_km : float;(** Pin radius for undns-resolved routers (default 40). *)
+  use_land_mask : bool;         (** §2.5 oceans on/off. *)
+  land_mask_weight : float;
+  whois_weight : float;         (** §2.5 registry hint weight; 0 disables. *)
+  whois_radius_km : float;
+  negative_weight_factor : float;
+      (** Discount on negative latency constraints (default 0.22); 1.0
+          keeps the paper's single-annulus form. *)
+  weight_band : float;          (** Estimate extraction band (default 0.93):
+                                    cells this close to the top weight are
+                                    always part of the region. *)
+  sol_only : bool;              (** Ablation: speed-of-light bounds only, no
+                                    calibration, no negative constraints. *)
+}
+
+val default_config : config
+
+type landmark = {
+  lm_key : int;                    (** Caller's identifier (e.g. node id). *)
+  lm_position : Geo.Geodesy.coord; (** Known position (primary landmark). *)
+}
+
+type hop = {
+  hop_key : int;                   (** Router identity across traceroutes. *)
+  hop_dns : string option;
+  hop_rtt_ms : float;              (** Min RTT from the traceroute's landmark to this hop. *)
+  hop_rtt_from_landmarks : (int * float) array;
+      (** Optional RTTs from other landmarks to this router, as (landmark
+          index, min RTT); enables latency-based router localization when
+          the DNS name does not decode. *)
+}
+
+type observations = {
+  target_rtt_ms : float array;
+      (** Per landmark index; [<= 0] marks a missing measurement. *)
+  traceroutes : hop array array;
+      (** Per landmark index; [[||]] when no traceroute is available. *)
+  whois_hint : Geo.Geodesy.coord option;
+}
+
+val observations_of_rtts : float array -> observations
+(** Latency-only observations (no traceroutes, no registry hint). *)
+
+type context
+
+val prepare :
+  ?config:config ->
+  landmarks:landmark array ->
+  inter_landmark_rtt_ms:float array array ->
+  unit ->
+  context
+(** Heights + calibrations.  The matrix is indexed like [landmarks];
+    entries [<= 0] are treated as missing.
+    @raise Invalid_argument with fewer than 3 landmarks. *)
+
+val landmark_heights : context -> float array
+val calibration : context -> int -> Calibration.t
+
+val pooled_calibration : context -> Calibration.t
+(** Calibration pooled over all landmarks; the latency-to-distance model
+    used for nodes (routers, secondary landmarks) that have no
+    peer-measurement history of their own. *)
+
+val config : context -> config
+
+type prepared_target = {
+  projection : Geo.Projection.t;  (** Plane used for this target. *)
+  world : Geo.Region.t;           (** Universe cell of the arrangement. *)
+  constraints : Constr.t list;    (** All constraints, heaviest first. *)
+  target_height_ms : float;       (** Estimated target height (§2.2). *)
+}
+
+val prepare_target :
+  ?undns:(string -> Geo.Geodesy.coord option) ->
+  context ->
+  observations ->
+  prepared_target
+(** Constraint assembly only — no solving.  Exposed so callers can inspect
+    or re-weight the constraint system before solving. *)
+
+val arrangement :
+  ?undns:(string -> Geo.Geodesy.coord option) ->
+  context ->
+  observations ->
+  prepared_target * Solver.t
+(** Assembly plus the weighted arrangement, before estimate extraction. *)
+
+val localize :
+  ?undns:(string -> Geo.Geodesy.coord option) ->
+  context ->
+  observations ->
+  Estimate.t
+(** Localize one target.
+    @raise Invalid_argument if [target_rtt_ms] length mismatches the
+    context, or fewer than 3 landmarks measured the target. *)

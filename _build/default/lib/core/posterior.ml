@@ -1,0 +1,54 @@
+type entry = {
+  region : Geo.Region.t;
+  density : float; (* unnormalized, exp (w - w_top) *)
+  mass : float;    (* normalized probability *)
+}
+
+type t = { entries : entry list (* sorted by density desc *) }
+
+let of_solver solver =
+  match Solver.cells solver with
+  | [] -> invalid_arg "Posterior.of_solver: empty arrangement"
+  | cells ->
+      let top = List.fold_left (fun acc (_, w) -> Float.max acc w) neg_infinity cells in
+      let raw =
+        List.map
+          (fun (region, w) ->
+            let density = exp (w -. top) in
+            (region, density, density *. Geo.Region.area region))
+          cells
+      in
+      let total = List.fold_left (fun acc (_, _, m) -> acc +. m) 0.0 raw in
+      let entries =
+        List.map (fun (region, density, m) -> { region; density; mass = m /. total }) raw
+        |> List.sort (fun a b -> compare b.density a.density)
+      in
+      { entries }
+
+let find_cell t p = List.find_opt (fun e -> Geo.Region.contains e.region p) t.entries
+
+let density_at t p = match find_cell t p with Some e -> e.density | None -> 0.0
+let probability_at t p = match find_cell t p with Some e -> e.mass | None -> 0.0
+
+let credible_region t ~confidence =
+  if confidence <= 0.0 || confidence > 1.0 then
+    invalid_arg "Posterior.credible_region: confidence must be in (0, 1]";
+  let rec take acc mass = function
+    | [] -> acc
+    | e :: rest -> if mass >= confidence then acc else take (e :: acc) (mass +. e.mass) rest
+  in
+  let selected = take [] 0.0 t.entries in
+  let selected = if selected = [] then [ List.hd t.entries ] else selected in
+  Geo.Region.of_polygons (List.concat_map (fun e -> Geo.Region.pieces e.region) selected)
+
+let mean_point t =
+  List.fold_left
+    (fun acc e -> Geo.Point.add acc (Geo.Point.scale e.mass (Geo.Region.centroid e.region)))
+    Geo.Point.zero t.entries
+
+let entropy_bits t =
+  -.List.fold_left
+      (fun acc e -> if e.mass > 0.0 then acc +. (e.mass *. (Float.log e.mass /. Float.log 2.0)) else acc)
+      0.0 t.entries
+
+let cells t = List.map (fun e -> (e.region, e.mass)) t.entries

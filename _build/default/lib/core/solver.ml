@@ -1,0 +1,176 @@
+type cell = {
+  region : Geo.Region.t;
+  weight : float;
+  bbox : Geo.Point.t * Geo.Point.t;
+  area : float;
+}
+
+type t = { cells : cell list }
+
+let mk_cell region weight =
+  (* Clipping cost is quadratic in boundary complexity; cells that have
+     accumulated many arc vertices get gently simplified (a 2 km boundary
+     shift is far below geolocalization scales). *)
+  let vertex_count r =
+    List.fold_left (fun acc p -> acc + Geo.Polygon.num_vertices p) 0 (Geo.Region.pieces r)
+  in
+  let region =
+    if vertex_count region > 140 then Geo.Region.simplify ~tolerance:2.0 region else region
+  in
+  match Geo.Region.bounding_box region with
+  | None -> None
+  | Some bbox ->
+      let area = Geo.Region.area region in
+      if area < 1e-6 then None else Some { region; weight; bbox; area }
+
+let create ~world =
+  match mk_cell world 0.0 with
+  | Some c -> { cells = [ c ] }
+  | None -> invalid_arg "Solver.create: empty world"
+
+(* Fuse the lightest-smallest cells to respect the cap.  Fused cells keep
+   the minimum weight of their members: under-promising is conservative. *)
+let enforce_cap max_cells cells =
+  let n = List.length cells in
+  if n <= max_cells then cells
+  else begin
+    let arr = Array.of_list cells in
+    (* Sort descending by (weight, area): keep the head, fuse the tail. *)
+    Array.sort
+      (fun a b ->
+        match compare b.weight a.weight with 0 -> compare b.area a.area | c -> c)
+      arr;
+    let keep = Array.sub arr 0 (max_cells - 1) in
+    let tail = Array.sub arr (max_cells - 1) (n - max_cells + 1) in
+    (* Fuse the tail into its bounding rectangle rather than the exact
+       union: the exact union would be a many-hundred-piece region that
+       every subsequent constraint must clip against (quadratic blowup).
+       The rectangle over-approximates — it may overlap kept cells — but
+       the fused cell carries the tail's minimum weight, so the
+       over-approximation can only make the final estimate more
+       conservative, never exclude the truth. *)
+    let lo_x = ref infinity and lo_y = ref infinity in
+    let hi_x = ref neg_infinity and hi_y = ref neg_infinity in
+    Array.iter
+      (fun c ->
+        let lo, hi = c.bbox in
+        if lo.Geo.Point.x < !lo_x then lo_x := lo.Geo.Point.x;
+        if lo.Geo.Point.y < !lo_y then lo_y := lo.Geo.Point.y;
+        if hi.Geo.Point.x > !hi_x then hi_x := hi.Geo.Point.x;
+        if hi.Geo.Point.y > !hi_y then hi_y := hi.Geo.Point.y)
+      tail;
+    let fused_weight = Array.fold_left (fun acc c -> Float.min acc c.weight) infinity tail in
+    let fused =
+      match
+        Geo.Polygon.rectangle
+          (Geo.Point.make !lo_x !lo_y)
+          (Geo.Point.make !hi_x !hi_y)
+      with
+      | rect -> mk_cell (Geo.Region.of_polygon rect) fused_weight
+      | exception Invalid_argument _ -> None
+    in
+    match fused with
+    | Some fused -> fused :: Array.to_list keep
+    | None -> Array.to_list keep
+  end
+
+let split_cell constraint_region c =
+  let inside = Geo.Region.inter c.region constraint_region in
+  let outside = Geo.Region.diff c.region constraint_region in
+  (mk_cell inside 0.0, mk_cell outside 0.0)
+
+let add ?(max_cells = 384) t (constr : Constr.t) =
+  let w = constr.Constr.weight in
+  let lazy_region = lazy (Constr.region_of_shape constr.Constr.shape) in
+  let on_inside, on_outside =
+    match constr.Constr.polarity with
+    | Constr.Positive -> (w, 0.0)
+    | Constr.Negative -> (0.0, w)
+  in
+  let next =
+    List.concat_map
+      (fun c ->
+        match Constr.classify_box constr.Constr.shape c.bbox with
+        | Constr.Cell_inside -> [ { c with weight = c.weight +. on_inside } ]
+        | Constr.Cell_outside -> [ { c with weight = c.weight +. on_outside } ]
+        | Constr.Straddles -> (
+            let inside, outside = split_cell (Lazy.force lazy_region) c in
+            match (inside, outside) with
+            | None, None -> []
+            | Some i, None -> [ { i with weight = c.weight +. on_inside } ]
+            | None, Some o -> [ { o with weight = c.weight +. on_outside } ]
+            | Some i, Some o ->
+                [
+                  { i with weight = c.weight +. on_inside };
+                  { o with weight = c.weight +. on_outside };
+                ]))
+      t.cells
+  in
+  { cells = enforce_cap max_cells next }
+
+let add_all ?max_cells t constraints = List.fold_left (fun acc c -> add ?max_cells acc c) t constraints
+
+let cell_count t = List.length t.cells
+
+let max_weight t = List.fold_left (fun acc c -> Float.max acc c.weight) neg_infinity t.cells
+
+let sorted_cells t =
+  List.sort
+    (fun a b -> match compare b.weight a.weight with 0 -> compare b.area a.area | c -> c)
+    t.cells
+
+let cells t = List.map (fun c -> (c.region, c.weight)) (sorted_cells t)
+
+type estimate = {
+  region : Geo.Region.t;
+  weight : float;
+  point : Geo.Point.t;
+  area_km2 : float;
+  cells_used : int;
+}
+
+let solve ?(area_threshold_km2 = 5000.0) ?(weight_band = 1.0) t =
+  match sorted_cells t with
+  | [] -> invalid_arg "Solver.solve: empty arrangement"
+  | ((first : cell) :: _) as sorted ->
+      (* Cells within [weight_band] of the top weight are near-optimal
+         under a few violated constraints and are always included; beyond
+         the band, cells are added only until the area threshold is met. *)
+      let band_floor = weight_band *. first.weight in
+      let rec take acc acc_area used = function
+        | [] -> (List.rev acc, used)
+        | (c : cell) :: rest ->
+            if c.weight >= band_floor -. 1e-9 then
+              take (c :: acc) (acc_area +. c.area) (used + 1) rest
+            else if used > 0 && acc_area >= area_threshold_km2 then (List.rev acc, used)
+            else take (c :: acc) (acc_area +. c.area) (used + 1) rest
+      in
+      let selected, used = take [] 0.0 0 sorted in
+      (* Cells are disjoint by construction, so the union is concatenation. *)
+      let region =
+        Geo.Region.of_polygons (List.concat_map (fun (c : cell) -> Geo.Region.pieces c.region) selected)
+      in
+      (* The point estimate comes from the top-weight tier only: averaging
+         over the whole reported region would let large low-confidence
+         cells drag the point away from where the evidence concentrates. *)
+      let top_tier =
+        List.filter (fun (c : cell) -> c.weight >= (0.995 *. first.weight) -. 1e-9) selected
+      in
+      let top_tier = if top_tier = [] then [ first ] else top_tier in
+      let total_mass =
+        List.fold_left (fun acc (c : cell) -> acc +. ((c.weight +. 1e-9) *. c.area)) 0.0 top_tier
+      in
+      let point =
+        List.fold_left
+          (fun acc (c : cell) ->
+            let m = (c.weight +. 1e-9) *. c.area /. total_mass in
+            Geo.Point.add acc (Geo.Point.scale m (Geo.Region.centroid c.region)))
+          Geo.Point.zero top_tier
+      in
+      {
+        region;
+        weight = first.weight;
+        point;
+        area_km2 = Geo.Region.area region;
+        cells_used = used;
+      }

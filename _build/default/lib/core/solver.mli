@@ -1,0 +1,58 @@
+(** The weighted constraint solver (paper §2, §2.4).
+
+    The solver maintains an {e arrangement}: a partition of the world region
+    into cells, each carrying the total weight of the constraints it
+    satisfies.  Every constraint splits each straddled cell in two —
+    the part that satisfies it and the part that does not — and adds its
+    weight to the satisfying side (for a negative constraint, the
+    complement side).  This realizes the paper's
+
+    [beta_i = (∩ positives) \ (∪ negatives)]
+
+    in its robust, weighted form: with perfect constraints the top-weight
+    cell {e is} that boolean combination, while a wrong constraint merely
+    demotes the true cell by one weight step instead of collapsing the
+    estimate to the empty set.
+
+    The final estimate is the union of cells in decreasing weight order
+    until the accumulated area exceeds a threshold ("taking the union of
+    all regions, sorted by weight, such that they exceed a desired size
+    threshold").
+
+    Cell counts are capped: when the arrangement grows beyond [max_cells],
+    the lightest-and-smallest cells are fused (their union is kept with the
+    minimum of their weights), which only ever makes the final region more
+    conservative, never unsound. *)
+
+type t
+
+val create : world:Geo.Region.t -> t
+(** Fresh arrangement with a single zero-weight cell covering the world. *)
+
+val add : ?max_cells:int -> t -> Constr.t -> t
+(** Fold one constraint in (default cell cap 384). *)
+
+val add_all : ?max_cells:int -> t -> Constr.t list -> t
+
+val cell_count : t -> int
+val max_weight : t -> float
+
+val cells : t -> (Geo.Region.t * float) list
+(** All cells with their weights, heaviest first. *)
+
+type estimate = {
+  region : Geo.Region.t;      (** Union of the selected top-weight cells. *)
+  weight : float;             (** Weight of the heaviest selected cell. *)
+  point : Geo.Point.t;        (** Weighted centroid point estimate. *)
+  area_km2 : float;
+  cells_used : int;
+}
+
+val solve : ?area_threshold_km2:float -> ?weight_band:float -> t -> estimate
+(** Extract the estimate (default threshold 5000 km^2, about a 40-mile
+    disk).  Cells within [weight_band] (default 1.0 = exact ties only) of
+    the top weight are always included — with a handful of erroneous
+    constraints the true cell typically sits just below the top — then
+    cells are taken in decreasing weight until the union reaches the area
+    threshold.  At least one cell is always taken, so the estimate is
+    never empty. *)

@@ -1,0 +1,9 @@
+type policy = { tau_ms : float; floor : float; scale : float }
+
+let default = { tau_ms = 35.0; floor = 0.02; scale = 1.0 }
+
+let of_latency p rtt_ms =
+  if rtt_ms < 0.0 then invalid_arg "Weight.of_latency: negative latency";
+  Float.max p.floor (p.scale *. exp (-.rtt_ms /. p.tau_ms))
+
+let uniform = { tau_ms = infinity; floor = 1.0; scale = 1.0 }

@@ -1,0 +1,21 @@
+(** Constraint weighting (paper §2.4).
+
+    Octant's robustness to erroneous constraints comes from weights:
+    constraints from low-latency landmarks are trusted more, and the weight
+    {e decreases exponentially with latency}, "thereby mitigating the effect
+    of high-latency landmarks when lower latency landmarks are present". *)
+
+type policy = {
+  tau_ms : float;   (** e-folding latency of the exponential decay. *)
+  floor : float;    (** Minimum weight so distant landmarks still count a little. *)
+  scale : float;    (** Weight at zero latency. *)
+}
+
+val default : policy
+(** tau = 35 ms, floor = 0.02, scale = 1.0. *)
+
+val of_latency : policy -> float -> float
+(** [of_latency p rtt_ms = max floor (scale * exp (-rtt/tau))]. *)
+
+val uniform : policy
+(** Ablation policy: every constraint weighs 1.0 regardless of latency. *)

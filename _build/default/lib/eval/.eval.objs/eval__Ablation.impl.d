@@ -1,0 +1,1 @@
+lib/eval/ablation.ml: Geo List Octant Stats Study

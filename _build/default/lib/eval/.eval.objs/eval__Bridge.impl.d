@@ -1,0 +1,1 @@
+lib/eval/bridge.ml: Array List Netsim Octant Option

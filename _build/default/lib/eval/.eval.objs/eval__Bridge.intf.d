@@ -1,0 +1,1 @@
+lib/eval/bridge.mli: Geo Netsim Octant

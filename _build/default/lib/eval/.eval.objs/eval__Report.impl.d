@@ -1,0 +1,1 @@
+lib/eval/report.ml: Ablation Geo List Octant Printf Stats Study Sweep

@@ -1,0 +1,1 @@
+lib/eval/robustness.ml: Array Baselines Bridge Fun Geo List Netsim Octant Stats

@@ -1,0 +1,1 @@
+lib/eval/secondary.ml: Array Bridge Fun Geo List Netsim Octant Printf Stats

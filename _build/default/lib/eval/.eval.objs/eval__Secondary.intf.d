@@ -1,0 +1,1 @@
+lib/eval/secondary.mli: Octant

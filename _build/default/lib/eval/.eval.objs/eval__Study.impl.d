@@ -1,0 +1,1 @@
+lib/eval/study.ml: Array Baselines Bridge Fun Geo List Netsim Octant Stats Sys

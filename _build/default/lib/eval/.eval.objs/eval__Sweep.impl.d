@@ -1,0 +1,1 @@
+lib/eval/sweep.ml: Array Baselines Bridge Fun Geo List Netsim Octant Stats

@@ -1,0 +1,53 @@
+type variant = { label : string; config : Octant.Pipeline.config }
+
+let variants () =
+  let base = Octant.Pipeline.default_config in
+  [
+    { label = "full"; config = base };
+    { label = "no-heights"; config = { base with Octant.Pipeline.use_heights = false } };
+    { label = "no-piecewise"; config = { base with Octant.Pipeline.use_piecewise = false } };
+    { label = "no-negative"; config = { base with Octant.Pipeline.use_negative = false } };
+    {
+      label = "no-geography";
+      config = { base with Octant.Pipeline.use_land_mask = false; whois_weight = 0.0 };
+    };
+    {
+      label = "uniform-weights";
+      config = { base with Octant.Pipeline.weight_policy = Octant.Weight.uniform };
+    };
+    {
+      label = "speed-of-light";
+      config =
+        {
+          base with
+          Octant.Pipeline.sol_only = true;
+          use_piecewise = false;
+          use_land_mask = false;
+          whois_weight = 0.0;
+        };
+    };
+  ]
+
+type row = {
+  label : string;
+  median_miles : float;
+  p90_miles : float;
+  worst_miles : float;
+  hit_rate : float;
+  median_area_sq_miles : float;
+}
+
+let run ?(seed = 7) ?(n_hosts = 51) () =
+  List.map
+    (fun v ->
+      let stats = Study.run_octant_only ~config:v.config ~seed ~n_hosts () in
+      let sq_mile = Geo.Geodesy.km_per_mile *. Geo.Geodesy.km_per_mile in
+      {
+        label = v.label;
+        median_miles = Study.median_miles stats;
+        p90_miles = Stats.Sample.percentile 90.0 stats.Study.errors_miles;
+        worst_miles = Study.worst_miles stats;
+        hit_rate = Study.coverage_fraction stats;
+        median_area_sq_miles = Stats.Sample.median stats.Study.areas_km2 /. sq_mile;
+      })
+    (variants ())

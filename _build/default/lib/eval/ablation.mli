@@ -1,0 +1,29 @@
+(** Mechanism ablations.
+
+    The paper devotes a section to each constraint-extraction mechanism
+    (heights §2.2, piecewise localization §2.3, weights §2.4, geographic
+    constraints §2.5, plus the negative half of every latency constraint).
+    This experiment disables one mechanism at a time — and also runs the
+    fully conservative speed-of-light variant, which is what prior
+    region-based systems reduce to — to quantify what each buys. *)
+
+type variant = {
+  label : string;
+  config : Octant.Pipeline.config;
+}
+
+val variants : unit -> variant list
+(** full, no-heights, no-piecewise, no-negative, no-geography,
+    uniform-weights, speed-of-light-only. *)
+
+type row = {
+  label : string;
+  median_miles : float;
+  p90_miles : float;
+  worst_miles : float;
+  hit_rate : float;
+  median_area_sq_miles : float;
+}
+
+val run : ?seed:int -> ?n_hosts:int -> unit -> row list
+(** One study per variant (same deployment and measurements). *)

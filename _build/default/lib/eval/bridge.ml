@@ -1,0 +1,90 @@
+type t = {
+  deployment : Netsim.Deployment.t;
+  probes : int;
+  hosts : int array;
+  rtt : float array array; (* full pairwise min-RTT matrix over hosts *)
+}
+
+let create ?(probes = 10) deployment =
+  let hosts = Netsim.Deployment.hosts deployment in
+  let n = Array.length hosts in
+  let rtt = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let m = Netsim.Deployment.min_rtt ~probes deployment ~src:hosts.(i) ~dst:hosts.(j) in
+      rtt.(i).(j) <- m;
+      rtt.(j).(i) <- m
+    done
+  done;
+  { deployment; probes; hosts; rtt }
+
+let deployment t = t.deployment
+let host_count t = Array.length t.hosts
+let host_id t i = t.hosts.(i)
+let position t i = Netsim.Deployment.host_position t.deployment t.hosts.(i)
+
+let landmarks_for t ~exclude indices =
+  Array.of_list
+    (Array.to_list indices
+    |> List.filter (fun i -> i <> exclude)
+    |> List.map (fun i ->
+           { Octant.Pipeline.lm_key = t.hosts.(i); lm_position = position t i }))
+
+let inter_rtt_for t indices =
+  let n = Array.length indices in
+  Array.init n (fun a -> Array.init n (fun b -> t.rtt.(indices.(a)).(indices.(b))))
+
+let undns = Netsim.Dns.decode
+
+let observations ?(with_traceroutes = true) ?(with_router_rtts = true) ?(with_whois = true) t
+    ~landmark_indices ~target =
+  let dep = t.deployment in
+  let target_node = t.hosts.(target) in
+  let lm = Array.of_list (Array.to_list landmark_indices |> List.filter (fun i -> i <> target)) in
+  let target_rtt_ms = Array.map (fun i -> t.rtt.(i).(target)) lm in
+  let traceroutes =
+    if not with_traceroutes then [||]
+    else
+      Array.map
+        (fun i ->
+          let hops =
+            Netsim.Deployment.traceroute dep ~src:t.hosts.(i) ~dst:target_node
+            |> Array.of_list
+          in
+          let n = Array.length hops in
+          Array.mapi
+            (fun k hop ->
+              let node = hop.Netsim.Measure.node in
+              let dns = Netsim.Deployment.dns_name dep node in
+              (* For the last router before the target (per path), when its
+                 name does not decode, measure it from every landmark so
+                 Octant can localize it as a secondary landmark. *)
+              let rtt_from_landmarks =
+                if
+                  with_router_rtts && k = n - 2
+                  && Option.is_none (Option.bind dns Netsim.Dns.decode)
+                then
+                  Array.mapi
+                    (fun li lhost ->
+                      ( li,
+                        Netsim.Deployment.min_rtt ~probes:5 dep ~src:t.hosts.(lhost) ~dst:node ))
+                    lm
+                else [||]
+              in
+              {
+                Octant.Pipeline.hop_key = node;
+                hop_dns = dns;
+                hop_rtt_ms = hop.Netsim.Measure.hop_rtt_ms;
+                hop_rtt_from_landmarks = rtt_from_landmarks;
+              })
+            hops)
+        lm
+  in
+  let whois_hint =
+    if not with_whois then None
+    else
+      Option.map
+        (fun r -> r.Netsim.Whois.city.Netsim.City.location)
+        (Netsim.Whois.lookup (Netsim.Deployment.whois dep) target_node)
+  in
+  { Octant.Pipeline.target_rtt_ms; traceroutes; whois_hint }

@@ -1,0 +1,45 @@
+(** Glue between the simulator and the localization algorithms.
+
+    [Octant.Pipeline] deliberately knows nothing about {!Netsim}; this
+    module performs the measurement campaign the paper describes (§3) —
+    10 time-dispersed pings between every pair of participating hosts,
+    full traceroutes, latency from landmarks to interesting intermediate
+    routers — and packages it in the pipeline's input types. *)
+
+type t
+
+val create : ?probes:int -> Netsim.Deployment.t -> t
+(** Run the measurement campaign over all deployed hosts (default 10
+    probes per RTT, as in the paper). *)
+
+val deployment : t -> Netsim.Deployment.t
+val host_count : t -> int
+
+val host_id : t -> int -> int
+(** Node id of the i-th deployed host. *)
+
+val position : t -> int -> Geo.Geodesy.coord
+(** Ground-truth position of the i-th host. *)
+
+val landmarks_for : t -> exclude:int -> int array -> Octant.Pipeline.landmark array
+(** Landmark records for the host indices in the given array, minus
+    [exclude] (the target's index): the paper's leave-one-out rule. *)
+
+val inter_rtt_for : t -> int array -> float array array
+(** The measured min-RTT submatrix for those host indices, symmetric. *)
+
+val observations :
+  ?with_traceroutes:bool ->
+  ?with_router_rtts:bool ->
+  ?with_whois:bool ->
+  t ->
+  landmark_indices:int array ->
+  target:int ->
+  Octant.Pipeline.observations
+(** Target-side measurements from each landmark: min-RTTs, traceroutes
+    (with per-hop RTTs), RTTs from all landmarks to the last unresolvable
+    router of each path (enabling latency-based router localization), and
+    the WHOIS registry hint. *)
+
+val undns : string -> Geo.Geodesy.coord option
+(** The undns decoder (Netsim's DNS naming convention). *)

@@ -1,0 +1,84 @@
+let cdf_rows ?(points = 25) name samples =
+  let cdf = Stats.Cdf.of_samples samples in
+  List.init points (fun i ->
+      let q = float_of_int (i + 1) /. float_of_int points in
+      (name, Stats.Cdf.inverse cdf q, q))
+
+let print_series name samples =
+  List.iter
+    (fun (series, x, q) -> Printf.printf "%-10s %10.1f %6.3f\n" series x q)
+    (cdf_rows name samples)
+
+let print_figure2 calibration =
+  Printf.printf "# Figure 2: latency vs distance for one landmark\n";
+  Printf.printf "# scatter: <latency_ms> <distance_km>\n";
+  List.iter
+    (fun s ->
+      Printf.printf "scatter    %8.2f %10.1f\n" s.Octant.Calibration.latency_ms
+        s.Octant.Calibration.distance_km)
+    (Octant.Calibration.samples calibration);
+  Printf.printf "# upper hull facets (R_L): <latency_ms> <distance_km>\n";
+  List.iter (fun (x, y) -> Printf.printf "R_L        %8.2f %10.1f\n" x y)
+    (Octant.Calibration.upper_chain calibration);
+  Printf.printf "# lower hull facets (r_L): <latency_ms> <distance_km>\n";
+  List.iter (fun (x, y) -> Printf.printf "r_L        %8.2f %10.1f\n" x y)
+    (Octant.Calibration.lower_chain calibration);
+  Printf.printf "# speed-of-light reference (2/3 c)\n";
+  List.iter
+    (fun ms -> Printf.printf "sol        %8.2f %10.1f\n" ms (Geo.Geodesy.rtt_to_max_distance_km ms))
+    [ 0.0; 20.0; 40.0; 60.0; 80.0; 100.0 ];
+  Printf.printf "# cutoff rho = %.2f ms\n" (Octant.Calibration.cutoff_ms calibration)
+
+let summary_line (m : Study.method_stats) =
+  Printf.printf "%-10s median=%7.1f mi  p90=%7.1f  worst=%7.1f  region-hit=%5.1f%%\n"
+    m.Study.name (Study.median_miles m)
+    (Stats.Sample.percentile 90.0 m.Study.errors_miles)
+    (Study.worst_miles m)
+    (100.0 *. Study.coverage_fraction m)
+
+let print_figure3 (study : Study.t) =
+  Printf.printf "# Figure 3: CDF of localization error (miles)\n";
+  Printf.printf "# <method> <error_miles> <cumulative_fraction>\n";
+  print_series "Octant" study.Study.octant.Study.errors_miles;
+  print_series "GeoLim" study.Study.geolim.Study.errors_miles;
+  print_series "GeoPing" study.Study.geoping.Study.errors_miles;
+  print_series "GeoTrack" study.Study.geotrack.Study.errors_miles;
+  Printf.printf "# summary (paper: Octant 22 mi median / 173 mi worst; GeoLim 89/385;\n";
+  Printf.printf "#          GeoPing 68/1071; GeoTrack 97/2709)\n";
+  summary_line study.Study.octant;
+  summary_line study.Study.geolim;
+  summary_line study.Study.geoping;
+  summary_line study.Study.geotrack
+
+let print_figure4 (sweep : Sweep.t) =
+  Printf.printf "# Figure 4: correctly localized targets vs number of landmarks\n";
+  Printf.printf "# <n_landmarks> <octant_hit%%> <geolim_hit%%> <octant_median_mi> <geolim_median_mi>\n";
+  List.iter
+    (fun p ->
+      Printf.printf "%10d %12.1f %12.1f %18.1f %18.1f\n" p.Sweep.n_landmarks
+        (100.0 *. p.Sweep.octant_hit_rate)
+        (100.0 *. p.Sweep.geolim_hit_rate)
+        p.Sweep.octant_median_miles p.Sweep.geolim_median_miles)
+    sweep
+
+let print_ablation rows =
+  Printf.printf "# Ablation: contribution of each Octant mechanism\n";
+  Printf.printf "# %-16s %10s %10s %10s %8s %14s\n" "variant" "median_mi" "p90_mi" "worst_mi"
+    "hit%" "median_area_mi2";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-16s %10.1f %10.1f %10.1f %8.1f %14.0f\n" r.Ablation.label
+        r.Ablation.median_miles r.Ablation.p90_miles r.Ablation.worst_miles
+        (100.0 *. r.Ablation.hit_rate) r.Ablation.median_area_sq_miles)
+    rows
+
+let print_timing (study : Study.t) =
+  Printf.printf "# Solution time per target (paper: \"a few seconds\")\n";
+  let line (m : Study.method_stats) =
+    Printf.printf "%-10s mean=%6.3fs  max=%6.3fs\n" m.Study.name (Study.mean_time_s m)
+      (Stats.Sample.max m.Study.time_s)
+  in
+  line study.Study.octant;
+  line study.Study.geolim;
+  line study.Study.geoping;
+  line study.Study.geotrack

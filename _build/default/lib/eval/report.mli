@@ -1,0 +1,23 @@
+(** Plain-text rendering of experiment results.
+
+    Every figure and table of the paper has a printer here; the bench
+    harness and the examples share them so that
+    [dune exec bench/main.exe] regenerates the paper's artifacts as
+    parseable rows. *)
+
+val cdf_rows : ?points:int -> string -> float array -> (string * float * float) list
+(** [(series, error_miles, cumulative_fraction)] rows for one series,
+    resampled at [points] (default 25) quantiles. *)
+
+val print_figure2 : Octant.Calibration.t -> unit
+(** The latency-vs-distance scatter, hull facets and speed-of-light line
+    for one landmark. *)
+
+val print_figure3 : Study.t -> unit
+(** CDF series for the four methods plus the median/worst summary table. *)
+
+val print_figure4 : Sweep.t -> unit
+
+val print_ablation : Ablation.row list -> unit
+
+val print_timing : Study.t -> unit

@@ -1,0 +1,35 @@
+(** Robustness to erroneous constraints (paper §2.4).
+
+    The framework's core argument: "a discrete solution strategy leads to a
+    brittle system, as a single erroneous constraint will collapse the
+    estimated location region down to the empty set", while weights let
+    Octant "gracefully cope with aggressively derived constraints that may
+    contain errors".
+
+    This experiment injects measurement corruption directly: a fraction of
+    each target's landmark RTTs is replaced by a randomly scaled value
+    (between 0.3x and 3x the true measurement — faulty probes, route
+    changes mid-measurement, misbehaving landmarks), and Octant and GeoLim
+    are compared as the corruption rate grows.  The paper's prediction:
+    Octant degrades gracefully; GeoLim's pure intersection collapses. *)
+
+type point = {
+  corruption_rate : float;
+  octant_median_miles : float;
+  octant_hit_rate : float;
+  geolim_median_miles : float;
+  geolim_hit_rate : float;     (** Unrelaxed-intersection coverage. *)
+  geolim_empty_rate : float;   (** Fraction of targets whose GeoLim
+                                   intersection collapsed to empty. *)
+}
+
+val run :
+  ?config:Octant.Pipeline.config ->
+  ?seed:int ->
+  ?n_hosts:int ->
+  ?rates:float list ->
+  unit ->
+  point list
+(** Defaults: 51 hosts, corruption rates [0; 0.05; 0.1; 0.2; 0.3].
+    Corruptions affect only the landmark-to-target measurements (the
+    calibration matrix stays clean), isolating constraint-level errors. *)

@@ -1,0 +1,32 @@
+(** Secondary landmarks (paper §2).
+
+    "We call a node a {e secondary} landmark if its position estimate was
+    computed by Octant itself.  In such cases, beta_Lj is the result of
+    executing Octant with the secondary landmark Lj as the target node."
+
+    This experiment quantifies that part of the framework: starting from a
+    small set of primary landmarks (known positions), every other host is
+    first localized to a region; those region-valued hosts then serve as
+    secondary landmarks — their positive constraints dilated by the region,
+    their negative constraints eroded to the common disk — when localizing
+    each target.  The comparison isolates what Octant's ability to {e use
+    uncertain landmarks} buys when good landmarks are scarce. *)
+
+type row = {
+  label : string;
+  median_miles : float;
+  p90_miles : float;
+  hit_rate : float;              (** Truth inside estimated region. *)
+  median_area_sq_miles : float;
+}
+
+val run :
+  ?config:Octant.Pipeline.config ->
+  ?seed:int ->
+  ?n_hosts:int ->
+  ?n_primary:int ->
+  unit ->
+  row list
+(** Two rows: "primaries-only" and "with-secondaries".  Defaults: 51
+    hosts, 12 primary landmarks, the remaining hosts doubling as secondary
+    landmarks and evaluation targets (leave-one-out among secondaries). *)

@@ -1,0 +1,148 @@
+type method_stats = {
+  name : string;
+  errors_miles : float array;
+  covered : bool array;
+  areas_km2 : float array;
+  time_s : float array;
+}
+
+type t = {
+  octant : method_stats;
+  geolim : method_stats;
+  geoping : method_stats;
+  geotrack : method_stats;
+  n_hosts : int;
+  seed : int;
+}
+
+let all_indices n = Array.init n Fun.id
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let run ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51) ?(probes = 10) () =
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
+  let bridge = Bridge.create ~probes deployment in
+  let n = Bridge.host_count bridge in
+  let idx = all_indices n in
+  let oct_err = Array.make n 0.0 and oct_cov = Array.make n false in
+  let oct_area = Array.make n 0.0 and oct_time = Array.make n 0.0 in
+  let lim_err = Array.make n 0.0 and lim_cov = Array.make n false in
+  let lim_area = Array.make n 0.0 and lim_time = Array.make n 0.0 in
+  let ping_err = Array.make n 0.0 and ping_time = Array.make n 0.0 in
+  let track_err = Array.make n 0.0 and track_time = Array.make n 0.0 in
+  for target = 0 to n - 1 do
+    let truth = Bridge.position bridge target in
+    let landmarks = Bridge.landmarks_for bridge ~exclude:target idx in
+    let lm_indices = Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target)) in
+    let inter = Bridge.inter_rtt_for bridge lm_indices in
+    let obs = Bridge.observations bridge ~landmark_indices:idx ~target in
+    (* Octant. *)
+    let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
+    let est, dt = timed (fun () -> Octant.Pipeline.localize ~undns:Bridge.undns ctx obs) in
+    oct_err.(target) <- Octant.Estimate.error_miles est truth;
+    oct_cov.(target) <- Octant.Estimate.covers est truth;
+    oct_area.(target) <- est.Octant.Estimate.area_km2;
+    oct_time.(target) <- dt;
+    (* GeoLim. *)
+    let lim = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+    let lim_res, dt =
+      timed (fun () -> Baselines.Geolim.localize lim ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
+    in
+    lim_err.(target) <- Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km lim_res.Baselines.Geolim.point truth);
+    lim_cov.(target) <- lim_res.Baselines.Geolim.covers_truth truth;
+    lim_area.(target) <- lim_res.Baselines.Geolim.area_km2;
+    lim_time.(target) <- dt;
+    (* GeoPing. *)
+    let ping = Baselines.Geoping.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+    let ping_res, dt =
+      timed (fun () -> Baselines.Geoping.localize ping ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
+    in
+    ping_err.(target) <-
+      Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km ping_res.Baselines.Geoping.point truth);
+    ping_time.(target) <- dt;
+    (* GeoTrack. *)
+    let track_res, dt =
+      timed (fun () ->
+          Baselines.Geotrack.localize ~undns:Bridge.undns ~traceroutes:obs.Octant.Pipeline.traceroutes
+            ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
+    in
+    (track_err.(target) <-
+       (match track_res with
+       | Some r -> Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km r.Baselines.Geotrack.point truth)
+       | None ->
+           (* No recognizable router anywhere: GeoTrack punts to the
+              landmark with lowest RTT. *)
+           let best = ref 0 in
+           Array.iteri
+             (fun i rtt ->
+               if
+                 rtt > 0.0
+                 && rtt < obs.Octant.Pipeline.target_rtt_ms.(!best)
+               then best := i)
+             obs.Octant.Pipeline.target_rtt_ms;
+           Geo.Geodesy.miles_of_km
+             (Geo.Geodesy.distance_km landmarks.(!best).Octant.Pipeline.lm_position truth)));
+    track_time.(target) <- dt
+  done;
+  {
+    octant =
+      { name = "Octant"; errors_miles = oct_err; covered = oct_cov; areas_km2 = oct_area; time_s = oct_time };
+    geolim =
+      { name = "GeoLim"; errors_miles = lim_err; covered = lim_cov; areas_km2 = lim_area; time_s = lim_time };
+    geoping =
+      {
+        name = "GeoPing";
+        errors_miles = ping_err;
+        covered = Array.make n false;
+        areas_km2 = Array.make n 0.0;
+        time_s = ping_time;
+      };
+    geotrack =
+      {
+        name = "GeoTrack";
+        errors_miles = track_err;
+        covered = Array.make n false;
+        areas_km2 = Array.make n 0.0;
+        time_s = track_time;
+      };
+    n_hosts;
+    seed;
+  }
+
+let run_octant_only ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51)
+    ?(probes = 10) () =
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
+  let bridge = Bridge.create ~probes deployment in
+  let n = Bridge.host_count bridge in
+  let idx = all_indices n in
+  let err = Array.make n 0.0 and cov = Array.make n false in
+  let area = Array.make n 0.0 and time = Array.make n 0.0 in
+  for target = 0 to n - 1 do
+    let truth = Bridge.position bridge target in
+    let landmarks = Bridge.landmarks_for bridge ~exclude:target idx in
+    let lm_indices = Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target)) in
+    let inter = Bridge.inter_rtt_for bridge lm_indices in
+    let obs = Bridge.observations bridge ~landmark_indices:idx ~target in
+    let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
+    let est, dt = timed (fun () -> Octant.Pipeline.localize ~undns:Bridge.undns ctx obs) in
+    err.(target) <- Octant.Estimate.error_miles est truth;
+    cov.(target) <- Octant.Estimate.covers est truth;
+    area.(target) <- est.Octant.Estimate.area_km2;
+    time.(target) <- dt
+  done;
+  { name = "Octant"; errors_miles = err; covered = cov; areas_km2 = area; time_s = time }
+
+let median_miles m = Stats.Sample.median m.errors_miles
+let worst_miles m = Stats.Sample.max m.errors_miles
+
+let coverage_fraction m =
+  let n = Array.length m.covered in
+  if n = 0 then 0.0
+  else
+    float_of_int (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 m.covered)
+    /. float_of_int n
+
+let mean_time_s m = Stats.Sample.mean m.time_s

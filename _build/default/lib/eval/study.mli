@@ -1,0 +1,47 @@
+(** The paper's main evaluation (§3, Figure 3).
+
+    Deploys [n_hosts] PlanetLab-style nodes, measures everything, then
+    localizes every host with every method, using all other hosts as
+    landmarks (leave-one-out — "the node's own position information is not
+    utilized when it is serving as a target").  Collects the error of each
+    point estimate against ground truth, region coverage, and solve time. *)
+
+type method_stats = {
+  name : string;
+  errors_miles : float array;    (** Per target. *)
+  covered : bool array;          (** Truth inside the estimated region (where the method has one). *)
+  areas_km2 : float array;       (** Estimated region areas (0 when no region). *)
+  time_s : float array;          (** Per-target wall-clock. *)
+}
+
+type t = {
+  octant : method_stats;
+  geolim : method_stats;
+  geoping : method_stats;
+  geotrack : method_stats;
+  n_hosts : int;
+  seed : int;
+}
+
+val run :
+  ?config:Octant.Pipeline.config ->
+  ?seed:int ->
+  ?n_hosts:int ->
+  ?probes:int ->
+  unit ->
+  t
+(** Defaults: seed 7, 51 hosts (as the paper), 10 probes. *)
+
+val run_octant_only :
+  ?config:Octant.Pipeline.config ->
+  ?seed:int ->
+  ?n_hosts:int ->
+  ?probes:int ->
+  unit ->
+  method_stats
+(** Cheaper entry point for ablations. *)
+
+val median_miles : method_stats -> float
+val worst_miles : method_stats -> float
+val coverage_fraction : method_stats -> float
+val mean_time_s : method_stats -> float

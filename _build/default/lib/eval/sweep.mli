@@ -1,0 +1,32 @@
+(** Landmark-count sweep (paper §3, Figure 4).
+
+    "We evaluate Octant's performance as a function of the number of
+    landmarks used to localize targets, and compare to GeoLim, the only
+    other region-based geolocalization system."  For each landmark budget,
+    every host is localized using a random subset of the other hosts as
+    landmarks; the reported metric is the fraction of targets whose true
+    position falls inside the estimated region.  The paper's headline:
+    Octant stays high even with 10 landmarks, while GeoLim {e degrades} as
+    landmarks are added (each extra landmark is one more chance to draw an
+    over-aggressive constraint that empties the intersection). *)
+
+type point = {
+  n_landmarks : int;
+  octant_hit_rate : float;    (** Fraction of targets inside Octant's region. *)
+  geolim_hit_rate : float;
+  octant_median_miles : float;
+  geolim_median_miles : float;
+}
+
+type t = point list
+
+val run :
+  ?config:Octant.Pipeline.config ->
+  ?seed:int ->
+  ?n_hosts:int ->
+  ?landmark_counts:int list ->
+  ?repeats:int ->
+  unit ->
+  t
+(** Defaults: 51 hosts, counts [10; 15; ...; 50], 1 subset draw per
+    target per count (the target loop already averages over 51 draws). *)

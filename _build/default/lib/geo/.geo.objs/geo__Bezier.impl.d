@@ -1,0 +1,1 @@
+lib/geo/bezier.ml: Array Float Format List Point Polygon

@@ -1,0 +1,1 @@
+lib/geo/bezier.mli: Format Point Polygon

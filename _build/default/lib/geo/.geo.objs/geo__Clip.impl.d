@@ -1,0 +1,1 @@
+lib/geo/clip.ml: Array Convex_hull Float List Point Polygon Printf Sys

@@ -1,0 +1,1 @@
+lib/geo/clip.mli: Polygon

@@ -1,0 +1,1 @@
+lib/geo/convex_hull.ml: Array Float List Point

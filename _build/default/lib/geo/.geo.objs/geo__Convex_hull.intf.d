@@ -1,0 +1,1 @@
+lib/geo/convex_hull.mli: Point

@@ -1,0 +1,1 @@
+lib/geo/grid_region.ml: Bytes Float Point Region

@@ -1,0 +1,1 @@
+lib/geo/landmass.ml: Array Float Geodesy List Option Point Polygon Projection Region

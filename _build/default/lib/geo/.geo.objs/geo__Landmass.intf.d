@@ -1,0 +1,1 @@
+lib/geo/landmass.mli: Geodesy Projection Region

@@ -1,0 +1,1 @@
+lib/geo/point.ml: Float Format

@@ -1,0 +1,1 @@
+lib/geo/polygon.ml: Array Float Format List Point Stats

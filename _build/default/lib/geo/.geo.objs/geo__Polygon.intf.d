@@ -1,0 +1,1 @@
+lib/geo/polygon.mli: Format Point Stats

@@ -1,0 +1,1 @@
+lib/geo/projection.ml: Array Float Geodesy Point

@@ -1,0 +1,1 @@
+lib/geo/region.ml: Array Bezier Clip Convex_hull Float Format List Point Polygon

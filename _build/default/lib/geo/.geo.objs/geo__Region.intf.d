@@ -1,0 +1,1 @@
+lib/geo/region.mli: Bezier Format Point Polygon

@@ -1,0 +1,1 @@
+lib/geo/svg.ml: Array Bezier Buffer Float List Point Polygon Printf Region String

@@ -1,0 +1,1 @@
+lib/geo/svg.mli: Bezier Point Region

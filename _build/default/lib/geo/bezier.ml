@@ -1,0 +1,141 @@
+type segment = { p0 : Point.t; p1 : Point.t; p2 : Point.t; p3 : Point.t }
+
+let line a b = { p0 = a; p1 = Point.lerp a b (1.0 /. 3.0); p2 = Point.lerp a b (2.0 /. 3.0); p3 = b }
+
+let eval s t =
+  let a = Point.lerp s.p0 s.p1 t in
+  let b = Point.lerp s.p1 s.p2 t in
+  let c = Point.lerp s.p2 s.p3 t in
+  let d = Point.lerp a b t in
+  let e = Point.lerp b c t in
+  Point.lerp d e t
+
+let derivative s t =
+  let d0 = Point.scale 3.0 (Point.sub s.p1 s.p0) in
+  let d1 = Point.scale 3.0 (Point.sub s.p2 s.p1) in
+  let d2 = Point.scale 3.0 (Point.sub s.p3 s.p2) in
+  let a = Point.lerp d0 d1 t in
+  let b = Point.lerp d1 d2 t in
+  Point.lerp a b t
+
+let split s t =
+  let a = Point.lerp s.p0 s.p1 t in
+  let b = Point.lerp s.p1 s.p2 t in
+  let c = Point.lerp s.p2 s.p3 t in
+  let d = Point.lerp a b t in
+  let e = Point.lerp b c t in
+  let m = Point.lerp d e t in
+  ({ p0 = s.p0; p1 = a; p2 = d; p3 = m }, { p0 = m; p1 = e; p2 = c; p3 = s.p3 })
+
+let point_line_distance a b p =
+  let ab = Point.sub b a in
+  let n = Point.norm ab in
+  if n < 1e-15 then Point.dist a p else Float.abs (Point.cross ab (Point.sub p a)) /. n
+
+let flatness s =
+  Float.max (point_line_distance s.p0 s.p3 s.p1) (point_line_distance s.p0 s.p3 s.p2)
+
+let flatten ?(tolerance = 1e-3) s =
+  if tolerance <= 0.0 then invalid_arg "Bezier.flatten: tolerance must be positive";
+  (* Recursive subdivision; each leaf contributes its start point. *)
+  let rec go s depth acc =
+    if depth > 24 || flatness s <= tolerance then s.p0 :: acc
+    else
+      let l, r = split s 0.5 in
+      go l (depth + 1) (go r (depth + 1) acc)
+  in
+  go s 0 []
+
+let arc_length ?(tolerance = 1e-3) s =
+  let pts = Array.of_list (flatten ~tolerance s @ [ s.p3 ]) in
+  let acc = ref 0.0 in
+  for i = 0 to Array.length pts - 2 do
+    acc := !acc +. Point.dist pts.(i) pts.(i + 1)
+  done;
+  !acc
+
+let transform f s = { p0 = f s.p0; p1 = f s.p1; p2 = f s.p2; p3 = f s.p3 }
+
+let reverse s = { p0 = s.p3; p1 = s.p2; p2 = s.p1; p3 = s.p0 }
+
+type path = segment list
+
+let is_closed ?(eps = 1e-9) = function
+  | [] -> false
+  | first :: _ as segs ->
+      let rec go = function
+        | [ last ] -> Point.equal ~eps last.p3 first.p0
+        | s :: (next :: _ as rest) -> Point.equal ~eps s.p3 next.p0 && go rest
+        | [] -> false
+      in
+      go segs
+
+(* Magic constant for approximating a quarter circle with one cubic. *)
+let kappa = 0.5522847498307936
+
+let circle ~center ~radius =
+  if radius <= 0.0 then invalid_arg "Bezier.circle: radius must be positive";
+  let p dx dy = Point.add center (Point.make (radius *. dx) (radius *. dy)) in
+  let quarter (x0, y0) (x1, y1) =
+    (* Arc from angle of (x0,y0) to (x1,y1), both unit directions 90 deg
+       apart, counterclockwise. *)
+    {
+      p0 = p x0 y0;
+      p1 = p (x0 -. (kappa *. y0)) (y0 +. (kappa *. x0));
+      p2 = p (x1 +. (kappa *. y1)) (y1 -. (kappa *. x1));
+      p3 = p x1 y1;
+    }
+  in
+  [
+    quarter (1.0, 0.0) (0.0, 1.0);
+    quarter (0.0, 1.0) (-1.0, 0.0);
+    quarter (-1.0, 0.0) (0.0, -1.0);
+    quarter (0.0, -1.0) (1.0, 0.0);
+  ]
+
+let of_polygon poly =
+  let v = Polygon.vertices poly in
+  let n = Array.length v in
+  List.init n (fun i -> line v.(i) v.((i + 1) mod n))
+
+let to_polygon ?(tolerance = 1e-3) path =
+  let pts = List.concat_map (fun s -> flatten ~tolerance s) path in
+  Polygon.of_points (Array.of_list pts)
+
+let fit_smooth poly =
+  let v = Polygon.vertices poly in
+  let n = Array.length v in
+  (* Catmull-Rom to Bezier: tangent at v.(i) is (v.(i+1) - v.(i-1)) / 2;
+     control points sit a third of the tangent along. *)
+  List.init n (fun i ->
+      let prev = v.((i + n - 1) mod n) in
+      let a = v.(i) in
+      let b = v.((i + 1) mod n) in
+      let next = v.((i + 2) mod n) in
+      let t_a = Point.scale (1.0 /. 6.0) (Point.sub b prev) in
+      let t_b = Point.scale (1.0 /. 6.0) (Point.sub next a) in
+      { p0 = a; p1 = Point.add a t_a; p2 = Point.sub b t_b; p3 = b })
+
+(* Exact signed area of a closed cubic path via Green's theorem.  The
+   coefficients are the antisymmetrized integrals of Bernstein products:
+   area = sum over segments of
+     3/10 c01 + 3/20 c02 + 1/20 c03 + 3/20 c12 + 3/20 c13 + 3/10 c23
+   where c_ij = cross(p_i, p_j). *)
+let segment_area_contribution s =
+  let c = Point.cross in
+  (0.3 *. c s.p0 s.p1)
+  +. (0.15 *. c s.p0 s.p2)
+  +. (0.05 *. c s.p0 s.p3)
+  +. (0.15 *. c s.p1 s.p2)
+  +. (0.15 *. c s.p1 s.p3)
+  +. (0.3 *. c s.p2 s.p3)
+
+let area path = List.fold_left (fun acc s -> acc +. segment_area_contribution s) 0.0 path
+
+let transform_path f path = List.map (transform f) path
+
+let segment_count = List.length
+
+let pp_segment fmt s =
+  Format.fprintf fmt "bezier[%a -> %a -> %a -> %a]" Point.pp s.p0 Point.pp s.p1 Point.pp s.p2
+    Point.pp s.p3

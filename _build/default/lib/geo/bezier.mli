@@ -1,0 +1,80 @@
+(** Cubic Bezier curves and closed Bezier paths.
+
+    Octant represents candidate-location regions as areas bounded by Bezier
+    curves (paper §2): the representation is compact, admits non-convex and
+    disconnected areas, and constraint disks can be built exactly by
+    transforming the control points of a template circle.  This module
+    provides the segment and closed-path types, exact area via Green's
+    theorem, adaptive flattening (for the boolean-operation layer, which
+    clips polygons), and fitting of smooth paths back onto polygon
+    boundaries (for compact output). *)
+
+type segment = {
+  p0 : Point.t;  (** start point *)
+  p1 : Point.t;  (** first control point *)
+  p2 : Point.t;  (** second control point *)
+  p3 : Point.t;  (** end point *)
+}
+
+val line : Point.t -> Point.t -> segment
+(** Straight segment encoded as a cubic (control points at thirds). *)
+
+val eval : segment -> float -> Point.t
+(** De Casteljau evaluation at [t] in [0, 1]. *)
+
+val derivative : segment -> float -> Point.t
+(** Velocity vector at [t]. *)
+
+val split : segment -> float -> segment * segment
+(** Subdivide at parameter [t]. *)
+
+val flatness : segment -> float
+(** Max distance of the control points from the chord — an upper bound on
+    the deviation of the curve from the straight line [p0 p3]. *)
+
+val flatten : ?tolerance:float -> segment -> Point.t list
+(** Polyline approximation within [tolerance] (default 1e-3 km = 1 m),
+    including the start point, excluding the end point. *)
+
+val arc_length : ?tolerance:float -> segment -> float
+
+val transform : (Point.t -> Point.t) -> segment -> segment
+(** Map all four control points; exact for affine maps — this is the
+    "operations via transformations only on the endpoints of Bezier
+    segments" of the paper. *)
+
+val reverse : segment -> segment
+
+(** {1 Closed paths} *)
+
+type path = segment list
+(** A closed path: each segment's [p3] must equal the next segment's [p0]
+    and the last closes onto the first. *)
+
+val is_closed : ?eps:float -> path -> bool
+
+val circle : center:Point.t -> radius:float -> path
+(** Four-arc cubic approximation of a circle (max radial error 2.7e-4 r). *)
+
+val of_polygon : Polygon.t -> path
+(** Each polygon edge becomes a straight cubic segment. *)
+
+val to_polygon : ?tolerance:float -> path -> Polygon.t
+(** Flatten a closed path to a polygon.
+    @raise Invalid_argument if the flattened path has fewer than 3 distinct
+    vertices. *)
+
+val fit_smooth : Polygon.t -> path
+(** Smooth closed Catmull–Rom interpolation of the polygon's vertices,
+    converted to cubic Bezier segments.  The path passes through every
+    vertex; this is the compact form Octant reports regions in. *)
+
+val area : path -> float
+(** Signed enclosed area of a closed path, exact for cubics (Green's
+    theorem); positive when counterclockwise. *)
+
+val transform_path : (Point.t -> Point.t) -> path -> path
+
+val segment_count : path -> int
+
+val pp_segment : Format.formatter -> segment -> unit

@@ -1,0 +1,101 @@
+let sorted_dedup pts =
+  let arr = Array.copy pts in
+  Array.sort Point.compare arr;
+  let out = ref [] in
+  Array.iter
+    (fun p ->
+      match !out with
+      | q :: _ when Point.equal ~eps:0.0 p q -> ()
+      | _ -> out := p :: !out)
+    arr;
+  Array.of_list (List.rev !out)
+
+(* Builds one chain of the monotone-chain algorithm.  [keep] decides whether
+   the turn at the middle point is acceptable: for the lower chain we demand
+   strict counterclockwise turns, for the upper chain strict clockwise. *)
+let build_chain pts keep =
+  let stack = ref [] in
+  Array.iter
+    (fun p ->
+      let rec pop () =
+        match !stack with
+        | b :: a :: _ when not (keep a b p) ->
+            stack := List.tl !stack;
+            pop ()
+        | _ -> ()
+      in
+      pop ();
+      stack := p :: !stack)
+    pts;
+  Array.of_list (List.rev !stack)
+
+let lower_chain pts =
+  let pts = sorted_dedup pts in
+  if Array.length pts <= 2 then pts
+  else build_chain pts (fun a b c -> Point.orient2d a b c > 1e-12)
+
+let upper_chain pts =
+  let pts = sorted_dedup pts in
+  if Array.length pts <= 2 then pts
+  else build_chain pts (fun a b c -> Point.orient2d a b c < -1e-12)
+
+let hull pts =
+  let pts = sorted_dedup pts in
+  let n = Array.length pts in
+  if n <= 2 then pts
+  else begin
+    let lower = build_chain pts (fun a b c -> Point.orient2d a b c > 1e-12) in
+    let upper = build_chain pts (fun a b c -> Point.orient2d a b c < -1e-12) in
+    (* Concatenate, dropping the duplicated endpoints; upper runs right to
+       left to give counterclockwise order. *)
+    let nl = Array.length lower and nu = Array.length upper in
+    let out = Array.make (nl + nu - 2) lower.(0) in
+    Array.blit lower 0 out 0 (nl - 1);
+    for i = 0 to nu - 2 do
+      out.(nl - 1 + i) <- upper.(nu - 1 - i)
+    done;
+    out
+  end
+
+let eval_chain chain x =
+  let n = Array.length chain in
+  if n = 0 then invalid_arg "Convex_hull.eval_chain: empty chain";
+  if x <= chain.(0).Point.x then chain.(0).Point.y
+  else if x >= chain.(n - 1).Point.x then chain.(n - 1).Point.y
+  else begin
+    (* Binary search for the segment containing x. *)
+    let rec go lo hi =
+      if hi - lo <= 1 then (lo, hi)
+      else
+        let mid = (lo + hi) / 2 in
+        if chain.(mid).Point.x <= x then go mid hi else go lo mid
+    in
+    let lo, hi = go 0 (n - 1) in
+    let a = chain.(lo) and b = chain.(hi) in
+    if b.Point.x -. a.Point.x < 1e-15 then a.Point.y
+    else
+      let t = (x -. a.Point.x) /. (b.Point.x -. a.Point.x) in
+      a.Point.y +. (t *. (b.Point.y -. a.Point.y))
+  end
+
+let contains hull_pts p =
+  let n = Array.length hull_pts in
+  if n = 0 then false
+  else if n = 1 then Point.equal ~eps:1e-9 hull_pts.(0) p
+  else if n = 2 then
+    (* Degenerate hull: a segment. *)
+    let a = hull_pts.(0) and b = hull_pts.(1) in
+    let ab = Point.sub b a in
+    let ap = Point.sub p a in
+    Float.abs (Point.cross ab ap) <= 1e-9 *. (1.0 +. Point.norm ab)
+    && Point.dot ap ab >= -1e-9
+    && Point.dot ap ab <= Point.norm2 ab +. 1e-9
+  else begin
+    let rec go i =
+      if i >= n then true
+      else
+        let a = hull_pts.(i) and b = hull_pts.((i + 1) mod n) in
+        if Point.orient2d a b p < -1e-9 then false else go (i + 1)
+    in
+    go 0
+  end

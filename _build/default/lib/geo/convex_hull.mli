@@ -1,0 +1,27 @@
+(** Planar convex hulls (Andrew's monotone chain).
+
+    Octant's calibration step (paper §2.1, Figure 2) computes the convex hull
+    of each landmark's (latency, distance) scatter; the upper and lower hull
+    facets become the aggressive distance bounds [R_L] and [r_L]. *)
+
+val hull : Point.t array -> Point.t array
+(** Convex hull in counterclockwise order, starting from the lexicographically
+    smallest point.  Collinear points on the hull boundary are dropped.
+    Returns the input (deduplicated) when fewer than 3 distinct points.
+    Does not mutate the input. *)
+
+val upper_chain : Point.t array -> Point.t array
+(** The upper facets of the hull, sorted by increasing x: the polyline from
+    the leftmost to the rightmost point that bounds the set from above.
+    Always has at least one point when the input is non-empty. *)
+
+val lower_chain : Point.t array -> Point.t array
+(** Lower facets, sorted by increasing x. *)
+
+val eval_chain : Point.t array -> float -> float
+(** [eval_chain chain x] interpolates the piecewise-linear chain at [x].
+    Outside the x-range of the chain, extends with the endpoint value
+    (clamped).  Requires a non-empty chain sorted by x. *)
+
+val contains : Point.t array -> Point.t -> bool
+(** Point-in-convex-hull test (hull in CCW order, boundary counts inside). *)

@@ -1,0 +1,74 @@
+type coord = { lat : float; lon : float }
+
+let earth_radius_km = 6371.0088
+let km_per_mile = 1.609344
+let miles_of_km km = km /. km_per_mile
+let km_of_miles mi = mi *. km_per_mile
+
+let deg_to_rad d = d *. Float.pi /. 180.0
+let rad_to_deg r = r *. 180.0 /. Float.pi
+
+let normalize_lon lon =
+  (* Into [-180, 180). *)
+  let l = Float.rem (lon +. 180.0) 360.0 in
+  let l = if l < 0.0 then l +. 360.0 else l in
+  l -. 180.0
+
+let coord ~lat ~lon =
+  if not (Float.is_finite lat && Float.is_finite lon) then
+    invalid_arg "Geodesy.coord: non-finite coordinate";
+  let lat = Float.max (-90.0) (Float.min 90.0 lat) in
+  { lat; lon = normalize_lon lon }
+
+let distance_km a b =
+  let phi1 = deg_to_rad a.lat and phi2 = deg_to_rad b.lat in
+  let dphi = deg_to_rad (b.lat -. a.lat) in
+  let dlam = deg_to_rad (b.lon -. a.lon) in
+  let sin_dphi = sin (dphi /. 2.0) and sin_dlam = sin (dlam /. 2.0) in
+  let h = (sin_dphi *. sin_dphi) +. (cos phi1 *. cos phi2 *. sin_dlam *. sin_dlam) in
+  let h = Float.min 1.0 h in
+  2.0 *. earth_radius_km *. asin (sqrt h)
+
+let distance_miles a b = miles_of_km (distance_km a b)
+
+let initial_bearing a b =
+  let phi1 = deg_to_rad a.lat and phi2 = deg_to_rad b.lat in
+  let dlam = deg_to_rad (b.lon -. a.lon) in
+  let y = sin dlam *. cos phi2 in
+  let x = (cos phi1 *. sin phi2) -. (sin phi1 *. cos phi2 *. cos dlam) in
+  let theta = atan2 y x in
+  let theta = if theta < 0.0 then theta +. (2.0 *. Float.pi) else theta in
+  if theta >= 2.0 *. Float.pi then 0.0 else theta
+
+let destination a ~bearing ~distance_km:d =
+  let delta = d /. earth_radius_km in
+  let phi1 = deg_to_rad a.lat in
+  let lam1 = deg_to_rad a.lon in
+  let sin_phi2 = (sin phi1 *. cos delta) +. (cos phi1 *. sin delta *. cos bearing) in
+  let sin_phi2 = Float.max (-1.0) (Float.min 1.0 sin_phi2) in
+  let phi2 = asin sin_phi2 in
+  let y = sin bearing *. sin delta *. cos phi1 in
+  let x = cos delta -. (sin phi1 *. sin_phi2) in
+  let lam2 = lam1 +. atan2 y x in
+  coord ~lat:(rad_to_deg phi2) ~lon:(rad_to_deg lam2)
+
+let midpoint a b =
+  let d = distance_km a b in
+  if d = 0.0 then a else destination a ~bearing:(initial_bearing a b) ~distance_km:(d /. 2.0)
+
+let equal ?(eps = 1e-9) a b =
+  Float.abs (a.lat -. b.lat) <= eps
+  && Float.abs (normalize_lon (a.lon -. b.lon)) <= eps
+
+let pp fmt c = Format.fprintf fmt "(%.4f, %.4f)" c.lat c.lon
+
+(* 2/3 of c = 199,861.6 km/s ~= 199.86 km/ms. *)
+let c_fiber_km_per_ms = 2.0 /. 3.0 *. 299792.458 /. 1000.0
+
+let rtt_to_max_distance_km rtt_ms =
+  if rtt_ms < 0.0 then invalid_arg "Geodesy.rtt_to_max_distance_km: negative RTT";
+  rtt_ms /. 2.0 *. c_fiber_km_per_ms
+
+let distance_to_min_rtt_ms d_km =
+  if d_km < 0.0 then invalid_arg "Geodesy.distance_to_min_rtt_ms: negative distance";
+  2.0 *. d_km /. c_fiber_km_per_ms

@@ -1,0 +1,56 @@
+(** Spherical-earth geodesy.
+
+    Coordinates are degrees of latitude/longitude on a sphere of mean radius
+    6371.0088 km.  The paper reports distances in miles; the library computes
+    in kilometers and converts at the edges. *)
+
+type coord = { lat : float; lon : float }
+(** Degrees; latitude in [-90, 90], longitude in [-180, 180). *)
+
+val coord : lat:float -> lon:float -> coord
+(** Constructor that normalizes longitude into [-180, 180) and clamps
+    latitude.
+    @raise Invalid_argument on non-finite input. *)
+
+val earth_radius_km : float
+
+val km_per_mile : float
+val miles_of_km : float -> float
+val km_of_miles : float -> float
+
+val deg_to_rad : float -> float
+val rad_to_deg : float -> float
+
+val distance_km : coord -> coord -> float
+(** Great-circle distance, haversine formulation (stable at small angles). *)
+
+val distance_miles : coord -> coord -> float
+
+val initial_bearing : coord -> coord -> float
+(** Forward azimuth at the first point, radians clockwise from north,
+    in [0, 2 pi). *)
+
+val destination : coord -> bearing:float -> distance_km:float -> coord
+(** Point reached by travelling [distance_km] along the great circle leaving
+    at [bearing] radians. *)
+
+val midpoint : coord -> coord -> coord
+(** Great-circle midpoint. *)
+
+val equal : ?eps:float -> coord -> coord -> bool
+(** Componentwise degrees comparison (default eps 1e-9). *)
+
+val pp : Format.formatter -> coord -> unit
+
+(** Light-speed constants used to turn RTTs into distance bounds. *)
+
+val c_fiber_km_per_ms : float
+(** Propagation speed of light in fiber, ~2/3 c, in km per millisecond. *)
+
+val rtt_to_max_distance_km : float -> float
+(** [rtt_to_max_distance_km rtt_ms] is the farthest a host can be given a
+    round-trip time: [rtt/2 * c_fiber]. *)
+
+val distance_to_min_rtt_ms : float -> float
+(** Inverse of {!rtt_to_max_distance_km}: the smallest possible RTT for a
+    given one-way distance in km. *)

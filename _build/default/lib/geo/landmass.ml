@@ -1,0 +1,220 @@
+(* Outlines are hand-drawn and deliberately generous: coastal cities must
+   fall inside.  Vertices are (lat, lon) in degrees. *)
+
+let c lat lon = Geodesy.coord ~lat ~lon
+
+let north_america =
+  [|
+    c 72.0 (-168.0); c 71.0 (-156.0); c 70.0 (-140.0); c 72.0 (-125.0); c 70.0 (-100.0);
+    c 68.0 (-90.0); c 66.0 (-82.0); c 64.0 (-77.0); c 60.0 (-64.0); c 58.0 (-61.0);
+    c 52.0 (-54.0); c 48.5 (-51.0); c 45.5 (-58.0); c 43.5 (-65.0); c 44.0 (-68.5);
+    c 41.0 (-69.0); c 40.0 (-72.5); c 38.5 (-74.0); c 35.0 (-74.5); c 32.0 (-79.0);
+    c 28.0 (-79.5); c 24.5 (-79.8); c 24.0 (-82.0); c 26.5 (-83.0); c 29.0 (-86.0);
+    c 28.5 (-90.0); c 28.0 (-94.0); c 25.5 (-97.0); c 21.0 (-86.5); c 17.5 (-87.5);
+    c 15.0 (-83.0); c 11.5 (-83.5); c 8.5 (-77.0); c 7.0 (-81.0); c 9.5 (-85.5);
+    c 13.0 (-88.5); c 15.0 (-93.0); c 15.5 (-97.0); c 19.0 (-106.0); c 22.5 (-110.5);
+    c 26.0 (-113.0); c 31.5 (-117.5); c 33.5 (-119.0); c 36.0 (-122.5); c 40.0 (-125.0);
+    c 46.0 (-125.0); c 49.0 (-128.0); c 53.0 (-133.5); c 57.0 (-137.0); c 59.5 (-141.5);
+    c 59.0 (-152.0); c 55.0 (-162.0); c 58.0 (-166.0); c 64.0 (-166.0);
+  |]
+
+let south_america =
+  [|
+    c 12.5 (-72.0); c 10.8 (-63.5); c 8.5 (-60.0); c 6.0 (-54.0); c 0.5 (-49.5);
+    c (-4.5) (-36.5); c (-8.0) (-34.0); c (-13.0) (-38.0); c (-18.0) (-39.0);
+    c (-23.0) (-41.5); c (-25.5) (-47.5); c (-29.0) (-49.0); c (-34.5) (-53.5);
+    c (-39.0) (-57.5); c (-43.0) (-62.0); c (-47.0) (-65.0); c (-51.0) (-68.0);
+    c (-55.0) (-67.0); c (-54.5) (-72.0); c (-50.0) (-75.5); c (-42.0) (-75.0);
+    c (-33.0) (-72.5); c (-23.0) (-71.0); c (-18.0) (-71.5); c (-14.0) (-77.0);
+    c (-6.0) (-81.5); c (-3.5) (-81.5); c 1.5 (-80.5); c 4.5 (-78.5); c 7.5 (-78.5);
+    c 9.5 (-76.5);
+  |]
+
+(* Mainland Europe + Asia as one generous outline; Scandinavia and the
+   Baltic are interior, as are the Black and Caspian seas.  Coastal detail
+   around Italy/Greece/Iberia is kept so Mediterranean hosts localize onto
+   the right peninsulas. *)
+let eurasia =
+  [|
+    c 71.0 28.0; c 68.0 44.0; c 70.0 60.0; c 73.0 80.0; c 75.5 100.0; c 72.0 130.0;
+    c 70.0 160.0; c 65.0 179.0; c 60.0 163.0; c 55.0 157.0; c 51.5 143.5; c 46.0 138.5;
+    c 43.0 132.0; c 36.8 130.2; c 34.6 129.3; c 34.2 126.2; c 37.0 122.5; c 34.0 120.0; c 30.5 122.5;
+    c 27.0 120.5; c 22.1 114.8; c 21.0 108.0; c 16.0 108.5; c 8.2 106.0; c 0.5 104.5;
+    c 1.2 103.0; c 2.5 100.9; c 5.5 99.8; c 7.5 98.2; c 15.0 94.0; c 21.5 91.5; c 19.0 85.5; c 12.8 80.5; c 7.5 77.5;
+    c 15.0 73.0; c 21.0 70.0; c 24.5 66.5; c 25.8 60.5; c 26.8 56.9; c 22.0 59.8; c 16.5 54.5;
+    c 12.5 43.8; c 21.0 38.5; c 27.5 33.8; c 31.0 32.3; c 33.0 34.8; c 36.5 35.5;
+    c 36.0 30.5; c 36.3 27.5; c 35.8 22.8; c 37.0 21.0; c 39.0 20.0; c 40.0 18.8;
+    c 39.0 17.0; c 37.5 15.8; c 36.0 14.5; c 37.8 12.0; c 40.0 15.0; c 42.5 10.5;
+    c 43.2 6.8; c 42.0 3.5; c 39.0 (-0.5); c 36.8 (-2.5); c 35.8 (-6.0); c 36.8 (-9.5);
+    c 39.0 (-10.0); c 43.5 (-9.8); c 43.8 (-2.0); c 47.5 (-5.5); c 49.0 (-2.0);
+    c 50.8 1.2; c 52.8 4.2; c 55.0 7.8; c 57.5 7.5; c 59.0 4.8; c 62.0 4.3;
+    c 67.0 12.0; c 70.0 18.0;
+  |]
+
+let africa =
+  [|
+    c 35.5 (-6.2); c 37.3 5.5; c 37.8 11.2; c 33.5 12.0; c 31.5 20.0; c 31.5 31.8; c 27.0 34.5;
+    c 20.0 38.0; c 15.0 40.5; c 11.5 44.5; c 11.8 51.5; c 6.0 49.5; c 1.0 45.5;
+    c (-4.5) 40.5; c (-11.0) 41.0; c (-16.0) 41.5; c (-20.5) 36.0; c (-26.5) 33.5;
+    c (-30.5) 31.5; c (-34.5) 27.0; c (-35.2) 19.5; c (-33.5) 17.5; c (-29.0) 16.0;
+    c (-23.0) 14.0; c (-17.0) 11.0; c (-11.0) 13.2; c (-6.0) 11.8; c 0.0 8.8;
+    c 4.2 5.8; c 4.5 (-2.0); c 4.0 (-8.5); c 8.0 (-14.0); c 12.5 (-17.5);
+    c 16.0 (-17.0); c 21.5 (-18.0); c 26.0 (-15.5); c 29.0 (-11.5); c 33.5 (-9.5);
+  |]
+
+let australia =
+  [|
+    c (-10.5) 142.3; c (-16.5) 146.2; c (-20.0) 149.5; c (-25.0) 154.0; c (-30.0) 153.8;
+    c (-34.2) 151.8; c (-37.8) 150.5; c (-39.5) 146.8; c (-38.8) 141.0; c (-35.5) 136.5;
+    c (-35.2) 129.0; c (-34.5) 123.5; c (-35.5) 117.5; c (-33.5) 114.5; c (-31.0) 114.8;
+    c (-26.0) 112.8; c (-21.5) 113.5; c (-17.0) 122.0; c (-13.5) 126.0; c (-11.0) 131.5;
+    c (-12.5) 136.5; c (-11.5) 140.0;
+  |]
+
+let great_britain =
+  [|
+    c 49.8 (-6.0); c 50.5 (-1.0); c 50.8 1.6; c 52.5 2.1; c 53.5 0.5; c 55.0 (-1.0);
+    c 57.5 (-1.5); c 59.0 (-3.0); c 58.5 (-6.5); c 56.0 (-6.8); c 54.5 (-4.5);
+    c 53.0 (-5.3); c 51.5 (-5.8); c 50.0 (-6.5);
+  |]
+
+let ireland =
+  [|
+    c 51.2 (-10.5); c 51.3 (-7.8); c 52.0 (-5.9); c 53.5 (-5.8); c 55.0 (-5.3);
+    c 55.6 (-8.0); c 55.3 (-10.2); c 53.0 (-10.5);
+  |]
+
+let japan =
+  [|
+    c 30.5 129.5; c 31.0 132.0; c 33.0 134.8; c 34.2 137.2; c 34.8 140.3; c 36.5 141.3;
+    c 39.5 142.3; c 42.0 143.5; c 43.0 146.0; c 45.8 142.5; c 43.5 139.6; c 40.0 139.2;
+    c 37.5 136.3; c 35.3 132.3; c 33.3 129.2;
+  |]
+
+let taiwan = [| c 21.7 119.9; c 25.5 121.0; c 25.3 122.2; c 21.9 121.3 |]
+
+let new_zealand_north = [| c (-34.0) 172.3; c (-37.5) 179.0; c (-41.8) 175.5; c (-40.0) 172.8 |]
+let new_zealand_south = [| c (-40.3) 172.0; c (-42.0) 174.5; c (-46.8) 169.5; c (-46.5) 166.0; c (-41.5) 170.5 |]
+
+let iceland = [| c 63.2 (-25.0); c 63.2 (-13.0); c 66.8 (-13.5); c 66.8 (-24.8) |]
+
+let continents =
+  [
+    ("north-america", north_america);
+    ("south-america", south_america);
+    ("eurasia", eurasia);
+    ("africa", africa);
+    ("australia", australia);
+    ("great-britain", great_britain);
+    ("ireland", ireland);
+    ("japan", japan);
+    ("taiwan", taiwan);
+    ("new-zealand-north", new_zealand_north);
+    ("new-zealand-south", new_zealand_south);
+    ("iceland", iceland);
+  ]
+
+(* Deliberately interior-conservative outlines of large uninhabited
+   areas — the paper's "deserts, uninhabitable areas" negative
+   constraints.  Edges stay well clear of inhabited rims (the Nile
+   valley, the Maghreb coast, Gulf cities, the Australian coast). *)
+let sahara_interior =
+  [|
+    c 18.0 (-10.0); c 28.0 (-5.0); c 30.0 5.0; c 28.0 15.0; c 22.0 25.0; c 16.0 20.0;
+    c 15.0 0.0; c 16.0 (-8.0);
+  |]
+
+let empty_quarter = [| c 17.0 46.0; c 22.0 47.0; c 22.0 54.0; c 18.0 55.0; c 16.0 50.0 |]
+
+let gobi = [| c 40.0 95.0; c 44.0 100.0; c 45.0 110.0; c 42.0 112.0; c 39.0 104.0 |]
+
+let taklamakan = [| c 37.0 78.0; c 40.0 80.0; c 41.0 87.0; c 38.0 89.0; c 36.0 82.0 |]
+
+let australian_interior =
+  [| c (-30.0) 122.0; c (-24.0) 125.0; c (-22.0) 132.0; c (-25.0) 138.0; c (-29.0) 135.0; c (-31.0) 128.0 |]
+
+let uninhabited =
+  [
+    ("sahara-interior", sahara_interior);
+    ("empty-quarter", empty_quarter);
+    ("gobi", gobi);
+    ("taklamakan", taklamakan);
+    ("australian-interior", australian_interior);
+  ]
+
+(* Point-in-polygon in lat/lon space.  None of the outlines cross the
+   antimeridian, so plain planar ray casting on (lon, lat) is safe. *)
+let contains_outline outline coord =
+  let n = Array.length outline in
+  let inside = ref false in
+  let px = coord.Geodesy.lon and py = coord.Geodesy.lat in
+  for i = 0 to n - 1 do
+    let a = outline.(i) and b = outline.((i + 1) mod n) in
+    let ay = a.Geodesy.lat and by = b.Geodesy.lat in
+    if (ay > py) <> (by > py) then begin
+      let x_cross = a.Geodesy.lon +. ((py -. ay) /. (by -. ay) *. (b.Geodesy.lon -. a.Geodesy.lon)) in
+      if px < x_cross then inside := not !inside
+    end
+  done;
+  !inside
+
+let nearest_name coord =
+  List.find_map (fun (name, outline) -> if contains_outline outline coord then Some name else None) continents
+
+let contains coord = Option.is_some (nearest_name coord)
+
+(* Subdivide outline edges to at most [step_km] so that projecting captures
+   great-circle curvature. *)
+let densify step_km outline =
+  let out = ref [] in
+  let n = Array.length outline in
+  for i = 0 to n - 1 do
+    let a = outline.(i) and b = outline.((i + 1) mod n) in
+    out := a :: !out;
+    let d = Geodesy.distance_km a b in
+    let pieces = int_of_float (Float.ceil (d /. step_km)) in
+    if pieces > 1 then begin
+      let bearing = Geodesy.initial_bearing a b in
+      for k = 1 to pieces - 1 do
+        let frac = float_of_int k /. float_of_int pieces in
+        out := Geodesy.destination a ~bearing ~distance_km:(d *. frac) :: !out
+      done
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let region_of_outlines outlines projection ~within_km =
+  if within_km <= 0.0 then invalid_arg "Landmass.region: within_km must be positive";
+  let box =
+    Polygon.rectangle
+      (Point.make (-.within_km) (-.within_km))
+      (Point.make within_km within_km)
+  in
+  let box_region = Region.of_polygon box in
+  let focus = Projection.focus projection in
+  let land_parts =
+    List.filter_map
+      (fun (_, outline) ->
+        (* Skip outlines entirely far from the focus: the projection blows
+           up towards the antipode. *)
+        let close =
+          Array.exists (fun v -> Geodesy.distance_km focus v < within_km +. 5000.0) outline
+        in
+        if not close then None
+        else
+          let dense = densify 400.0 outline in
+          let projected = Array.map (Projection.project projection) dense in
+          match Polygon.of_points projected with
+          | poly -> Some (Region.inter (Region.of_polygon poly) box_region)
+          | exception Invalid_argument _ -> None)
+      outlines
+  in
+  List.fold_left (fun acc r -> Region.union acc r) Region.empty land_parts
+
+let region projection ~within_km = region_of_outlines continents projection ~within_km
+
+let uninhabited_region projection ~within_km =
+  region_of_outlines uninhabited projection ~within_km
+
+let in_uninhabited coord =
+  List.exists (fun (_, outline) -> contains_outline outline coord) uninhabited

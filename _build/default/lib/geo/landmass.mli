@@ -1,0 +1,40 @@
+(** Coarse continental outlines.
+
+    Octant folds geographic side information into the constraint system
+    (paper §2.5): oceans are negative constraints — no Internet host floats
+    in the mid-Atlantic.  This module embeds deliberately *generous* coarse
+    outlines of the continents (plus the islands that host PlanetLab-class
+    sites: Great Britain, Ireland, Japan, Taiwan, New Zealand, Iceland), so
+    that every real land host is inside the mask while most open ocean is
+    excluded.  Inland seas of the coarse outlines (e.g. the Baltic) count as
+    land; the mask errs towards soundness, never precision. *)
+
+val continents : (string * Geodesy.coord array) list
+(** Named outline polygons, vertices in order (lat/lon degrees). *)
+
+val contains : Geodesy.coord -> bool
+(** True if the coordinate falls inside any outline. *)
+
+val nearest_name : Geodesy.coord -> string option
+(** Name of the outline containing the coordinate, if any. *)
+
+val region : Projection.t -> within_km:float -> Region.t
+(** Land as a planar region: every outline is densified (so long edges
+    follow the projection's curvature), projected, and clipped to a square
+    of half-size [within_km] around the projection focus.  Intersecting a
+    location estimate with this region implements the paper's ocean
+    constraint. *)
+
+val uninhabited : (string * Geodesy.coord array) list
+(** Interior-conservative outlines of large uninhabited areas (Sahara,
+    Rub' al Khali, Gobi, Taklamakan, central Australia): the paper's
+    "deserts, uninhabitable areas" negative constraints (§2.5).  No city
+    in the {!Netsim} database falls inside any of them (enforced by the
+    test suite). *)
+
+val uninhabited_region : Projection.t -> within_km:float -> Region.t
+(** The uninhabited areas as a planar region near the projection focus;
+    subtracting it from (or adding it as a negative constraint to) a
+    location estimate implements the §2.5 desert constraint. *)
+
+val in_uninhabited : Geodesy.coord -> bool

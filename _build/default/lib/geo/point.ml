@@ -1,0 +1,43 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let zero = { x = 0.0; y = 0.0 }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale s a = { x = s *. a.x; y = s *. a.y }
+let neg a = { x = -.a.x; y = -.a.y }
+
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let cross a b = (a.x *. b.y) -. (a.y *. b.x)
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+
+let dist2 a b = norm2 (sub a b)
+let dist a b = sqrt (dist2 a b)
+
+let lerp a b t = { x = a.x +. (t *. (b.x -. a.x)); y = a.y +. (t *. (b.y -. a.y)) }
+let midpoint a b = lerp a b 0.5
+
+let rotate p theta =
+  let c = cos theta and s = sin theta in
+  { x = (c *. p.x) -. (s *. p.y); y = (s *. p.x) +. (c *. p.y) }
+
+let rotate_around ~center p theta = add center (rotate (sub p center) theta)
+
+let normalize a =
+  let n = norm a in
+  if n = 0.0 then invalid_arg "Point.normalize: zero vector";
+  scale (1.0 /. n) a
+
+let perp a = { x = -.a.y; y = a.x }
+
+let equal ?(eps = 1e-9) a b = Float.abs (a.x -. b.x) <= eps && Float.abs (a.y -. b.y) <= eps
+
+let orient2d a b c = cross (sub b a) (sub c a)
+
+let compare a b =
+  match Float.compare a.x b.x with 0 -> Float.compare a.y b.y | c -> c
+
+let pp fmt p = Format.fprintf fmt "(%g, %g)" p.x p.y

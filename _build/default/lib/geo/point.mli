@@ -1,0 +1,57 @@
+(** Points and vectors of the projected plane.
+
+    All planar geometry in this repository runs in a local azimuthal
+    equidistant projection (see {!Projection}) whose unit is the kilometer,
+    so a [Point.t] is "kilometers east, kilometers north of the projection
+    focus". *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val zero : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val dot : t -> t -> float
+val cross : t -> t -> float
+(** z-component of the 3D cross product; positive when the second vector is
+    counterclockwise of the first. *)
+
+val norm : t -> float
+val norm2 : t -> float
+(** Squared norm (avoids the sqrt when comparing lengths). *)
+
+val dist : t -> t -> float
+val dist2 : t -> t -> float
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is [a + t (b - a)]. *)
+
+val midpoint : t -> t -> t
+
+val rotate : t -> float -> t
+(** [rotate p theta] rotates [p] around the origin by [theta] radians
+    counterclockwise. *)
+
+val rotate_around : center:t -> t -> float -> t
+
+val normalize : t -> t
+(** Unit vector in the same direction.  Requires non-zero norm. *)
+
+val perp : t -> t
+(** Counterclockwise perpendicular: [(x, y) -> (-y, x)]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise comparison with tolerance (default 1e-9). *)
+
+val orient2d : t -> t -> t -> float
+(** Signed doubled area of the triangle (a, b, c); positive when the triple
+    turns counterclockwise.  The workhorse predicate for hulls and clipping. *)
+
+val compare : t -> t -> int
+(** Lexicographic (x, then y); total order for sorting and dedup. *)
+
+val pp : Format.formatter -> t -> unit

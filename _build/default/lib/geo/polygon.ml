@@ -1,0 +1,258 @@
+type t = { v : Point.t array }
+
+let signed_area pts =
+  let n = Array.length pts in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let a = pts.(i) and b = pts.((i + 1) mod n) in
+    acc := !acc +. Point.cross a b
+  done;
+  !acc /. 2.0
+
+let dedup pts =
+  let out = ref [] in
+  let n = Array.length pts in
+  for i = 0 to n - 1 do
+    let p = pts.(i) in
+    match !out with
+    | q :: _ when Point.equal ~eps:1e-12 p q -> ()
+    | _ -> out := p :: !out
+  done;
+  (* The chain is closed: also drop a trailing vertex equal to the head. *)
+  let lst = List.rev !out in
+  match lst with
+  | first :: _ :: _ ->
+      let rec drop_last = function
+        | [ last ] -> if Point.equal ~eps:1e-12 last first then [] else [ last ]
+        | x :: rest -> x :: drop_last rest
+        | [] -> []
+      in
+      Array.of_list (drop_last lst)
+  | _ -> Array.of_list lst
+
+let of_points pts =
+  let pts = dedup pts in
+  if Array.length pts < 3 then invalid_arg "Polygon.of_points: fewer than 3 distinct vertices";
+  let pts = if signed_area pts < 0.0 then begin
+      let r = Array.copy pts in
+      let n = Array.length r in
+      for i = 0 to n - 1 do r.(i) <- pts.(n - 1 - i) done;
+      r
+    end
+    else pts
+  in
+  { v = pts }
+
+let of_points_list l = of_points (Array.of_list l)
+
+let vertices t = t.v
+let num_vertices t = Array.length t.v
+
+let area t = Float.abs (signed_area t.v)
+
+let perimeter t =
+  let n = Array.length t.v in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. Point.dist t.v.(i) t.v.((i + 1) mod n)
+  done;
+  !acc
+
+let centroid t =
+  let n = Array.length t.v in
+  let a = signed_area t.v in
+  if Float.abs a < 1e-12 then begin
+    (* Degenerate (collinear-ish): fall back to vertex mean. *)
+    let acc = Array.fold_left Point.add Point.zero t.v in
+    Point.scale (1.0 /. float_of_int n) acc
+  end
+  else begin
+    let cx = ref 0.0 and cy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let p = t.v.(i) and q = t.v.((i + 1) mod n) in
+      let w = Point.cross p q in
+      cx := !cx +. ((p.Point.x +. q.Point.x) *. w);
+      cy := !cy +. ((p.Point.y +. q.Point.y) *. w)
+    done;
+    Point.make (!cx /. (6.0 *. a)) (!cy /. (6.0 *. a))
+  end
+
+let bounding_box t =
+  let minx = ref infinity and miny = ref infinity in
+  let maxx = ref neg_infinity and maxy = ref neg_infinity in
+  Array.iter
+    (fun p ->
+      if p.Point.x < !minx then minx := p.Point.x;
+      if p.Point.y < !miny then miny := p.Point.y;
+      if p.Point.x > !maxx then maxx := p.Point.x;
+      if p.Point.y > !maxy then maxy := p.Point.y)
+    t.v;
+  (Point.make !minx !miny, Point.make !maxx !maxy)
+
+let segment_distance a b p =
+  (* Distance from point p to segment [a, b]. *)
+  let ab = Point.sub b a in
+  let len2 = Point.norm2 ab in
+  if len2 = 0.0 then Point.dist a p
+  else
+    let t = Point.dot (Point.sub p a) ab /. len2 in
+    let t = Float.max 0.0 (Float.min 1.0 t) in
+    Point.dist (Point.lerp a b t) p
+
+let on_boundary ?(eps = 1e-9) t p =
+  let n = Array.length t.v in
+  let rec go i =
+    if i >= n then false
+    else if segment_distance t.v.(i) t.v.((i + 1) mod n) p <= eps then true
+    else go (i + 1)
+  in
+  go 0
+
+let contains t p =
+  if on_boundary ~eps:1e-9 t p then true
+  else begin
+    (* Ray casting towards +x; crossing counting with the half-open rule
+       keeps vertices from being double counted. *)
+    let n = Array.length t.v in
+    let inside = ref false in
+    let px = p.Point.x and py = p.Point.y in
+    for i = 0 to n - 1 do
+      let a = t.v.(i) and b = t.v.((i + 1) mod n) in
+      let ay = a.Point.y and by = b.Point.y in
+      if (ay > py) <> (by > py) then begin
+        let x_cross = a.Point.x +. ((py -. ay) /. (by -. ay) *. (b.Point.x -. a.Point.x)) in
+        if px < x_cross then inside := not !inside
+      end
+    done;
+    !inside
+  end
+
+let is_convex t =
+  let n = Array.length t.v in
+  let rec go i =
+    if i >= n then true
+    else
+      let o = Point.orient2d t.v.(i) t.v.((i + 1) mod n) t.v.((i + 2) mod n) in
+      if o < -1e-12 then false else go (i + 1)
+  in
+  go 0
+
+let edges t =
+  let n = Array.length t.v in
+  Array.init n (fun i -> (t.v.(i), t.v.((i + 1) mod n)))
+
+let translate d t = { v = Array.map (Point.add d) t.v }
+let transform f t = of_points (Array.map f t.v)
+
+let regular ~center ~radius ~sides =
+  if sides < 3 then invalid_arg "Polygon.regular: need at least 3 sides";
+  if radius <= 0.0 then invalid_arg "Polygon.regular: radius must be positive";
+  let pts =
+    Array.init sides (fun i ->
+        let theta = 2.0 *. Float.pi *. float_of_int i /. float_of_int sides in
+        Point.add center (Point.make (radius *. cos theta) (radius *. sin theta)))
+  in
+  of_points pts
+
+let rectangle a b =
+  let minx = Float.min a.Point.x b.Point.x and maxx = Float.max a.Point.x b.Point.x in
+  let miny = Float.min a.Point.y b.Point.y and maxy = Float.max a.Point.y b.Point.y in
+  if maxx -. minx < 1e-12 || maxy -. miny < 1e-12 then
+    invalid_arg "Polygon.rectangle: degenerate rectangle";
+  of_points
+    [| Point.make minx miny; Point.make maxx miny; Point.make maxx maxy; Point.make minx maxy |]
+
+let nearest_boundary_distance t p =
+  let n = Array.length t.v in
+  let best = ref infinity in
+  for i = 0 to n - 1 do
+    let d = segment_distance t.v.(i) t.v.((i + 1) mod n) p in
+    if d < !best then best := d
+  done;
+  !best
+
+let sample_interior rng t =
+  let lo, hi = bounding_box t in
+  let rec go attempts =
+    if attempts > 100_000 then centroid t
+    else
+      let p =
+        Point.make
+          (Stats.Rng.uniform rng lo.Point.x hi.Point.x)
+          (Stats.Rng.uniform rng lo.Point.y hi.Point.y)
+      in
+      if contains t p then p else go (attempts + 1)
+  in
+  go 0
+
+let cleanup ?(eps = 1e-3) poly =
+  (* Iterate to a fixed point: drop vertices that sit within eps of their
+     successor or within eps of the chord joining their neighbours.  This
+     collapses micro-edges and near-collinear chains left behind by chains
+     of clipping operations. *)
+  let current = ref (Array.to_list poly.v) in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 16 do
+    incr rounds;
+    changed := false;
+    let arr = Array.of_list !current in
+    let n = Array.length arr in
+    if n >= 4 then begin
+      let keep = Array.make n true in
+      for i = 0 to n - 1 do
+        (* Never drop two adjacent vertices in the same round, so the
+           neighbour geometry each test uses stays valid. *)
+        if keep.((i + n - 1) mod n) && keep.((i + 1) mod n) then begin
+          let p = arr.((i + n - 1) mod n) and c = arr.(i) and q = arr.((i + 1) mod n) in
+          let drop =
+            if Point.dist c q < eps then true
+            else begin
+              let chord = Point.sub q p in
+              let len = Point.norm chord in
+              let d =
+                if len < 1e-12 then Point.dist c p
+                else Float.abs (Point.cross chord (Point.sub c p)) /. len
+              in
+              d < eps
+            end
+          in
+          if drop then begin
+            keep.(i) <- false;
+            changed := true
+          end
+        end
+      done;
+      if !changed then
+        current := List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
+    end
+  done;
+  match of_points (Array.of_list !current) with
+  | p -> if area p < 1e-9 then None else Some p
+  | exception Invalid_argument _ -> None
+
+let equal ?(eps = 1e-9) a b =
+  let n = Array.length a.v in
+  if n <> Array.length b.v then false
+  else begin
+    (* Try every rotation of b against a. *)
+    let matches_from off =
+      let rec go i =
+        if i >= n then true
+        else if Point.equal ~eps a.v.(i) b.v.((i + off) mod n) then go (i + 1)
+        else false
+      in
+      go 0
+    in
+    let rec try_off off = if off >= n then false else matches_from off || try_off (off + 1) in
+    try_off 0
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>polygon[";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Point.pp fmt p)
+    t.v;
+  Format.fprintf fmt "]@]"

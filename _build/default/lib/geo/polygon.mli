@@ -1,0 +1,79 @@
+(** Simple polygons in the projected plane.
+
+    A polygon is a closed chain of vertices without an explicit repeat of the
+    first vertex.  Constructors normalize orientation to counterclockwise
+    (positive signed area).  Self-intersecting input is not detected here;
+    the clipping layer ({!Clip}) is responsible for only producing simple
+    polygons. *)
+
+type t
+(** Immutable simple polygon, counterclockwise. *)
+
+val of_points : Point.t array -> t
+(** Builds a polygon, dropping consecutive duplicate vertices and reorienting
+    to counterclockwise if needed.
+    @raise Invalid_argument if fewer than 3 distinct vertices remain. *)
+
+val of_points_list : Point.t list -> t
+
+val vertices : t -> Point.t array
+(** The vertex array (do not mutate). *)
+
+val num_vertices : t -> int
+
+val signed_area : Point.t array -> float
+(** Shoelace area of a raw ring: positive iff counterclockwise. *)
+
+val area : t -> float
+(** Enclosed area (always positive). *)
+
+val perimeter : t -> float
+
+val centroid : t -> Point.t
+(** Area centroid. *)
+
+val bounding_box : t -> Point.t * Point.t
+(** (min corner, max corner). *)
+
+val contains : t -> Point.t -> bool
+(** Point-in-polygon by ray casting; boundary points count as inside. *)
+
+val on_boundary : ?eps:float -> t -> Point.t -> bool
+(** True if the point lies within [eps] of an edge (default 1e-9). *)
+
+val is_convex : t -> bool
+
+val edges : t -> (Point.t * Point.t) array
+(** Directed edge list [(v_i, v_{i+1 mod n})]. *)
+
+val translate : Point.t -> t -> t
+val transform : (Point.t -> Point.t) -> t -> t
+(** Apply a point map to every vertex.  The map should preserve simplicity
+    (affine maps and mild projections do). *)
+
+val regular : center:Point.t -> radius:float -> sides:int -> t
+(** Regular n-gon; first vertex towards +x.  Requires [sides >= 3],
+    [radius > 0]. *)
+
+val rectangle : Point.t -> Point.t -> t
+(** Axis-aligned rectangle from two opposite corners.
+    @raise Invalid_argument if degenerate. *)
+
+val nearest_boundary_distance : t -> Point.t -> float
+(** Distance from a point to the polygon boundary (0 on the boundary). *)
+
+val sample_interior : Stats.Rng.t -> t -> Point.t
+(** Uniform random interior point by rejection over the bounding box. *)
+
+val cleanup : ?eps:float -> t -> t option
+(** Remove boundary debris: vertices within [eps] of their successor and
+    vertices within [eps] of the chord joining their neighbours (default
+    [eps] 1e-3 km = 1 m — far below geolocalization scales).  Chained
+    clipping operations accumulate micro-edges that can otherwise defeat
+    the clipper's degeneracy handling; every clip output is passed through
+    this.  [None] when fewer than 3 vertices survive. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Equality up to rotation of the vertex list and [eps] per coordinate. *)
+
+val pp : Format.formatter -> t -> unit

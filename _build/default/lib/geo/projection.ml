@@ -1,0 +1,27 @@
+type t = { focus : Geodesy.coord }
+
+let make focus = { focus }
+let focus t = t.focus
+
+let project t c =
+  let rho = Geodesy.distance_km t.focus c in
+  if rho = 0.0 then Point.zero
+  else
+    let theta = Geodesy.initial_bearing t.focus c in
+    (* North = +y, East = +x; bearing is clockwise from north. *)
+    Point.make (rho *. sin theta) (rho *. cos theta)
+
+let unproject t p =
+  let rho = Point.norm p in
+  if rho = 0.0 then t.focus
+  else
+    let theta = atan2 p.Point.x p.Point.y in
+    let theta = if theta < 0.0 then theta +. (2.0 *. Float.pi) else theta in
+    Geodesy.destination t.focus ~bearing:theta ~distance_km:rho
+
+let project_many t = Array.map (project t)
+let unproject_many t = Array.map (unproject t)
+
+let distance_distortion t a b =
+  let gc = Geodesy.distance_km a b in
+  if gc = 0.0 then 1.0 else Point.dist (project t a) (project t b) /. gc

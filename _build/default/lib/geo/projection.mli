@@ -1,0 +1,30 @@
+(** Azimuthal equidistant projection.
+
+    Octant's region algebra is planar; a projection ties the plane to the
+    globe.  The azimuthal equidistant projection preserves distance and
+    bearing *from the focus point*, so constraint disks centered near the
+    focus keep their radii almost exactly, and distortion grows slowly with
+    distance from the focus.  The solver picks the focus as the mean landmark
+    position, which is also where the solution region lives. *)
+
+type t
+(** A projection with a fixed focus. *)
+
+val make : Geodesy.coord -> t
+(** Projection focused at the given coordinate. *)
+
+val focus : t -> Geodesy.coord
+
+val project : t -> Geodesy.coord -> Point.t
+(** Globe to plane, kilometers. *)
+
+val unproject : t -> Point.t -> Geodesy.coord
+(** Plane back to globe; inverse of {!project} up to floating error. *)
+
+val project_many : t -> Geodesy.coord array -> Point.t array
+val unproject_many : t -> Point.t array -> Geodesy.coord array
+
+val distance_distortion : t -> Geodesy.coord -> Geodesy.coord -> float
+(** Ratio of planar to great-circle distance between two points — a
+    diagnostics hook used by tests to bound projection error over the
+    deployment area. *)

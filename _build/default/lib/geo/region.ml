@@ -1,0 +1,261 @@
+type t = { pieces : Polygon.t list }
+
+let empty = { pieces = [] }
+let is_empty t = t.pieces = []
+
+let of_polygon p = { pieces = [ p ] }
+let of_polygons ps = { pieces = ps }
+
+let of_bezier_path ?tolerance path =
+  match Bezier.to_polygon ?tolerance path with
+  | p -> of_polygon p
+  | exception Invalid_argument _ -> empty
+
+let disk ?(segments = 64) ~center ~radius () =
+  if radius <= 0.0 then empty
+  else of_polygon (Polygon.regular ~center ~radius ~sides:segments)
+
+let annulus ?(segments = 64) ~center ~r_inner ~r_outer () =
+  if r_inner < 0.0 || r_outer <= r_inner then invalid_arg "Region.annulus: need 0 <= r_inner < r_outer";
+  if r_inner = 0.0 then disk ~segments ~center ~radius:r_outer ()
+  else begin
+    (* Two half rings, each a simple polygon: outer arc one way, inner arc
+       back.  Their interiors are disjoint (they touch along the x-axis). *)
+    let half start_angle =
+      let n = segments / 2 in
+      let n = if n < 4 then 4 else n in
+      let arc r a0 a1 =
+        List.init (n + 1) (fun i ->
+            let theta = a0 +. ((a1 -. a0) *. float_of_int i /. float_of_int n) in
+            Point.add center (Point.make (r *. cos theta) (r *. sin theta)))
+      in
+      let outer = arc r_outer start_angle (start_angle +. Float.pi) in
+      let inner = arc r_inner (start_angle +. Float.pi) start_angle in
+      Polygon.of_points_list (outer @ inner)
+    in
+    { pieces = [ half 0.0; half Float.pi ] }
+  end
+
+let halfplane_rect ~anchor ~normal ~extent =
+  if extent <= 0.0 then invalid_arg "Region.halfplane_rect: extent must be positive";
+  let n = Point.normalize normal in
+  let tangent = Point.perp n in
+  (* Rectangle on the non-normal side of the anchor line. *)
+  let corner a b = Point.add anchor (Point.add (Point.scale a tangent) (Point.scale b n)) in
+  of_polygon
+    (Polygon.of_points
+       [| corner (-.extent) 0.0; corner extent 0.0; corner extent (-.extent); corner (-.extent) (-.extent) |])
+
+let pieces t = t.pieces
+
+let inter a b =
+  let out =
+    List.concat_map (fun p -> List.concat_map (fun q -> Clip.inter p q) b.pieces) a.pieces
+  in
+  { pieces = out }
+
+let diff a b =
+  let subtract_all p =
+    List.fold_left (fun frags q -> List.concat_map (fun f -> Clip.diff f q) frags) [ p ] b.pieces
+  in
+  { pieces = List.concat_map subtract_all a.pieces }
+
+(* a + (b \ a): keeps pieces disjoint without a general polygon union. *)
+let union a b = { pieces = a.pieces @ (diff b a).pieces }
+
+let inter_all = function
+  | [] -> invalid_arg "Region.inter_all: empty list"
+  | first :: rest -> List.fold_left inter first rest
+
+let area t = List.fold_left (fun acc p -> acc +. Polygon.area p) 0.0 t.pieces
+
+let contains t p = List.exists (fun poly -> Polygon.contains poly p) t.pieces
+
+let centroid t =
+  match t.pieces with
+  | [] -> invalid_arg "Region.centroid: empty region"
+  | ps ->
+      let total = area t in
+      if total <= 0.0 then Polygon.centroid (List.hd ps)
+      else
+        List.fold_left
+          (fun acc p -> Point.add acc (Point.scale (Polygon.area p /. total) (Polygon.centroid p)))
+          Point.zero ps
+
+let bounding_box t =
+  match t.pieces with
+  | [] -> None
+  | ps ->
+      let boxes = List.map Polygon.bounding_box ps in
+      let lo =
+        List.fold_left
+          (fun acc (l, _) -> Point.make (Float.min acc.Point.x l.Point.x) (Float.min acc.Point.y l.Point.y))
+          (fst (List.hd boxes))
+          boxes
+      in
+      let hi =
+        List.fold_left
+          (fun acc (_, h) -> Point.make (Float.max acc.Point.x h.Point.x) (Float.max acc.Point.y h.Point.y))
+          (snd (List.hd boxes))
+          boxes
+      in
+      Some (lo, hi)
+
+let all_vertices t = Array.concat (List.map Polygon.vertices t.pieces)
+
+let convex_hull t =
+  match t.pieces with [] -> [||] | _ -> Convex_hull.hull (all_vertices t)
+
+(* Cap a hull's vertex count by even decimation; used by the dilation and
+   erosion paths where a 12-gon of the hull is geometrically
+   indistinguishable from the full ring at constraint scales but an order
+   of magnitude cheaper to clip against. *)
+let decimate_hull max_vertices hull =
+  let n = Array.length hull in
+  if n <= max_vertices then hull
+  else
+    Array.init max_vertices (fun i -> hull.(i * n / max_vertices))
+
+(* Offset a convex ring outward by [d], inserting arc samples at corners.
+   The result circumscribes the exact Minkowski sum of the hull and the
+   disk, so dilation is (slightly) conservative. *)
+let offset_convex_hull hull d =
+  let n = Array.length hull in
+  if n = 0 then [||]
+  else if n = 1 then Polygon.vertices (Polygon.regular ~center:hull.(0) ~radius:d ~sides:32)
+  else if n = 2 then begin
+    (* Capsule around a segment. *)
+    let a = hull.(0) and b = hull.(1) in
+    let dir = Point.normalize (Point.sub b a) in
+    let perp = Point.perp dir in
+    let arc center a0 steps =
+      List.init (steps + 1) (fun i ->
+          let theta = a0 +. (Float.pi *. float_of_int i /. float_of_int steps) in
+          Point.add center (Point.make (d *. cos theta) (d *. sin theta)))
+    in
+    let base = atan2 perp.Point.y perp.Point.x in
+    Array.of_list (arc b (base -. Float.pi) 12 @ arc a base 12)
+  end
+  else begin
+    let out = ref [] in
+    let arc_steps = 4 in
+    for i = 0 to n - 1 do
+      let prev = hull.((i + n - 1) mod n) in
+      let cur = hull.(i) in
+      let next = hull.((i + 1) mod n) in
+      let n_in = Point.perp (Point.normalize (Point.sub cur prev)) in
+      let n_out = Point.perp (Point.normalize (Point.sub next cur)) in
+      (* For a CCW ring, perp of the edge direction points to the interior's
+         left; the outward normal is its negation. *)
+      let a0 = atan2 (-.n_in.Point.y) (-.n_in.Point.x) in
+      let a1 = atan2 (-.n_out.Point.y) (-.n_out.Point.x) in
+      let a1 = if a1 < a0 then a1 +. (2.0 *. Float.pi) else a1 in
+      for k = 0 to arc_steps do
+        let theta = a0 +. ((a1 -. a0) *. float_of_int k /. float_of_int arc_steps) in
+        out := Point.add cur (Point.make (d *. cos theta) (d *. sin theta)) :: !out
+      done
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let dilate t d =
+  if d < 0.0 then invalid_arg "Region.dilate: negative radius";
+  if is_empty t then empty
+  else if d = 0.0 then t
+  else
+    let hull = decimate_hull 14 (convex_hull t) in
+    match Polygon.of_points (offset_convex_hull hull d) with
+    | p -> of_polygon p
+    | exception Invalid_argument _ -> t
+
+let erode_to_common_disk t d =
+  if d <= 0.0 then empty
+  else if is_empty t then empty
+  else begin
+    let hull = decimate_hull 12 (convex_hull t) in
+    let disks =
+      Array.to_list hull
+      |> List.map (fun v -> disk ~segments:32 ~center:v ~radius:d ())
+      |> List.filter (fun r -> not (is_empty r))
+    in
+    match disks with [] -> empty | first :: rest -> List.fold_left inter first rest
+  end
+
+let sample_grid t ~spacing =
+  if spacing <= 0.0 then invalid_arg "Region.sample_grid: spacing must be positive";
+  match bounding_box t with
+  | None -> []
+  | Some (lo, hi) ->
+      let out = ref [] in
+      let x = ref (lo.Point.x +. (spacing /. 2.0)) in
+      while !x < hi.Point.x do
+        let y = ref (lo.Point.y +. (spacing /. 2.0)) in
+        while !y < hi.Point.y do
+          let p = Point.make !x !y in
+          if contains t p then out := p :: !out;
+          y := !y +. spacing
+        done;
+        x := !x +. spacing
+      done;
+      !out
+
+let to_bezier_paths t = List.map Bezier.fit_smooth t.pieces
+
+(* Douglas–Peucker on an open chain. *)
+let rec dp_simplify pts lo hi tolerance keep =
+  if hi <= lo + 1 then ()
+  else begin
+    let a = pts.(lo) and b = pts.(hi) in
+    let best = ref lo and best_d = ref (-1.0) in
+    for i = lo + 1 to hi - 1 do
+      let d =
+        let ab = Point.sub b a in
+        let n = Point.norm ab in
+        if n < 1e-12 then Point.dist a pts.(i)
+        else Float.abs (Point.cross ab (Point.sub pts.(i) a)) /. n
+      in
+      if d > !best_d then begin
+        best_d := d;
+        best := i
+      end
+    done;
+    if !best_d > tolerance then begin
+      keep.(!best) <- true;
+      dp_simplify pts lo !best tolerance keep;
+      dp_simplify pts !best hi tolerance keep
+    end
+  end
+
+let simplify_polygon tolerance poly =
+  let v = Polygon.vertices poly in
+  let n = Array.length v in
+  if n <= 4 then Some poly
+  else begin
+    (* Anchor the closed ring at vertex 0 and its farthest vertex. *)
+    let far = ref 1 in
+    for i = 2 to n - 1 do
+      if Point.dist2 v.(0) v.(i) > Point.dist2 v.(0) v.(!far) then far := i
+    done;
+    let keep = Array.make n false in
+    keep.(0) <- true;
+    keep.(!far) <- true;
+    dp_simplify v 0 !far tolerance keep;
+    (* Second chain: far..n-1..0; use a rotated copy so indices are linear. *)
+    let m = n - !far + 1 in
+    let chain = Array.init m (fun i -> v.((!far + i) mod n)) in
+    let keep2 = Array.make m false in
+    dp_simplify chain 0 (m - 1) tolerance keep2;
+    for i = 1 to m - 2 do
+      if keep2.(i) then keep.((!far + i) mod n) <- true
+    done;
+    let kept = Array.of_list (List.filteri (fun i _ -> keep.(i)) (Array.to_list v)) in
+    match Polygon.of_points kept with
+    | p -> Some p
+    | exception Invalid_argument _ -> None
+  end
+
+let simplify ?(tolerance = 0.5) t =
+  { pieces = List.filter_map (simplify_polygon tolerance) t.pieces }
+
+let pp fmt t =
+  Format.fprintf fmt "region[%d pieces, area %.2f km^2]" (List.length t.pieces) (area t)

@@ -1,0 +1,95 @@
+(** Location regions: the paper's core geometric object.
+
+    A region is the set of points where a node may be located (paper §2).
+    It is represented as a list of disjoint-interior simple polygons — the
+    flattened form of a set of Bezier-bounded areas — and supports the three
+    boolean operations Octant chains while solving a constraint system, plus
+    the dilation/erosion operations needed for constraints issued by
+    {e secondary} landmarks whose own position is a region rather than a
+    point.
+
+    Regions are non-convex and possibly disconnected by construction, which
+    is exactly what lets Octant use negative information.  The compact
+    Bezier form is available through {!to_bezier_paths}. *)
+
+type t
+(** Immutable region; possibly empty. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val of_polygon : Polygon.t -> t
+
+val of_polygons : Polygon.t list -> t
+(** Pieces must have pairwise disjoint interiors (not checked). *)
+
+val of_bezier_path : ?tolerance:float -> Bezier.path -> t
+(** Flatten a closed Bezier path into a region. *)
+
+val disk : ?segments:int -> center:Point.t -> radius:float -> unit -> t
+(** Disk approximated by a regular polygon (default 64 sides, area error
+    0.16%).  This is the shape of a positive constraint from a primary
+    landmark. *)
+
+val annulus : ?segments:int -> center:Point.t -> r_inner:float -> r_outer:float -> unit -> t
+(** Annulus built directly as two half-ring polygons (no clipping): the
+    shape of a (positive, negative) constraint pair from a primary
+    landmark.  Requires [0 <= r_inner < r_outer]. *)
+
+val halfplane_rect : anchor:Point.t -> normal:Point.t -> extent:float -> t
+(** A large rectangle approximating the halfplane
+    [{p | dot (p - anchor) normal <= 0}], clipped to [extent] kilometers
+    around the anchor.  Used to fold linear hints into the solver. *)
+
+val pieces : t -> Polygon.t list
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+
+val inter_all : t list -> t
+(** Left fold of {!inter}; [inter_all []] is undefined
+    (@raise Invalid_argument). *)
+
+val area : t -> float
+(** Total area in km^2. *)
+
+val contains : t -> Point.t -> bool
+
+val centroid : t -> Point.t
+(** Area-weighted centroid over all pieces.
+    @raise Invalid_argument on the empty region. *)
+
+val bounding_box : t -> (Point.t * Point.t) option
+
+val convex_hull : t -> Point.t array
+(** Convex hull of all piece vertices; empty array for the empty region. *)
+
+val dilate : t -> float -> t
+(** Minkowski dilation by a disk of the given radius, over-approximated by
+    the offset of the region's convex hull.  This realizes a positive
+    constraint from a secondary landmark:
+    [gamma = U_{x in beta} disk x d] (paper §2).  Over-approximation
+    preserves soundness (the target can only gain candidate area, never
+    lose the true location). *)
+
+val erode_to_common_disk : t -> float -> t
+(** The set of points within distance [d] of {e every} point of the region:
+    [gamma = ∩_{x in beta} disk x d].  Because the max distance to a convex
+    set is attained at a vertex, this is exactly the intersection of disks
+    centered at the region's hull vertices.  This realizes a negative
+    constraint from a secondary landmark. *)
+
+val sample_grid : t -> spacing:float -> Point.t list
+(** Interior points on a square lattice with the given spacing; used for
+    numerical integration and point-estimate refinement. *)
+
+val to_bezier_paths : t -> Bezier.path list
+(** Compact output form: each piece boundary as a smooth closed Bezier path
+    (Catmull–Rom fit through its vertices). *)
+
+val simplify : ?tolerance:float -> t -> t
+(** Douglas–Peucker simplification of each piece boundary (default
+    tolerance 0.5 km); drops pieces that degenerate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type t = {
+  lo : Point.t;
+  hi : Point.t;
+  width_px : int;
+  height_px : int;
+  scale : float; (* px per km *)
+  buffer : Buffer.t;
+}
+
+let create ?(width_px = 900) ~lo ~hi () =
+  let dx = hi.Point.x -. lo.Point.x and dy = hi.Point.y -. lo.Point.y in
+  if dx <= 0.0 || dy <= 0.0 then invalid_arg "Svg.create: degenerate box";
+  let scale = float_of_int width_px /. dx in
+  let height_px = int_of_float (Float.ceil (dy *. scale)) in
+  { lo; hi; width_px; height_px; scale; buffer = Buffer.create 4096 }
+
+(* Plane km -> pixel coordinates, with the y axis flipped so north is up. *)
+let px t p =
+  let x = (p.Point.x -. t.lo.Point.x) *. t.scale in
+  let y = (t.hi.Point.y -. p.Point.y) *. t.scale in
+  (x, y)
+
+let emit t fmt = Printf.ksprintf (fun s -> Buffer.add_string t.buffer s) fmt
+
+let polygon_points t poly =
+  Polygon.vertices poly |> Array.to_list
+  |> List.map (fun p ->
+         let x, y = px t p in
+         Printf.sprintf "%.1f,%.1f" x y)
+  |> String.concat " "
+
+let add_region ?(fill = "#4682b4") ?(stroke = "#1f4e79") ?(opacity = 0.35) ?label t region =
+  (match label with Some l -> emit t "<!-- region: %s -->\n" l | None -> ());
+  List.iter
+    (fun poly ->
+      emit t "<polygon points=\"%s\" fill=\"%s\" fill-opacity=\"%.2f\" stroke=\"%s\" stroke-width=\"1\"/>\n"
+        (polygon_points t poly) fill opacity stroke)
+    (Region.pieces region)
+
+let add_bezier_paths ?(stroke = "#c03030") ?(stroke_width = 1.5) t paths =
+  List.iter
+    (fun path ->
+      match path with
+      | [] -> ()
+      | first :: _ ->
+          let buf = Buffer.create 256 in
+          let x0, y0 = px t first.Bezier.p0 in
+          Buffer.add_string buf (Printf.sprintf "M %.1f %.1f " x0 y0);
+          List.iter
+            (fun seg ->
+              let x1, y1 = px t seg.Bezier.p1 in
+              let x2, y2 = px t seg.Bezier.p2 in
+              let x3, y3 = px t seg.Bezier.p3 in
+              Buffer.add_string buf
+                (Printf.sprintf "C %.1f %.1f, %.1f %.1f, %.1f %.1f " x1 y1 x2 y2 x3 y3))
+            path;
+          Buffer.add_string buf "Z";
+          emit t "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%.1f\"/>\n"
+            (Buffer.contents buf) stroke stroke_width)
+    paths
+
+let add_point ?(color = "#202020") ?(radius_px = 4.0) ?label t p =
+  let x, y = px t p in
+  emit t "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\"/>\n" x y radius_px color;
+  match label with
+  | Some l ->
+      emit t "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" font-family=\"sans-serif\">%s</text>\n"
+        (x +. 6.0) (y -. 4.0) l
+  | None -> ()
+
+let add_circle ?(stroke = "#808080") t ~center ~radius_km =
+  let x, y = px t center in
+  emit t "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"none\" stroke=\"%s\" stroke-dasharray=\"4 3\"/>\n"
+    x y (radius_km *. t.scale) stroke
+
+let to_string t =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n\
+     <rect width=\"%d\" height=\"%d\" fill=\"#fbfbf8\"/>\n%s</svg>\n"
+    t.width_px t.height_px t.width_px t.height_px t.width_px t.height_px
+    (Buffer.contents t.buffer)
+
+let save t path =
+  let oc = open_out path in
+  (try output_string oc (to_string t) with e -> close_out oc; raise e);
+  close_out oc

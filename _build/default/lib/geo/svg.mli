@@ -1,0 +1,30 @@
+(** SVG rendering of planar geometry.
+
+    Octant's output is inherently visual — non-convex, disconnected regions
+    bounded by curves — and the fastest way to audit a constraint system is
+    to look at it.  This renderer is deliberately dependency-free: it emits
+    plain SVG 1.1 with a y-axis flip (plane "north" up), one layer per
+    {!add_*} call, in insertion order. *)
+
+type t
+
+val create : ?width_px:int -> lo:Point.t -> hi:Point.t -> unit -> t
+(** Canvas mapping the plane box [lo, hi] (km) to [width_px] pixels
+    (default 900; height follows the aspect ratio). *)
+
+val add_region :
+  ?fill:string -> ?stroke:string -> ?opacity:float -> ?label:string -> t -> Region.t -> unit
+(** Draw each piece of a region as a filled polygon (default translucent
+    steel blue). *)
+
+val add_bezier_paths :
+  ?stroke:string -> ?stroke_width:float -> t -> Bezier.path list -> unit
+(** Draw closed Bezier paths as native SVG cubic segments — the compact
+    boundary form, rendered exactly. *)
+
+val add_point : ?color:string -> ?radius_px:float -> ?label:string -> t -> Point.t -> unit
+val add_circle : ?stroke:string -> t -> center:Point.t -> radius_km:float -> unit
+
+val to_string : t -> string
+val save : t -> string -> unit
+(** Write the SVG document to a file. *)

@@ -1,0 +1,1 @@
+lib/linalg/lsq.mli: Matrix

@@ -1,0 +1,1 @@
+lib/linalg/nelder_mead.mli:

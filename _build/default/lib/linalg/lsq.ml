@@ -1,0 +1,77 @@
+(* QR by modified Gram-Schmidt.  Returns (q, r) with a = q r, q m-by-n with
+   orthonormal columns, r n-by-n upper triangular. *)
+let qr a =
+  let m = Matrix.rows a and n = Matrix.cols a in
+  if m < n then invalid_arg "Lsq: system is underdetermined";
+  let q = Matrix.copy a in
+  let r = Matrix.create n n in
+  for k = 0 to n - 1 do
+    let norm = ref 0.0 in
+    for i = 0 to m - 1 do
+      let v = Matrix.get q i k in
+      norm := !norm +. (v *. v)
+    done;
+    let norm = sqrt !norm in
+    if norm < 1e-12 then failwith "Lsq: rank-deficient system";
+    Matrix.set r k k norm;
+    for i = 0 to m - 1 do
+      Matrix.set q i k (Matrix.get q i k /. norm)
+    done;
+    for j = k + 1 to n - 1 do
+      let dot = ref 0.0 in
+      for i = 0 to m - 1 do
+        dot := !dot +. (Matrix.get q i k *. Matrix.get q i j)
+      done;
+      Matrix.set r k j !dot;
+      for i = 0 to m - 1 do
+        Matrix.set q i j (Matrix.get q i j -. (!dot *. Matrix.get q i k))
+      done
+    done
+  done;
+  (q, r)
+
+let back_substitute r y =
+  let n = Matrix.rows r in
+  let x = Array.copy y in
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get r i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get r i i
+  done;
+  x
+
+let solve a b =
+  if Matrix.rows a <> Array.length b then invalid_arg "Lsq.solve: rhs length mismatch";
+  let q, r = qr a in
+  let qtb = Matrix.mul_vec (Matrix.transpose q) b in
+  back_substitute r qtb
+
+let solve_normal a b =
+  if Matrix.rows a <> Array.length b then invalid_arg "Lsq.solve_normal: rhs length mismatch";
+  let at = Matrix.transpose a in
+  let ata = Matrix.mul at a in
+  let atb = Matrix.mul_vec at b in
+  Matrix.solve ata atb
+
+let solve_ridge a b ~lambda =
+  if lambda < 0.0 then invalid_arg "Lsq.solve_ridge: negative lambda";
+  let at = Matrix.transpose a in
+  let ata = Matrix.mul at a in
+  let n = Matrix.cols a in
+  for i = 0 to n - 1 do
+    Matrix.set ata i i (Matrix.get ata i i +. lambda)
+  done;
+  let atb = Matrix.mul_vec at b in
+  Matrix.solve ata atb
+
+let residual_norm a x b =
+  let ax = Matrix.mul_vec a x in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let d = v -. b.(i) in
+      acc := !acc +. (d *. d))
+    ax;
+  sqrt !acc

@@ -1,0 +1,23 @@
+(** Linear least squares.
+
+    Octant's height system (paper §2.2) is an overdetermined linear system:
+    one equation [h_i + h_j = rtt(i,j) - propagation(i,j)] per landmark pair.
+    We solve it in the l2 sense.  QR via modified Gram–Schmidt is the primary
+    path; the normal-equation path is kept for cross-checking in tests. *)
+
+val solve : Matrix.t -> float array -> float array
+(** [solve a b] minimizes [||a x - b||_2] using QR factorization.
+    Requires [rows a >= cols a] and full column rank.
+    @raise Failure on rank deficiency. *)
+
+val solve_normal : Matrix.t -> float array -> float array
+(** Same minimization via the normal equations [(a^T a) x = a^T b].
+    Less numerically stable; used as a test oracle. *)
+
+val solve_ridge : Matrix.t -> float array -> lambda:float -> float array
+(** Tikhonov-regularized least squares: minimizes
+    [||a x - b||^2 + lambda ||x||^2].  Always solvable for [lambda > 0];
+    the height solver uses a tiny ridge to survive degenerate topologies. *)
+
+val residual_norm : Matrix.t -> float array -> float array -> float
+(** [residual_norm a x b] is [||a x - b||_2]. *)

@@ -1,0 +1,139 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: dimensions must be positive";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then invalid_arg "Matrix.get: out of bounds";
+  t.data.((i * t.cols) + j)
+
+let set t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then invalid_arg "Matrix.set: out of bounds";
+  t.data.((i * t.cols) + j) <- v
+
+let of_rows arr =
+  let nrows = Array.length arr in
+  if nrows = 0 then invalid_arg "Matrix.of_rows: no rows";
+  let ncols = Array.length arr.(0) in
+  if ncols = 0 then invalid_arg "Matrix.of_rows: empty rows";
+  Array.iter (fun r -> if Array.length r <> ncols then invalid_arg "Matrix.of_rows: ragged rows") arr;
+  let m = create nrows ncols in
+  Array.iteri (fun i r -> Array.iteri (fun j v -> set m i j v) r) arr;
+  m
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i 1.0
+  done;
+  m
+
+let copy t = { t with data = Array.copy t.data }
+
+let transpose t =
+  let m = create t.cols t.rows in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      set m j i (get t i j)
+    done
+  done;
+  m
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let m = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          set m i j (get m i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  m
+
+let mul_vec a v =
+  if a.cols <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (get a i j *. v.(j))
+      done;
+      !acc)
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix: dimension mismatch";
+  { a with data = Array.mapi (fun i x -> f x b.data.(i)) a.data }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale s a = { a with data = Array.map (fun x -> s *. x) a.data }
+
+let row t i = Array.init t.cols (fun j -> get t i j)
+let to_rows t = Array.init t.rows (row t)
+
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Matrix.solve: matrix not square";
+  if a.rows <> Array.length b then invalid_arg "Matrix.solve: rhs length mismatch";
+  let n = a.rows in
+  let m = copy a in
+  let x = Array.copy b in
+  (* Forward elimination with partial pivoting. *)
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs (get m r col) > Float.abs (get m !pivot col) then pivot := r
+    done;
+    if Float.abs (get m !pivot col) < 1e-12 then failwith "Matrix.solve: singular matrix";
+    if !pivot <> col then begin
+      for j = 0 to n - 1 do
+        let tmp = get m col j in
+        set m col j (get m !pivot j);
+        set m !pivot j tmp
+      done;
+      let tmp = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tmp
+    end;
+    for r = col + 1 to n - 1 do
+      let factor = get m r col /. get m col col in
+      if factor <> 0.0 then begin
+        for j = col to n - 1 do
+          set m r j (get m r j -. (factor *. get m col j))
+        done;
+        x.(r) <- x.(r) -. (factor *. x.(col))
+      end
+    done
+  done;
+  (* Back substitution. *)
+  for r = n - 1 downto 0 do
+    let acc = ref x.(r) in
+    for j = r + 1 to n - 1 do
+      acc := !acc -. (get m r j *. x.(j))
+    done;
+    x.(r) <- !acc /. get m r r
+  done;
+  x
+
+let frobenius_norm t = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)
+
+let equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to t.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to t.cols - 1 do
+      if j > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%g" (get t i j)
+    done;
+    Format.fprintf fmt "]@,"
+  done;
+  Format.fprintf fmt "@]"

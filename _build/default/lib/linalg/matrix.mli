@@ -1,0 +1,49 @@
+(** Dense row-major matrices of floats.
+
+    Sized for Octant's needs: height systems over tens of landmarks, i.e.
+    matrices of a few hundred rows.  No blocking or SIMD; clarity first. *)
+
+type t
+(** A dense [rows x cols] matrix. *)
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix.  Dimensions must be positive. *)
+
+val of_rows : float array array -> t
+(** Build from row vectors; all rows must share a length. *)
+
+val identity : int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product; inner dimensions must agree. *)
+
+val mul_vec : t -> float array -> float array
+(** Matrix-vector product. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val row : t -> int -> float array
+val to_rows : t -> float array array
+
+val solve : t -> float array -> float array
+(** [solve a b] solves the square system [a x = b] by Gaussian elimination
+    with partial pivoting.
+    @raise Failure if the matrix is singular (pivot below 1e-12). *)
+
+val frobenius_norm : t -> float
+
+val equal : ?eps:float -> t -> t -> bool
+(** Element-wise comparison with tolerance (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+type result = { x : float array; fx : float; iterations : int; converged : bool }
+
+(* Standard coefficients: reflection 1, expansion 2, contraction 1/2,
+   shrink 1/2. *)
+let alpha = 1.0
+let gamma = 2.0
+let rho = 0.5
+let sigma = 0.5
+
+let centroid points skip =
+  let n = Array.length points.(0) in
+  let c = Array.make n 0.0 in
+  let count = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if i <> skip then begin
+        incr count;
+        Array.iteri (fun j v -> c.(j) <- c.(j) +. v) p
+      end)
+    points;
+  Array.map (fun v -> v /. float_of_int !count) c
+
+let combine a b ~coeff = Array.init (Array.length a) (fun i -> a.(i) +. (coeff *. (b.(i) -. a.(i))))
+
+let minimize ?(max_iter = 2000) ?(tolerance = 1e-9) ?(step = 1.0) ~f ~init () =
+  let dim = Array.length init in
+  if dim = 0 then invalid_arg "Nelder_mead.minimize: empty initial point";
+  (* Initial simplex: init plus one vertex offset along each axis. *)
+  let vertices =
+    Array.init (dim + 1) (fun i ->
+        if i = 0 then Array.copy init
+        else begin
+          let v = Array.copy init in
+          v.(i - 1) <- v.(i - 1) +. step;
+          v
+        end)
+  in
+  let values = Array.map f vertices in
+  let order () =
+    let idx = Array.init (dim + 1) Fun.id in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    let vs = Array.map (fun i -> vertices.(i)) idx in
+    let fs = Array.map (fun i -> values.(i)) idx in
+    Array.blit vs 0 vertices 0 (dim + 1);
+    Array.blit fs 0 values 0 (dim + 1)
+  in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (try
+     while !iterations < max_iter do
+       incr iterations;
+       order ();
+       if Float.abs (values.(dim) -. values.(0)) <= tolerance then begin
+         converged := true;
+         raise Exit
+       end;
+       let worst = dim in
+       let c = centroid vertices worst in
+       let reflected = combine c vertices.(worst) ~coeff:(-.alpha) in
+       let f_reflected = f reflected in
+       if f_reflected < values.(0) then begin
+         (* Try to expand further along the promising direction. *)
+         let expanded = combine c vertices.(worst) ~coeff:(-.gamma) in
+         let f_expanded = f expanded in
+         if f_expanded < f_reflected then begin
+           vertices.(worst) <- expanded;
+           values.(worst) <- f_expanded
+         end
+         else begin
+           vertices.(worst) <- reflected;
+           values.(worst) <- f_reflected
+         end
+       end
+       else if f_reflected < values.(dim - 1) then begin
+         vertices.(worst) <- reflected;
+         values.(worst) <- f_reflected
+       end
+       else begin
+         let contracted = combine c vertices.(worst) ~coeff:rho in
+         let f_contracted = f contracted in
+         if f_contracted < values.(worst) then begin
+           vertices.(worst) <- contracted;
+           values.(worst) <- f_contracted
+         end
+         else
+           (* Shrink every vertex towards the best. *)
+           for i = 1 to dim do
+             vertices.(i) <- combine vertices.(0) vertices.(i) ~coeff:sigma;
+             values.(i) <- f vertices.(i)
+           done
+       end
+     done
+   with Exit -> ());
+  order ();
+  { x = vertices.(0); fx = values.(0); iterations = !iterations; converged = !converged }
+
+let minimize_multistart ?max_iter ?tolerance ?step ~restarts ~perturb ~f ~init () =
+  if restarts <= 0 then invalid_arg "Nelder_mead.minimize_multistart: restarts must be positive";
+  let best = ref (minimize ?max_iter ?tolerance ?step ~f ~init ()) in
+  for k = 1 to restarts - 1 do
+    let offset = perturb k in
+    let start = Array.init (Array.length init) (fun i -> init.(i) +. offset.(i)) in
+    let r = minimize ?max_iter ?tolerance ?step ~f ~init:start () in
+    if r.fx < !best.fx then best := r
+  done;
+  !best

@@ -1,0 +1,41 @@
+(** Derivative-free minimization (Nelder–Mead downhill simplex).
+
+    Octant's target-height stage (paper §2.2) minimizes the residue of
+    [h_L + h_t + propagation(L, t) = rtt(L, t)] over the three unknowns
+    (target height, longitude, latitude); the objective involves
+    great-circle distances, so there is no clean gradient.  Nelder–Mead
+    with standard coefficients is robust and plenty fast at dimension 3. *)
+
+type result = {
+  x : float array;     (** Argmin found. *)
+  fx : float;          (** Objective value at [x]. *)
+  iterations : int;    (** Iterations consumed. *)
+  converged : bool;    (** True if the simplex collapsed below tolerance. *)
+}
+
+val minimize :
+  ?max_iter:int ->
+  ?tolerance:float ->
+  ?step:float ->
+  f:(float array -> float) ->
+  init:float array ->
+  unit ->
+  result
+(** [minimize ~f ~init ()] runs the downhill simplex from a simplex built
+    around [init] with edge [step] (default 1.0).  Stops when the spread of
+    objective values across the simplex falls below [tolerance]
+    (default 1e-9) or after [max_iter] (default 2000) iterations. *)
+
+val minimize_multistart :
+  ?max_iter:int ->
+  ?tolerance:float ->
+  ?step:float ->
+  restarts:int ->
+  perturb:(int -> float array) ->
+  f:(float array -> float) ->
+  init:float array ->
+  unit ->
+  result
+(** Run [restarts] independent minimizations from [init + perturb k] and keep
+    the best; guards against local minima of the height residual, which is
+    multimodal when landmarks are nearly collinear. *)

@@ -1,0 +1,1 @@
+lib/netsim/city.ml: Array Format Geo Hashtbl List Printf String

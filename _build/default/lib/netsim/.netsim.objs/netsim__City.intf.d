@@ -1,0 +1,1 @@
+lib/netsim/city.mli: Format Geo

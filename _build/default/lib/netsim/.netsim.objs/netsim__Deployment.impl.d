@@ -1,0 +1,1 @@
+lib/netsim/deployment.ml: Array City Float List Measure Stats Topology Whois

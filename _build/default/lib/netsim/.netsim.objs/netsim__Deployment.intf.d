@@ -1,0 +1,1 @@
+lib/netsim/deployment.mli: City Geo Measure Stats Topology Whois

@@ -1,0 +1,1 @@
+lib/netsim/dns.ml: Char City Option String

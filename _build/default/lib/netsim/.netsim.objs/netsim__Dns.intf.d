@@ -1,0 +1,1 @@
+lib/netsim/dns.mli: Geo

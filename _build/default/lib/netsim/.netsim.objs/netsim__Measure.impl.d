@@ -1,0 +1,1 @@
+lib/netsim/measure.ml: Array List Stats Topology

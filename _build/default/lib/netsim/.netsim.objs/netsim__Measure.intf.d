@@ -1,0 +1,1 @@
+lib/netsim/measure.mli: Stats Topology

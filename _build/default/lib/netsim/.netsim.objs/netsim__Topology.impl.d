@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array City Float Geo Hashtbl List Printf Stats String

@@ -1,0 +1,1 @@
+lib/netsim/whois.ml: Array City Hashtbl Stats Topology

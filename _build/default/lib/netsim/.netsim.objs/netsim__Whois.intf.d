@@ -1,0 +1,1 @@
+lib/netsim/whois.mli: City Stats Topology

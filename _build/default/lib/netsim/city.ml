@@ -1,0 +1,251 @@
+type region = North_america | South_america | Europe | Middle_east | Asia | Oceania | Africa
+
+type t = {
+  code : string;
+  name : string;
+  country : string;
+  location : Geo.Geodesy.coord;
+  region : region;
+  hub : bool;
+  exchange : bool;
+}
+
+let mk ?(hub = false) ?(exchange = false) code name country lat lon region =
+  { code; name; country; location = Geo.Geodesy.coord ~lat ~lon; region; hub; exchange }
+
+(* Coordinates are real city coordinates (to ~0.01 degree).  The hub and
+   exchange flags are a simplification of real backbone topology: hubs are
+   cities where large transit providers historically ran PoPs, exchanges are
+   major peering points (MAE-East/West era plus LINX/AMS-IX/DE-CIX etc.). *)
+let all =
+  [|
+    (* --- United States --- *)
+    mk ~hub:true ~exchange:true "NYC" "New York" "US" 40.71 (-74.01) North_america;
+    mk ~hub:true "BOS" "Boston" "US" 42.36 (-71.06) North_america;
+    mk "ITH" "Ithaca" "US" 42.44 (-76.50) North_america;
+    mk "PRN" "Princeton" "US" 40.35 (-74.66) North_america;
+    mk "PHL" "Philadelphia" "US" 39.95 (-75.17) North_america;
+    mk "PIT" "Pittsburgh" "US" 40.44 (-80.00) North_america;
+    mk ~hub:true ~exchange:true "WDC" "Washington" "US" 38.91 (-77.04) North_america;
+    mk "RDU" "Durham" "US" 35.99 (-78.90) North_america;
+    mk ~hub:true "ATL" "Atlanta" "US" 33.75 (-84.39) North_america;
+    mk ~hub:true "MIA" "Miami" "US" 25.76 (-80.19) North_america;
+    mk "MCO" "Orlando" "US" 28.54 (-81.38) North_america;
+    mk "BNA" "Nashville" "US" 36.16 (-86.78) North_america;
+    mk ~hub:true ~exchange:true "CHI" "Chicago" "US" 41.88 (-87.63) North_america;
+    mk "CMI" "Urbana" "US" 40.11 (-88.21) North_america;
+    mk "MSN" "Madison" "US" 43.07 (-89.40) North_america;
+    mk ~hub:true "MSP" "Minneapolis" "US" 44.98 (-93.27) North_america;
+    mk "STL" "St. Louis" "US" 38.63 (-90.20) North_america;
+    mk "MKC" "Kansas City" "US" 39.10 (-94.58) North_america;
+    mk ~hub:true "HOU" "Houston" "US" 29.76 (-95.37) North_america;
+    mk "AUS" "Austin" "US" 30.27 (-97.74) North_america;
+    mk ~hub:true "DFW" "Dallas" "US" 32.78 (-96.80) North_america;
+    mk ~hub:true "DEN" "Denver" "US" 39.74 (-104.99) North_america;
+    mk "SLC" "Salt Lake City" "US" 40.76 (-111.89) North_america;
+    mk "PHX" "Phoenix" "US" 33.45 (-112.07) North_america;
+    mk "TUS" "Tucson" "US" 32.22 (-110.97) North_america;
+    mk "ABQ" "Albuquerque" "US" 35.08 (-106.65) North_america;
+    mk ~hub:true ~exchange:true "LAX" "Los Angeles" "US" 34.05 (-118.24) North_america;
+    mk "SAN" "San Diego" "US" 32.72 (-117.16) North_america;
+    mk ~hub:true ~exchange:true "SJC" "San Jose" "US" 37.34 (-121.89) North_america;
+    mk "BRK" "Berkeley" "US" 37.87 (-122.27) North_america;
+    mk "SFO" "San Francisco" "US" 37.77 (-122.42) North_america;
+    mk "SMF" "Sacramento" "US" 38.58 (-121.49) North_america;
+    mk "PDX" "Portland" "US" 45.52 (-122.68) North_america;
+    mk ~hub:true "SEA" "Seattle" "US" 47.61 (-122.33) North_america;
+    mk "BOI" "Boise" "US" 43.62 (-116.20) North_america;
+    mk "LAS" "Las Vegas" "US" 36.17 (-115.14) North_america;
+    mk "DTW" "Detroit" "US" 42.33 (-83.05) North_america;
+    mk "CLE" "Cleveland" "US" 41.50 (-81.69) North_america;
+    mk "CMH" "Columbus" "US" 39.96 (-83.00) North_america;
+    mk "IND" "Indianapolis" "US" 39.77 (-86.16) North_america;
+    mk "CVG" "Cincinnati" "US" 39.10 (-84.51) North_america;
+    mk "BUF" "Buffalo" "US" 42.89 (-78.88) North_america;
+    mk "ROC" "Rochester" "US" 43.16 (-77.61) North_america;
+    mk "SYR" "Syracuse" "US" 43.05 (-76.15) North_america;
+    mk "ALB" "Albany" "US" 42.65 (-73.75) North_america;
+    mk "BWI" "Baltimore" "US" 39.29 (-76.61) North_america;
+    mk "RIC" "Richmond" "US" 37.54 (-77.44) North_america;
+    mk "CLT" "Charlotte" "US" 35.23 (-80.84) North_america;
+    mk "MEM" "Memphis" "US" 35.15 (-90.05) North_america;
+    mk "MSY" "New Orleans" "US" 29.95 (-90.07) North_america;
+    mk "OKC" "Oklahoma City" "US" 35.47 (-97.52) North_america;
+    mk "OMA" "Omaha" "US" 41.26 (-95.93) North_america;
+    mk "DSM" "Des Moines" "US" 41.59 (-93.62) North_america;
+    mk "SAT" "San Antonio" "US" 29.42 (-98.49) North_america;
+    mk "ELP" "El Paso" "US" 31.76 (-106.49) North_america;
+    mk "EUG" "Eugene" "US" 44.05 (-123.09) North_america;
+    mk "SBA" "Santa Barbara" "US" 34.42 (-119.70) North_america;
+    mk "SNA" "Irvine" "US" 33.68 (-117.83) North_america;
+    mk "PVD" "Providence" "US" 41.82 (-71.41) North_america;
+    mk "BDL" "Hartford" "US" 41.77 (-72.67) North_america;
+    mk "BTV" "Burlington" "US" 44.48 (-73.21) North_america;
+    mk "LEB" "Hanover" "US" 43.70 (-72.29) North_america;
+    mk "SCE" "State College" "US" 40.79 (-77.86) North_america;
+    mk "ARB" "Ann Arbor" "US" 42.28 (-83.74) North_america;
+    mk "BMG" "Bloomington" "US" 39.17 (-86.53) North_america;
+    mk "WBU" "Boulder" "US" 40.01 (-105.27) North_america;
+    mk "CVO" "Corvallis" "US" 44.56 (-123.26) North_america;
+    mk "GNV" "Gainesville" "US" 29.65 (-82.32) North_america;
+    mk "LNK" "Lincoln" "US" 40.81 (-96.68) North_america;
+    mk "TLH" "Tallahassee" "US" 30.44 (-84.28) North_america;
+    mk "TYS" "Knoxville" "US" 35.96 (-83.92) North_america;
+    mk "LEX" "Lexington" "US" 38.04 (-84.50) North_america;
+    (* --- Canada --- *)
+    mk ~hub:true "YYZ" "Toronto" "CA" 43.65 (-79.38) North_america;
+    mk "YUL" "Montreal" "CA" 45.50 (-73.57) North_america;
+    mk "YVR" "Vancouver" "CA" 49.28 (-123.12) North_america;
+    mk "YOW" "Ottawa" "CA" 45.42 (-75.70) North_america;
+    mk "YYC" "Calgary" "CA" 51.05 (-114.07) North_america;
+    mk "YHZ" "Halifax" "CA" 44.65 (-63.58) North_america;
+    mk "YEG" "Edmonton" "CA" 53.55 (-113.49) North_america;
+    mk "YWG" "Winnipeg" "CA" 49.90 (-97.14) North_america;
+    (* --- Latin America --- *)
+    mk ~hub:true "MEX" "Mexico City" "MX" 19.43 (-99.13) North_america;
+    mk "GDL" "Guadalajara" "MX" 20.67 (-103.35) North_america;
+    mk "MTY" "Monterrey" "MX" 25.67 (-100.31) North_america;
+    mk ~hub:true ~exchange:true "GRU" "Sao Paulo" "BR" (-23.55) (-46.63) South_america;
+    mk "GIG" "Rio de Janeiro" "BR" (-22.91) (-43.17) South_america;
+    mk ~hub:true "EZE" "Buenos Aires" "AR" (-34.60) (-58.38) South_america;
+    mk "SCL" "Santiago" "CL" (-33.45) (-70.67) South_america;
+    mk "BOG" "Bogota" "CO" 4.71 (-74.07) South_america;
+    mk "LIM" "Lima" "PE" (-12.05) (-77.04) South_america;
+    mk "MVD" "Montevideo" "UY" (-34.90) (-56.16) South_america;
+    (* --- Europe --- *)
+    mk ~hub:true ~exchange:true "LHR" "London" "GB" 51.51 (-0.13) Europe;
+    mk "CBG" "Cambridge" "GB" 52.21 0.12 Europe;
+    mk "OXF" "Oxford" "GB" 51.75 (-1.26) Europe;
+    mk "MAN" "Manchester" "GB" 53.48 (-2.24) Europe;
+    mk "EDI" "Edinburgh" "GB" 55.95 (-3.19) Europe;
+    mk "GLA" "Glasgow" "GB" 55.86 (-4.25) Europe;
+    mk "DUB" "Dublin" "IE" 53.35 (-6.26) Europe;
+    mk ~hub:true ~exchange:true "PAR" "Paris" "FR" 48.86 2.35 Europe;
+    mk "LYS" "Lyon" "FR" 45.76 4.84 Europe;
+    mk "TLS" "Toulouse" "FR" 43.60 1.44 Europe;
+    mk "GNB" "Grenoble" "FR" 45.19 5.72 Europe;
+    mk "NCE" "Nice" "FR" 43.70 7.27 Europe;
+    mk ~hub:true ~exchange:true "FRA" "Frankfurt" "DE" 50.11 8.68 Europe;
+    mk ~hub:true "BER" "Berlin" "DE" 52.52 13.40 Europe;
+    mk "MUC" "Munich" "DE" 48.14 11.58 Europe;
+    mk "HAM" "Hamburg" "DE" 53.55 9.99 Europe;
+    mk "CGN" "Cologne" "DE" 50.94 6.96 Europe;
+    mk "STR" "Stuttgart" "DE" 48.78 9.18 Europe;
+    mk "FKB" "Karlsruhe" "DE" 49.01 8.40 Europe;
+    mk ~hub:true ~exchange:true "AMS" "Amsterdam" "NL" 52.37 4.90 Europe;
+    mk "BRU" "Brussels" "BE" 50.85 4.35 Europe;
+    mk "LUX" "Luxembourg" "LU" 49.61 6.13 Europe;
+    mk ~hub:true "ZRH" "Zurich" "CH" 47.37 8.54 Europe;
+    mk "GVA" "Geneva" "CH" 46.20 6.14 Europe;
+    mk "QLS" "Lausanne" "CH" 46.52 6.63 Europe;
+    mk ~hub:true "VIE" "Vienna" "AT" 48.21 16.37 Europe;
+    mk "PRG" "Prague" "CZ" 50.08 14.44 Europe;
+    mk "BUD" "Budapest" "HU" 47.50 19.04 Europe;
+    mk ~hub:true "WAW" "Warsaw" "PL" 52.23 21.01 Europe;
+    mk "KRK" "Krakow" "PL" 50.06 19.94 Europe;
+    mk "POZ" "Poznan" "PL" 52.41 16.93 Europe;
+    mk ~hub:true "CPH" "Copenhagen" "DK" 55.68 12.57 Europe;
+    mk ~hub:true "ARN" "Stockholm" "SE" 59.33 18.07 Europe;
+    mk "GOT" "Gothenburg" "SE" 57.71 11.97 Europe;
+    mk "OSL" "Oslo" "NO" 59.91 10.75 Europe;
+    mk "TRD" "Trondheim" "NO" 63.43 10.40 Europe;
+    mk "HEL" "Helsinki" "FI" 60.17 24.94 Europe;
+    mk "OUL" "Oulu" "FI" 65.01 25.47 Europe;
+    mk "TLL" "Tallinn" "EE" 59.44 24.75 Europe;
+    mk "RIX" "Riga" "LV" 56.95 24.11 Europe;
+    mk "VNO" "Vilnius" "LT" 54.69 25.28 Europe;
+    mk ~hub:true "MAD" "Madrid" "ES" 40.42 (-3.70) Europe;
+    mk "BCN" "Barcelona" "ES" 41.39 2.17 Europe;
+    mk "LIS" "Lisbon" "PT" 38.72 (-9.14) Europe;
+    mk "OPO" "Porto" "PT" 41.15 (-8.61) Europe;
+    mk ~hub:true ~exchange:true "MIL" "Milan" "IT" 45.46 9.19 Europe;
+    mk "ROM" "Rome" "IT" 41.90 12.50 Europe;
+    mk "TRN" "Turin" "IT" 45.07 7.69 Europe;
+    mk "BLQ" "Bologna" "IT" 44.49 11.34 Europe;
+    mk "PSA" "Pisa" "IT" 43.72 10.40 Europe;
+    mk "ATH" "Athens" "GR" 37.98 23.73 Europe;
+    mk "SKG" "Thessaloniki" "GR" 40.64 22.94 Europe;
+    mk ~hub:true "IST" "Istanbul" "TR" 41.01 28.98 Europe;
+    mk "ESB" "Ankara" "TR" 39.93 32.86 Europe;
+    mk ~hub:true "MOW" "Moscow" "RU" 55.76 37.62 Europe;
+    mk "LED" "St. Petersburg" "RU" 59.93 30.34 Europe;
+    mk "ZAG" "Zagreb" "HR" 45.81 15.98 Europe;
+    mk "BEG" "Belgrade" "RS" 44.79 20.45 Europe;
+    mk "SOF" "Sofia" "BG" 42.70 23.32 Europe;
+    mk "OTP" "Bucharest" "RO" 44.43 26.10 Europe;
+    mk "KBP" "Kyiv" "UA" 50.45 30.52 Europe;
+    mk "REK" "Reykjavik" "IS" 64.15 (-21.94) Europe;
+    (* --- Middle East --- *)
+    mk "TLV" "Tel Aviv" "IL" 32.08 34.78 Middle_east;
+    mk "JRS" "Jerusalem" "IL" 31.77 35.21 Middle_east;
+    mk "CAI" "Cairo" "EG" 30.04 31.24 Middle_east;
+    mk ~hub:true "DXB" "Dubai" "AE" 25.20 55.27 Middle_east;
+    mk "DOH" "Doha" "QA" 25.29 51.53 Middle_east;
+    mk "AMM" "Amman" "JO" 31.95 35.93 Middle_east;
+    mk "RUH" "Riyadh" "SA" 24.71 46.68 Middle_east;
+    (* --- Asia --- *)
+    mk ~hub:true ~exchange:true "TYO" "Tokyo" "JP" 35.68 139.69 Asia;
+    mk "OSA" "Osaka" "JP" 34.69 135.50 Asia;
+    mk "NGO" "Nagoya" "JP" 35.18 136.91 Asia;
+    mk "FUK" "Fukuoka" "JP" 33.59 130.40 Asia;
+    mk "CTS" "Sapporo" "JP" 43.06 141.35 Asia;
+    mk ~hub:true ~exchange:true "SEL" "Seoul" "KR" 37.57 126.98 Asia;
+    mk "PUS" "Busan" "KR" 35.18 129.08 Asia;
+    mk ~hub:true "TPE" "Taipei" "TW" 25.03 121.57 Asia;
+    mk "HSZ" "Hsinchu" "TW" 24.80 120.97 Asia;
+    mk ~hub:true ~exchange:true "HKG" "Hong Kong" "HK" 22.32 114.17 Asia;
+    mk ~hub:true "PEK" "Beijing" "CN" 39.90 116.41 Asia;
+    mk ~hub:true "PVG" "Shanghai" "CN" 31.23 121.47 Asia;
+    mk "CAN" "Guangzhou" "CN" 23.13 113.26 Asia;
+    mk "SZX" "Shenzhen" "CN" 22.54 114.06 Asia;
+    mk ~hub:true ~exchange:true "SIN" "Singapore" "SG" 1.35 103.82 Asia;
+    mk "KUL" "Kuala Lumpur" "MY" 3.14 101.69 Asia;
+    mk ~hub:true "BKK" "Bangkok" "TH" 13.76 100.50 Asia;
+    mk "SGN" "Ho Chi Minh City" "VN" 10.82 106.63 Asia;
+    mk ~hub:true "DEL" "Delhi" "IN" 28.61 77.21 Asia;
+    mk ~hub:true "BOM" "Mumbai" "IN" 19.08 72.88 Asia;
+    mk "BLR" "Bangalore" "IN" 12.97 77.59 Asia;
+    mk "MAA" "Chennai" "IN" 13.08 80.27 Asia;
+    mk "HYD" "Hyderabad" "IN" 17.39 78.49 Asia;
+    mk "KHI" "Karachi" "PK" 24.86 67.00 Asia;
+    (* --- Oceania --- *)
+    mk ~hub:true ~exchange:true "SYD" "Sydney" "AU" (-33.87) 151.21 Oceania;
+    mk ~hub:true "MEL" "Melbourne" "AU" (-37.81) 144.96 Oceania;
+    mk "BNE" "Brisbane" "AU" (-27.47) 153.03 Oceania;
+    mk "PER" "Perth" "AU" (-31.95) 115.86 Oceania;
+    mk "ADL" "Adelaide" "AU" (-34.93) 138.60 Oceania;
+    mk "CBR" "Canberra" "AU" (-35.28) 149.13 Oceania;
+    mk "AKL" "Auckland" "NZ" (-36.85) 174.76 Oceania;
+    mk "WLG" "Wellington" "NZ" (-41.29) 174.78 Oceania;
+    mk "CHC" "Christchurch" "NZ" (-43.53) 172.64 Oceania;
+    (* --- Africa --- *)
+    mk ~hub:true "JNB" "Johannesburg" "ZA" (-26.20) 28.05 Africa;
+    mk "CPT" "Cape Town" "ZA" (-33.92) 18.42 Africa;
+    mk "NBO" "Nairobi" "KE" (-1.29) 36.82 Africa;
+    mk "ACC" "Accra" "GH" 5.60 (-0.19) Africa;
+    mk "TUN" "Tunis" "TN" 36.81 10.18 Africa;
+    mk "CMN" "Casablanca" "MA" 33.57 (-7.59) Africa;
+    mk "ALG" "Algiers" "DZ" 36.75 3.06 Africa;
+  |]
+
+let hubs = Array.of_list (List.filter (fun city -> city.hub) (Array.to_list all))
+let exchanges = Array.of_list (List.filter (fun city -> city.exchange) (Array.to_list all))
+
+let by_code = Hashtbl.create 256
+
+let () =
+  Array.iter
+    (fun city ->
+      if Hashtbl.mem by_code city.code then
+        invalid_arg (Printf.sprintf "City: duplicate code %s" city.code);
+      Hashtbl.add by_code city.code city)
+    all
+
+let find code = Hashtbl.find_opt by_code (String.uppercase_ascii code)
+let find_exn code = match find code with Some c -> c | None -> raise Not_found
+
+let distance_km a b = Geo.Geodesy.distance_km a.location b.location
+
+let in_region r = Array.of_list (List.filter (fun city -> city.region = r) (Array.to_list all))
+
+let pp fmt c = Format.fprintf fmt "%s (%s, %s)" c.name c.code c.country

@@ -1,0 +1,39 @@
+(** Embedded city database.
+
+    The simulator replaces PlanetLab with a synthetic deployment drawn from
+    this database of real cities (coordinates are real; the network on top
+    of them is synthetic).  Cities carry the IATA-style code used to build
+    router DNS names — the same information channel the undns tool decodes
+    in the paper (§2.3) — plus flags marking backbone hub cities and
+    inter-provider exchange points. *)
+
+type region = North_america | South_america | Europe | Middle_east | Asia | Oceania | Africa
+
+type t = {
+  code : string;       (** Airport-style code used in router DNS names. *)
+  name : string;
+  country : string;    (** ISO-ish two-letter country code. *)
+  location : Geo.Geodesy.coord;
+  region : region;
+  hub : bool;          (** Hosts backbone provider PoPs. *)
+  exchange : bool;     (** Providers peer here. *)
+}
+
+val all : t array
+(** The full database.  Codes are unique; every city is on
+    {!Geo.Landmass} land (enforced by the test suite). *)
+
+val hubs : t array
+val exchanges : t array
+
+val find : string -> t option
+(** Lookup by code (case-insensitive). *)
+
+val find_exn : string -> t
+(** @raise Not_found when the code is unknown. *)
+
+val distance_km : t -> t -> float
+
+val in_region : region -> t array
+
+val pp : Format.formatter -> t -> unit

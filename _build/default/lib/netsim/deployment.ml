@@ -1,0 +1,89 @@
+type mix = { north_america : float; europe : float; asia : float; rest : float }
+
+let planetlab_mix = { north_america = 0.55; europe = 0.30; asia = 0.10; rest = 0.05 }
+
+type t = {
+  topo : Topology.t;
+  whois : Whois.t;
+  hosts : int array;
+  probe_model : Measure.probe_model;
+  measure_rng : Stats.Rng.t;
+}
+
+let zone_of_city city =
+  match city.City.region with
+  | City.North_america -> `North_america
+  | City.Europe -> `Europe
+  | City.Asia -> `Asia
+  | City.South_america | City.Middle_east | City.Oceania | City.Africa -> `Rest
+
+let pick_host_cities rng mix n =
+  let all = Array.to_list City.all in
+  let of_zone z = Array.of_list (List.filter (fun c -> zone_of_city c = z) all) in
+  let na = of_zone `North_america and eu = of_zone `Europe in
+  let asia = of_zone `Asia and rest = of_zone `Rest in
+  Stats.Rng.shuffle rng na;
+  Stats.Rng.shuffle rng eu;
+  Stats.Rng.shuffle rng asia;
+  Stats.Rng.shuffle rng rest;
+  let quota = [|
+    (na, int_of_float (Float.round (mix.north_america *. float_of_int n)));
+    (eu, int_of_float (Float.round (mix.europe *. float_of_int n)));
+    (asia, int_of_float (Float.round (mix.asia *. float_of_int n)));
+    (rest, max 0 n);  (* the rest pool absorbs rounding *)
+  |] in
+  let chosen = ref [] and count = ref 0 in
+  Array.iter
+    (fun (pool, want) ->
+      let want = min want (n - !count) in
+      let take = min want (Array.length pool) in
+      for i = 0 to take - 1 do
+        chosen := pool.(i) :: !chosen;
+        incr count
+      done)
+    quota;
+  (* Top up from any zone if quotas undershot. *)
+  if !count < n then begin
+    let leftovers =
+      List.filter (fun c -> not (List.memq c !chosen)) all |> Array.of_list
+    in
+    Stats.Rng.shuffle rng leftovers;
+    let need = n - !count in
+    if need > Array.length leftovers then
+      invalid_arg "Deployment: n_hosts exceeds the city database";
+    for i = 0 to need - 1 do
+      chosen := leftovers.(i) :: !chosen;
+      incr count
+    done
+  end;
+  Array.of_list (List.rev !chosen)
+
+let make ?params ?(mix = planetlab_mix) ?(probe_model = Measure.default_probe_model) ~seed
+    ~n_hosts () =
+  if n_hosts < 2 then invalid_arg "Deployment.make: need at least two hosts";
+  let rng = Stats.Rng.create seed in
+  let topo_rng = Stats.Rng.split rng in
+  let pick_rng = Stats.Rng.split rng in
+  let whois_rng = Stats.Rng.split rng in
+  let measure_rng = Stats.Rng.split rng in
+  let topo = Topology.build ?params ~rng:topo_rng () in
+  let cities = pick_host_cities pick_rng mix n_hosts in
+  let hosts = Array.map (Topology.host_of_city topo) cities in
+  let whois = Whois.build topo whois_rng in
+  { topo; whois; hosts; probe_model; measure_rng }
+
+let topology t = t.topo
+let whois t = t.whois
+let hosts t = t.hosts
+let host_city t id = (Topology.node t.topo id).Topology.city
+let host_position t id = (host_city t id).City.location
+
+let min_rtt ?(probes = 10) t ~src ~dst =
+  Measure.min_rtt ~model:t.probe_model ~probes t.topo t.measure_rng ~src ~dst
+
+let traceroute ?(probes = 3) t ~src ~dst =
+  Measure.traceroute ~model:t.probe_model ~probes t.topo t.measure_rng ~src ~dst
+
+let dns_name t id = (Topology.node t.topo id).Topology.dns_name
+
+let rng t = t.measure_rng

@@ -1,0 +1,53 @@
+(** A PlanetLab-style experimental deployment.
+
+    Builds the topology, picks [n_hosts] host cities with a PlanetLab-like
+    geographic mix (North-America-heavy, then Europe, then Asia), and
+    offers the measurement surface the evaluation uses: pairwise min-RTTs,
+    traceroutes with per-hop RTTs, the WHOIS registry, and ground-truth
+    positions.  One host per city, mirroring the paper's "no two hosts in
+    the same institution" rule. *)
+
+type t
+
+type mix = {
+  north_america : float;
+  europe : float;
+  asia : float;
+  rest : float;
+}
+(** Fractions of hosts drawn from each zone; must sum to ~1. *)
+
+val planetlab_mix : mix
+(** 0.55 / 0.30 / 0.10 / 0.05 — the rough 2006 PlanetLab distribution. *)
+
+val make :
+  ?params:Topology.params ->
+  ?mix:mix ->
+  ?probe_model:Measure.probe_model ->
+  seed:int ->
+  n_hosts:int ->
+  unit ->
+  t
+(** Deterministic in [seed].
+    @raise Invalid_argument if [n_hosts] exceeds the city database. *)
+
+val topology : t -> Topology.t
+val whois : t -> Whois.t
+val hosts : t -> int array
+(** Node ids of the deployed hosts. *)
+
+val host_city : t -> int -> City.t
+val host_position : t -> int -> Geo.Geodesy.coord
+(** Ground truth (used for evaluation and for landmark positions only). *)
+
+val min_rtt : ?probes:int -> t -> src:int -> dst:int -> float
+(** Min-of-probes RTT in ms (fresh probes each call, deterministic
+    stream). *)
+
+val traceroute : ?probes:int -> t -> src:int -> dst:int -> Measure.hop list
+
+val dns_name : t -> int -> string option
+
+val rng : t -> Stats.Rng.t
+(** The deployment's private random stream (for callers that need extra
+    randomness tied to the same seed). *)

@@ -1,0 +1,33 @@
+let coverage_fraction = 0.75
+
+(* Deterministic hash-based selection so that every run agrees on which
+   non-hub codes undns knows about. *)
+let code_hash code =
+  let h = ref 5381 in
+  String.iter (fun ch -> h := ((!h lsl 5) + !h + Char.code ch) land 0x3FFFFFFF) code;
+  !h
+
+let covered code =
+  match City.find code with
+  | None -> false
+  | Some city ->
+      city.City.hub
+      || float_of_int (code_hash (String.uppercase_ascii code) mod 1000) < coverage_fraction *. 1000.0
+
+let lookup code =
+  if covered code then Option.map (fun c -> c.City.location) (City.find code) else None
+
+(* Router names look like "bb2-chi-3-1.sprintlink.net" or
+   "ar1-itd-0-2.telia.net"; the city token is the second dash field of the
+   first label.  Opaque names ("core42-17.telia.net") have a numeric second
+   field and decode to nothing. *)
+let decode name =
+  match String.index_opt name '.' with
+  | None -> None
+  | Some dot ->
+      let label = String.sub name 0 dot in
+      (match String.split_on_char '-' label with
+      | _ :: city_token :: _ when String.length city_token >= 3 ->
+          let is_alpha = String.for_all (fun ch -> ch >= 'a' && ch <= 'z') city_token in
+          if is_alpha then lookup (String.uppercase_ascii city_token) else None
+      | _ -> None)

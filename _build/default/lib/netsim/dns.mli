@@ -1,0 +1,23 @@
+(** The simulator's stand-in for the undns database.
+
+    undns (Spring et al., Rocketfuel) maps ISP router naming conventions to
+    locations.  Here the convention is the one {!Topology} generates
+    ("bb2-chi-3-1.sprintlink.net"): the second dash-separated token of the
+    left-most label is a city code.  Coverage is partial, as in reality:
+    every hub city is in the database, while non-hub cities are covered
+    with a fixed probability decided deterministically from the city code,
+    so that all deployments agree on which codes are decodable. *)
+
+val covered : string -> bool
+(** Is this city code in the undns database? *)
+
+val lookup : string -> Geo.Geodesy.coord option
+(** Location for a covered code. *)
+
+val coverage_fraction : float
+(** Fraction of non-hub cities covered (compile-time constant, 0.75). *)
+
+val decode : string -> Geo.Geodesy.coord option
+(** Full undns emulation: parse a reverse-DNS router name, extract the
+    candidate city token, and look it up.  Returns [None] for opaque
+    names, unknown codes, and host names. *)

@@ -1,0 +1,51 @@
+type probe_model = {
+  jitter_rate : float;
+  spike_probability : float;
+  spike_scale_ms : float;
+  spike_shape : float;
+}
+
+let default_probe_model =
+  { jitter_rate = 1.0 /. 0.6; spike_probability = 0.04; spike_scale_ms = 4.0; spike_shape = 1.4 }
+
+let queuing_excess model rng =
+  let jitter = Stats.Rng.exponential rng ~rate:model.jitter_rate in
+  if Stats.Rng.bernoulli rng model.spike_probability then
+    jitter +. Stats.Rng.pareto rng ~scale:model.spike_scale_ms ~shape:model.spike_shape
+    -. model.spike_scale_ms
+  else jitter
+
+let probe_rtt ?(model = default_probe_model) topo rng ~src ~dst =
+  Topology.base_rtt_ms topo src dst +. queuing_excess model rng
+
+let min_rtt ?(model = default_probe_model) ?(probes = 10) topo rng ~src ~dst =
+  if probes < 1 then invalid_arg "Measure.min_rtt: need at least one probe";
+  let best = ref infinity in
+  for _ = 1 to probes do
+    let rtt = probe_rtt ~model topo rng ~src ~dst in
+    if rtt < !best then best := rtt
+  done;
+  !best
+
+type hop = { node : int; hop_rtt_ms : float }
+
+let traceroute ?(model = default_probe_model) ?(probes = 3) topo rng ~src ~dst =
+  let full_path = Topology.path topo src dst in
+  match full_path with
+  | [] | [ _ ] -> []
+  | _ :: hops ->
+      List.map
+        (fun node -> { node; hop_rtt_ms = min_rtt ~model ~probes topo rng ~src ~dst:node })
+        hops
+
+let rtt_matrix ?(model = default_probe_model) ?(probes = 10) topo rng ids =
+  let n = Array.length ids in
+  let m = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let rtt = min_rtt ~model ~probes topo rng ~src:ids.(i) ~dst:ids.(j) in
+      m.(i).(j) <- rtt;
+      m.(j).(i) <- rtt
+    done
+  done;
+  m

@@ -1,0 +1,41 @@
+(** Active measurements over the simulated topology.
+
+    Probe RTTs decompose exactly the way the paper models them: a
+    deterministic floor (propagation along the policy-routed path in both
+    directions plus both endpoint heights) and a non-negative random
+    queuing excess per probe.  Taking the minimum of several time-dispersed
+    probes — 10 in the paper's data collection — approaches the floor but
+    never goes below it, so the height term is irreducible: exactly the
+    component Octant's height solver (§2.2) must estimate and remove. *)
+
+type probe_model = {
+  jitter_rate : float;     (** Rate of the exponential per-probe queuing excess (default 1/0.6 ms). *)
+  spike_probability : float; (** Chance a probe hits a congested queue (default 0.04). *)
+  spike_scale_ms : float;  (** Pareto scale of congestion spikes (default 4.0). *)
+  spike_shape : float;     (** Pareto shape (default 1.4). *)
+}
+
+val default_probe_model : probe_model
+
+val probe_rtt :
+  ?model:probe_model -> Topology.t -> Stats.Rng.t -> src:int -> dst:int -> float
+(** One ICMP-style probe: base RTT plus random queuing excess, in ms. *)
+
+val min_rtt :
+  ?model:probe_model -> ?probes:int -> Topology.t -> Stats.Rng.t -> src:int -> dst:int -> float
+(** Minimum over [probes] (default 10) time-dispersed probes. *)
+
+type hop = {
+  node : int;        (** Router (or destination) node id. *)
+  hop_rtt_ms : float; (** Min RTT from the source to this hop. *)
+}
+
+val traceroute :
+  ?model:probe_model -> ?probes:int -> Topology.t -> Stats.Rng.t -> src:int -> dst:int -> hop list
+(** Traceroute with per-hop minimum RTTs; excludes the source itself,
+    includes the destination as last hop.  Hop RTTs are measured with the
+    same probe model (3 probes per hop by default, like real traceroute). *)
+
+val rtt_matrix :
+  ?model:probe_model -> ?probes:int -> Topology.t -> Stats.Rng.t -> int array -> float array array
+(** Pairwise min-RTT matrix over a node set; diagonal is 0. *)

@@ -1,0 +1,437 @@
+type node_kind = Backbone of int | Access of int | Host
+
+type node = {
+  id : int;
+  kind : node_kind;
+  city : City.t;
+  dns_name : string option;
+  height_ms : float;
+}
+
+type link = { other : int; oneway_ms : float; weight : float }
+
+type params = {
+  n_providers : int;
+  pop_presence : float;
+  fiber_inflation_lo : float;
+  fiber_inflation_hi : float;
+  peering_penalty_ms : float;
+  router_height_mean_ms : float;
+  host_height_mean_ms : float;
+  host_height_floor_ms : float;
+  dns_opaque_fraction : float;
+  dns_missing_fraction : float;
+  access_city_code_fraction : float;
+  backbone_shortcuts : int;
+}
+
+let default_params =
+  {
+    n_providers = 4;
+    pop_presence = 0.75;
+    fiber_inflation_lo = 1.15;
+    fiber_inflation_hi = 1.6;
+    peering_penalty_ms = 5.0;
+    router_height_mean_ms = 0.3;
+    host_height_mean_ms = 1.2;
+    host_height_floor_ms = 0.4;
+    dns_opaque_fraction = 0.2;
+    dns_missing_fraction = 0.1;
+    access_city_code_fraction = 0.55;
+    backbone_shortcuts = 4;
+  }
+
+type t = {
+  params : params;
+  nodes : node array;
+  adj : link list array;
+  provider_names : string array;
+  host_by_code : (string, int) Hashtbl.t;
+  access_by_code : (string, int) Hashtbl.t;
+  dijkstra_cache : (int, (float * int) array) Hashtbl.t; (* src -> (dist, pred) per node *)
+}
+
+let provider_pool =
+  [| "sprintlink"; "telia"; "cogentco"; "level3"; "gblx"; "abovenet"; "twtelecom"; "savvis" |]
+
+let oneway_of_km params rng km =
+  let inflation = Stats.Rng.uniform rng params.fiber_inflation_lo params.fiber_inflation_hi in
+  (* Propagation at 2/3 c along an inflated fiber path, plus a small fixed
+     per-hop forwarding cost. *)
+  (km *. inflation /. Geo.Geodesy.c_fiber_km_per_ms) +. 0.05
+
+let router_height params rng = 0.05 +. Stats.Rng.exponential rng ~rate:(1.0 /. params.router_height_mean_ms)
+
+let host_height params rng =
+  params.host_height_floor_ms +. Stats.Rng.exponential rng ~rate:(1.0 /. params.host_height_mean_ms)
+
+(* Reverse-DNS name for a router: most names embed the city code the way
+   real PoP naming schemes do ("bb2-chi.sprintlink.net"); a tunable
+   fraction is opaque or absent, which is exactly the partial coverage
+   undns has in the paper. *)
+let router_dns params rng ~prefix ~index ~city ~provider =
+  if Stats.Rng.bernoulli rng params.dns_missing_fraction then None
+  else if Stats.Rng.bernoulli rng params.dns_opaque_fraction then
+    Some (Printf.sprintf "%s%d-%d.%s.net" prefix index (Stats.Rng.int rng 1000) provider)
+  else
+    Some
+      (Printf.sprintf "%s%d-%s-%d-%d.%s.net" prefix index
+         (String.lowercase_ascii city.City.code)
+         (Stats.Rng.int rng 16) (Stats.Rng.int rng 8) provider)
+
+let build ?(params = default_params) ~rng () =
+  if params.n_providers < 1 || params.n_providers > Array.length provider_pool then
+    invalid_arg "Topology.build: unsupported provider count";
+  let provider_names = Array.sub provider_pool 0 params.n_providers in
+  let nodes = ref [] in
+  let n_nodes = ref 0 in
+  let links = ref [] in
+  let fresh kind city dns_name height_ms =
+    let id = !n_nodes in
+    incr n_nodes;
+    nodes := { id; kind; city; dns_name; height_ms } :: !nodes;
+    id
+  in
+  let add_link u v oneway weight =
+    links := (u, v, oneway, weight) :: (v, u, oneway, weight) :: !links
+  in
+  let link_cities u v cu cv extra_weight =
+    let km = City.distance_km cu cv in
+    let oneway = oneway_of_km params rng km in
+    add_link u v oneway (oneway +. extra_weight)
+  in
+
+  (* --- Backbone PoPs --- *)
+  let hubs = City.hubs in
+  let pops = Array.make params.n_providers [] in
+  for p = 0 to params.n_providers - 1 do
+    let mine = ref [] in
+    Array.iter
+      (fun city -> if Stats.Rng.bernoulli rng params.pop_presence then mine := city :: !mine)
+      hubs;
+    (* Every provider must be present at two exchanges at least, or it
+       could end up unreachable from the rest of the world. *)
+    let exchange_count = List.length (List.filter (fun c -> c.City.exchange) !mine) in
+    if exchange_count < 2 then begin
+      let missing =
+        Array.to_list City.exchanges |> List.filter (fun c -> not (List.memq c !mine))
+      in
+      let need = 2 - exchange_count in
+      List.iteri (fun i c -> if i < need then mine := c :: !mine) missing
+    end;
+    if List.length !mine < 4 then begin
+      Array.iter (fun c -> if not (List.memq c !mine) && List.length !mine < 4 then mine := c :: !mine) hubs
+    end;
+    pops.(p) <-
+      List.map
+        (fun city ->
+          let name =
+            router_dns params rng ~prefix:"bb" ~index:(1 + Stats.Rng.int rng 4) ~city
+              ~provider:provider_names.(p)
+          in
+          let id = fresh (Backbone p) city name (router_height params rng) in
+          (city, id))
+        !mine
+  done;
+
+  (* --- Intra-provider backbone wiring: MST + 2-nearest + shortcuts --- *)
+  for p = 0 to params.n_providers - 1 do
+    let pop_arr = Array.of_list pops.(p) in
+    let n = Array.length pop_arr in
+    if n > 1 then begin
+      let connected = Array.make n false in
+      let edge_added = Hashtbl.create 64 in
+      let add i j =
+        let key = (min i j, max i j) in
+        if i <> j && not (Hashtbl.mem edge_added key) then begin
+          Hashtbl.add edge_added key ();
+          let ci, ui = pop_arr.(i) and cj, uj = pop_arr.(j) in
+          link_cities ui uj ci cj 0.0
+        end
+      in
+      (* Prim's MST on great-circle distance. *)
+      connected.(0) <- true;
+      for _ = 1 to n - 1 do
+        let best = ref None in
+        for i = 0 to n - 1 do
+          if connected.(i) then
+            for j = 0 to n - 1 do
+              if not connected.(j) then begin
+                let d = City.distance_km (fst pop_arr.(i)) (fst pop_arr.(j)) in
+                match !best with
+                | Some (_, _, bd) when bd <= d -> ()
+                | _ -> best := Some (i, j, d)
+              end
+            done
+        done;
+        match !best with
+        | Some (i, j, _) ->
+            connected.(j) <- true;
+            add i j
+        | None -> ()
+      done;
+      (* Each PoP also links to its two nearest peers (redundancy). *)
+      for i = 0 to n - 1 do
+        let dists =
+          Array.init n (fun j -> (City.distance_km (fst pop_arr.(i)) (fst pop_arr.(j)), j))
+        in
+        Array.sort compare dists;
+        let linked = ref 0 in
+        Array.iter
+          (fun (_, j) ->
+            if j <> i && !linked < 2 then begin
+              add i j;
+              incr linked
+            end)
+          dists
+      done;
+      (* A few random long-haul shortcuts. *)
+      for _ = 1 to params.backbone_shortcuts do
+        add (Stats.Rng.int rng n) (Stats.Rng.int rng n)
+      done
+    end
+  done;
+
+  (* --- Peering at exchange cities --- *)
+  Array.iter
+    (fun exchange_city ->
+      let present =
+        Array.init params.n_providers (fun p ->
+            List.find_opt (fun (c, _) -> c == exchange_city) pops.(p))
+      in
+      for p = 0 to params.n_providers - 1 do
+        for q = p + 1 to params.n_providers - 1 do
+          match (present.(p), present.(q)) with
+          | Some (_, u), Some (_, v) ->
+              (* Same-building cross-connect: tiny propagation, but a large
+                 routing penalty models the policy preference for staying
+                 on-net (hot-potato + provider preference). *)
+              add_link u v 0.15 (0.15 +. params.peering_penalty_ms)
+          | _ -> ()
+        done
+      done)
+    City.exchanges;
+
+  (* --- Access routers and hosts, one per city --- *)
+  let host_by_code = Hashtbl.create 256 in
+  let access_by_code = Hashtbl.create 256 in
+  Array.iter
+    (fun city ->
+      (* Home provider: biased towards providers with a nearby PoP. *)
+      let nearest_pop_dist p =
+        List.fold_left
+          (fun acc (c, _) -> Float.min acc (City.distance_km city c))
+          infinity pops.(p)
+      in
+      let weights =
+        (* Strongly favour providers with a nearby PoP: real access
+           networks buy transit locally; a cubic falloff makes a
+           500-km-away provider ~30x less likely than a 100-km one. *)
+        Array.init params.n_providers (fun p ->
+            let d = nearest_pop_dist p in
+            1.0 /. ((100.0 +. d) ** 3.0))
+      in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let pick = Stats.Rng.float rng total in
+      let provider =
+        let acc = ref 0.0 and chosen = ref 0 in
+        Array.iteri
+          (fun p w ->
+            if !acc <= pick then chosen := p;
+            acc := !acc +. w)
+          weights;
+        !chosen
+      in
+      (* Aggregation/access routers rarely carry a clean city code in real
+         naming schemes; most are opaque.  This is what keeps GeoTrack's
+         last recognizable router typically one metro away. *)
+      let access_name =
+        if Stats.Rng.bernoulli rng params.access_city_code_fraction then
+          router_dns params rng ~prefix:"ar" ~index:(1 + Stats.Rng.int rng 2) ~city
+            ~provider:provider_names.(provider)
+        else if Stats.Rng.bernoulli rng params.dns_missing_fraction then None
+        else
+          Some
+            (Printf.sprintf "ar%d-%d.%s.net" (1 + Stats.Rng.int rng 2)
+               (Stats.Rng.int rng 1000) provider_names.(provider))
+      in
+      let access = fresh (Access provider) city access_name (router_height params rng) in
+      (* Connect to the provider's two nearest PoPs. *)
+      let sorted =
+        List.sort
+          (fun (c1, _) (c2, _) ->
+            compare (City.distance_km city c1) (City.distance_km city c2))
+          pops.(provider)
+      in
+      (match sorted with
+      | (c1, u1) :: rest -> (
+          link_cities access u1 city c1 0.0;
+          match rest with (c2, u2) :: _ -> link_cities access u2 city c2 0.0 | [] -> ())
+      | [] -> invalid_arg "Topology.build: provider with no PoPs");
+      (* Host behind the access router; hosts never resolve to a location
+         via DNS. *)
+      let host =
+        fresh Host city
+          (Some (Printf.sprintf "planetlab1.site-%03d.example.org" access))
+          (host_height params rng)
+      in
+      (* Last-mile: short distance, relatively slow. *)
+      let last_mile = 0.15 +. Stats.Rng.uniform rng 0.0 0.5 in
+      add_link host access last_mile last_mile;
+      Hashtbl.replace host_by_code city.City.code host;
+      Hashtbl.replace access_by_code city.City.code access)
+    City.all;
+
+  let n = !n_nodes in
+  let node_arr = Array.make n (List.hd !nodes) in
+  List.iter (fun nd -> node_arr.(nd.id) <- nd) !nodes;
+  let adj = Array.make n [] in
+  List.iter (fun (u, v, oneway, weight) -> adj.(u) <- { other = v; oneway_ms = oneway; weight } :: adj.(u)) !links;
+  {
+    params;
+    nodes = node_arr;
+    adj;
+    provider_names;
+    host_by_code;
+    access_by_code;
+    dijkstra_cache = Hashtbl.create 64;
+  }
+
+let params t = t.params
+let nodes t = t.nodes
+let node t i = t.nodes.(i)
+let neighbors t i = t.adj.(i)
+let provider_name t p = t.provider_names.(p)
+let n_providers t = Array.length t.provider_names
+
+let host_of_city t city =
+  match Hashtbl.find_opt t.host_by_code city.City.code with
+  | Some id -> id
+  | None -> raise Not_found
+
+let access_of_city t city =
+  match Hashtbl.find_opt t.access_by_code city.City.code with
+  | Some id -> id
+  | None -> raise Not_found
+
+(* Dijkstra with a simple binary heap; deterministic tie-break on node id. *)
+module Heap = struct
+  type entry = { key : float; tie : int; value : int }
+  type h = { mutable data : entry array; mutable size : int }
+
+  let create () = { data = Array.make 64 { key = 0.0; tie = 0; value = 0 }; size = 0 }
+  let less a b = a.key < b.key || (a.key = b.key && a.tie < b.tie)
+
+  let push h e =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) h.data.(0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- e;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && less h.data.(!i) h.data.((!i - 1) / 2) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let dijkstra t src =
+  match Hashtbl.find_opt t.dijkstra_cache src with
+  | Some table -> table
+  | None ->
+      let n = Array.length t.nodes in
+      let dist = Array.make n infinity in
+      let pred = Array.make n (-1) in
+      let heap = Heap.create () in
+      dist.(src) <- 0.0;
+      Heap.push heap { key = 0.0; tie = src; value = src };
+      let rec loop () =
+        match Heap.pop heap with
+        | None -> ()
+        | Some { key; value = u; _ } ->
+            if key <= dist.(u) then
+              List.iter
+                (fun { other = v; weight; _ } ->
+                  let alt = dist.(u) +. weight in
+                  if alt < dist.(v) -. 1e-12 then begin
+                    dist.(v) <- alt;
+                    pred.(v) <- u;
+                    Heap.push heap { key = alt; tie = v; value = v }
+                  end)
+                t.adj.(u);
+            loop ()
+      in
+      loop ();
+      let table = Array.init n (fun i -> (dist.(i), pred.(i))) in
+      Hashtbl.replace t.dijkstra_cache src table;
+      table
+
+let path t src dst =
+  let table = dijkstra t src in
+  let dist, _ = table.(dst) in
+  if dist = infinity then raise Not_found;
+  let rec walk acc v = if v = src then src :: acc else walk (v :: acc) (snd table.(v)) in
+  walk [] dst
+
+let path_oneway_ms t nodes_on_path =
+  let rec go acc = function
+    | u :: (v :: _ as rest) ->
+        let link =
+          List.find_opt (fun { other; _ } -> other = v) t.adj.(u)
+        in
+        let oneway =
+          match link with
+          | Some l -> l.oneway_ms
+          | None -> invalid_arg "Topology.path_oneway_ms: not a path"
+        in
+        go (acc +. oneway) rest
+    | _ -> acc
+  in
+  go 0.0 nodes_on_path
+
+let base_rtt_ms t a b =
+  if a = b then t.nodes.(a).height_ms
+  else
+    let p = path t a b in
+    let fwd = path_oneway_ms t p in
+    let q = path t b a in
+    let bwd = path_oneway_ms t q in
+    fwd +. bwd +. t.nodes.(a).height_ms +. t.nodes.(b).height_ms
+
+let route_inflation t a b =
+  let ca = t.nodes.(a).city and cb = t.nodes.(b).city in
+  let gc = City.distance_km ca cb in
+  if gc < 1.0 then 1.0
+  else
+    let p = path t a b in
+    let routed_ms = path_oneway_ms t p in
+    routed_ms *. Geo.Geodesy.c_fiber_km_per_ms /. gc

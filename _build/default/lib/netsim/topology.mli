@@ -1,0 +1,98 @@
+(** Synthetic router-level Internet topology.
+
+    This substrate replaces the real Internet under PlanetLab.  It builds a
+    three-tier graph over the embedded {!City} database:
+
+    - {b backbone routers}: one per (provider, hub city) pair, wired by a
+      per-provider minimum-spanning backbone plus nearest-neighbour and a
+      few long-haul shortcuts;
+    - {b peering links}: providers interconnect only at exchange cities,
+      and routing across a peering link carries an artificial policy
+      penalty — this is what produces genuinely {e indirect} routes (a
+      packet between two nearby cities homed on different providers detours
+      through a distant exchange), the phenomenon Octant's piecewise
+      localization compensates for (paper §2.3);
+    - {b access routers}: one per city, single-homed to a provider chosen
+      with distance-biased randomness, connected to that provider's two
+      nearest PoPs;
+    - {b hosts}: one per city, behind the city's access router.
+
+    Every link has a {e propagation} one-way delay (great-circle distance at
+    2/3 c times a per-link fiber-inflation factor) and a {e routing weight}
+    (propagation plus policy penalties).  Every node has a {e height}: its
+    minimum queuing delay contribution, the quantity Octant's height solver
+    estimates (paper §2.2). *)
+
+type node_kind =
+  | Backbone of int  (** provider index *)
+  | Access of int    (** provider index it is homed to *)
+  | Host
+
+type node = {
+  id : int;
+  kind : node_kind;
+  city : City.t;
+  dns_name : string option;  (** Reverse-DNS name; [None] for unresolvable routers. *)
+  height_ms : float;         (** Minimum queuing delay this node adds to any RTT through/at it. *)
+}
+
+type link = {
+  other : int;       (** Neighbour node id. *)
+  oneway_ms : float; (** Propagation delay, one way. *)
+  weight : float;    (** Routing metric: propagation + policy penalty. *)
+}
+
+type params = {
+  n_providers : int;            (** Number of transit providers (default 4). *)
+  pop_presence : float;         (** Probability a provider runs a PoP at a hub (default 0.7). *)
+  fiber_inflation_lo : float;   (** Per-link path stretch lower bound (default 1.15). *)
+  fiber_inflation_hi : float;   (** Upper bound (default 1.9). *)
+  peering_penalty_ms : float;   (** Routing bias added to peering links (default 6.0). *)
+  router_height_mean_ms : float;(** Mean router height (default 0.3). *)
+  host_height_mean_ms : float;  (** Mean of the variable part of host heights (default 1.2). *)
+  host_height_floor_ms : float; (** Deterministic floor of host heights (default 0.4). *)
+  dns_opaque_fraction : float;  (** Routers with names that embed no city code (default 0.2). *)
+  dns_missing_fraction : float; (** Routers with no reverse DNS at all (default 0.1). *)
+  access_city_code_fraction : float;
+      (** Access routers whose name embeds their city code (default 0.55);
+          the rest are opaque, as real aggregation-router names are. *)
+  backbone_shortcuts : int;     (** Extra random long-haul links per provider (default 4). *)
+}
+
+val default_params : params
+
+type t
+
+val build : ?params:params -> rng:Stats.Rng.t -> unit -> t
+(** Generate a topology.  Deterministic given the rng state. *)
+
+val params : t -> params
+val nodes : t -> node array
+val node : t -> int -> node
+val neighbors : t -> int -> link list
+val provider_name : t -> int -> string
+val n_providers : t -> int
+
+val host_of_city : t -> City.t -> int
+(** Node id of the host placed in the given city.
+    @raise Not_found if the city is not in the database. *)
+
+val access_of_city : t -> City.t -> int
+
+val path : t -> int -> int -> int list
+(** Policy-routed path between two nodes (inclusive of endpoints),
+    shortest by routing weight with deterministic tie-breaking.  Memoized
+    per source.
+    @raise Not_found if unreachable (cannot happen in generated graphs). *)
+
+val path_oneway_ms : t -> int list -> float
+(** Sum of link propagation delays along a path. *)
+
+val base_rtt_ms : t -> int -> int -> float
+(** Deterministic floor of the RTT between two nodes: both directions of
+    propagation along the policy-routed path, plus both endpoint heights.
+    Probe jitter comes on top of this (see {!Measure}). *)
+
+val route_inflation : t -> int -> int -> float
+(** Ratio of routed propagation distance to great-circle distance between
+    two nodes' cities; 1.0 means a perfectly direct route.  Diagnostic. *)

@@ -1,0 +1,37 @@
+type record = { city : City.t; accurate : bool }
+
+type t = { records : (int, record) Hashtbl.t; host_count : int }
+
+let build ?(missing_rate = 0.25) ?(stale_rate = 0.15) topo rng =
+  let records = Hashtbl.create 256 in
+  let host_count = ref 0 in
+  Array.iter
+    (fun nd ->
+      match nd.Topology.kind with
+      | Topology.Host ->
+          incr host_count;
+          if not (Stats.Rng.bernoulli rng missing_rate) then begin
+            if Stats.Rng.bernoulli rng stale_rate then begin
+              (* Stale record: points at the hub city nearest to the host's
+                 access provider rather than the host itself. *)
+              let hubs = City.hubs in
+              let nearest = ref hubs.(0) in
+              Array.iter
+                (fun hub ->
+                  if City.distance_km hub nd.Topology.city < City.distance_km !nearest nd.Topology.city
+                  then nearest := hub)
+                hubs;
+              Hashtbl.replace records nd.Topology.id { city = !nearest; accurate = false }
+            end
+            else Hashtbl.replace records nd.Topology.id { city = nd.Topology.city; accurate = true }
+          end
+      | Topology.Backbone _ | Topology.Access _ -> ())
+    (Topology.nodes topo);
+  { records; host_count = !host_count }
+
+let lookup t id = Hashtbl.find_opt t.records id
+
+let stats t =
+  let accurate = ref 0 and stale = ref 0 in
+  Hashtbl.iter (fun _ r -> if r.accurate then incr accurate else incr stale) t.records;
+  (!accurate, !stale, t.host_count - !accurate - !stale)

@@ -1,0 +1,28 @@
+(** Simulated WHOIS / IP-to-ZIP registry.
+
+    The paper folds WHOIS-derived hints in as weak positive constraints
+    (§2.5), noting that registries are coarse and sometimes plain wrong
+    (a block registered to a headquarters city while the host lives
+    elsewhere).  This module reproduces that error model: for each host a
+    registry record exists with probability [1 - missing_rate]; when it
+    exists it points at the host's true city with probability
+    [1 - stale_rate] and at the provider's nearest PoP city otherwise (the
+    classic "registered to the NOC" failure). *)
+
+type record = {
+  city : City.t;      (** Registered location (possibly wrong). *)
+  accurate : bool;    (** Ground truth: does it match the host's city? *)
+}
+
+type t
+
+val build :
+  ?missing_rate:float -> ?stale_rate:float -> Topology.t -> Stats.Rng.t -> t
+(** Generate the registry for every host in the topology
+    (defaults: 25% missing, 15% stale). *)
+
+val lookup : t -> int -> record option
+(** Registry record for a host node id. *)
+
+val stats : t -> int * int * int
+(** (present-and-accurate, present-but-stale, missing) counts. *)

@@ -1,0 +1,34 @@
+type t = { sorted : float array }
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Cdf.of_samples: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+
+(* Index of the first element strictly greater than x, by binary search. *)
+let upper_bound arr x =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if arr.(mid) <= x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length arr)
+
+let eval t x = float_of_int (upper_bound t.sorted x) /. float_of_int (size t)
+
+let inverse t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Cdf.inverse: q outside [0,1]";
+  let n = size t in
+  let k = int_of_float (Float.ceil (q *. float_of_int n)) in
+  let k = if k <= 0 then 1 else if k > n then n else k in
+  t.sorted.(k - 1)
+
+let points t =
+  let n = size t in
+  Array.mapi (fun i v -> (v, float_of_int (i + 1) /. float_of_int n)) t.sorted
+
+let series t ~xs = Array.map (fun x -> (x, eval t x)) xs

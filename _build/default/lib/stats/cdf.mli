@@ -1,0 +1,27 @@
+(** Empirical cumulative distribution functions.
+
+    Figures 3 and 4 of the paper are CDF plots; this module turns raw error
+    samples into the (x, F(x)) series the bench harness prints. *)
+
+type t
+(** An immutable empirical CDF. *)
+
+val of_samples : float array -> t
+(** Build from raw samples.  Requires a non-empty sample. *)
+
+val eval : t -> float -> float
+(** [eval t x] is the fraction of samples [<= x]. *)
+
+val inverse : t -> float -> float
+(** [inverse t q] for [q] in [0,1]: smallest sample value [v] with
+    [eval t v >= q]. *)
+
+val size : t -> int
+(** Number of underlying samples. *)
+
+val points : t -> (float * float) array
+(** Step-function knots as (value, cumulative fraction), sorted by value;
+    suitable for printing a plottable series. *)
+
+val series : t -> xs:float array -> (float * float) array
+(** Resample the CDF at the given x positions. *)

@@ -1,0 +1,123 @@
+(* Splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014.  The state is a single 64-bit counter advanced
+   by a fixed odd gamma; output is a finalizing hash of the counter. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Gamma values must be odd; this mixes a candidate into a "good" odd gamma
+   as in the reference implementation. *)
+let mix_gamma z =
+  let z = Int64.logor (mix64 z) 1L in
+  let n =
+    let x = Int64.logxor z (Int64.shift_right_logical z 1) in
+    (* popcount *)
+    let rec count acc x = if Int64.equal x 0L then acc else count (acc + 1) (Int64.logand x (Int64.sub x 1L)) in
+    count 0 x
+  in
+  if n < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let copy t = { state = t.state; gamma = t.gamma }
+
+let next_seed t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let bits64 t = mix64 (next_seed t)
+
+let split t =
+  let s = next_seed t in
+  let g = next_seed t in
+  { state = mix64 s; gamma = mix_gamma g }
+
+(* Uniform int in [0, n): rejection sampling on the low 62 bits to avoid
+   modulo bias. *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let rec loop () =
+    let bits = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = bits mod n in
+    if bits - v + (n - 1) < 0 then loop () else v
+  in
+  loop ()
+
+(* 53-bit mantissa float in [0, 1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t x = unit_float t *. x
+
+let uniform t lo hi =
+  if hi < lo then invalid_arg "Rng.uniform: empty interval";
+  lo +. (unit_float t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+let gaussian t ~mean ~stddev =
+  (* Box–Muller; we deliberately discard the second deviate to keep the
+     stream position independent of caller interleaving. *)
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = unit_float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let pareto t ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Rng.pareto: parameters must be positive";
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  scale /. Float.pow (nonzero ()) (1.0 /. shape)
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~stddev:sigma)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let copy = Array.copy arr in
+  (* Partial Fisher–Yates: after i swaps, the first i slots are a uniform
+     i-subset in uniform order. *)
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 k
+
+let choose t arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t n)

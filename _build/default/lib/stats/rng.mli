@@ -1,0 +1,63 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that every
+    experiment is bit-reproducible from a single integer seed.  The generator
+    is splitmix64, which is small, fast, and passes BigCrush; it is more than
+    adequate for driving simulations (it is not cryptographic).
+
+    A generator is a mutable state; [split] derives an independent stream,
+    which lets concurrent subsystems (topology generation, probe jitter, ...)
+    consume randomness without perturbing each other. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy with identical future output. *)
+
+val split : t -> t
+(** [split t] advances [t] once and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n-1].  Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform on [0, x). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform on [lo, hi). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate (Box–Muller, one value per call). *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate (mean [1/rate]). *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Pareto deviate; heavy-tailed, used for queuing-delay spikes. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal deviate: [exp (gaussian mu sigma)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement t k arr] draws [k] distinct elements.
+    Requires [k <= Array.length arr]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

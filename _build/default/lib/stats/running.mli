@@ -1,0 +1,29 @@
+(** Online (single-pass) moment tracking, Welford's algorithm.
+
+    Used by the simulator to accumulate per-link delay statistics and by the
+    bench harness to report timing without retaining every sample. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Fold one observation in. *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations so far; 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (parallel Welford / Chan et al.). *)

@@ -1,0 +1,50 @@
+let sum xs =
+  (* Kahan compensated summation: the simulator adds thousands of small
+     delays and the benches compare medians to 0.1 mi, so naive summation
+     noise is worth suppressing. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Sample.mean: empty sample";
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Sample.variance: need at least two elements";
+  let m = mean xs in
+  let acc = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+  sum acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  if Array.length xs = 0 then invalid_arg "Sample.min: empty sample";
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Sample.max: empty sample";
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Sample.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Sample.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile 50.0 xs

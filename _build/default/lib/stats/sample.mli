@@ -1,0 +1,30 @@
+(** Descriptive statistics over float samples.
+
+    Percentile conventions follow the "linear interpolation between closest
+    ranks" rule (type 7 in R), which is what gnuplot-era measurement papers
+    use implicitly. *)
+
+val mean : float array -> float
+(** Arithmetic mean (Kahan-compensated).  Requires a non-empty sample. *)
+
+val variance : float array -> float
+(** Unbiased sample variance.  Requires at least two elements. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min : float array -> float
+(** Smallest element.  Requires a non-empty sample. *)
+
+val max : float array -> float
+(** Largest element.  Requires a non-empty sample. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] for [p] in [0, 100]; interpolates between ranks.
+    Does not mutate [xs].  Requires a non-empty sample. *)
+
+val median : float array -> float
+(** [percentile 50.0]. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)

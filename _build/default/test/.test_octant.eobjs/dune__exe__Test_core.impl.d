@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Calibration Constr Estimate Float Geo Geo_hints Heights List Octant Pipeline Posterior Printf QCheck QCheck_alcotest Solver Stats Weight

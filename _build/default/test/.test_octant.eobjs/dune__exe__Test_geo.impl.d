@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Array Bezier Clip Convex_hull Float Format Geo Geodesy Grid_region Landmass List Point Polygon Printf Projection QCheck QCheck_alcotest Region

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Eval Fun Geo Lazy List Netsim Octant

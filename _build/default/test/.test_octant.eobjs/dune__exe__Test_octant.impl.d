@@ -1,0 +1,1 @@
+test/test_octant.ml: Alcotest Test_baselines Test_core Test_geo Test_integration Test_linalg Test_netsim Test_stats

@@ -1,0 +1,317 @@
+(* Tests for the baseline geolocalization systems. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* A clean fixture: rtt = inflated speed-of-light propagation + constant. *)
+let fixture () =
+  let coords =
+    [|
+      (40.71, -74.01); (41.88, -87.63); (33.75, -84.39); (42.36, -71.06);
+      (38.91, -77.04); (47.61, -122.33); (34.05, -118.24); (29.76, -95.37);
+      (39.74, -104.99); (25.76, -80.19);
+    |]
+  in
+  let positions = Array.map (fun (lat, lon) -> Geo.Geodesy.coord ~lat ~lon) coords in
+  let landmarks =
+    Array.mapi (fun i p -> { Octant.Pipeline.lm_key = i; lm_position = p }) positions
+  in
+  let rtt_between a b =
+    (1.3 *. Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b)) +. 3.0
+  in
+  let n = Array.length positions in
+  let inter =
+    Array.init n (fun i ->
+        Array.init n (fun j -> if i = j then 0.0 else rtt_between positions.(i) positions.(j)))
+  in
+  (landmarks, positions, inter, rtt_between)
+
+(* ------------------------------------------------------------------ *)
+(* GeoLim *)
+(* ------------------------------------------------------------------ *)
+
+let test_geolim_bestline_below_samples () =
+  let landmarks, positions, inter, _ = fixture () in
+  let t = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let n = Array.length positions in
+  for i = 0 to n - 1 do
+    let m, b = Baselines.Geolim.bestline t i in
+    assert (b >= 0.0);
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let d = Geo.Geodesy.distance_km positions.(i) positions.(j) in
+        let rtt = inter.(i).(j) in
+        (* Every sample lies on or above the bestline. *)
+        if rtt < (m *. d) +. b -. 1e-6 then
+          Alcotest.failf "sample below bestline for landmark %d" i
+      end
+    done
+  done
+
+let test_geolim_bestline_slope_physical () =
+  let landmarks, _, inter, _ = fixture () in
+  let t = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let sol_slope = 2.0 /. Geo.Geodesy.c_fiber_km_per_ms in
+  for i = 0 to Array.length landmarks - 1 do
+    let m, _ = Baselines.Geolim.bestline t i in
+    assert (m >= sol_slope -. 1e-12)
+  done
+
+let test_geolim_distance_bound_tighter_than_sol () =
+  let landmarks, _, inter, _ = fixture () in
+  let t = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  (* With a clean linear world, the bestline bound at 40 ms must be well
+     below the raw speed-of-light bound. *)
+  let bound = Baselines.Geolim.distance_bound_km t 0 40.0 in
+  assert (bound < Geo.Geodesy.rtt_to_max_distance_km 40.0)
+
+let test_geolim_localizes_clean_target () =
+  let landmarks, _, inter, rtt_between = fixture () in
+  let t = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let truth = Geo.Geodesy.coord ~lat:38.63 ~lon:(-90.2) in
+  (* 5% slack keeps the bestline disks strictly overlapping: with exactly
+     linear data they would only touch at the true point, and the polygon
+     approximation of the disks has no interior there. *)
+  let rtts =
+    Array.map (fun l -> 1.05 *. rtt_between l.Octant.Pipeline.lm_position truth) landmarks
+  in
+  let r = Baselines.Geolim.localize t ~target_rtt_ms:rtts in
+  let err = Geo.Geodesy.distance_km r.Baselines.Geolim.point truth in
+  if err > 400.0 then Alcotest.failf "GeoLim clean error %.0f km" err;
+  assert (r.Baselines.Geolim.covers_truth truth);
+  Alcotest.(check int) "no relaxation needed" 0 r.Baselines.Geolim.relaxations
+
+let test_geolim_empty_intersection_relaxes () =
+  let landmarks, _, inter, rtt_between = fixture () in
+  let t = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let truth = Geo.Geodesy.coord ~lat:38.63 ~lon:(-90.2) in
+  (* Report impossible RTTs: two distant landmarks both claim the target is
+     very close. *)
+  let rtts = Array.map (fun l -> rtt_between l.Octant.Pipeline.lm_position truth) landmarks in
+  rtts.(5) <- 2.0;
+  (* Seattle claims 2ms *)
+  rtts.(9) <- 2.0;
+  (* Miami claims 2ms *)
+  let r = Baselines.Geolim.localize t ~target_rtt_ms:rtts in
+  assert (r.Baselines.Geolim.relaxations > 0);
+  (* The unrelaxed region is empty, so coverage fails. *)
+  assert (not (r.Baselines.Geolim.covers_truth truth))
+
+let test_geolim_input_validation () =
+  let landmarks, _, inter, _ = fixture () in
+  let t = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  match Baselines.Geolim.localize t ~target_rtt_ms:[| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* GeoPing *)
+(* ------------------------------------------------------------------ *)
+
+let test_geoping_identifies_nearest_landmark () =
+  let landmarks, positions, inter, rtt_between = fixture () in
+  let t = Baselines.Geoping.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  (* Target just outside Chicago: landmark 1 has the most similar
+     signature. *)
+  let truth = Geo.Geodesy.coord ~lat:42.0 ~lon:(-88.0) in
+  let rtts = Array.map (fun l -> rtt_between l.Octant.Pipeline.lm_position truth) landmarks in
+  let r = Baselines.Geoping.localize t ~target_rtt_ms:rtts in
+  Alcotest.(check int) "matched landmark" 1 r.Baselines.Geoping.matched_landmark;
+  check_float ~eps:1.0 "estimate is landmark position" 0.0
+    (Geo.Geodesy.distance_km r.Baselines.Geoping.point positions.(1))
+
+let test_geoping_error_bounded_by_landmark_distance () =
+  let landmarks, positions, inter, rtt_between = fixture () in
+  let t = Baselines.Geoping.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let truth = Geo.Geodesy.coord ~lat:38.63 ~lon:(-90.2) in
+  let rtts = Array.map (fun l -> rtt_between l.Octant.Pipeline.lm_position truth) landmarks in
+  let r = Baselines.Geoping.localize t ~target_rtt_ms:rtts in
+  (* GeoPing's answer is always a landmark: the error is at least the
+     distance to the nearest landmark... *)
+  let nearest =
+    Array.fold_left (fun acc p -> Float.min acc (Geo.Geodesy.distance_km p truth)) infinity positions
+  in
+  let err = Geo.Geodesy.distance_km r.Baselines.Geoping.point truth in
+  assert (err >= nearest -. 1.0);
+  (* ...and in a clean world it picks a reasonably close one. *)
+  assert (err < 1500.0)
+
+let test_geoping_skips_missing_coordinates () =
+  let landmarks, _, inter, rtt_between = fixture () in
+  let t = Baselines.Geoping.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let truth = Geo.Geodesy.coord ~lat:42.0 ~lon:(-88.0) in
+  let rtts = Array.map (fun l -> rtt_between l.Octant.Pipeline.lm_position truth) landmarks in
+  (* Knock out some measurements; localization must still work. *)
+  rtts.(0) <- 0.0;
+  rtts.(3) <- 0.0;
+  let r = Baselines.Geoping.localize t ~target_rtt_ms:rtts in
+  Alcotest.(check int) "still Chicago" 1 r.Baselines.Geoping.matched_landmark
+
+(* ------------------------------------------------------------------ *)
+(* GeoTrack *)
+(* ------------------------------------------------------------------ *)
+
+let mk_hop ?dns ~key ~rtt () =
+  { Octant.Pipeline.hop_key = key; hop_dns = dns; hop_rtt_ms = rtt; hop_rtt_from_landmarks = [||] }
+
+let test_geotrack_picks_last_recognizable () =
+  let chi = Geo.Geodesy.coord ~lat:41.88 ~lon:(-87.63) in
+  let nyc = Geo.Geodesy.coord ~lat:40.71 ~lon:(-74.01) in
+  let undns name =
+    if name = "bb1-chi-0.isp.net" then Some chi
+    else if name = "bb1-nyc-0.isp.net" then Some nyc
+    else None
+  in
+  let trace =
+    [|
+      mk_hop ~dns:"bb1-nyc-0.isp.net" ~key:1 ~rtt:5.0 ();
+      mk_hop ~dns:"bb1-chi-0.isp.net" ~key:2 ~rtt:25.0 ();
+      mk_hop ~dns:"opaque-7.isp.net" ~key:3 ~rtt:27.0 ();
+      mk_hop ~key:4 ~rtt:29.0 () (* target *);
+    |]
+  in
+  match
+    Baselines.Geotrack.localize ~undns ~traceroutes:[| trace |] ~target_rtt_ms:[| 29.0 |]
+  with
+  | None -> Alcotest.fail "should find recognizable router"
+  | Some r ->
+      check_float ~eps:1.0 "chicago chosen" 0.0 (Geo.Geodesy.distance_km r.Baselines.Geotrack.point chi);
+      check_float ~eps:0.01 "residual" 4.0 r.Baselines.Geotrack.residual_rtt_ms;
+      Alcotest.(check int) "hops back" 2 r.Baselines.Geotrack.hops_from_target
+
+let test_geotrack_single_vantage () =
+  (* GeoTrack is single-vantage: the FIRST usable trace decides, even if a
+     later trace would give a smaller residual. *)
+  let chi = Geo.Geodesy.coord ~lat:41.88 ~lon:(-87.63) in
+  let sea = Geo.Geodesy.coord ~lat:47.61 ~lon:(-122.33) in
+  let undns name =
+    if name = "chi.isp.net" then Some chi else if name = "sea.isp.net" then Some sea else None
+  in
+  let trace_far = [| mk_hop ~dns:"sea.isp.net" ~key:1 ~rtt:10.0 (); mk_hop ~key:2 ~rtt:50.0 () |] in
+  let trace_near = [| mk_hop ~dns:"chi.isp.net" ~key:3 ~rtt:28.0 (); mk_hop ~key:4 ~rtt:30.0 () |] in
+  (match
+     Baselines.Geotrack.localize ~undns ~traceroutes:[| trace_far; trace_near |]
+       ~target_rtt_ms:[| 50.0; 30.0 |]
+   with
+  | None -> Alcotest.fail "should resolve"
+  | Some r ->
+      check_float ~eps:1.0 "first vantage wins" 0.0
+        (Geo.Geodesy.distance_km r.Baselines.Geotrack.point sea));
+  (* A vantage with no measurement is skipped entirely. *)
+  match
+    Baselines.Geotrack.localize ~undns ~traceroutes:[| trace_far; trace_near |]
+      ~target_rtt_ms:[| 0.0; 30.0 |]
+  with
+  | None -> Alcotest.fail "should resolve from the second vantage"
+  | Some r ->
+      check_float ~eps:1.0 "second vantage used" 0.0
+        (Geo.Geodesy.distance_km r.Baselines.Geotrack.point chi)
+
+let test_geotrack_none_when_nothing_resolves () =
+  let undns _ = None in
+  let trace = [| mk_hop ~dns:"x.isp.net" ~key:1 ~rtt:5.0 (); mk_hop ~key:2 ~rtt:9.0 () |] in
+  match Baselines.Geotrack.localize ~undns ~traceroutes:[| trace |] ~target_rtt_ms:[| 9.0 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "nothing should resolve"
+
+let test_geotrack_skips_traces_without_rtt () =
+  let chi = Geo.Geodesy.coord ~lat:41.88 ~lon:(-87.63) in
+  let undns name = if name = "chi.isp.net" then Some chi else None in
+  let trace = [| mk_hop ~dns:"chi.isp.net" ~key:1 ~rtt:5.0 (); mk_hop ~key:2 ~rtt:9.0 () |] in
+  match Baselines.Geotrack.localize ~undns ~traceroutes:[| trace |] ~target_rtt_ms:[| 0.0 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "missing target RTT should skip the trace"
+
+(* ------------------------------------------------------------------ *)
+(* GeoCluster *)
+(* ------------------------------------------------------------------ *)
+
+let test_geocluster_registry_hit () =
+  let sf = Geo.Geodesy.coord ~lat:37.77 ~lon:(-122.42) in
+  let nyc = Geo.Geodesy.coord ~lat:40.71 ~lon:(-74.01) in
+  let whois key = if key = 7 then Some sf else None in
+  let r = Baselines.Geocluster.localize ~whois ~fallback:nyc ~target_key:7 in
+  assert r.Baselines.Geocluster.from_registry;
+  assert (Geo.Geodesy.distance_km r.Baselines.Geocluster.point sf < 1.0)
+
+let test_geocluster_fallback () =
+  let nyc = Geo.Geodesy.coord ~lat:40.71 ~lon:(-74.01) in
+  let r = Baselines.Geocluster.localize ~whois:(fun _ -> None) ~fallback:nyc ~target_key:3 in
+  assert (not r.Baselines.Geocluster.from_registry);
+  assert (Geo.Geodesy.distance_km r.Baselines.Geocluster.point nyc < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Vivaldi *)
+(* ------------------------------------------------------------------ *)
+
+let test_vivaldi_embedding_quality () =
+  let landmarks, _, inter, _ = fixture () in
+  let v = Baselines.Vivaldi.embed ~landmarks ~inter_landmark_rtt_ms:inter () in
+  (* Anchored embedding of near-linear data predicts RTTs well. *)
+  let rms = Baselines.Vivaldi.prediction_error_ms v in
+  if rms > 12.0 then Alcotest.failf "vivaldi rms prediction error %.1f ms" rms
+
+let test_vivaldi_localizes_clean_target () =
+  let landmarks, _, inter, rtt_between = fixture () in
+  let v = Baselines.Vivaldi.embed ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let truth = Geo.Geodesy.coord ~lat:38.63 ~lon:(-90.2) in
+  let rtts = Array.map (fun l -> rtt_between l.Octant.Pipeline.lm_position truth) landmarks in
+  let r = Baselines.Vivaldi.localize v ~target_rtt_ms:rtts in
+  let err = Geo.Geodesy.distance_km r.Baselines.Vivaldi.point truth in
+  if err > 700.0 then Alcotest.failf "vivaldi clean error %.0f km" err
+
+let test_vivaldi_height_nonnegative () =
+  let landmarks, _, inter, rtt_between = fixture () in
+  let v = Baselines.Vivaldi.embed ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let truth = Geo.Geodesy.coord ~lat:40.0 ~lon:(-100.0) in
+  let rtts = Array.map (fun l -> rtt_between l.Octant.Pipeline.lm_position truth) landmarks in
+  let r = Baselines.Vivaldi.localize v ~target_rtt_ms:rtts in
+  assert (r.Baselines.Vivaldi.height_ms >= 0.0)
+
+let test_vivaldi_input_validation () =
+  let landmarks, _, inter, _ = fixture () in
+  let v = Baselines.Vivaldi.embed ~landmarks ~inter_landmark_rtt_ms:inter () in
+  match Baselines.Vivaldi.localize v ~target_rtt_ms:[| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch must be rejected"
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "geolim",
+      [
+        tc "bestline below all samples" test_geolim_bestline_below_samples;
+        tc "bestline slope physical" test_geolim_bestline_slope_physical;
+        tc "bound tighter than speed of light" test_geolim_distance_bound_tighter_than_sol;
+        tc "clean localization" test_geolim_localizes_clean_target;
+        tc "empty intersection relaxes" test_geolim_empty_intersection_relaxes;
+        tc "input validation" test_geolim_input_validation;
+      ] );
+    ( "geoping",
+      [
+        tc "identifies nearest landmark" test_geoping_identifies_nearest_landmark;
+        tc "error bounded by landmark distance" test_geoping_error_bounded_by_landmark_distance;
+        tc "skips missing coordinates" test_geoping_skips_missing_coordinates;
+      ] );
+    ( "geocluster",
+      [
+        tc "registry hit" test_geocluster_registry_hit;
+        tc "fallback" test_geocluster_fallback;
+      ] );
+    ( "vivaldi",
+      [
+        tc "embedding quality" test_vivaldi_embedding_quality;
+        tc "clean localization" test_vivaldi_localizes_clean_target;
+        tc "height non-negative" test_vivaldi_height_nonnegative;
+        tc "input validation" test_vivaldi_input_validation;
+      ] );
+    ( "geotrack",
+      [
+        tc "picks last recognizable router" test_geotrack_picks_last_recognizable;
+        tc "single vantage semantics" test_geotrack_single_vantage;
+        tc "none when nothing resolves" test_geotrack_none_when_nothing_resolves;
+        tc "skips traces without target RTT" test_geotrack_skips_traces_without_rtt;
+      ] );
+  ]

@@ -1,0 +1,740 @@
+(* Unit and property tests for the geometry substrate. *)
+
+open Geo
+
+let pt = Point.make
+
+let float_eq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (float_eq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Point *)
+(* ------------------------------------------------------------------ *)
+
+let test_point_algebra () =
+  let a = pt 1.0 2.0 and b = pt 3.0 (-1.0) in
+  check_float "dot" 1.0 (Point.dot a b);
+  check_float "cross" (-7.0) (Point.cross a b);
+  check_float "dist" (sqrt 13.0) (Point.dist a b);
+  assert (Point.equal (Point.add a b) (pt 4.0 1.0));
+  assert (Point.equal (Point.sub a b) (pt (-2.0) 3.0));
+  assert (Point.equal (Point.scale 2.0 a) (pt 2.0 4.0));
+  assert (Point.equal (Point.midpoint a b) (pt 2.0 0.5))
+
+let test_point_rotate () =
+  let p = pt 1.0 0.0 in
+  let q = Point.rotate p (Float.pi /. 2.0) in
+  assert (Point.equal ~eps:1e-12 q (pt 0.0 1.0));
+  let r = Point.rotate_around ~center:(pt 1.0 1.0) (pt 2.0 1.0) Float.pi in
+  assert (Point.equal ~eps:1e-9 r (pt 0.0 1.0))
+
+let test_point_orient () =
+  assert (Point.orient2d (pt 0. 0.) (pt 1. 0.) (pt 0. 1.) > 0.0);
+  assert (Point.orient2d (pt 0. 0.) (pt 0. 1.) (pt 1. 0.) < 0.0);
+  check_float "collinear" 0.0 (Point.orient2d (pt 0. 0.) (pt 1. 1.) (pt 2. 2.))
+
+let test_point_perp_normalize () =
+  let v = pt 3.0 4.0 in
+  check_float "norm" 5.0 (Point.norm v);
+  let u = Point.normalize v in
+  check_float "unit norm" 1.0 (Point.norm u);
+  check_float "perp dot" 0.0 (Point.dot v (Point.perp v))
+
+(* ------------------------------------------------------------------ *)
+(* Geodesy *)
+(* ------------------------------------------------------------------ *)
+
+let ithaca = Geodesy.coord ~lat:42.44 ~lon:(-76.5)
+let sf = Geodesy.coord ~lat:37.77 ~lon:(-122.42)
+let london = Geodesy.coord ~lat:51.51 ~lon:(-0.13)
+
+let test_geodesy_known_distances () =
+  (* Reference values computed from the haversine formula on the mean
+     sphere; tolerance 0.5% covers earth-model differences. *)
+  let d = Geodesy.distance_km ithaca sf in
+  if d < 3840.0 || d > 3950.0 then Alcotest.failf "Ithaca-SF %.1f km out of range" d;
+  let d = Geodesy.distance_km london (Geodesy.coord ~lat:48.86 ~lon:2.35) in
+  if d < 330.0 || d > 355.0 then Alcotest.failf "London-Paris %.1f km out of range" d
+
+let test_geodesy_symmetry_identity () =
+  check_float "self distance" 0.0 (Geodesy.distance_km ithaca ithaca);
+  check_float ~eps:1e-6 "symmetry" (Geodesy.distance_km ithaca sf) (Geodesy.distance_km sf ithaca)
+
+let test_geodesy_destination_roundtrip () =
+  let bearing = Geodesy.initial_bearing ithaca sf in
+  let d = Geodesy.distance_km ithaca sf in
+  let reached = Geodesy.destination ithaca ~bearing ~distance_km:d in
+  if Geodesy.distance_km reached sf > 1.0 then
+    Alcotest.failf "destination missed by %.3f km" (Geodesy.distance_km reached sf)
+
+let test_geodesy_midpoint () =
+  let m = Geodesy.midpoint ithaca sf in
+  check_float ~eps:0.5 "midpoint equidistant" (Geodesy.distance_km ithaca m)
+    (Geodesy.distance_km m sf)
+
+let test_geodesy_units () =
+  check_float ~eps:1e-9 "mile roundtrip" 123.0 (Geodesy.miles_of_km (Geodesy.km_of_miles 123.0));
+  (* 2/3 c: 100 ms RTT = 50 ms one way ~ 9993 km *)
+  let d = Geodesy.rtt_to_max_distance_km 100.0 in
+  if d < 9900.0 || d > 10050.0 then Alcotest.failf "sol distance %.1f" d;
+  check_float ~eps:1e-6 "sol roundtrip" 42.0
+    (Geodesy.distance_to_min_rtt_ms (Geodesy.rtt_to_max_distance_km 42.0))
+
+let test_geodesy_lon_normalization () =
+  let c = Geodesy.coord ~lat:10.0 ~lon:190.0 in
+  check_float "lon wrapped" (-170.0) c.Geodesy.lon;
+  let c = Geodesy.coord ~lat:10.0 ~lon:(-541.0) in
+  check_float ~eps:1e-9 "lon wrapped negative" 179.0 c.Geodesy.lon
+
+(* ------------------------------------------------------------------ *)
+(* Projection *)
+(* ------------------------------------------------------------------ *)
+
+let test_projection_roundtrip () =
+  let proj = Projection.make ithaca in
+  List.iter
+    (fun c ->
+      let back = Projection.unproject proj (Projection.project proj c) in
+      if Geodesy.distance_km back c > 0.01 then
+        Alcotest.failf "projection roundtrip error at %s" (Format.asprintf "%a" Geodesy.pp c))
+    [ ithaca; sf; london; Geodesy.coord ~lat:35.68 ~lon:139.69 ]
+
+let test_projection_preserves_focus_distance () =
+  let proj = Projection.make ithaca in
+  List.iter
+    (fun c ->
+      let planar = Point.norm (Projection.project proj c) in
+      let gc = Geodesy.distance_km ithaca c in
+      if Float.abs (planar -. gc) > 0.001 *. gc +. 0.001 then
+        Alcotest.failf "focus distance distorted: %.3f vs %.3f" planar gc)
+    [ sf; london ]
+
+let test_projection_local_distortion_small () =
+  let proj = Projection.make ithaca in
+  (* Within ~2000 km of the focus, pairwise distortion stays below ~4%. *)
+  let boston = Geodesy.coord ~lat:42.36 ~lon:(-71.06) in
+  let chicago = Geodesy.coord ~lat:41.88 ~lon:(-87.63) in
+  let r = Projection.distance_distortion proj boston chicago in
+  if r < 0.96 || r > 1.04 then Alcotest.failf "distortion %.4f" r
+
+(* ------------------------------------------------------------------ *)
+(* Polygon *)
+(* ------------------------------------------------------------------ *)
+
+let square = Polygon.rectangle (pt 0.0 0.0) (pt 2.0 2.0)
+
+let test_polygon_area_centroid () =
+  check_float "area" 4.0 (Polygon.area square);
+  assert (Point.equal (Polygon.centroid square) (pt 1.0 1.0));
+  check_float "perimeter" 8.0 (Polygon.perimeter square)
+
+let test_polygon_orientation_normalized () =
+  (* Clockwise input gets reversed to CCW. *)
+  let cw = Polygon.of_points [| pt 0. 0.; pt 0. 1.; pt 1. 1.; pt 1. 0. |] in
+  assert (Polygon.signed_area (Polygon.vertices cw) > 0.0)
+
+let test_polygon_contains () =
+  assert (Polygon.contains square (pt 1.0 1.0));
+  assert (Polygon.contains square (pt 0.0 0.0));
+  (* boundary *)
+  assert (not (Polygon.contains square (pt 3.0 1.0)));
+  assert (not (Polygon.contains square (pt (-0.1) 1.0)))
+
+let test_polygon_nonconvex_contains () =
+  (* L-shape *)
+  let l =
+    Polygon.of_points [| pt 0. 0.; pt 2. 0.; pt 2. 1.; pt 1. 1.; pt 1. 2.; pt 0. 2. |]
+  in
+  assert (Polygon.contains l (pt 0.5 1.5));
+  assert (not (Polygon.contains l (pt 1.5 1.5)));
+  assert (not (Polygon.is_convex l));
+  assert (Polygon.is_convex square)
+
+let test_polygon_degenerate_rejected () =
+  (match Polygon.of_points [| pt 0. 0.; pt 1. 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for 2 points");
+  match Polygon.of_points [| pt 0. 0.; pt 0. 0.; pt 0. 0.; pt 1e-15 0. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for duplicate points"
+
+let test_polygon_regular () =
+  let hex = Polygon.regular ~center:(pt 1.0 1.0) ~radius:2.0 ~sides:6 in
+  check_float ~eps:1e-9 "hexagon area" (1.5 *. sqrt 3.0 *. 4.0) (Polygon.area hex);
+  assert (Polygon.is_convex hex);
+  assert (Point.equal ~eps:1e-9 (Polygon.centroid hex) (pt 1.0 1.0))
+
+let test_polygon_cleanup () =
+  (* A square with debris: a micro-edge and a collinear mid-edge vertex. *)
+  let messy =
+    Polygon.of_points
+      [| pt 0. 0.; pt 1.0 1e-7; pt 2. 0.; pt 2. 2.; pt 2.0 2.0000001; pt 0. 2. |]
+  in
+  match Polygon.cleanup ~eps:1e-3 messy with
+  | None -> Alcotest.fail "cleanup dropped polygon"
+  | Some p ->
+      if Polygon.num_vertices p > 4 then
+        Alcotest.failf "cleanup left %d vertices" (Polygon.num_vertices p);
+      check_float ~eps:0.01 "cleanup area" 4.0 (Polygon.area p)
+
+let test_polygon_boundary_distance () =
+  check_float "interior distance" 0.5 (Polygon.nearest_boundary_distance square (pt 0.5 1.0));
+  check_float "exterior distance" 1.0 (Polygon.nearest_boundary_distance square (pt 3.0 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Convex hull *)
+(* ------------------------------------------------------------------ *)
+
+let test_hull_square_with_interior () =
+  let pts = [| pt 0. 0.; pt 2. 0.; pt 2. 2.; pt 0. 2.; pt 1. 1.; pt 0.5 0.5 |] in
+  let h = Convex_hull.hull pts in
+  Alcotest.(check int) "hull size" 4 (Array.length h);
+  assert (Convex_hull.contains h (pt 1.0 1.0));
+  assert (not (Convex_hull.contains h (pt 3.0 0.0)))
+
+let test_hull_collinear () =
+  let pts = [| pt 0. 0.; pt 1. 1.; pt 2. 2.; pt 3. 3. |] in
+  let h = Convex_hull.hull pts in
+  (* Degenerate hull keeps only the extreme points. *)
+  Alcotest.(check int) "collinear hull" 2 (Array.length h)
+
+let test_hull_chains () =
+  let pts = [| pt 0. 0.; pt 1. 3.; pt 2. 1.; pt 3. 4.; pt 4. 0.5 |] in
+  let upper = Convex_hull.upper_chain pts in
+  let lower = Convex_hull.lower_chain pts in
+  (* Chains are x-sorted and evaluate above/below all points. *)
+  Array.iter
+    (fun p ->
+      assert (Convex_hull.eval_chain upper p.Point.x >= p.Point.y -. 1e-9);
+      assert (Convex_hull.eval_chain lower p.Point.x <= p.Point.y +. 1e-9))
+    pts
+
+let test_eval_chain_clamps () =
+  let chain = [| pt 1.0 5.0; pt 2.0 7.0 |] in
+  check_float "left clamp" 5.0 (Convex_hull.eval_chain chain 0.0);
+  check_float "right clamp" 7.0 (Convex_hull.eval_chain chain 3.0);
+  check_float "interpolation" 6.0 (Convex_hull.eval_chain chain 1.5)
+
+(* ------------------------------------------------------------------ *)
+(* Bezier *)
+(* ------------------------------------------------------------------ *)
+
+let test_bezier_line_eval () =
+  let s = Bezier.line (pt 0. 0.) (pt 3. 3.) in
+  assert (Point.equal ~eps:1e-12 (Bezier.eval s 0.0) (pt 0. 0.));
+  assert (Point.equal ~eps:1e-12 (Bezier.eval s 1.0) (pt 3. 3.));
+  assert (Point.equal ~eps:1e-9 (Bezier.eval s 0.5) (pt 1.5 1.5))
+
+let test_bezier_split_continuity () =
+  let s =
+    { Bezier.p0 = pt 0. 0.; p1 = pt 1. 2.; p2 = pt 3. (-1.); p3 = pt 4. 1. }
+  in
+  let l, r = Bezier.split s 0.3 in
+  assert (Point.equal ~eps:1e-12 l.Bezier.p3 r.Bezier.p0);
+  assert (Point.equal ~eps:1e-9 (Bezier.eval s 0.3) l.Bezier.p3);
+  (* points on sub-curves match the original *)
+  assert (Point.equal ~eps:1e-9 (Bezier.eval l 0.5) (Bezier.eval s 0.15));
+  assert (Point.equal ~eps:1e-9 (Bezier.eval r 0.5) (Bezier.eval s 0.65))
+
+let test_bezier_circle_area () =
+  let c = Bezier.circle ~center:(pt 5.0 (-3.0)) ~radius:2.0 in
+  assert (Bezier.is_closed c);
+  let exact = Float.pi *. 4.0 in
+  let area = Bezier.area c in
+  if Float.abs (area -. exact) > 0.001 *. exact then
+    Alcotest.failf "circle area %.6f vs %.6f" area exact
+
+let test_bezier_area_matches_polygon () =
+  let poly = Polygon.regular ~center:(pt 0. 0.) ~radius:3.0 ~sides:7 in
+  check_float ~eps:1e-9 "polygon path area" (Polygon.area poly) (Bezier.area (Bezier.of_polygon poly))
+
+let test_bezier_flatten_tolerance () =
+  let s =
+    { Bezier.p0 = pt 0. 0.; p1 = pt 0. 10.; p2 = pt 10. 10.; p3 = pt 10. 0. }
+  in
+  let pts = Array.of_list (Bezier.flatten ~tolerance:0.01 s @ [ s.Bezier.p3 ]) in
+  (* every curve point is within tolerance of the polyline *)
+  for k = 0 to 100 do
+    let t = float_of_int k /. 100.0 in
+    let p = Bezier.eval s t in
+    let best = ref infinity in
+    for i = 0 to Array.length pts - 2 do
+      let a = pts.(i) and b = pts.(i + 1) in
+      let ab = Point.sub b a in
+      let len2 = Point.norm2 ab in
+      let tt = if len2 = 0.0 then 0.0 else Float.max 0.0 (Float.min 1.0 (Point.dot (Point.sub p a) ab /. len2)) in
+      best := Float.min !best (Point.dist p (Point.lerp a b tt))
+    done;
+    if !best > 0.02 then Alcotest.failf "flatten deviation %.4f at t=%.2f" !best t
+  done
+
+let test_bezier_fit_smooth_closed () =
+  let poly = Polygon.regular ~center:(pt 0. 0.) ~radius:5.0 ~sides:12 in
+  let path = Bezier.fit_smooth poly in
+  assert (Bezier.is_closed path);
+  Alcotest.(check int) "segment count" 12 (Bezier.segment_count path);
+  (* the smooth path stays close to the polygon *)
+  let back = Bezier.to_polygon ~tolerance:0.01 path in
+  let a = Polygon.area back and b = Polygon.area poly in
+  if Float.abs (a -. b) > 0.05 *. b then Alcotest.failf "fit area %.3f vs %.3f" a b
+
+let test_bezier_transform_exact () =
+  let c = Bezier.circle ~center:(pt 0. 0.) ~radius:1.0 in
+  let shifted = Bezier.transform_path (fun p -> Point.add p (pt 10.0 0.0)) c in
+  check_float ~eps:1e-9 "translation preserves area" (Bezier.area c) (Bezier.area shifted);
+  let scaled = Bezier.transform_path (Point.scale 3.0) c in
+  check_float ~eps:1e-6 "scaling scales area" (9.0 *. Bezier.area c) (Bezier.area scaled)
+
+(* ------------------------------------------------------------------ *)
+(* Clip *)
+(* ------------------------------------------------------------------ *)
+
+let circle64 c r = Polygon.regular ~center:c ~radius:r ~sides:64
+
+let total_area polys = List.fold_left (fun acc p -> acc +. Polygon.area p) 0.0 polys
+
+let lens_area r d = (2.0 *. r *. r *. acos (d /. (2. *. r))) -. (d /. 2.0 *. sqrt ((4. *. r *. r) -. (d *. d)))
+
+let test_clip_two_circles () =
+  let a = circle64 (pt 0. 0.) 10.0 and b = circle64 (pt 8. 0.) 10.0 in
+  let expected = lens_area 10.0 8.0 in
+  let inter = total_area (Clip.inter a b) in
+  if Float.abs (inter -. expected) > 0.01 *. expected then
+    Alcotest.failf "lens area %.3f vs %.3f" inter expected;
+  let union = total_area (Clip.union a b) in
+  let expected_u = (2.0 *. Float.pi *. 100.0) -. expected in
+  if Float.abs (union -. expected_u) > 0.01 *. expected_u then
+    Alcotest.failf "union area %.3f vs %.3f" union expected_u;
+  let diff = total_area (Clip.diff a b) in
+  let expected_d = (Float.pi *. 100.0) -. expected in
+  if Float.abs (diff -. expected_d) > 0.015 *. expected_d then
+    Alcotest.failf "diff area %.3f vs %.3f" diff expected_d
+
+let test_clip_inclusion_exclusion () =
+  let a = circle64 (pt 0. 0.) 6.0 and b = circle64 (pt 4. 2.) 5.0 in
+  let i = total_area (Clip.inter a b) in
+  let u = total_area (Clip.union a b) in
+  check_float ~eps:0.5 "|A|+|B| = |AuB|+|AnB|"
+    (Polygon.area a +. Polygon.area b)
+    (u +. i)
+
+let test_clip_diff_partition () =
+  let a = circle64 (pt 0. 0.) 6.0 and b = circle64 (pt 4. 2.) 5.0 in
+  let d = total_area (Clip.diff a b) in
+  let i = total_area (Clip.inter a b) in
+  check_float ~eps:0.5 "|A\\B| + |AnB| = |A|" (Polygon.area a) (d +. i)
+
+let test_clip_hole_case () =
+  (* Subtracting a strictly interior disk must not lose area or produce
+     self-intersecting output. *)
+  let a = circle64 (pt 0. 0.) 10.0 and b = circle64 (pt 1. 0.) 3.0 in
+  let d = Clip.diff a b in
+  let expected = Polygon.area a -. Polygon.area b in
+  check_float ~eps:0.2 "annulus-with-offset-hole area" expected (total_area d);
+  (* the hole is actually excluded *)
+  assert (not (List.exists (fun p -> Polygon.contains p (pt 1.0 0.0)) d));
+  assert (List.exists (fun p -> Polygon.contains p (pt 8.0 0.0)) d)
+
+let test_clip_containment () =
+  let big = circle64 (pt 0. 0.) 10.0 and small = circle64 (pt 1. 1.) 2.0 in
+  check_float ~eps:1e-6 "inter with contained" (Polygon.area small) (total_area (Clip.inter big small));
+  check_float ~eps:1e-6 "union with contained" (Polygon.area big) (total_area (Clip.union big small));
+  Alcotest.(check int) "diff contained-in-bigger empty" 0 (List.length (Clip.diff small big))
+
+let test_clip_disjoint () =
+  let a = circle64 (pt 0. 0.) 3.0 and b = circle64 (pt 100. 0.) 3.0 in
+  Alcotest.(check int) "disjoint inter" 0 (List.length (Clip.inter a b));
+  check_float ~eps:1e-6 "disjoint union" (Polygon.area a +. Polygon.area b) (total_area (Clip.union a b));
+  check_float ~eps:1e-6 "disjoint diff" (Polygon.area a) (total_area (Clip.diff a b))
+
+let test_clip_identical () =
+  let a = circle64 (pt 0. 0.) 5.0 and b = circle64 (pt 0. 0.) 5.0 in
+  check_float ~eps:0.2 "identical inter" (Polygon.area a) (total_area (Clip.inter a b));
+  let d = total_area (Clip.diff a b) in
+  if d > 0.2 then Alcotest.failf "identical diff area %.4f" d
+
+let test_clip_shared_edge () =
+  (* Two squares sharing an edge: classic degenerate configuration. *)
+  let a = Polygon.rectangle (pt 0. 0.) (pt 2. 2.) in
+  let b = Polygon.rectangle (pt 2. 0.) (pt 4. 2.) in
+  let i = total_area (Clip.inter a b) in
+  if i > 0.01 then Alcotest.failf "shared-edge inter area %.4f" i;
+  check_float ~eps:0.05 "shared-edge union" 8.0 (total_area (Clip.union a b))
+
+let test_clip_nonconvex_pair () =
+  (* Two overlapping crescents exercise multi-piece outputs. *)
+  let cres c = Clip.diff (circle64 c 10.0) (circle64 (Point.add c (pt 4.0 0.0)) 8.0) in
+  let c1 = cres (pt 0. 0.) and c2 = cres (pt 3. 5.) in
+  let pieces = List.concat_map (fun p -> List.concat_map (Clip.inter p) c2) c1 in
+  (* area must be positive and bounded by each crescent *)
+  let a = total_area pieces in
+  let a1 = total_area c1 and a2 = total_area c2 in
+  assert (a > 0.0);
+  assert (a <= Float.min a1 a2 +. 0.5)
+
+let test_convex_fast_path_matches_gh () =
+  let a = Polygon.regular ~center:(pt 0. 0.) ~radius:5.0 ~sides:16 in
+  let b = Polygon.regular ~center:(pt 3. 1.) ~radius:4.0 ~sides:16 in
+  match Clip.convex_inter a b with
+  | None -> Alcotest.fail "convex inter empty"
+  | Some p ->
+      let gh = total_area (Clip.inter a b) in
+      check_float ~eps:0.01 "fast path area" gh (Polygon.area p)
+
+(* ------------------------------------------------------------------ *)
+(* Region *)
+(* ------------------------------------------------------------------ *)
+
+let test_region_annulus () =
+  let r = Region.annulus ~center:(pt 0. 0.) ~r_inner:3.0 ~r_outer:6.0 () in
+  let expected = Float.pi *. (36.0 -. 9.0) in
+  if Float.abs (Region.area r -. expected) > 0.01 *. expected then
+    Alcotest.failf "annulus area %.3f vs %.3f" (Region.area r) expected;
+  assert (Region.contains r (pt 4.5 0.0));
+  assert (not (Region.contains r (pt 0.0 0.0)));
+  assert (not (Region.contains r (pt 7.0 0.0)))
+
+let test_region_union_disjointness_invariant () =
+  (* union = A + (B \ A): area is |A| + |B| - |AnB| *)
+  let a = Region.disk ~center:(pt 0. 0.) ~radius:5.0 () in
+  let b = Region.disk ~center:(pt 3. 0.) ~radius:5.0 () in
+  let u = Region.union a b in
+  let i = Region.inter a b in
+  check_float ~eps:0.5 "union area" (Region.area a +. Region.area b -. Region.area i) (Region.area u)
+
+let test_region_dilate_monotone () =
+  let a = Region.disk ~center:(pt 0. 0.) ~radius:5.0 () in
+  let d = Region.dilate a 3.0 in
+  (* dilation is an over-approximation of the true Minkowski sum and must
+     contain the original region *)
+  assert (Region.area d >= Region.area a);
+  List.iter (fun p -> assert (Region.contains d p)) [ pt 0. 0.; pt 4.9 0.; pt 0. 4.9; pt 7.5 0. ]
+
+let test_region_erode_common_disk () =
+  let a = Region.disk ~center:(pt 0. 0.) ~radius:5.0 () in
+  (* points within 7 of EVERY point of the disk = disk of radius 2 *)
+  let e = Region.erode_to_common_disk a 7.0 in
+  let expected = Float.pi *. 4.0 in
+  if Float.abs (Region.area e -. expected) > 0.05 *. expected then
+    Alcotest.failf "erode area %.3f vs %.3f" (Region.area e) expected;
+  (* radius smaller than the region's own radius leaves nothing *)
+  let none = Region.erode_to_common_disk a 4.0 in
+  if Region.area none > 0.5 then Alcotest.failf "erode should be near-empty, got %.3f" (Region.area none)
+
+let test_region_inter_all () =
+  let disks =
+    [
+      Region.disk ~center:(pt 0. 0.) ~radius:5.0 ();
+      Region.disk ~center:(pt 3. 0.) ~radius:5.0 ();
+      Region.disk ~center:(pt 1.5 2.) ~radius:5.0 ();
+    ]
+  in
+  let i = Region.inter_all disks in
+  assert (not (Region.is_empty i));
+  assert (Region.contains i (pt 1.5 0.5));
+  List.iter (fun d -> assert (Region.area i <= Region.area d +. 1e-6)) disks
+
+let test_region_simplify () =
+  let d = Region.disk ~segments:96 ~center:(pt 0. 0.) ~radius:10.0 () in
+  let s = Region.simplify ~tolerance:0.5 d in
+  let before = List.fold_left (fun acc p -> acc + Polygon.num_vertices p) 0 (Region.pieces d) in
+  let after = List.fold_left (fun acc p -> acc + Polygon.num_vertices p) 0 (Region.pieces s) in
+  assert (after < before);
+  if Float.abs (Region.area s -. Region.area d) > 0.05 *. Region.area d then
+    Alcotest.fail "simplify changed area too much"
+
+let test_region_sample_grid () =
+  let d = Region.disk ~center:(pt 0. 0.) ~radius:10.0 () in
+  let samples = Region.sample_grid d ~spacing:1.0 in
+  (* every sample inside; count approximates area *)
+  List.iter (fun p -> assert (Region.contains d p)) samples;
+  let n = List.length samples in
+  let approx = float_of_int n *. 1.0 in
+  if Float.abs (approx -. Region.area d) > 0.1 *. Region.area d then
+    Alcotest.failf "grid sample count %d inconsistent with area %.1f" n (Region.area d)
+
+let test_region_halfplane () =
+  let h = Region.halfplane_rect ~anchor:(pt 0. 0.) ~normal:(pt 0. 1.) ~extent:100.0 in
+  assert (Region.contains h (pt 0.0 (-50.0)));
+  assert (not (Region.contains h (pt 0.0 50.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Grid region oracle *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_region_matches_polygon_ops () =
+  let lo = pt (-12.0) (-12.0) and hi = pt 12.0 12.0 in
+  let a = Region.disk ~center:(pt 0. 0.) ~radius:8.0 () in
+  let b = Region.annulus ~center:(pt 3. 0.) ~r_inner:2.0 ~r_outer:7.0 () in
+  let res = 96 in
+  let ga = Grid_region.of_region ~lo ~hi ~resolution:res a in
+  let gb = Grid_region.of_region ~lo ~hi ~resolution:res b in
+  let check op_name region grid =
+    let ra = Region.area region in
+    let gaa = Grid_region.area grid in
+    let tol = 0.06 *. Float.max ra 10.0 +. 8.0 *. Grid_region.cell_area grid in
+    if Float.abs (ra -. gaa) > tol then
+      Alcotest.failf "%s: polygon %.2f vs grid %.2f" op_name ra gaa
+  in
+  check "inter" (Region.inter a b) (Grid_region.inter ga gb);
+  check "union" (Region.union a b) (Grid_region.union ga gb);
+  check "diff" (Region.diff a b) (Grid_region.diff ga gb)
+
+(* ------------------------------------------------------------------ *)
+(* Landmass *)
+(* ------------------------------------------------------------------ *)
+
+let test_landmass_known_points () =
+  let on_land = [ (42.44, -76.5); (51.51, -0.13); (35.68, 139.69); (-33.87, 151.21) ] in
+  let in_ocean = [ (35.0, -40.0); (0.0, -150.0); (-40.0, 80.0); (45.0, -30.0) ] in
+  List.iter
+    (fun (lat, lon) ->
+      if not (Landmass.contains (Geodesy.coord ~lat ~lon)) then
+        Alcotest.failf "(%.1f, %.1f) should be land" lat lon)
+    on_land;
+  List.iter
+    (fun (lat, lon) ->
+      if Landmass.contains (Geodesy.coord ~lat ~lon) then
+        Alcotest.failf "(%.1f, %.1f) should be ocean" lat lon)
+    in_ocean
+
+let test_landmass_uninhabited () =
+  (* Desert interiors are flagged... *)
+  List.iter
+    (fun (lat, lon) ->
+      if not (Landmass.in_uninhabited (Geodesy.coord ~lat ~lon)) then
+        Alcotest.failf "(%.1f, %.1f) should be uninhabited" lat lon)
+    [ (22.0, 5.0); (19.0, 50.0); (42.0, 104.0); (-26.0, 130.0) ];
+  (* ...but inhabited places are not. *)
+  List.iter
+    (fun (lat, lon) ->
+      if Landmass.in_uninhabited (Geodesy.coord ~lat ~lon) then
+        Alcotest.failf "(%.1f, %.1f) should be habitable" lat lon)
+    [ (30.04, 31.24) (* Cairo *); (24.71, 46.68) (* Riyadh *); (41.88, -87.63); (-33.87, 151.21) ]
+
+let test_landmass_region_consistency () =
+  let proj = Projection.make ithaca in
+  let region = Landmass.region proj ~within_km:2500.0 in
+  assert (not (Region.is_empty region));
+  assert (Region.contains region (Projection.project proj ithaca));
+  assert (Region.contains region (Projection.project proj (Geodesy.coord ~lat:41.88 ~lon:(-87.63))));
+  (* mid-Atlantic point projected is not in the mask *)
+  assert (not (Region.contains region (Projection.project proj (Geodesy.coord ~lat:38.0 ~lon:(-55.0)))))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties *)
+(* ------------------------------------------------------------------ *)
+
+let gen_circle_params =
+  QCheck.Gen.(
+    quad (float_range (-20.0) 20.0) (float_range (-20.0) 20.0) (float_range 1.0 15.0)
+      (int_range 8 48))
+
+let arb_circle =
+  QCheck.make ~print:(fun (x, y, r, n) -> Printf.sprintf "circle(%.2f,%.2f,r=%.2f,n=%d)" x y r n)
+    gen_circle_params
+
+let mk_circle (x, y, r, n) = Polygon.regular ~center:(pt x y) ~radius:r ~sides:n
+
+let prop_inter_area_bounded =
+  QCheck.Test.make ~name:"clip: |A∩B| <= min(|A|,|B|)" ~count:150
+    (QCheck.pair arb_circle arb_circle) (fun (ca, cb) ->
+      let a = mk_circle ca and b = mk_circle cb in
+      let i = total_area (Clip.inter a b) in
+      i <= Float.min (Polygon.area a) (Polygon.area b) +. 0.05)
+
+let prop_union_area_bounds =
+  QCheck.Test.make ~name:"clip: max(|A|,|B|) <= |A∪B| <= |A|+|B|" ~count:150
+    (QCheck.pair arb_circle arb_circle) (fun (ca, cb) ->
+      let a = mk_circle ca and b = mk_circle cb in
+      let u = total_area (Clip.union a b) in
+      u >= Float.max (Polygon.area a) (Polygon.area b) -. 0.05
+      && u <= Polygon.area a +. Polygon.area b +. 0.05)
+
+let prop_inclusion_exclusion =
+  QCheck.Test.make ~name:"clip: |A|+|B| = |A∪B|+|A∩B|" ~count:150
+    (QCheck.pair arb_circle arb_circle) (fun (ca, cb) ->
+      let a = mk_circle ca and b = mk_circle cb in
+      let u = total_area (Clip.union a b) in
+      let i = total_area (Clip.inter a b) in
+      let lhs = Polygon.area a +. Polygon.area b in
+      Float.abs (lhs -. (u +. i)) <= 0.02 *. lhs +. 0.1)
+
+let prop_diff_partitions =
+  QCheck.Test.make ~name:"clip: |A\\B|+|A∩B| = |A|" ~count:150
+    (QCheck.pair arb_circle arb_circle) (fun (ca, cb) ->
+      let a = mk_circle ca and b = mk_circle cb in
+      let d = total_area (Clip.diff a b) in
+      let i = total_area (Clip.inter a b) in
+      Float.abs (Polygon.area a -. (d +. i)) <= 0.02 *. Polygon.area a +. 0.1)
+
+let prop_membership_consistent =
+  QCheck.Test.make ~name:"clip: point membership respects boolean semantics" ~count:80
+    (QCheck.triple arb_circle arb_circle (QCheck.pair (QCheck.float_range (-25.0) 25.0) (QCheck.float_range (-25.0) 25.0)))
+    (fun (ca, cb, (px, py)) ->
+      let a = mk_circle ca and b = mk_circle cb in
+      let p = pt px py in
+      let near_boundary poly = Polygon.nearest_boundary_distance poly p < 0.05 in
+      if near_boundary a || near_boundary b then true (* boundary tolerance *)
+      else begin
+        let in_a = Polygon.contains a p and in_b = Polygon.contains b p in
+        let in_i = List.exists (fun q -> Polygon.contains q p) (Clip.inter a b) in
+        let in_u = List.exists (fun q -> Polygon.contains q p) (Clip.union a b) in
+        let in_d = List.exists (fun q -> Polygon.contains q p) (Clip.diff a b) in
+        in_i = (in_a && in_b) && in_u = (in_a || in_b) && in_d = (in_a && not in_b)
+      end)
+
+let prop_hull_contains_all =
+  QCheck.Test.make ~name:"hull contains every input point" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 3 40) (pair (float_range (-100.) 100.) (float_range (-100.) 100.)))
+    (fun coords ->
+      let pts = Array.of_list (List.map (fun (x, y) -> pt x y) coords) in
+      let h = Convex_hull.hull pts in
+      Array.length h < 3 || Array.for_all (fun p -> Convex_hull.contains h p) pts)
+
+let prop_projection_roundtrip =
+  QCheck.Test.make ~name:"projection roundtrip within 10 m" ~count:200
+    QCheck.(
+      quad (float_range (-60.0) 60.0) (float_range (-180.0) 180.0) (float_range (-50.0) 50.0)
+        (float_range (-170.0) 170.0))
+    (fun (flat, flon, lat, lon) ->
+      let proj = Projection.make (Geodesy.coord ~lat:flat ~lon:flon) in
+      let c = Geodesy.coord ~lat ~lon in
+      if Geodesy.distance_km (Projection.focus proj) c > 15000.0 then true
+      else
+        let back = Projection.unproject proj (Projection.project proj c) in
+        Geodesy.distance_km back c < 0.01)
+
+let prop_destination_distance =
+  QCheck.Test.make ~name:"geodesy destination lands at requested distance" ~count:200
+    QCheck.(
+      quad (float_range (-80.0) 80.0) (float_range (-180.0) 180.0) (float_range 0.0 6.28)
+        (float_range 1.0 15000.0))
+    (fun (lat, lon, bearing, d) ->
+      let start = Geodesy.coord ~lat ~lon in
+      let dest = Geodesy.destination start ~bearing ~distance_km:d in
+      Float.abs (Geodesy.distance_km start dest -. d) < 0.5)
+
+let prop_bezier_area_flatten_agree =
+  QCheck.Test.make ~name:"bezier exact area matches flattened area" ~count:100
+    arb_circle
+    (fun (x, y, r, _) ->
+      let path = Bezier.circle ~center:(pt x y) ~radius:r in
+      let exact = Bezier.area path in
+      let flat = Polygon.area (Bezier.to_polygon ~tolerance:1e-3 path) in
+      Float.abs (exact -. flat) < 0.005 *. Float.abs exact +. 0.01)
+
+let prop_cleanup_preserves_area =
+  QCheck.Test.make ~name:"polygon cleanup preserves area within eps*perimeter" ~count:150
+    arb_circle
+    (fun params ->
+      let p = mk_circle params in
+      match Polygon.cleanup ~eps:1e-3 p with
+      | None -> false
+      | Some q -> Float.abs (Polygon.area p -. Polygon.area q) < 1e-3 *. Polygon.perimeter p +. 1e-6)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_inter_area_bounded;
+      prop_union_area_bounds;
+      prop_inclusion_exclusion;
+      prop_diff_partitions;
+      prop_membership_consistent;
+      prop_hull_contains_all;
+      prop_projection_roundtrip;
+      prop_destination_distance;
+      prop_bezier_area_flatten_agree;
+      prop_cleanup_preserves_area;
+    ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "point",
+      [
+        tc "algebra" test_point_algebra;
+        tc "rotate" test_point_rotate;
+        tc "orient2d" test_point_orient;
+        tc "perp/normalize" test_point_perp_normalize;
+      ] );
+    ( "geodesy",
+      [
+        tc "known distances" test_geodesy_known_distances;
+        tc "symmetry and identity" test_geodesy_symmetry_identity;
+        tc "destination roundtrip" test_geodesy_destination_roundtrip;
+        tc "midpoint" test_geodesy_midpoint;
+        tc "units and speed of light" test_geodesy_units;
+        tc "longitude normalization" test_geodesy_lon_normalization;
+      ] );
+    ( "projection",
+      [
+        tc "roundtrip" test_projection_roundtrip;
+        tc "focus distances preserved" test_projection_preserves_focus_distance;
+        tc "local distortion small" test_projection_local_distortion_small;
+      ] );
+    ( "polygon",
+      [
+        tc "area/centroid/perimeter" test_polygon_area_centroid;
+        tc "orientation normalized" test_polygon_orientation_normalized;
+        tc "contains" test_polygon_contains;
+        tc "non-convex contains" test_polygon_nonconvex_contains;
+        tc "degenerate rejected" test_polygon_degenerate_rejected;
+        tc "regular n-gon" test_polygon_regular;
+        tc "cleanup" test_polygon_cleanup;
+        tc "boundary distance" test_polygon_boundary_distance;
+      ] );
+    ( "convex-hull",
+      [
+        tc "square with interior points" test_hull_square_with_interior;
+        tc "collinear input" test_hull_collinear;
+        tc "upper/lower chains bound data" test_hull_chains;
+        tc "eval_chain clamps and interpolates" test_eval_chain_clamps;
+      ] );
+    ( "bezier",
+      [
+        tc "line eval" test_bezier_line_eval;
+        tc "split continuity" test_bezier_split_continuity;
+        tc "circle area" test_bezier_circle_area;
+        tc "polygon path area" test_bezier_area_matches_polygon;
+        tc "flatten tolerance" test_bezier_flatten_tolerance;
+        tc "fit smooth closed" test_bezier_fit_smooth_closed;
+        tc "transforms exact on control points" test_bezier_transform_exact;
+      ] );
+    ( "clip",
+      [
+        tc "two circles" test_clip_two_circles;
+        tc "inclusion-exclusion" test_clip_inclusion_exclusion;
+        tc "diff partitions subject" test_clip_diff_partition;
+        tc "hole elimination" test_clip_hole_case;
+        tc "containment cases" test_clip_containment;
+        tc "disjoint cases" test_clip_disjoint;
+        tc "identical polygons" test_clip_identical;
+        tc "shared edge" test_clip_shared_edge;
+        tc "non-convex pair" test_clip_nonconvex_pair;
+        tc "convex fast path matches GH" test_convex_fast_path_matches_gh;
+      ] );
+    ( "region",
+      [
+        tc "annulus" test_region_annulus;
+        tc "union area identity" test_region_union_disjointness_invariant;
+        tc "dilate monotone" test_region_dilate_monotone;
+        tc "erode to common disk" test_region_erode_common_disk;
+        tc "inter_all" test_region_inter_all;
+        tc "simplify" test_region_simplify;
+        tc "sample grid" test_region_sample_grid;
+        tc "halfplane" test_region_halfplane;
+      ] );
+    ("grid-oracle", [ tc "polygon ops match raster ops" test_grid_region_matches_polygon_ops ]);
+    ( "landmass",
+      [
+        tc "known land and ocean points" test_landmass_known_points;
+        tc "uninhabited areas" test_landmass_uninhabited;
+        tc "projected region consistency" test_landmass_region_consistency;
+      ] );
+    ("geo-properties", qcheck_cases);
+  ]

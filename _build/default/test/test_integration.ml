@@ -1,0 +1,119 @@
+(* End-to-end integration tests: simulator -> bridge -> pipeline/baselines.
+   These use a small deployment to stay fast; they check shapes and sanity
+   rather than headline numbers (the benches do that at full scale). *)
+
+let deployment = lazy (Netsim.Deployment.make ~seed:99 ~n_hosts:14 ())
+let bridge = lazy (Eval.Bridge.create ~probes:6 (Lazy.force deployment))
+
+let with_target f =
+  let bridge = Lazy.force bridge in
+  let n = Eval.Bridge.host_count bridge in
+  let idx = Array.init n Fun.id in
+  let target = 2 in
+  let truth = Eval.Bridge.position bridge target in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:target idx in
+  let lm_indices = Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target)) in
+  let inter = Eval.Bridge.inter_rtt_for bridge lm_indices in
+  let obs = Eval.Bridge.observations bridge ~landmark_indices:idx ~target in
+  f ~truth ~landmarks ~inter ~obs
+
+let test_bridge_matrix_properties () =
+  let bridge = Lazy.force bridge in
+  let n = Eval.Bridge.host_count bridge in
+  let idx = Array.init n Fun.id in
+  let m = Eval.Bridge.inter_rtt_for bridge idx in
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 1e-9)) "diag zero" 0.0 m.(i).(i);
+    for j = 0 to n - 1 do
+      assert (m.(i).(j) = m.(j).(i));
+      if i <> j then assert (m.(i).(j) > 0.0)
+    done
+  done
+
+let test_bridge_observations_shape () =
+  with_target (fun ~truth:_ ~landmarks ~inter:_ ~obs ->
+      let n = Array.length landmarks in
+      Alcotest.(check int) "rtt vector length" n (Array.length obs.Octant.Pipeline.target_rtt_ms);
+      Alcotest.(check int) "traceroute per landmark" n (Array.length obs.Octant.Pipeline.traceroutes);
+      Array.iter
+        (fun trace ->
+          Array.iter (fun h -> assert (h.Octant.Pipeline.hop_rtt_ms > 0.0)) trace)
+        obs.Octant.Pipeline.traceroutes)
+
+let test_octant_end_to_end () =
+  with_target (fun ~truth ~landmarks ~inter ~obs ->
+      let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+      let est = Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs in
+      (* Sanity: the estimate is a non-empty region on the right continent. *)
+      assert (est.Octant.Estimate.area_km2 > 0.0);
+      let err = Octant.Estimate.error_miles est truth in
+      if err > 2500.0 then Alcotest.failf "end-to-end error %.0f mi" err;
+      assert (est.Octant.Estimate.solve_time_s < 30.0))
+
+let test_octant_deterministic () =
+  with_target (fun ~truth:_ ~landmarks ~inter ~obs ->
+      let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+      let e1 = Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs in
+      let e2 = Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs in
+      Alcotest.(check (float 1e-9))
+        "same area" e1.Octant.Estimate.area_km2 e2.Octant.Estimate.area_km2;
+      assert (Geo.Geodesy.equal ~eps:1e-9 e1.Octant.Estimate.point e2.Octant.Estimate.point))
+
+let test_baselines_end_to_end () =
+  with_target (fun ~truth ~landmarks ~inter ~obs ->
+      let rtts = obs.Octant.Pipeline.target_rtt_ms in
+      let lim = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+      let lim_res = Baselines.Geolim.localize lim ~target_rtt_ms:rtts in
+      assert (Geo.Geodesy.distance_km lim_res.Baselines.Geolim.point truth < 12_000.0);
+      let ping = Baselines.Geoping.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+      let ping_res = Baselines.Geoping.localize ping ~target_rtt_ms:rtts in
+      assert (ping_res.Baselines.Geoping.matched_landmark >= 0);
+      match
+        Baselines.Geotrack.localize ~undns:Eval.Bridge.undns
+          ~traceroutes:obs.Octant.Pipeline.traceroutes ~target_rtt_ms:rtts
+      with
+      | Some r -> assert (Geo.Geodesy.distance_km r.Baselines.Geotrack.point truth < 15_000.0)
+      | None -> () (* possible if nothing resolves on this seed *))
+
+let test_ablation_variants_all_run () =
+  (* Every ablation config must at least run one target without raising. *)
+  with_target (fun ~truth:_ ~landmarks ~inter ~obs ->
+      List.iter
+        (fun v ->
+          let ctx =
+            Octant.Pipeline.prepare ~config:v.Eval.Ablation.config ~landmarks
+              ~inter_landmark_rtt_ms:inter ()
+          in
+          let est = Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs in
+          assert (est.Octant.Estimate.area_km2 >= 0.0))
+        (Eval.Ablation.variants ()))
+
+let test_report_cdf_rows () =
+  let rows = Eval.Report.cdf_rows ~points:10 "test" [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  Alcotest.(check int) "row count" 10 (List.length rows);
+  (* Monotone in both coordinates. *)
+  let rec check = function
+    | (_, x1, q1) :: ((_, x2, q2) :: _ as rest) ->
+        assert (x2 >= x1);
+        assert (q2 >= q1);
+        check rest
+    | _ -> ()
+  in
+  check rows
+
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let suite =
+  [
+    ( "integration",
+      [
+        tc "bridge matrix properties" test_bridge_matrix_properties;
+        tc "bridge observations shape" test_bridge_observations_shape;
+        tc_slow "octant end to end" test_octant_end_to_end;
+        tc_slow "octant deterministic" test_octant_deterministic;
+        tc_slow "baselines end to end" test_baselines_end_to_end;
+        tc_slow "ablation variants run" test_ablation_variants_all_run;
+        tc "report cdf rows" test_report_cdf_rows;
+      ] );
+  ]

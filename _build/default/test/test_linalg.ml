@@ -1,0 +1,260 @@
+(* Tests for the linear algebra substrate. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let check_vec ?(eps = 1e-8) msg expected actual =
+  if Array.length expected <> Array.length actual then Alcotest.failf "%s: length mismatch" msg;
+  Array.iteri
+    (fun i e ->
+      if Float.abs (e -. actual.(i)) > eps then
+        Alcotest.failf "%s[%d]: expected %.12g, got %.12g" msg i e actual.(i))
+    expected
+
+(* ------------------------------------------------------------------ *)
+(* Matrix *)
+(* ------------------------------------------------------------------ *)
+
+let test_matrix_basics () =
+  let m = Linalg.Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check int) "rows" 2 (Linalg.Matrix.rows m);
+  Alcotest.(check int) "cols" 2 (Linalg.Matrix.cols m);
+  check_float "get" 3.0 (Linalg.Matrix.get m 1 0);
+  let t = Linalg.Matrix.transpose m in
+  check_float "transpose" 2.0 (Linalg.Matrix.get t 1 0)
+
+let test_matrix_mul () =
+  let a = Linalg.Matrix.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Linalg.Matrix.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Linalg.Matrix.mul a b in
+  check_vec "product row 0" [| 19.0; 22.0 |] (Linalg.Matrix.row c 0);
+  check_vec "product row 1" [| 43.0; 50.0 |] (Linalg.Matrix.row c 1)
+
+let test_matrix_identity_neutral () =
+  let a = Linalg.Matrix.of_rows [| [| 2.0; -1.0; 0.5 |]; [| 1.0; 3.0; -2.0 |] |] in
+  let i3 = Linalg.Matrix.identity 3 in
+  assert (Linalg.Matrix.equal (Linalg.Matrix.mul a i3) a)
+
+let test_matrix_mul_vec () =
+  let a = Linalg.Matrix.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  check_vec "mul_vec" [| 14.0; 32.0 |] (Linalg.Matrix.mul_vec a [| 1.0; 2.0; 3.0 |])
+
+let test_matrix_solve_exact () =
+  let a = Linalg.Matrix.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Linalg.Matrix.solve a [| 5.0; 10.0 |] in
+  check_vec "solution" [| 1.0; 3.0 |] x
+
+let test_matrix_solve_requires_pivoting () =
+  (* Zero on the initial pivot position forces a row swap. *)
+  let a = Linalg.Matrix.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Linalg.Matrix.solve a [| 2.0; 3.0 |] in
+  check_vec "swap solution" [| 3.0; 2.0 |] x
+
+let test_matrix_solve_singular () =
+  let a = Linalg.Matrix.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Linalg.Matrix.solve a [| 1.0; 2.0 |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "singular system must fail"
+
+let test_matrix_random_solve_roundtrip () =
+  let rng = Stats.Rng.create 21 in
+  for _ = 1 to 20 do
+    let n = 2 + Stats.Rng.int rng 8 in
+    let a =
+      Linalg.Matrix.of_rows
+        (Array.init n (fun _ -> Array.init n (fun _ -> Stats.Rng.uniform rng (-5.0) 5.0)))
+    in
+    (* Diagonal dominance guarantees solvability. *)
+    for i = 0 to n - 1 do
+      Linalg.Matrix.set a i i (Linalg.Matrix.get a i i +. 20.0)
+    done;
+    let x_true = Array.init n (fun _ -> Stats.Rng.uniform rng (-3.0) 3.0) in
+    let b = Linalg.Matrix.mul_vec a x_true in
+    let x = Linalg.Matrix.solve a b in
+    check_vec ~eps:1e-7 "roundtrip" x_true x
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Least squares *)
+(* ------------------------------------------------------------------ *)
+
+let test_lsq_exact_fit () =
+  (* Line fit through exact points: y = 2x + 1. *)
+  let a = Linalg.Matrix.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 1.0 |]; [| 2.0; 1.0 |] |] in
+  let b = [| 1.0; 3.0; 5.0 |] in
+  let x = Linalg.Lsq.solve a b in
+  check_vec ~eps:1e-8 "line fit" [| 2.0; 1.0 |] x;
+  check_float ~eps:1e-8 "zero residual" 0.0 (Linalg.Lsq.residual_norm a x b)
+
+let test_lsq_overdetermined () =
+  (* Noisy line: least squares beats any exact subset. *)
+  let a =
+    Linalg.Matrix.of_rows
+      [| [| 0.0; 1.0 |]; [| 1.0; 1.0 |]; [| 2.0; 1.0 |]; [| 3.0; 1.0 |] |]
+  in
+  let b = [| 1.1; 2.9; 5.1; 6.9 |] in
+  let x = Linalg.Lsq.solve a b in
+  (* analytic least squares for these numbers: slope 1.98, intercept 1.03 *)
+  check_float ~eps:0.02 "slope" 1.98 x.(0);
+  check_float ~eps:0.05 "intercept" 1.03 x.(1)
+
+let test_lsq_qr_matches_normal () =
+  let rng = Stats.Rng.create 31 in
+  for _ = 1 to 10 do
+    let m = 12 and n = 4 in
+    let a =
+      Linalg.Matrix.of_rows
+        (Array.init m (fun _ -> Array.init n (fun _ -> Stats.Rng.uniform rng (-2.0) 2.0)))
+    in
+    let b = Array.init m (fun _ -> Stats.Rng.uniform rng (-2.0) 2.0) in
+    let x1 = Linalg.Lsq.solve a b in
+    let x2 = Linalg.Lsq.solve_normal a b in
+    check_vec ~eps:1e-6 "QR vs normal equations" x1 x2
+  done
+
+let test_lsq_residual_minimal () =
+  let rng = Stats.Rng.create 32 in
+  let m = 10 and n = 3 in
+  let a =
+    Linalg.Matrix.of_rows
+      (Array.init m (fun _ -> Array.init n (fun _ -> Stats.Rng.uniform rng (-2.0) 2.0)))
+  in
+  let b = Array.init m (fun _ -> Stats.Rng.uniform rng (-2.0) 2.0) in
+  let x = Linalg.Lsq.solve a b in
+  let base = Linalg.Lsq.residual_norm a x b in
+  (* Perturbing the solution can only increase the residual. *)
+  for i = 0 to n - 1 do
+    let x' = Array.copy x in
+    x'.(i) <- x'.(i) +. 0.01;
+    assert (Linalg.Lsq.residual_norm a x' b >= base -. 1e-12)
+  done
+
+let test_lsq_ridge_shrinks () =
+  let a = Linalg.Matrix.of_rows [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let b = [| 2.0; 2.0; 4.0 |] in
+  let x0 = Linalg.Lsq.solve_ridge a b ~lambda:0.0 in
+  let x1 = Linalg.Lsq.solve_ridge a b ~lambda:10.0 in
+  let norm v = sqrt (Array.fold_left (fun acc c -> acc +. (c *. c)) 0.0 v) in
+  assert (norm x1 < norm x0)
+
+let test_lsq_underdetermined_rejected () =
+  let a = Linalg.Matrix.of_rows [| [| 1.0; 2.0; 3.0 |] |] in
+  match Linalg.Lsq.solve a [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "underdetermined must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Nelder-Mead *)
+(* ------------------------------------------------------------------ *)
+
+let test_nm_quadratic () =
+  let f x = ((x.(0) -. 3.0) ** 2.0) +. ((x.(1) +. 1.0) ** 2.0) in
+  let r = Linalg.Nelder_mead.minimize ~f ~init:[| 0.0; 0.0 |] () in
+  assert r.Linalg.Nelder_mead.converged;
+  check_float ~eps:1e-3 "x0" 3.0 r.Linalg.Nelder_mead.x.(0);
+  check_float ~eps:1e-3 "x1" (-1.0) r.Linalg.Nelder_mead.x.(1)
+
+let test_nm_rosenbrock () =
+  let f x =
+    let a = 1.0 -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+    (a *. a) +. (100.0 *. b *. b)
+  in
+  let r = Linalg.Nelder_mead.minimize ~max_iter:20000 ~tolerance:1e-14 ~f ~init:[| -1.2; 1.0 |] () in
+  check_float ~eps:0.01 "rosenbrock x" 1.0 r.Linalg.Nelder_mead.x.(0);
+  check_float ~eps:0.02 "rosenbrock y" 1.0 r.Linalg.Nelder_mead.x.(1)
+
+let test_nm_1d () =
+  let f x = Float.abs (x.(0) -. 7.0) in
+  let r = Linalg.Nelder_mead.minimize ~f ~init:[| 0.0 |] () in
+  check_float ~eps:1e-3 "1d" 7.0 r.Linalg.Nelder_mead.x.(0)
+
+let test_nm_multistart_escapes_local_minimum () =
+  (* Double well: minima at -2 (local, f=1) and +2 (global, f=0). *)
+  let f x =
+    let v = x.(0) in
+    let w1 = ((v +. 2.0) ** 2.0) +. 1.0 in
+    let w2 = (v -. 2.0) ** 2.0 in
+    Float.min w1 w2
+  in
+  let r =
+    Linalg.Nelder_mead.minimize_multistart ~restarts:6
+      ~perturb:(fun k -> [| 2.0 *. float_of_int k |])
+      ~f ~init:[| -2.5 |] ()
+  in
+  check_float ~eps:0.01 "global minimum" 2.0 r.Linalg.Nelder_mead.x.(0)
+
+let test_nm_respects_max_iter () =
+  let f x = (x.(0) ** 2.0) +. (x.(1) ** 2.0) in
+  let r = Linalg.Nelder_mead.minimize ~max_iter:5 ~f ~init:[| 100.0; 100.0 |] () in
+  assert (r.Linalg.Nelder_mead.iterations <= 5)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+(* ------------------------------------------------------------------ *)
+
+let prop_solve_roundtrip =
+  QCheck.Test.make ~name:"solve(A, A x) = x for diagonally dominant A" ~count:60
+    QCheck.(pair (int_range 2 7) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Stats.Rng.create seed in
+      let a =
+        Linalg.Matrix.of_rows
+          (Array.init n (fun _ -> Array.init n (fun _ -> Stats.Rng.uniform rng (-3.0) 3.0)))
+      in
+      for i = 0 to n - 1 do
+        Linalg.Matrix.set a i i (Linalg.Matrix.get a i i +. 15.0)
+      done;
+      let x = Array.init n (fun _ -> Stats.Rng.uniform rng (-5.0) 5.0) in
+      let b = Linalg.Matrix.mul_vec a x in
+      let x' = Linalg.Matrix.solve a b in
+      Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) x x')
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:60
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 0 10000))
+    (fun (r, c, seed) ->
+      let rng = Stats.Rng.create seed in
+      let a =
+        Linalg.Matrix.of_rows
+          (Array.init r (fun _ -> Array.init c (fun _ -> Stats.Rng.uniform rng (-9.0) 9.0)))
+      in
+      Linalg.Matrix.equal a (Linalg.Matrix.transpose (Linalg.Matrix.transpose a)))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_solve_roundtrip; prop_transpose_involution ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "matrix",
+      [
+        tc "basics" test_matrix_basics;
+        tc "multiplication" test_matrix_mul;
+        tc "identity neutral" test_matrix_identity_neutral;
+        tc "matrix-vector" test_matrix_mul_vec;
+        tc "solve exact" test_matrix_solve_exact;
+        tc "solve with pivoting" test_matrix_solve_requires_pivoting;
+        tc "solve singular rejected" test_matrix_solve_singular;
+        tc "random solve roundtrips" test_matrix_random_solve_roundtrip;
+      ] );
+    ( "least-squares",
+      [
+        tc "exact fit" test_lsq_exact_fit;
+        tc "overdetermined fit" test_lsq_overdetermined;
+        tc "QR matches normal equations" test_lsq_qr_matches_normal;
+        tc "residual is minimal" test_lsq_residual_minimal;
+        tc "ridge shrinks solution" test_lsq_ridge_shrinks;
+        tc "underdetermined rejected" test_lsq_underdetermined_rejected;
+      ] );
+    ( "nelder-mead",
+      [
+        tc "quadratic bowl" test_nm_quadratic;
+        tc "rosenbrock valley" test_nm_rosenbrock;
+        tc "1d absolute value" test_nm_1d;
+        tc "multistart escapes local minimum" test_nm_multistart_escapes_local_minimum;
+        tc "respects max_iter" test_nm_respects_max_iter;
+      ] );
+    ("linalg-properties", qcheck_cases);
+  ]

@@ -1,0 +1,386 @@
+(* Tests for the network simulator substrate. *)
+
+let rng () = Stats.Rng.create 1234
+
+let build_topo () = Netsim.Topology.build ~rng:(rng ()) ()
+
+(* ------------------------------------------------------------------ *)
+(* City database *)
+(* ------------------------------------------------------------------ *)
+
+let test_city_codes_unique () =
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c.Netsim.City.code then
+        Alcotest.failf "duplicate city code %s" c.Netsim.City.code;
+      Hashtbl.add seen c.Netsim.City.code ())
+    Netsim.City.all
+
+let test_city_lookup () =
+  (match Netsim.City.find "CHI" with
+  | Some c -> Alcotest.(check string) "name" "Chicago" c.Netsim.City.name
+  | None -> Alcotest.fail "CHI must exist");
+  (match Netsim.City.find "chi" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "lookup must be case-insensitive");
+  match Netsim.City.find "ZZZ" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "ZZZ must not exist"
+
+let test_city_all_on_land () =
+  Array.iter
+    (fun c ->
+      if not (Geo.Landmass.contains c.Netsim.City.location) then
+        Alcotest.failf "city %s (%s) not on land mask" c.Netsim.City.name c.Netsim.City.code;
+      if Geo.Landmass.in_uninhabited c.Netsim.City.location then
+        Alcotest.failf "city %s (%s) inside an uninhabited mask" c.Netsim.City.name
+          c.Netsim.City.code)
+    Netsim.City.all
+
+let test_city_hub_exchange_subsets () =
+  Array.iter (fun c -> assert c.Netsim.City.hub) Netsim.City.hubs;
+  Array.iter
+    (fun c ->
+      assert c.Netsim.City.exchange;
+      (* Every exchange is also a hub in this model. *)
+      assert c.Netsim.City.hub)
+    Netsim.City.exchanges;
+  assert (Array.length Netsim.City.hubs >= 15);
+  assert (Array.length Netsim.City.exchanges >= 8)
+
+let test_city_distances_sane () =
+  let chi = Netsim.City.find_exn "CHI" and nyc = Netsim.City.find_exn "NYC" in
+  let d = Netsim.City.distance_km chi nyc in
+  if d < 1100.0 || d > 1250.0 then Alcotest.failf "Chicago-NYC distance %.0f km" d
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_deterministic () =
+  let t1 = Netsim.Topology.build ~rng:(Stats.Rng.create 5) () in
+  let t2 = Netsim.Topology.build ~rng:(Stats.Rng.create 5) () in
+  Alcotest.(check int) "same node count"
+    (Array.length (Netsim.Topology.nodes t1))
+    (Array.length (Netsim.Topology.nodes t2));
+  (* Spot check: same node kinds and heights. *)
+  Array.iteri
+    (fun i n1 ->
+      let n2 = Netsim.Topology.node t2 i in
+      assert (n1.Netsim.Topology.kind = n2.Netsim.Topology.kind);
+      assert (n1.Netsim.Topology.height_ms = n2.Netsim.Topology.height_ms))
+    (Netsim.Topology.nodes t1)
+
+let test_topology_every_city_has_host_and_access () =
+  let topo = build_topo () in
+  Array.iter
+    (fun city ->
+      let host = Netsim.Topology.host_of_city topo city in
+      let access = Netsim.Topology.access_of_city topo city in
+      (match (Netsim.Topology.node topo host).Netsim.Topology.kind with
+      | Netsim.Topology.Host -> ()
+      | _ -> Alcotest.fail "host node kind");
+      match (Netsim.Topology.node topo access).Netsim.Topology.kind with
+      | Netsim.Topology.Access _ -> ()
+      | _ -> Alcotest.fail "access node kind")
+    Netsim.City.all
+
+let test_topology_connected () =
+  let topo = build_topo () in
+  (* Every host can reach every other host. *)
+  let hosts =
+    Array.to_list Netsim.City.all |> List.map (Netsim.Topology.host_of_city topo)
+  in
+  let src = List.hd hosts in
+  List.iter
+    (fun dst ->
+      match Netsim.Topology.path topo src dst with
+      | [] -> Alcotest.fail "empty path"
+      | p ->
+          assert (List.hd p = src);
+          assert (List.nth p (List.length p - 1) = dst))
+    hosts
+
+let test_topology_path_endpoints_and_adjacency () =
+  let topo = build_topo () in
+  let a = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "ITH") in
+  let b = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "SEA") in
+  let p = Netsim.Topology.path topo a b in
+  (* consecutive nodes are adjacent *)
+  let rec check = function
+    | u :: (v :: _ as rest) ->
+        let links = Netsim.Topology.neighbors topo u in
+        assert (List.exists (fun l -> l.Netsim.Topology.other = v) links);
+        check rest
+    | _ -> ()
+  in
+  check p;
+  assert (List.length p >= 4) (* host-access-...-access-host *)
+
+let test_topology_base_rtt_physical () =
+  let topo = build_topo () in
+  let cities = [ "ITH"; "SEA"; "LHR"; "TYO"; "CHI"; "MIA" ] in
+  List.iter
+    (fun ca ->
+      List.iter
+        (fun cb ->
+          if ca <> cb then begin
+            let a = Netsim.Topology.host_of_city topo (Netsim.City.find_exn ca) in
+            let b = Netsim.Topology.host_of_city topo (Netsim.City.find_exn cb) in
+            let rtt = Netsim.Topology.base_rtt_ms topo a b in
+            let gc =
+              Netsim.City.distance_km (Netsim.City.find_exn ca) (Netsim.City.find_exn cb)
+            in
+            let sol_rtt = Geo.Geodesy.distance_to_min_rtt_ms gc in
+            if rtt < sol_rtt then
+              Alcotest.failf "%s-%s base rtt %.1f beats light (%.1f)" ca cb rtt sol_rtt
+          end)
+        cities)
+    cities
+
+let test_topology_base_rtt_symmetric () =
+  let topo = build_topo () in
+  let a = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "BOS") in
+  let b = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "LAX") in
+  let r1 = Netsim.Topology.base_rtt_ms topo a b in
+  let r2 = Netsim.Topology.base_rtt_ms topo b a in
+  if Float.abs (r1 -. r2) > 1e-9 then Alcotest.failf "asymmetric base rtt %.3f vs %.3f" r1 r2
+
+let test_topology_route_inflation_reasonable () =
+  let topo = build_topo () in
+  let hosts =
+    Array.map (Netsim.Topology.host_of_city topo) (Array.sub Netsim.City.all 0 30)
+  in
+  let acc = Stats.Running.create () in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then Stats.Running.add acc (Netsim.Topology.route_inflation topo a b))
+        hosts)
+    hosts;
+  let mean = Stats.Running.mean acc in
+  if mean < 1.1 || mean > 4.0 then Alcotest.failf "mean route inflation %.2f out of range" mean
+
+(* ------------------------------------------------------------------ *)
+(* Measure *)
+(* ------------------------------------------------------------------ *)
+
+let test_measure_min_rtt_floor () =
+  let topo = build_topo () in
+  let r = rng () in
+  let a = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "ITH") in
+  let b = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "CHI") in
+  let base = Netsim.Topology.base_rtt_ms topo a b in
+  for _ = 1 to 50 do
+    let rtt = Netsim.Measure.probe_rtt topo r ~src:a ~dst:b in
+    if rtt < base -. 1e-9 then Alcotest.failf "probe %.3f below floor %.3f" rtt base
+  done
+
+let test_measure_min_rtt_decreases_with_probes () =
+  let topo = build_topo () in
+  let r = rng () in
+  let a = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "ITH") in
+  let b = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "LHR") in
+  let m1 = Netsim.Measure.min_rtt ~probes:1 topo r ~src:a ~dst:b in
+  let m20 = Netsim.Measure.min_rtt ~probes:20 topo r ~src:a ~dst:b in
+  let base = Netsim.Topology.base_rtt_ms topo a b in
+  assert (m20 >= base);
+  (* Not strictly guaranteed per draw, but with 20 vs 1 probes it holds
+     at this fixed seed; the point is min-of-more approaches the floor. *)
+  assert (m20 <= m1 +. 1.0)
+
+let test_measure_traceroute_structure () =
+  let topo = build_topo () in
+  let r = rng () in
+  let a = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "ITH") in
+  let b = Netsim.Topology.host_of_city topo (Netsim.City.find_exn "SEA") in
+  let hops = Netsim.Measure.traceroute topo r ~src:a ~dst:b in
+  assert (List.length hops >= 3);
+  (* Last hop is the destination. *)
+  let last = List.nth hops (List.length hops - 1) in
+  Alcotest.(check int) "last hop is dst" b last.Netsim.Measure.node;
+  (* The source does not appear. *)
+  assert (not (List.exists (fun h -> h.Netsim.Measure.node = a) hops))
+
+let test_measure_rtt_matrix_symmetric_zero_diag () =
+  let topo = build_topo () in
+  let r = rng () in
+  let ids =
+    Array.map
+      (fun code -> Netsim.Topology.host_of_city topo (Netsim.City.find_exn code))
+      [| "ITH"; "CHI"; "SEA"; "LHR" |]
+  in
+  let m = Netsim.Measure.rtt_matrix ~probes:3 topo r ids in
+  for i = 0 to 3 do
+    assert (m.(i).(i) = 0.0);
+    for j = 0 to 3 do
+      assert (m.(i).(j) = m.(j).(i))
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Dns / undns *)
+(* ------------------------------------------------------------------ *)
+
+let test_dns_decode_known_format () =
+  (match Netsim.Dns.decode "bb2-chi-3-1.sprintlink.net" with
+  | Some c ->
+      let chi = Netsim.City.find_exn "CHI" in
+      if Geo.Geodesy.distance_km c chi.Netsim.City.location > 1.0 then
+        Alcotest.fail "decoded to wrong city"
+  | None -> Alcotest.fail "should decode hub code CHI")
+
+let test_dns_decode_opaque () =
+  Alcotest.(check bool) "opaque name" true (Netsim.Dns.decode "core42-17.telia.net" = None);
+  Alcotest.(check bool) "numeric token" true (Netsim.Dns.decode "bb1-42-3.telia.net" = None);
+  Alcotest.(check bool) "no dot" true (Netsim.Dns.decode "localhost" = None);
+  Alcotest.(check bool) "host name" true
+    (Netsim.Dns.decode "planetlab1.site-042.example.org" = None)
+
+let test_dns_hub_always_covered () =
+  Array.iter
+    (fun c ->
+      if not (Netsim.Dns.covered c.Netsim.City.code) then
+        Alcotest.failf "hub %s must be in undns" c.Netsim.City.code)
+    Netsim.City.hubs
+
+let test_dns_coverage_partial () =
+  let non_hub =
+    Array.to_list Netsim.City.all |> List.filter (fun c -> not c.Netsim.City.hub)
+  in
+  let covered = List.filter (fun c -> Netsim.Dns.covered c.Netsim.City.code) non_hub in
+  let frac = float_of_int (List.length covered) /. float_of_int (List.length non_hub) in
+  if frac < 0.5 || frac > 0.95 then Alcotest.failf "undns coverage %.2f out of range" frac
+
+let test_dns_unknown_code () =
+  Alcotest.(check bool) "unknown code" true (Netsim.Dns.lookup "QQQ" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Whois *)
+(* ------------------------------------------------------------------ *)
+
+let test_whois_error_model () =
+  let topo = build_topo () in
+  let w = Netsim.Whois.build ~missing_rate:0.25 ~stale_rate:0.15 topo (rng ()) in
+  let accurate, stale, missing = Netsim.Whois.stats w in
+  let total = accurate + stale + missing in
+  Alcotest.(check int) "one record slot per host" (Array.length Netsim.City.all) total;
+  let frac_missing = float_of_int missing /. float_of_int total in
+  let frac_stale = float_of_int stale /. float_of_int (max 1 (accurate + stale)) in
+  if frac_missing < 0.1 || frac_missing > 0.45 then Alcotest.failf "missing %.2f" frac_missing;
+  if frac_stale < 0.03 || frac_stale > 0.35 then Alcotest.failf "stale %.2f" frac_stale
+
+let test_whois_accurate_records_match_city () =
+  let topo = build_topo () in
+  let w = Netsim.Whois.build topo (rng ()) in
+  Array.iter
+    (fun nd ->
+      match nd.Netsim.Topology.kind with
+      | Netsim.Topology.Host -> (
+          match Netsim.Whois.lookup w nd.Netsim.Topology.id with
+          | Some r when r.Netsim.Whois.accurate ->
+              if r.Netsim.Whois.city.Netsim.City.code <> nd.Netsim.Topology.city.Netsim.City.code
+              then Alcotest.fail "accurate record points at wrong city"
+          | _ -> ())
+      | _ -> ())
+    (Netsim.Topology.nodes topo)
+
+(* ------------------------------------------------------------------ *)
+(* Deployment *)
+(* ------------------------------------------------------------------ *)
+
+let test_deployment_distinct_cities () =
+  let dep = Netsim.Deployment.make ~seed:3 ~n_hosts:51 () in
+  let hosts = Netsim.Deployment.hosts dep in
+  Alcotest.(check int) "host count" 51 (Array.length hosts);
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun h ->
+      let city = Netsim.Deployment.host_city dep h in
+      if Hashtbl.mem seen city.Netsim.City.code then
+        Alcotest.failf "two hosts in %s" city.Netsim.City.name;
+      Hashtbl.add seen city.Netsim.City.code ())
+    hosts
+
+let test_deployment_deterministic () =
+  let d1 = Netsim.Deployment.make ~seed:11 ~n_hosts:20 () in
+  let d2 = Netsim.Deployment.make ~seed:11 ~n_hosts:20 () in
+  let cities d =
+    Array.map (fun h -> (Netsim.Deployment.host_city d h).Netsim.City.code) (Netsim.Deployment.hosts d)
+  in
+  assert (cities d1 = cities d2)
+
+let test_deployment_mix () =
+  let dep = Netsim.Deployment.make ~seed:5 ~n_hosts:51 () in
+  let na = ref 0 in
+  Array.iter
+    (fun h ->
+      match (Netsim.Deployment.host_city dep h).Netsim.City.region with
+      | Netsim.City.North_america -> incr na
+      | _ -> ())
+    (Netsim.Deployment.hosts dep);
+  (* 55% requested; allow slack *)
+  if !na < 20 || !na > 36 then Alcotest.failf "NA hosts %d out of expected band" !na
+
+let test_deployment_measurements_consistent () =
+  let dep = Netsim.Deployment.make ~seed:7 ~n_hosts:10 () in
+  let hosts = Netsim.Deployment.hosts dep in
+  let a = hosts.(0) and b = hosts.(1) in
+  let rtt = Netsim.Deployment.min_rtt dep ~src:a ~dst:b in
+  let d = Geo.Geodesy.distance_km (Netsim.Deployment.host_position dep a) (Netsim.Deployment.host_position dep b) in
+  assert (d <= Geo.Geodesy.rtt_to_max_distance_km rtt);
+  let tr = Netsim.Deployment.traceroute dep ~src:a ~dst:b in
+  assert (List.length tr >= 2)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "city",
+      [
+        tc "codes unique" test_city_codes_unique;
+        tc "lookup" test_city_lookup;
+        tc "all cities on land" test_city_all_on_land;
+        tc "hub/exchange subsets" test_city_hub_exchange_subsets;
+        tc "distances sane" test_city_distances_sane;
+      ] );
+    ( "topology",
+      [
+        tc "deterministic" test_topology_deterministic;
+        tc "every city has host+access" test_topology_every_city_has_host_and_access;
+        tc "connected" test_topology_connected;
+        tc "paths are adjacency-valid" test_topology_path_endpoints_and_adjacency;
+        tc "base RTT respects physics" test_topology_base_rtt_physical;
+        tc "base RTT symmetric" test_topology_base_rtt_symmetric;
+        tc "route inflation reasonable" test_topology_route_inflation_reasonable;
+      ] );
+    ( "measure",
+      [
+        tc "probes never beat the floor" test_measure_min_rtt_floor;
+        tc "more probes approach the floor" test_measure_min_rtt_decreases_with_probes;
+        tc "traceroute structure" test_measure_traceroute_structure;
+        tc "rtt matrix symmetric" test_measure_rtt_matrix_symmetric_zero_diag;
+      ] );
+    ( "dns",
+      [
+        tc "decode known format" test_dns_decode_known_format;
+        tc "decode opaque" test_dns_decode_opaque;
+        tc "hubs always covered" test_dns_hub_always_covered;
+        tc "coverage partial" test_dns_coverage_partial;
+        tc "unknown code" test_dns_unknown_code;
+      ] );
+    ( "whois",
+      [
+        tc "error model rates" test_whois_error_model;
+        tc "accurate records match city" test_whois_accurate_records_match_city;
+      ] );
+    ( "deployment",
+      [
+        tc "distinct cities" test_deployment_distinct_cities;
+        tc "deterministic" test_deployment_deterministic;
+        tc "geographic mix" test_deployment_mix;
+        tc "measurements consistent" test_deployment_measurements_consistent;
+      ] );
+  ]

@@ -1,0 +1,5 @@
+(* Umbrella runner: each module contributes a list of Alcotest suites. *)
+let () =
+  Alcotest.run "octant-repro"
+    (Test_geo.suite @ Test_stats.suite @ Test_linalg.suite @ Test_netsim.suite
+   @ Test_core.suite @ Test_baselines.suite @ Test_integration.suite)

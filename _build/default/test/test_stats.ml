@@ -1,0 +1,318 @@
+(* Tests for the statistics substrate. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Stats.Rng.create 42 and b = Stats.Rng.create 42 in
+  for _ = 1 to 100 do
+    if not (Int64.equal (Stats.Rng.bits64 a) (Stats.Rng.bits64 b)) then
+      Alcotest.fail "same seed must give same stream"
+  done;
+  let c = Stats.Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Stats.Rng.bits64 a) (Stats.Rng.bits64 c)) then differs := true
+  done;
+  assert !differs
+
+let test_rng_copy_independent () =
+  let a = Stats.Rng.create 7 in
+  let b = Stats.Rng.copy a in
+  let xa = Stats.Rng.bits64 a in
+  let xb = Stats.Rng.bits64 b in
+  assert (Int64.equal xa xb);
+  ignore (Stats.Rng.bits64 a);
+  let ya = Stats.Rng.bits64 a and yb = Stats.Rng.bits64 b in
+  assert (not (Int64.equal ya yb))
+
+let test_rng_split_independent () =
+  let a = Stats.Rng.create 7 in
+  let b = Stats.Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Stats.Rng.bits64 a) (Stats.Rng.bits64 b) then incr same
+  done;
+  assert (!same < 3)
+
+let test_rng_int_range_and_uniformity () =
+  let rng = Stats.Rng.create 11 in
+  let counts = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Stats.Rng.int rng 10 in
+    assert (v >= 0 && v < 10);
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expect = n / 10 in
+      if abs (c - expect) > expect / 4 then Alcotest.failf "bucket count %d far from %d" c expect)
+    counts
+
+let test_rng_float_bounds () =
+  let rng = Stats.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Stats.Rng.uniform rng 2.0 5.0 in
+    assert (v >= 2.0 && v < 5.0)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Stats.Rng.create 5 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Stats.Rng.gaussian rng ~mean:3.0 ~stddev:2.0) in
+  check_float ~eps:0.05 "gaussian mean" 3.0 (Stats.Sample.mean xs);
+  check_float ~eps:0.1 "gaussian stddev" 2.0 (Stats.Sample.stddev xs)
+
+let test_rng_exponential_moments () =
+  let rng = Stats.Rng.create 6 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Stats.Rng.exponential rng ~rate:2.0) in
+  check_float ~eps:0.02 "exponential mean" 0.5 (Stats.Sample.mean xs);
+  Array.iter (fun x -> assert (x >= 0.0)) xs
+
+let test_rng_pareto_support () =
+  let rng = Stats.Rng.create 8 in
+  for _ = 1 to 1000 do
+    assert (Stats.Rng.pareto rng ~scale:3.0 ~shape:1.5 >= 3.0)
+  done
+
+let test_rng_bernoulli_rate () =
+  let rng = Stats.Rng.create 9 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Stats.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_float ~eps:0.02 "bernoulli rate" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_rng_shuffle_permutation () =
+  let rng = Stats.Rng.create 10 in
+  let arr = Array.init 50 Fun.id in
+  let copy = Array.copy arr in
+  Stats.Rng.shuffle rng copy;
+  Array.sort compare copy;
+  assert (copy = arr)
+
+let test_rng_sample_without_replacement () =
+  let rng = Stats.Rng.create 12 in
+  let arr = Array.init 30 Fun.id in
+  let s = Stats.Rng.sample_without_replacement rng 10 arr in
+  Alcotest.(check int) "sample size" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    assert (sorted.(i) <> sorted.(i - 1))
+  done;
+  Array.iter (fun v -> assert (v >= 0 && v < 30)) s
+
+let test_rng_invalid_args () =
+  let rng = Stats.Rng.create 1 in
+  (match Stats.Rng.int rng 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "int 0 must fail");
+  match Stats.Rng.sample_without_replacement rng 10 [| 1; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversample must fail"
+
+(* ------------------------------------------------------------------ *)
+(* Sample *)
+(* ------------------------------------------------------------------ *)
+
+let test_sample_basic () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "mean" 2.5 (Stats.Sample.mean xs);
+  check_float "min" 1.0 (Stats.Sample.min xs);
+  check_float "max" 4.0 (Stats.Sample.max xs);
+  check_float "median" 2.5 (Stats.Sample.median xs);
+  check_float "variance" (5.0 /. 3.0) (Stats.Sample.variance xs)
+
+let test_sample_percentile_interpolation () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  check_float "p0" 10.0 (Stats.Sample.percentile 0.0 xs);
+  check_float "p100" 50.0 (Stats.Sample.percentile 100.0 xs);
+  check_float "p50" 30.0 (Stats.Sample.percentile 50.0 xs);
+  check_float "p25" 20.0 (Stats.Sample.percentile 25.0 xs);
+  check_float "p10" 14.0 (Stats.Sample.percentile 10.0 xs)
+
+let test_sample_percentile_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.Sample.percentile 50.0 xs);
+  assert (xs = [| 3.0; 1.0; 2.0 |])
+
+let test_sample_kahan_sum () =
+  let xs = Array.concat [ [| 1e16 |]; Array.make 1000 1.0; [| -1e16 |] ] in
+  check_float ~eps:1.0 "kahan sum" 1000.0 (Stats.Sample.sum xs)
+
+let test_sample_errors () =
+  (match Stats.Sample.mean [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mean of empty must fail");
+  match Stats.Sample.percentile 101.0 [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "percentile > 100 must fail"
+
+(* ------------------------------------------------------------------ *)
+(* Cdf *)
+(* ------------------------------------------------------------------ *)
+
+let test_cdf_eval () =
+  let cdf = Stats.Cdf.of_samples [| 1.0; 2.0; 2.0; 4.0 |] in
+  check_float "below" 0.0 (Stats.Cdf.eval cdf 0.5);
+  check_float "at 1" 0.25 (Stats.Cdf.eval cdf 1.0);
+  check_float "at 2" 0.75 (Stats.Cdf.eval cdf 2.0);
+  check_float "at 3" 0.75 (Stats.Cdf.eval cdf 3.0);
+  check_float "at max" 1.0 (Stats.Cdf.eval cdf 4.0);
+  check_float "above" 1.0 (Stats.Cdf.eval cdf 100.0)
+
+let test_cdf_inverse () =
+  let cdf = Stats.Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "q=0.25" 1.0 (Stats.Cdf.inverse cdf 0.25);
+  check_float "q=0.5" 2.0 (Stats.Cdf.inverse cdf 0.5);
+  check_float "q=1" 4.0 (Stats.Cdf.inverse cdf 1.0);
+  check_float "q=0" 1.0 (Stats.Cdf.inverse cdf 0.0)
+
+let test_cdf_points_monotone () =
+  let cdf = Stats.Cdf.of_samples [| 5.0; 1.0; 3.0; 3.0; 9.0 |] in
+  let pts = Stats.Cdf.points cdf in
+  Alcotest.(check int) "points count" 5 (Array.length pts);
+  for i = 1 to Array.length pts - 1 do
+    assert (fst pts.(i) >= fst pts.(i - 1));
+    assert (snd pts.(i) >= snd pts.(i - 1))
+  done;
+  check_float "last fraction" 1.0 (snd pts.(4))
+
+let test_cdf_series () =
+  let cdf = Stats.Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  let s = Stats.Cdf.series cdf ~xs:[| 0.0; 2.5; 10.0 |] in
+  check_float "series 0" 0.0 (snd s.(0));
+  check_float "series mid" 0.5 (snd s.(1));
+  check_float "series end" 1.0 (snd s.(2))
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+(* ------------------------------------------------------------------ *)
+
+let test_running_matches_batch () =
+  let rng = Stats.Rng.create 99 in
+  let xs = Array.init 1000 (fun _ -> Stats.Rng.gaussian rng ~mean:5.0 ~stddev:3.0) in
+  let r = Stats.Running.create () in
+  Array.iter (Stats.Running.add r) xs;
+  Alcotest.(check int) "count" 1000 (Stats.Running.count r);
+  check_float ~eps:1e-9 "mean" (Stats.Sample.mean xs) (Stats.Running.mean r);
+  check_float ~eps:1e-6 "variance" (Stats.Sample.variance xs) (Stats.Running.variance r);
+  check_float "min" (Stats.Sample.min xs) (Stats.Running.min r);
+  check_float "max" (Stats.Sample.max xs) (Stats.Running.max r)
+
+let test_running_merge () =
+  let rng = Stats.Rng.create 100 in
+  let xs = Array.init 500 (fun _ -> Stats.Rng.uniform rng 0.0 10.0) in
+  let ys = Array.init 300 (fun _ -> Stats.Rng.uniform rng 5.0 20.0) in
+  let ra = Stats.Running.create () and rb = Stats.Running.create () in
+  Array.iter (Stats.Running.add ra) xs;
+  Array.iter (Stats.Running.add rb) ys;
+  let merged = Stats.Running.merge ra rb in
+  let all = Array.append xs ys in
+  check_float ~eps:1e-9 "merged mean" (Stats.Sample.mean all) (Stats.Running.mean merged);
+  check_float ~eps:1e-6 "merged variance" (Stats.Sample.variance all) (Stats.Running.variance merged);
+  Alcotest.(check int) "merged count" 800 (Stats.Running.count merged)
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  Alcotest.(check int) "count" 0 (Stats.Running.count r);
+  check_float "mean" 0.0 (Stats.Running.mean r);
+  check_float "variance" 0.0 (Stats.Running.variance r)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+(* ------------------------------------------------------------------ *)
+
+let arb_floats =
+  QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_range (-1000.0) 1000.0))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200 arb_floats (fun l ->
+      let xs = Array.of_list l in
+      let p25 = Stats.Sample.percentile 25.0 xs in
+      let p50 = Stats.Sample.percentile 50.0 xs in
+      let p75 = Stats.Sample.percentile 75.0 xs in
+      p25 <= p50 && p50 <= p75)
+
+let prop_percentile_within_range =
+  QCheck.Test.make ~name:"percentile within [min,max]" ~count:200
+    (QCheck.pair arb_floats (QCheck.float_range 0.0 100.0))
+    (fun (l, p) ->
+      let xs = Array.of_list l in
+      let v = Stats.Sample.percentile p xs in
+      v >= Stats.Sample.min xs -. 1e-9 && v <= Stats.Sample.max xs +. 1e-9)
+
+let prop_cdf_inverse_consistent =
+  QCheck.Test.make ~name:"cdf: eval (inverse q) >= q" ~count:200
+    (QCheck.pair arb_floats (QCheck.float_range 0.01 1.0))
+    (fun (l, q) ->
+      let cdf = Stats.Cdf.of_samples (Array.of_list l) in
+      Stats.Cdf.eval cdf (Stats.Cdf.inverse cdf q) >= q -. 1e-9)
+
+let prop_running_mean_matches =
+  QCheck.Test.make ~name:"running mean matches batch" ~count:200 arb_floats (fun l ->
+      let xs = Array.of_list l in
+      let r = Stats.Running.create () in
+      Array.iter (Stats.Running.add r) xs;
+      Float.abs (Stats.Running.mean r -. Stats.Sample.mean xs) < 1e-6)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_percentile_monotone;
+      prop_percentile_within_range;
+      prop_cdf_inverse_consistent;
+      prop_running_mean_matches;
+    ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "rng",
+      [
+        tc "determinism" test_rng_determinism;
+        tc "copy independence" test_rng_copy_independent;
+        tc "split independence" test_rng_split_independent;
+        tc "int range and uniformity" test_rng_int_range_and_uniformity;
+        tc "float bounds" test_rng_float_bounds;
+        tc "gaussian moments" test_rng_gaussian_moments;
+        tc "exponential moments" test_rng_exponential_moments;
+        tc "pareto support" test_rng_pareto_support;
+        tc "bernoulli rate" test_rng_bernoulli_rate;
+        tc "shuffle is a permutation" test_rng_shuffle_permutation;
+        tc "sample without replacement" test_rng_sample_without_replacement;
+        tc "invalid arguments" test_rng_invalid_args;
+      ] );
+    ( "sample",
+      [
+        tc "basic statistics" test_sample_basic;
+        tc "percentile interpolation" test_sample_percentile_interpolation;
+        tc "percentile does not mutate" test_sample_percentile_does_not_mutate;
+        tc "kahan summation" test_sample_kahan_sum;
+        tc "error cases" test_sample_errors;
+      ] );
+    ( "cdf",
+      [
+        tc "eval" test_cdf_eval;
+        tc "inverse" test_cdf_inverse;
+        tc "points monotone" test_cdf_points_monotone;
+        tc "series" test_cdf_series;
+      ] );
+    ( "running",
+      [
+        tc "matches batch" test_running_matches_batch;
+        tc "merge" test_running_merge;
+        tc "empty" test_running_empty;
+      ] );
+    ("stats-properties", qcheck_cases);
+  ]
