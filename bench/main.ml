@@ -7,6 +7,7 @@
      dune exec bench/main.exe fig4       -- coverage vs number of landmarks
      dune exec bench/main.exe ablation   -- per-mechanism ablation
      dune exec bench/main.exe timing     -- end-to-end solution times
+     dune exec bench/main.exe batch      -- multicore batch engine, sequential vs N domains
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
 
    Absolute numbers come from the simulator substrate, not PlanetLab; the
@@ -104,6 +105,66 @@ let fig3 () =
 let timing study =
   banner "TIMING: per-target solution time (paper: \"a few seconds\")";
   Eval.Report.print_timing study
+
+(* ------------------------------------------------------------------ *)
+(* Batch engine *)
+(* ------------------------------------------------------------------ *)
+
+let batch () =
+  banner "BATCH: multicore batch engine (Pipeline.localize_batch)";
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
+  let bridge = Eval.Bridge.create deployment in
+  let n = Eval.Bridge.host_count bridge in
+  let n_lm = n / 2 in
+  let lm_set = Array.init n_lm Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) lm_set in
+  let inter = Eval.Bridge.inter_rtt_for bridge lm_set in
+  let n_targets = n - n_lm in
+  (* Measurements are RNG-driven: collect them once, in target order, so
+     every row below localizes the same observations. *)
+  let obs =
+    Octant.Parallel.seq_init n_targets (fun i ->
+        Eval.Bridge.observations bridge ~landmark_indices:lm_set ~target:(n_lm + i))
+  in
+  Printf.printf "# %d fixed landmarks, %d targets, one prepared context per row\n" n_lm
+    n_targets;
+  Printf.printf "# Domain.recommended_domain_count = %d (speedup needs >1 physical core)\n%!"
+    (Octant.Parallel.default_jobs ());
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let fresh_ctx () = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  (* Estimates must be bit-identical across rows; solve_time_s is the one
+     field excluded (it is a stopwatch reading, not a result). *)
+  let same (a : Octant.Estimate.t) (b : Octant.Estimate.t) =
+    a.Octant.Estimate.point = b.Octant.Estimate.point
+    && a.Octant.Estimate.point_plane = b.Octant.Estimate.point_plane
+    && a.Octant.Estimate.area_km2 = b.Octant.Estimate.area_km2
+    && a.Octant.Estimate.top_weight = b.Octant.Estimate.top_weight
+    && a.Octant.Estimate.cells_used = b.Octant.Estimate.cells_used
+    && a.Octant.Estimate.constraints_used = b.Octant.Estimate.constraints_used
+    && a.Octant.Estimate.target_height_ms = b.Octant.Estimate.target_height_ms
+  in
+  let seq_ctx = fresh_ctx () in
+  let seq, t_seq =
+    wall (fun () -> Array.map (Octant.Pipeline.localize ~undns:Eval.Bridge.undns seq_ctx) obs)
+  in
+  let hits, misses = Octant.Pipeline.geometry_cache_stats seq_ctx in
+  Printf.printf "  %-24s %6.2fs   (geometry cache: %d hits, %d misses)\n%!"
+    "sequential localize" t_seq hits misses;
+  List.iter
+    (fun jobs ->
+      let ctx = fresh_ctx () in
+      let ests, t =
+        wall (fun () -> Octant.Pipeline.localize_batch ~undns:Eval.Bridge.undns ~jobs ctx obs)
+      in
+      Printf.printf "  localize_batch ~jobs:%-3d %6.2fs   identical: %s   speedup: %.2fx\n%!"
+        jobs t
+        (if Array.for_all2 same seq ests then "yes" else "NO")
+        (t_seq /. t))
+    [ 1; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4 *)
@@ -300,6 +361,7 @@ let () =
   | "secondary" -> secondary ()
   | "robustness" -> robustness ()
   | "timing" -> timing (Eval.Study.run ~seed ~n_hosts ())
+  | "batch" -> batch ()
   | "micro" -> micro ()
   | "all" ->
       fig2 ();
@@ -310,7 +372,8 @@ let () =
       secondary ();
       vivaldi ();
       timing study;
+      batch ();
       micro ()
   | other ->
-      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|secondary|vivaldi|timing|micro|all)\n" other;
+      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|secondary|vivaldi|timing|batch|micro|all)\n" other;
       exit 1

@@ -19,6 +19,27 @@ let hosts_arg =
 let probes_arg =
   Arg.(value & opt int 10 & info [ "probes" ] ~docv:"K" ~doc:"Ping probes per measurement.")
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some j when j >= 0 -> Ok j
+    | Some _ -> Error (`Msg "must be >= 0 (0 = one domain per core)")
+    | None -> Error (`Msg (Printf.sprintf "invalid value '%s', expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv 0
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:
+          "Localization domains. 0 (the default) uses one per available \
+           core; results are identical at every setting.")
+
+(* 0 = auto: let the library pick Domain.recommended_domain_count. *)
+let jobs_opt = function 0 -> None | j -> Some j
+
 let mk_bridge seed n_hosts probes =
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   (deployment, Eval.Bridge.create ~probes deployment)
@@ -95,8 +116,8 @@ let calibrate_cmd =
 
 (* --- study --- *)
 
-let study seed hosts probes =
-  let s = Eval.Study.run ~seed ~n_hosts:hosts ~probes () in
+let study seed hosts probes jobs =
+  let s = Eval.Study.run ~seed ~n_hosts:hosts ~probes ?jobs:(jobs_opt jobs) () in
   Eval.Report.print_figure3 s;
   print_newline ();
   Eval.Report.print_timing s
@@ -104,15 +125,15 @@ let study seed hosts probes =
 let study_cmd =
   Cmd.v
     (Cmd.info "study" ~doc:"Leave-one-out comparison of all methods (Figure 3)")
-    Term.(const study $ seed_arg $ hosts_arg $ probes_arg)
+    Term.(const study $ seed_arg $ hosts_arg $ probes_arg $ jobs_arg)
 
 (* --- sweep --- *)
 
-let sweep seed hosts counts =
+let sweep seed hosts counts jobs =
   let landmark_counts =
     String.split_on_char ',' counts |> List.map String.trim |> List.map int_of_string
   in
-  let s = Eval.Sweep.run ~seed ~n_hosts:hosts ~landmark_counts () in
+  let s = Eval.Sweep.run ~seed ~n_hosts:hosts ~landmark_counts ?jobs:(jobs_opt jobs) () in
   Eval.Report.print_figure4 s
 
 let sweep_cmd =
@@ -124,7 +145,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Coverage vs number of landmarks (Figure 4)")
-    Term.(const sweep $ seed_arg $ hosts_arg $ counts)
+    Term.(const sweep $ seed_arg $ hosts_arg $ counts $ jobs_arg)
 
 (* --- ablation --- *)
 

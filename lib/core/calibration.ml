@@ -103,8 +103,8 @@ let chain_points arr = Array.to_list (Array.map (fun p -> (p.Geo.Point.x, p.Geo.
 let upper_chain = function Conservative -> [] | Fitted f -> chain_points f.upper
 let lower_chain = function Conservative -> [] | Fitted f -> chain_points f.lower
 
-let pool ts =
+let pool ?cutoff_percentile ?sentinel_ms ?upper_margin ?lower_margin ts =
   let all = List.concat_map samples ts in
-  match calibrate all with
+  match calibrate ?cutoff_percentile ?sentinel_ms ?upper_margin ?lower_margin all with
   | t -> t
   | exception Invalid_argument _ -> Conservative

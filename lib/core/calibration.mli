@@ -65,6 +65,15 @@ val conservative : t
     measurements, and the whole story for the speed-of-light-only
     ablation. *)
 
-val pool : t list -> t
+val pool :
+  ?cutoff_percentile:float ->
+  ?sentinel_ms:float ->
+  ?upper_margin:float ->
+  ?lower_margin:float ->
+  t list ->
+  t
 (** Merge the samples of several calibrations into one (used for routers,
-    which have no peer-measurement history of their own). *)
+    which have no peer-measurement history of their own).  The optional
+    parameters are forwarded to {!calibrate} so a pooled calibration can be
+    built with the same cutoff/sentinel the per-landmark ones used;
+    defaults match {!calibrate}. *)

@@ -1,0 +1,112 @@
+(* Memoized constraint-shape tessellation.
+
+   Successive targets of one deployment re-tessellate nearly identical
+   shapes: each landmark's annulus radii move only with the target RTT, so
+   across a batch the same few thousand (radius, segments) combinations
+   recur again and again.  Disk and annulus polygons are translation
+   invariant, so the cache stores them centered at the origin — one entry
+   serves every target projection — and translates per use.
+
+   Radii are quantized to {!quantum_km} buckets so near-identical shapes
+   share an entry.  The snap direction depends on the constraint polarity
+   and always enlarges the satisfying side: a positive shape grows (outer
+   radius up, inner down), a negative shape shrinks (radius down), so the
+   quantized constraint can only be more conservative than the exact one,
+   never exclude the truth.  Because the polygon is built *at* the
+   quantized radius (a pure function of the key), results are independent
+   of cache state and of which domain populated an entry first — the
+   determinism guarantee of the batch engine rests on this.
+
+   Thread safety: one mutex around the table.  Contention is negligible
+   (lookups are rare next to the clipping work they feed), and a miss
+   tessellates outside the lock; when two domains race on the same key the
+   loser's insert is dropped, which is harmless because both computed the
+   same polygon. *)
+
+type key = {
+  kind : int; (* 0 = disk, 1 = ring *)
+  grow : bool;
+  segments : int;
+  q_inner : int;
+  q_outer : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  table : (key, Geo.Polygon.t list) Hashtbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let quantum_km = 0.25
+
+(* Enough for every radius bucket a batch realistically touches; beyond it
+   new shapes are still returned, just not retained. *)
+let max_entries = 8192
+
+let create () =
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 512;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let stats t = (Atomic.get t.hits, Atomic.get t.misses)
+
+let bucket_up r = int_of_float (Float.ceil (r /. quantum_km))
+let bucket_down r = int_of_float (Float.floor (r /. quantum_km))
+let radius_of_bucket q = float_of_int q *. quantum_km
+
+(* Origin-centered pieces for a key; pure function of the key. *)
+let build key =
+  let r_outer = radius_of_bucket key.q_outer in
+  if key.kind = 0 then
+    Geo.Region.pieces
+      (Geo.Region.disk ~segments:key.segments ~center:Geo.Point.zero ~radius:r_outer ())
+  else
+    let r_inner = radius_of_bucket key.q_inner in
+    Geo.Region.pieces
+      (Geo.Region.annulus ~segments:key.segments ~center:Geo.Point.zero ~r_inner ~r_outer ())
+
+let lookup t key =
+  Mutex.lock t.lock;
+  let cached = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.lock;
+  match cached with
+  | Some pieces ->
+      Atomic.incr t.hits;
+      pieces
+  | None ->
+      Atomic.incr t.misses;
+      let pieces = build key in
+      Mutex.lock t.lock;
+      if Hashtbl.length t.table < max_entries && not (Hashtbl.mem t.table key) then
+        Hashtbl.add t.table key pieces;
+      Mutex.unlock t.lock;
+      pieces
+
+let translate_to center pieces =
+  Geo.Region.of_polygons (List.map (Geo.Polygon.translate center) pieces)
+
+let region_for ?(segments = 64) t (constr : Constr.t) =
+  let grow = constr.Constr.polarity = Constr.Positive in
+  match constr.Constr.shape with
+  | Constr.Rough r -> r
+  | Constr.Disk { center; radius_km } ->
+      let q_outer = if grow then bucket_up radius_km else bucket_down radius_km in
+      if q_outer <= 0 then Geo.Region.empty
+      else translate_to center (lookup t { kind = 0; grow; segments; q_inner = 0; q_outer })
+  | Constr.Ring { center; r_inner_km; r_outer_km } ->
+      let q_inner, q_outer =
+        if grow then (bucket_down r_inner_km, bucket_up r_outer_km)
+        else (bucket_up r_inner_km, bucket_down r_outer_km)
+      in
+      if q_outer <= 0 then Geo.Region.empty
+      else if q_inner >= q_outer then
+        (* Snapping degenerated the ring (radii less than a quantum apart);
+           fall back to the exact shape rather than invent geometry. *)
+        Constr.region_of_shape ~segments constr.Constr.shape
+      else if q_inner <= 0 then
+        translate_to center (lookup t { kind = 0; grow; segments; q_inner = 0; q_outer })
+      else translate_to center (lookup t { kind = 1; grow; segments; q_inner; q_outer })

@@ -1,0 +1,76 @@
+(* Hand-rolled domain pool over OCaml 5 domains: no dependencies beyond
+   Stdlib.Domain/Atomic.
+
+   Work is dispatched as chunks of consecutive indices claimed from a
+   shared atomic counter, so domains self-balance across items of very
+   uneven cost (localizing a well-covered target is much cheaper than a
+   poorly-covered one).  Each result slot is written by exactly one domain
+   and [Domain.join] is the publication barrier, so no further
+   synchronization is needed on the result array. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+exception Worker_failure
+
+let init ?jobs ?(chunk = 1) n f =
+  if n < 0 then invalid_arg "Parallel.init: negative length";
+  if chunk < 1 then invalid_arg "Parallel.init: chunk must be >= 1";
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Parallel.init: jobs must be >= 1";
+  if n = 0 then [||]
+  else if jobs = 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let running = ref true in
+      while !running do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get failure <> None then running := false
+        else begin
+          let stop = Stdlib.min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              results.(i) <- Some (f i)
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            (* First failure wins; the others just drain. *)
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+            running := false
+        end
+      done
+    in
+    (* The calling domain is worker number [jobs]; spawn the rest. *)
+    let spawned = Array.init (Stdlib.min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function
+            | Some v -> v
+            | None ->
+                (* Unreachable: every index is claimed exactly once and no
+                   failure was recorded. *)
+                raise Worker_failure)
+          results
+  end
+
+let map ?jobs ?chunk f xs = init ?jobs ?chunk (Array.length xs) (fun i -> f xs.(i))
+
+(* Measurement generators draw from mutable RNG state, so the order [f]
+   is applied in is observable; [Array.init] guarantees none.  This one
+   runs strictly ascending on the calling domain. *)
+let seq_init n f =
+  if n < 0 then invalid_arg "Parallel.seq_init: negative length";
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end

@@ -1,0 +1,36 @@
+(** A small reusable domain pool with a chunked work queue.
+
+    This is the batch-execution substrate for {!Pipeline.localize_batch}
+    and the evaluation drivers: a fixed number of OCaml 5 domains pull
+    chunks of consecutive indices off a shared atomic counter until the
+    input is exhausted.  Results land in a pre-sized array, so output order
+    always matches input order regardless of scheduling, and a computation
+    that is a pure function of its index produces bit-identical results at
+    every [jobs] setting.
+
+    The pool is created per call — domains are cheap to spawn relative to
+    the multi-second work items Octant feeds them — and never outlives it,
+    so there is no global state to shut down. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the number of cores available. *)
+
+val init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [Array.init n f] computed by [jobs] domains
+    (default {!default_jobs}; the calling domain is one of them, so
+    [jobs - 1] domains are spawned).  [chunk] (default 1) is the number of
+    consecutive indices claimed per queue round-trip; 1 maximizes balance
+    for expensive items.  [jobs = 1] runs inline with no domain spawned.
+    If [f] raises, the first exception (by claim order) is re-raised in
+    the caller after all domains drain.
+    @raise Invalid_argument on [n < 0], [jobs < 1], or [chunk < 1]. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] is [Array.map f xs] on the pool. *)
+
+val seq_init : int -> (int -> 'a) -> 'a array
+(** [Array.init] with a guaranteed ascending application order, run
+    entirely on the calling domain.  For effectful producers — RNG-driven
+    measurement, stateful simulators — whose draw order must not depend on
+    scheduling.  The evaluation drivers pair it with {!init}: generate
+    inputs sequentially, then fan the pure per-item compute out. *)

@@ -67,6 +67,9 @@ type context = {
   inflation_beta : float;
   calibrations : Calibration.t array;
   pooled_calibration : Calibration.t;
+  geom_cache : Geom_cache.t;
+      (* Shared across every target localized against this context,
+         including concurrent localizations from the batch engine. *)
 }
 
 let prepare ?(config = default_config) ~landmarks ~inter_landmark_rtt_ms () =
@@ -115,14 +118,31 @@ let prepare ?(config = default_config) ~landmarks ~inter_landmark_rtt_ms () =
   in
   let pooled_calibration =
     if config.sol_only then Calibration.conservative
-    else Calibration.pool (Array.to_list calibrations)
+    else
+      Calibration.pool ~cutoff_percentile:config.cutoff_percentile
+        ~sentinel_ms:config.sentinel_ms
+        (Array.to_list calibrations)
   in
-  { cfg = config; landmarks; heights; inflation_beta; calibrations; pooled_calibration }
+  {
+    cfg = config;
+    landmarks;
+    heights;
+    inflation_beta;
+    calibrations;
+    pooled_calibration;
+    geom_cache = Geom_cache.create ();
+  }
 
 let landmark_heights ctx = ctx.heights
 let calibration ctx i = ctx.calibrations.(i)
 let pooled_calibration ctx = ctx.pooled_calibration
 let config ctx = ctx.cfg
+let geometry_cache_stats ctx = Geom_cache.stats ctx.geom_cache
+
+(* Every solver interaction goes through the context's geometry cache, so
+   the sequential and batch paths share one discretization and stay
+   bit-identical. *)
+let tessellate ctx = Geom_cache.region_for ctx.geom_cache
 
 (* ------------------------------------------------------------------ *)
 
@@ -207,7 +227,9 @@ let localize_router ctx projection world rtts target_height =
   List.iter
     (fun (i, rtt) ->
       let constraints = rtt_constraints ctx projection i rtt target_height in
-      List.iter (fun c -> solver := Solver.add ~max_cells:48 !solver c) constraints;
+      List.iter
+        (fun c -> solver := Solver.add ~max_cells:48 ~tessellate:(tessellate ctx) !solver c)
+        constraints;
       incr count)
     (take 8 usable);
   if !count < 3 then None
@@ -519,7 +541,8 @@ let prepare_target ?(undns = fun _ -> None) ctx obs =
 let arrangement ?undns ctx obs =
   let prepared = prepare_target ?undns ctx obs in
   let solver =
-    Solver.add_all ~max_cells:ctx.cfg.max_cells (Solver.create ~world:prepared.world)
+    Solver.add_all ~max_cells:ctx.cfg.max_cells ~tessellate:(tessellate ctx)
+      (Solver.create ~world:prepared.world)
       prepared.constraints
   in
   (prepared, solver)
@@ -544,3 +567,11 @@ let localize ?undns ctx obs =
     target_height_ms = prepared.target_height_ms;
     solve_time_s = elapsed;
   }
+
+let localize_batch ?undns ?jobs ctx observations =
+  (* The context is immutable after [prepare] (the geometry cache mutates
+     internally but never changes observable results), and [localize] is a
+     pure function of (ctx, obs) apart from its [solve_time_s] stopwatch.
+     Results therefore land in input order and match the sequential path
+     bit for bit at any [jobs] setting. *)
+  Parallel.init ?jobs (Array.length observations) (fun i -> localize ?undns ctx observations.(i))

@@ -122,3 +122,22 @@ val localize :
 (** Localize one target.
     @raise Invalid_argument if [target_rtt_ms] length mismatches the
     context, or fewer than 3 landmarks measured the target. *)
+
+val localize_batch :
+  ?undns:(string -> Geo.Geodesy.coord option) ->
+  ?jobs:int ->
+  context ->
+  observations array ->
+  Estimate.t array
+(** Localize many targets against one prepared context on [jobs] OCaml 5
+    domains (default {!Parallel.default_jobs}).  The immutable context —
+    calibrations, heights, geometry cache — is shared across workers;
+    results are returned in input order and are bit-identical to mapping
+    {!localize} over the array sequentially, at every [jobs] setting.  The
+    only field that varies is [solve_time_s], a stopwatch reading
+    ([Sys.time] is process-wide CPU time, so it over-reports under
+    concurrency).  Raises the first exception any worker hit, after all
+    workers drain. *)
+
+val geometry_cache_stats : context -> int * int
+(** [(hits, misses)] of the context's constraint-geometry memo cache. *)

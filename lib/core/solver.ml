@@ -3,11 +3,17 @@ type cell = {
   weight : float;
   bbox : Geo.Point.t * Geo.Point.t;
   area : float;
+  approx : bool;
+      (* Cap fusion over-approximates the fused tail by its bounding
+         rectangle, which may overlap exact cells.  The flag (inherited by
+         every fragment the cell later splits into) lets [solve] subtract
+         that overlap from the reported region instead of paying a clipping
+         pass on every fusion. *)
 }
 
 type t = { cells : cell list }
 
-let mk_cell region weight =
+let mk_cell ?(approx = false) region weight =
   (* Clipping cost is quadratic in boundary complexity; cells that have
      accumulated many arc vertices get gently simplified (a 2 km boundary
      shift is far below geolocalization scales). *)
@@ -21,7 +27,7 @@ let mk_cell region weight =
   | None -> None
   | Some bbox ->
       let area = Geo.Region.area region in
-      if area < 1e-6 then None else Some { region; weight; bbox; area }
+      if area < 1e-6 then None else Some { region; weight; bbox; area; approx }
 
 let create ~world =
   match mk_cell world 0.0 with
@@ -29,7 +35,10 @@ let create ~world =
   | None -> invalid_arg "Solver.create: empty world"
 
 (* Fuse the lightest-smallest cells to respect the cap.  Fused cells keep
-   the minimum weight of their members: under-promising is conservative. *)
+   the minimum weight of their members: under-promising is conservative.
+   Fusion undershoots the cap by an eighth (hysteresis): fusing exactly to
+   the cap would re-trigger the sort-and-fuse on almost every subsequent
+   add. *)
 let enforce_cap max_cells cells =
   let n = List.length cells in
   if n <= max_cells then cells
@@ -40,15 +49,18 @@ let enforce_cap max_cells cells =
       (fun a b ->
         match compare b.weight a.weight with 0 -> compare b.area a.area | c -> c)
       arr;
-    let keep = Array.sub arr 0 (max_cells - 1) in
-    let tail = Array.sub arr (max_cells - 1) (n - max_cells + 1) in
+    let target = Stdlib.max 2 (max_cells - (max_cells / 8)) in
+    let keep = Array.sub arr 0 (target - 1) in
+    let tail = Array.sub arr (target - 1) (n - target + 1) in
     (* Fuse the tail into its bounding rectangle rather than the exact
        union: the exact union would be a many-hundred-piece region that
        every subsequent constraint must clip against (quadratic blowup).
-       The rectangle over-approximates — it may overlap kept cells — but
-       the fused cell carries the tail's minimum weight, so the
-       over-approximation can only make the final estimate more
-       conservative, never exclude the truth. *)
+       The rectangle over-approximates the tail and may overlap the kept
+       cells, so it is flagged [approx]: [solve] subtracts that overlap
+       from the cells it actually selects, which costs one clipping pass
+       per estimate instead of one per fusion.  The fused cell carries the
+       tail's minimum weight, so the over-approximation can only make the
+       final estimate more conservative, never exclude the truth. *)
     let lo_x = ref infinity and lo_y = ref infinity in
     let hi_x = ref neg_infinity and hi_y = ref neg_infinity in
     Array.iter
@@ -66,7 +78,7 @@ let enforce_cap max_cells cells =
           (Geo.Point.make !lo_x !lo_y)
           (Geo.Point.make !hi_x !hi_y)
       with
-      | rect -> mk_cell (Geo.Region.of_polygon rect) fused_weight
+      | rect -> mk_cell ~approx:true (Geo.Region.of_polygon rect) fused_weight
       | exception Invalid_argument _ -> None
     in
     match fused with
@@ -77,11 +89,13 @@ let enforce_cap max_cells cells =
 let split_cell constraint_region c =
   let inside = Geo.Region.inter c.region constraint_region in
   let outside = Geo.Region.diff c.region constraint_region in
-  (mk_cell inside 0.0, mk_cell outside 0.0)
+  (mk_cell ~approx:c.approx inside 0.0, mk_cell ~approx:c.approx outside 0.0)
 
-let add ?(max_cells = 384) t (constr : Constr.t) =
+let default_tessellate (constr : Constr.t) = Constr.region_of_shape constr.Constr.shape
+
+let add ?(max_cells = 384) ?(tessellate = default_tessellate) t (constr : Constr.t) =
   let w = constr.Constr.weight in
-  let lazy_region = lazy (Constr.region_of_shape constr.Constr.shape) in
+  let lazy_region = lazy (tessellate constr) in
   let on_inside, on_outside =
     match constr.Constr.polarity with
     | Constr.Positive -> (w, 0.0)
@@ -108,7 +122,8 @@ let add ?(max_cells = 384) t (constr : Constr.t) =
   in
   { cells = enforce_cap max_cells next }
 
-let add_all ?max_cells t constraints = List.fold_left (fun acc c -> add ?max_cells acc c) t constraints
+let add_all ?max_cells ?tessellate t constraints =
+  List.fold_left (fun acc c -> add ?max_cells ?tessellate acc c) t constraints
 
 let cell_count t = List.length t.cells
 
@@ -146,9 +161,47 @@ let solve ?(area_threshold_km2 = 5000.0) ?(weight_band = 1.0) t =
             else take (c :: acc) (acc_area +. c.area) (used + 1) rest
       in
       let selected, used = take [] 0.0 0 sorted in
-      (* Cells are disjoint by construction, so the union is concatenation. *)
+      (* Exact cells are disjoint by construction, so their union is
+         concatenation.  Approximate cells (cap-fusion rectangles and their
+         fragments) may overlap the exact ones, so each is clipped against
+         the other selected cells before it joins the region — otherwise
+         [area_km2] and the reported region would double-count the
+         overlap.  Only selected cells pay this; a bbox test skips the
+         pairs that cannot meet. *)
+      let exact_sel, approx_sel =
+        List.partition (fun (c : cell) -> not c.approx) selected
+      in
+      let boxes_meet (alo, ahi) (blo, bhi) =
+        alo.Geo.Point.x < bhi.Geo.Point.x
+        && ahi.Geo.Point.x > blo.Geo.Point.x
+        && alo.Geo.Point.y < bhi.Geo.Point.y
+        && ahi.Geo.Point.y > blo.Geo.Point.y
+      in
+      let approx_regions =
+        List.fold_left
+          (fun clipped (a : cell) ->
+            let r =
+              List.fold_left
+                (fun acc (e : cell) ->
+                  if Geo.Region.is_empty acc || not (boxes_meet a.bbox e.bbox) then acc
+                  else Geo.Region.diff acc e.region)
+                a.region exact_sel
+            in
+            (* Earlier approximate cells were already clipped; subtract
+               them too so approx/approx overlap is not counted twice. *)
+            let r =
+              List.fold_left
+                (fun acc prev ->
+                  if Geo.Region.is_empty acc then acc else Geo.Region.diff acc prev)
+                r clipped
+            in
+            r :: clipped)
+          [] approx_sel
+      in
       let region =
-        Geo.Region.of_polygons (List.concat_map (fun (c : cell) -> Geo.Region.pieces c.region) selected)
+        Geo.Region.of_polygons
+          (List.concat_map (fun (c : cell) -> Geo.Region.pieces c.region) exact_sel
+          @ List.concat_map Geo.Region.pieces approx_regions)
       in
       (* The point estimate comes from the top-weight tier only: averaging
          over the whole reported region would let large low-confidence

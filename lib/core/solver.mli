@@ -20,19 +20,26 @@
     threshold").
 
     Cell counts are capped: when the arrangement grows beyond [max_cells],
-    the lightest-and-smallest cells are fused (their union is kept with the
-    minimum of their weights), which only ever makes the final region more
-    conservative, never unsound. *)
+    the lightest-and-smallest cells are fused into their bounding
+    rectangle, carrying the minimum of their weights — which only ever
+    makes the final region more conservative, never unsound.  The
+    rectangle may overlap the kept cells; fused cells are tracked as
+    approximate and {!solve} subtracts that overlap from the cells it
+    selects, so the reported region and [area_km2] never double-count. *)
 
 type t
 
 val create : world:Geo.Region.t -> t
 (** Fresh arrangement with a single zero-weight cell covering the world. *)
 
-val add : ?max_cells:int -> t -> Constr.t -> t
-(** Fold one constraint in (default cell cap 384). *)
+val add : ?max_cells:int -> ?tessellate:(Constr.t -> Geo.Region.t) -> t -> Constr.t -> t
+(** Fold one constraint in (default cell cap 384).  [tessellate] converts
+    the constraint's analytic shape to the polygonal region used for
+    clipping; it defaults to {!Constr.region_of_shape} and exists so
+    callers can plug in a memoized discretization
+    (see {!Geom_cache.region_for}). *)
 
-val add_all : ?max_cells:int -> t -> Constr.t list -> t
+val add_all : ?max_cells:int -> ?tessellate:(Constr.t -> Geo.Region.t) -> t -> Constr.t list -> t
 
 val cell_count : t -> int
 val max_weight : t -> float

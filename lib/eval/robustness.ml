@@ -15,7 +15,7 @@ let corrupt rng rate rtts =
     rtts
 
 let run ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51)
-    ?(rates = [ 0.0; 0.05; 0.1; 0.2; 0.3 ]) () =
+    ?(rates = [ 0.0; 0.05; 0.1; 0.2; 0.3 ]) ?jobs () =
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   let bridge = Bridge.create deployment in
   let n = Bridge.host_count bridge in
@@ -23,38 +23,51 @@ let run ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51)
   let corruption_rng = Stats.Rng.create (seed * 6151) in
   List.map
     (fun rate ->
-      let oct_err = ref [] and oct_hits = ref 0 in
-      let lim_err = ref [] and lim_hits = ref 0 and lim_empty = ref 0 in
-      for target = 0 to n - 1 do
-        let truth = Bridge.position bridge target in
-        let landmarks = Bridge.landmarks_for bridge ~exclude:target idx in
-        let lm_indices = Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target)) in
-        let inter = Bridge.inter_rtt_for bridge lm_indices in
-        (* Corrupt only the landmark-to-target measurements; traceroutes
-           are left out so the comparison isolates latency-constraint
-           errors (GeoLim uses no traceroutes either). *)
-        let obs = Bridge.observations bridge ~with_traceroutes:false ~landmark_indices:idx ~target in
-        let corrupted = corrupt corruption_rng rate obs.Octant.Pipeline.target_rtt_ms in
-        let obs = { obs with Octant.Pipeline.target_rtt_ms = corrupted } in
-        let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
-        let est = Octant.Pipeline.localize ~undns:Bridge.undns ctx obs in
-        oct_err := Octant.Estimate.error_miles est truth :: !oct_err;
-        if Octant.Estimate.covers est truth then incr oct_hits;
-        let lim = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
-        let lim_res = Baselines.Geolim.localize lim ~target_rtt_ms:corrupted in
-        lim_err :=
-          Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km lim_res.Baselines.Geolim.point truth)
-          :: !lim_err;
-        if lim_res.Baselines.Geolim.covers_truth truth then incr lim_hits;
-        if lim_res.Baselines.Geolim.relaxations > 0 then incr lim_empty
-      done;
+      (* Measurement and corruption both consume RNG, so generate the
+         per-target inputs in target order before fanning out.
+         Corrupt only the landmark-to-target measurements; traceroutes
+         are left out so the comparison isolates latency-constraint
+         errors (GeoLim uses no traceroutes either). *)
+      let all_obs =
+        Octant.Parallel.seq_init n (fun target ->
+            let obs =
+              Bridge.observations bridge ~with_traceroutes:false ~landmark_indices:idx ~target
+            in
+            let corrupted = corrupt corruption_rng rate obs.Octant.Pipeline.target_rtt_ms in
+            { obs with Octant.Pipeline.target_rtt_ms = corrupted })
+      in
+      let results =
+        Octant.Parallel.init ?jobs n (fun target ->
+            let truth = Bridge.position bridge target in
+            let landmarks = Bridge.landmarks_for bridge ~exclude:target idx in
+            let lm_indices =
+              Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target))
+            in
+            let inter = Bridge.inter_rtt_for bridge lm_indices in
+            let obs = all_obs.(target) in
+            let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
+            let est = Octant.Pipeline.localize ~undns:Bridge.undns ctx obs in
+            let lim = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+            let lim_res =
+              Baselines.Geolim.localize lim ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms
+            in
+            ( Octant.Estimate.error_miles est truth,
+              Octant.Estimate.covers est truth,
+              Geo.Geodesy.miles_of_km
+                (Geo.Geodesy.distance_km lim_res.Baselines.Geolim.point truth),
+              lim_res.Baselines.Geolim.covers_truth truth,
+              lim_res.Baselines.Geolim.relaxations > 0 ))
+      in
+      let count p = Array.fold_left (fun acc r -> if p r then acc + 1 else acc) 0 results in
       let nf = float_of_int n in
       {
         corruption_rate = rate;
-        octant_median_miles = Stats.Sample.median (Array.of_list !oct_err);
-        octant_hit_rate = float_of_int !oct_hits /. nf;
-        geolim_median_miles = Stats.Sample.median (Array.of_list !lim_err);
-        geolim_hit_rate = float_of_int !lim_hits /. nf;
-        geolim_empty_rate = float_of_int !lim_empty /. nf;
+        octant_median_miles =
+          Stats.Sample.median (Array.map (fun (e, _, _, _, _) -> e) results);
+        octant_hit_rate = float_of_int (count (fun (_, h, _, _, _) -> h)) /. nf;
+        geolim_median_miles =
+          Stats.Sample.median (Array.map (fun (_, _, e, _, _) -> e) results);
+        geolim_hit_rate = float_of_int (count (fun (_, _, _, h, _) -> h)) /. nf;
+        geolim_empty_rate = float_of_int (count (fun (_, _, _, _, e) -> e)) /. nf;
       })
     rates

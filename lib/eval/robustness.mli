@@ -28,8 +28,12 @@ val run :
   ?seed:int ->
   ?n_hosts:int ->
   ?rates:float list ->
+  ?jobs:int ->
   unit ->
   point list
 (** Defaults: 51 hosts, corruption rates [0; 0.05; 0.1; 0.2; 0.3].
     Corruptions affect only the landmark-to-target measurements (the
-    calibration matrix stays clean), isolating constraint-level errors. *)
+    calibration matrix stays clean), isolating constraint-level errors.
+    [jobs] localizes on that many domains; corruption draws happen
+    sequentially first, so results match the sequential run at every
+    setting. *)

@@ -18,122 +18,177 @@ type t = {
 let all_indices n = Array.init n Fun.id
 
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Unix.gettimeofday () -. t0)
 
-let run ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51) ?(probes = 10) () =
+(* One target's results across all four methods; the per-method arrays of
+   [t] are projections of these rows. *)
+type row = {
+  oct_e : float;
+  oct_c : bool;
+  oct_a : float;
+  oct_t : float;
+  lim_e : float;
+  lim_c : bool;
+  lim_a : float;
+  lim_t : float;
+  ping_e : float;
+  ping_t : float;
+  track_e : float;
+  track_t : float;
+}
+
+let run ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51) ?(probes = 10)
+    ?jobs () =
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   let bridge = Bridge.create ~probes deployment in
   let n = Bridge.host_count bridge in
   let idx = all_indices n in
-  let oct_err = Array.make n 0.0 and oct_cov = Array.make n false in
-  let oct_area = Array.make n 0.0 and oct_time = Array.make n 0.0 in
-  let lim_err = Array.make n 0.0 and lim_cov = Array.make n false in
-  let lim_area = Array.make n 0.0 and lim_time = Array.make n 0.0 in
-  let ping_err = Array.make n 0.0 and ping_time = Array.make n 0.0 in
-  let track_err = Array.make n 0.0 and track_time = Array.make n 0.0 in
-  for target = 0 to n - 1 do
-    let truth = Bridge.position bridge target in
-    let landmarks = Bridge.landmarks_for bridge ~exclude:target idx in
-    let lm_indices = Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target)) in
-    let inter = Bridge.inter_rtt_for bridge lm_indices in
-    let obs = Bridge.observations bridge ~landmark_indices:idx ~target in
-    (* Octant. *)
-    let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
-    let est, dt = timed (fun () -> Octant.Pipeline.localize ~undns:Bridge.undns ctx obs) in
-    oct_err.(target) <- Octant.Estimate.error_miles est truth;
-    oct_cov.(target) <- Octant.Estimate.covers est truth;
-    oct_area.(target) <- est.Octant.Estimate.area_km2;
-    oct_time.(target) <- dt;
-    (* GeoLim. *)
-    let lim = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
-    let lim_res, dt =
-      timed (fun () -> Baselines.Geolim.localize lim ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
-    in
-    lim_err.(target) <- Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km lim_res.Baselines.Geolim.point truth);
-    lim_cov.(target) <- lim_res.Baselines.Geolim.covers_truth truth;
-    lim_area.(target) <- lim_res.Baselines.Geolim.area_km2;
-    lim_time.(target) <- dt;
-    (* GeoPing. *)
-    let ping = Baselines.Geoping.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
-    let ping_res, dt =
-      timed (fun () -> Baselines.Geoping.localize ping ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
-    in
-    ping_err.(target) <-
-      Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km ping_res.Baselines.Geoping.point truth);
-    ping_time.(target) <- dt;
-    (* GeoTrack. *)
-    let track_res, dt =
-      timed (fun () ->
-          Baselines.Geotrack.localize ~undns:Bridge.undns ~traceroutes:obs.Octant.Pipeline.traceroutes
-            ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
-    in
-    (track_err.(target) <-
-       (match track_res with
-       | Some r -> Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km r.Baselines.Geotrack.point truth)
-       | None ->
-           (* No recognizable router anywhere: GeoTrack punts to the
-              landmark with lowest RTT. *)
-           let best = ref 0 in
-           Array.iteri
-             (fun i rtt ->
-               if
-                 rtt > 0.0
-                 && rtt < obs.Octant.Pipeline.target_rtt_ms.(!best)
-               then best := i)
-             obs.Octant.Pipeline.target_rtt_ms;
-           Geo.Geodesy.miles_of_km
-             (Geo.Geodesy.distance_km landmarks.(!best).Octant.Pipeline.lm_position truth)));
-    track_time.(target) <- dt
-  done;
+  (* Measurement first, in target order: observations draw from the
+     deployment's RNG, so which random values feed which target must not
+     depend on [jobs]. *)
+  let all_obs =
+    Octant.Parallel.seq_init n (fun target ->
+        Bridge.observations bridge ~landmark_indices:idx ~target)
+  in
+  (* Localization is a pure function of the measurements; fan it out. *)
+  let rows =
+    Octant.Parallel.init ?jobs n (fun target ->
+        let truth = Bridge.position bridge target in
+        let landmarks = Bridge.landmarks_for bridge ~exclude:target idx in
+        let lm_indices =
+          Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target))
+        in
+        let inter = Bridge.inter_rtt_for bridge lm_indices in
+        let obs = all_obs.(target) in
+        (* Octant. *)
+        let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
+        let est, oct_t = timed (fun () -> Octant.Pipeline.localize ~undns:Bridge.undns ctx obs) in
+        (* GeoLim. *)
+        let lim = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+        let lim_res, lim_t =
+          timed (fun () ->
+              Baselines.Geolim.localize lim ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
+        in
+        (* GeoPing. *)
+        let ping = Baselines.Geoping.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+        let ping_res, ping_t =
+          timed (fun () ->
+              Baselines.Geoping.localize ping ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
+        in
+        (* GeoTrack. *)
+        let track_res, track_t =
+          timed (fun () ->
+              Baselines.Geotrack.localize ~undns:Bridge.undns
+                ~traceroutes:obs.Octant.Pipeline.traceroutes
+                ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms)
+        in
+        let track_e =
+          match track_res with
+          | Some r ->
+              Geo.Geodesy.miles_of_km (Geo.Geodesy.distance_km r.Baselines.Geotrack.point truth)
+          | None ->
+              (* No recognizable router anywhere: GeoTrack punts to the
+                 landmark with lowest RTT. *)
+              let best = ref 0 in
+              Array.iteri
+                (fun i rtt ->
+                  if rtt > 0.0 && rtt < obs.Octant.Pipeline.target_rtt_ms.(!best) then best := i)
+                obs.Octant.Pipeline.target_rtt_ms;
+              Geo.Geodesy.miles_of_km
+                (Geo.Geodesy.distance_km landmarks.(!best).Octant.Pipeline.lm_position truth)
+        in
+        {
+          oct_e = Octant.Estimate.error_miles est truth;
+          oct_c = Octant.Estimate.covers est truth;
+          oct_a = est.Octant.Estimate.area_km2;
+          oct_t;
+          lim_e =
+            Geo.Geodesy.miles_of_km
+              (Geo.Geodesy.distance_km lim_res.Baselines.Geolim.point truth);
+          lim_c = lim_res.Baselines.Geolim.covers_truth truth;
+          lim_a = lim_res.Baselines.Geolim.area_km2;
+          lim_t;
+          ping_e =
+            Geo.Geodesy.miles_of_km
+              (Geo.Geodesy.distance_km ping_res.Baselines.Geoping.point truth);
+          ping_t;
+          track_e;
+          track_t;
+        })
+  in
   {
     octant =
-      { name = "Octant"; errors_miles = oct_err; covered = oct_cov; areas_km2 = oct_area; time_s = oct_time };
+      {
+        name = "Octant";
+        errors_miles = Array.map (fun r -> r.oct_e) rows;
+        covered = Array.map (fun r -> r.oct_c) rows;
+        areas_km2 = Array.map (fun r -> r.oct_a) rows;
+        time_s = Array.map (fun r -> r.oct_t) rows;
+      };
     geolim =
-      { name = "GeoLim"; errors_miles = lim_err; covered = lim_cov; areas_km2 = lim_area; time_s = lim_time };
+      {
+        name = "GeoLim";
+        errors_miles = Array.map (fun r -> r.lim_e) rows;
+        covered = Array.map (fun r -> r.lim_c) rows;
+        areas_km2 = Array.map (fun r -> r.lim_a) rows;
+        time_s = Array.map (fun r -> r.lim_t) rows;
+      };
     geoping =
       {
         name = "GeoPing";
-        errors_miles = ping_err;
+        errors_miles = Array.map (fun r -> r.ping_e) rows;
         covered = Array.make n false;
         areas_km2 = Array.make n 0.0;
-        time_s = ping_time;
+        time_s = Array.map (fun r -> r.ping_t) rows;
       };
     geotrack =
       {
         name = "GeoTrack";
-        errors_miles = track_err;
+        errors_miles = Array.map (fun r -> r.track_e) rows;
         covered = Array.make n false;
         areas_km2 = Array.make n 0.0;
-        time_s = track_time;
+        time_s = Array.map (fun r -> r.track_t) rows;
       };
     n_hosts;
     seed;
   }
 
 let run_octant_only ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51)
-    ?(probes = 10) () =
+    ?(probes = 10) ?jobs () =
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   let bridge = Bridge.create ~probes deployment in
   let n = Bridge.host_count bridge in
   let idx = all_indices n in
-  let err = Array.make n 0.0 and cov = Array.make n false in
-  let area = Array.make n 0.0 and time = Array.make n 0.0 in
-  for target = 0 to n - 1 do
-    let truth = Bridge.position bridge target in
-    let landmarks = Bridge.landmarks_for bridge ~exclude:target idx in
-    let lm_indices = Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target)) in
-    let inter = Bridge.inter_rtt_for bridge lm_indices in
-    let obs = Bridge.observations bridge ~landmark_indices:idx ~target in
-    let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
-    let est, dt = timed (fun () -> Octant.Pipeline.localize ~undns:Bridge.undns ctx obs) in
-    err.(target) <- Octant.Estimate.error_miles est truth;
-    cov.(target) <- Octant.Estimate.covers est truth;
-    area.(target) <- est.Octant.Estimate.area_km2;
-    time.(target) <- dt
-  done;
-  { name = "Octant"; errors_miles = err; covered = cov; areas_km2 = area; time_s = time }
+  let all_obs =
+    Octant.Parallel.seq_init n (fun target ->
+        Bridge.observations bridge ~landmark_indices:idx ~target)
+  in
+  let rows =
+    Octant.Parallel.init ?jobs n (fun target ->
+        let truth = Bridge.position bridge target in
+        let landmarks = Bridge.landmarks_for bridge ~exclude:target idx in
+        let lm_indices =
+          Array.of_list (Array.to_list idx |> List.filter (fun i -> i <> target))
+        in
+        let inter = Bridge.inter_rtt_for bridge lm_indices in
+        let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
+        let est, dt =
+          timed (fun () -> Octant.Pipeline.localize ~undns:Bridge.undns ctx all_obs.(target))
+        in
+        ( Octant.Estimate.error_miles est truth,
+          Octant.Estimate.covers est truth,
+          est.Octant.Estimate.area_km2,
+          dt ))
+  in
+  {
+    name = "Octant";
+    errors_miles = Array.map (fun (e, _, _, _) -> e) rows;
+    covered = Array.map (fun (_, c, _, _) -> c) rows;
+    areas_km2 = Array.map (fun (_, _, a, _) -> a) rows;
+    time_s = Array.map (fun (_, _, _, t) -> t) rows;
+  }
 
 let median_miles m = Stats.Sample.median m.errors_miles
 let worst_miles m = Stats.Sample.max m.errors_miles

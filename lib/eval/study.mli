@@ -28,18 +28,24 @@ val run :
   ?seed:int ->
   ?n_hosts:int ->
   ?probes:int ->
+  ?jobs:int ->
   unit ->
   t
-(** Defaults: seed 7, 51 hosts (as the paper), 10 probes. *)
+(** Defaults: seed 7, 51 hosts (as the paper), 10 probes.  [jobs] (default
+    {!Octant.Parallel.default_jobs}) localizes targets on that many OCaml 5
+    domains; measurements are generated sequentially beforehand, so every
+    statistic is identical at every [jobs] setting (only [time_s] readings
+    vary — they are stopwatch values). *)
 
 val run_octant_only :
   ?config:Octant.Pipeline.config ->
   ?seed:int ->
   ?n_hosts:int ->
   ?probes:int ->
+  ?jobs:int ->
   unit ->
   method_stats
-(** Cheaper entry point for ablations. *)
+(** Cheaper entry point for ablations.  [jobs] as in {!run}. *)
 
 val median_miles : method_stats -> float
 val worst_miles : method_stats -> float

@@ -9,7 +9,7 @@ type point = {
 type t = point list
 
 let run ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51)
-    ?(landmark_counts = [ 10; 15; 20; 25; 30; 35; 40; 45; 50 ]) ?(repeats = 1) () =
+    ?(landmark_counts = [ 10; 15; 20; 25; 30; 35; 40; 45; 50 ]) ?(repeats = 1) ?jobs () =
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   let bridge = Bridge.create deployment in
   let n = Bridge.host_count bridge in
@@ -17,45 +17,53 @@ let run ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51)
   List.map
     (fun k ->
       let k = min k (n - 1) in
-      let oct_hits = ref 0 and lim_hits = ref 0 and total = ref 0 in
-      let oct_err = ref [] and lim_err = ref [] in
-      for _ = 1 to repeats do
-        for target = 0 to n - 1 do
-          incr total;
-          let truth = Bridge.position bridge target in
-          (* Random landmark subset excluding the target. *)
-          let candidates =
-            Array.of_list (List.filter (fun i -> i <> target) (List.init n Fun.id))
-          in
-          let chosen = Stats.Rng.sample_without_replacement subset_rng k candidates in
-          let landmarks = Bridge.landmarks_for bridge ~exclude:target chosen in
-          let inter = Bridge.inter_rtt_for bridge chosen in
-          let obs =
-            Bridge.observations bridge
-              ~landmark_indices:(Array.append chosen [| target |])
-              ~target
-          in
-          (* observations puts landmarks in `chosen` order (target filtered). *)
-          let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
-          let est = Octant.Pipeline.localize ~undns:Bridge.undns ctx obs in
-          if Octant.Estimate.covers est truth then incr oct_hits;
-          oct_err := Octant.Estimate.error_miles est truth :: !oct_err;
-          let lim = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
-          let lim_res =
-            Baselines.Geolim.localize lim ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms
-          in
-          if lim_res.Baselines.Geolim.covers_truth truth then incr lim_hits;
-          lim_err :=
-            Geo.Geodesy.miles_of_km
-              (Geo.Geodesy.distance_km lim_res.Baselines.Geolim.point truth)
-            :: !lim_err
-        done
-      done;
+      let total = repeats * n in
+      (* Landmark subsets and observations both consume RNG (the subset
+         draw and the simulated measurements), so draw them in the
+         original (repeat, target) order before fanning the pure
+         localization out across domains. *)
+      let inputs =
+        Octant.Parallel.seq_init total (fun item ->
+            let target = item mod n in
+            (* Random landmark subset excluding the target. *)
+            let candidates =
+              Array.of_list (List.filter (fun i -> i <> target) (List.init n Fun.id))
+            in
+            let chosen = Stats.Rng.sample_without_replacement subset_rng k candidates in
+            let obs =
+              Bridge.observations bridge
+                ~landmark_indices:(Array.append chosen [| target |])
+                ~target
+            in
+            (* observations puts landmarks in `chosen` order (target filtered). *)
+            (target, chosen, obs))
+      in
+      let results =
+        Octant.Parallel.init ?jobs total (fun item ->
+            let target, chosen, obs = inputs.(item) in
+            let truth = Bridge.position bridge target in
+            let landmarks = Bridge.landmarks_for bridge ~exclude:target chosen in
+            let inter = Bridge.inter_rtt_for bridge chosen in
+            let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
+            let est = Octant.Pipeline.localize ~undns:Bridge.undns ctx obs in
+            let lim = Baselines.Geolim.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+            let lim_res =
+              Baselines.Geolim.localize lim ~target_rtt_ms:obs.Octant.Pipeline.target_rtt_ms
+            in
+            ( Octant.Estimate.covers est truth,
+              Octant.Estimate.error_miles est truth,
+              lim_res.Baselines.Geolim.covers_truth truth,
+              Geo.Geodesy.miles_of_km
+                (Geo.Geodesy.distance_km lim_res.Baselines.Geolim.point truth) ))
+      in
+      let count p = Array.fold_left (fun acc r -> if p r then acc + 1 else acc) 0 results in
+      let oct_hits = count (fun (h, _, _, _) -> h) in
+      let lim_hits = count (fun (_, _, h, _) -> h) in
       {
         n_landmarks = k;
-        octant_hit_rate = float_of_int !oct_hits /. float_of_int !total;
-        geolim_hit_rate = float_of_int !lim_hits /. float_of_int !total;
-        octant_median_miles = Stats.Sample.median (Array.of_list !oct_err);
-        geolim_median_miles = Stats.Sample.median (Array.of_list !lim_err);
+        octant_hit_rate = float_of_int oct_hits /. float_of_int total;
+        geolim_hit_rate = float_of_int lim_hits /. float_of_int total;
+        octant_median_miles = Stats.Sample.median (Array.map (fun (_, e, _, _) -> e) results);
+        geolim_median_miles = Stats.Sample.median (Array.map (fun (_, _, _, e) -> e) results);
       })
     landmark_counts

@@ -26,7 +26,11 @@ val run :
   ?n_hosts:int ->
   ?landmark_counts:int list ->
   ?repeats:int ->
+  ?jobs:int ->
   unit ->
   t
 (** Defaults: 51 hosts, counts [10; 15; ...; 50], 1 subset draw per
-    target per count (the target loop already averages over 51 draws). *)
+    target per count (the target loop already averages over 51 draws).
+    [jobs] localizes on that many domains; subset draws and measurements
+    happen sequentially first, so results match the sequential run at
+    every setting. *)

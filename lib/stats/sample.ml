@@ -37,6 +37,12 @@ let percentile p xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Sample.percentile: empty sample";
   if p < 0.0 || p > 100.0 then invalid_arg "Sample.percentile: p outside [0,100]";
+  (* Polymorphic compare orders NaN inconsistently, so a single NaN sample
+     would silently corrupt the rank interpolation (and with it e.g. the
+     calibration cutoff rho).  Fail loudly instead. *)
+  Array.iter
+    (fun x -> if not (Float.is_finite x) then invalid_arg "Sample.percentile: non-finite sample")
+    xs;
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in

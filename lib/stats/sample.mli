@@ -21,10 +21,11 @@ val max : float array -> float
 
 val percentile : float -> float array -> float
 (** [percentile p xs] for [p] in [0, 100]; interpolates between ranks.
-    Does not mutate [xs].  Requires a non-empty sample. *)
+    Does not mutate [xs].  Requires a non-empty sample of finite values.
+    @raise Invalid_argument if any sample is NaN or infinite. *)
 
 val median : float array -> float
-(** [percentile 50.0]. *)
+(** [percentile 50.0]; same finiteness requirements. *)
 
 val sum : float array -> float
 (** Kahan-compensated sum. *)

@@ -135,6 +135,28 @@ let test_calibration_pool () =
       assert (Calibration.upper_km pooled rtt >= Calibration.upper_km cal1 rtt -. 1e-6))
     [ 5.0; 15.0; 30.0 ]
 
+let test_calibration_pool_threads_params () =
+  (* Regression: pool used to drop its optional parameters and re-calibrate
+     the merged samples with the defaults, so a pipeline configured with a
+     custom cutoff/sentinel got a mismatched pooled calibration. *)
+  let cal = Calibration.calibrate synthetic_samples in
+  let default_pool = Calibration.pool [ cal ] in
+  let tight = Calibration.pool ~cutoff_percentile:50.0 [ cal ] in
+  assert (Calibration.cutoff_ms tight < Calibration.cutoff_ms default_pool -. 1e-9);
+  (* For the sentinel check, use a scatter well below the speed-of-light
+     line so the sol cap does not mask the sentinel slope difference. *)
+  let low =
+    Calibration.calibrate
+      (List.map
+         (fun s -> { s with Calibration.distance_km = s.Calibration.distance_km *. 0.4 })
+         synthetic_samples)
+  in
+  let low_default = Calibration.pool [ low ] in
+  let far_sentinel = Calibration.pool ~sentinel_ms:2000.0 [ low ] in
+  let probe = Calibration.cutoff_ms low_default +. 30.0 in
+  if Calibration.upper_km far_sentinel probe = Calibration.upper_km low_default probe then
+    Alcotest.fail "sentinel_ms was not forwarded to the pooled calibration"
+
 (* ------------------------------------------------------------------ *)
 (* Heights *)
 (* ------------------------------------------------------------------ *)
@@ -440,6 +462,31 @@ let test_solver_area_conservation () =
   if Float.abs (total -. world_area) > 0.01 *. world_area then
     Alcotest.failf "area leak: %.0f vs %.0f" total world_area
 
+let test_solver_cap_fusion_no_double_count () =
+  (* Regression: the cap-fusion bounding rectangle overlaps the kept
+     cells; solve used to concatenate it unclipped, so the reported region
+     and area_km2 double-counted the overlap.  Four negative corner disks
+     make the background the heaviest cell, forcing fusion to merge two
+     far-apart disk interiors into a rectangle that overlaps it massively
+     (raw pieces sum to ~1.5x the world).  Selecting every cell makes the
+     union exactly the world, which bounds the legitimate area. *)
+  let s = Solver.create ~world:world100 in
+  let neg x y =
+    Constr.negative_disk ~center:(pt x y) ~radius_km:150.0 ~weight:1.0
+      ~source:(Printf.sprintf "n%.0f,%.0f" x y)
+  in
+  let s =
+    Solver.add_all ~max_cells:4 s
+      [ neg (-600.0) (-600.0); neg 600.0 600.0; neg 600.0 (-600.0); neg (-600.0) 600.0 ]
+  in
+  assert (Solver.cell_count s <= 4);
+  let world_area = Geo.Region.area world100 in
+  let est = Solver.solve ~area_threshold_km2:1e12 ~weight_band:0.0 s in
+  if est.Solver.area_km2 > 1.01 *. world_area then
+    Alcotest.failf "double-counted area: %.0f vs world %.0f" est.Solver.area_km2 world_area;
+  if est.Solver.area_km2 < 0.95 *. world_area then
+    Alcotest.failf "area leak: %.0f vs world %.0f" est.Solver.area_km2 world_area
+
 let test_solver_weight_band_inclusion () =
   (* Two near-top disjoint cells: the band pulls the runner-up into the
      region even after the area threshold is met. *)
@@ -527,6 +574,105 @@ let prop_solver_pointwise_weight =
         end
       done;
       !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_matches_array_init () =
+  let f i = float_of_int (i * i) /. 3.0 in
+  let expected = Array.init 100 f in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "jobs=%d chunk=%d" jobs chunk)
+            expected
+            (Parallel.init ~jobs ~chunk 100 f))
+        [ 1; 3; 64 ])
+    [ 1; 2; 4 ]
+
+let test_parallel_empty_and_validation () =
+  Alcotest.(check (array int)) "n=0" [||] (Parallel.init ~jobs:4 0 (fun i -> i));
+  (match Parallel.init ~jobs:0 3 Fun.id with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs=0 must be rejected");
+  (match Parallel.init ~chunk:0 3 Fun.id with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "chunk=0 must be rejected");
+  match Parallel.init (-1) Fun.id with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative n must be rejected"
+
+let test_parallel_propagates_exception () =
+  match Parallel.init ~jobs:4 64 (fun i -> if i = 13 then failwith "boom" else i) with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "worker exception must propagate"
+
+let test_parallel_seq_init_order () =
+  let order = ref [] in
+  let a =
+    Parallel.seq_init 20 (fun i ->
+        order := i :: !order;
+        i)
+  in
+  Alcotest.(check (list int)) "ascending application" (List.init 20 Fun.id) (List.rev !order);
+  Alcotest.(check (array int)) "values" (Array.init 20 Fun.id) a
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"parallel init = sequential init" ~count:60
+    QCheck.(triple (int_range 0 200) (int_range 1 8) (int_range 1 17))
+    (fun (n, jobs, chunk) ->
+      let f i = (i * 7919) mod 257 in
+      Parallel.init ~jobs ~chunk n f = Array.init n f)
+
+(* ------------------------------------------------------------------ *)
+(* Geometry cache *)
+(* ------------------------------------------------------------------ *)
+
+let test_geom_cache_buckets_share_entries () =
+  let cache = Geom_cache.create () in
+  let c1 = Constr.positive_disk ~center:(pt 10.0 20.0) ~radius_km:100.02 ~weight:1.0 ~source:"a" in
+  let c2 = Constr.positive_disk ~center:(pt (-5.0) 3.0) ~radius_km:100.09 ~weight:1.0 ~source:"b" in
+  (* Radii within one quantum snap to the same bucket: one miss, one hit,
+     congruent geometry at different centers. *)
+  let r1 = Geom_cache.region_for cache c1 in
+  let r2 = Geom_cache.region_for cache c2 in
+  let hits, misses = Geom_cache.stats cache in
+  Alcotest.(check int) "misses" 1 misses;
+  Alcotest.(check int) "hits" 1 hits;
+  check_float ~eps:1e-6 "congruent" (Geo.Region.area r1) (Geo.Region.area r2);
+  assert (Geo.Region.contains r2 (pt (-5.0) 3.0));
+  assert (not (Geo.Region.contains r2 (pt 120.0 3.0)))
+
+let test_geom_cache_snap_is_conservative () =
+  let cache = Geom_cache.create () in
+  let center = pt 0.0 0.0 in
+  let radius_km = 100.13 in
+  let posc = Constr.positive_disk ~center ~radius_km ~weight:1.0 ~source:"p" in
+  let negc = Constr.negative_disk ~center ~radius_km ~weight:1.0 ~source:"n" in
+  let exact = Constr.region_of_shape posc.Constr.shape in
+  (* Positive snaps outward (the satisfying inside grows), negative snaps
+     inward (the satisfying outside grows): both conservative. *)
+  assert (Geo.Region.area (Geom_cache.region_for cache posc) >= Geo.Region.area exact -. 1e-6);
+  assert (Geo.Region.area (Geom_cache.region_for cache negc) <= Geo.Region.area exact +. 1e-6)
+
+let test_geom_cache_state_independent () =
+  (* The returned geometry is a pure function of the quantized key: a
+     warmed cache and a fresh one answer bit-identically. *)
+  let warm = Geom_cache.create () in
+  List.iter
+    (fun r ->
+      ignore
+        (Geom_cache.region_for warm
+           (Constr.positive_disk ~center:(pt 0.0 0.0) ~radius_km:r ~weight:1.0 ~source:"w")))
+    [ 50.0; 75.5; 123.4; 320.0 ];
+  let fresh = Geom_cache.create () in
+  let c = Constr.positive_disk ~center:(pt 7.0 (-3.0)) ~radius_km:123.4 ~weight:1.0 ~source:"c" in
+  check_float ~eps:0.0 "identical area"
+    (Geo.Region.area (Geom_cache.region_for warm c))
+    (Geo.Region.area (Geom_cache.region_for fresh c))
 
 (* ------------------------------------------------------------------ *)
 (* Posterior *)
@@ -818,6 +964,7 @@ let suite =
         tc "degenerate input rejected" test_calibration_rejects_degenerate_input;
         tc "margins widen bounds" test_calibration_margins_widen;
         tc "pooling" test_calibration_pool;
+        tc "pooling forwards parameters" test_calibration_pool_threads_params;
       ] );
     ( "heights",
       [
@@ -847,12 +994,27 @@ let suite =
         tc "tolerates one bad constraint" test_solver_tolerates_one_bad_constraint;
         tc "weighted arbitration" test_solver_weighted_arbitration;
         tc "cell cap respected" test_solver_cell_cap;
+        tc "cap fusion no double count" test_solver_cap_fusion_no_double_count;
         tc "weight band inclusion" test_solver_weight_band_inclusion;
         tc "point from top tier" test_solver_point_from_top_tier;
         tc "area conservation" test_solver_area_conservation;
         tc "estimate area threshold" test_solver_estimate_area_threshold;
       ] );
     ("solver-properties", [ QCheck_alcotest.to_alcotest prop_solver_pointwise_weight ]);
+    ( "parallel",
+      [
+        tc "matches Array.init" test_parallel_matches_array_init;
+        tc "empty and validation" test_parallel_empty_and_validation;
+        tc "propagates exceptions" test_parallel_propagates_exception;
+        tc "seq_init applies in order" test_parallel_seq_init_order;
+        QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
+      ] );
+    ( "geom-cache",
+      [
+        tc "buckets share entries" test_geom_cache_buckets_share_entries;
+        tc "snap is conservative" test_geom_cache_snap_is_conservative;
+        tc "state independent" test_geom_cache_state_independent;
+      ] );
     ( "posterior",
       [
         tc "masses normalized" test_posterior_masses_normalized;

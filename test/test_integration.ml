@@ -88,6 +88,46 @@ let test_ablation_variants_all_run () =
           assert (est.Octant.Estimate.area_km2 >= 0.0))
         (Eval.Ablation.variants ()))
 
+let test_batch_matches_sequential () =
+  (* The localize_batch contract: results are bit-identical to sequential
+     localize at every jobs setting (solve_time_s excepted — it is a
+     stopwatch reading).  jobs=4 on a shared context also exercises the
+     geometry cache under concurrent access. *)
+  let bridge = Lazy.force bridge in
+  let n = Eval.Bridge.host_count bridge in
+  let n_lm = 9 in
+  let lm_set = Array.init n_lm Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) lm_set in
+  let inter = Eval.Bridge.inter_rtt_for bridge lm_set in
+  let obs =
+    Octant.Parallel.seq_init (n - n_lm) (fun i ->
+        Eval.Bridge.observations bridge ~landmark_indices:lm_set ~target:(n_lm + i))
+  in
+  let fresh () = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let seq_ctx = fresh () in
+  let seq = Array.map (Octant.Pipeline.localize ~undns:Eval.Bridge.undns seq_ctx) obs in
+  let check_same label ests =
+    Alcotest.(check int) (label ^ ": batch length") (Array.length seq) (Array.length ests);
+    Array.iteri
+      (fun i (b : Octant.Estimate.t) ->
+        let a = seq.(i) in
+        let same =
+          a.Octant.Estimate.point = b.Octant.Estimate.point
+          && a.Octant.Estimate.point_plane = b.Octant.Estimate.point_plane
+          && a.Octant.Estimate.area_km2 = b.Octant.Estimate.area_km2
+          && a.Octant.Estimate.top_weight = b.Octant.Estimate.top_weight
+          && a.Octant.Estimate.cells_used = b.Octant.Estimate.cells_used
+          && a.Octant.Estimate.constraints_used = b.Octant.Estimate.constraints_used
+          && a.Octant.Estimate.target_height_ms = b.Octant.Estimate.target_height_ms
+        in
+        if not same then Alcotest.failf "%s: estimate %d differs from sequential" label i)
+      ests
+  in
+  check_same "jobs=1"
+    (Octant.Pipeline.localize_batch ~undns:Eval.Bridge.undns ~jobs:1 (fresh ()) obs);
+  check_same "jobs=4"
+    (Octant.Pipeline.localize_batch ~undns:Eval.Bridge.undns ~jobs:4 (fresh ()) obs)
+
 let test_report_cdf_rows () =
   let rows = Eval.Report.cdf_rows ~points:10 "test" [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
   Alcotest.(check int) "row count" 10 (List.length rows);
@@ -114,6 +154,7 @@ let suite =
         tc_slow "octant deterministic" test_octant_deterministic;
         tc_slow "baselines end to end" test_baselines_end_to_end;
         tc_slow "ablation variants run" test_ablation_variants_all_run;
+        tc_slow "batch matches sequential" test_batch_matches_sequential;
         tc "report cdf rows" test_report_cdf_rows;
       ] );
   ]

@@ -157,6 +157,20 @@ let test_sample_errors () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "percentile > 100 must fail"
 
+let test_sample_rejects_non_finite () =
+  (* Regression: percentile sorts with polymorphic compare, under which
+     NaN silently lands anywhere and corrupts the rank interpolation.
+     Non-finite samples must be rejected loudly instead. *)
+  (match Stats.Sample.percentile 50.0 [| 1.0; Float.nan; 2.0 |] with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "NaN sample must be rejected, got %g" v);
+  (match Stats.Sample.median [| 1.0; Float.infinity |] with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "infinite sample must be rejected, got %g" v);
+  match Stats.Sample.median [| neg_infinity; 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "-inf sample must be rejected, got %g" v
+
 (* ------------------------------------------------------------------ *)
 (* Cdf *)
 (* ------------------------------------------------------------------ *)
@@ -300,6 +314,7 @@ let suite =
         tc "percentile does not mutate" test_sample_percentile_does_not_mutate;
         tc "kahan summation" test_sample_kahan_sum;
         tc "error cases" test_sample_errors;
+        tc "non-finite rejected" test_sample_rejects_non_finite;
       ] );
     ( "cdf",
       [
