@@ -147,24 +147,115 @@ let batch () =
     && a.Octant.Estimate.constraints_used = b.Octant.Estimate.constraints_used
     && a.Octant.Estimate.target_height_ms = b.Octant.Estimate.target_height_ms
   in
+  let same_result a b = match b with Ok b -> same a b | Error _ -> false in
+  (* Row 1: telemetry disabled.  The instrumented pipeline must behave as
+     if the instrumentation were not there: the no-op sink records nothing
+     (asserted below) and costs one atomic load per site. *)
+  Octant.Telemetry.disable ();
+  Octant.Telemetry.reset ();
   let seq_ctx = fresh_ctx () in
   let seq, t_seq =
     wall (fun () -> Array.map (Octant.Pipeline.localize ~undns:Eval.Bridge.undns seq_ctx) obs)
   in
+  let disabled_events = Octant.Telemetry.total_events (Octant.Telemetry.snapshot ()) in
   let hits, misses = Octant.Pipeline.geometry_cache_stats seq_ctx in
-  Printf.printf "  %-24s %6.2fs   (geometry cache: %d hits, %d misses)\n%!"
-    "sequential localize" t_seq hits misses;
+  Printf.printf
+    "  %-24s %6.2fs   (geometry cache: %d hits, %d misses; telemetry off: %d events)\n%!"
+    "sequential localize" t_seq hits misses disabled_events;
+  if disabled_events <> 0 then begin
+    Printf.eprintf "BATCH FAIL: disabled telemetry recorded %d events (want 0)\n" disabled_events;
+    exit 1
+  end;
+  (* Rows 2..: telemetry enabled, one fresh aggregate per jobs setting so
+     the deterministic signatures are comparable. *)
+  let signatures = ref [] in
+  let last_snapshot = ref None in
   List.iter
     (fun jobs ->
+      Octant.Telemetry.reset ();
+      Octant.Telemetry.enable ();
       let ctx = fresh_ctx () in
       let ests, t =
         wall (fun () -> Octant.Pipeline.localize_batch ~undns:Eval.Bridge.undns ~jobs ctx obs)
       in
+      Octant.Telemetry.disable ();
+      let snap = Octant.Telemetry.snapshot () in
+      signatures := (jobs, Octant.Telemetry.deterministic_signature snap) :: !signatures;
+      last_snapshot := Some snap;
       Printf.printf "  localize_batch ~jobs:%-3d %6.2fs   identical: %s   speedup: %.2fx\n%!"
         jobs t
-        (if Array.for_all2 same seq ests then "yes" else "NO")
+        (if Array.for_all2 same_result seq ests then "yes" else "NO")
         (t_seq /. t))
-    [ 1; 4 ]
+    [ 1; 4 ];
+  (* Stage breakdown from the last (jobs=4) run: where the wall time went.
+     Span totals sum CPU seconds across domains, so they exceed the wall
+     clock by roughly the parallelism. *)
+  (match !last_snapshot with
+  | None -> ()
+  | Some snap ->
+      let counter d n =
+        match
+          List.find_opt
+            (fun c -> c.Octant.Telemetry.c_domain = d && c.Octant.Telemetry.c_name = n)
+            snap.Octant.Telemetry.counters
+        with
+        | Some c -> c.Octant.Telemetry.c_value
+        | None -> 0
+      in
+      let span_total path =
+        (* Exact path: a span's total already includes its children. *)
+        List.fold_left
+          (fun (n, s) (v : Octant.Telemetry.span_view) ->
+            if v.Octant.Telemetry.s_path = path then
+              (n + v.Octant.Telemetry.s_count, s +. v.Octant.Telemetry.s_total_s)
+            else (n, s))
+          (0, 0.0) snap.Octant.Telemetry.spans
+      in
+      Printf.printf "  stage breakdown (jobs=4, CPU seconds summed across domains):\n";
+      List.iter
+        (fun (label, path) ->
+          let n, s = span_total path in
+          Printf.printf "    %-22s %8.2fs  x%d\n" label s n)
+        [
+          ("prepare_target", "localize/prepare_target");
+          ("solver add", "localize/add_constraints");
+          ("solver solve", "localize/solver.solve");
+        ];
+      Printf.printf
+        "    clip ops: %d inter / %d diff (%d convex fast-path, %d retries, %d fallbacks)\n"
+        (counter "clip" "inter") (counter "clip" "diff")
+        (counter "clip" "convex_fast_path")
+        (counter "clip" "degenerate_retries")
+        (counter "clip" "degenerate_fallbacks");
+      Printf.printf "    cache:    %d lookups, %d hits, %d misses\n" (counter "cache" "lookups")
+        (counter "cache" "hits") (counter "cache" "misses");
+      Printf.printf "    heights:  %d target fits, %d Nelder-Mead iterations\n"
+        (counter "heights" "target_fits")
+        (counter "heights" "fit_iterations");
+      Printf.printf "    solver:   %d constraints, %d cells split, %d created, %d dropped\n"
+        (counter "solver" "constraints_added")
+        (counter "solver" "cells_split")
+        (counter "solver" "cells_created")
+        (counter "solver" "cells_dropped"));
+  (* The determinism contract: every deterministic counter and span count
+     identical across jobs settings. *)
+  let sig1 = List.assoc 1 !signatures and sig4 = List.assoc 4 !signatures in
+  Printf.printf "  deterministic counters jobs 1 vs 4: %s\n%!"
+    (if sig1 = sig4 then "identical" else "DIVERGED");
+  if sig1 <> sig4 then begin
+    List.iter
+      (fun (k, v) ->
+        match List.assoc_opt k sig4 with
+        | Some v' when v' = v -> ()
+        | Some v' -> Printf.eprintf "  %s: jobs1=%d jobs4=%d\n" k v v'
+        | None -> Printf.eprintf "  %s: jobs1=%d jobs4=absent\n" k v)
+      sig1;
+    List.iter
+      (fun (k, v) ->
+        if not (List.mem_assoc k sig1) then Printf.eprintf "  %s: jobs1=absent jobs4=%d\n" k v)
+      sig4;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4 *)

@@ -40,13 +40,64 @@ let jobs_arg =
 (* 0 = auto: let the library pick Domain.recommended_domain_count. *)
 let jobs_opt = function 0 -> None | j -> Some j
 
+(* --- telemetry --- *)
+
+type telemetry_mode = Tree | Json_stdout | Json_file of string
+
+let telemetry_arg =
+  let parse = function
+    | "tree" -> Ok Tree
+    | "json" -> Ok Json_stdout
+    | s when String.starts_with ~prefix:"json:" s ->
+        Ok (Json_file (String.sub s 5 (String.length s - 5)))
+    | s -> Error (`Msg (Printf.sprintf "invalid telemetry mode %S (tree | json | json:FILE)" s))
+  in
+  let print fmt = function
+    | Tree -> Format.pp_print_string fmt "tree"
+    | Json_stdout -> Format.pp_print_string fmt "json"
+    | Json_file f -> Format.fprintf fmt "json:%s" f
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some Tree) (some (conv (parse, print))) None
+    & info [ "telemetry" ] ~docv:"MODE"
+        ~doc:
+          "Collect pipeline telemetry and report it after the run: $(b,tree) \
+           (human-readable; the default when the flag is bare), $(b,json) (JSON \
+           to stdout), or $(b,json:FILE) (JSON to a file).")
+
+(* Enable collection around [f] and emit the snapshot afterwards, also on
+   exceptions (a crashed run's partial counters are exactly what you want
+   to see). *)
+let with_telemetry mode f =
+  match mode with
+  | None -> f ()
+  | Some mode ->
+      Octant.Telemetry.reset ();
+      Octant.Telemetry.enable ();
+      let finally () =
+        Octant.Telemetry.disable ();
+        let snap = Octant.Telemetry.snapshot () in
+        match mode with
+        | Tree -> Format.printf "@.%a@." Octant.Telemetry.pp_tree snap
+        | Json_stdout -> print_endline (Octant.Telemetry.to_json snap)
+        | Json_file path ->
+            let oc = open_out path in
+            output_string oc (Octant.Telemetry.to_json snap);
+            output_char oc '\n';
+            close_out oc;
+            Printf.eprintf "telemetry written to %s\n" path
+      in
+      Fun.protect ~finally f
+
 let mk_bridge seed n_hosts probes =
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   (deployment, Eval.Bridge.create ~probes deployment)
 
 (* --- localize --- *)
 
-let localize seed hosts probes target no_piecewise no_geo =
+let localize seed hosts probes target no_piecewise no_geo telemetry =
+  with_telemetry telemetry @@ fun () ->
   let deployment, bridge = mk_bridge seed hosts probes in
   let n = Eval.Bridge.host_count bridge in
   if target < 0 || target >= n then begin
@@ -67,7 +118,10 @@ let localize seed hosts probes target no_piecewise no_geo =
     }
   in
   let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
-  let est = Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs in
+  let est, audit =
+    if telemetry = None then (Octant.Pipeline.localize ~undns:Eval.Bridge.undns ctx obs, [])
+    else Octant.Pipeline.localize_audited ~undns:Eval.Bridge.undns ctx obs
+  in
   let truth = Eval.Bridge.position bridge target in
   let city = Netsim.Deployment.host_city deployment (Eval.Bridge.host_id bridge target) in
   Printf.printf "target:      host %d in %s (%.3f, %.3f)\n" target city.Netsim.City.name
@@ -81,7 +135,19 @@ let localize seed hosts probes target no_piecewise no_geo =
     (Octant.Estimate.covers est truth);
   Printf.printf "height:      %.2f ms\n" est.Octant.Estimate.target_height_ms;
   Printf.printf "constraints: %d\n" est.Octant.Estimate.constraints_used;
-  Printf.printf "time:        %.2f s\n" est.Octant.Estimate.solve_time_s
+  Printf.printf "time:        %.2f s\n" est.Octant.Estimate.solve_time_s;
+  if audit <> [] then begin
+    Printf.printf "\nconstraint audit (%d constraints, solver order):\n" (List.length audit);
+    List.iter
+      (fun (e : Octant.Telemetry.Audit.entry) ->
+        Printf.printf "  %-34s w=%.2f %-8s cells %3d -> %3d (%d split, %d dropped)%s\n"
+          e.Octant.Telemetry.Audit.source e.Octant.Telemetry.Audit.weight
+          e.Octant.Telemetry.Audit.polarity e.Octant.Telemetry.Audit.cells_before
+          e.Octant.Telemetry.Audit.cells_after e.Octant.Telemetry.Audit.splits
+          e.Octant.Telemetry.Audit.dropped
+          (if e.Octant.Telemetry.Audit.shrank then "" else "  [kept everything]"))
+      audit
+  end
 
 let localize_cmd =
   let target =
@@ -93,7 +159,9 @@ let localize_cmd =
   let no_geo = Arg.(value & flag & info [ "no-geo" ] ~doc:"Disable geographic constraints.") in
   Cmd.v
     (Cmd.info "localize" ~doc:"Localize one host of a simulated deployment")
-    Term.(const localize $ seed_arg $ hosts_arg $ probes_arg $ target $ no_piecewise $ no_geo)
+    Term.(
+      const localize $ seed_arg $ hosts_arg $ probes_arg $ target $ no_piecewise $ no_geo
+      $ telemetry_arg)
 
 (* --- calibrate --- *)
 
@@ -116,7 +184,8 @@ let calibrate_cmd =
 
 (* --- study --- *)
 
-let study seed hosts probes jobs =
+let study seed hosts probes jobs telemetry =
+  with_telemetry telemetry @@ fun () ->
   let s = Eval.Study.run ~seed ~n_hosts:hosts ~probes ?jobs:(jobs_opt jobs) () in
   Eval.Report.print_figure3 s;
   print_newline ();
@@ -125,11 +194,12 @@ let study seed hosts probes jobs =
 let study_cmd =
   Cmd.v
     (Cmd.info "study" ~doc:"Leave-one-out comparison of all methods (Figure 3)")
-    Term.(const study $ seed_arg $ hosts_arg $ probes_arg $ jobs_arg)
+    Term.(const study $ seed_arg $ hosts_arg $ probes_arg $ jobs_arg $ telemetry_arg)
 
 (* --- sweep --- *)
 
-let sweep seed hosts counts jobs =
+let sweep seed hosts counts jobs telemetry =
+  with_telemetry telemetry @@ fun () ->
   let landmark_counts =
     String.split_on_char ',' counts |> List.map String.trim |> List.map int_of_string
   in
@@ -145,7 +215,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Coverage vs number of landmarks (Figure 4)")
-    Term.(const sweep $ seed_arg $ hosts_arg $ counts $ jobs_arg)
+    Term.(const sweep $ seed_arg $ hosts_arg $ counts $ jobs_arg $ telemetry_arg)
 
 (* --- ablation --- *)
 

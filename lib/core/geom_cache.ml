@@ -38,6 +38,15 @@ type t = {
   misses : int Atomic.t;
 }
 
+(* Telemetry mirrors of the per-context atomics, aggregated across every
+   cache instance.  Lookup totals are deterministic (one per Disk/Ring
+   tessellation request); the hit/miss split is not — two domains racing
+   on a fresh key may both miss — so those two are excluded from the
+   cross-jobs determinism signature. *)
+let c_lookups = Obs.Telemetry.Counter.make ~domain:"cache" "lookups"
+let c_hits = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"cache" "hits"
+let c_misses = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"cache" "misses"
+
 let quantum_km = 0.25
 
 (* Enough for every radius bucket a batch realistically touches; beyond it
@@ -70,15 +79,18 @@ let build key =
       (Geo.Region.annulus ~segments:key.segments ~center:Geo.Point.zero ~r_inner ~r_outer ())
 
 let lookup t key =
+  Obs.Telemetry.Counter.incr c_lookups;
   Mutex.lock t.lock;
   let cached = Hashtbl.find_opt t.table key in
   Mutex.unlock t.lock;
   match cached with
   | Some pieces ->
       Atomic.incr t.hits;
+      Obs.Telemetry.Counter.incr c_hits;
       pieces
   | None ->
       Atomic.incr t.misses;
+      Obs.Telemetry.Counter.incr c_misses;
       let pieces = build key in
       Mutex.lock t.lock;
       if Hashtbl.length t.table < max_entries && not (Hashtbl.mem t.table key) then

@@ -1,5 +1,13 @@
 type result = { heights_ms : float array; inflation_beta : float; residual_ms : float }
 
+let c_landmark_solves = Obs.Telemetry.Counter.make ~domain:"heights" "landmark_solves"
+let c_target_fits = Obs.Telemetry.Counter.make ~domain:"heights" "target_fits"
+
+(* Nelder–Mead iterations consumed by target-height fits: the paper's
+   §2.2 stage is the only iterative numeric solve on the per-target path,
+   so this is its cost proxy. *)
+let c_fit_iterations = Obs.Telemetry.Counter.make ~domain:"heights" "fit_iterations"
+
 let propagation_ms a b = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b)
 
 let solve_landmarks ~positions ~rtt_ms =
@@ -34,6 +42,7 @@ let solve_landmarks ~positions ~rtt_ms =
   let b = Array.of_list (List.rev !rhs) in
   let x = Linalg.Lsq.solve_ridge a b ~lambda:1e-6 in
   let residual = Linalg.Lsq.residual_norm a x b /. sqrt (float_of_int m) in
+  Obs.Telemetry.Counter.incr c_landmark_solves;
   {
     heights_ms = Array.init n (fun i -> Float.max 0.0 x.(i));
     inflation_beta = Float.max 0.0 x.(n);
@@ -89,6 +98,8 @@ let solve_target ?(inflation_beta = 0.0) ~positions ~landmark_heights_ms ~rtt_to
       ~init:[| 1.0; 0.0; 0.0 |]
       ()
   in
+  Obs.Telemetry.Counter.incr c_target_fits;
+  Obs.Telemetry.Counter.add c_fit_iterations result.Linalg.Nelder_mead.iterations;
   let h = Float.max 0.0 result.Linalg.Nelder_mead.x.(0) in
   let pos =
     Geo.Projection.unproject projection

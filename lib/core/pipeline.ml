@@ -43,6 +43,15 @@ let default_config =
     sol_only = false;
   }
 
+let c_targets = Obs.Telemetry.Counter.make ~domain:"pipeline" "targets_localized"
+let c_batch_skipped = Obs.Telemetry.Counter.make ~domain:"pipeline" "batch_skipped"
+let c_prepares = Obs.Telemetry.Counter.make ~domain:"pipeline" "contexts_prepared"
+
+(* Wall per target; latency-valued, so never part of the determinism
+   signature.  Observed in seconds ([Sys.time] is process CPU time, which
+   over-reports under concurrency — see [Estimate.solve_time_s]). *)
+let h_localize = Obs.Telemetry.Histogram.make ~unit_:"s" ~domain:"pipeline" "localize_s"
+
 type landmark = { lm_key : int; lm_position : Geo.Geodesy.coord }
 
 type hop = {
@@ -73,21 +82,24 @@ type context = {
 }
 
 let prepare ?(config = default_config) ~landmarks ~inter_landmark_rtt_ms () =
+  Obs.Telemetry.with_span "prepare" @@ fun () ->
   let n = Array.length landmarks in
   if n < 3 then invalid_arg "Pipeline.prepare: need at least 3 landmarks";
   if Array.length inter_landmark_rtt_ms <> n then
     invalid_arg "Pipeline.prepare: matrix size mismatch";
+  Obs.Telemetry.Counter.incr c_prepares;
   let positions = Array.map (fun l -> l.lm_position) landmarks in
   let heights, inflation_beta =
-    if config.use_heights && not config.sol_only then begin
-      let r = Heights.solve_landmarks ~positions ~rtt_ms:inter_landmark_rtt_ms in
-      (r.Heights.heights_ms, r.Heights.inflation_beta)
-    end
+    if config.use_heights && not config.sol_only then
+      Obs.Telemetry.with_span "heights" (fun () ->
+          let r = Heights.solve_landmarks ~positions ~rtt_ms:inter_landmark_rtt_ms in
+          (r.Heights.heights_ms, r.Heights.inflation_beta))
     else (Array.make n 0.0, 0.0)
   in
   let calibrations =
     if config.sol_only then Array.make n Calibration.conservative
     else
+      Obs.Telemetry.with_span "calibrate" @@ fun () ->
       Array.init n (fun i ->
           let samples = ref [] in
           for j = 0 to n - 1 do
@@ -436,6 +448,7 @@ type prepared_target = {
 }
 
 let prepare_target ?(undns = fun _ -> None) ctx obs =
+  Obs.Telemetry.with_span "prepare_target" @@ fun () ->
   let cfg = ctx.cfg in
   let n = Array.length ctx.landmarks in
   if Array.length obs.target_rtt_ms <> n then
@@ -447,7 +460,9 @@ let prepare_target ?(undns = fun _ -> None) ctx obs =
   let world = world_region ctx projection in
   (* Target height (§2.2). *)
   let target_height =
-    if cfg.use_heights && not cfg.sol_only then begin
+    if cfg.use_heights && not cfg.sol_only then
+      Obs.Telemetry.with_span "target_height" @@ fun () ->
+      begin
       let measured = ref [] in
       Array.iteri
         (fun i rtt -> if rtt > 0.0 then measured := (i, rtt) :: !measured)
@@ -476,21 +491,15 @@ let prepare_target ?(undns = fun _ -> None) ctx obs =
          detours, which must stay in the latency where the calibration
          can see them. *)
       Float.min (Float.min fitted (0.5 *. cap)) 10.0
-    end
+      end
     else 0.0
   in
-  (* Assemble constraints, heaviest first so cap-fusion hits light cells. *)
-  let debug_timing = Sys.getenv_opt "OCTANT_TIMING" <> None in
-  let stamp label t_prev =
-    if debug_timing then begin
-      let now = Sys.time () in
-      Printf.eprintf "[octant] %-12s %6.2fs\n%!" label (now -. t_prev);
-      now
-    end
-    else t_prev
-  in
-  let t_phase = stamp "heights" (Sys.time ()) in
+  (* Assemble constraints, heaviest first so cap-fusion hits light cells.
+     Each assembly stage runs under its own span, so [--telemetry] shows
+     where per-target time goes (this replaced an ad-hoc OCTANT_TIMING
+     stderr stopwatch). *)
   let latency_constraints =
+    Obs.Telemetry.with_span "latency_constraints" @@ fun () ->
     Array.to_list
       (Array.mapi
          (fun i rtt ->
@@ -498,10 +507,12 @@ let prepare_target ?(undns = fun _ -> None) ctx obs =
          obs.target_rtt_ms)
     |> List.concat
   in
-  let t_phase = stamp "latency-cs" t_phase in
-  let piecewise = piecewise_constraints ctx projection world undns obs target_height in
-  let t_phase = stamp "piecewise" t_phase in
+  let piecewise =
+    Obs.Telemetry.with_span "piecewise" @@ fun () ->
+    piecewise_constraints ctx projection world undns obs target_height
+  in
   let geo_constraints =
+    Obs.Telemetry.with_span "geo_constraints" @@ fun () ->
     let land_cs =
       if cfg.use_land_mask then begin
         let within_km = cfg.world_margin_km +. 4000.0 in
@@ -535,12 +546,12 @@ let prepare_target ?(undns = fun _ -> None) ctx obs =
       (fun (a : Constr.t) (b : Constr.t) -> compare b.Constr.weight a.Constr.weight)
       (latency_constraints @ piecewise @ geo_constraints)
   in
-  ignore (stamp "geo-cs" t_phase);
   { projection; world; constraints = all_constraints; target_height_ms = target_height }
 
 let arrangement ?undns ctx obs =
   let prepared = prepare_target ?undns ctx obs in
   let solver =
+    Obs.Telemetry.with_span "add_constraints" @@ fun () ->
     Solver.add_all ~max_cells:ctx.cfg.max_cells ~tessellate:(tessellate ctx)
       (Solver.create ~world:prepared.world)
       prepared.constraints
@@ -548,6 +559,7 @@ let arrangement ?undns ctx obs =
   (prepared, solver)
 
 let localize ?undns ctx obs =
+  Obs.Telemetry.with_span "localize" @@ fun () ->
   let t_start = Sys.time () in
   let prepared, solver = arrangement ?undns ctx obs in
   let sol =
@@ -555,6 +567,8 @@ let localize ?undns ctx obs =
       solver
   in
   let elapsed = Sys.time () -. t_start in
+  Obs.Telemetry.Counter.incr c_targets;
+  Obs.Telemetry.Histogram.observe h_localize elapsed;
   {
     Estimate.projection = prepared.projection;
     region = sol.Solver.region;
@@ -568,10 +582,30 @@ let localize ?undns ctx obs =
     solve_time_s = elapsed;
   }
 
+let localize_audited ?undns ctx obs = Obs.Telemetry.Audit.collect (fun () -> localize ?undns ctx obs)
+
+let localize_one ?undns ctx obs =
+  (* Targets with malformed observations (wrong vector length, fewer than
+     three usable RTTs) used to raise out of the batch and kill every
+     other target's work.  Report them per slot instead; anything other
+     than [Invalid_argument] is still a bug and propagates. *)
+  match localize ?undns ctx obs with
+  | est -> Ok est
+  | exception Invalid_argument reason ->
+      Obs.Telemetry.Counter.incr c_batch_skipped;
+      Error reason
+
 let localize_batch ?undns ?jobs ctx observations =
   (* The context is immutable after [prepare] (the geometry cache mutates
      internally but never changes observable results), and [localize] is a
      pure function of (ctx, obs) apart from its [solve_time_s] stopwatch.
      Results therefore land in input order and match the sequential path
-     bit for bit at any [jobs] setting. *)
-  Parallel.init ?jobs (Array.length observations) (fun i -> localize ?undns ctx observations.(i))
+     bit for bit at any [jobs] setting.
+
+     Telemetry note: no span may be opened here.  Worker domains start
+     with an empty span stack, while with [jobs = 1] the items run on the
+     calling domain — a span opened around the fan-out would nest the
+     per-target spans under it on one path but not the other and break
+     the cross-jobs determinism signature. *)
+  Parallel.init ?jobs (Array.length observations) (fun i ->
+      localize_one ?undns ctx observations.(i))

@@ -123,21 +123,44 @@ val localize :
     @raise Invalid_argument if [target_rtt_ms] length mismatches the
     context, or fewer than 3 landmarks measured the target. *)
 
+val localize_audited :
+  ?undns:(string -> Geo.Geodesy.coord option) ->
+  context ->
+  observations ->
+  Estimate.t * Obs.Telemetry.Audit.entry list
+(** {!localize} plus the per-constraint audit trail: one entry per
+    constraint the solver ingested, in application order, recording its
+    source, weight, polarity, and whether it actually shrank the region.
+    The audit list is collected only for this call's target (it is
+    per-domain); telemetry need not be enabled. *)
+
+val localize_one :
+  ?undns:(string -> Geo.Geodesy.coord option) ->
+  context ->
+  observations ->
+  (Estimate.t, string) result
+(** {!localize}, but a malformed observation ([Invalid_argument]: RTT
+    vector length mismatch, fewer than 3 usable RTTs) becomes [Error
+    reason] instead of an exception.  Any other exception still
+    propagates. *)
+
 val localize_batch :
   ?undns:(string -> Geo.Geodesy.coord option) ->
   ?jobs:int ->
   context ->
   observations array ->
-  Estimate.t array
+  (Estimate.t, string) result array
 (** Localize many targets against one prepared context on [jobs] OCaml 5
     domains (default {!Parallel.default_jobs}).  The immutable context —
     calibrations, heights, geometry cache — is shared across workers;
     results are returned in input order and are bit-identical to mapping
-    {!localize} over the array sequentially, at every [jobs] setting.  The
-    only field that varies is [solve_time_s], a stopwatch reading
+    {!localize_one} over the array sequentially, at every [jobs] setting.
+    The only field that varies is [solve_time_s], a stopwatch reading
     ([Sys.time] is process-wide CPU time, so it over-reports under
-    concurrency).  Raises the first exception any worker hit, after all
-    workers drain. *)
+    concurrency).  A target with a malformed observation yields [Error
+    reason] in its slot (counted under [pipeline.batch_skipped] when
+    telemetry is on) without disturbing the other targets; any other
+    worker exception is re-raised after all workers drain. *)
 
 val geometry_cache_stats : context -> int * int
 (** [(hits, misses)] of the context's constraint-geometry memo cache. *)

@@ -13,6 +13,25 @@ type cell = {
 
 type t = { cells : cell list }
 
+let c_constraints = Obs.Telemetry.Counter.make ~domain:"solver" "constraints_added"
+let c_cells_split = Obs.Telemetry.Counter.make ~domain:"solver" "cells_split"
+let c_cells_created = Obs.Telemetry.Counter.make ~domain:"solver" "cells_created"
+let c_cells_dropped = Obs.Telemetry.Counter.make ~domain:"solver" "cells_dropped"
+let c_cap_fusions = Obs.Telemetry.Counter.make ~domain:"solver" "cap_fusions"
+let c_cells_fused = Obs.Telemetry.Counter.make ~domain:"solver" "cells_fused"
+let c_solves = Obs.Telemetry.Counter.make ~domain:"solver" "solves"
+let c_cells_selected = Obs.Telemetry.Counter.make ~domain:"solver" "cells_selected"
+
+(* Area flowing through cap fusion, km^2 rounded per event so the sums
+   stay integer-associative (and therefore jobs-independent).  [before]
+   is the exact tail area, [after] the bounding rectangle that replaces
+   it; the gap is the over-approximation the estimate must pay for. *)
+let c_fused_area_before =
+  Obs.Telemetry.Counter.make ~domain:"solver" "fused_area_km2_before"
+
+let c_fused_area_after =
+  Obs.Telemetry.Counter.make ~domain:"solver" "fused_area_km2_after"
+
 let mk_cell ?(approx = false) region weight =
   (* Clipping cost is quadratic in boundary complexity; cells that have
      accumulated many arc vertices get gently simplified (a 2 km boundary
@@ -72,6 +91,14 @@ let enforce_cap max_cells cells =
         if hi.Geo.Point.y > !hi_y then hi_y := hi.Geo.Point.y)
       tail;
     let fused_weight = Array.fold_left (fun acc c -> Float.min acc c.weight) infinity tail in
+    if Obs.Telemetry.is_enabled () then begin
+      Obs.Telemetry.Counter.incr c_cap_fusions;
+      Obs.Telemetry.Counter.add c_cells_fused (Array.length tail);
+      let tail_area = Array.fold_left (fun acc c -> acc +. c.area) 0.0 tail in
+      Obs.Telemetry.Counter.add c_fused_area_before (int_of_float (Float.round tail_area));
+      let rect_area = (!hi_x -. !lo_x) *. (!hi_y -. !lo_y) in
+      Obs.Telemetry.Counter.add c_fused_area_after (int_of_float (Float.round rect_area))
+    end;
     let fused =
       match
         Geo.Polygon.rectangle
@@ -94,33 +121,60 @@ let split_cell constraint_region c =
 let default_tessellate (constr : Constr.t) = Constr.region_of_shape constr.Constr.shape
 
 let add ?(max_cells = 384) ?(tessellate = default_tessellate) t (constr : Constr.t) =
-  let w = constr.Constr.weight in
-  let lazy_region = lazy (tessellate constr) in
-  let on_inside, on_outside =
-    match constr.Constr.polarity with
-    | Constr.Positive -> (w, 0.0)
-    | Constr.Negative -> (0.0, w)
-  in
-  let next =
-    List.concat_map
-      (fun c ->
-        match Constr.classify_box constr.Constr.shape c.bbox with
-        | Constr.Cell_inside -> [ { c with weight = c.weight +. on_inside } ]
-        | Constr.Cell_outside -> [ { c with weight = c.weight +. on_outside } ]
-        | Constr.Straddles -> (
-            let inside, outside = split_cell (Lazy.force lazy_region) c in
-            match (inside, outside) with
-            | None, None -> []
-            | Some i, None -> [ { i with weight = c.weight +. on_inside } ]
-            | None, Some o -> [ { o with weight = c.weight +. on_outside } ]
-            | Some i, Some o ->
-                [
-                  { i with weight = c.weight +. on_inside };
-                  { o with weight = c.weight +. on_outside };
-                ]))
-      t.cells
-  in
-  { cells = enforce_cap max_cells next }
+  Obs.Telemetry.with_span "solver.add" (fun () ->
+      let w = constr.Constr.weight in
+      let lazy_region = lazy (tessellate constr) in
+      let on_inside, on_outside =
+        match constr.Constr.polarity with
+        | Constr.Positive -> (w, 0.0)
+        | Constr.Negative -> (0.0, w)
+      in
+      Obs.Telemetry.Counter.incr c_constraints;
+      let audit = Obs.Telemetry.Audit.collecting () in
+      let cells_before = if audit then List.length t.cells else 0 in
+      let n_straddled = ref 0 and n_created = ref 0 and n_dropped = ref 0 in
+      let next =
+        List.concat_map
+          (fun c ->
+            match Constr.classify_box constr.Constr.shape c.bbox with
+            | Constr.Cell_inside -> [ { c with weight = c.weight +. on_inside } ]
+            | Constr.Cell_outside -> [ { c with weight = c.weight +. on_outside } ]
+            | Constr.Straddles -> (
+                incr n_straddled;
+                let inside, outside = split_cell (Lazy.force lazy_region) c in
+                match (inside, outside) with
+                | None, None ->
+                    incr n_dropped;
+                    []
+                | Some i, None -> [ { i with weight = c.weight +. on_inside } ]
+                | None, Some o -> [ { o with weight = c.weight +. on_outside } ]
+                | Some i, Some o ->
+                    incr n_created;
+                    [
+                      { i with weight = c.weight +. on_inside };
+                      { o with weight = c.weight +. on_outside };
+                    ]))
+          t.cells
+      in
+      Obs.Telemetry.Counter.add c_cells_split !n_straddled;
+      Obs.Telemetry.Counter.add c_cells_created !n_created;
+      Obs.Telemetry.Counter.add c_cells_dropped !n_dropped;
+      if audit then
+        Obs.Telemetry.Audit.record
+          {
+            Obs.Telemetry.Audit.source = constr.Constr.source;
+            weight = w;
+            polarity =
+              (match constr.Constr.polarity with
+              | Constr.Positive -> "positive"
+              | Constr.Negative -> "negative");
+            cells_before;
+            cells_after = List.length next;
+            splits = !n_straddled;
+            dropped = !n_dropped;
+            shrank = !n_straddled > 0 || !n_dropped > 0;
+          };
+      { cells = enforce_cap max_cells next })
 
 let add_all ?max_cells ?tessellate t constraints =
   List.fold_left (fun acc c -> add ?max_cells ?tessellate acc c) t constraints
@@ -145,6 +199,7 @@ type estimate = {
 }
 
 let solve ?(area_threshold_km2 = 5000.0) ?(weight_band = 1.0) t =
+  Obs.Telemetry.with_span "solver.solve" @@ fun () ->
   match sorted_cells t with
   | [] -> invalid_arg "Solver.solve: empty arrangement"
   | ((first : cell) :: _) as sorted ->
@@ -161,6 +216,8 @@ let solve ?(area_threshold_km2 = 5000.0) ?(weight_band = 1.0) t =
             else take (c :: acc) (acc_area +. c.area) (used + 1) rest
       in
       let selected, used = take [] 0.0 0 sorted in
+      Obs.Telemetry.Counter.incr c_solves;
+      Obs.Telemetry.Counter.add c_cells_selected used;
       (* Exact cells are disjoint by construction, so their union is
          concatenation.  Approximate cells (cap-fusion rectangles and their
          fragments) may overlap the exact ones, so each is clipped against

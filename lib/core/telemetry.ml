@@ -1,0 +1,4 @@
+(* Re-export of the observability sublibrary under the core namespace, so
+   pipeline users write [Octant.Telemetry] without a separate dependency
+   on [octant.obs]. *)
+include Obs.Telemetry

@@ -1,5 +1,18 @@
 exception Degenerate
 
+(* Polygon-level boolean-operation telemetry: the pipeline's cost is
+   dominated by these calls, and the counts are a pure function of the
+   constraint stream, so they are part of the cross-jobs determinism
+   signature.  [union] is implemented via [diff], so one union also
+   counts one diff — the counters measure clipping work performed, not
+   caller intent. *)
+let c_inter = Obs.Telemetry.Counter.make ~domain:"clip" "inter"
+let c_diff = Obs.Telemetry.Counter.make ~domain:"clip" "diff"
+let c_union = Obs.Telemetry.Counter.make ~domain:"clip" "union"
+let c_convex_fast_path = Obs.Telemetry.Counter.make ~domain:"clip" "convex_fast_path"
+let c_retries = Obs.Telemetry.Counter.make ~domain:"clip" "degenerate_retries"
+let c_fallbacks = Obs.Telemetry.Counter.make ~domain:"clip" "degenerate_fallbacks"
+
 let area_floor = 1e-9
 let alpha_eps = 1e-9
 
@@ -252,6 +265,7 @@ let dump_degenerate a b =
 let with_retry ?fallback f a b =
   let rec go k a =
     if k > max_retries then begin
+      Obs.Telemetry.Counter.incr c_fallbacks;
       match fallback with
       | Some g -> g ()
       | None ->
@@ -267,7 +281,10 @@ let with_retry ?fallback f a b =
         else a
       in
       let b' = if k = 0 then b else perturb k b in
-      try f a b' with Degenerate -> go (k + 1) a
+      try f a b'
+      with Degenerate ->
+        Obs.Telemetry.Counter.incr c_retries;
+        go (k + 1) a
     end
   in
   go 0 a
@@ -302,8 +319,11 @@ let inter_once a b =
       else []
 
 let inter a b =
-  if Polygon.is_convex a && Polygon.is_convex b then
+  Obs.Telemetry.Counter.incr c_inter;
+  if Polygon.is_convex a && Polygon.is_convex b then begin
+    Obs.Telemetry.Counter.incr c_convex_fast_path;
     match convex_inter a b with Some p -> [ p ] | None -> []
+  end
   else with_retry ~fallback:(inter_fallback a b) inter_once a b
 
 (* Difference with the hole case eliminated by splitting: when the clip is
@@ -338,13 +358,16 @@ and split_diff a b =
   in
   List.concat_map (fun half -> with_retry ~fallback:(fun () -> [ half ]) diff_once half b) halves
 
-let diff a b = with_retry ~fallback:(fun () -> [ a ]) diff_once a b
+let diff a b =
+  Obs.Telemetry.Counter.incr c_diff;
+  with_retry ~fallback:(fun () -> [ a ]) diff_once a b
 
 (* Union as [a + (b \ a)]: keeps every output polygon simple and hole-free
    (a union of two crossing simple polygons can enclose a hole, which a
    single-ring representation cannot express; the difference decomposition
    sidesteps that entirely). *)
 let union a b =
+  Obs.Telemetry.Counter.incr c_union;
   match diff b a with
   | [] -> [ a ]
   | pieces ->

@@ -1,5 +1,13 @@
 type t = { pieces : Polygon.t list }
 
+(* Region-level boolean telemetry; the polygon-pair work they expand to is
+   counted separately under the [clip] domain. *)
+let c_inter = Obs.Telemetry.Counter.make ~domain:"region" "inter"
+let c_diff = Obs.Telemetry.Counter.make ~domain:"region" "diff"
+let c_union = Obs.Telemetry.Counter.make ~domain:"region" "union"
+let c_dilate = Obs.Telemetry.Counter.make ~domain:"region" "dilate"
+let c_erode = Obs.Telemetry.Counter.make ~domain:"region" "erode"
+
 let empty = { pieces = [] }
 let is_empty t = t.pieces = []
 
@@ -49,19 +57,23 @@ let halfplane_rect ~anchor ~normal ~extent =
 let pieces t = t.pieces
 
 let inter a b =
+  Obs.Telemetry.Counter.incr c_inter;
   let out =
     List.concat_map (fun p -> List.concat_map (fun q -> Clip.inter p q) b.pieces) a.pieces
   in
   { pieces = out }
 
 let diff a b =
+  Obs.Telemetry.Counter.incr c_diff;
   let subtract_all p =
     List.fold_left (fun frags q -> List.concat_map (fun f -> Clip.diff f q) frags) [ p ] b.pieces
   in
   { pieces = List.concat_map subtract_all a.pieces }
 
 (* a + (b \ a): keeps pieces disjoint without a general polygon union. *)
-let union a b = { pieces = a.pieces @ (diff b a).pieces }
+let union a b =
+  Obs.Telemetry.Counter.incr c_union;
+  { pieces = a.pieces @ (diff b a).pieces }
 
 let inter_all = function
   | [] -> invalid_arg "Region.inter_all: empty list"
@@ -160,6 +172,7 @@ let offset_convex_hull hull d =
 
 let dilate t d =
   if d < 0.0 then invalid_arg "Region.dilate: negative radius";
+  Obs.Telemetry.Counter.incr c_dilate;
   if is_empty t then empty
   else if d = 0.0 then t
   else
@@ -169,6 +182,7 @@ let dilate t d =
     | exception Invalid_argument _ -> t
 
 let erode_to_common_disk t d =
+  Obs.Telemetry.Counter.incr c_erode;
   if d <= 0.0 then empty
   else if is_empty t then empty
   else begin

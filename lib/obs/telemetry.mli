@@ -1,0 +1,146 @@
+(** Telemetry for the localization pipeline.
+
+    Octant's cost lives in chains of hundreds of polygon boolean operations
+    and weighted-cell solves; this module is the visibility layer over
+    them: counters, log-bucketed latency histograms, nestable spans, and a
+    per-target constraint audit log, all safe to record from every domain
+    of the batch pool ({!Parallel}).
+
+    {2 Recording model}
+
+    All recording is gated on one global flag ({!enable} / {!disable},
+    default disabled).  When disabled, every record operation is a single
+    atomic load and branch — the no-op sink — so instrumented code costs
+    nothing measurable.  Instrumentation sites create their counters at
+    module initialization and call {!Counter.incr} & co. unconditionally.
+
+    {2 Determinism contract}
+
+    A counter increments exactly once per logical event no matter which
+    domain performs the work, so for events whose count is a pure function
+    of the input (constraints added, cells split, clip operations, ...)
+    the aggregate value is identical at every [--jobs] setting.  Counters
+    whose count depends on scheduling (e.g. cache misses, where racing
+    domains may both miss the same key) are declared with
+    [~deterministic:false] and excluded from {!deterministic_signature},
+    which is the comparable form of the contract.  Span {e counts} are
+    deterministic under the same condition provided no span is open in the
+    caller when work fans out across domains (worker domains start with an
+    empty span stack); span {e durations} never are. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter, histogram, and span aggregate.  Not safe to call
+    concurrently with recording. *)
+
+module Counter : sig
+  type t
+
+  val make : ?deterministic:bool -> domain:string -> string -> t
+  (** [make ~domain name] registers a counter (e.g. [~domain:"solver"
+      "cells_split"]).  Increments are sharded over per-domain atomic
+      slots, so concurrent recording does not contend.  [deterministic]
+      (default [true]) declares whether the aggregate value is independent
+      of scheduling; see the determinism contract above. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  (** Sum over all shards. *)
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?unit_:string -> domain:string -> string -> t
+  (** Log-bucketed histogram: one bucket per binary order of magnitude of
+      the observed value.  [unit_] (default ["s"]) is documentation-only
+      and surfaces in exports. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+end
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], timing it into the span aggregate named
+    by the current domain's nesting path ([parent/child/...]).  Spans
+    nest within one domain; a worker domain starts a fresh root.
+    Exceptions propagate; the span still closes. *)
+
+module Audit : sig
+  (** Per-target constraint audit: one entry per constraint folded into
+      the solver, recording whether it actually discriminated. *)
+
+  type entry = {
+    source : string;      (** Constraint provenance, e.g. ["rtt L7 (12.3ms)"]. *)
+    weight : float;
+    polarity : string;    (** ["positive"] or ["negative"]. *)
+    cells_before : int;   (** Arrangement size before the constraint. *)
+    cells_after : int;
+    splits : int;         (** Cells the constraint boundary cut. *)
+    dropped : int;        (** Cells that degenerated to nothing. *)
+    shrank : bool;        (** It cut or excluded geometry (splits or drops
+                              > 0), as opposed to weighting every cell
+                              uniformly. *)
+  }
+
+  val collecting : unit -> bool
+  (** True when an {!collect} is active on this domain. *)
+
+  val record : entry -> unit
+  (** No-op unless {!collecting}. *)
+
+  val collect : (unit -> 'a) -> 'a * entry list
+  (** Arm the collector on this domain for the duration of the callback;
+      returns entries in recording order.  Nests (the inner collector
+      shadows the outer); independent per domain, so concurrent batch
+      workers cannot interleave logs. *)
+end
+
+(** {2 Snapshots and export} *)
+
+type counter_view = {
+  c_domain : string;
+  c_name : string;
+  c_value : int;
+  c_deterministic : bool;
+}
+
+type span_view = {
+  s_path : string;   (** Slash-separated nesting path. *)
+  s_count : int;
+  s_total_s : float;
+  s_max_s : float;
+}
+
+type histogram_view = {
+  h_domain : string;
+  h_name : string;
+  h_unit : string;
+  h_count : int;
+  h_sum : float;
+  h_buckets : (float * int) list; (** (bucket lower edge, count), nonzero only. *)
+}
+
+type snapshot = {
+  counters : counter_view list;   (** Sorted by (domain, name); zeros omitted. *)
+  spans : span_view list;         (** Sorted by path; merged across domains. *)
+  histograms : histogram_view list;
+}
+
+val snapshot : unit -> snapshot
+
+val total_events : snapshot -> int
+(** Sum of every counter value, span count, and histogram count — zero iff
+    nothing was recorded (the disabled-sink assertion). *)
+
+val deterministic_signature : snapshot -> (string * int) list
+(** The values that must be identical across [--jobs] settings:
+    deterministic counters and span counts.  Compare with [=]. *)
+
+val to_json : snapshot -> string
+val pp_tree : Format.formatter -> snapshot -> unit

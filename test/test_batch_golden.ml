@@ -1,0 +1,124 @@
+(* Golden-file regression test for localize_batch determinism.
+
+   A self-contained seeded topology (12 landmarks, 6 targets, one of them
+   deliberately unmeasurable) is localized as a batch, and the per-target
+   point estimate and region area are compared against a committed fixture
+   to 1e-6 — at jobs=1 and jobs=4, so both the numeric pipeline and the
+   parallel engine are pinned.  A divergence names the target and the jobs
+   setting.
+
+   Regenerating after an intentional numeric change:
+
+     OCTANT_GOLDEN_WRITE=$PWD/test/golden/batch_golden.txt dune test *)
+
+let golden_path = "golden/batch_golden.txt"
+let n_landmarks = 12
+let n_targets = 6
+let bad_target = 3
+
+let topology () =
+  let rng = Stats.Rng.create 60311 in
+  let landmarks =
+    Array.init n_landmarks (fun i ->
+        {
+          Octant.Pipeline.lm_key = i;
+          lm_position =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 32.0 48.0)
+              ~lon:(Stats.Rng.uniform rng (-120.0) (-76.0));
+        })
+  in
+  let rtt a b =
+    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
+    (1.4 *. prop) +. 1.5 +. Stats.Rng.uniform rng 0.0 4.0
+  in
+  let inter = Array.make_matrix n_landmarks n_landmarks 0.0 in
+  for i = 0 to n_landmarks - 1 do
+    for j = i + 1 to n_landmarks - 1 do
+      let v =
+        rtt landmarks.(i).Octant.Pipeline.lm_position landmarks.(j).Octant.Pipeline.lm_position
+      in
+      inter.(i).(j) <- v;
+      inter.(j).(i) <- v
+    done
+  done;
+  let obs =
+    Array.init n_targets (fun t ->
+        if t = bad_target then
+          (* No usable measurement at all: must come back as Error. *)
+          Octant.Pipeline.observations_of_rtts (Array.make n_landmarks (-1.0))
+        else begin
+          let truth =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 34.0 44.0)
+              ~lon:(Stats.Rng.uniform rng (-110.0) (-82.0))
+          in
+          Octant.Pipeline.observations_of_rtts
+            (Array.map (fun l -> rtt l.Octant.Pipeline.lm_position truth) landmarks)
+        end)
+  in
+  (landmarks, inter, obs)
+
+let run jobs =
+  let landmarks, inter, obs = topology () in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  Octant.Pipeline.localize_batch ~jobs ctx obs
+
+let render results =
+  Array.to_list results
+  |> List.mapi (fun i -> function
+       | Ok (e : Octant.Estimate.t) ->
+           Printf.sprintf "target %d ok %.9f %.9f %.6f" i e.Octant.Estimate.point.Geo.Geodesy.lat
+             e.Octant.Estimate.point.Geo.Geodesy.lon e.Octant.Estimate.area_km2
+       | Error reason -> Printf.sprintf "target %d error %s" i reason)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if String.trim line = "" then acc else String.trim line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Float fields compare to 1e-6 (so the fixture survives printf rounding);
+   everything else must match verbatim. *)
+let same_line expected got =
+  let we = String.split_on_char ' ' expected and wg = String.split_on_char ' ' got in
+  List.length we = List.length wg
+  && List.for_all2
+       (fun e g ->
+         match (float_of_string_opt e, float_of_string_opt g) with
+         | Some fe, Some fg -> Float.abs (fe -. fg) <= 1e-6 *. (1.0 +. Float.abs fe)
+         | _ -> e = g)
+       we wg
+
+let test_batch_golden () =
+  match Sys.getenv_opt "OCTANT_GOLDEN_WRITE" with
+  | Some path ->
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) (render (run 1));
+      close_out oc;
+      Printf.printf "golden fixture written to %s\n" path
+  | None ->
+      let expected = read_lines golden_path in
+      Alcotest.(check int) "fixture target count" n_targets (List.length expected);
+      List.iter
+        (fun jobs ->
+          let got = render (run jobs) in
+          List.iteri
+            (fun i (e, g) ->
+              if not (same_line e g) then
+                Alcotest.failf "target %d diverged at jobs=%d:\n  expected: %s\n  got:      %s" i
+                  jobs e g)
+            (List.combine expected got))
+        [ 1; 4 ]
+
+let suite =
+  [
+    ( "batch-golden",
+      [ Alcotest.test_case "batch matches committed fixture" `Slow test_batch_golden ] );
+  ]

@@ -1,0 +1,167 @@
+(* Property-based pass over the geometry kernel (Clip / Region booleans).
+
+   Random polygon pairs — star-shaped and convex, the two families the
+   constraint pipeline actually produces (annulus halves and disks) — are
+   pushed through intersection, union and difference, and the results are
+   checked against the set-algebra facts that must survive clipping:
+
+     area(A ∩ B) <= min(area A, area B)
+     area(A ∪ B) <= area A + area B
+     A \ B is disjoint from B          (by interior sampling)
+     points of A ∩ B lie in A and in B (by interior sampling)
+     (A ∩ B) ∩ B = A ∩ B              (double-intersection idempotence)
+
+   Everything is driven by Stats.Rng from fixed seeds, so a failure is a
+   deterministic repro, not a flake.  Tolerances account for the clipper's
+   deterministic 1e-9 km perturbation retries; a violation beyond them
+   means real geometry was invented or lost. *)
+
+let n_trials = 60
+
+(* Star-shaped simple polygon: jittered angles around a center, random
+   radii.  Guaranteed simple by construction. *)
+let rand_star rng =
+  let cx = Stats.Rng.uniform rng (-150.0) 150.0 in
+  let cy = Stats.Rng.uniform rng (-150.0) 150.0 in
+  let n = 6 + Stats.Rng.int rng 10 in
+  let pts =
+    Array.init n (fun i ->
+        let base = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+        let theta = base +. Stats.Rng.uniform rng 0.0 (4.0 /. float_of_int n) in
+        let r = Stats.Rng.uniform rng 25.0 160.0 in
+        Geo.Point.make (cx +. (r *. cos theta)) (cy +. (r *. sin theta)))
+  in
+  Geo.Polygon.of_points pts
+
+let rand_convex rng =
+  let cx = Stats.Rng.uniform rng (-150.0) 150.0 in
+  let cy = Stats.Rng.uniform rng (-150.0) 150.0 in
+  let pts =
+    Array.init 18 (fun _ ->
+        Geo.Point.make
+          (cx +. Stats.Rng.uniform rng (-140.0) 140.0)
+          (cy +. Stats.Rng.uniform rng (-140.0) 140.0))
+  in
+  Geo.Polygon.of_points (Geo.Convex_hull.hull pts)
+
+let rand_polygon rng = if Stats.Rng.bool rng then rand_star rng else rand_convex rng
+
+(* Interior sample points of a region, deterministic (grid-based). *)
+let samples region =
+  match Geo.Region.bounding_box region with
+  | None -> []
+  | Some (lo, hi) ->
+      let extent = Float.max (hi.Geo.Point.x -. lo.Geo.Point.x) (hi.Geo.Point.y -. lo.Geo.Point.y) in
+      if extent <= 0.0 then [] else Geo.Region.sample_grid region ~spacing:(extent /. 12.0)
+
+let check_trial trial rng =
+  let a = Geo.Region.of_polygon (rand_polygon rng) in
+  let b = Geo.Region.of_polygon (rand_polygon rng) in
+  let area_a = Geo.Region.area a and area_b = Geo.Region.area b in
+  let ab = Geo.Region.inter a b in
+  let area_ab = Geo.Region.area ab in
+  let tol = 1e-6 *. (1.0 +. area_a +. area_b) in
+  (* Intersection no bigger than either operand. *)
+  if area_ab > Float.min area_a area_b +. tol then
+    Alcotest.failf "trial %d: area(A inter B) = %.6f > min(%.6f, %.6f)" trial area_ab area_a
+      area_b;
+  (* Union no bigger than the sum (pieces have disjoint interiors). *)
+  let au = Geo.Region.union a b in
+  let area_au = Geo.Region.area au in
+  if area_au > area_a +. area_b +. tol then
+    Alcotest.failf "trial %d: area(A union B) = %.6f > %.6f + %.6f" trial area_au area_a area_b;
+  (* ... and no smaller than either operand. *)
+  if area_au < Float.max area_a area_b -. tol then
+    Alcotest.failf "trial %d: area(A union B) = %.6f < max(%.6f, %.6f)" trial area_au area_a
+      area_b;
+  (* Difference fits inside A. *)
+  let diff = Geo.Region.diff a b in
+  let area_diff = Geo.Region.area diff in
+  if area_diff > area_a +. tol then
+    Alcotest.failf "trial %d: area(A minus B) = %.6f > area(A) = %.6f" trial area_diff area_a;
+  (* Inclusion-exclusion, as an inequality safe under conservative
+     clipping: diff + inter should reassemble A. *)
+  if area_diff +. area_ab > area_a +. (1e-3 *. (1.0 +. area_a)) then
+    Alcotest.failf "trial %d: area(A\\B) + area(A inter B) = %.6f + %.6f > area(A) = %.6f" trial
+      area_diff area_ab area_a;
+  (* Sampled interior points of A \ B stay out of B... *)
+  List.iter
+    (fun p ->
+      if Geo.Region.contains b p then
+        Alcotest.failf "trial %d: point (%.4f, %.4f) of A\\B is inside B" trial p.Geo.Point.x
+          p.Geo.Point.y)
+    (samples diff);
+  (* ... and points of A ∩ B sit in both operands. *)
+  List.iter
+    (fun p ->
+      if not (Geo.Region.contains a p && Geo.Region.contains b p) then
+        Alcotest.failf "trial %d: point (%.4f, %.4f) of A inter B escapes an operand" trial
+          p.Geo.Point.x p.Geo.Point.y)
+    (samples ab);
+  (* Double intersection is idempotent up to perturbation slivers. *)
+  let abb = Geo.Region.inter ab b in
+  let area_abb = Geo.Region.area abb in
+  if Float.abs (area_abb -. area_ab) > 1e-3 *. (1.0 +. area_ab) then
+    Alcotest.failf "trial %d: (A inter B) inter B changed area %.6f -> %.6f" trial area_ab
+      area_abb
+
+let test_boolean_properties () =
+  let rng = Stats.Rng.create 20260806 in
+  for trial = 1 to n_trials do
+    check_trial trial rng
+  done
+
+(* Disk/annulus specializations: the exact shapes Geom_cache feeds the
+   clipper, with known closed-form areas to compare against. *)
+let test_disk_inter_disk () =
+  let rng = Stats.Rng.create 42 in
+  for trial = 1 to 30 do
+    let r1 = Stats.Rng.uniform rng 30.0 200.0 in
+    let r2 = Stats.Rng.uniform rng 30.0 200.0 in
+    let d = Stats.Rng.uniform rng 0.0 (r1 +. r2 +. 50.0) in
+    let a = Geo.Region.disk ~center:Geo.Point.zero ~radius:r1 () in
+    let b = Geo.Region.disk ~center:(Geo.Point.make d 0.0) ~radius:r2 () in
+    let ab = Geo.Region.inter a b in
+    let area = Geo.Region.area ab in
+    if d >= r1 +. r2 then begin
+      if area > 1e-6 then
+        Alcotest.failf "trial %d: disjoint disks (d=%.1f) intersect with area %.6f" trial d area
+    end
+    else if d +. Float.min r1 r2 <= Float.max r1 r2 then begin
+      (* One disk inside the other: intersection is the smaller disk
+         (polygonal, so compare against the polygon's area). *)
+      let smaller = if r1 <= r2 then a else b in
+      let expect = Geo.Region.area smaller in
+      if Float.abs (area -. expect) > 1e-3 *. expect then
+        Alcotest.failf "trial %d: nested disks, intersection area %.4f, smaller disk %.4f" trial
+          area expect
+    end
+    else if area <= 0.0 then
+      Alcotest.failf "trial %d: overlapping disks (d=%.1f, r=%.1f+%.1f) gave empty intersection"
+        trial d r1 r2
+  done
+
+let test_annulus_area () =
+  let rng = Stats.Rng.create 4242 in
+  for trial = 1 to 20 do
+    let r_inner = Stats.Rng.uniform rng 20.0 100.0 in
+    let r_outer = r_inner +. Stats.Rng.uniform rng 10.0 150.0 in
+    let ring = Geo.Region.annulus ~segments:96 ~center:Geo.Point.zero ~r_inner ~r_outer () in
+    let exact = Float.pi *. ((r_outer *. r_outer) -. (r_inner *. r_inner)) in
+    let got = Geo.Region.area ring in
+    (* Inscribed polygons undershoot the true annulus slightly. *)
+    if got > exact || got < 0.97 *. exact then
+      Alcotest.failf "trial %d: annulus area %.2f vs exact %.2f" trial got exact
+  done
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "geom-props",
+      [
+        tc "random boolean properties" test_boolean_properties;
+        tc "disk inter disk" test_disk_inter_disk;
+        tc "annulus area" test_annulus_area;
+      ] );
+  ]

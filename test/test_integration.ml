@@ -109,7 +109,12 @@ let test_batch_matches_sequential () =
   let check_same label ests =
     Alcotest.(check int) (label ^ ": batch length") (Array.length seq) (Array.length ests);
     Array.iteri
-      (fun i (b : Octant.Estimate.t) ->
+      (fun i (r : (Octant.Estimate.t, string) result) ->
+        let b =
+          match r with
+          | Ok b -> b
+          | Error e -> Alcotest.failf "%s: estimate %d unexpectedly skipped (%s)" label i e
+        in
         let a = seq.(i) in
         let same =
           a.Octant.Estimate.point = b.Octant.Estimate.point
@@ -127,6 +132,33 @@ let test_batch_matches_sequential () =
     (Octant.Pipeline.localize_batch ~undns:Eval.Bridge.undns ~jobs:1 (fresh ()) obs);
   check_same "jobs=4"
     (Octant.Pipeline.localize_batch ~undns:Eval.Bridge.undns ~jobs:4 (fresh ()) obs)
+
+let test_batch_skips_bad_target () =
+  (* A target with no usable RTTs must land as [Error] in its own slot
+     without killing the rest of the batch (it used to raise
+     [Invalid_argument] out of the worker and abort everything). *)
+  with_target (fun ~truth:_ ~landmarks ~inter ~obs ->
+      let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+      let bad =
+        {
+          obs with
+          Octant.Pipeline.target_rtt_ms =
+            Array.map (fun _ -> -1.0) obs.Octant.Pipeline.target_rtt_ms;
+        }
+      in
+      let results =
+        Octant.Pipeline.localize_batch ~undns:Eval.Bridge.undns ~jobs:2 ctx [| obs; bad; obs |]
+      in
+      (match results.(1) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "target with no usable RTTs should be skipped");
+      Array.iteri
+        (fun i r ->
+          if i <> 1 then
+            match r with
+            | Ok est -> assert (est.Octant.Estimate.area_km2 > 0.0)
+            | Error e -> Alcotest.failf "good target %d skipped: %s" i e)
+        results)
 
 let test_report_cdf_rows () =
   let rows = Eval.Report.cdf_rows ~points:10 "test" [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
@@ -155,6 +187,7 @@ let suite =
         tc_slow "baselines end to end" test_baselines_end_to_end;
         tc_slow "ablation variants run" test_ablation_variants_all_run;
         tc_slow "batch matches sequential" test_batch_matches_sequential;
+        tc_slow "batch skips bad target" test_batch_skips_bad_target;
         tc "report cdf rows" test_report_cdf_rows;
       ] );
   ]

@@ -1,0 +1,166 @@
+(* Unit tests for the telemetry subsystem itself (Octant.Telemetry):
+   gating, counters across domains, spans, histograms, audit collection,
+   and the snapshot/export surface.  The registry is global, so every test
+   resets before and after itself. *)
+
+module T = Octant.Telemetry
+
+let c_plain = T.Counter.make ~domain:"test" "plain"
+let c_racy = T.Counter.make ~deterministic:false ~domain:"test" "racy"
+let h_test = T.Histogram.make ~unit_:"s" ~domain:"test" "hist"
+
+let with_enabled f =
+  T.reset ();
+  T.enable ();
+  Fun.protect ~finally:(fun () -> T.disable (); T.reset ()) f
+
+let test_disabled_is_noop () =
+  T.disable ();
+  T.reset ();
+  T.Counter.incr c_plain;
+  T.Counter.add c_plain 41;
+  T.Histogram.observe h_test 0.25;
+  ignore (T.with_span "noop" (fun () -> 7));
+  Alcotest.(check int) "counter untouched" 0 (T.Counter.value c_plain);
+  Alcotest.(check int) "no events at all" 0 (T.total_events (T.snapshot ()))
+
+let test_counter_basics () =
+  with_enabled (fun () ->
+      T.Counter.incr c_plain;
+      T.Counter.add c_plain 41;
+      Alcotest.(check int) "value sums increments" 42 (T.Counter.value c_plain);
+      T.reset ();
+      Alcotest.(check int) "reset zeroes" 0 (T.Counter.value c_plain))
+
+let test_counter_multidomain () =
+  with_enabled (fun () ->
+      (* Every domain increments through the same counter; the aggregate
+         must be the exact total regardless of shard layout. *)
+      let per_domain = 10_000 in
+      let domains =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  T.Counter.incr c_plain
+                done))
+      in
+      Array.iter Domain.join domains;
+      Alcotest.(check int) "no lost increments" (4 * per_domain) (T.Counter.value c_plain))
+
+let test_span_nesting () =
+  with_enabled (fun () ->
+      let v =
+        T.with_span "outer" (fun () ->
+            T.with_span "inner" (fun () -> ());
+            T.with_span "inner" (fun () -> ());
+            3)
+      in
+      Alcotest.(check int) "with_span returns the result" 3 v;
+      let snap = T.snapshot () in
+      let count path =
+        List.fold_left
+          (fun acc (s : T.span_view) -> if s.T.s_path = path then s.T.s_count else acc)
+          (-1) snap.T.spans
+      in
+      Alcotest.(check int) "outer once" 1 (count "outer");
+      Alcotest.(check int) "inner twice, nested path" 2 (count "outer/inner"))
+
+let test_span_exception_safe () =
+  with_enabled (fun () ->
+      (match T.with_span "boom" (fun () -> failwith "expected") with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure _ -> ());
+      (* The stack must have been popped: a new span is a root again. *)
+      T.with_span "after" (fun () -> ());
+      let snap = T.snapshot () in
+      let paths = List.map (fun (s : T.span_view) -> s.T.s_path) snap.T.spans in
+      if not (List.mem "boom" paths) then Alcotest.fail "failed span not recorded";
+      if not (List.mem "after" paths) then Alcotest.failf "span after exception misparented")
+
+let test_histogram () =
+  with_enabled (fun () ->
+      List.iter (T.Histogram.observe h_test) [ 0.001; 0.002; 0.3; 0.4; 100.0 ];
+      Alcotest.(check int) "count" 5 (T.Histogram.count h_test);
+      Alcotest.(check (float 1e-3)) "sum" 100.703 (T.Histogram.sum h_test);
+      let snap = T.snapshot () in
+      let h = List.find (fun h -> h.T.h_name = "hist") snap.T.histograms in
+      (* 0.001 and 0.002 land in different power-of-two buckets; 0.3 and
+         0.4 share [0.25, 0.5). *)
+      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 h.T.h_buckets in
+      Alcotest.(check int) "bucket counts sum to count" 5 total;
+      if List.length h.T.h_buckets < 3 then Alcotest.fail "expected >= 3 distinct buckets";
+      List.iter (fun ((lo : float), _) -> if lo > 100.0 then Alcotest.fail "bucket edge too high")
+        h.T.h_buckets)
+
+let test_deterministic_signature_excludes_racy () =
+  with_enabled (fun () ->
+      T.Counter.incr c_plain;
+      T.Counter.incr c_racy;
+      let signature = T.deterministic_signature (T.snapshot ()) in
+      if not (List.mem_assoc "test.plain" signature) then
+        Alcotest.fail "deterministic counter missing from signature";
+      if List.mem_assoc "test.racy" signature then
+        Alcotest.fail "scheduling-dependent counter leaked into the signature")
+
+let test_audit_scoping () =
+  (* The audit channel works without global telemetry: it is armed
+     per-domain by [collect]. *)
+  T.disable ();
+  let entry =
+    {
+      T.Audit.source = "unit";
+      weight = 1.0;
+      polarity = "positive";
+      cells_before = 4;
+      cells_after = 6;
+      splits = 2;
+      dropped = 0;
+      shrank = true;
+    }
+  in
+  T.Audit.record entry;
+  (* not collecting: dropped *)
+  let (), entries =
+    T.Audit.collect (fun () ->
+        Alcotest.(check bool) "collecting inside" true (T.Audit.collecting ());
+        T.Audit.record entry;
+        T.Audit.record { entry with T.Audit.source = "unit2"; shrank = false })
+  in
+  Alcotest.(check bool) "not collecting outside" false (T.Audit.collecting ());
+  Alcotest.(check int) "exactly the collected entries" 2 (List.length entries);
+  Alcotest.(check string) "order preserved" "unit" (List.hd entries).T.Audit.source
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_json_export () =
+  with_enabled (fun () ->
+      T.Counter.add c_plain 7;
+      T.with_span "export" (fun () -> ());
+      T.Histogram.observe h_test 0.125;
+      let json = T.to_json (T.snapshot ()) in
+      List.iter
+        (fun fragment ->
+          if not (contains_substring json fragment) then
+            Alcotest.failf "JSON missing %S in %s" fragment json)
+        [ "\"counters\""; "\"spans\""; "\"histograms\""; "\"test\""; "\"plain\""; "\"export\"" ])
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "telemetry",
+      [
+        tc "disabled is a no-op" test_disabled_is_noop;
+        tc "counter basics" test_counter_basics;
+        tc "counter across domains" test_counter_multidomain;
+        tc "span nesting" test_span_nesting;
+        tc "span exception safety" test_span_exception_safe;
+        tc "histogram buckets" test_histogram;
+        tc "deterministic signature" test_deterministic_signature_excludes_racy;
+        tc "audit scoping" test_audit_scoping;
+        tc "json export" test_json_export;
+      ] );
+  ]
