@@ -21,6 +21,18 @@ let banner title =
   Printf.printf "%s\n" title;
   Printf.printf "================================================================\n%!"
 
+(* Machine-readable snapshots for the performance-tracking targets, named
+   BENCH_<target>.json in the working directory (CI uploads them as
+   artifacts and jq-validates the shape). *)
+module Json = Octant_serve.Json
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "# wrote %s\n%!" path
+
 (* ------------------------------------------------------------------ *)
 (* Figure 2 *)
 (* ------------------------------------------------------------------ *)
@@ -170,6 +182,7 @@ let batch () =
      the deterministic signatures are comparable. *)
   let signatures = ref [] in
   let last_snapshot = ref None in
+  let json_rows = ref [] in
   List.iter
     (fun jobs ->
       Octant.Telemetry.reset ();
@@ -182,9 +195,20 @@ let batch () =
       let snap = Octant.Telemetry.snapshot () in
       signatures := (jobs, Octant.Telemetry.deterministic_signature snap) :: !signatures;
       last_snapshot := Some snap;
+      let identical = Array.for_all2 same_result seq ests in
+      json_rows :=
+        Json.Obj
+          [
+            ("jobs", Json.Num (float_of_int jobs));
+            ("wall_s", Json.num t);
+            ("targets_per_s", Json.num (float_of_int n_targets /. t));
+            ("speedup", Json.num (t_seq /. t));
+            ("identical", Json.Bool identical);
+          ]
+        :: !json_rows;
       Printf.printf "  localize_batch ~jobs:%-3d %6.2fs   identical: %s   speedup: %.2fx\n%!"
         jobs t
-        (if Array.for_all2 same_result seq ests then "yes" else "NO")
+        (if identical then "yes" else "NO")
         (t_seq /. t))
     [ 1; 4 ];
   (* Stage breakdown from the last (jobs=4) run: where the wall time went.
@@ -255,7 +279,135 @@ let batch () =
         if not (List.mem_assoc k sig1) then Printf.eprintf "  %s: jobs1=absent jobs4=%d\n" k v)
       sig4;
     exit 1
-  end
+  end;
+  write_json "BENCH_batch.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "batch");
+         ("landmarks", Json.Num (float_of_int n_lm));
+         ("targets", Json.Num (float_of_int n_targets));
+         ("sequential_s", Json.num t_seq);
+         ("rows", Json.List (List.rev !json_rows));
+         ("deterministic_signature_match", Json.Bool (sig1 = sig4));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Serving layer *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  banner "SERVE: localization daemon (Octant_serve) over loopback TCP";
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
+  let bridge = Eval.Bridge.create deployment in
+  let n = Eval.Bridge.host_count bridge in
+  let n_lm = n / 2 in
+  let lm_set = Array.init n_lm Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) lm_set in
+  let inter = Eval.Bridge.inter_rtt_for bridge lm_set in
+  let n_targets = n - n_lm in
+  let requests =
+    Array.init n_targets (fun i ->
+        let obs = Eval.Bridge.observations bridge ~landmark_indices:lm_set ~target:(n_lm + i) in
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", Json.Num (float_of_int i));
+               ( "rtt_ms",
+                 Json.List
+                   (Array.to_list (Array.map Json.num obs.Octant.Pipeline.target_rtt_ms)) );
+             ]))
+  in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let n_clients = 4 in
+  let passes = 2 in
+  Printf.printf
+    "# %d landmarks, %d distinct requests, %d clients x %d passes (pass 2 = cache hits)\n%!"
+    n_lm n_targets n_clients passes;
+  let rows = ref [] in
+  List.iter
+    (fun jobs ->
+      let config =
+        {
+          Octant_serve.Server.default_config with
+          Octant_serve.Server.jobs = Some jobs;
+          batch_delay_s = 0.002;
+          cache_capacity = 1024;
+        }
+      in
+      let srv = Octant_serve.Server.start ~config ~ctx () in
+      let port = Octant_serve.Server.port srv in
+      let latencies = Array.make n_clients [] in
+      let client c () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            for _pass = 1 to passes do
+              Array.iteri
+                (fun i line ->
+                  if i mod n_clients = c then begin
+                    let t0 = Unix.gettimeofday () in
+                    output_string oc line;
+                    output_char oc '\n';
+                    flush oc;
+                    (match input_line ic with
+                    | _reply -> ()
+                    | exception End_of_file -> failwith "server closed mid-bench");
+                    latencies.(c) <- (Unix.gettimeofday () -. t0) :: latencies.(c)
+                  end)
+                requests
+            done)
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads = Array.init n_clients (fun c -> Thread.create (client c) ()) in
+      Array.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      let cache = Octant_serve.Server.cache_stats srv in
+      Octant_serve.Server.stop srv;
+      let lat_ms =
+        Array.of_list
+          (List.concat_map (fun l -> List.map (fun s -> 1000.0 *. s) l) (Array.to_list latencies))
+      in
+      let total = Array.length lat_ms in
+      let p50 = Stats.Sample.percentile 50.0 lat_ms in
+      let p99 = Stats.Sample.percentile 99.0 lat_ms in
+      let rps = float_of_int total /. wall in
+      let hit_rate =
+        let lookups = cache.Octant_serve.Lru.hits + cache.Octant_serve.Lru.misses in
+        if lookups = 0 then 0.0
+        else float_of_int cache.Octant_serve.Lru.hits /. float_of_int lookups
+      in
+      Printf.printf
+        "  jobs=%-3d %4d requests in %6.2fs   %7.1f req/s   p50=%6.1f ms  p99=%6.1f ms  \
+         cache hit rate %.0f%%\n%!"
+        jobs total wall rps p50 p99 (100.0 *. hit_rate);
+      rows :=
+        Json.Obj
+          [
+            ("jobs", Json.Num (float_of_int jobs));
+            ("requests", Json.Num (float_of_int total));
+            ("wall_s", Json.num wall);
+            ("requests_per_s", Json.num rps);
+            ("p50_ms", Json.num p50);
+            ("p99_ms", Json.num p99);
+            ("cache_hits", Json.Num (float_of_int cache.Octant_serve.Lru.hits));
+            ("cache_misses", Json.Num (float_of_int cache.Octant_serve.Lru.misses));
+            ("cache_hit_rate", Json.num hit_rate);
+          ]
+        :: !rows)
+    [ 1; 4 ];
+  write_json "BENCH_serve.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "serve");
+         ("landmarks", Json.Num (float_of_int n_lm));
+         ("distinct_requests", Json.Num (float_of_int n_targets));
+         ("clients", Json.Num (float_of_int n_clients));
+         ("passes", Json.Num (float_of_int passes));
+         ("rows", Json.List (List.rev !rows));
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4 *)
@@ -453,6 +605,7 @@ let () =
   | "robustness" -> robustness ()
   | "timing" -> timing (Eval.Study.run ~seed ~n_hosts ())
   | "batch" -> batch ()
+  | "serve" -> serve_bench ()
   | "micro" -> micro ()
   | "all" ->
       fig2 ();
@@ -464,7 +617,8 @@ let () =
       vivaldi ();
       timing study;
       batch ();
+      serve_bench ();
       micro ()
   | other ->
-      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|secondary|vivaldi|timing|batch|micro|all)\n" other;
+      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|secondary|vivaldi|timing|batch|serve|micro|all)\n" other;
       exit 1

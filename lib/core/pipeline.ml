@@ -145,6 +145,7 @@ let prepare ?(config = default_config) ~landmarks ~inter_landmark_rtt_ms () =
     geom_cache = Geom_cache.create ();
   }
 
+let landmark_count ctx = Array.length ctx.landmarks
 let landmark_heights ctx = ctx.heights
 let calibration ctx i = ctx.calibrations.(i)
 let pooled_calibration ctx = ctx.pooled_calibration

@@ -82,6 +82,12 @@ val prepare :
     entries [<= 0] are treated as missing.
     @raise Invalid_argument with fewer than 3 landmarks. *)
 
+val landmark_count : context -> int
+(** Size of the landmark set the context was prepared against — the
+    length every observation's [target_rtt_ms] must have.  Long-lived
+    holders of a context (the serving daemon) use it to validate requests
+    before queueing them. *)
+
 val landmark_heights : context -> float array
 val calibration : context -> int -> Calibration.t
 

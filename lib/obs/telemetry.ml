@@ -343,6 +343,20 @@ let deterministic_signature s =
     s.counters
   @ List.map (fun sp -> ("span:" ^ sp.s_path, sp.s_count)) s.spans
 
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = Float.to_int (Float.round (Float.max 1.0 (q *. float_of_int h.h_count))) in
+    let rec go seen = function
+      | [] -> ( match List.rev h.h_buckets with (lo, _) :: _ -> 2.0 *. lo | [] -> 0.0)
+      | (lo, c) :: rest ->
+          if seen + c >= rank then if lo = 0.0 then Histogram.bucket_floor 1 else 2.0 *. lo
+          else go (seen + c) rest
+    in
+    go 0 h.h_buckets
+  end
+
 let reset () =
   locked (fun () ->
       List.iter Counter.reset !Counter.registry;

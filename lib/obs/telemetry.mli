@@ -142,5 +142,13 @@ val deterministic_signature : snapshot -> (string * int) list
 (** The values that must be identical across [--jobs] settings:
     deterministic counters and span counts.  Compare with [=]. *)
 
+val quantile : histogram_view -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) of the
+    observations behind [h] from its log buckets: the upper edge of the
+    bucket holding the ceil(q*count)-th observation (a conservative
+    overestimate, never more than 2x the true value by construction of
+    the binary buckets).  Returns 0 for an empty histogram.  The serving
+    layer reports request-latency p50/p99 through this. *)
+
 val to_json : snapshot -> string
 val pp_tree : Format.formatter -> snapshot -> unit

@@ -1,0 +1,163 @@
+type outcome =
+  | Computed of (Octant.Estimate.t, string) result * Obs.Telemetry.Audit.entry list
+  | Expired
+
+type ticket = {
+  t_lock : Mutex.t;
+  t_cond : Condition.t;
+  mutable t_outcome : outcome option;
+}
+
+type item = {
+  obs : Octant.Pipeline.observations;
+  deadline : float option;
+  want_audit : bool;
+  ticket : ticket;
+}
+
+type t = {
+  ctx : Octant.Pipeline.context;
+  jobs : int option;
+  max_queue : int;
+  max_batch : int;
+  batch_delay_s : float;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : item Queue.t;
+  mutable closed : bool;
+  mutable worker : Thread.t option; (* None after drain joins it *)
+}
+
+let resolve ticket outcome =
+  Mutex.lock ticket.t_lock;
+  ticket.t_outcome <- Some outcome;
+  Condition.broadcast ticket.t_cond;
+  Mutex.unlock ticket.t_lock
+
+let await ticket =
+  Mutex.lock ticket.t_lock;
+  while ticket.t_outcome = None do
+    Condition.wait ticket.t_cond ticket.t_lock
+  done;
+  let o = Option.get ticket.t_outcome in
+  Mutex.unlock ticket.t_lock;
+  o
+
+(* Compute one drained batch and resolve every ticket in it.  Runs on the
+   worker thread; [localize_batch] fans out over the domain pool from
+   here (spawning domains from a systhread is supported on OCaml >= 5.1,
+   the toolchain floor). *)
+let dispatch t items =
+  let now = Unix.gettimeofday () in
+  let live, dead =
+    List.partition
+      (fun it -> match it.deadline with Some d -> now <= d | None -> true)
+      items
+  in
+  List.iter
+    (fun it ->
+      Obs.Telemetry.Counter.incr Metrics.expired;
+      resolve it.ticket Expired)
+    dead;
+  if live <> [] then begin
+    Obs.Telemetry.Counter.incr Metrics.batches;
+    Obs.Telemetry.Histogram.observe Metrics.h_batch_size (float_of_int (List.length live));
+    let plain, audited = List.partition (fun it -> not it.want_audit) live in
+    let plain_arr = Array.of_list plain in
+    let results =
+      Octant.Pipeline.localize_batch ?jobs:t.jobs t.ctx
+        (Array.map (fun it -> it.obs) plain_arr)
+    in
+    Array.iteri (fun i r -> resolve plain_arr.(i).ticket (Computed (r, []))) results;
+    List.iter
+      (fun it ->
+        let outcome =
+          match Octant.Pipeline.localize_audited t.ctx it.obs with
+          | est, audit -> Computed (Ok est, audit)
+          | exception Invalid_argument reason -> Computed (Error reason, [])
+        in
+        resolve it.ticket outcome)
+      audited
+  end
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue && t.closed then Mutex.unlock t.lock
+    else begin
+      Mutex.unlock t.lock;
+      (* Coalescing window: keep the queued items admissible (they still
+         count against [max_queue]) while concurrent submitters pile on. *)
+      if t.batch_delay_s > 0.0 && not t.closed then Thread.delay t.batch_delay_s;
+      Mutex.lock t.lock;
+      let batch = ref [] in
+      let n = ref 0 in
+      while (not (Queue.is_empty t.queue)) && !n < t.max_batch do
+        batch := Queue.pop t.queue :: !batch;
+        incr n
+      done;
+      Mutex.unlock t.lock;
+      dispatch t (List.rev !batch);
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~ctx ?jobs ~max_queue ~max_batch ~batch_delay_s () =
+  if max_queue < 1 then invalid_arg "Batcher.create: max_queue < 1";
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1";
+  if batch_delay_s < 0.0 then invalid_arg "Batcher.create: negative batch_delay_s";
+  let t =
+    {
+      ctx;
+      jobs;
+      max_queue;
+      max_batch;
+      batch_delay_s;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      worker = None;
+    }
+  in
+  t.worker <- Some (Thread.create worker_loop t);
+  t
+
+let submit t ~obs ?deadline ~want_audit () =
+  Mutex.lock t.lock;
+  let verdict =
+    if t.closed then `Closed
+    else if Queue.length t.queue >= t.max_queue then `Overloaded
+    else begin
+      let ticket =
+        { t_lock = Mutex.create (); t_cond = Condition.create (); t_outcome = None }
+      in
+      Queue.push { obs; deadline; want_audit; ticket } t.queue;
+      Obs.Telemetry.Histogram.observe Metrics.h_queue_depth
+        (float_of_int (Queue.length t.queue));
+      Condition.signal t.nonempty;
+      `Queued ticket
+    end
+  in
+  Mutex.unlock t.lock;
+  (match verdict with `Overloaded -> Obs.Telemetry.Counter.incr Metrics.overloaded | _ -> ());
+  verdict
+
+let queue_depth t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let drain t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  let worker = t.worker in
+  t.worker <- None;
+  Mutex.unlock t.lock;
+  match worker with None -> () | Some th -> Thread.join th

@@ -1,0 +1,56 @@
+(** Micro-batching admission queue over {!Octant.Pipeline.localize_batch}.
+
+    Connection threads {!submit} observations into a bounded queue and
+    block in {!await}; a single worker thread wakes on the first queued
+    item, sleeps [batch_delay_s] to let concurrent requests coalesce, then
+    drains up to [max_batch] items and dispatches them as one
+    {!Octant.Pipeline.localize_batch} call over the domain pool.  Items
+    whose deadline passed before dispatch are answered [Expired] without
+    paying for a solve; audit-requesting items are computed individually
+    through {!Octant.Pipeline.localize_audited} (same estimate, plus the
+    per-constraint trail).
+
+    A full queue rejects at {!submit} ([`Overloaded]) — load is shed at
+    admission, never by silent discard, so every accepted item is
+    guaranteed an outcome and {!await} cannot hang: {!drain} computes
+    everything still queued before the worker exits. *)
+
+type t
+
+type outcome =
+  | Computed of (Octant.Estimate.t, string) result * Obs.Telemetry.Audit.entry list
+      (** The audit list is empty unless the item asked for one. *)
+  | Expired  (** Deadline passed while queued. *)
+
+type ticket
+(** An accepted item's claim on its future outcome. *)
+
+val create :
+  ctx:Octant.Pipeline.context ->
+  ?jobs:int ->
+  max_queue:int ->
+  max_batch:int ->
+  batch_delay_s:float ->
+  unit ->
+  t
+(** @raise Invalid_argument on [max_queue < 1], [max_batch < 1], or a
+    negative delay. *)
+
+val submit :
+  t ->
+  obs:Octant.Pipeline.observations ->
+  ?deadline:float ->
+  want_audit:bool ->
+  unit ->
+  [ `Queued of ticket | `Overloaded | `Closed ]
+(** [deadline] is absolute ([Unix.gettimeofday] clock). *)
+
+val await : ticket -> outcome
+(** Block until the worker resolves the ticket.  Returns immediately if
+    it already has. *)
+
+val queue_depth : t -> int
+
+val drain : t -> unit
+(** Stop admitting, compute everything still queued, join the worker.
+    Idempotent. *)

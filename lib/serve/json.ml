@@ -1,0 +1,299 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let num f = if Float.is_finite f then Num f else Null
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Shortest exact form: integers as "%.0f" (round-trips trivially),
+   everything else as "%.17g" (17 significant digits always round-trip a
+   binary64).  The service parity tests rely on this inversion. *)
+let add_float buf f =
+  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_float buf f
+  | Str s -> add_escaped buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let fail pos msg = raise (Bad (Printf.sprintf "%s at byte %d" msg pos))
+
+let of_string ?(max_depth = 64) s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect ch =
+    if !pos < n && s.[!pos] = ch then advance ()
+    else fail !pos (Printf.sprintf "expected '%c'" ch)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail !pos (Printf.sprintf "expected %s" word)
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        advance ()
+      done;
+      if !pos = d0 then fail !pos "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail start "malformed number"
+  in
+  let utf8_of_code buf c =
+    (* Encode one Unicode scalar (or whatever the \u escapes decoded to)
+       as UTF-8; lone surrogates are replaced with U+FFFD rather than
+       rejected, since the fuzzer throws them at us freely. *)
+    let c = if c >= 0xD800 && c <= 0xDFFF then 0xFFFD else c in
+    if c < 0x80 then Buffer.add_char buf (Char.chr c)
+    else if c < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+    end
+    else if c < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (c lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail !pos "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail !pos "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail !pos "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail !pos "truncated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'u' ->
+                 advance ();
+                 let c = hex4 () in
+                 (* Combine a valid high+low surrogate pair. *)
+                 if c >= 0xD800 && c <= 0xDBFF && !pos + 6 <= n && s.[!pos] = '\\'
+                    && s.[!pos + 1] = 'u'
+                 then begin
+                   pos := !pos + 2;
+                   let c2 = hex4 () in
+                   if c2 >= 0xDC00 && c2 <= 0xDFFF then
+                     utf8_of_code buf (0x10000 + ((c - 0xD800) lsl 10) + (c2 - 0xDC00))
+                   else begin
+                     utf8_of_code buf c;
+                     utf8_of_code buf c2
+                   end
+                 end
+                 else utf8_of_code buf c
+             | _ -> fail !pos "unknown escape");
+          go ()
+      | c when Char.code c < 0x20 -> fail !pos "raw control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail !pos "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec elems () =
+            items := parse_value (depth + 1) :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems ()
+            | Some ']' -> advance ()
+            | _ -> fail !pos "expected ',' or ']'"
+          in
+          elems ();
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let items = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            items := (k, v) :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail !pos "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !items)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail !pos (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail !pos "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= 1e15 -> Some (int_of_float f)
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool a, Bool b -> a = b
+  | Num a, Num b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  | Str a, Str b -> String.equal a b
+  | List a, List b -> ( try List.for_all2 equal a b with Invalid_argument _ -> false)
+  | Obj a, Obj b -> (
+      try List.for_all2 (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) a b
+      with Invalid_argument _ -> false)
+  | _ -> false

@@ -1,0 +1,47 @@
+(** Minimal JSON for the wire protocol.
+
+    The toolchain carries no JSON dependency, so the serving layer brings
+    its own: a plain value type, a bounds-checked recursive-descent parser
+    hardened against adversarial input (the fuzz suite feeds it random
+    bytes), and a printer whose float rendering round-trips exactly —
+    [of_string (to_string (Num f))] recovers [f] bit for bit — which is
+    what lets the service test harness assert bit-identical parity between
+    wire replies and direct {!Octant.Pipeline.localize_batch} results. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num : float -> t
+(** [Num f], except non-finite values (JSON cannot carry them) become
+    {!Null}. *)
+
+val to_string : t -> string
+(** Single line, no trailing newline.  Finite floats print in the
+    shortest of ["%.0f"] (exact integers) or ["%.17g"], both of which
+    [float_of_string] inverts exactly. *)
+
+val of_string : ?max_depth:int -> string -> (t, string) result
+(** Parse one complete JSON value (leading/trailing whitespace allowed;
+    trailing garbage is an error).  Never raises: malformed input,
+    truncation, or nesting beyond [max_depth] (default 64) come back as
+    [Error reason].  Duplicate object keys are kept in order; {!member}
+    returns the first. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k]; [None] on any other
+    constructor or absent key. *)
+
+val to_float : t -> float option
+(** [Num] payload; [None] otherwise. *)
+
+val to_int : t -> int option
+(** [Num] payload when it is an exact integer in [int] range. *)
+
+val equal : t -> t -> bool
+(** Structural equality; float payloads compare by bit pattern, so
+    [equal (Num nan) (Num nan)] holds and [0.0 <> -0.0]. *)

@@ -1,0 +1,115 @@
+(* Hash table over intrusive doubly-linked nodes; a circular sentinel
+   keeps the link operations branch-free.  [sentinel.next] is the
+   most-recently-used end, [sentinel.prev] the eviction end. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node;
+  mutable next : ('k, 'v) node;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable sentinel : ('k, 'v) node option; (* None until the first add *)
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity () =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    sentinel = None;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev
+
+let link_front sentinel node =
+  node.next <- sentinel.next;
+  node.prev <- sentinel;
+  sentinel.next.prev <- node;
+  sentinel.next <- node
+
+let find t k =
+  if t.cap = 0 then None
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table k with
+        | Some node ->
+            t.hits <- t.hits + 1;
+            Obs.Telemetry.Counter.incr Metrics.cache_hits;
+            (match t.sentinel with
+            | Some s ->
+                unlink node;
+                link_front s node
+            | None -> ());
+            Some node.value
+        | None ->
+            t.misses <- t.misses + 1;
+            Obs.Telemetry.Counter.incr Metrics.cache_misses;
+            None)
+
+let mem t k = locked t (fun () -> Hashtbl.mem t.table k)
+
+let add t k v =
+  if t.cap > 0 then
+    locked t (fun () ->
+        let sentinel =
+          match t.sentinel with
+          | Some s -> s
+          | None ->
+              (* The sentinel needs a node value to exist; borrow the first
+                 insertion's and let the cycle point at itself. *)
+              let rec s = { key = k; value = v; prev = s; next = s } in
+              t.sentinel <- Some s;
+              s
+        in
+        (match Hashtbl.find_opt t.table k with
+        | Some node ->
+            node.value <- v;
+            unlink node;
+            link_front sentinel node
+        | None ->
+            if Hashtbl.length t.table >= t.cap then begin
+              let victim = sentinel.prev in
+              (* cap >= 1 and the table is at capacity, so the eviction
+                 end is a real node, never the sentinel itself. *)
+              unlink victim;
+              Hashtbl.remove t.table victim.key;
+              t.evictions <- t.evictions + 1;
+              Obs.Telemetry.Counter.incr Metrics.cache_evictions
+            end;
+            let node = { key = k; value = v; prev = sentinel; next = sentinel } in
+            link_front sentinel node;
+            Hashtbl.replace t.table k node))
+
+type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.cap;
+      })

@@ -1,0 +1,39 @@
+(** Thread-safe LRU result cache.
+
+    Keys are the quantized observation signatures of {!Protocol}; values
+    are whatever the server wants to replay (a computed estimate).  A
+    [find] hit promotes the entry to most-recently-used; an [add] beyond
+    capacity evicts the least-recently-used entry.  All operations are
+    O(1) (hash table + intrusive doubly-linked list) and serialized by an
+    internal mutex, so connection threads may consult one instance
+    concurrently.
+
+    Every instance keeps its own hit/miss/eviction tally (always on, used
+    by the [stats] wire frame), and mirrors each event into the [serve]
+    telemetry counters ({!Metrics.cache_hits} & co.), which record only
+    while telemetry is enabled.  The qcheck suite reconciles the two. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** [capacity = 0] disables the cache: every [find] misses (without
+    counting), every [add] is dropped.
+    @raise Invalid_argument on negative capacity. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Promotes on hit; counts a hit or a miss (unless disabled). *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite (either way the key becomes most-recently-used);
+    evicts the least-recently-used entry when the capacity would be
+    exceeded. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Presence test with no promotion and no counter effect. *)
+
+type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+
+val stats : ('k, 'v) t -> stats

@@ -1,0 +1,17 @@
+let counter name = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"serve" name
+
+let requests = counter "requests"
+let responses_ok = counter "responses_ok"
+let responses_error = counter "responses_error"
+let overloaded = counter "overloaded"
+let expired = counter "expired"
+let batches = counter "batches"
+let connections = counter "connections"
+let bad_frames = counter "bad_frames"
+let cache_hits = counter "cache_hits"
+let cache_misses = counter "cache_misses"
+let cache_evictions = counter "cache_evictions"
+
+let h_batch_size = Obs.Telemetry.Histogram.make ~unit_:"req" ~domain:"serve" "batch_size"
+let h_queue_depth = Obs.Telemetry.Histogram.make ~unit_:"req" ~domain:"serve" "queue_depth"
+let h_request_s = Obs.Telemetry.Histogram.make ~unit_:"s" ~domain:"serve" "request_s"

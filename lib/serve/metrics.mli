@@ -1,0 +1,33 @@
+(** The [serve] telemetry domain.
+
+    One site per service-level event, all registered against the existing
+    {!Obs.Telemetry} machinery so [--telemetry=json] on the daemon exports
+    them alongside the pipeline's own counters.  Every counter here is
+    declared scheduling-dependent ([~deterministic:false]): arrival order,
+    batch boundaries, and cache hits all depend on client interleaving, so
+    none of them may enter the cross-[--jobs] determinism signature.
+
+    Counters: [requests] (localize frames admitted), [responses_ok],
+    [responses_error], [overloaded] (load shed at a full queue),
+    [expired] (deadline passed before compute), [batches] (micro-batches
+    dispatched), [connections] (accepted), [bad_frames] (answered with a
+    decode error), and the cache tallies mirrored by {!Lru}.
+
+    Histograms: [h_batch_size] (requests per dispatched batch),
+    [h_queue_depth] (depth observed at admit), [h_request_s]
+    (admit-to-reply latency). *)
+
+val requests : Obs.Telemetry.Counter.t
+val responses_ok : Obs.Telemetry.Counter.t
+val responses_error : Obs.Telemetry.Counter.t
+val overloaded : Obs.Telemetry.Counter.t
+val expired : Obs.Telemetry.Counter.t
+val batches : Obs.Telemetry.Counter.t
+val connections : Obs.Telemetry.Counter.t
+val bad_frames : Obs.Telemetry.Counter.t
+val cache_hits : Obs.Telemetry.Counter.t
+val cache_misses : Obs.Telemetry.Counter.t
+val cache_evictions : Obs.Telemetry.Counter.t
+val h_batch_size : Obs.Telemetry.Histogram.t
+val h_queue_depth : Obs.Telemetry.Histogram.t
+val h_request_s : Obs.Telemetry.Histogram.t

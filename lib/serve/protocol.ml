@@ -1,0 +1,167 @@
+type localize = {
+  id : Json.t;
+  rtt_ms : float array;
+  whois : Geo.Geodesy.coord option;
+  deadline_ms : float option;
+  want_audit : bool;
+}
+
+type request = Localize of localize | Ping | Stats | Shutdown
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_coord = function
+  | Json.Obj _ as o -> (
+      match (Option.bind (Json.member "lat" o) Json.to_float,
+             Option.bind (Json.member "lon" o) Json.to_float)
+      with
+      | Some lat, Some lon when Float.abs lat <= 90.0 && Float.abs lon <= 180.0 ->
+          Ok (Geo.Geodesy.coord ~lat ~lon)
+      | Some _, Some _ -> Error "whois: lat/lon out of range"
+      | _ -> Error "whois: expected {\"lat\": <num>, \"lon\": <num>}")
+  | _ -> Error "whois: expected an object"
+
+let parse_request json =
+  match json with
+  | Json.Obj _ -> (
+      match Json.member "op" json with
+      | Some (Json.Str "ping") -> Ok Ping
+      | Some (Json.Str "stats") -> Ok Stats
+      | Some (Json.Str "shutdown") -> Ok Shutdown
+      | Some (Json.Str other) -> Error (Printf.sprintf "unknown op %S" other)
+      | Some _ -> Error "op: expected a string"
+      | None -> (
+          match Json.member "rtt_ms" json with
+          | None -> Error "missing rtt_ms (or op)"
+          | Some (Json.List items) -> (
+              let ok = ref true in
+              let rtts =
+                Array.of_list
+                  (List.map
+                     (fun v ->
+                       match Json.to_float v with
+                       | Some f when Float.is_finite f -> f
+                       | Some _ | None ->
+                           ok := false;
+                           -1.0)
+                     items)
+              in
+              if not !ok then Error "rtt_ms: expected an array of finite numbers"
+              else
+                let id = Option.value ~default:Json.Null (Json.member "id" json) in
+                match Json.member "deadline_ms" json with
+                | Some v when Json.to_float v = None -> Error "deadline_ms: expected a number"
+                | deadline -> (
+                    let deadline_ms = Option.bind deadline Json.to_float in
+                    let want_audit =
+                      match Json.member "audit" json with Some (Json.Bool b) -> b | _ -> false
+                    in
+                    match Json.member "whois" json with
+                    | None | Some Json.Null ->
+                        Ok (Localize { id; rtt_ms = rtts; whois = None; deadline_ms; want_audit })
+                    | Some w -> (
+                        match parse_coord w with
+                        | Ok c ->
+                            Ok
+                              (Localize
+                                 { id; rtt_ms = rtts; whois = Some c; deadline_ms; want_audit })
+                        | Error e -> Error e)))
+          | Some _ -> Error "rtt_ms: expected an array"))
+  | _ -> Error "expected a JSON object frame"
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization and the cache signature                            *)
+(* ------------------------------------------------------------------ *)
+
+let grid = 1024.0
+
+let quantize_rtt v =
+  let q = Float.round (v *. grid) /. grid in
+  if q <= 0.0 then -1.0 else q
+
+let quantize_deg v = Float.round (v *. grid) /. grid
+
+let observations_of req =
+  {
+    Octant.Pipeline.target_rtt_ms = Array.map quantize_rtt req.rtt_ms;
+    traceroutes = [||];
+    whois_hint =
+      Option.map
+        (fun (c : Geo.Geodesy.coord) ->
+          Geo.Geodesy.coord ~lat:(quantize_deg c.Geo.Geodesy.lat)
+            ~lon:(quantize_deg c.Geo.Geodesy.lon))
+        req.whois;
+  }
+
+let cache_key (obs : Octant.Pipeline.observations) =
+  let buf = Buffer.create (8 + (8 * Array.length obs.Octant.Pipeline.target_rtt_ms)) in
+  Array.iter
+    (fun v -> Buffer.add_int64_le buf (Int64.bits_of_float v))
+    obs.Octant.Pipeline.target_rtt_ms;
+  (match obs.Octant.Pipeline.whois_hint with
+  | None -> Buffer.add_char buf 'n'
+  | Some c ->
+      Buffer.add_char buf 'w';
+      Buffer.add_int64_le buf (Int64.bits_of_float c.Geo.Geodesy.lat);
+      Buffer.add_int64_le buf (Int64.bits_of_float c.Geo.Geodesy.lon));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let error_radius_km (est : Octant.Estimate.t) =
+  let hull = Geo.Region.convex_hull est.Octant.Estimate.region in
+  Array.fold_left
+    (fun acc p -> Float.max acc (Geo.Point.dist p est.Octant.Estimate.point_plane))
+    0.0 hull
+
+let with_id id fields = if id = Json.Null then fields else ("id", id) :: fields
+
+let audit_json entries =
+  Json.List
+    (List.map
+       (fun (e : Obs.Telemetry.Audit.entry) ->
+         Json.Obj
+           [
+             ("source", Json.Str e.Obs.Telemetry.Audit.source);
+             ("weight", Json.num e.Obs.Telemetry.Audit.weight);
+             ("polarity", Json.Str e.Obs.Telemetry.Audit.polarity);
+             ("cells_before", Json.Num (float_of_int e.Obs.Telemetry.Audit.cells_before));
+             ("cells_after", Json.Num (float_of_int e.Obs.Telemetry.Audit.cells_after));
+             ("splits", Json.Num (float_of_int e.Obs.Telemetry.Audit.splits));
+             ("dropped", Json.Num (float_of_int e.Obs.Telemetry.Audit.dropped));
+             ("shrank", Json.Bool e.Obs.Telemetry.Audit.shrank);
+           ])
+       entries)
+
+let ok_reply ~id ~cached ~audit (est : Octant.Estimate.t) =
+  let base =
+    [
+      ("status", Json.Str "ok");
+      ("lat", Json.num est.Octant.Estimate.point.Geo.Geodesy.lat);
+      ("lon", Json.num est.Octant.Estimate.point.Geo.Geodesy.lon);
+      ("area_km2", Json.num est.Octant.Estimate.area_km2);
+      ("error_radius_km", Json.num (error_radius_km est));
+      ("top_weight", Json.num est.Octant.Estimate.top_weight);
+      ("cells_used", Json.Num (float_of_int est.Octant.Estimate.cells_used));
+      ("constraints_used", Json.Num (float_of_int est.Octant.Estimate.constraints_used));
+      ("height_ms", Json.num est.Octant.Estimate.target_height_ms);
+      ("cached", Json.Bool cached);
+    ]
+  in
+  let base = match audit with None -> base | Some a -> base @ [ ("audit", audit_json a) ] in
+  Json.Obj (with_id id base)
+
+let error_reply ~id reason =
+  Json.Obj (with_id id [ ("status", Json.Str "error"); ("reason", Json.Str reason) ])
+
+let overloaded_reply ~id = Json.Obj (with_id id [ ("status", Json.Str "overloaded") ])
+let expired_reply ~id = Json.Obj (with_id id [ ("status", Json.Str "expired") ])
+let pong_reply = Json.Obj [ ("status", Json.Str "pong") ]
+let draining_reply = Json.Obj [ ("status", Json.Str "draining") ]
+
+let status_of reply =
+  match Json.member "status" reply with Some (Json.Str s) -> s | _ -> ""

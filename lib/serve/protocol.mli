@@ -1,0 +1,79 @@
+(** Wire protocol of the localization daemon.
+
+    Frames are newline-delimited JSON, one request and one reply per
+    line.  A localize request carries the RTT vector against the server's
+    resident landmark set plus optional hints:
+
+    {v
+      {"id": 7, "rtt_ms": [12.3, 45.6, -1, ...],
+       "whois": {"lat": 40.7, "lon": -74.0},
+       "deadline_ms": 2000, "audit": true}
+    v}
+
+    Control frames use an ["op"] member: [{"op":"ping"}], [{"op":"stats"}],
+    [{"op":"shutdown"}].
+
+    Replies always carry a ["status"] member: ["ok"], ["error"],
+    ["overloaded"], ["expired"], ["pong"], ["stats"], or ["draining"]; the
+    request's ["id"] is echoed verbatim when one was given.
+
+    {2 Canonicalization}
+
+    Observations are {e quantized on ingest} — RTTs to 1/1024 ms, hint
+    coordinates to 1/1024 degree — and the pipeline runs on the quantized
+    observation, so the cache signature ({!cache_key}) equals-iff the
+    computed inputs are identical and a cache hit replays a bit-identical
+    result.  The end-to-end harness compares server replies against a
+    direct {!Octant.Pipeline.localize_batch} over {!observations_of} the
+    same requests. *)
+
+type localize = {
+  id : Json.t;                 (** Echoed verbatim; [Null] when absent. *)
+  rtt_ms : float array;        (** Raw, as received; see {!observations_of}. *)
+  whois : Geo.Geodesy.coord option;
+  deadline_ms : float option;  (** Relative budget for this request. *)
+  want_audit : bool;           (** Include the per-constraint audit in the reply. *)
+}
+
+type request = Localize of localize | Ping | Stats | Shutdown
+
+val parse_request : Json.t -> (request, string) result
+(** Shape-check a decoded frame.  Anything that is not an object with
+    either a known ["op"] or a numeric ["rtt_ms"] array is an [Error]
+    naming the offending member. *)
+
+val quantize_rtt : float -> float
+(** Round to the 1/1024 ms grid; non-positive (and sub-grid) values
+    canonicalize to [-1.0], the missing-measurement sentinel. *)
+
+val observations_of : localize -> Octant.Pipeline.observations
+(** The quantized observation the pipeline actually localizes. *)
+
+val cache_key : Octant.Pipeline.observations -> string
+(** Exact signature of a quantized observation: RTT float bits plus the
+    hint's float bits.  Two observations share a key iff the pipeline
+    input is identical. *)
+
+val error_radius_km : Octant.Estimate.t -> float
+(** Radius of the answer: the largest distance from the point estimate to
+    any vertex of the region's convex hull (0 for an empty region).  The
+    true position is inside the region, hence within this radius of the
+    point estimate whenever the region covers it. *)
+
+(** {2 Replies} *)
+
+val ok_reply :
+  id:Json.t ->
+  cached:bool ->
+  audit:Obs.Telemetry.Audit.entry list option ->
+  Octant.Estimate.t ->
+  Json.t
+
+val error_reply : id:Json.t -> string -> Json.t
+val overloaded_reply : id:Json.t -> Json.t
+val expired_reply : id:Json.t -> Json.t
+val pong_reply : Json.t
+val draining_reply : Json.t
+
+val status_of : Json.t -> string
+(** The ["status"] member of a reply, or [""]. *)

@@ -1,0 +1,323 @@
+type config = {
+  host : string;
+  port : int;
+  jobs : int option;
+  max_queue : int;
+  max_batch : int;
+  batch_delay_s : float;
+  cache_capacity : int;
+  max_frame_bytes : int;
+  default_deadline_ms : float option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    jobs = None;
+    max_queue = 256;
+    max_batch = 64;
+    batch_delay_s = 0.002;
+    cache_capacity = 1024;
+    max_frame_bytes = 1_048_576;
+    default_deadline_ms = None;
+  }
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  bound_port : int;
+  batcher : Batcher.t;
+  cache : (string, Octant.Estimate.t) Lru.t;
+  stopping : bool Atomic.t;
+  shutdown_requested : bool Atomic.t;
+  stopped : bool Atomic.t;
+  conn_lock : Mutex.t;
+  conns : (int, Unix.file_descr) Hashtbl.t; (* open sockets, keyed by conn id *)
+  mutable threads : Thread.t list;          (* every spawned handler, for the final join *)
+  mutable next_conn : int;
+  mutable accept_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+let cache_stats t = Lru.stats t.cache
+let queue_depth t = Batcher.queue_depth t.batcher
+
+let live_connections t =
+  Mutex.lock t.conn_lock;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conn_lock;
+  n
+
+let request_shutdown t = Atomic.set t.shutdown_requested true
+
+(* ------------------------------------------------------------------ *)
+(* Frame handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The id of a frame that decoded as JSON but failed the shape check:
+   echo it back when present so the client can still correlate. *)
+let id_of_json json = Option.value ~default:Json.Null (Json.member "id" json)
+
+let percentile_of_snapshot snap q =
+  let open Obs.Telemetry in
+  match
+    List.find_opt
+      (fun h -> h.h_domain = "serve" && h.h_name = "request_s")
+      snap.histograms
+  with
+  | Some h when h.h_count > 0 -> Json.num (quantile h q *. 1000.0)
+  | _ -> Json.Null
+
+let stats_reply t =
+  let c = Lru.stats t.cache in
+  let snap = Obs.Telemetry.snapshot () in
+  let counter name = Json.Num (float_of_int (Obs.Telemetry.Counter.value name)) in
+  Json.Obj
+    [
+      ("status", Json.Str "stats");
+      ("telemetry_enabled", Json.Bool (Obs.Telemetry.is_enabled ()));
+      ("requests", counter Metrics.requests);
+      ("responses_ok", counter Metrics.responses_ok);
+      ("responses_error", counter Metrics.responses_error);
+      ("overloaded", counter Metrics.overloaded);
+      ("expired", counter Metrics.expired);
+      ("batches", counter Metrics.batches);
+      ("queue_depth", Json.Num (float_of_int (queue_depth t)));
+      ("live_connections", Json.Num (float_of_int (live_connections t)));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Num (float_of_int c.Lru.hits));
+            ("misses", Json.Num (float_of_int c.Lru.misses));
+            ("evictions", Json.Num (float_of_int c.Lru.evictions));
+            ("size", Json.Num (float_of_int c.Lru.size));
+            ("capacity", Json.Num (float_of_int c.Lru.capacity));
+          ] );
+      ("request_p50_ms", percentile_of_snapshot snap 0.5);
+      ("request_p99_ms", percentile_of_snapshot snap 0.99);
+    ]
+
+let handle_localize t (req : Protocol.localize) =
+  let t0 = Unix.gettimeofday () in
+  Obs.Telemetry.Counter.incr Metrics.requests;
+  let obs = Protocol.observations_of req in
+  let key = Protocol.cache_key obs in
+  let finish reply =
+    Obs.Telemetry.Histogram.observe Metrics.h_request_s (Unix.gettimeofday () -. t0);
+    reply
+  in
+  let cached = if req.Protocol.want_audit then None else Lru.find t.cache key in
+  match cached with
+  | Some est ->
+      Obs.Telemetry.Counter.incr Metrics.responses_ok;
+      finish (Protocol.ok_reply ~id:req.Protocol.id ~cached:true ~audit:None est)
+  | None -> (
+      let deadline =
+        match (req.Protocol.deadline_ms, t.cfg.default_deadline_ms) with
+        | Some ms, _ | None, Some ms -> Some (t0 +. (ms /. 1000.0))
+        | None, None -> None
+      in
+      match
+        Batcher.submit t.batcher ~obs ?deadline ~want_audit:req.Protocol.want_audit ()
+      with
+      | `Overloaded -> finish (Protocol.overloaded_reply ~id:req.Protocol.id)
+      | `Closed ->
+          Obs.Telemetry.Counter.incr Metrics.overloaded;
+          finish (Protocol.overloaded_reply ~id:req.Protocol.id)
+      | `Queued ticket -> (
+          match Batcher.await ticket with
+          | Batcher.Expired -> finish (Protocol.expired_reply ~id:req.Protocol.id)
+          | Batcher.Computed (Ok est, audit) ->
+              Lru.add t.cache key est;
+              Obs.Telemetry.Counter.incr Metrics.responses_ok;
+              let audit = if req.Protocol.want_audit then Some audit else None in
+              finish (Protocol.ok_reply ~id:req.Protocol.id ~cached:false ~audit est)
+          | Batcher.Computed (Error reason, _) ->
+              Obs.Telemetry.Counter.incr Metrics.responses_error;
+              finish (Protocol.error_reply ~id:req.Protocol.id reason)))
+
+(* One reply per complete frame; [None] for blank lines. *)
+let handle_frame t line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.trim line = "" then None
+  else
+    match Json.of_string line with
+    | Error e ->
+        Obs.Telemetry.Counter.incr Metrics.bad_frames;
+        Some (Protocol.error_reply ~id:Json.Null (Printf.sprintf "bad frame: %s" e))
+    | Ok json -> (
+        match Protocol.parse_request json with
+        | Error e ->
+            Obs.Telemetry.Counter.incr Metrics.bad_frames;
+            Some (Protocol.error_reply ~id:(id_of_json json) (Printf.sprintf "bad request: %s" e))
+        | Ok Protocol.Ping -> Some Protocol.pong_reply
+        | Ok Protocol.Stats -> Some (stats_reply t)
+        | Ok Protocol.Shutdown ->
+            request_shutdown t;
+            Some Protocol.draining_reply
+        | Ok (Protocol.Localize req) -> Some (handle_localize t req))
+
+(* ------------------------------------------------------------------ *)
+(* Connection plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let send_reply fd reply = write_all fd (Json.to_string reply ^ "\n")
+
+let handle_connection t conn_id fd =
+  let chunk = Bytes.create 8192 in
+  let acc = Buffer.create 512 in
+  let discarding = ref false in
+  let overflow () =
+    (* The frame blew the limit: answer once, then skip input until the
+       next newline so the connection stays usable. *)
+    if not !discarding then begin
+      discarding := true;
+      Buffer.clear acc;
+      Obs.Telemetry.Counter.incr Metrics.bad_frames;
+      send_reply fd
+        (Protocol.error_reply ~id:Json.Null
+           (Printf.sprintf "frame too large (max %d bytes)" t.cfg.max_frame_bytes))
+    end
+  in
+  let feed_char c =
+    if c = '\n' then begin
+      if !discarding then discarding := false
+      else begin
+        let line = Buffer.contents acc in
+        Buffer.clear acc;
+        match handle_frame t line with None -> () | Some reply -> send_reply fd reply
+      end
+    end
+    else if not !discarding then begin
+      Buffer.add_char acc c;
+      if Buffer.length acc > t.cfg.max_frame_bytes then overflow ()
+    end
+  in
+  let rec loop () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        feed_char (Bytes.get chunk i)
+      done;
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.conn_lock;
+      if Hashtbl.mem t.conns conn_id then begin
+        Hashtbl.remove t.conns conn_id;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end;
+      Mutex.unlock t.conn_lock)
+    (fun () -> try loop () with Unix.Unix_error _ | Sys_error _ -> ())
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept ~cloexec:true t.listener with
+    | fd, _ ->
+        if Atomic.get t.stopping then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          loop ()
+        end
+        else begin
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+          Obs.Telemetry.Counter.incr Metrics.connections;
+          Mutex.lock t.conn_lock;
+          let conn_id = t.next_conn in
+          t.next_conn <- conn_id + 1;
+          Hashtbl.replace t.conns conn_id fd;
+          t.threads <- Thread.create (fun () -> handle_connection t conn_id fd) () :: t.threads;
+          Mutex.unlock t.conn_lock;
+          loop ()
+        end
+    | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.ECONNABORTED), _, _) ->
+        (* EINVAL/EBADF: the listener was shut down under us (stop);
+           ECONNABORTED: the peer gave up, keep accepting. *)
+        if not (Atomic.get t.stopping) then loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) ~ctx () =
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listener 64
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let batcher =
+    Batcher.create ~ctx ?jobs:config.jobs ~max_queue:config.max_queue
+      ~max_batch:config.max_batch ~batch_delay_s:config.batch_delay_s ()
+  in
+  let t =
+    {
+      cfg = config;
+      listener;
+      bound_port;
+      batcher;
+      cache = Lru.create ~capacity:config.cache_capacity ();
+      stopping = Atomic.make false;
+      shutdown_requested = Atomic.make false;
+      stopped = Atomic.make false;
+      conn_lock = Mutex.create ();
+      conns = Hashtbl.create 32;
+      threads = [];
+      next_conn = 0;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let wait t =
+  while not (Atomic.get t.shutdown_requested || Atomic.get t.stopped) do
+    Thread.delay 0.05
+  done
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Atomic.set t.shutdown_requested true;
+    (* Wake the accept thread: shutting a listening socket down makes a
+       blocked accept(2) fail immediately on Linux. *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    t.accept_thread <- None;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (* Stop the readers: every registered socket is still open (handlers
+       close only after deregistering), so EOF their read sides.  In-flight
+       requests keep their write sides. *)
+    Mutex.lock t.conn_lock;
+    Hashtbl.iter
+      (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      t.conns;
+    let threads = t.threads in
+    Mutex.unlock t.conn_lock;
+    (* Resolve everything still queued so blocked handlers can answer. *)
+    Batcher.drain t.batcher;
+    List.iter Thread.join threads;
+    Atomic.set t.stopped true
+  end

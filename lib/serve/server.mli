@@ -1,0 +1,57 @@
+(** The localization daemon: a TCP server over {!Protocol} frames.
+
+    One accept thread plus one thread per connection; requests from all
+    connections coalesce in the shared {!Batcher} and recent results are
+    replayed from a shared {!Lru} keyed by the quantized observation
+    signature.  Built on stdlib [Unix] + [Thread] only.
+
+    Lifecycle: {!start} binds and returns immediately (port 0 picks an
+    ephemeral port, read it back with {!port}).  A [shutdown] frame or
+    {!request_shutdown} (the daemon's SIGTERM handler) makes {!wait}
+    return; the owner then calls {!stop}, which drains gracefully: stop
+    accepting, close connection read-sides, compute everything still
+    queued, answer it, and join every thread.  No accepted request is
+    dropped without a reply. *)
+
+type config = {
+  host : string;              (** Bind address (default 127.0.0.1). *)
+  port : int;                 (** 0 = ephemeral. *)
+  jobs : int option;          (** Domains for each dispatched batch. *)
+  max_queue : int;            (** Admission bound; beyond it requests shed. *)
+  max_batch : int;            (** Items per dispatched batch. *)
+  batch_delay_s : float;      (** Coalescing window after the first item. *)
+  cache_capacity : int;       (** LRU entries; 0 disables the cache. *)
+  max_frame_bytes : int;      (** Oversized frames get a structured error. *)
+  default_deadline_ms : float option;
+      (** Applied when a request carries no deadline of its own. *)
+}
+
+val default_config : config
+(** [{host = "127.0.0.1"; port = 0; jobs = None; max_queue = 256;
+     max_batch = 64; batch_delay_s = 0.002; cache_capacity = 1024;
+     max_frame_bytes = 1_048_576; default_deadline_ms = None}] *)
+
+type t
+
+val start : ?config:config -> ctx:Octant.Pipeline.context -> unit -> t
+(** Bind, listen, spawn the accept thread.
+    @raise Unix.Unix_error when the bind fails. *)
+
+val port : t -> int
+(** The bound port (useful with [port = 0]). *)
+
+val cache_stats : t -> Lru.stats
+val live_connections : t -> int
+val queue_depth : t -> int
+
+val request_shutdown : t -> unit
+(** Async-signal-safe shutdown trigger: flips an atomic that {!wait}
+    polls.  Does not block; call {!stop} afterwards to drain. *)
+
+val wait : t -> unit
+(** Block until {!request_shutdown} (or a [shutdown] frame, or {!stop})
+    fires. *)
+
+val stop : t -> unit
+(** Graceful drain as described above.  Idempotent; safe to call from any
+    thread except a connection handler (it joins them). *)

@@ -1,0 +1,212 @@
+(* qcheck property suite for the serving layer's LRU result cache,
+   checked against an executable model (an MRU-first association list):
+
+   - capacity is never exceeded, and contents match the model exactly
+     after any operation sequence (so most-recently-used entries survive
+     eviction and the LRU entry is always the one evicted);
+   - hits + misses + evictions reconcile with both the per-instance
+     stats and the serve-domain telemetry counters;
+   - a cached localization replayed through the cache equals a freshly
+     computed one. *)
+
+module Lru = Octant_serve.Lru
+
+(* ---- executable model ---- *)
+
+type model = { mutable entries : (int * int) list (* MRU first *) }
+
+let model_find m cap k =
+  if cap = 0 then None
+  else
+    match List.assoc_opt k m.entries with
+    | None -> None
+    | Some v ->
+        m.entries <- (k, v) :: List.remove_assoc k m.entries;
+        Some v
+
+let model_add m cap k v =
+  if cap > 0 then begin
+    let entries = (k, v) :: List.remove_assoc k m.entries in
+    m.entries <-
+      (if List.length entries > cap then List.filteri (fun i _ -> i < cap) entries else entries)
+  end
+
+(* Eviction count for reconciliation: replay counting. *)
+let run_model cap ops =
+  let m = { entries = [] } in
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | `Find k -> (
+          if cap > 0 then
+            match model_find m cap k with Some _ -> incr hits | None -> incr misses)
+      | `Add (k, v) ->
+          if cap > 0 && (not (List.mem_assoc k m.entries)) && List.length m.entries >= cap
+          then incr evictions;
+          model_add m cap k v)
+    ops;
+  (m, !hits, !misses, !evictions)
+
+let run_real cap ops =
+  let c = Lru.create ~capacity:cap () in
+  List.iter
+    (fun op ->
+      match op with
+      | `Find k -> ignore (Lru.find c k)
+      | `Add (k, v) -> Lru.add c k v)
+    ops;
+  c
+
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 200)
+      (frequency
+         [
+           (2, map (fun k -> `Find k) (int_range 0 9));
+           (3, map2 (fun k v -> `Add (k, v)) (int_range 0 9) (int_range 0 1000));
+         ]))
+
+let pp_op = function
+  | `Find k -> Printf.sprintf "F%d" k
+  | `Add (k, v) -> Printf.sprintf "A%d=%d" k v
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (cap, ops) ->
+      Printf.sprintf "cap=%d [%s]" cap (String.concat ";" (List.map pp_op ops)))
+    QCheck.Gen.(pair (int_range 0 5) ops_gen)
+
+let prop_model_equivalence =
+  QCheck.Test.make ~count:300 ~name:"lru agrees with MRU-list model" arb_case
+    (fun (cap, ops) ->
+      let c = run_real cap ops in
+      let m, hits, misses, evictions = run_model cap ops in
+      let s = Lru.stats c in
+      if Lru.length c > cap then QCheck.Test.fail_reportf "capacity exceeded: %d > %d" (Lru.length c) cap;
+      if s.Lru.size <> List.length m.entries then
+        QCheck.Test.fail_reportf "size %d, model %d" s.Lru.size (List.length m.entries);
+      List.iter
+        (fun (k, v) ->
+          match Lru.find c k with
+          | Some v' when v' = v -> ()
+          | Some v' -> QCheck.Test.fail_reportf "key %d: value %d, model %d" k v' v
+          | None -> QCheck.Test.fail_reportf "key %d present in model, absent in cache" k)
+        m.entries;
+      for k = 0 to 9 do
+        if (not (List.mem_assoc k m.entries)) && Lru.mem c k then
+          QCheck.Test.fail_reportf "key %d evicted in model, still cached" k
+      done;
+      if (s.Lru.hits, s.Lru.misses, s.Lru.evictions) <> (hits, misses, evictions) then
+        QCheck.Test.fail_reportf "stats (%d,%d,%d) but model (%d,%d,%d)" s.Lru.hits
+          s.Lru.misses s.Lru.evictions hits misses evictions;
+      true)
+
+let prop_counts_reconcile =
+  QCheck.Test.make ~count:100 ~name:"finds and adds reconcile with stats" arb_case
+    (fun (cap, ops) ->
+      let c = run_real cap ops in
+      let s = Lru.stats c in
+      let finds =
+        List.length (List.filter (function `Find _ -> true | _ -> false) ops)
+      in
+      (* Every find is exactly a hit or a miss (unless the cache is
+         disabled, which counts nothing); evictions never exceed adds. *)
+      if cap = 0 then s.Lru.hits = 0 && s.Lru.misses = 0 && s.Lru.evictions = 0
+      else
+        s.Lru.hits + s.Lru.misses = finds
+        && s.Lru.evictions
+           <= List.length (List.filter (function `Add _ -> true | _ -> false) ops))
+
+(* The telemetry mirror: the serve-domain counters advance by exactly the
+   per-instance deltas while collection is enabled. *)
+let test_telemetry_mirror () =
+  Octant.Telemetry.reset ();
+  Octant.Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Octant.Telemetry.disable ();
+      Octant.Telemetry.reset ())
+    (fun () ->
+      let before =
+        ( Octant.Telemetry.Counter.value Octant_serve.Metrics.cache_hits,
+          Octant.Telemetry.Counter.value Octant_serve.Metrics.cache_misses,
+          Octant.Telemetry.Counter.value Octant_serve.Metrics.cache_evictions )
+      in
+      let ops =
+        [ `Add (1, 10); `Find 1; `Find 2; `Add (2, 20); `Add (3, 30); `Find 1; `Add (4, 40) ]
+      in
+      let c = run_real 2 ops in
+      let s = Lru.stats c in
+      let b0, b1, b2 = before in
+      Alcotest.(check int) "hits mirrored"
+        (s.Lru.hits)
+        (Octant.Telemetry.Counter.value Octant_serve.Metrics.cache_hits - b0);
+      Alcotest.(check int) "misses mirrored"
+        (s.Lru.misses)
+        (Octant.Telemetry.Counter.value Octant_serve.Metrics.cache_misses - b1);
+      Alcotest.(check int) "evictions mirrored"
+        (s.Lru.evictions)
+        (Octant.Telemetry.Counter.value Octant_serve.Metrics.cache_evictions - b2))
+
+(* A cached localization result replays bit-identically. *)
+let test_cached_equals_fresh () =
+  let rng = Stats.Rng.create 4417 in
+  let landmarks =
+    Array.init 7 (fun i ->
+        {
+          Octant.Pipeline.lm_key = i;
+          lm_position =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 34.0 46.0)
+              ~lon:(Stats.Rng.uniform rng (-115.0) (-80.0));
+        })
+  in
+  let rtt a b =
+    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
+    (1.4 *. prop) +. 2.0 +. Stats.Rng.uniform rng 0.0 2.0
+  in
+  let inter = Array.make_matrix 7 7 0.0 in
+  for i = 0 to 6 do
+    for j = i + 1 to 6 do
+      let v =
+        rtt landmarks.(i).Octant.Pipeline.lm_position landmarks.(j).Octant.Pipeline.lm_position
+      in
+      inter.(i).(j) <- v;
+      inter.(j).(i) <- v
+    done
+  done;
+  let truth = Geo.Geodesy.coord ~lat:39.0 ~lon:(-95.0) in
+  let obs =
+    Octant.Pipeline.observations_of_rtts
+      (Array.map (fun l -> rtt l.Octant.Pipeline.lm_position truth) landmarks)
+  in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let key = Octant_serve.Protocol.cache_key obs in
+  let cache = Lru.create ~capacity:8 () in
+  let fresh = Octant.Pipeline.localize ctx obs in
+  Lru.add cache key fresh;
+  match Lru.find cache key with
+  | None -> Alcotest.fail "cached estimate not found"
+  | Some replayed ->
+      let again = Octant.Pipeline.localize ctx obs in
+      Alcotest.(check bool) "replay is the stored estimate" true (replayed == fresh);
+      Alcotest.(check (float 0.0)) "lat" again.Octant.Estimate.point.Geo.Geodesy.lat
+        replayed.Octant.Estimate.point.Geo.Geodesy.lat;
+      Alcotest.(check (float 0.0)) "lon" again.Octant.Estimate.point.Geo.Geodesy.lon
+        replayed.Octant.Estimate.point.Geo.Geodesy.lon;
+      Alcotest.(check (float 0.0)) "area" again.Octant.Estimate.area_km2
+        replayed.Octant.Estimate.area_km2
+
+let suite =
+  [
+    ( "lru",
+      [
+        QCheck_alcotest.to_alcotest prop_model_equivalence;
+        QCheck_alcotest.to_alcotest prop_counts_reconcile;
+        Alcotest.test_case "telemetry counters mirror instance stats" `Quick
+          test_telemetry_mirror;
+        Alcotest.test_case "cached reply equals a fresh computation" `Quick
+          test_cached_equals_fresh;
+      ] );
+  ]

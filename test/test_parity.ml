@@ -1,0 +1,130 @@
+(* Parity pins between the single-target entry points and the batch
+   engine: [localize_one] and [localize_audited] (added alongside the
+   batch result-per-slot change) must agree with [localize] and with the
+   matching [localize_batch] slot, field for field, at every jobs
+   setting.  Nothing else in the suite pinned these together. *)
+
+let n_landmarks = 12
+let n_targets = 5
+let bad_target = 2
+
+let topology () =
+  let rng = Stats.Rng.create 90217 in
+  let landmarks =
+    Array.init n_landmarks (fun i ->
+        {
+          Octant.Pipeline.lm_key = i;
+          lm_position =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 33.0 47.0)
+              ~lon:(Stats.Rng.uniform rng (-119.0) (-77.0));
+        })
+  in
+  let rtt a b =
+    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
+    (1.38 *. prop) +. 1.8 +. Stats.Rng.uniform rng 0.0 3.5
+  in
+  let inter = Array.make_matrix n_landmarks n_landmarks 0.0 in
+  for i = 0 to n_landmarks - 1 do
+    for j = i + 1 to n_landmarks - 1 do
+      let v =
+        rtt landmarks.(i).Octant.Pipeline.lm_position landmarks.(j).Octant.Pipeline.lm_position
+      in
+      inter.(i).(j) <- v;
+      inter.(j).(i) <- v
+    done
+  done;
+  let obs =
+    Array.init n_targets (fun t ->
+        if t = bad_target then Octant.Pipeline.observations_of_rtts (Array.make n_landmarks (-1.0))
+        else begin
+          let truth =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 35.0 44.0)
+              ~lon:(Stats.Rng.uniform rng (-112.0) (-83.0))
+          in
+          Octant.Pipeline.observations_of_rtts
+            (Array.map (fun l -> rtt l.Octant.Pipeline.lm_position truth) landmarks)
+        end)
+  in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  (ctx, obs)
+
+(* Everything except [solve_time_s], which is a stopwatch reading. *)
+let check_same_estimate what (a : Octant.Estimate.t) (b : Octant.Estimate.t) =
+  let same =
+    a.Octant.Estimate.point = b.Octant.Estimate.point
+    && a.Octant.Estimate.point_plane = b.Octant.Estimate.point_plane
+    && a.Octant.Estimate.area_km2 = b.Octant.Estimate.area_km2
+    && a.Octant.Estimate.top_weight = b.Octant.Estimate.top_weight
+    && a.Octant.Estimate.cells_used = b.Octant.Estimate.cells_used
+    && a.Octant.Estimate.constraints_used = b.Octant.Estimate.constraints_used
+    && a.Octant.Estimate.target_height_ms = b.Octant.Estimate.target_height_ms
+  in
+  if not same then Alcotest.failf "%s: estimates diverge" what
+
+let test_localize_one_parity () =
+  let ctx, obs = topology () in
+  Array.iteri
+    (fun i o ->
+      match Octant.Pipeline.localize_one ctx o with
+      | Ok est ->
+          if i = bad_target then Alcotest.failf "target %d: expected Error, got Ok" i;
+          check_same_estimate
+            (Printf.sprintf "localize_one target %d" i)
+            (Octant.Pipeline.localize ctx o) est
+      | Error reason ->
+          if i <> bad_target then Alcotest.failf "target %d: unexpected Error %s" i reason)
+    obs
+
+let test_localize_audited_parity () =
+  let ctx, obs = topology () in
+  Array.iteri
+    (fun i o ->
+      if i <> bad_target then begin
+        let est, audit = Octant.Pipeline.localize_audited ctx o in
+        check_same_estimate (Printf.sprintf "localize_audited target %d" i)
+          (Octant.Pipeline.localize ctx o) est;
+        Alcotest.(check int)
+          (Printf.sprintf "target %d: one audit entry per ingested constraint" i)
+          est.Octant.Estimate.constraints_used (List.length audit);
+        (* The audit must be real: at least one constraint discriminated. *)
+        if not (List.exists (fun e -> e.Octant.Telemetry.Audit.shrank) audit) then
+          Alcotest.failf "target %d: no constraint shrank anything" i
+      end)
+    obs
+
+let test_batch_slot_parity () =
+  let ctx, obs = topology () in
+  let direct = Array.map (Octant.Pipeline.localize_one ctx) obs in
+  List.iter
+    (fun jobs ->
+      let batch = Octant.Pipeline.localize_batch ~jobs ctx obs in
+      Alcotest.(check int) "slot count" (Array.length direct) (Array.length batch);
+      Array.iteri
+        (fun i slot ->
+          match (direct.(i), slot) with
+          | Ok a, Ok b ->
+              check_same_estimate (Printf.sprintf "batch slot %d (jobs=%d)" i jobs) a b
+          | Error a, Error b ->
+              Alcotest.(check string)
+                (Printf.sprintf "slot %d error reason (jobs=%d)" i jobs)
+                a b
+          | Ok _, Error e ->
+              Alcotest.failf "slot %d (jobs=%d): direct Ok but batch Error %s" i jobs e
+          | Error e, Ok _ ->
+              Alcotest.failf "slot %d (jobs=%d): direct Error %s but batch Ok" i jobs e)
+        batch)
+    [ 1; 4 ]
+
+let suite =
+  [
+    ( "parity",
+      [
+        Alcotest.test_case "localize_one matches localize" `Quick test_localize_one_parity;
+        Alcotest.test_case "localize_audited matches localize + full audit" `Quick
+          test_localize_audited_parity;
+        Alcotest.test_case "batch slots match localize_one at jobs 1 and 4" `Slow
+          test_batch_slot_parity;
+      ] );
+  ]

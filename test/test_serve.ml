@@ -1,0 +1,416 @@
+(* End-to-end harness for the localization daemon.
+
+   The load-bearing property: every bit of every service reply is
+   reproducible by a direct [Pipeline.localize_batch] over the same
+   (quantized) observations — the daemon adds batching, caching, and a
+   wire format, never a different answer.  Concurrent clients hammer an
+   in-process server, their replies are collected, and each field is
+   compared for exact float equality against the matching direct batch
+   slot (the [%.17g] printer round-trips binary64, so string transport
+   loses nothing).
+
+   The failure-mode paths get their own deterministic tests: deadline
+   expiry (coalescing window much longer than the deadline), load
+   shedding (queue of one, slow window, second request must be refused
+   explicitly), audit round-trip, and graceful drain (queued work is
+   still answered after a shutdown frame). *)
+
+module Json = Octant_serve.Json
+module Protocol = Octant_serve.Protocol
+module Server = Octant_serve.Server
+
+let n_landmarks = 12
+
+let make_ctx () =
+  let rng = Stats.Rng.create 55801 in
+  let landmarks =
+    Array.init n_landmarks (fun i ->
+        {
+          Octant.Pipeline.lm_key = i;
+          lm_position =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 32.0 46.0)
+              ~lon:(Stats.Rng.uniform rng (-118.0) (-78.0));
+        })
+  in
+  let rtt a b =
+    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
+    (1.37 *. prop) +. 2.2 +. Stats.Rng.uniform rng 0.0 2.5
+  in
+  let inter = Array.make_matrix n_landmarks n_landmarks 0.0 in
+  for i = 0 to n_landmarks - 1 do
+    for j = i + 1 to n_landmarks - 1 do
+      let v =
+        rtt landmarks.(i).Octant.Pipeline.lm_position landmarks.(j).Octant.Pipeline.lm_position
+      in
+      inter.(i).(j) <- v;
+      inter.(j).(i) <- v
+    done
+  done;
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let target_rtts truth = Array.map (fun l -> rtt l.Octant.Pipeline.lm_position truth) landmarks in
+  (ctx, rng, target_rtts)
+
+(* ---- tiny line-oriented client ---- *)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let roundtrip ic oc line =
+  send oc line;
+  input_line ic
+
+let parse_reply raw =
+  match Json.of_string raw with
+  | Ok json -> json
+  | Error e -> Alcotest.failf "unparseable reply %S: %s" raw e
+
+let fnum reply name =
+  match Option.bind (Json.member name reply) Json.to_float with
+  | Some f -> f
+  | None -> Alcotest.failf "reply lacks numeric %S: %s" name (Json.to_string reply)
+
+let bmem reply name =
+  match Json.member name reply with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "reply lacks boolean %S: %s" name (Json.to_string reply)
+
+let localize_line ?(audit = false) ~id rtts =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", Json.Str id);
+          ("rtt_ms", Json.List (Array.to_list (Array.map Json.num rtts)));
+        ]
+       @ if audit then [ ("audit", Json.Bool true) ] else []))
+
+(* Exact-equality pin of a reply field against the direct estimate. *)
+let check_field what name expected got =
+  if not (expected = got) then
+    Alcotest.failf "%s: %s diverges (direct %h, wire %h)" what name expected got
+
+let check_reply_matches what (est : Octant.Estimate.t) reply =
+  Alcotest.(check string) (what ^ ": status") "ok" (Protocol.status_of reply);
+  check_field what "lat" est.Octant.Estimate.point.Geo.Geodesy.lat (fnum reply "lat");
+  check_field what "lon" est.Octant.Estimate.point.Geo.Geodesy.lon (fnum reply "lon");
+  check_field what "area_km2" est.Octant.Estimate.area_km2 (fnum reply "area_km2");
+  check_field what "error_radius_km" (Protocol.error_radius_km est)
+    (fnum reply "error_radius_km");
+  check_field what "top_weight" est.Octant.Estimate.top_weight (fnum reply "top_weight");
+  check_field what "cells_used"
+    (float_of_int est.Octant.Estimate.cells_used)
+    (fnum reply "cells_used");
+  check_field what "constraints_used"
+    (float_of_int est.Octant.Estimate.constraints_used)
+    (fnum reply "constraints_used");
+  check_field what "height_ms" est.Octant.Estimate.target_height_ms (fnum reply "height_ms")
+
+let obs_of_rtts rtts =
+  Protocol.observations_of
+    { Protocol.id = Json.Null; rtt_ms = rtts; whois = None; deadline_ms = None; want_audit = false }
+
+(* ---- the main event: concurrent clients, bit-identical replies ---- *)
+
+let n_clients = 4
+let requests_per_client = 5
+
+let test_e2e_bit_identical () =
+  let ctx, rng, target_rtts = make_ctx () in
+  (* Unique targets per (client, slot): pass 1 misses, pass 2 hits. *)
+  let jobs_of_client =
+    Array.init n_clients (fun c ->
+        Array.init requests_per_client (fun r ->
+            let truth =
+              Geo.Geodesy.coord
+                ~lat:(Stats.Rng.uniform rng 34.0 44.0)
+                ~lon:(Stats.Rng.uniform rng (-112.0) (-82.0))
+            in
+            (Printf.sprintf "c%d-r%d" c r, target_rtts truth)))
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = Some 2;
+      batch_delay_s = 0.004;
+      cache_capacity = 1024;
+    }
+  in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let results : (string * string) list array = Array.make n_clients [] in
+      let client c () =
+        let fd, ic, oc = connect port in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let replies = ref [] in
+            (* Two passes over the same requests: the second must be
+               served from the cache, still bit-identical. *)
+            for pass = 1 to 2 do
+              Array.iter
+                (fun (tag, rtts) ->
+                  let raw = roundtrip ic oc (localize_line ~id:tag rtts) in
+                  replies := (Printf.sprintf "%s/p%d" tag pass, raw) :: !replies)
+                jobs_of_client.(c)
+            done;
+            results.(c) <- List.rev !replies)
+      in
+      let threads = Array.init n_clients (fun c -> Thread.create (client c) ()) in
+      Array.iter Thread.join threads;
+      (* Direct ground truth: one localize_batch over every distinct
+         request, exactly what the server is specified to equal. *)
+      let tags = ref [] and obs = ref [] in
+      Array.iter
+        (Array.iter (fun (tag, rtts) ->
+             tags := tag :: !tags;
+             obs := obs_of_rtts rtts :: !obs))
+        jobs_of_client;
+      let tags = Array.of_list (List.rev !tags) in
+      let direct = Octant.Pipeline.localize_batch ~jobs:2 ctx (Array.of_list (List.rev !obs)) in
+      let slot_of_tag = Hashtbl.create 32 in
+      Array.iteri (fun i tag -> Hashtbl.replace slot_of_tag tag direct.(i)) tags;
+      let checked = ref 0 in
+      Array.iter
+        (List.iter (fun (tagged, raw) ->
+             let tag = List.hd (String.split_on_char '/' tagged) in
+             let reply = parse_reply raw in
+             (match Json.member "id" reply with
+             | Some (Json.Str id) -> Alcotest.(check string) "id echoed" tag id
+             | _ -> Alcotest.failf "%s: id not echoed in %s" tagged raw);
+             match Hashtbl.find slot_of_tag tag with
+             | Ok est ->
+                 check_reply_matches tagged est reply;
+                 incr checked;
+                 if String.length tagged > 2 && String.sub tagged (String.length tagged - 2) 2 = "p2"
+                 then
+                   Alcotest.(check bool) (tagged ^ ": second pass cached") true
+                     (bmem reply "cached")
+             | Error reason ->
+                 Alcotest.(check string) (tagged ^ ": status") "error" (Protocol.status_of reply);
+                 (match Json.member "reason" reply with
+                 | Some (Json.Str r) -> Alcotest.(check string) (tagged ^ ": reason") reason r
+                 | _ -> Alcotest.failf "%s: error reply lacks reason" tagged);
+                 incr checked))
+        results;
+      Alcotest.(check int) "every reply checked"
+        (n_clients * requests_per_client * 2)
+        !checked;
+      (* A malformed observation travels the same path and must fail with
+         the exact error string of the direct engine. *)
+      let bad = Array.make (n_landmarks - 3) 25.0 in
+      let direct_err =
+        match Octant.Pipeline.localize_one ctx (obs_of_rtts bad) with
+        | Error e -> e
+        | Ok _ -> Alcotest.fail "short RTT vector unexpectedly localized"
+      in
+      let fd, ic, oc = connect port in
+      let reply = parse_reply (roundtrip ic oc (localize_line ~id:"bad" bad)) in
+      Alcotest.(check string) "bad vector status" "error" (Protocol.status_of reply);
+      (match Json.member "reason" reply with
+      | Some (Json.Str r) -> Alcotest.(check string) "bad vector reason parity" direct_err r
+      | _ -> Alcotest.fail "bad vector: no reason");
+      Unix.close fd)
+
+(* ---- audit round-trip ---- *)
+
+let test_audit_roundtrip () =
+  let ctx, rng, target_rtts = make_ctx () in
+  let truth =
+    Geo.Geodesy.coord
+      ~lat:(Stats.Rng.uniform rng 36.0 42.0)
+      ~lon:(Stats.Rng.uniform rng (-105.0) (-88.0))
+  in
+  let rtts = target_rtts truth in
+  let config = { Server.default_config with Server.batch_delay_s = 0.0 } in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let fd, ic, oc = connect (Server.port srv) in
+      let reply = parse_reply (roundtrip ic oc (localize_line ~audit:true ~id:"a" rtts)) in
+      Unix.close fd;
+      let direct_est, direct_audit = Octant.Pipeline.localize_audited ctx (obs_of_rtts rtts) in
+      check_reply_matches "audited reply" direct_est reply;
+      match Json.member "audit" reply with
+      | Some (Json.List entries) ->
+          Alcotest.(check int) "audit length" (List.length direct_audit) (List.length entries);
+          List.iter2
+            (fun (d : Obs.Telemetry.Audit.entry) e ->
+              let str name =
+                match Json.member name e with Some (Json.Str s) -> s | _ -> "<missing>"
+              in
+              Alcotest.(check string) "audit source" d.Obs.Telemetry.Audit.source (str "source");
+              Alcotest.(check string) "audit polarity" d.Obs.Telemetry.Audit.polarity
+                (str "polarity");
+              check_field "audit" "weight" d.Obs.Telemetry.Audit.weight (fnum e "weight");
+              check_field "audit" "cells_before"
+                (float_of_int d.Obs.Telemetry.Audit.cells_before)
+                (fnum e "cells_before");
+              check_field "audit" "cells_after"
+                (float_of_int d.Obs.Telemetry.Audit.cells_after)
+                (fnum e "cells_after");
+              Alcotest.(check bool) "audit shrank" d.Obs.Telemetry.Audit.shrank
+                (match Json.member "shrank" e with Some (Json.Bool b) -> b | _ -> false))
+            direct_audit entries
+      | _ -> Alcotest.failf "no audit array in %s" (Json.to_string reply))
+
+(* ---- deadline expiry ---- *)
+
+let test_deadline_expiry () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:39.0 ~lon:(-96.0)) in
+  (* Coalescing window (250 ms) dwarfs the request deadline (50 ms): by
+     dispatch time the request has expired and must say so. *)
+  let config =
+    { Server.default_config with Server.batch_delay_s = 0.25; cache_capacity = 0 }
+  in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let fd, ic, oc = connect (Server.port srv) in
+      let line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", Json.Str "hurry");
+               ("rtt_ms", Json.List (Array.to_list (Array.map Json.num rtts)));
+               ("deadline_ms", Json.num 50.0);
+             ])
+      in
+      let reply = parse_reply (roundtrip ic oc line) in
+      Alcotest.(check string) "expired status" "expired" (Protocol.status_of reply);
+      (* No deadline: the same request on the same connection succeeds. *)
+      let reply2 = parse_reply (roundtrip ic oc (localize_line ~id:"calm" rtts)) in
+      Alcotest.(check string) "no-deadline request ok" "ok" (Protocol.status_of reply2);
+      Unix.close fd)
+
+(* ---- load shedding ---- *)
+
+let test_overload_shed () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:40.0 ~lon:(-100.0)) in
+  (* One queue slot and a long coalescing window: the first request parks
+     in the queue; the second must be shed with an explicit reply, never
+     a silent hang. *)
+  let config =
+    {
+      Server.default_config with
+      Server.max_queue = 1;
+      batch_delay_s = 0.4;
+      cache_capacity = 0;
+    }
+  in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let fd_a, ic_a, oc_a = connect port in
+      send oc_a (localize_line ~id:"first" rtts);
+      Thread.delay 0.1;
+      (* Inside A's coalescing window: the queue is full. *)
+      let fd_b, ic_b, oc_b = connect port in
+      let t0 = Unix.gettimeofday () in
+      let reply_b = parse_reply (roundtrip ic_b oc_b (localize_line ~id:"second" rtts)) in
+      let shed_latency = Unix.gettimeofday () -. t0 in
+      Alcotest.(check string) "second request shed" "overloaded" (Protocol.status_of reply_b);
+      if shed_latency > 0.25 then
+        Alcotest.failf "load shed took %.0f ms — not an admission-time refusal"
+          (shed_latency *. 1000.0);
+      let reply_a = parse_reply (input_line ic_a) in
+      Alcotest.(check string) "queued request still answered" "ok" (Protocol.status_of reply_a);
+      Unix.close fd_a;
+      Unix.close fd_b)
+
+(* ---- graceful drain: shutdown frame answers queued work ---- *)
+
+let test_shutdown_drains () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:38.0 ~lon:(-90.0)) in
+  let config =
+    { Server.default_config with Server.batch_delay_s = 0.3; cache_capacity = 0 }
+  in
+  let srv = Server.start ~config ~ctx () in
+  let port = Server.port srv in
+  let fd_a, ic_a, oc_a = connect port in
+  send oc_a (localize_line ~id:"inflight" rtts);
+  Thread.delay 0.05;
+  (* The request is parked in the coalescing window; now ask the server
+     to shut down. *)
+  let fd_b, ic_b, oc_b = connect port in
+  let reply_b = parse_reply (roundtrip ic_b oc_b {|{"op":"shutdown"}|}) in
+  Alcotest.(check string) "shutdown acknowledged" "draining" (Protocol.status_of reply_b);
+  Server.wait srv;
+  (* Collect A's reply concurrently with the drain: stop joins the
+     handler that writes it. *)
+  let a_reply = ref None in
+  let reader = Thread.create (fun () -> a_reply := Some (input_line ic_a)) () in
+  Server.stop srv;
+  Thread.join reader;
+  (match !a_reply with
+  | Some raw ->
+      Alcotest.(check string) "queued request answered during drain" "ok"
+        (Protocol.status_of (parse_reply raw))
+  | None -> Alcotest.fail "no reply to the in-flight request");
+  Unix.close fd_a;
+  Unix.close fd_b
+
+(* ---- control frames ---- *)
+
+let test_control_frames () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:41.0 ~lon:(-93.0)) in
+  let config = { Server.default_config with Server.batch_delay_s = 0.0 } in
+  (* The serve counters (like every telemetry counter) only record while
+     collection is on — exactly how the daemon runs under --telemetry. *)
+  Obs.Telemetry.reset ();
+  Obs.Telemetry.enable ();
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Obs.Telemetry.disable ();
+      Obs.Telemetry.reset ())
+    (fun () ->
+      let fd, ic, oc = connect (Server.port srv) in
+      let pong = parse_reply (roundtrip ic oc {|{"op":"ping"}|}) in
+      Alcotest.(check string) "ping" "pong" (Protocol.status_of pong);
+      ignore (parse_reply (roundtrip ic oc (localize_line ~id:"s1" rtts)));
+      ignore (parse_reply (roundtrip ic oc (localize_line ~id:"s1" rtts)));
+      let stats = parse_reply (roundtrip ic oc {|{"op":"stats"}|}) in
+      Alcotest.(check string) "stats status" "stats" (Protocol.status_of stats);
+      if fnum stats "requests" < 2.0 then
+        Alcotest.failf "stats undercounts requests: %s" (Json.to_string stats);
+      (match Json.member "cache" stats with
+      | Some cache ->
+          if fnum cache "hits" < 1.0 then
+            Alcotest.failf "repeat request did not hit the cache: %s" (Json.to_string stats)
+      | None -> Alcotest.fail "stats reply lacks cache block");
+      if fnum stats "live_connections" < 1.0 then
+        Alcotest.fail "stats reply does not count this connection";
+      Unix.close fd)
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "concurrent e2e replies bit-identical to direct batch" `Slow
+          test_e2e_bit_identical;
+        Alcotest.test_case "audit round-trips field-for-field" `Quick test_audit_roundtrip;
+        Alcotest.test_case "deadline expiry is explicit" `Quick test_deadline_expiry;
+        Alcotest.test_case "overload sheds with an explicit reply" `Quick test_overload_shed;
+        Alcotest.test_case "shutdown frame drains queued work" `Quick test_shutdown_drains;
+        Alcotest.test_case "ping and stats frames" `Quick test_control_frames;
+      ] );
+  ]

@@ -1,0 +1,234 @@
+(* Protocol fuzzing, at two layers.
+
+   Decoder layer: qcheck throws arbitrary byte strings at the JSON parser
+   (totality — it may reject, never raise or hang) and round-trips
+   generated values through print/parse (bit-exact, including float
+   payloads — the property the service parity harness leans on).
+
+   Server layer: a live daemon is fed random bytes, truncated frames,
+   oversized frames, and valid-JSON-wrong-shape frames.  Every complete
+   frame must come back as exactly one structured error reply, the
+   connection must stay usable (a valid request afterwards succeeds),
+   and no socket may leak (live connection count returns to zero). *)
+
+module Json = Octant_serve.Json
+module Protocol = Octant_serve.Protocol
+module Server = Octant_serve.Server
+
+(* ---- decoder totality ---- *)
+
+let prop_parser_total =
+  QCheck.Test.make ~count:2000 ~name:"Json.of_string never raises"
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ | Error _ -> true
+      | exception e -> QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e))
+
+(* ---- print/parse round trip ---- *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let interesting_floats =
+    [ 0.0; -0.0; 1.0; -1.5; 1e-300; 1e300; 0.1; 12.345678901234567; 1024.0; -3.25e-7 ]
+  in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.num f) (oneof [ oneofl interesting_floats; float ]);
+        map (fun s -> Json.Str s) (string_size ~gen:(char_range '\000' '\255') (int_range 0 20));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map (fun xs -> Json.List xs) (list_size (int_range 0 5) (self (depth - 1))));
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_range 0 5)
+                   (pair (string_size ~gen:printable (int_range 0 8)) (self (depth - 1)))) );
+          ])
+    3
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"to_string/of_string round-trips bit-exactly"
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' ->
+          Json.equal v v'
+          || QCheck.Test.fail_reportf "reparsed to %s" (Json.to_string v')
+      | Error e -> QCheck.Test.fail_reportf "own output rejected: %s" e)
+
+(* ---- live-server fuzz ---- *)
+
+let mini_ctx () =
+  let rng = Stats.Rng.create 7013 in
+  let n = 6 in
+  let landmarks =
+    Array.init n (fun i ->
+        {
+          Octant.Pipeline.lm_key = i;
+          lm_position =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 35.0 45.0)
+              ~lon:(Stats.Rng.uniform rng (-110.0) (-85.0));
+        })
+  in
+  let rtt a b =
+    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
+    (1.4 *. prop) +. 2.0 +. Stats.Rng.uniform rng 0.0 2.0
+  in
+  let inter = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v =
+        rtt landmarks.(i).Octant.Pipeline.lm_position landmarks.(j).Octant.Pipeline.lm_position
+      in
+      inter.(i).(j) <- v;
+      inter.(j).(i) <- v
+    done
+  done;
+  Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter ()
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let request_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let valid_request = {|{"id":"probe","rtt_ms":[21.5,33.0,18.25,40.0,26.5,31.0]}|}
+
+(* One frame the server must answer with a structured error. *)
+let wrong_shape_pool =
+  [
+    "[1,2,3]";
+    "\"just a string\"";
+    "42";
+    "null";
+    "{}";
+    {|{"op":"launch_missiles"}|};
+    {|{"op":42}|};
+    {|{"rtt_ms":"not an array"}|};
+    {|{"rtt_ms":[1,"a",3]}|};
+    {|{"rtt_ms":[1,2,3],"deadline_ms":"soon"}|};
+    {|{"rtt_ms":[1,2,3],"whois":17}|};
+    {|{"rtt_ms":[1,2,3],"whois":{"lat":999,"lon":0}}|};
+    {|{"rtt_ms":[null]}|};
+  ]
+
+let garbage_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (* raw bytes, newline-free so they form one frame *)
+        map
+          (fun s ->
+            String.map (function '\n' | '\r' -> ' ' | c -> c) s)
+          (string_size ~gen:(char_range '\001' '\255') (int_range 1 80));
+        oneofl wrong_shape_pool;
+        (* almost-JSON: truncate a valid request mid-frame *)
+        map (fun k -> String.sub valid_request 0 (1 + (k mod (String.length valid_request - 1))))
+          (int_range 1 1000);
+      ])
+
+let fuzz_server () =
+  let ctx = mini_ctx () in
+  let config =
+    {
+      Server.default_config with
+      Server.max_frame_bytes = 4096;
+      batch_delay_s = 0.0;
+      cache_capacity = 16;
+    }
+  in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      (* Deterministic qcheck run over batches of garbage frames, all on
+         one connection, each answered before the next is sent. *)
+      let prop =
+        QCheck.Test.make ~count:60 ~name:"garbage frames get structured errors"
+          (QCheck.make
+             ~print:(fun l -> String.concat " | " l)
+             QCheck.Gen.(list_size (int_range 1 5) garbage_gen))
+          (fun frames ->
+            let fd, ic, oc = connect port in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                List.for_all
+                  (fun frame ->
+                    request_line oc frame;
+                    match input_line ic with
+                    | reply -> (
+                        match Json.of_string reply with
+                        | Ok json -> Protocol.status_of json = "error"
+                        | Error e ->
+                            QCheck.Test.fail_reportf "unparseable reply %S: %s" reply e)
+                    | exception End_of_file ->
+                        QCheck.Test.fail_reportf "server closed on frame %S" frame)
+                  frames
+                &&
+                (* The connection (and the whole server) must still work. *)
+                (request_line oc valid_request;
+                 match Json.of_string (input_line ic) with
+                 | Ok json -> Protocol.status_of json = "ok"
+                 | Error e -> QCheck.Test.fail_reportf "post-garbage reply bad: %s" e)))
+      in
+      QCheck.Test.check_exn ~rand:(Random.State.make [| 20260806 |]) prop;
+      (* Oversized frame: a structured error, then the line's remainder is
+         discarded and the connection keeps serving. *)
+      let fd, ic, oc = connect port in
+      request_line oc (String.make 8000 'a');
+      (match Json.of_string (input_line ic) with
+      | Ok json ->
+          Alcotest.(check string) "oversized frame rejected" "error" (Protocol.status_of json)
+      | Error e -> Alcotest.failf "oversized reply unparseable: %s" e);
+      request_line oc valid_request;
+      (match Json.of_string (input_line ic) with
+      | Ok json -> Alcotest.(check string) "still serving" "ok" (Protocol.status_of json)
+      | Error e -> Alcotest.failf "post-oversize reply unparseable: %s" e);
+      Unix.close fd;
+      (* Truncated frame then hangup: no reply owed, no crash, no leak. *)
+      let fd2, _, oc2 = connect port in
+      output_string oc2 {|{"rtt_ms":[1,2|};
+      flush oc2;
+      Unix.close fd2;
+      (* All fuzz connections are closed; the server must notice every
+         one of them (no leaked socket). *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Server.live_connections srv > 0 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.01
+      done;
+      Alcotest.(check int) "no leaked connections" 0 (Server.live_connections srv);
+      (* And it still answers a fresh client. *)
+      let fd3, ic3, oc3 = connect port in
+      request_line oc3 {|{"op":"ping"}|};
+      (match Json.of_string (input_line ic3) with
+      | Ok json -> Alcotest.(check string) "alive after fuzz" "pong" (Protocol.status_of json)
+      | Error e -> Alcotest.failf "ping reply unparseable: %s" e);
+      Unix.close fd3)
+
+let suite =
+  [
+    ( "wire-fuzz",
+      [
+        QCheck_alcotest.to_alcotest prop_parser_total;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+        Alcotest.test_case "live server survives garbage" `Slow fuzz_server;
+      ] );
+  ]
