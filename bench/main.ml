@@ -8,6 +8,7 @@
      dune exec bench/main.exe ablation   -- per-mechanism ablation
      dune exec bench/main.exe timing     -- end-to-end solution times
      dune exec bench/main.exe batch      -- multicore batch engine, sequential vs N domains
+     dune exec bench/main.exe geom       -- clip kernels: buffer vs list reference, alloc/op
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
 
    Absolute numbers come from the simulator substrate, not PlanetLab; the
@@ -196,6 +197,16 @@ let batch () =
       signatures := (jobs, Octant.Telemetry.deterministic_signature snap) :: !signatures;
       last_snapshot := Some snap;
       let identical = Array.for_all2 same_result seq ests in
+      let gc_counter name =
+        match
+          List.find_opt
+            (fun c -> c.Octant.Telemetry.c_domain = "gc" && c.Octant.Telemetry.c_name = name)
+            snap.Octant.Telemetry.counters
+        with
+        | Some c -> c.Octant.Telemetry.c_value
+        | None -> 0
+      in
+      let minor_words = gc_counter "minor_words" and major_words = gc_counter "major_words" in
       json_rows :=
         Json.Obj
           [
@@ -204,12 +215,17 @@ let batch () =
             ("targets_per_s", Json.num (float_of_int n_targets /. t));
             ("speedup", Json.num (t_seq /. t));
             ("identical", Json.Bool identical);
+            ("gc_minor_words", Json.Num (float_of_int minor_words));
+            ("gc_major_words", Json.Num (float_of_int major_words));
           ]
         :: !json_rows;
-      Printf.printf "  localize_batch ~jobs:%-3d %6.2fs   identical: %s   speedup: %.2fx\n%!"
+      Printf.printf
+        "  localize_batch ~jobs:%-3d %6.2fs   identical: %s   speedup: %.2fx   \
+         alloc: %.0fM minor words\n%!"
         jobs t
         (if identical then "yes" else "NO")
-        (t_seq /. t))
+        (t_seq /. t)
+        (float_of_int minor_words /. 1e6))
     [ 1; 4 ];
   (* Stage breakdown from the last (jobs=4) run: where the wall time went.
      Span totals sum CPU seconds across domains, so they exceed the wall
@@ -229,17 +245,21 @@ let batch () =
       let span_total path =
         (* Exact path: a span's total already includes its children. *)
         List.fold_left
-          (fun (n, s) (v : Octant.Telemetry.span_view) ->
+          (fun (n, s, w) (v : Octant.Telemetry.span_view) ->
             if v.Octant.Telemetry.s_path = path then
-              (n + v.Octant.Telemetry.s_count, s +. v.Octant.Telemetry.s_total_s)
-            else (n, s))
-          (0, 0.0) snap.Octant.Telemetry.spans
+              ( n + v.Octant.Telemetry.s_count,
+                s +. v.Octant.Telemetry.s_total_s,
+                w + v.Octant.Telemetry.s_minor_words )
+            else (n, s, w))
+          (0, 0.0, 0) snap.Octant.Telemetry.spans
       in
-      Printf.printf "  stage breakdown (jobs=4, CPU seconds summed across domains):\n";
+      Printf.printf
+        "  stage breakdown (jobs=4, CPU seconds and minor words summed across domains):\n";
       List.iter
         (fun (label, path) ->
-          let n, s = span_total path in
-          Printf.printf "    %-22s %8.2fs  x%d\n" label s n)
+          let n, s, w = span_total path in
+          Printf.printf "    %-22s %8.2fs  x%-6d %8.0fM words\n" label s n
+            (float_of_int w /. 1e6))
         [
           ("prepare_target", "localize/prepare_target");
           ("solver add", "localize/add_constraints");
@@ -286,9 +306,179 @@ let batch () =
          ("bench", Json.Str "batch");
          ("landmarks", Json.Num (float_of_int n_lm));
          ("targets", Json.Num (float_of_int n_targets));
+         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
          ("sequential_s", Json.num t_seq);
          ("rows", Json.List (List.rev !json_rows));
          ("deterministic_signature_match", Json.Bool (sig1 = sig4));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Geometry kernels *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput and allocation of the clip kernels, the production buffer
+   implementation against the list-based reference kept under
+   test/geom_reference.  Both produce bit-identical polygons (the
+   clip-equivalence property suite asserts it); the only difference is the
+   allocation discipline, which is exactly what this target tracks: the
+   words-per-op ratio is the regression guard for the multicore batch
+   engine, whose scaling dies by minor-GC stop-the-world when the kernels
+   start consing again. *)
+let geom () =
+  banner "GEOM: clip kernel throughput and allocation, buffer vs list-based reference";
+  let segments = 48 in
+  let n_items = 120 in
+  let reps = 3 in
+  let rng = Stats.Rng.create 23 in
+  (* The pipeline's actual shape population: 48-segment disks and annuli
+     (convex fast path and Greiner-Hormann general path respectively). *)
+  let mk_pieces () =
+    let center =
+      Geo.Point.make
+        (Stats.Rng.uniform rng (-250.0) 250.0)
+        (Stats.Rng.uniform rng (-250.0) 250.0)
+    in
+    if Stats.Rng.bool rng then
+      Geo.Region.pieces
+        (Geo.Region.disk ~segments ~center ~radius:(Stats.Rng.uniform rng 150.0 450.0) ())
+    else begin
+      let r_inner = Stats.Rng.uniform rng 80.0 250.0 in
+      Geo.Region.pieces
+        (Geo.Region.annulus ~segments ~center ~r_inner
+           ~r_outer:(r_inner +. Stats.Rng.uniform rng 80.0 250.0)
+           ())
+    end
+  in
+  let pairs = Array.init n_items (fun _ -> (mk_pieces (), mk_pieces ())) in
+  (* Raw rings with a closing repeat, for the tessellation (of_points +
+     dedup) row. *)
+  let rings =
+    Array.init n_items (fun _ ->
+        let r = Stats.Rng.uniform rng 100.0 400.0 in
+        let cx = Stats.Rng.uniform rng (-250.0) 250.0 in
+        let cy = Stats.Rng.uniform rng (-250.0) 250.0 in
+        Array.init (segments + 1) (fun i ->
+            let i = i mod segments in
+            let th = 2.0 *. Float.pi *. float_of_int i /. float_of_int segments in
+            Geo.Point.make (cx +. (r *. cos th)) (cy +. (r *. sin th))))
+  in
+  (* Region-level combinators over the polygon kernels, identical in shape
+     to the reference's pieces_* helpers so the two sides do the same
+     polygon-level work. *)
+  let module Ref = Geom_reference.Clip_reference in
+  let opt_diff a b =
+    let subtract_all p =
+      List.fold_left (fun frags q -> List.concat_map (fun f -> Geo.Clip.diff f q) frags) [ p ] b
+    in
+    List.concat_map subtract_all a
+  in
+  let ops =
+    [
+      ( "tessellate",
+        (fun i -> ignore (Geo.Polygon.of_points rings.(i))),
+        fun i -> ignore (Ref.of_points_ref rings.(i)) );
+      ( "inter",
+        (fun i ->
+          let a, b = pairs.(i) in
+          ignore (List.concat_map (fun p -> List.concat_map (Geo.Clip.inter p) b) a)),
+        fun i ->
+          let a, b = pairs.(i) in
+          ignore (Ref.pieces_inter a b) );
+      ( "diff",
+        (fun i ->
+          let a, b = pairs.(i) in
+          ignore (opt_diff a b)),
+        fun i ->
+          let a, b = pairs.(i) in
+          ignore (Ref.pieces_diff a b) );
+      ( "union",
+        (fun i ->
+          let a, b = pairs.(i) in
+          ignore (a @ opt_diff b a)),
+        fun i ->
+          let a, b = pairs.(i) in
+          ignore (Ref.pieces_union a b) );
+    ]
+  in
+  let counter snap d n =
+    match
+      List.find_opt
+        (fun c -> c.Octant.Telemetry.c_domain = d && c.Octant.Telemetry.c_name = n)
+        snap.Octant.Telemetry.counters
+    with
+    | Some c -> c.Octant.Telemetry.c_value
+    | None -> 0
+  in
+  (* One measurement: [reps * n_items] ops through the domain pool, worker
+     allocation summed across domains by the pool's gc.* counters. *)
+  let measure ~jobs f =
+    Octant.Telemetry.reset ();
+    Octant.Telemetry.enable ();
+    let total = reps * n_items in
+    let t0 = Unix.gettimeofday () in
+    ignore (Octant.Parallel.init ~jobs total (fun i -> f (i mod n_items)));
+    let wall = Unix.gettimeofday () -. t0 in
+    Octant.Telemetry.disable ();
+    let snap = Octant.Telemetry.snapshot () in
+    let per_op c = float_of_int c /. float_of_int total in
+    ( float_of_int total /. wall,
+      wall,
+      per_op (counter snap "gc" "minor_words"),
+      per_op (counter snap "gc" "major_words") )
+  in
+  Printf.printf "# %d shape pairs x %d reps, %d-segment disks/annuli\n" n_items reps segments;
+  Printf.printf "# %-12s %-10s %-5s %12s %16s %16s\n" "op" "kernel" "jobs" "ops/s"
+    "minor-words/op" "major-words/op";
+  let rows = ref [] in
+  let reductions = ref [] in
+  List.iter
+    (fun (name, opt, reference) ->
+      let opt_minor_j1 = ref 0.0 and ref_minor_j1 = ref 0.0 in
+      List.iter
+        (fun (kernel, f) ->
+          List.iter
+            (fun jobs ->
+              let ops_per_s, wall, minor, major = measure ~jobs f in
+              if jobs = 1 then
+                if kernel = "buffer" then opt_minor_j1 := minor else ref_minor_j1 := minor;
+              Printf.printf "  %-12s %-10s %-5d %12.0f %16.1f %16.1f\n%!" name kernel jobs
+                ops_per_s minor major;
+              rows :=
+                Json.Obj
+                  [
+                    ("op", Json.Str name);
+                    ("kernel", Json.Str kernel);
+                    ("jobs", Json.Num (float_of_int jobs));
+                    ("wall_s", Json.num wall);
+                    ("ops_per_s", Json.num ops_per_s);
+                    ("minor_words_per_op", Json.num minor);
+                    ("major_words_per_op", Json.num major);
+                  ]
+                :: !rows)
+            [ 1; 4 ])
+        [ ("buffer", opt); ("reference", reference) ];
+      let reduction = !ref_minor_j1 /. Float.max !opt_minor_j1 1e-9 in
+      Printf.printf "  %-12s allocation reduction (reference/buffer, jobs=1): %.1fx\n%!" name
+        reduction;
+      reductions := (name, reduction) :: !reductions)
+    ops;
+  let min_reduction =
+    List.fold_left (fun acc (_, r) -> Float.min acc r) infinity !reductions
+  in
+  Printf.printf "  minimum allocation reduction across ops: %.1fx (acceptance: >= 5x)\n%!"
+    min_reduction;
+  write_json "BENCH_geom.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "geom");
+         ("segments", Json.Num (float_of_int segments));
+         ("pairs", Json.Num (float_of_int n_items));
+         ("reps", Json.Num (float_of_int reps));
+         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
+         ("rows", Json.List (List.rev !rows));
+         ( "alloc_reduction",
+           Json.Obj (List.rev_map (fun (n, r) -> (n, Json.num r)) !reductions) );
+         ("min_alloc_reduction", Json.num min_reduction);
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -334,6 +524,8 @@ let serve_bench () =
           cache_capacity = 1024;
         }
       in
+      Octant.Telemetry.reset ();
+      Octant.Telemetry.enable ();
       let srv = Octant_serve.Server.start ~config ~ctx () in
       let port = Octant_serve.Server.port srv in
       let latencies = Array.make n_clients [] in
@@ -366,6 +558,19 @@ let serve_bench () =
       let wall = Unix.gettimeofday () -. t0 in
       let cache = Octant_serve.Server.cache_stats srv in
       Octant_serve.Server.stop srv;
+      Octant.Telemetry.disable ();
+      let gc_counter name =
+        let snap = Octant.Telemetry.snapshot () in
+        match
+          List.find_opt
+            (fun c -> c.Octant.Telemetry.c_domain = "gc" && c.Octant.Telemetry.c_name = name)
+            snap.Octant.Telemetry.counters
+        with
+        | Some c -> c.Octant.Telemetry.c_value
+        | None -> 0
+      in
+      let minor_words = gc_counter "minor_words" in
+      let major_words = gc_counter "major_words" in
       let lat_ms =
         Array.of_list
           (List.concat_map (fun l -> List.map (fun s -> 1000.0 *. s) l) (Array.to_list latencies))
@@ -395,6 +600,8 @@ let serve_bench () =
             ("cache_hits", Json.Num (float_of_int cache.Octant_serve.Lru.hits));
             ("cache_misses", Json.Num (float_of_int cache.Octant_serve.Lru.misses));
             ("cache_hit_rate", Json.num hit_rate);
+            ("gc_minor_words", Json.Num (float_of_int minor_words));
+            ("gc_major_words", Json.Num (float_of_int major_words));
           ]
         :: !rows)
     [ 1; 4 ];
@@ -406,6 +613,7 @@ let serve_bench () =
          ("distinct_requests", Json.Num (float_of_int n_targets));
          ("clients", Json.Num (float_of_int n_clients));
          ("passes", Json.Num (float_of_int passes));
+         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
          ("rows", Json.List (List.rev !rows));
        ])
 
@@ -606,6 +814,7 @@ let () =
   | "timing" -> timing (Eval.Study.run ~seed ~n_hosts ())
   | "batch" -> batch ()
   | "serve" -> serve_bench ()
+  | "geom" -> geom ()
   | "micro" -> micro ()
   | "all" ->
       fig2 ();
@@ -618,7 +827,8 @@ let () =
       timing study;
       batch ();
       serve_bench ();
+      geom ();
       micro ()
   | other ->
-      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|secondary|vivaldi|timing|batch|serve|micro|all)\n" other;
+      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|secondary|vivaldi|timing|batch|serve|geom|micro|all)\n" other;
       exit 1

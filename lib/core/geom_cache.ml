@@ -17,11 +17,16 @@
    of cache state and of which domain populated an entry first — the
    determinism guarantee of the batch engine rests on this.
 
-   Thread safety: one mutex around the table.  Contention is negligible
-   (lookups are rare next to the clipping work they feed), and a miss
-   tessellates outside the lock; when two domains race on the same key the
-   loser's insert is dropped, which is harmless because both computed the
-   same polygon. *)
+   Thread safety and scaling: the cache is two-tier.  Each domain keeps a
+   private [Domain.DLS] table it can read and write with no
+   synchronization at all; behind it sits a shared mutex-guarded table
+   that seeds new domains and deduplicates building work.  The hot path
+   (steady-state batch, every radius bucket already seen) therefore takes
+   no lock and touches no shared cache line — under 4+ domains the old
+   single-mutex design made every tessellation lookup a line-bouncing
+   rendezvous.  A miss tessellates outside the lock; when two domains race
+   on a fresh key the loser's insert is dropped, which is harmless because
+   both computed the same polygon. *)
 
 type key = {
   kind : int; (* 0 = disk, 1 = ring *)
@@ -31,18 +36,24 @@ type key = {
   q_outer : int;
 }
 
+(* Per-instance hit/miss tallies, sharded over domain-indexed atomic slots
+   exactly like the telemetry counters so concurrent localizations do not
+   bounce a shared counter line.  [stats] sums the shards. *)
+let stat_shards = 8
+
 type t = {
+  id : int; (* key into the per-domain local tier *)
   lock : Mutex.t;
-  table : (key, Geo.Polygon.t list) Hashtbl.t;
-  hits : int Atomic.t;
-  misses : int Atomic.t;
+  table : (key, Geo.Polygon.t list) Hashtbl.t; (* shared tier *)
+  hits : int Atomic.t array;
+  misses : int Atomic.t array;
 }
 
-(* Telemetry mirrors of the per-context atomics, aggregated across every
+(* Telemetry mirrors of the per-context tallies, aggregated across every
    cache instance.  Lookup totals are deterministic (one per Disk/Ring
-   tessellation request); the hit/miss split is not — two domains racing
-   on a fresh key may both miss — so those two are excluded from the
-   cross-jobs determinism signature. *)
+   tessellation request); the hit/miss split is not — it depends on which
+   domain serviced which target and on shared-tier races — so those two
+   are excluded from the cross-jobs determinism signature. *)
 let c_lookups = Obs.Telemetry.Counter.make ~domain:"cache" "lookups"
 let c_hits = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"cache" "hits"
 let c_misses = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"cache" "misses"
@@ -50,18 +61,37 @@ let c_misses = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"cache" "
 let quantum_km = 0.25
 
 (* Enough for every radius bucket a batch realistically touches; beyond it
-   new shapes are still returned, just not retained. *)
+   new shapes are still returned, just not retained.  The same bound caps
+   each domain-local tier. *)
 let max_entries = 8192
+
+(* The local tier: per domain, a small map from cache instance id to that
+   instance's private table.  Worker domains are short-lived (one batch),
+   so their tiers die with them; the calling domain's map is capped at a
+   handful of live contexts and recycled wholesale when it overflows
+   (localizing against 9+ contexts round-robin from one domain is not a
+   pattern we serve). *)
+let max_local_contexts = 8
+
+let local_tier : (int, (key, Geo.Polygon.t list) Hashtbl.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create max_local_contexts)
+
+let next_id = Atomic.make 0
 
 let create () =
   {
+    id = Atomic.fetch_and_add next_id 1;
     lock = Mutex.create ();
     table = Hashtbl.create 512;
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
+    hits = Obs.Telemetry.padded_atomics stat_shards;
+    misses = Obs.Telemetry.padded_atomics stat_shards;
   }
 
-let stats t = (Atomic.get t.hits, Atomic.get t.misses)
+let sum_shards a = Array.fold_left (fun acc s -> acc + Atomic.get s) 0 a
+let stats t = (sum_shards t.hits, sum_shards t.misses)
+
+let shard_slot () = (Domain.self () :> int) land (stat_shards - 1)
+let tally shards = Atomic.incr shards.(shard_slot ())
 
 let bucket_up r = int_of_float (Float.ceil (r /. quantum_km))
 let bucket_down r = int_of_float (Float.floor (r /. quantum_km))
@@ -78,25 +108,46 @@ let build key =
     Geo.Region.pieces
       (Geo.Region.annulus ~segments:key.segments ~center:Geo.Point.zero ~r_inner ~r_outer ())
 
+let local_table t =
+  let tier = Domain.DLS.get local_tier in
+  match Hashtbl.find_opt tier t.id with
+  | Some tbl -> tbl
+  | None ->
+      if Hashtbl.length tier >= max_local_contexts then Hashtbl.reset tier;
+      let tbl = Hashtbl.create 256 in
+      Hashtbl.add tier t.id tbl;
+      tbl
+
 let lookup t key =
   Obs.Telemetry.Counter.incr c_lookups;
-  Mutex.lock t.lock;
-  let cached = Hashtbl.find_opt t.table key in
-  Mutex.unlock t.lock;
-  match cached with
+  let ltab = local_table t in
+  match Hashtbl.find_opt ltab key with
   | Some pieces ->
-      Atomic.incr t.hits;
+      (* Domain-private hit: no lock, no shared write of any kind. *)
+      tally t.hits;
       Obs.Telemetry.Counter.incr c_hits;
       pieces
-  | None ->
-      Atomic.incr t.misses;
-      Obs.Telemetry.Counter.incr c_misses;
-      let pieces = build key in
+  | None -> (
       Mutex.lock t.lock;
-      if Hashtbl.length t.table < max_entries && not (Hashtbl.mem t.table key) then
-        Hashtbl.add t.table key pieces;
+      let shared = Hashtbl.find_opt t.table key in
       Mutex.unlock t.lock;
-      pieces
+      match shared with
+      | Some pieces ->
+          (* Seed the local tier so this domain never comes back. *)
+          if Hashtbl.length ltab < max_entries then Hashtbl.add ltab key pieces;
+          tally t.hits;
+          Obs.Telemetry.Counter.incr c_hits;
+          pieces
+      | None ->
+          tally t.misses;
+          Obs.Telemetry.Counter.incr c_misses;
+          let pieces = build key in
+          Mutex.lock t.lock;
+          if Hashtbl.length t.table < max_entries && not (Hashtbl.mem t.table key) then
+            Hashtbl.add t.table key pieces;
+          Mutex.unlock t.lock;
+          if Hashtbl.length ltab < max_entries then Hashtbl.add ltab key pieces;
+          pieces)
 
 let translate_to center pieces =
   Geo.Region.of_polygons (List.map (Geo.Polygon.translate center) pieces)

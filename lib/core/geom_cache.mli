@@ -16,8 +16,13 @@
     which domain inserted an entry — the property
     {!Pipeline.localize_batch} relies on for its bit-identical guarantee.
 
-    The cache is safe to share across domains (a single mutex guards the
-    table; tessellation happens outside it). *)
+    The cache is safe to share across domains and is built to scale with
+    them: every domain keeps a private lock-free tier in [Domain.DLS], so
+    the steady-state hot path (all radius buckets already seen) takes no
+    mutex and writes no shared memory at all.  A mutex-guarded shared tier
+    behind it seeds newly spawned worker domains; tessellation happens
+    outside the lock.  Hit/miss tallies are sharded per domain to keep
+    concurrent lookups off each other's cache lines. *)
 
 type t
 

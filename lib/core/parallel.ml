@@ -12,18 +12,51 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 exception Worker_failure
 
-let init ?jobs ?(chunk = 1) n f =
+(* Words allocated by pool workers (calling domain included), summed over
+   the pool's lifetime; scheduling-dependent by nature (domain spawn costs,
+   GC timing), so excluded from the determinism signature.  Together with
+   the per-span deltas this pins down where an allocation-bound batch burns
+   its minor heap. *)
+let c_minor_words = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"gc" "minor_words"
+let c_major_words = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"gc" "major_words"
+
+let with_gc_tally f =
+  if not (Obs.Telemetry.is_enabled ()) then f ()
+  else begin
+    let minor0, _, major0 = Gc.counters () in
+    Fun.protect
+      ~finally:(fun () ->
+        let minor1, _, major1 = Gc.counters () in
+        Obs.Telemetry.Counter.add c_minor_words (int_of_float (minor1 -. minor0));
+        Obs.Telemetry.Counter.add c_major_words (int_of_float (major1 -. major0)))
+      f
+  end
+
+(* Chunk size when the caller does not pick one: aim for ~8 queue
+   round-trips per domain.  That amortizes the shared-counter
+   fetch-and-add (one contended line touch per chunk instead of per item)
+   while still leaving enough chunks in flight for the claim order to
+   rebalance around items of uneven cost.  Item cost variance in Octant is
+   maybe 5x (well- vs poorly-covered targets), so 8 chunks per domain
+   bounds the straggler tail at a few percent. *)
+let adaptive_chunk ~jobs n = Stdlib.max 1 (n / (jobs * 8))
+
+let init ?jobs ?chunk n f =
   if n < 0 then invalid_arg "Parallel.init: negative length";
-  if chunk < 1 then invalid_arg "Parallel.init: chunk must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Parallel.init: chunk must be >= 1"
+  | _ -> ());
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Parallel.init: jobs must be >= 1";
+  let chunk = match chunk with Some c -> c | None -> adaptive_chunk ~jobs n in
   if n = 0 then [||]
-  else if jobs = 1 || n = 1 then Array.init n f
+  else if jobs = 1 || n = 1 then with_gc_tally (fun () -> Array.init n f)
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let worker () =
+      with_gc_tally @@ fun () ->
       let running = ref true in
       while !running do
         let start = Atomic.fetch_and_add next chunk in

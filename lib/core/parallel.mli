@@ -18,11 +18,20 @@ val default_jobs : unit -> int
 val init : ?jobs:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** [init ~jobs n f] is [Array.init n f] computed by [jobs] domains
     (default {!default_jobs}; the calling domain is one of them, so
-    [jobs - 1] domains are spawned).  [chunk] (default 1) is the number of
-    consecutive indices claimed per queue round-trip; 1 maximizes balance
-    for expensive items.  [jobs = 1] runs inline with no domain spawned.
-    If [f] raises, the first exception (by claim order) is re-raised in
-    the caller after all domains drain.
+    [jobs - 1] domains are spawned).  [chunk] is the number of consecutive
+    indices claimed per queue round-trip: 1 maximizes balance for
+    expensive items at one contended fetch-and-add per item; larger chunks
+    amortize the shared counter.  When omitted it defaults adaptively to
+    [max 1 (n / (jobs * 8))] — about eight claims per domain, which keeps
+    the queue cheap without starving load balance.  [jobs = 1] runs inline
+    with no domain spawned.  The result is a pure function of [(n, f)]
+    alone: [jobs] and [chunk] only change the schedule.  If [f] raises,
+    the first exception (by claim order) is re-raised in the caller after
+    all domains drain.
+
+    When telemetry is enabled, the pool adds each worker's allocation
+    footprint ([Gc.counters] deltas over the worker's lifetime) to the
+    [gc.minor_words] / [gc.major_words] counters.
     @raise Invalid_argument on [n < 0], [jobs < 1], or [chunk < 1]. *)
 
 val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array

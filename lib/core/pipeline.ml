@@ -596,7 +596,7 @@ let localize_one ?undns ctx obs =
       Obs.Telemetry.Counter.incr c_batch_skipped;
       Error reason
 
-let localize_batch ?undns ?jobs ctx observations =
+let localize_batch ?undns ?jobs ?chunk ctx observations =
   (* The context is immutable after [prepare] (the geometry cache mutates
      internally but never changes observable results), and [localize] is a
      pure function of (ctx, obs) apart from its [solve_time_s] stopwatch.
@@ -608,5 +608,5 @@ let localize_batch ?undns ?jobs ctx observations =
      calling domain — a span opened around the fan-out would nest the
      per-target spans under it on one path but not the other and break
      the cross-jobs determinism signature. *)
-  Parallel.init ?jobs (Array.length observations) (fun i ->
+  Parallel.init ?jobs ?chunk (Array.length observations) (fun i ->
       localize_one ?undns ctx observations.(i))

@@ -153,6 +153,7 @@ val localize_one :
 val localize_batch :
   ?undns:(string -> Geo.Geodesy.coord option) ->
   ?jobs:int ->
+  ?chunk:int ->
   context ->
   observations array ->
   (Estimate.t, string) result array
@@ -160,7 +161,10 @@ val localize_batch :
     domains (default {!Parallel.default_jobs}).  The immutable context —
     calibrations, heights, geometry cache — is shared across workers;
     results are returned in input order and are bit-identical to mapping
-    {!localize_one} over the array sequentially, at every [jobs] setting.
+    {!localize_one} over the array sequentially, at every [jobs] and
+    [chunk] setting ([chunk] is the work-queue granularity, forwarded to
+    {!Parallel.init}; when omitted the pool picks an amortizing default of
+    about eight chunks per domain).
     The only field that varies is [solve_time_s], a stopwatch reading
     ([Sys.time] is process-wide CPU time, so it over-reports under
     concurrency).  A target with a malformed observation yields [Error

@@ -20,31 +20,58 @@ let alpha_eps = 1e-9
 (* Sutherland–Hodgman fast path (both operands convex).                *)
 (* ------------------------------------------------------------------ *)
 
-let clip_halfplane pts (e1, e2) =
-  (* Keep the part of the ring on the left of the directed edge e1->e2;
-     for a counterclockwise clip polygon that is its interior side. *)
-  let n = Array.length pts in
-  let out = ref [] in
+(* The kernels below are allocation-free rewrites of the original
+   list-consing implementations (kept verbatim as
+   [test/geom_reference/clip_reference.ml], with an equivalence property
+   suite): every float expression reproduces the Point-record arithmetic
+   operation for operation, so results are bit-identical — the batch
+   engine's golden files and cross-jobs determinism signature depend on
+   that. *)
+
+(* Keep the part of [src] on the left of the directed edge e1->e2 (for a
+   counterclockwise clip polygon, its interior side), writing into [dst].
+   orient2d e1 e2 p = (e2.x-e1.x)*(p.y-e1.y) - (e2.y-e1.y)*(p.x-e1.x). *)
+let clip_halfplane_buf ~e1x ~e1y ~e2x ~e2y (src : Vbuf.t) (dst : Vbuf.t) =
+  Vbuf.clear dst;
+  let n = src.Vbuf.n in
+  let xs = src.Vbuf.xs and ys = src.Vbuf.ys in
+  let ux = e2x -. e1x and uy = e2y -. e1y in
   for i = 0 to n - 1 do
-    let cur = pts.(i) and nxt = pts.((i + 1) mod n) in
-    let dc = Point.orient2d e1 e2 cur and dn = Point.orient2d e1 e2 nxt in
-    let crossing () =
-      let t = dc /. (dc -. dn) in
-      Point.lerp cur nxt t
-    in
+    let j = if i + 1 = n then 0 else i + 1 in
+    let cx = Array.unsafe_get xs i and cy = Array.unsafe_get ys i in
+    let nx = Array.unsafe_get xs j and ny = Array.unsafe_get ys j in
+    let dc = (ux *. (cy -. e1y)) -. (uy *. (cx -. e1x)) in
+    let dn = (ux *. (ny -. e1y)) -. (uy *. (nx -. e1x)) in
     if dc >= 0.0 then begin
-      out := cur :: !out;
-      if dn < 0.0 then out := crossing () :: !out
+      Vbuf.push dst cx cy;
+      if dn < 0.0 then begin
+        let t = dc /. (dc -. dn) in
+        Vbuf.push dst (cx +. (t *. (nx -. cx))) (cy +. (t *. (ny -. cy)))
+      end
     end
-    else if dn >= 0.0 then out := crossing () :: !out
-  done;
-  Array.of_list (List.rev !out)
+    else if dn >= 0.0 then begin
+      let t = dc /. (dc -. dn) in
+      Vbuf.push dst (cx +. (t *. (nx -. cx))) (cy +. (t *. (ny -. cy)))
+    end
+  done
 
 let convex_inter a b =
-  let pts = Array.fold_left clip_halfplane (Polygon.vertices a) (Polygon.edges b) in
-  if Array.length pts < 3 then None
+  Vbuf.with_pair @@ fun buf0 buf1 ->
+  Vbuf.load_points buf0 (Polygon.vertices a);
+  let src = ref buf0 and dst = ref buf1 in
+  let bv = Polygon.vertices b in
+  let nb = Array.length bv in
+  for j = 0 to nb - 1 do
+    let e1 = Array.unsafe_get bv j in
+    let e2 = Array.unsafe_get bv (if j + 1 = nb then 0 else j + 1) in
+    clip_halfplane_buf ~e1x:e1.Point.x ~e1y:e1.Point.y ~e2x:e2.Point.x ~e2y:e2.Point.y !src !dst;
+    let tmp = !src in
+    src := !dst;
+    dst := tmp
+  done;
+  if Vbuf.length !src < 3 then None
   else
-    match Polygon.of_points pts with
+    match Polygon.of_points (Vbuf.to_points !src) with
     | p -> if Polygon.area p < area_floor then None else Some p
     | exception Invalid_argument _ -> None
 
@@ -52,39 +79,122 @@ let convex_inter a b =
 (* Greiner–Hormann machinery.                                          *)
 (* ------------------------------------------------------------------ *)
 
-type node = {
-  pt : Point.t;
-  mutable next : node;
-  mutable prev : node;
-  mutable neighbor : node option;
-  mutable entry : bool;
-  is_isect : bool;
-  mutable visited : bool;
+(* The two rings with spliced intersection nodes, as one pooled
+   structure-of-arrays over a shared index space: subject ring nodes first,
+   clip ring nodes after.  [next]/[prev] stay within a ring; [neighbor]
+   links a crossing to its twin on the other ring (-1 on plain vertices).
+   Boxed per-node records cost ~9 words each (about a third of a general
+   clip's allocation); these arrays are domain-local scratch that grows
+   monotonically and is reused by every subsequent operation on the
+   domain, so steady-state node storage allocates nothing. *)
+type gh_scratch = {
+  (* nodes *)
+  mutable px : float array;
+  mutable py : float array;
+  mutable nxt : int array;
+  mutable prv : int array;
+  mutable nbr : int array;
+  mutable entry : bool array;
+  mutable isect : bool array;
+  mutable visited : bool array;
+  (* crossing sweep accumulator: subject edge, clip edge, both parameters,
+     crossing point, and the node index each crossing received on each
+     ring *)
+  mutable is_i : int array;
+  mutable is_j : int array;
+  mutable is_t : float array;
+  mutable is_u : float array;
+  mutable is_x : float array;
+  mutable is_y : float array;
+  mutable snode : int array;
+  mutable cnode : int array;
+  mutable order : int array; (* per-edge sort scratch *)
+  mutable in_use : bool;
 }
 
-let fresh_node pt is_isect =
-  let rec nd =
-    { pt; next = nd; prev = nd; neighbor = None; entry = false; is_isect; visited = false }
-  in
-  nd
+let gh_make nodes isects =
+  {
+    px = Array.make nodes 0.0;
+    py = Array.make nodes 0.0;
+    nxt = Array.make nodes 0;
+    prv = Array.make nodes 0;
+    nbr = Array.make nodes (-1);
+    entry = Array.make nodes false;
+    isect = Array.make nodes false;
+    visited = Array.make nodes false;
+    is_i = Array.make isects 0;
+    is_j = Array.make isects 0;
+    is_t = Array.make isects 0.0;
+    is_u = Array.make isects 0.0;
+    is_x = Array.make isects 0.0;
+    is_y = Array.make isects 0.0;
+    snode = Array.make isects 0;
+    cnode = Array.make isects 0;
+    order = Array.make isects 0;
+    in_use = false;
+  }
+
+let gh_key = Domain.DLS.new_key (fun () -> gh_make 256 64)
+
+let grow_int a cap = if Array.length a < cap then Array.make (Stdlib.max cap (2 * Array.length a)) 0 else a
+let grow_float a cap = if Array.length a < cap then Array.make (Stdlib.max cap (2 * Array.length a)) 0.0 else a
+let grow_bool a cap = if Array.length a < cap then Array.make (Stdlib.max cap (2 * Array.length a)) false else a
+
+(* Scratch contents never survive a call, so growth just reallocates. *)
+let gh_ensure_nodes g cap =
+  if Array.length g.px < cap then begin
+    g.px <- grow_float g.px cap;
+    g.py <- grow_float g.py cap;
+    g.nxt <- grow_int g.nxt cap;
+    g.prv <- grow_int g.prv cap;
+    g.nbr <- grow_int g.nbr cap;
+    g.entry <- grow_bool g.entry cap;
+    g.isect <- grow_bool g.isect cap;
+    g.visited <- grow_bool g.visited cap
+  end
+
+let gh_ensure_isects g cap =
+  if Array.length g.is_i < cap then begin
+    g.is_i <- grow_int g.is_i cap;
+    g.is_j <- grow_int g.is_j cap;
+    g.is_t <- grow_float g.is_t cap;
+    g.is_u <- grow_float g.is_u cap;
+    g.is_x <- grow_float g.is_x cap;
+    g.is_y <- grow_float g.is_y cap;
+    g.snode <- grow_int g.snode cap;
+    g.cnode <- grow_int g.cnode cap;
+    g.order <- grow_int g.order cap
+  end
 
 (* Segment intersection with degeneracy detection.  Returns the parameters
    on both segments when they cross strictly in their interiors; raises
    [Degenerate] on touching/collinear configurations so the caller can
-   perturb and retry. *)
+   perturb and retry.
+
+   Runs O(ns*nc) times per boolean operation, so it works on raw floats:
+   the only allocation is the [Some] result on an actual crossing. *)
 let seg_isect p1 p2 q1 q2 =
-  let d1 = Point.sub p2 p1 and d2 = Point.sub q2 q1 in
-  let denom = Point.cross d1 d2 in
-  let scale = Point.norm d1 *. Point.norm d2 in
+  let p1x = p1.Point.x and p1y = p1.Point.y in
+  let p2x = p2.Point.x and p2y = p2.Point.y in
+  let q1x = q1.Point.x and q1y = q1.Point.y in
+  let q2x = q2.Point.x and q2y = q2.Point.y in
+  let d1x = p2x -. p1x and d1y = p2y -. p1y in
+  let d2x = q2x -. q1x and d2y = q2y -. q1y in
+  let denom = (d1x *. d2y) -. (d1y *. d2x) in
+  let scale =
+    sqrt ((d1x *. d1x) +. (d1y *. d1y)) *. sqrt ((d2x *. d2x) +. (d2y *. d2y))
+  in
+  let ex = q1x -. p1x and ey = q1y -. p1y in
   if Float.abs denom <= 1e-12 *. (1.0 +. scale) then begin
     (* Parallel.  Collinear and overlapping is degenerate. *)
-    let off = Point.cross d1 (Point.sub q1 p1) in
-    if Float.abs off <= 1e-9 *. (1.0 +. Point.norm d1) then begin
-      let len2 = Point.norm2 d1 in
+    let off = (d1x *. ey) -. (d1y *. ex) in
+    if Float.abs off <= 1e-9 *. (1.0 +. sqrt ((d1x *. d1x) +. (d1y *. d1y))) then begin
+      let len2 = (d1x *. d1x) +. (d1y *. d1y) in
       if len2 = 0.0 then None
       else begin
-        let t1 = Point.dot (Point.sub q1 p1) d1 /. len2 in
-        let t2 = Point.dot (Point.sub q2 p1) d1 /. len2 in
+        let fx = q2x -. p1x and fy = q2y -. p1y in
+        let t1 = ((ex *. d1x) +. (ey *. d1y)) /. len2 in
+        let t2 = ((fx *. d1x) +. (fy *. d1y)) /. len2 in
         let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
         if hi < -.alpha_eps || lo > 1.0 +. alpha_eps then None else raise Degenerate
       end
@@ -92,13 +202,13 @@ let seg_isect p1 p2 q1 q2 =
     else None
   end
   else begin
-    let e = Point.sub q1 p1 in
-    let t = Point.cross e d2 /. denom in
-    let u = Point.cross e d1 /. denom in
+    let t = ((ex *. d2y) -. (ey *. d2x)) /. denom in
+    let u = ((ex *. d1y) -. (ey *. d1x)) /. denom in
     let strictly_inside x = x > alpha_eps && x < 1.0 -. alpha_eps in
     let near_end x = Float.abs x <= alpha_eps || Float.abs (x -. 1.0) <= alpha_eps in
     let in_range x = x >= -.alpha_eps && x <= 1.0 +. alpha_eps in
-    if strictly_inside t && strictly_inside u then Some (t, u, Point.lerp p1 p2 t)
+    if strictly_inside t && strictly_inside u then
+      Some (t, u, Point.make (p1x +. (t *. (p2x -. p1x))) (p1y +. (t *. (p2y -. p1y))))
     else if (near_end t && in_range u) || (near_end u && in_range t) then raise Degenerate
     else None
   end
@@ -134,100 +244,149 @@ let interior_point poly =
 let gh_traverse ~invert_subject ~invert_clip subject clip =
   let sv = Polygon.vertices subject and cv = Polygon.vertices clip in
   let ns = Array.length sv and nc = Array.length cv in
-  let s_edge = Array.make ns [] and c_edge = Array.make nc [] in
+  let g = Domain.DLS.get gh_key in
+  (* The clipping operations never nest a traversal inside a traversal on
+     one domain ([split_diff] recurses only after its own traversal has
+     returned), so the domain scratch is free here; a throwaway instance
+     covers any future reentrant caller rather than corrupting state. *)
+  let g = if g.in_use then gh_make (ns + nc + 32) 64 else g in
+  g.in_use <- true;
+  Fun.protect ~finally:(fun () -> g.in_use <- false) @@ fun () ->
   let count = ref 0 in
   for i = 0 to ns - 1 do
     for j = 0 to nc - 1 do
       match seg_isect sv.(i) sv.((i + 1) mod ns) cv.(j) cv.((j + 1) mod nc) with
       | None -> ()
       | Some (t, u, pt) ->
-          incr count;
-          let sn = fresh_node pt true and cn = fresh_node pt true in
-          sn.neighbor <- Some cn;
-          cn.neighbor <- Some sn;
-          s_edge.(i) <- (t, sn) :: s_edge.(i);
-          c_edge.(j) <- (u, cn) :: c_edge.(j)
+          gh_ensure_isects g (!count + 1);
+          g.is_i.(!count) <- i;
+          g.is_j.(!count) <- j;
+          g.is_t.(!count) <- t;
+          g.is_u.(!count) <- u;
+          g.is_x.(!count) <- pt.Point.x;
+          g.is_y.(!count) <- pt.Point.y;
+          incr count
     done
   done;
-  if !count = 0 then None
+  let count = !count in
+  if count = 0 then None
   else begin
-    if !count mod 2 = 1 then raise Degenerate;
-    (* Build a circular list: original vertices with the per-edge
-       intersections inserted in parameter order. *)
-    let build verts edge_isects =
-      let nodes = ref [] in
-      Array.iteri
-        (fun i v ->
-          nodes := fresh_node v false :: !nodes;
-          let sorted = List.sort (fun (a, _) (b, _) -> compare a b) edge_isects.(i) in
-          let rec check_dups = function
-            | (a, _) :: ((b, _) :: _ as rest) ->
-                if b -. a <= alpha_eps then raise Degenerate;
-                check_dups rest
-            | _ -> ()
-          in
-          check_dups sorted;
-          List.iter (fun (_, nd) -> nodes := nd :: !nodes) sorted)
-        verts;
-      let arr = Array.of_list (List.rev !nodes) in
-      let n = Array.length arr in
-      for i = 0 to n - 1 do
-        arr.(i).next <- arr.((i + 1) mod n);
-        arr.(i).prev <- arr.((i + n - 1) mod n)
+    if count mod 2 = 1 then raise Degenerate;
+    gh_ensure_nodes g (ns + nc + (2 * count));
+    let idx = ref 0 in
+    (* Build one ring: original vertices with the per-edge crossings
+       spliced in parameter order.  [edge_sel]/[param_sel] pick the
+       subject (is_i/is_t) or clip (is_j/is_u) view of the sweep results;
+       [slot] records which node index each crossing received so the rings
+       can be cross-linked afterwards. *)
+    let build (verts : Point.t array) edge_sel (param : float array) (slot : int array) =
+      let base = !idx in
+      let nv = Array.length verts in
+      for i = 0 to nv - 1 do
+        let v = verts.(i) in
+        let x = !idx in
+        g.px.(x) <- v.Point.x;
+        g.py.(x) <- v.Point.y;
+        g.isect.(x) <- false;
+        g.visited.(x) <- false;
+        g.nbr.(x) <- (-1);
+        incr idx;
+        (* Crossings on edge i, sorted by parameter (insertion sort on
+           index scratch; exact ties are degenerate anyway). *)
+        let m = ref 0 in
+        for k = 0 to count - 1 do
+          if edge_sel k = i then begin
+            g.order.(!m) <- k;
+            incr m
+          end
+        done;
+        for a = 1 to !m - 1 do
+          let ka = g.order.(a) in
+          let ta = param.(ka) in
+          let b = ref (a - 1) in
+          while !b >= 0 && param.(g.order.(!b)) > ta do
+            g.order.(!b + 1) <- g.order.(!b);
+            decr b
+          done;
+          g.order.(!b + 1) <- ka
+        done;
+        for a = 0 to !m - 2 do
+          if param.(g.order.(a + 1)) -. param.(g.order.(a)) <= alpha_eps then raise Degenerate
+        done;
+        for a = 0 to !m - 1 do
+          let k = g.order.(a) in
+          let x = !idx in
+          g.px.(x) <- g.is_x.(k);
+          g.py.(x) <- g.is_y.(k);
+          g.isect.(x) <- true;
+          g.visited.(x) <- false;
+          slot.(k) <- x;
+          incr idx
+        done
       done;
-      arr
+      let n = !idx - base in
+      for i = 0 to n - 1 do
+        g.nxt.(base + i) <- base + ((i + 1) mod n);
+        g.prv.(base + i) <- base + ((i + n - 1) mod n)
+      done;
+      (base, n)
     in
-    let s_ring = build sv s_edge and c_ring = build cv c_edge in
+    let s_base, s_n = build sv (fun k -> g.is_i.(k)) g.is_t g.snode in
+    let c_base, c_n = build cv (fun k -> g.is_j.(k)) g.is_u g.cnode in
+    for k = 0 to count - 1 do
+      g.nbr.(g.snode.(k)) <- g.cnode.(k);
+      g.nbr.(g.cnode.(k)) <- g.snode.(k)
+    done;
     (* Entry/exit marking: walking the ring forward, an intersection node is
        an entry iff the walk was outside the other polygon just before it. *)
-    let mark ring other invert =
-      let status = ref (not (strict_inside other ring.(0).pt)) in
+    let mark base n first_vertex other invert =
+      let status = ref (not (strict_inside other first_vertex)) in
       let status = if invert then ref (not !status) else status in
-      Array.iter
-        (fun nd ->
-          if nd.is_isect then begin
-            nd.entry <- !status;
-            status := not !status
-          end)
-        ring
+      for x = base to base + n - 1 do
+        if g.isect.(x) then begin
+          g.entry.(x) <- !status;
+          status := not !status
+        end
+      done
     in
-    mark s_ring clip invert_subject;
-    mark c_ring subject invert_clip;
-    (* Traversal. *)
+    mark s_base s_n sv.(0) clip invert_subject;
+    mark c_base c_n cv.(0) subject invert_clip;
+    (* Traversal, accumulating each output ring in a scratch buffer. *)
     let results = ref [] in
-    Array.iter
-      (fun start ->
-        if start.is_isect && not start.visited then begin
-          start.visited <- true;
-          (match start.neighbor with Some n -> n.visited <- true | None -> ());
-          let pts = ref [ start.pt ] in
-          let cur = ref start in
-          let steps = ref 0 in
-          let finished = ref false in
-          while not !finished do
-            incr steps;
-            if !steps > 4 * (ns + nc + !count) + 16 then raise Degenerate;
-            (* Walk along the current ring to the next intersection. *)
-            let dir_next = !cur.entry in
-            let rec walk () =
-              cur := if dir_next then !cur.next else !cur.prev;
-              pts := !cur.pt :: !pts;
-              if not !cur.is_isect then walk ()
-            in
-            walk ();
-            !cur.visited <- true;
-            (match !cur.neighbor with Some n -> n.visited <- true | None -> ());
-            (* Jump to the paired node on the other ring. *)
-            (match !cur.neighbor with
-            | None -> raise Degenerate
-            | Some n -> cur := n);
-            if !cur == start then finished := true
-          done;
-          match Polygon.of_points (Array.of_list (List.rev !pts)) with
-          | poly -> if Polygon.area poly >= area_floor then results := poly :: !results
-          | exception Invalid_argument _ -> ()
-        end)
-      s_ring;
+    Vbuf.with_one (fun vb ->
+        for start = s_base to s_base + s_n - 1 do
+          if g.isect.(start) && not g.visited.(start) then begin
+            g.visited.(start) <- true;
+            g.visited.(g.nbr.(start)) <- true;
+            Vbuf.clear vb;
+            Vbuf.push vb g.px.(start) g.py.(start);
+            let cur = ref start in
+            let steps = ref 0 in
+            let finished = ref false in
+            while not !finished do
+              incr steps;
+              if !steps > (4 * (ns + nc + count)) + 16 then raise Degenerate;
+              (* Walk along the current ring to the next intersection. *)
+              let dir_next = g.entry.(!cur) in
+              let rec walk () =
+                cur := if dir_next then g.nxt.(!cur) else g.prv.(!cur);
+                Vbuf.push vb g.px.(!cur) g.py.(!cur);
+                if not g.isect.(!cur) then walk ()
+              in
+              walk ();
+              g.visited.(!cur) <- true;
+              (* Jump to the paired node on the other ring. *)
+              let nb = g.nbr.(!cur) in
+              if nb < 0 then raise Degenerate;
+              g.visited.(nb) <- true;
+              cur := nb;
+              if !cur = start then finished := true
+            done;
+            match Polygon.of_points (Vbuf.to_points vb) with
+            | poly -> if Polygon.area poly >= area_floor then results := poly :: !results
+            | exception Invalid_argument _ -> ()
+          end
+        done);
     Some !results
   end
 

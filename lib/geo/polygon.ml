@@ -10,25 +10,25 @@ let signed_area pts =
   !acc /. 2.0
 
 let dedup pts =
-  let out = ref [] in
+  (* Single forward pass writing survivors into a fresh array: each vertex
+     is kept unless it equals the previously kept one, and a trailing
+     vertex equal to the head is dropped (the chain is closed).  No list
+     consing — this runs on every ring the clipper materializes. *)
   let n = Array.length pts in
-  for i = 0 to n - 1 do
-    let p = pts.(i) in
-    match !out with
-    | q :: _ when Point.equal ~eps:1e-12 p q -> ()
-    | _ -> out := p :: !out
-  done;
-  (* The chain is closed: also drop a trailing vertex equal to the head. *)
-  let lst = List.rev !out in
-  match lst with
-  | first :: _ :: _ ->
-      let rec drop_last = function
-        | [ last ] -> if Point.equal ~eps:1e-12 last first then [] else [ last ]
-        | x :: rest -> x :: drop_last rest
-        | [] -> []
-      in
-      Array.of_list (drop_last lst)
-  | _ -> Array.of_list lst
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n pts.(0) in
+    let m = ref 1 in
+    for i = 1 to n - 1 do
+      let p = pts.(i) in
+      if not (Point.equal ~eps:1e-12 p out.(!m - 1)) then begin
+        out.(!m) <- p;
+        incr m
+      end
+    done;
+    let m = if !m >= 2 && Point.equal ~eps:1e-12 out.(!m - 1) out.(0) then !m - 1 else !m in
+    if m = n then out else Array.sub out 0 m
+  end
 
 let of_points pts =
   let pts = dedup pts in
@@ -90,14 +90,22 @@ let bounding_box t =
   (Point.make !minx !miny, Point.make !maxx !maxy)
 
 let segment_distance a b p =
-  (* Distance from point p to segment [a, b]. *)
-  let ab = Point.sub b a in
-  let len2 = Point.norm2 ab in
-  if len2 = 0.0 then Point.dist a p
-  else
-    let t = Point.dot (Point.sub p a) ab /. len2 in
+  (* Distance from point p to segment [a, b].  Raw float arithmetic (no
+     intermediate points): this is the inner loop of [on_boundary], which
+     the clipper's containment tests call once per edge. *)
+  let abx = b.Point.x -. a.Point.x and aby = b.Point.y -. a.Point.y in
+  let len2 = (abx *. abx) +. (aby *. aby) in
+  if len2 = 0.0 then begin
+    let dx = a.Point.x -. p.Point.x and dy = a.Point.y -. p.Point.y in
+    sqrt ((dx *. dx) +. (dy *. dy))
+  end
+  else begin
+    let t = (((p.Point.x -. a.Point.x) *. abx) +. ((p.Point.y -. a.Point.y) *. aby)) /. len2 in
     let t = Float.max 0.0 (Float.min 1.0 t) in
-    Point.dist (Point.lerp a b t) p
+    let dx = (a.Point.x +. (t *. abx)) -. p.Point.x in
+    let dy = (a.Point.y +. (t *. aby)) -. p.Point.y in
+    sqrt ((dx *. dx) +. (dy *. dy))
+  end
 
 let on_boundary ?(eps = 1e-9) t p =
   let n = Array.length t.v in
@@ -190,44 +198,61 @@ let cleanup ?(eps = 1e-3) poly =
      successor or within eps of the chord joining their neighbours.  This
      collapses micro-edges and near-collinear chains left behind by chains
      of clipping operations. *)
-  let current = ref (Array.to_list poly.v) in
+  let current = ref poly.v in
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds < 16 do
     incr rounds;
     changed := false;
-    let arr = Array.of_list !current in
+    let arr = !current in
     let n = Array.length arr in
     if n >= 4 then begin
       let keep = Array.make n true in
+      let kept = ref n in
       for i = 0 to n - 1 do
         (* Never drop two adjacent vertices in the same round, so the
            neighbour geometry each test uses stays valid. *)
         if keep.((i + n - 1) mod n) && keep.((i + 1) mod n) then begin
           let p = arr.((i + n - 1) mod n) and c = arr.(i) and q = arr.((i + 1) mod n) in
           let drop =
-            if Point.dist c q < eps then true
+            let dcqx = c.Point.x -. q.Point.x and dcqy = c.Point.y -. q.Point.y in
+            if sqrt ((dcqx *. dcqx) +. (dcqy *. dcqy)) < eps then true
             else begin
-              let chord = Point.sub q p in
-              let len = Point.norm chord in
+              let chx = q.Point.x -. p.Point.x and chy = q.Point.y -. p.Point.y in
+              let len = sqrt ((chx *. chx) +. (chy *. chy)) in
               let d =
-                if len < 1e-12 then Point.dist c p
-                else Float.abs (Point.cross chord (Point.sub c p)) /. len
+                if len < 1e-12 then begin
+                  let dx = c.Point.x -. p.Point.x and dy = c.Point.y -. p.Point.y in
+                  sqrt ((dx *. dx) +. (dy *. dy))
+                end
+                else
+                  Float.abs ((chx *. (c.Point.y -. p.Point.y)) -. (chy *. (c.Point.x -. p.Point.x)))
+                  /. len
               in
               d < eps
             end
           in
           if drop then begin
             keep.(i) <- false;
+            decr kept;
             changed := true
           end
         end
       done;
-      if !changed then
-        current := List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
+      if !changed then begin
+        let out = Array.make !kept arr.(0) in
+        let idx = ref 0 in
+        for i = 0 to n - 1 do
+          if keep.(i) then begin
+            out.(!idx) <- arr.(i);
+            incr idx
+          end
+        done;
+        current := out
+      end
     end
   done;
-  match of_points (Array.of_list !current) with
+  match of_points !current with
   | p -> if area p < 1e-9 then None else Some p
   | exception Invalid_argument _ -> None
 

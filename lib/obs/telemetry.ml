@@ -38,6 +38,21 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let domain_slot mask = (Domain.self () :> int) land mask
 
+(* Shard arrays of atomics, with each box forced onto its own cache line.
+   [Array.init shards (fun _ -> Atomic.make 0)] packs the boxed ints
+   back-to-back on the minor heap — four to eight per 64-byte line — so
+   "per-domain" shards still false-share.  OCaml 5.1 has no
+   [Atomic.make_contended], so instead a dead spacer block is allocated
+   between consecutive boxes; [Sys.opaque_identity] keeps flambda from
+   eliding it.  The spacer is garbage immediately, but the boxes it
+   separated keep their relative spacing when the GC evacuates them in
+   allocation order. *)
+let padded_atomics n =
+  Array.init n (fun _ ->
+      let a = Atomic.make 0 in
+      ignore (Sys.opaque_identity (Array.make 8 0));
+      a)
+
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -54,9 +69,7 @@ module Counter = struct
   let registry : t list ref = ref []
 
   let make ?(deterministic = true) ~domain name =
-    let t =
-      { domain; name; deterministic; slots = Array.init shards (fun _ -> Atomic.make 0) }
-    in
+    let t = { domain; name; deterministic; slots = padded_atomics shards } in
     locked (fun () -> registry := t :: !registry);
     t
 
@@ -135,7 +148,16 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Span = struct
-  type agg = { mutable count : int; mutable total_ns : int; mutable max_ns : int }
+  type agg = {
+    mutable count : int;
+    mutable total_ns : int;
+    mutable max_ns : int;
+    (* GC words allocated while the span was open on its domain; minor
+       words are (close to) a pure function of the work done, major words
+       include promotion so they track GC pressure. *)
+    mutable minor_w : int;
+    mutable major_w : int;
+  }
 
   type dstate = {
     mutable stack : string list; (* current path, innermost first *)
@@ -153,18 +175,20 @@ module Span = struct
         locked (fun () -> states := st :: !states);
         st)
 
-  let record st path dt =
+  let record st path dt dminor dmajor =
     let agg =
       match Hashtbl.find_opt st.table path with
       | Some a -> a
       | None ->
-          let a = { count = 0; total_ns = 0; max_ns = 0 } in
+          let a = { count = 0; total_ns = 0; max_ns = 0; minor_w = 0; major_w = 0 } in
           Hashtbl.add st.table path a;
           a
     in
     agg.count <- agg.count + 1;
     agg.total_ns <- agg.total_ns + dt;
-    if dt > agg.max_ns then agg.max_ns <- dt
+    if dt > agg.max_ns then agg.max_ns <- dt;
+    agg.minor_w <- agg.minor_w + dminor;
+    agg.major_w <- agg.major_w + dmajor
 end
 
 let with_span name f =
@@ -173,11 +197,19 @@ let with_span name f =
     let st = Domain.DLS.get Span.key in
     let path = match st.Span.stack with [] -> name | parent :: _ -> parent ^ "/" ^ name in
     st.Span.stack <- path :: st.Span.stack;
+    (* [Gc.counters] reads the current domain's allocation cursor — a few
+       loads plus one small tuple; nested spans double-count their parent's
+       words by design, mirroring how nested spans double-count time. *)
+    let minor0, _, major0 = Gc.counters () in
     let t0 = now_ns () in
     Fun.protect
       ~finally:(fun () ->
         (match st.Span.stack with _ :: rest -> st.Span.stack <- rest | [] -> ());
-        Span.record st path (now_ns () - t0))
+        let dt = now_ns () - t0 in
+        let minor1, _, major1 = Gc.counters () in
+        Span.record st path dt
+          (int_of_float (minor1 -. minor0))
+          (int_of_float (major1 -. major0)))
       f
   end
 
@@ -227,7 +259,14 @@ type counter_view = {
   c_deterministic : bool;
 }
 
-type span_view = { s_path : string; s_count : int; s_total_s : float; s_max_s : float }
+type span_view = {
+  s_path : string;
+  s_count : int;
+  s_total_s : float;
+  s_max_s : float;
+  s_minor_words : int;
+  s_major_words : int;
+}
 
 type histogram_view = {
   h_domain : string;
@@ -276,13 +315,17 @@ let snapshot () =
           | Some m ->
               m.Span.count <- m.Span.count + a.Span.count;
               m.Span.total_ns <- m.Span.total_ns + a.Span.total_ns;
-              if a.Span.max_ns > m.Span.max_ns then m.Span.max_ns <- a.Span.max_ns
+              if a.Span.max_ns > m.Span.max_ns then m.Span.max_ns <- a.Span.max_ns;
+              m.Span.minor_w <- m.Span.minor_w + a.Span.minor_w;
+              m.Span.major_w <- m.Span.major_w + a.Span.major_w
           | None ->
               Hashtbl.add merged path
                 {
                   Span.count = a.Span.count;
                   total_ns = a.Span.total_ns;
                   max_ns = a.Span.max_ns;
+                  minor_w = a.Span.minor_w;
+                  major_w = a.Span.major_w;
                 })
         st.Span.table)
     states;
@@ -294,6 +337,8 @@ let snapshot () =
           s_count = a.Span.count;
           s_total_s = float_of_int a.Span.total_ns *. 1e-9;
           s_max_s = float_of_int a.Span.max_ns *. 1e-9;
+          s_minor_words = a.Span.minor_w;
+          s_major_words = a.Span.major_w;
         }
         :: acc)
       merged []
@@ -408,8 +453,9 @@ let to_json s =
       Buffer.add_string buf "{\"path\":\"";
       json_escape buf sp.s_path;
       Buffer.add_string buf
-        (Printf.sprintf "\",\"count\":%d,\"total_s\":%.6f,\"max_s\":%.6f}" sp.s_count
-           sp.s_total_s sp.s_max_s))
+        (Printf.sprintf
+           "\",\"count\":%d,\"total_s\":%.6f,\"max_s\":%.6f,\"minor_words\":%d,\"major_words\":%d}"
+           sp.s_count sp.s_total_s sp.s_max_s sp.s_minor_words sp.s_major_words))
     s.spans;
   Buffer.add_string buf ",\"histograms\":";
   json_list buf
@@ -455,13 +501,13 @@ let pp_tree fmt s =
       s.counters
   end;
   if s.spans <> [] then begin
-    Format.fprintf fmt "  spans%42s %10s %10s@." "count" "total" "max";
+    Format.fprintf fmt "  spans%42s %10s %10s %11s@." "count" "total" "max" "minor-words";
     List.iter
       (fun sp ->
         let indent = String.make (4 + (2 * span_depth sp.s_path)) ' ' in
         let label = indent ^ span_leaf sp.s_path in
-        Format.fprintf fmt "%-45s %7d %9.3fs %9.3fs@." label sp.s_count sp.s_total_s
-          sp.s_max_s)
+        Format.fprintf fmt "%-45s %7d %9.3fs %9.3fs %11d@." label sp.s_count sp.s_total_s
+          sp.s_max_s sp.s_minor_words)
       s.spans
   end;
   if s.histograms <> [] then begin

@@ -69,7 +69,20 @@ val with_span : string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f], timing it into the span aggregate named
     by the current domain's nesting path ([parent/child/...]).  Spans
     nest within one domain; a worker domain starts a fresh root.
-    Exceptions propagate; the span still closes. *)
+    Exceptions propagate; the span still closes.
+
+    Besides wall time, each span records the GC words its domain allocated
+    while it was open ([Gc.counters] deltas, minor and major) — the signal
+    that exposes allocation-driven multicore stalls stage by stage.  Like
+    durations, word counts of nested spans are also charged to their
+    ancestors. *)
+
+val padded_atomics : int -> int Atomic.t array
+(** [n] fresh atomics allocated with spacing so that no two share a cache
+    line (best effort — OCaml 5.1 has no [Atomic.make_contended]).  For
+    domain-sharded counters: an unpadded [Array.init n (fun _ ->
+    Atomic.make 0)] packs the boxes 4–8 per line and concurrent shards
+    false-share. *)
 
 module Audit : sig
   (** Per-target constraint audit: one entry per constraint folded into
@@ -115,6 +128,8 @@ type span_view = {
   s_count : int;
   s_total_s : float;
   s_max_s : float;
+  s_minor_words : int;  (** GC minor words allocated inside the span. *)
+  s_major_words : int;  (** GC major-heap words allocated inside the span. *)
 }
 
 type histogram_view = {

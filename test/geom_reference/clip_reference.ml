@@ -1,0 +1,420 @@
+(* Reference implementation of the clipping kernels: the original
+   list-consing Sutherland-Hodgman / Greiner-Hormann code, kept verbatim
+   (telemetry stripped) so the allocation-slim buffer kernels in
+   lib/geo/clip.ml can be property-tested against it vertex for vertex
+   (test_clip_equiv) and benchmarked against it for allocated words per
+   op (bench geom).  Do not optimize this file; its value is that it does
+   NOT share code with the production kernels. *)
+
+exception Degenerate
+
+let area_floor = 1e-9
+let alpha_eps = 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Sutherland–Hodgman fast path (both operands convex).                *)
+(* ------------------------------------------------------------------ *)
+
+let clip_halfplane pts (e1, e2) =
+  (* Keep the part of the ring on the left of the directed edge e1->e2;
+     for a counterclockwise clip polygon that is its interior side. *)
+  let n = Array.length pts in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let cur = pts.(i) and nxt = pts.((i + 1) mod n) in
+    let dc = Geo.Point.orient2d e1 e2 cur and dn = Geo.Point.orient2d e1 e2 nxt in
+    let crossing () =
+      let t = dc /. (dc -. dn) in
+      Geo.Point.lerp cur nxt t
+    in
+    if dc >= 0.0 then begin
+      out := cur :: !out;
+      if dn < 0.0 then out := crossing () :: !out
+    end
+    else if dn >= 0.0 then out := crossing () :: !out
+  done;
+  Array.of_list (List.rev !out)
+
+let convex_inter a b =
+  let pts = Array.fold_left clip_halfplane (Geo.Polygon.vertices a) (Geo.Polygon.edges b) in
+  if Array.length pts < 3 then None
+  else
+    match Geo.Polygon.of_points pts with
+    | p -> if Geo.Polygon.area p < area_floor then None else Some p
+    | exception Invalid_argument _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Greiner–Hormann machinery.                                          *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  pt : Geo.Point.t;
+  mutable next : node;
+  mutable prev : node;
+  mutable neighbor : node option;
+  mutable entry : bool;
+  is_isect : bool;
+  mutable visited : bool;
+}
+
+let fresh_node pt is_isect =
+  let rec nd =
+    { pt; next = nd; prev = nd; neighbor = None; entry = false; is_isect; visited = false }
+  in
+  nd
+
+(* Segment intersection with degeneracy detection.  Returns the parameters
+   on both segments when they cross strictly in their interiors; raises
+   [Degenerate] on touching/collinear configurations so the caller can
+   perturb and retry. *)
+let seg_isect p1 p2 q1 q2 =
+  let d1 = Geo.Point.sub p2 p1 and d2 = Geo.Point.sub q2 q1 in
+  let denom = Geo.Point.cross d1 d2 in
+  let scale = Geo.Point.norm d1 *. Geo.Point.norm d2 in
+  if Float.abs denom <= 1e-12 *. (1.0 +. scale) then begin
+    (* Parallel.  Collinear and overlapping is degenerate. *)
+    let off = Geo.Point.cross d1 (Geo.Point.sub q1 p1) in
+    if Float.abs off <= 1e-9 *. (1.0 +. Geo.Point.norm d1) then begin
+      let len2 = Geo.Point.norm2 d1 in
+      if len2 = 0.0 then None
+      else begin
+        let t1 = Geo.Point.dot (Geo.Point.sub q1 p1) d1 /. len2 in
+        let t2 = Geo.Point.dot (Geo.Point.sub q2 p1) d1 /. len2 in
+        let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+        if hi < -.alpha_eps || lo > 1.0 +. alpha_eps then None else raise Degenerate
+      end
+    end
+    else None
+  end
+  else begin
+    let e = Geo.Point.sub q1 p1 in
+    let t = Geo.Point.cross e d2 /. denom in
+    let u = Geo.Point.cross e d1 /. denom in
+    let strictly_inside x = x > alpha_eps && x < 1.0 -. alpha_eps in
+    let near_end x = Float.abs x <= alpha_eps || Float.abs (x -. 1.0) <= alpha_eps in
+    let in_range x = x >= -.alpha_eps && x <= 1.0 +. alpha_eps in
+    if strictly_inside t && strictly_inside u then Some (t, u, Geo.Point.lerp p1 p2 t)
+    else if (near_end t && in_range u) || (near_end u && in_range t) then raise Degenerate
+    else None
+  end
+
+let strict_inside poly p =
+  if Geo.Polygon.on_boundary ~eps:1e-9 poly p then raise Degenerate;
+  Geo.Polygon.contains poly p
+
+(* Interior point of a polygon by a horizontal scanline through the middle
+   of its bounding box; robust for non-convex shapes where the centroid can
+   fall outside. *)
+let interior_point poly =
+  let v = Geo.Polygon.vertices poly in
+  let lo, hi = Geo.Polygon.bounding_box poly in
+  let y = (lo.Geo.Point.y +. hi.Geo.Point.y) /. 2.0 in
+  let xs = ref [] in
+  let n = Array.length v in
+  for i = 0 to n - 1 do
+    let a = v.(i) and b = v.((i + 1) mod n) in
+    if (a.Geo.Point.y > y) <> (b.Geo.Point.y > y) then begin
+      let t = (y -. a.Geo.Point.y) /. (b.Geo.Point.y -. a.Geo.Point.y) in
+      xs := (a.Geo.Point.x +. (t *. (b.Geo.Point.x -. a.Geo.Point.x))) :: !xs
+    end
+  done;
+  match List.sort compare !xs with
+  | x1 :: x2 :: _ -> Geo.Point.make ((x1 +. x2) /. 2.0) y
+  | _ -> Geo.Polygon.centroid poly
+
+(* Build the two rings with intersection nodes spliced in, mark entry/exit
+   flags, and run the Greiner–Hormann traversal.  [invert_subject] and
+   [invert_clip] select the boolean operation: (false, false) computes the
+   intersection, (true, false) the difference subject \ clip. *)
+let gh_traverse ~invert_subject ~invert_clip subject clip =
+  let sv = Geo.Polygon.vertices subject and cv = Geo.Polygon.vertices clip in
+  let ns = Array.length sv and nc = Array.length cv in
+  let s_edge = Array.make ns [] and c_edge = Array.make nc [] in
+  let count = ref 0 in
+  for i = 0 to ns - 1 do
+    for j = 0 to nc - 1 do
+      match seg_isect sv.(i) sv.((i + 1) mod ns) cv.(j) cv.((j + 1) mod nc) with
+      | None -> ()
+      | Some (t, u, pt) ->
+          incr count;
+          let sn = fresh_node pt true and cn = fresh_node pt true in
+          sn.neighbor <- Some cn;
+          cn.neighbor <- Some sn;
+          s_edge.(i) <- (t, sn) :: s_edge.(i);
+          c_edge.(j) <- (u, cn) :: c_edge.(j)
+    done
+  done;
+  if !count = 0 then None
+  else begin
+    if !count mod 2 = 1 then raise Degenerate;
+    (* Build a circular list: original vertices with the per-edge
+       intersections inserted in parameter order. *)
+    let build verts edge_isects =
+      let nodes = ref [] in
+      Array.iteri
+        (fun i v ->
+          nodes := fresh_node v false :: !nodes;
+          let sorted = List.sort (fun (a, _) (b, _) -> compare a b) edge_isects.(i) in
+          let rec check_dups = function
+            | (a, _) :: ((b, _) :: _ as rest) ->
+                if b -. a <= alpha_eps then raise Degenerate;
+                check_dups rest
+            | _ -> ()
+          in
+          check_dups sorted;
+          List.iter (fun (_, nd) -> nodes := nd :: !nodes) sorted)
+        verts;
+      let arr = Array.of_list (List.rev !nodes) in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        arr.(i).next <- arr.((i + 1) mod n);
+        arr.(i).prev <- arr.((i + n - 1) mod n)
+      done;
+      arr
+    in
+    let s_ring = build sv s_edge and c_ring = build cv c_edge in
+    (* Entry/exit marking: walking the ring forward, an intersection node is
+       an entry iff the walk was outside the other polygon just before it. *)
+    let mark ring other invert =
+      let status = ref (not (strict_inside other ring.(0).pt)) in
+      let status = if invert then ref (not !status) else status in
+      Array.iter
+        (fun nd ->
+          if nd.is_isect then begin
+            nd.entry <- !status;
+            status := not !status
+          end)
+        ring
+    in
+    mark s_ring clip invert_subject;
+    mark c_ring subject invert_clip;
+    (* Traversal. *)
+    let results = ref [] in
+    Array.iter
+      (fun start ->
+        if start.is_isect && not start.visited then begin
+          start.visited <- true;
+          (match start.neighbor with Some n -> n.visited <- true | None -> ());
+          let pts = ref [ start.pt ] in
+          let cur = ref start in
+          let steps = ref 0 in
+          let finished = ref false in
+          while not !finished do
+            incr steps;
+            if !steps > 4 * (ns + nc + !count) + 16 then raise Degenerate;
+            (* Walk along the current ring to the next intersection. *)
+            let dir_next = !cur.entry in
+            let rec walk () =
+              cur := if dir_next then !cur.next else !cur.prev;
+              pts := !cur.pt :: !pts;
+              if not !cur.is_isect then walk ()
+            in
+            walk ();
+            !cur.visited <- true;
+            (match !cur.neighbor with Some n -> n.visited <- true | None -> ());
+            (* Jump to the paired node on the other ring. *)
+            (match !cur.neighbor with
+            | None -> raise Degenerate
+            | Some n -> cur := n);
+            if !cur == start then finished := true
+          done;
+          match Geo.Polygon.of_points (Array.of_list (List.rev !pts)) with
+          | poly -> if Geo.Polygon.area poly >= area_floor then results := poly :: !results
+          | exception Invalid_argument _ -> ()
+        end)
+      s_ring;
+    Some !results
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Perturbation wrapper.                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic micro-perturbation of a polygon: a rotation of ~1e-12 rad
+   around its centroid plus a sub-nanometer translation, scaled up on each
+   retry.  This breaks vertex-on-edge and collinear-overlap ties without
+   visibly moving anything at geolocalization scales. *)
+let perturb k poly =
+  let eps = 1e-9 *. (8.0 ** float_of_int k) in
+  let c = Geo.Polygon.centroid poly in
+  let delta = Geo.Point.make eps (0.618 *. eps) in
+  Geo.Polygon.transform (fun p -> Geo.Point.add (Geo.Point.rotate_around ~center:c p (eps *. 1e-4)) delta) poly
+
+let max_retries = 7
+
+let dump_degenerate a b =
+  match Sys.getenv_opt "GEO_CLIP_DEBUG" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let dump poly =
+        Array.iter
+          (fun p -> Printf.fprintf oc "%.17g %.17g\n" p.Geo.Point.x p.Geo.Point.y)
+          (Geo.Polygon.vertices poly);
+        Printf.fprintf oc "---\n"
+      in
+      dump a;
+      dump b;
+      close_out oc
+
+let with_retry ?fallback f a b =
+  let rec go k a =
+    if k > max_retries then begin
+      match fallback with
+      | Some g -> g ()
+      | None ->
+          dump_degenerate a b;
+          raise Degenerate
+    end
+    else begin
+      (* Halfway through the retries, also scrub the subject: persistent
+         degeneracies usually come from debris on cell boundaries rather
+         than from the (freshly perturbed) clip polygon. *)
+      let a =
+        if k = 4 then match Geo.Polygon.cleanup ~eps:1e-3 a with Some a' -> a' | None -> a
+        else a
+      in
+      let b' = if k = 0 then b else perturb k b in
+      try f a b'
+      with Degenerate ->
+        go (k + 1) a
+    end
+  in
+  go 0 a
+
+(* ------------------------------------------------------------------ *)
+(* Public operations.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let keep_significant polys =
+  List.filter_map (fun p -> if Geo.Polygon.area p >= area_floor then Geo.Polygon.cleanup p else None) polys
+
+(* Over-approximating last resorts: when a boolean operation is
+   irrecoverably degenerate, fall back to a result that can only ADD area,
+   never remove the true location from a candidate region. *)
+let hull_polygon b =
+  match Geo.Polygon.of_points (Geo.Convex_hull.hull (Geo.Polygon.vertices b)) with
+  | p -> Some p
+  | exception Invalid_argument _ -> None
+
+let inter_fallback a b () =
+  match hull_polygon b with
+  | Some hb -> ( match convex_inter a hb with Some p -> [ p ] | None -> [])
+  | None -> []
+
+let inter_once a b =
+  match gh_traverse ~invert_subject:false ~invert_clip:false a b with
+  | Some polys -> keep_significant polys
+  | None ->
+      (* No boundary crossings: containment or disjoint. *)
+      if strict_inside b (Geo.Polygon.vertices a).(0) then [ a ]
+      else if strict_inside a (Geo.Polygon.vertices b).(0) then [ b ]
+      else []
+
+let inter a b =
+  if Geo.Polygon.is_convex a && Geo.Polygon.is_convex b then begin
+    match convex_inter a b with Some p -> [ p ] | None -> []
+  end
+  else with_retry ~fallback:(inter_fallback a b) inter_once a b
+
+(* Difference with the hole case eliminated by splitting: when the clip is
+   strictly inside the subject, cut the subject in two along a vertical
+   line through an interior point of the clip, so that both halves' borders
+   cross the clip and the recursive differences stay hole-free. *)
+let rec diff_once a b =
+  match gh_traverse ~invert_subject:true ~invert_clip:false a b with
+  | Some polys -> keep_significant polys
+  | None ->
+      if strict_inside b (Geo.Polygon.vertices a).(0) then []
+      else if strict_inside a (Geo.Polygon.vertices b).(0) then split_diff a b
+      else [ a ]
+
+and split_diff a b =
+  let lo, hi = Geo.Polygon.bounding_box a in
+  let margin = 1.0 +. (hi.Geo.Point.x -. lo.Geo.Point.x) +. (hi.Geo.Point.y -. lo.Geo.Point.y) in
+  let split_x = (interior_point b).Geo.Point.x in
+  let left =
+    Geo.Polygon.rectangle
+      (Geo.Point.make (lo.Geo.Point.x -. margin) (lo.Geo.Point.y -. margin))
+      (Geo.Point.make split_x (hi.Geo.Point.y +. margin))
+  in
+  let right =
+    Geo.Polygon.rectangle
+      (Geo.Point.make split_x (lo.Geo.Point.y -. margin))
+      (Geo.Point.make (hi.Geo.Point.x +. margin) (hi.Geo.Point.y +. margin))
+  in
+  let halves =
+    with_retry ~fallback:(inter_fallback a left) inter_once a left
+    @ with_retry ~fallback:(inter_fallback a right) inter_once a right
+  in
+  List.concat_map (fun half -> with_retry ~fallback:(fun () -> [ half ]) diff_once half b) halves
+
+let diff a b =
+  with_retry ~fallback:(fun () -> [ a ]) diff_once a b
+
+(* Union as [a + (b \ a)]: keeps every output polygon simple and hole-free
+   (a union of two crossing simple polygons can enclose a hole, which a
+   single-ring representation cannot express; the difference decomposition
+   sidesteps that entirely). *)
+let union a b =
+  match diff b a with
+  | [] -> [ a ]
+  | pieces ->
+      (* If b survived untouched the polygons are disjoint. *)
+      [ a ] @ pieces
+
+(* ------------------------------------------------------------------ *)
+(* Reference Polygon construction (the original list-based dedup).     *)
+(* ------------------------------------------------------------------ *)
+
+let dedup_ref pts =
+  let out = ref [] in
+  let n = Array.length pts in
+  for i = 0 to n - 1 do
+    let p = pts.(i) in
+    match !out with
+    | q :: _ when Geo.Point.equal ~eps:1e-12 p q -> ()
+    | _ -> out := p :: !out
+  done;
+  (* The chain is closed: also drop a trailing vertex equal to the head. *)
+  let lst = List.rev !out in
+  match lst with
+  | first :: _ :: _ ->
+      let rec drop_last = function
+        | [ last ] -> if Geo.Point.equal ~eps:1e-12 last first then [] else [ last ]
+        | x :: rest -> x :: drop_last rest
+        | [] -> []
+      in
+      Array.of_list (drop_last lst)
+  | _ -> Array.of_list lst
+
+(* The CCW vertex ring [Geo.Polygon.of_points] must produce, computed the
+   original way; raises [Invalid_argument] under the same condition. *)
+let of_points_ref pts =
+  let pts = dedup_ref pts in
+  if Array.length pts < 3 then
+    invalid_arg "Polygon.of_points: fewer than 3 distinct vertices";
+  if Geo.Polygon.signed_area pts < 0.0 then begin
+    let r = Array.copy pts in
+    let n = Array.length r in
+    for i = 0 to n - 1 do
+      r.(i) <- pts.(n - 1 - i)
+    done;
+    r
+  end
+  else pts
+
+(* ------------------------------------------------------------------ *)
+(* Region-level piece maps, mirroring Geo.Region's boolean expansion    *)
+(* so the geom bench can compare allocated words per region op.         *)
+(* ------------------------------------------------------------------ *)
+
+let pieces_inter a b = List.concat_map (fun p -> List.concat_map (fun q -> inter p q) b) a
+
+let pieces_diff a b =
+  let subtract_all p =
+    List.fold_left (fun frags q -> List.concat_map (fun f -> diff f q) frags) [ p ] b
+  in
+  List.concat_map subtract_all a
+
+let pieces_union a b = a @ pieces_diff b a

@@ -1,0 +1,171 @@
+(* Equivalence property suite: the allocation-slim buffer kernels in
+   lib/geo/clip.ml against the original list-based implementations kept in
+   test/geom_reference/clip_reference.ml.
+
+   The contract is stronger than geometric equality: the buffer kernels
+   reproduce the reference float arithmetic operation for operation, so
+   every output polygon must match VERTEX FOR VERTEX with exact float
+   equality, on convex inputs (Sutherland–Hodgman fast path) and
+   non-convex ones (Greiner–Hormann, perturbation retries included).
+   Anything weaker would let the optimized kernels drift away from the
+   batch engine's golden files silently. *)
+
+module Ref = Geom_reference.Clip_reference
+
+(* ---- deterministic polygon generators over a seed ---- *)
+
+let rand_star rng =
+  let cx = Stats.Rng.uniform rng (-150.0) 150.0 in
+  let cy = Stats.Rng.uniform rng (-150.0) 150.0 in
+  let n = 6 + Stats.Rng.int rng 10 in
+  let pts =
+    Array.init n (fun i ->
+        let base = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+        let theta = base +. Stats.Rng.uniform rng 0.0 (4.0 /. float_of_int n) in
+        let r = Stats.Rng.uniform rng 25.0 160.0 in
+        Geo.Point.make (cx +. (r *. cos theta)) (cy +. (r *. sin theta)))
+  in
+  Geo.Polygon.of_points pts
+
+let rand_convex rng =
+  let cx = Stats.Rng.uniform rng (-150.0) 150.0 in
+  let cy = Stats.Rng.uniform rng (-150.0) 150.0 in
+  let pts =
+    Array.init 18 (fun _ ->
+        Geo.Point.make
+          (cx +. Stats.Rng.uniform rng (-140.0) 140.0)
+          (cy +. Stats.Rng.uniform rng (-140.0) 140.0))
+  in
+  Geo.Polygon.of_points (Geo.Convex_hull.hull pts)
+
+(* qcheck drives the generators through an integer seed, so every failure
+   report is a one-number repro. *)
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+
+let poly_pair ~convex seed =
+  let rng = Stats.Rng.create (seed + 913) in
+  if convex then (rand_convex rng, rand_convex rng)
+  else
+    let mk rng = if Stats.Rng.bool rng then rand_star rng else rand_convex rng in
+    let a = mk rng in
+    let b = mk rng in
+    (a, b)
+
+let same_polygon p q =
+  let pv = Geo.Polygon.vertices p and qv = Geo.Polygon.vertices q in
+  Array.length pv = Array.length qv
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i (v : Geo.Point.t) ->
+           let w = qv.(i) in
+           if not (Float.equal v.Geo.Point.x w.Geo.Point.x && Float.equal v.Geo.Point.y w.Geo.Point.y)
+           then ok := false)
+         pv;
+       !ok
+     end
+
+let same_list name seed got expect =
+  if List.length got <> List.length expect then
+    QCheck.Test.fail_reportf "seed %d: %s produced %d polygons, reference %d" seed name
+      (List.length got) (List.length expect);
+  List.iter2
+    (fun g e ->
+      if not (same_polygon g e) then
+        QCheck.Test.fail_reportf "seed %d: %s polygon differs from reference:@.%a@.vs@.%a" seed
+          name Geo.Polygon.pp g Geo.Polygon.pp e)
+    got expect;
+  true
+
+(* ---- properties ---- *)
+
+let prop_convex_inter =
+  QCheck.Test.make ~count:300 ~name:"convex_inter matches reference bit for bit" arb_seed
+    (fun seed ->
+      let a, b = poly_pair ~convex:true seed in
+      match (Geo.Clip.convex_inter a b, Ref.convex_inter a b) with
+      | None, None -> true
+      | Some p, Some q ->
+          if same_polygon p q then true
+          else
+            QCheck.Test.fail_reportf "seed %d: convex_inter vertices differ:@.%a@.vs@.%a" seed
+              Geo.Polygon.pp p Geo.Polygon.pp q
+      | Some _, None -> QCheck.Test.fail_reportf "seed %d: got Some, reference None" seed
+      | None, Some _ -> QCheck.Test.fail_reportf "seed %d: got None, reference Some" seed)
+
+let prop_inter =
+  QCheck.Test.make ~count:250 ~name:"inter matches reference vertex-for-vertex" arb_seed
+    (fun seed ->
+      let a, b = poly_pair ~convex:false seed in
+      same_list "inter" seed (Geo.Clip.inter a b) (Ref.inter a b))
+
+let prop_diff =
+  QCheck.Test.make ~count:250 ~name:"diff matches reference vertex-for-vertex" arb_seed
+    (fun seed ->
+      let a, b = poly_pair ~convex:false seed in
+      same_list "diff" seed (Geo.Clip.diff a b) (Ref.diff a b))
+
+let prop_union =
+  QCheck.Test.make ~count:150 ~name:"union matches reference vertex-for-vertex" arb_seed
+    (fun seed ->
+      let a, b = poly_pair ~convex:false seed in
+      same_list "union" seed (Geo.Clip.union a b) (Ref.union a b))
+
+let prop_of_points =
+  QCheck.Test.make ~count:400 ~name:"Polygon.of_points dedup matches list-based reference"
+    arb_seed (fun seed ->
+      let rng = Stats.Rng.create (seed + 3271) in
+      (* Raw rings with deliberate duplicate runs and a closing repeat,
+         the debris dedup exists to clean up. *)
+      let n = 3 + Stats.Rng.int rng 12 in
+      let base =
+        Array.init n (fun i ->
+            let theta = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+            let r = Stats.Rng.uniform rng 10.0 120.0 in
+            Geo.Point.make (r *. cos theta) (r *. sin theta))
+      in
+      let noisy =
+        Array.concat
+          (List.concat_map
+             (fun p ->
+               let dups = 1 + Stats.Rng.int rng 2 in
+               [ Array.make dups p ])
+             (Array.to_list base)
+          @ if Stats.Rng.bool rng then [ [| base.(0) |] ] else [])
+      in
+      match (Geo.Polygon.of_points noisy, Ref.of_points_ref noisy) with
+      | poly, ring ->
+          let pv = Geo.Polygon.vertices poly in
+          if Array.length pv <> Array.length ring then
+            QCheck.Test.fail_reportf "seed %d: of_points kept %d vertices, reference %d" seed
+              (Array.length pv) (Array.length ring)
+          else begin
+            Array.iteri
+              (fun i (v : Geo.Point.t) ->
+                let w = ring.(i) in
+                if
+                  not
+                    (Float.equal v.Geo.Point.x w.Geo.Point.x
+                    && Float.equal v.Geo.Point.y w.Geo.Point.y)
+                then
+                  QCheck.Test.fail_reportf "seed %d: of_points vertex %d differs" seed i)
+              pv;
+            true
+          end
+      | exception Invalid_argument _ -> (
+          (* Both must reject the same inputs. *)
+          match Ref.of_points_ref noisy with
+          | exception Invalid_argument _ -> true
+          | _ -> QCheck.Test.fail_reportf "seed %d: of_points raised, reference accepted" seed))
+
+let suite =
+  [
+    ( "clip-equivalence",
+      [
+        QCheck_alcotest.to_alcotest prop_convex_inter;
+        QCheck_alcotest.to_alcotest prop_inter;
+        QCheck_alcotest.to_alcotest prop_diff;
+        QCheck_alcotest.to_alcotest prop_union;
+        QCheck_alcotest.to_alcotest prop_of_points;
+      ] );
+  ]

@@ -620,6 +620,22 @@ let test_parallel_seq_init_order () =
   Alcotest.(check (list int)) "ascending application" (List.init 20 Fun.id) (List.rev !order);
   Alcotest.(check (array int)) "values" (Array.init 20 Fun.id) a
 
+let test_parallel_default_chunk_matches () =
+  (* With [?chunk] omitted the pool picks an adaptive size; the result
+     must still be exactly [Array.init], at every (n, jobs) combination
+     including the edge cases n < jobs and n not a chunk multiple. *)
+  let f i = (i * 31) mod 97 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "n=%d jobs=%d default chunk" n jobs)
+            (Array.init n f)
+            (Parallel.init ~jobs n f))
+        [ 1; 2; 4 ])
+    [ 0; 1; 7; 100 ]
+
 let prop_parallel_matches_sequential =
   QCheck.Test.make ~name:"parallel init = sequential init" ~count:60
     QCheck.(triple (int_range 0 200) (int_range 1 8) (int_range 1 17))
@@ -942,6 +958,50 @@ let test_estimate_bezier_output () =
   assert (List.length paths >= 1);
   List.iter (fun p -> assert (Geo.Bezier.is_closed p)) paths
 
+let test_batch_chunk_invariance () =
+  (* localize_batch results must not depend on the work-queue granularity:
+     the default (adaptive) chunk, chunk=1, and an uneven chunk must yield
+     the same estimates, at jobs 1 and 2.  Compare the deterministic
+     fields — [solve_time_s] is a stopwatch and legitimately varies. *)
+  let landmarks, inter, rtt_between = clean_pipeline_fixture () in
+  let ctx = Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let targets =
+    [|
+      (38.63, -90.2); (39.1, -94.58); (35.15, -90.05); (36.16, -86.78);
+      (39.77, -86.16); (38.25, -85.76); (41.5, -81.7);
+    |]
+  in
+  let obs =
+    Array.map
+      (fun (lat, lon) ->
+        let truth = Geo.Geodesy.coord ~lat ~lon in
+        Pipeline.observations_of_rtts
+          (Array.map (fun l -> rtt_between l.Pipeline.lm_position truth) landmarks))
+      targets
+  in
+  let fingerprint results =
+    Array.map
+      (function
+        | Ok (e : Estimate.t) ->
+            Printf.sprintf "ok %.9f %.9f %.6f" e.Estimate.point.Geo.Geodesy.lat
+              e.Estimate.point.Geo.Geodesy.lon e.Estimate.area_km2
+        | Error reason -> "error " ^ reason)
+      results
+  in
+  let baseline = fingerprint (Pipeline.localize_batch ~jobs:1 ~chunk:1 ctx obs) in
+  List.iter
+    (fun (jobs, chunk, label) ->
+      Alcotest.(check (array string))
+        label baseline
+        (fingerprint (Pipeline.localize_batch ~jobs ?chunk ctx obs)))
+    [
+      (1, None, "jobs=1 default chunk");
+      (2, None, "jobs=2 default chunk");
+      (2, Some 1, "jobs=2 chunk=1");
+      (2, Some 3, "jobs=2 chunk=3");
+      (1, Some 100, "jobs=1 oversized chunk");
+    ]
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suite =
@@ -1007,6 +1067,7 @@ let suite =
         tc "empty and validation" test_parallel_empty_and_validation;
         tc "propagates exceptions" test_parallel_propagates_exception;
         tc "seq_init applies in order" test_parallel_seq_init_order;
+        tc "default chunk matches Array.init" test_parallel_default_chunk_matches;
         QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
       ] );
     ( "geom-cache",
@@ -1034,5 +1095,6 @@ let suite =
         tc "serial chain through opaque hops" test_pipeline_serial_chain;
         tc "input validation" test_pipeline_input_validation;
         tc "bezier output" test_estimate_bezier_output;
+        tc "batch chunk invariance" test_batch_chunk_invariance;
       ] );
   ]

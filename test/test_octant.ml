@@ -99,7 +99,8 @@ let smoke_suite =
 
 let () =
   Alcotest.run "octant-repro"
-    (Test_geo.suite @ Test_geom_props.suite @ Test_stats.suite @ Test_linalg.suite
+    (Test_geo.suite @ Test_geom_props.suite @ Test_clip_equiv.suite @ Test_stats.suite
+   @ Test_linalg.suite
    @ Test_netsim.suite @ Test_core.suite @ Test_telemetry.suite @ Test_baselines.suite
    @ Test_integration.suite @ Test_batch_golden.suite @ Test_parity.suite @ Test_lru.suite
    @ Test_wire_fuzz.suite @ Test_serve.suite @ smoke_suite)
