@@ -40,6 +40,24 @@ let jobs_arg =
 (* 0 = auto: let the library pick Domain.recommended_domain_count. *)
 let jobs_opt = function 0 -> None | j -> Some j
 
+let backend_conv =
+  let parse s =
+    match Geo.Region_backend.spec_of_string s with Ok v -> Ok v | Error e -> Error (`Msg e)
+  in
+  let print fmt s = Format.pp_print_string fmt (Geo.Region_backend.spec_to_string s) in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Geo.Region_backend.default
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Region backend the solver dispatches through: $(b,exact) (polygon \
+           clipping, the default), $(b,grid)[:RES] (raster over the world box), \
+           or $(b,hybrid)[:CELLS] (exact clipping behind a bbox + occupancy-grid \
+           prefilter).")
+
 (* --- telemetry --- *)
 
 type telemetry_mode = Tree | Json_stdout | Json_file of string
@@ -96,7 +114,7 @@ let mk_bridge seed n_hosts probes =
 
 (* --- localize --- *)
 
-let localize seed hosts probes target no_piecewise no_geo telemetry =
+let localize seed hosts probes target no_piecewise no_geo backend telemetry =
   with_telemetry telemetry @@ fun () ->
   let deployment, bridge = mk_bridge seed hosts probes in
   let n = Eval.Bridge.host_count bridge in
@@ -115,6 +133,7 @@ let localize seed hosts probes target no_piecewise no_geo telemetry =
       Octant.Pipeline.use_piecewise = not no_piecewise;
       use_land_mask = not no_geo;
       whois_weight = (if no_geo then 0.0 else Octant.Pipeline.default_config.Octant.Pipeline.whois_weight);
+      backend;
     }
   in
   let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
@@ -161,7 +180,7 @@ let localize_cmd =
     (Cmd.info "localize" ~doc:"Localize one host of a simulated deployment")
     Term.(
       const localize $ seed_arg $ hosts_arg $ probes_arg $ target $ no_piecewise $ no_geo
-      $ telemetry_arg)
+      $ backend_arg $ telemetry_arg)
 
 (* --- calibrate --- *)
 
@@ -184,9 +203,10 @@ let calibrate_cmd =
 
 (* --- study --- *)
 
-let study seed hosts probes jobs telemetry =
+let study seed hosts probes jobs backend telemetry =
   with_telemetry telemetry @@ fun () ->
-  let s = Eval.Study.run ~seed ~n_hosts:hosts ~probes ?jobs:(jobs_opt jobs) () in
+  let config = { Octant.Pipeline.default_config with Octant.Pipeline.backend } in
+  let s = Eval.Study.run ~config ~seed ~n_hosts:hosts ~probes ?jobs:(jobs_opt jobs) () in
   Eval.Report.print_figure3 s;
   print_newline ();
   Eval.Report.print_timing s
@@ -194,16 +214,17 @@ let study seed hosts probes jobs telemetry =
 let study_cmd =
   Cmd.v
     (Cmd.info "study" ~doc:"Leave-one-out comparison of all methods (Figure 3)")
-    Term.(const study $ seed_arg $ hosts_arg $ probes_arg $ jobs_arg $ telemetry_arg)
+    Term.(const study $ seed_arg $ hosts_arg $ probes_arg $ jobs_arg $ backend_arg $ telemetry_arg)
 
 (* --- sweep --- *)
 
-let sweep seed hosts counts jobs telemetry =
+let sweep seed hosts counts jobs backend telemetry =
   with_telemetry telemetry @@ fun () ->
   let landmark_counts =
     String.split_on_char ',' counts |> List.map String.trim |> List.map int_of_string
   in
-  let s = Eval.Sweep.run ~seed ~n_hosts:hosts ~landmark_counts ?jobs:(jobs_opt jobs) () in
+  let config = { Octant.Pipeline.default_config with Octant.Pipeline.backend } in
+  let s = Eval.Sweep.run ~config ~seed ~n_hosts:hosts ~landmark_counts ?jobs:(jobs_opt jobs) () in
   Eval.Report.print_figure4 s
 
 let sweep_cmd =
@@ -215,7 +236,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Coverage vs number of landmarks (Figure 4)")
-    Term.(const sweep $ seed_arg $ hosts_arg $ counts $ jobs_arg $ telemetry_arg)
+    Term.(const sweep $ seed_arg $ hosts_arg $ counts $ jobs_arg $ backend_arg $ telemetry_arg)
 
 (* --- ablation --- *)
 

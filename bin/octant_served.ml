@@ -72,8 +72,23 @@ let telemetry_arg =
           "Collect telemetry for the run and emit it at shutdown: $(b,json) (JSON to \
            stdout) or $(b,json:FILE).")
 
+let backend_conv =
+  let parse s =
+    match Geo.Region_backend.spec_of_string s with Ok v -> Ok v | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Geo.Region_backend.spec_to_string s))
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Geo.Region_backend.default
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Region backend for every localization this daemon serves: $(b,exact), \
+           $(b,grid)[:RES], or $(b,hybrid)[:CELLS].")
+
 let serve seed hosts probes port host jobs max_queue max_batch batch_delay_ms cache deadline
-    telemetry =
+    backend telemetry =
   let telemetry_sink =
     match telemetry with
     | None -> None
@@ -96,7 +111,11 @@ let serve seed hosts probes port host jobs max_queue max_batch batch_delay_ms ca
   let all = Array.init n Fun.id in
   let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) all in
   let inter = Eval.Bridge.inter_rtt_for bridge all in
-  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let ctx =
+    Octant.Pipeline.prepare
+      ~config:{ Octant.Pipeline.default_config with Octant.Pipeline.backend }
+      ~landmarks ~inter_landmark_rtt_ms:inter ()
+  in
   let config =
     {
       Octant_serve.Server.default_config with
@@ -144,6 +163,6 @@ let main =
     Term.(
       const serve $ seed_arg $ hosts_arg $ probes_arg $ port_arg $ host_arg $ jobs_arg
       $ max_queue_arg $ max_batch_arg $ batch_delay_arg $ cache_arg $ deadline_arg
-      $ telemetry_arg)
+      $ backend_arg $ telemetry_arg)
 
 let () = exit (Cmd.eval main)

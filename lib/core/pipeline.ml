@@ -18,6 +18,7 @@ type config = {
   negative_weight_factor : float;
   weight_band : float;
   sol_only : bool;
+  backend : Geo.Region_backend.spec;
 }
 
 let default_config =
@@ -41,6 +42,7 @@ let default_config =
     negative_weight_factor = 0.22;
     weight_band = 0.93;
     sol_only = false;
+    backend = Geo.Region_backend.default;
   }
 
 let c_targets = Obs.Telemetry.Counter.make ~domain:"pipeline" "targets_localized"
@@ -157,6 +159,12 @@ let geometry_cache_stats ctx = Geom_cache.stats ctx.geom_cache
    bit-identical. *)
 let tessellate ctx = Geom_cache.region_for ctx.geom_cache
 
+(* Grid and hybrid backends need the target's world geometry, so the
+   config carries a spec and the module is built per arrangement.  The
+   exact spec yields the identity backend: same cells, same golden. *)
+let solver_for ctx world =
+  Solver.create ~backend:(Geo.Region_backend.instantiate ctx.cfg.backend ~world) ~world ()
+
 (* ------------------------------------------------------------------ *)
 
 let focus_of ctx obs =
@@ -223,7 +231,7 @@ let rtt_constraints ctx projection i rtt target_height =
    estimated region. *)
 let localize_router ctx projection world rtts target_height =
   let cfg = ctx.cfg in
-  let solver = ref (Solver.create ~world) in
+  let solver = ref (solver_for ctx world) in
   let count = ref 0 in
   (* The lowest-latency landmarks dominate the solution; a dozen of them
      buy almost all the precision at a fraction of the clipping cost. *)
@@ -554,7 +562,7 @@ let arrangement ?undns ctx obs =
   let solver =
     Obs.Telemetry.with_span "add_constraints" @@ fun () ->
     Solver.add_all ~max_cells:ctx.cfg.max_cells ~tessellate:(tessellate ctx)
-      (Solver.create ~world:prepared.world)
+      (solver_for ctx prepared.world)
       prepared.constraints
   in
   (prepared, solver)

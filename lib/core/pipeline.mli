@@ -40,6 +40,10 @@ type config = {
                                     always part of the region. *)
   sol_only : bool;              (** Ablation: speed-of-light bounds only, no
                                     calibration, no negative constraints. *)
+  backend : Geo.Region_backend.spec;
+      (** Region representation the solver dispatches through (default
+          [Exact]).  Grid/hybrid backends are instantiated per target
+          against its world region. *)
 }
 
 val default_config : config

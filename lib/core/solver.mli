@@ -25,24 +25,50 @@
     makes the final region more conservative, never unsound.  The
     rectangle may overlap the kept cells; fused cells are tracked as
     approximate and {!solve} subtracts that overlap from the cells it
-    selects, so the reported region and [area_km2] never double-count. *)
+    selects, so the reported region and [area_km2] never double-count.
+
+    The arrangement is parametric in its {e region backend}
+    ({!Geo.Region_intf.S}): cells live in whatever representation the
+    backend provides (exact polygons, rasters, prefiltered polygons) and
+    every geometric operation dispatches through it.  The default is the
+    exact backend, which reproduces the historical solver bit for bit. *)
 
 type t
 
-val create : world:Geo.Region.t -> t
-(** Fresh arrangement with a single zero-weight cell covering the world. *)
+type config = {
+  simplify_vertex_threshold : int;
+      (** Cells whose boundary exceeds this many vertices are simplified
+          at creation (default 140). *)
+  simplify_tolerance_km : float;
+      (** Douglas–Peucker tolerance for that simplification (default 2.0
+          km — far below geolocalization scales). *)
+}
+
+val default_config : config
+(** The historical constants: threshold 140, tolerance 2 km. *)
+
+val create :
+  ?config:config -> ?backend:Geo.Region_intf.packed -> world:Geo.Region.t -> unit -> t
+(** Fresh arrangement with a single zero-weight cell covering the world.
+    [backend] (default {!Geo.Region_backend.exact}) fixes the region
+    representation for the arrangement's lifetime; the world and every
+    tessellated constraint are imported through it. *)
 
 val add : ?max_cells:int -> ?tessellate:(Constr.t -> Geo.Region.t) -> t -> Constr.t -> t
 (** Fold one constraint in (default cell cap 384).  [tessellate] converts
-    the constraint's analytic shape to the polygonal region used for
-    clipping; it defaults to {!Constr.region_of_shape} and exists so
-    callers can plug in a memoized discretization
-    (see {!Geom_cache.region_for}). *)
+    the constraint's analytic shape to the (exact-world) polygonal region
+    used for clipping; it defaults to {!Constr.region_of_shape} and
+    exists so callers can plug in a memoized discretization (see
+    {!Geom_cache.region_for}).  The result is imported into the
+    arrangement's backend once per constraint. *)
 
 val add_all : ?max_cells:int -> ?tessellate:(Constr.t -> Geo.Region.t) -> t -> Constr.t list -> t
 
 val cell_count : t -> int
 val max_weight : t -> float
+
+val backend_name : t -> string
+(** Name of the region backend this arrangement dispatches through. *)
 
 val cells : t -> (Geo.Region.t * float) list
 (** All cells with their weights, heaviest first. *)

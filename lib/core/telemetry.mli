@@ -1,0 +1,9 @@
+(** Re-export of the observability sublibrary under the core namespace,
+    so pipeline users write [Octant.Telemetry] without a separate
+    dependency on [octant.obs].  The [module type of struct include ...]
+    form keeps every type equal to its {!Obs.Telemetry} original, so
+    values flow freely between the two spellings. *)
+
+include module type of struct
+  include Obs.Telemetry
+end

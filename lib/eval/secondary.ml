@@ -133,8 +133,11 @@ let run ?(config = Octant.Pipeline.default_config) ?(seed = 7) ?(n_hosts = 51) ?
           (prepared.Octant.Pipeline.constraints @ secondary_constraints)
       in
       let solver =
+        let world = prepared.Octant.Pipeline.world in
         Octant.Solver.add_all ~max_cells:cfg.Octant.Pipeline.max_cells
-          (Octant.Solver.create ~world:prepared.Octant.Pipeline.world)
+          (Octant.Solver.create
+             ~backend:(Geo.Region_backend.instantiate cfg.Octant.Pipeline.backend ~world)
+             ~world ())
           all_constraints
       in
       let sol =

@@ -374,7 +374,7 @@ let world100 =
   Geo.Region.of_polygon (Geo.Polygon.rectangle (pt (-1000.0) (-1000.0)) (pt 1000.0 1000.0))
 
 let test_solver_single_positive () =
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let c = Constr.positive_disk ~center:(pt 0.0 0.0) ~radius_km:100.0 ~weight:1.0 ~source:"a" in
   let s = Solver.add s c in
   Alcotest.(check int) "two cells" 2 (Solver.cell_count s);
@@ -384,7 +384,7 @@ let test_solver_single_positive () =
   check_float ~eps:1.0 "top weight" 1.0 est.Solver.weight
 
 let test_solver_intersection_of_positives () =
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let mk x = Constr.positive_disk ~center:(pt x 0.0) ~radius_km:150.0 ~weight:1.0 ~source:"d" in
   let s = Solver.add_all s [ mk 0.0; mk 100.0; mk 200.0 ] in
   let est = Solver.solve ~area_threshold_km2:10.0 s in
@@ -394,7 +394,7 @@ let test_solver_intersection_of_positives () =
   check_float ~eps:1e-9 "weight 3" 3.0 est.Solver.weight
 
 let test_solver_negative_carves () =
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let pos = Constr.positive_disk ~center:(pt 0.0 0.0) ~radius_km:200.0 ~weight:1.0 ~source:"p" in
   let neg = Constr.negative_disk ~center:(pt 0.0 0.0) ~radius_km:80.0 ~weight:1.0 ~source:"n" in
   let s = Solver.add_all s [ pos; neg ] in
@@ -408,7 +408,7 @@ let test_solver_tolerates_one_bad_constraint () =
   (* Nine agreeing disks, one contradictory far-away disk: the paper's
      core robustness claim — the bad constraint must not collapse the
      estimate. *)
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let good i =
     Constr.positive_disk
       ~center:(pt (10.0 *. float_of_int i) 0.0)
@@ -424,7 +424,7 @@ let test_solver_tolerates_one_bad_constraint () =
 
 let test_solver_weighted_arbitration () =
   (* Two disjoint positives: heavier side wins. *)
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let a = Constr.positive_disk ~center:(pt (-500.0) 0.0) ~radius_km:100.0 ~weight:0.4 ~source:"a" in
   let b = Constr.positive_disk ~center:(pt 500.0 0.0) ~radius_km:100.0 ~weight:0.9 ~source:"b" in
   let s = Solver.add_all s [ a; b ] in
@@ -433,7 +433,7 @@ let test_solver_weighted_arbitration () =
   assert (not (Geo.Region.contains est.Solver.region (pt (-500.0) 0.0)))
 
 let test_solver_cell_cap () =
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let rng = Stats.Rng.create 3 in
   let constraints =
     List.init 30 (fun i ->
@@ -448,7 +448,7 @@ let test_solver_cell_cap () =
 
 let test_solver_area_conservation () =
   (* Cells partition the world: total area is preserved through adds. *)
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let world_area = Geo.Region.area world100 in
   let constraints =
     [
@@ -470,7 +470,7 @@ let test_solver_cap_fusion_no_double_count () =
      far-apart disk interiors into a rectangle that overlaps it massively
      (raw pieces sum to ~1.5x the world).  Selecting every cell makes the
      union exactly the world, which bounds the legitimate area. *)
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let neg x y =
     Constr.negative_disk ~center:(pt x y) ~radius_km:150.0 ~weight:1.0
       ~source:(Printf.sprintf "n%.0f,%.0f" x y)
@@ -490,7 +490,7 @@ let test_solver_cap_fusion_no_double_count () =
 let test_solver_weight_band_inclusion () =
   (* Two near-top disjoint cells: the band pulls the runner-up into the
      region even after the area threshold is met. *)
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let a = Constr.positive_disk ~center:(pt (-500.0) 0.0) ~radius_km:100.0 ~weight:1.00 ~source:"a" in
   let b = Constr.positive_disk ~center:(pt 500.0 0.0) ~radius_km:100.0 ~weight:0.95 ~source:"b" in
   let s = Solver.add_all s [ a; b ] in
@@ -503,7 +503,7 @@ let test_solver_weight_band_inclusion () =
 let test_solver_point_from_top_tier () =
   (* A heavy small cell and a slightly lighter huge cell: the point
      estimate must sit in the heavy cell, not at the area-weighted mean. *)
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let heavy = Constr.positive_disk ~center:(pt 600.0 600.0) ~radius_km:50.0 ~weight:1.0 ~source:"h" in
   let big = Constr.positive_disk ~center:(pt (-400.0) (-400.0)) ~radius_km:500.0 ~weight:0.95 ~source:"b" in
   let s = Solver.add_all s [ heavy; big ] in
@@ -512,7 +512,7 @@ let test_solver_point_from_top_tier () =
   assert (Geo.Point.dist est.Solver.point (pt 600.0 600.0) < 60.0)
 
 let test_solver_estimate_area_threshold () =
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let c = Constr.positive_disk ~center:(pt 0.0 0.0) ~radius_km:50.0 ~weight:1.0 ~source:"a" in
   let s = Solver.add s c in
   let small = Solver.solve ~area_threshold_km2:10.0 s in
@@ -537,7 +537,7 @@ let prop_solver_pointwise_weight =
             if Stats.Rng.bernoulli rng 0.3 then Constr.negative_disk ~center ~radius_km ~weight ~source
             else Constr.positive_disk ~center ~radius_km ~weight ~source)
       in
-      let solver = Solver.add_all ~max_cells:10_000 (Solver.create ~world:world100) constraints in
+      let solver = Solver.add_all ~max_cells:10_000 (Solver.create ~world:world100 ()) constraints in
       let cells = Solver.cells solver in
       let ok = ref true in
       for _ = 1 to 25 do
@@ -695,7 +695,7 @@ let test_geom_cache_state_independent () =
 (* ------------------------------------------------------------------ *)
 
 let posterior_fixture () =
-  let s = Solver.create ~world:world100 in
+  let s = Solver.create ~world:world100 () in
   let a = Constr.positive_disk ~center:(pt (-500.0) 0.0) ~radius_km:100.0 ~weight:1.0 ~source:"a" in
   let b = Constr.positive_disk ~center:(pt 500.0 0.0) ~radius_km:100.0 ~weight:0.4 ~source:"b" in
   Solver.add_all s [ a; b ]

@@ -103,4 +103,4 @@ let () =
    @ Test_linalg.suite
    @ Test_netsim.suite @ Test_core.suite @ Test_telemetry.suite @ Test_baselines.suite
    @ Test_integration.suite @ Test_batch_golden.suite @ Test_parity.suite @ Test_lru.suite
-   @ Test_wire_fuzz.suite @ Test_serve.suite @ smoke_suite)
+   @ Test_wire_fuzz.suite @ Test_serve.suite @ Test_backends.suite @ smoke_suite)
