@@ -660,6 +660,21 @@ let geom () =
 (* Serving layer *)
 (* ------------------------------------------------------------------ *)
 
+let bench_write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let bench_read_exactly fd buf n =
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.read fd buf !off (n - !off) in
+    if k = 0 then failwith "server closed mid-bench";
+    off := !off + k
+  done
+
 let serve_bench () =
   banner "SERVE: localization daemon (Octant_serve) over loopback TCP";
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
@@ -670,9 +685,14 @@ let serve_bench () =
   let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) lm_set in
   let inter = Eval.Bridge.inter_rtt_for bridge lm_set in
   let n_targets = n - n_lm in
-  let requests =
+  let observations =
     Array.init n_targets (fun i ->
-        let obs = Eval.Bridge.observations bridge ~landmark_indices:lm_set ~target:(n_lm + i) in
+        Eval.Bridge.observations bridge ~landmark_indices:lm_set ~target:(n_lm + i))
+  in
+  (* The same request per target in both codecs (identical float bits). *)
+  let json_requests =
+    Array.mapi
+      (fun i obs ->
         Json.to_string
           (Json.Obj
              [
@@ -680,106 +700,180 @@ let serve_bench () =
                ( "rtt_ms",
                  Json.List
                    (Array.to_list (Array.map Json.num obs.Octant.Pipeline.target_rtt_ms)) );
-             ]))
+             ])
+        ^ "\n")
+      observations
+  in
+  let bin_requests =
+    Array.mapi
+      (fun i obs ->
+        Octant_serve.Protocol.Binary.frame
+          (Octant_serve.Protocol.Binary.encode_request
+             (Octant_serve.Protocol.Localize
+                {
+                  Octant_serve.Protocol.id = Json.Num (float_of_int i);
+                  rtt_ms = obs.Octant.Pipeline.target_rtt_ms;
+                  whois = None;
+                  deadline_ms = None;
+                  want_audit = false;
+                })))
+      observations
   in
   let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
   let n_clients = 4 in
-  let passes = 2 in
-  Printf.printf
-    "# %d landmarks, %d distinct requests, %d clients x %d passes (pass 2 = cache hits)\n%!"
-    n_lm n_targets n_clients passes;
+  Printf.printf "# %d landmarks, %d distinct requests, %d clients\n%!" n_lm n_targets n_clients;
   let rows = ref [] in
+  (* One measured configuration of the daemon.
+
+     [workload]: ["solve"] replays the committed-baseline shape — two
+     passes over the distinct requests, so pass 1 pays the solver and
+     pass 2 hits the cache; ["wire"] warms the cache untimed, then times
+     hot passes only — pure serving-stack throughput (event loop, codec,
+     sharded cache), no solver in the measured window. *)
+  let run_case ~workload ~codec ~jobs ~shards ~timed_passes ~warm =
+    let config =
+      {
+        Octant_serve.Server.default_config with
+        Octant_serve.Server.jobs = Some jobs;
+        batch_delay_s = 0.002;
+        cache_capacity = 1024;
+        cache_shards = shards;
+      }
+    in
+    Octant.Telemetry.reset ();
+    Octant.Telemetry.enable ();
+    let srv = Octant_serve.Server.start ~config ~ctx () in
+    let port = Octant_serve.Server.port srv in
+    let requests = match codec with `Json -> json_requests | `Binary -> bin_requests in
+    let connect () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      (match codec with
+      | `Binary -> bench_write_all fd Octant_serve.Protocol.Binary.magic
+      | `Json -> ());
+      fd
+    in
+    let reply_reader fd =
+      match codec with
+      | `Json ->
+          let ic = Unix.in_channel_of_descr fd in
+          fun () ->
+            (match input_line ic with
+            | _reply -> ()
+            | exception End_of_file -> failwith "server closed mid-bench")
+      | `Binary ->
+          let hdr = Bytes.create Octant_serve.Protocol.Binary.header_length in
+          let payload = Bytes.create 65536 in
+          fun () ->
+            bench_read_exactly fd hdr Octant_serve.Protocol.Binary.header_length;
+            let len = Octant_serve.Protocol.Binary.decode_length (Bytes.to_string hdr) in
+            if len > Bytes.length payload then
+              failwith (Printf.sprintf "implausible binary reply length %d (desynced?)" len);
+            bench_read_exactly fd payload len
+    in
+    if warm then begin
+      (* Untimed warm pass: fill the cache so the measured window is
+         all serving stack, no solver. *)
+      let fd = connect () in
+      let read_reply = reply_reader fd in
+      Array.iter
+        (fun req ->
+          bench_write_all fd req;
+          read_reply ())
+        requests;
+      Unix.close fd
+    end;
+    let latencies = Array.make n_clients [] in
+    let client c () =
+      let fd = connect () in
+      let read_reply = reply_reader fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          for _pass = 1 to timed_passes do
+            Array.iteri
+              (fun i req ->
+                if i mod n_clients = c then begin
+                  let t0 = Unix.gettimeofday () in
+                  bench_write_all fd req;
+                  read_reply ();
+                  latencies.(c) <- (Unix.gettimeofday () -. t0) :: latencies.(c)
+                end)
+              requests
+          done)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = Array.init n_clients (fun c -> Thread.create (client c) ()) in
+    Array.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let cache = Octant_serve.Server.cache_stats srv in
+    Octant_serve.Server.stop srv;
+    Octant.Telemetry.disable ();
+    let gc_counter name =
+      let snap = Octant.Telemetry.snapshot () in
+      match
+        List.find_opt
+          (fun c -> c.Octant.Telemetry.c_domain = "gc" && c.Octant.Telemetry.c_name = name)
+          snap.Octant.Telemetry.counters
+      with
+      | Some c -> c.Octant.Telemetry.c_value
+      | None -> 0
+    in
+    let minor_words = gc_counter "minor_words" in
+    let major_words = gc_counter "major_words" in
+    let lat_ms =
+      Array.of_list
+        (List.concat_map (fun l -> List.map (fun s -> 1000.0 *. s) l) (Array.to_list latencies))
+    in
+    let total = Array.length lat_ms in
+    let p50 = Stats.Sample.percentile 50.0 lat_ms in
+    let p99 = Stats.Sample.percentile 99.0 lat_ms in
+    let rps = float_of_int total /. wall in
+    let hit_rate =
+      let lookups = cache.Octant_serve.Lru.hits + cache.Octant_serve.Lru.misses in
+      if lookups = 0 then 0.0
+      else float_of_int cache.Octant_serve.Lru.hits /. float_of_int lookups
+    in
+    let codec_name = match codec with `Json -> "json" | `Binary -> "binary" in
+    Printf.printf
+      "  %-5s %-6s jobs=%d shards=%-2d %5d requests in %6.2fs  %8.1f req/s   p50=%6.2f ms  \
+       p99=%6.2f ms  hit rate %.0f%%\n%!"
+      workload codec_name jobs shards total wall rps p50 p99 (100.0 *. hit_rate);
+    rows :=
+      Json.Obj
+        [
+          ("workload", Json.Str workload);
+          ("codec", Json.Str codec_name);
+          ("jobs", Json.Num (float_of_int jobs));
+          ("shards", Json.Num (float_of_int shards));
+          ("requests", Json.Num (float_of_int total));
+          ("wall_s", Json.num wall);
+          ("requests_per_s", Json.num rps);
+          ("p50_ms", Json.num p50);
+          ("p99_ms", Json.num p99);
+          ("cache_hits", Json.Num (float_of_int cache.Octant_serve.Lru.hits));
+          ("cache_misses", Json.Num (float_of_int cache.Octant_serve.Lru.misses));
+          ("cache_hit_rate", Json.num hit_rate);
+          ("gc_minor_words", Json.Num (float_of_int minor_words));
+          ("gc_major_words", Json.Num (float_of_int major_words));
+        ]
+      :: !rows
+  in
+  (* Baseline-shaped rows: the committed snapshot's workload (pass 1
+     solves, pass 2 cache hits) — the CI floor compares jobs=1 here
+     against the pre-event-loop snapshot. *)
+  Printf.printf "# solve workload: 2 passes, pass 1 pays the solver (baseline shape)\n%!";
   List.iter
-    (fun jobs ->
-      let config =
-        {
-          Octant_serve.Server.default_config with
-          Octant_serve.Server.jobs = Some jobs;
-          batch_delay_s = 0.002;
-          cache_capacity = 1024;
-        }
-      in
-      Octant.Telemetry.reset ();
-      Octant.Telemetry.enable ();
-      let srv = Octant_serve.Server.start ~config ~ctx () in
-      let port = Octant_serve.Server.port srv in
-      let latencies = Array.make n_clients [] in
-      let client c () =
-        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-        let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
-        Fun.protect
-          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () ->
-            for _pass = 1 to passes do
-              Array.iteri
-                (fun i line ->
-                  if i mod n_clients = c then begin
-                    let t0 = Unix.gettimeofday () in
-                    output_string oc line;
-                    output_char oc '\n';
-                    flush oc;
-                    (match input_line ic with
-                    | _reply -> ()
-                    | exception End_of_file -> failwith "server closed mid-bench");
-                    latencies.(c) <- (Unix.gettimeofday () -. t0) :: latencies.(c)
-                  end)
-                requests
-            done)
-      in
-      let t0 = Unix.gettimeofday () in
-      let threads = Array.init n_clients (fun c -> Thread.create (client c) ()) in
-      Array.iter Thread.join threads;
-      let wall = Unix.gettimeofday () -. t0 in
-      let cache = Octant_serve.Server.cache_stats srv in
-      Octant_serve.Server.stop srv;
-      Octant.Telemetry.disable ();
-      let gc_counter name =
-        let snap = Octant.Telemetry.snapshot () in
-        match
-          List.find_opt
-            (fun c -> c.Octant.Telemetry.c_domain = "gc" && c.Octant.Telemetry.c_name = name)
-            snap.Octant.Telemetry.counters
-        with
-        | Some c -> c.Octant.Telemetry.c_value
-        | None -> 0
-      in
-      let minor_words = gc_counter "minor_words" in
-      let major_words = gc_counter "major_words" in
-      let lat_ms =
-        Array.of_list
-          (List.concat_map (fun l -> List.map (fun s -> 1000.0 *. s) l) (Array.to_list latencies))
-      in
-      let total = Array.length lat_ms in
-      let p50 = Stats.Sample.percentile 50.0 lat_ms in
-      let p99 = Stats.Sample.percentile 99.0 lat_ms in
-      let rps = float_of_int total /. wall in
-      let hit_rate =
-        let lookups = cache.Octant_serve.Lru.hits + cache.Octant_serve.Lru.misses in
-        if lookups = 0 then 0.0
-        else float_of_int cache.Octant_serve.Lru.hits /. float_of_int lookups
-      in
-      Printf.printf
-        "  jobs=%-3d %4d requests in %6.2fs   %7.1f req/s   p50=%6.1f ms  p99=%6.1f ms  \
-         cache hit rate %.0f%%\n%!"
-        jobs total wall rps p50 p99 (100.0 *. hit_rate);
-      rows :=
-        Json.Obj
-          [
-            ("jobs", Json.Num (float_of_int jobs));
-            ("requests", Json.Num (float_of_int total));
-            ("wall_s", Json.num wall);
-            ("requests_per_s", Json.num rps);
-            ("p50_ms", Json.num p50);
-            ("p99_ms", Json.num p99);
-            ("cache_hits", Json.Num (float_of_int cache.Octant_serve.Lru.hits));
-            ("cache_misses", Json.Num (float_of_int cache.Octant_serve.Lru.misses));
-            ("cache_hit_rate", Json.num hit_rate);
-            ("gc_minor_words", Json.Num (float_of_int minor_words));
-            ("gc_major_words", Json.Num (float_of_int major_words));
-          ]
-        :: !rows)
+    (fun jobs -> run_case ~workload:"solve" ~codec:`Json ~jobs ~shards:8 ~timed_passes:2 ~warm:false)
     [ 1; 4 ];
+  (* Hot rows: frames-per-codec and shard-count sweeps with the solver
+     out of the measured window. *)
+  Printf.printf "# wire workload: warmed cache, hot passes only (serving stack)\n%!";
+  List.iter
+    (fun (codec, shards) ->
+      run_case ~workload:"wire" ~codec ~jobs:1 ~shards ~timed_passes:20 ~warm:true)
+    [ (`Json, 1); (`Json, 8); (`Binary, 1); (`Binary, 8) ];
   write_json "BENCH_serve.json"
     (Json.Obj
        [
@@ -787,7 +881,6 @@ let serve_bench () =
          ("landmarks", Json.Num (float_of_int n_lm));
          ("distinct_requests", Json.Num (float_of_int n_targets));
          ("clients", Json.Num (float_of_int n_clients));
-         ("passes", Json.Num (float_of_int passes));
          ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
          ("rows", Json.List (List.rev !rows));
        ])

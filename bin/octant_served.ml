@@ -2,9 +2,12 @@
 
    Prepares one Pipeline context at startup (deployment construction,
    heights, calibration — the expensive part every one-shot CLI run pays)
-   and then serves localize requests over newline-delimited JSON frames on
-   TCP, micro-batching concurrent requests onto the multicore batch
-   engine and replaying repeated observations from an LRU cache.
+   and then serves localize requests over TCP from a single-threaded
+   event loop: newline-delimited JSON frames, or length-prefixed binary
+   frames for clients that open with the "OCTB" magic.  Concurrent
+   requests micro-batch onto the multicore batch engine (awaited by a
+   fixed worker pool) and repeated observations replay from a sharded
+   LRU cache.
 
      octant_served --seed 7 --hosts 51 --port 7700
      echo '{"id":1,"rtt_ms":[12.5,33.1,...]}' | nc 127.0.0.1 7700
@@ -36,6 +39,13 @@ let jobs_arg =
     & info [ "jobs" ] ~docv:"J"
         ~doc:"Domains per dispatched batch; 0 uses one per available core.")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker threads awaiting batched results (the event loop itself is one thread).")
+
 let max_queue_arg =
   Arg.(
     value
@@ -56,6 +66,15 @@ let cache_arg =
     value
     & opt int 1024
     & info [ "cache" ] ~docv:"N" ~doc:"LRU result-cache capacity; 0 disables caching.")
+
+let cache_shards_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "cache-shards" ] ~docv:"N"
+        ~doc:
+          "Result-cache shard count (rounded down to a power of two, clamped to the \
+           capacity).")
 
 let deadline_arg =
   Arg.(
@@ -87,8 +106,8 @@ let backend_arg =
           "Region backend for every localization this daemon serves: $(b,exact), \
            $(b,grid)[:RES], or $(b,hybrid)[:CELLS].")
 
-let serve seed hosts probes port host jobs max_queue max_batch batch_delay_ms cache deadline
-    backend telemetry =
+let serve seed hosts probes port host jobs workers max_queue max_batch batch_delay_ms cache
+    cache_shards deadline backend telemetry =
   let telemetry_sink =
     match telemetry with
     | None -> None
@@ -122,10 +141,12 @@ let serve seed hosts probes port host jobs max_queue max_batch batch_delay_ms ca
       Octant_serve.Server.host;
       port;
       jobs = (if jobs = 0 then None else Some jobs);
+      workers;
       max_queue;
       max_batch;
       batch_delay_s = batch_delay_ms /. 1000.0;
       cache_capacity = cache;
+      cache_shards;
       default_deadline_ms = deadline;
     }
   in
@@ -162,7 +183,7 @@ let main =
        ~doc:"Octant localization daemon (newline-delimited JSON over TCP)")
     Term.(
       const serve $ seed_arg $ hosts_arg $ probes_arg $ port_arg $ host_arg $ jobs_arg
-      $ max_queue_arg $ max_batch_arg $ batch_delay_arg $ cache_arg $ deadline_arg
-      $ backend_arg $ telemetry_arg)
+      $ workers_arg $ max_queue_arg $ max_batch_arg $ batch_delay_arg $ cache_arg
+      $ cache_shards_arg $ deadline_arg $ backend_arg $ telemetry_arg)
 
 let () = exit (Cmd.eval main)

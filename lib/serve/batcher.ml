@@ -15,8 +15,23 @@ type item = {
   ticket : ticket;
 }
 
+type compute = {
+  run_batch :
+    jobs:int option ->
+    Octant.Pipeline.observations array ->
+    (Octant.Estimate.t, string) result array;
+  run_audited :
+    Octant.Pipeline.observations -> Octant.Estimate.t * Obs.Telemetry.Audit.entry list;
+}
+
+let compute_of_ctx ctx =
+  {
+    run_batch = (fun ~jobs obs -> Octant.Pipeline.localize_batch ?jobs ctx obs);
+    run_audited = (fun obs -> Octant.Pipeline.localize_audited ctx obs);
+  }
+
 type t = {
-  ctx : Octant.Pipeline.context;
+  compute : compute;
   jobs : int option;
   max_queue : int;
   max_batch : int;
@@ -24,7 +39,7 @@ type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   queue : item Queue.t;
-  mutable closed : bool;
+  closed : bool Atomic.t;
   mutable worker : Thread.t option; (* None after drain joins it *)
 }
 
@@ -43,10 +58,25 @@ let await ticket =
   Mutex.unlock ticket.t_lock;
   o
 
+(* A computed outcome still answers [Expired] when the item's deadline
+   passed during the solve: the client stopped waiting, and an [ok] after
+   the deadline would falsely claim the budget was met. *)
+let resolve_checking_deadline it outcome =
+  let now = Unix.gettimeofday () in
+  match it.deadline with
+  | Some d when now > d ->
+      Obs.Telemetry.Counter.incr Metrics.expired;
+      resolve it.ticket Expired
+  | _ -> resolve it.ticket outcome
+
+let exn_reason e = Printf.sprintf "solver exception: %s" (Printexc.to_string e)
+
 (* Compute one drained batch and resolve every ticket in it.  Runs on the
-   worker thread; [localize_batch] fans out over the domain pool from
-   here (spawning domains from a systhread is supported on OCaml >= 5.1,
-   the toolchain floor). *)
+   worker thread; [run_batch] fans out over the domain pool from here
+   (spawning domains from a systhread is supported on OCaml >= 5.1, the
+   toolchain floor).  Every exit path — including an exception escaping
+   the solver — resolves every ticket: an unresolved ticket would leave
+   its handler blocked in [await] forever and wedge the daemon. *)
 let dispatch t items =
   let now = Unix.gettimeofday () in
   let live, dead =
@@ -64,34 +94,40 @@ let dispatch t items =
     Obs.Telemetry.Histogram.observe Metrics.h_batch_size (float_of_int (List.length live));
     let plain, audited = List.partition (fun it -> not it.want_audit) live in
     let plain_arr = Array.of_list plain in
-    let results =
-      Octant.Pipeline.localize_batch ?jobs:t.jobs t.ctx
-        (Array.map (fun it -> it.obs) plain_arr)
-    in
-    Array.iteri (fun i r -> resolve plain_arr.(i).ticket (Computed (r, []))) results;
+    if Array.length plain_arr > 0 then begin
+      match t.compute.run_batch ~jobs:t.jobs (Array.map (fun it -> it.obs) plain_arr) with
+      | results ->
+          Array.iteri
+            (fun i r -> resolve_checking_deadline plain_arr.(i) (Computed (r, [])))
+            results
+      | exception e ->
+          Obs.Telemetry.Counter.incr Metrics.dispatch_failures;
+          let reason = exn_reason e in
+          Array.iter (fun it -> resolve it.ticket (Computed (Error reason, []))) plain_arr
+    end;
     List.iter
       (fun it ->
-        let outcome =
-          match Octant.Pipeline.localize_audited t.ctx it.obs with
-          | est, audit -> Computed (Ok est, audit)
-          | exception Invalid_argument reason -> Computed (Error reason, [])
-        in
-        resolve it.ticket outcome)
+        match t.compute.run_audited it.obs with
+        | est, audit -> resolve_checking_deadline it (Computed (Ok est, audit))
+        | exception Invalid_argument reason -> resolve it.ticket (Computed (Error reason, []))
+        | exception e ->
+            Obs.Telemetry.Counter.incr Metrics.dispatch_failures;
+            resolve it.ticket (Computed (Error (exn_reason e), [])))
       audited
   end
 
 let worker_loop t =
   let rec loop () =
     Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.closed do
+    while Queue.is_empty t.queue && not (Atomic.get t.closed) do
       Condition.wait t.nonempty t.lock
     done;
-    if Queue.is_empty t.queue && t.closed then Mutex.unlock t.lock
+    if Queue.is_empty t.queue && Atomic.get t.closed then Mutex.unlock t.lock
     else begin
       Mutex.unlock t.lock;
       (* Coalescing window: keep the queued items admissible (they still
          count against [max_queue]) while concurrent submitters pile on. *)
-      if t.batch_delay_s > 0.0 && not t.closed then Thread.delay t.batch_delay_s;
+      if t.batch_delay_s > 0.0 && not (Atomic.get t.closed) then Thread.delay t.batch_delay_s;
       Mutex.lock t.lock;
       let batch = ref [] in
       let n = ref 0 in
@@ -106,13 +142,13 @@ let worker_loop t =
   in
   loop ()
 
-let create ~ctx ?jobs ~max_queue ~max_batch ~batch_delay_s () =
+let create ~compute ?jobs ~max_queue ~max_batch ~batch_delay_s () =
   if max_queue < 1 then invalid_arg "Batcher.create: max_queue < 1";
   if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1";
   if batch_delay_s < 0.0 then invalid_arg "Batcher.create: negative batch_delay_s";
   let t =
     {
-      ctx;
+      compute;
       jobs;
       max_queue;
       max_batch;
@@ -120,7 +156,7 @@ let create ~ctx ?jobs ~max_queue ~max_batch ~batch_delay_s () =
       lock = Mutex.create ();
       nonempty = Condition.create ();
       queue = Queue.create ();
-      closed = false;
+      closed = Atomic.make false;
       worker = None;
     }
   in
@@ -130,7 +166,7 @@ let create ~ctx ?jobs ~max_queue ~max_batch ~batch_delay_s () =
 let submit t ~obs ?deadline ~want_audit () =
   Mutex.lock t.lock;
   let verdict =
-    if t.closed then `Closed
+    if Atomic.get t.closed then `Closed
     else if Queue.length t.queue >= t.max_queue then `Overloaded
     else begin
       let ticket =
@@ -155,7 +191,7 @@ let queue_depth t =
 
 let drain t =
   Mutex.lock t.lock;
-  t.closed <- true;
+  Atomic.set t.closed true;
   Condition.broadcast t.nonempty;
   let worker = t.worker in
   t.worker <- None;

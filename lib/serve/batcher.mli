@@ -1,32 +1,54 @@
 (** Micro-batching admission queue over {!Octant.Pipeline.localize_batch}.
 
-    Connection threads {!submit} observations into a bounded queue and
-    block in {!await}; a single worker thread wakes on the first queued
-    item, sleeps [batch_delay_s] to let concurrent requests coalesce, then
+    Callers {!submit} observations into a bounded queue and block in
+    {!await}; a single worker thread wakes on the first queued item,
+    sleeps [batch_delay_s] to let concurrent requests coalesce, then
     drains up to [max_batch] items and dispatches them as one
-    {!Octant.Pipeline.localize_batch} call over the domain pool.  Items
-    whose deadline passed before dispatch are answered [Expired] without
-    paying for a solve; audit-requesting items are computed individually
-    through {!Octant.Pipeline.localize_audited} (same estimate, plus the
-    per-constraint trail).
+    [run_batch] call over the domain pool.  Items whose deadline passed
+    before dispatch are answered [Expired] without paying for a solve —
+    and the deadline is re-checked {e after} compute too, so a request
+    whose budget ran out during a long solve is never reported [ok].
+    Audit-requesting items are computed individually through
+    [run_audited] (same estimate, plus the per-constraint trail).
 
     A full queue rejects at {!submit} ([`Overloaded]) — load is shed at
     admission, never by silent discard, so every accepted item is
     guaranteed an outcome and {!await} cannot hang: {!drain} computes
-    everything still queued before the worker exits. *)
+    everything still queued before the worker exits, and an exception
+    escaping the solver resolves every affected ticket with
+    [Computed (Error _, [])] instead of killing the worker thread
+    (counted in {!Metrics.dispatch_failures}). *)
 
 type t
 
 type outcome =
   | Computed of (Octant.Estimate.t, string) result * Obs.Telemetry.Audit.entry list
       (** The audit list is empty unless the item asked for one. *)
-  | Expired  (** Deadline passed while queued. *)
+  | Expired  (** Deadline passed while queued, or during the solve. *)
 
 type ticket
 (** An accepted item's claim on its future outcome. *)
 
+type compute = {
+  run_batch :
+    jobs:int option ->
+    Octant.Pipeline.observations array ->
+    (Octant.Estimate.t, string) result array;
+      (** Must return one result per observation, in order. *)
+  run_audited :
+    Octant.Pipeline.observations -> Octant.Estimate.t * Obs.Telemetry.Audit.entry list;
+}
+(** The solver the batcher drives.  {!compute_of_ctx} is the production
+    implementation; tests inject wrappers that raise or stall to pin the
+    failure paths (the wedge regression and deadline-during-solve
+    suites). *)
+
+val compute_of_ctx : Octant.Pipeline.context -> compute
+(** [run_batch = Pipeline.localize_batch ctx],
+    [run_audited = Pipeline.localize_audited ctx]. *)
+
 val create :
-  ctx:Octant.Pipeline.context ->
+  compute:compute ->
   ?jobs:int ->
   max_queue:int ->
   max_batch:int ->

@@ -113,3 +113,54 @@ let stats t =
         size = Hashtbl.length t.table;
         capacity = t.cap;
       })
+
+(* ------------------------------------------------------------------ *)
+(* Sharding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Sharded = struct
+  type ('k, 'v) shard_set = { shards : ('k, 'v) t array; mask : int }
+  type nonrec ('k, 'v) t = ('k, 'v) shard_set
+
+  (* Largest power of two <= n (n >= 1). *)
+  let floor_pow2 n =
+    let k = ref 1 in
+    while !k * 2 <= n do
+      k := !k * 2
+    done;
+    !k
+
+  let create ?(shards = 8) ~capacity () =
+    if shards < 1 then invalid_arg "Lru.Sharded.create: shards < 1";
+    if capacity < 0 then invalid_arg "Lru.Sharded.create: negative capacity";
+    (* Power-of-two shard count for mask selection, and never more
+       shards than capacity entries (each live shard holds >= 1). *)
+    let n = if capacity = 0 then 1 else floor_pow2 (min shards capacity) in
+    let base = capacity / n and rem = capacity mod n in
+    {
+      shards = Array.init n (fun i -> create ~capacity:(base + if i < rem then 1 else 0) ());
+      mask = n - 1;
+    }
+
+  let shard_count t = Array.length t.shards
+  let shard_of t k = t.shards.(Hashtbl.hash k land t.mask)
+  let find t k = find (shard_of t k) k
+  let add t k v = add (shard_of t k) k v
+  let mem t k = mem (shard_of t k) k
+  let capacity t = Array.fold_left (fun acc s -> acc + capacity s) 0 t.shards
+  let length t = Array.fold_left (fun acc s -> acc + length s) 0 t.shards
+
+  let stats t =
+    Array.fold_left
+      (fun acc s ->
+        let st = stats s in
+        {
+          hits = acc.hits + st.hits;
+          misses = acc.misses + st.misses;
+          evictions = acc.evictions + st.evictions;
+          size = acc.size + st.size;
+          capacity = acc.capacity + st.capacity;
+        })
+      { hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
+      t.shards
+end

@@ -37,3 +37,29 @@ val mem : ('k, 'v) t -> 'k -> bool
 type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
 
 val stats : ('k, 'v) t -> stats
+
+(** Shard-striped variant: N independent LRU instances, each with its own
+    mutex, selected by [Hashtbl.hash key].  Concurrent hitters on
+    different shards no longer serialize on one cache mutex; eviction is
+    LRU {e per shard} (an approximation of global LRU — a hot shard may
+    evict before a cold one fills).  The shard count is rounded down to a
+    power of two and never exceeds the capacity; the requested total
+    capacity is distributed exactly across shards. *)
+module Sharded : sig
+  type ('k, 'v) t
+
+  val create : ?shards:int -> capacity:int -> unit -> ('k, 'v) t
+  (** [shards] defaults to 8.  [capacity = 0] disables the cache exactly
+      like {!Lru.create}.
+      @raise Invalid_argument on [shards < 1] or negative capacity. *)
+
+  val shard_count : ('k, 'v) t -> int
+  val find : ('k, 'v) t -> 'k -> 'v option
+  val add : ('k, 'v) t -> 'k -> 'v -> unit
+  val mem : ('k, 'v) t -> 'k -> bool
+  val capacity : ('k, 'v) t -> int
+  val length : ('k, 'v) t -> int
+
+  val stats : ('k, 'v) t -> stats
+  (** Tallies summed across shards. *)
+end

@@ -6,6 +6,7 @@ let responses_error = counter "responses_error"
 let overloaded = counter "overloaded"
 let expired = counter "expired"
 let batches = counter "batches"
+let dispatch_failures = counter "dispatch_failures"
 let connections = counter "connections"
 let bad_frames = counter "bad_frames"
 let cache_hits = counter "cache_hits"

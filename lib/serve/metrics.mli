@@ -9,9 +9,12 @@
 
     Counters: [requests] (localize frames admitted), [responses_ok],
     [responses_error], [overloaded] (load shed at a full queue),
-    [expired] (deadline passed before compute), [batches] (micro-batches
-    dispatched), [connections] (accepted), [bad_frames] (answered with a
-    decode error), and the cache tallies mirrored by {!Lru}.
+    [expired] (deadline passed before — or during — compute), [batches]
+    (micro-batches dispatched), [dispatch_failures] (solver exceptions
+    caught in {!Batcher} dispatch; every affected ticket is resolved with
+    an error instead of wedging), [connections] (accepted), [bad_frames]
+    (answered with a decode error), and the cache tallies mirrored by
+    {!Lru}.
 
     Histograms: [h_batch_size] (requests per dispatched batch),
     [h_queue_depth] (depth observed at admit), [h_request_s]
@@ -23,6 +26,7 @@ val responses_error : Obs.Telemetry.Counter.t
 val overloaded : Obs.Telemetry.Counter.t
 val expired : Obs.Telemetry.Counter.t
 val batches : Obs.Telemetry.Counter.t
+val dispatch_failures : Obs.Telemetry.Counter.t
 val connections : Obs.Telemetry.Counter.t
 val bad_frames : Obs.Telemetry.Counter.t
 val cache_hits : Obs.Telemetry.Counter.t

@@ -1,0 +1,85 @@
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  all_done : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable active : int; (* jobs currently executing *)
+  mutable threads : Thread.t list;
+}
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.jobs && not t.closed do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.jobs then Mutex.unlock t.lock (* closed and drained: exit *)
+    else begin
+      let job = Queue.pop t.jobs in
+      t.active <- t.active + 1;
+      Mutex.unlock t.lock;
+      (* A job that raises must not kill the worker: the pool is shared
+         by every connection. *)
+      (try job () with _ -> ());
+      Mutex.lock t.lock;
+      t.active <- t.active - 1;
+      if t.active = 0 && Queue.is_empty t.jobs then Condition.broadcast t.all_done;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Pool.create: workers < 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      all_done = Condition.create ();
+      jobs = Queue.create ();
+      closed = false;
+      active = 0;
+      threads = [];
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let accepted = not t.closed in
+  if accepted then begin
+    Queue.push job t.jobs;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  accepted
+
+let backlog t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.jobs + t.active in
+  Mutex.unlock t.lock;
+  n
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    let threads = t.threads in
+    t.threads <- [];
+    Mutex.unlock t.lock;
+    List.iter Thread.join threads
+  end
+  else begin
+    t.closed <- true;
+    (* Wake idle workers so they drain the remaining queue and exit. *)
+    Condition.broadcast t.nonempty;
+    while not (Queue.is_empty t.jobs && t.active = 0) do
+      Condition.wait t.all_done t.lock
+    done;
+    let threads = t.threads in
+    t.threads <- [];
+    Mutex.unlock t.lock;
+    List.iter Thread.join threads
+  end

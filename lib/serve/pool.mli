@@ -1,0 +1,25 @@
+(** Fixed pool of systhreads draining a job queue.
+
+    The event-loop server must never block its loop thread, so any work
+    that waits — chiefly {!Batcher.await} on a queued localize ticket —
+    runs here.  Jobs are closures; a raising job is swallowed (the pool
+    is shared by every connection) and the worker keeps going.
+
+    {!shutdown} closes intake, waits for every queued and in-flight job
+    to finish, then joins the workers — so after it returns, every reply
+    a job was going to produce has been produced. *)
+
+type t
+
+val create : workers:int -> t
+(** @raise Invalid_argument on [workers < 1]. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** [false] when the pool is already shut down (the job is not queued). *)
+
+val backlog : t -> int
+(** Queued plus currently-executing jobs. *)
+
+val shutdown : t -> unit
+(** Close intake, run everything already queued to completion, join the
+    workers.  Idempotent (a second call just re-joins). *)

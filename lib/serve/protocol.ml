@@ -165,3 +165,343 @@ let draining_reply = Json.Obj [ ("status", Json.Str "draining") ]
 
 let status_of reply =
   match Json.member "status" reply with Some (Json.Str s) -> s | _ -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Length-prefixed binary codec                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Binary = struct
+  let magic = "OCTB"
+  let header_length = 4
+
+  exception Bad of string
+
+  let bad msg = raise (Bad msg)
+
+  (* -- writers (all little-endian) -- *)
+
+  let w_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+  let w_u16 buf v =
+    if v < 0 || v > 0xffff then invalid_arg "Protocol.Binary: u16 overflow";
+    w_u8 buf v;
+    w_u8 buf (v lsr 8)
+
+  let w_u32 buf v =
+    if v < 0 || v > 0xffff_ffff then invalid_arg "Protocol.Binary: u32 overflow";
+    Buffer.add_int32_le buf (Int32.of_int v)
+
+  let w_f64 buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+  let w_str16 buf s =
+    w_u16 buf (String.length s);
+    Buffer.add_string buf s
+
+  let w_str32 buf s =
+    w_u32 buf (String.length s);
+    Buffer.add_string buf s
+
+  (* -- readers -- *)
+
+  type reader = { s : string; mutable pos : int }
+
+  let need r n = if r.pos + n > String.length r.s then bad "truncated frame"
+
+  let r_u8 r =
+    need r 1;
+    let v = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let r_u16 r =
+    let a = r_u8 r in
+    let b = r_u8 r in
+    a lor (b lsl 8)
+
+  let r_u32 r =
+    need r 4;
+    let b i = Char.code r.s.[r.pos + i] in
+    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    r.pos <- r.pos + 4;
+    v
+
+  let r_f64 r =
+    need r 8;
+    let v = Int64.float_of_bits (String.get_int64_le r.s r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let r_str16 r =
+    let n = r_u16 r in
+    need r n;
+    let s = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let r_str32 r =
+    let n = r_u32 r in
+    need r n;
+    let s = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  (* -- framing -- *)
+
+  let frame payload =
+    let buf = Buffer.create (header_length + String.length payload) in
+    w_u32 buf (String.length payload);
+    Buffer.add_string buf payload;
+    Buffer.contents buf
+
+  let decode_length header =
+    if String.length header <> header_length then
+      invalid_arg "Protocol.Binary.decode_length: need exactly 4 bytes";
+    let b i = Char.code header.[i] in
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+  (* -- requests -- *)
+
+  let op_ping = 0
+  let op_stats = 1
+  let op_shutdown = 2
+  let op_localize = 3
+  let flag_audit = 1
+  let flag_whois = 2
+  let flag_deadline = 4
+  let flag_id = 8
+
+  let encode_request req =
+    let buf = Buffer.create 64 in
+    (match req with
+    | Ping -> w_u8 buf op_ping
+    | Stats -> w_u8 buf op_stats
+    | Shutdown -> w_u8 buf op_shutdown
+    | Localize l ->
+        w_u8 buf op_localize;
+        let flags =
+          (if l.want_audit then flag_audit else 0)
+          lor (if l.whois <> None then flag_whois else 0)
+          lor (if l.deadline_ms <> None then flag_deadline else 0)
+          lor if l.id <> Json.Null then flag_id else 0
+        in
+        w_u8 buf flags;
+        if l.id <> Json.Null then w_str16 buf (Json.to_string l.id);
+        (match l.deadline_ms with Some d -> w_f64 buf d | None -> ());
+        (match l.whois with
+        | Some c ->
+            w_f64 buf c.Geo.Geodesy.lat;
+            w_f64 buf c.Geo.Geodesy.lon
+        | None -> ());
+        w_u32 buf (Array.length l.rtt_ms);
+        Array.iter (w_f64 buf) l.rtt_ms);
+    Buffer.contents buf
+
+  let decode_request payload =
+    let r = { s = payload; pos = 0 } in
+    match
+      match r_u8 r with
+      | 0 -> Ping
+      | 1 -> Stats
+      | 2 -> Shutdown
+      | 3 ->
+          let flags = r_u8 r in
+          let id =
+            if flags land flag_id <> 0 then
+              match Json.of_string (r_str16 r) with
+              | Ok j -> j
+              | Error e -> bad (Printf.sprintf "id: %s" e)
+            else Json.Null
+          in
+          let deadline_ms =
+            if flags land flag_deadline <> 0 then begin
+              let d = r_f64 r in
+              if not (Float.is_finite d) then bad "deadline_ms: expected a number";
+              Some d
+            end
+            else None
+          in
+          let whois =
+            if flags land flag_whois <> 0 then begin
+              let lat = r_f64 r in
+              let lon = r_f64 r in
+              if not (Float.abs lat <= 90.0 && Float.abs lon <= 180.0) then
+                bad "whois: lat/lon out of range";
+              Some (Geo.Geodesy.coord ~lat ~lon)
+            end
+            else None
+          in
+          let n = r_u32 r in
+          need r (8 * n);
+          let rtts = Array.make n 0.0 in
+          for i = 0 to n - 1 do
+            rtts.(i) <- r_f64 r
+          done;
+          if Array.exists (fun f -> not (Float.is_finite f)) rtts then
+            bad "rtt_ms: expected an array of finite numbers";
+          Localize
+            { id; rtt_ms = rtts; whois; deadline_ms; want_audit = flags land flag_audit <> 0 }
+      | op -> bad (Printf.sprintf "unknown op %d" op)
+    with
+    | req -> if r.pos <> String.length payload then Error "trailing bytes in frame" else Ok req
+    | exception Bad msg -> Error msg
+
+  (* -- replies -- *)
+
+  let st_ok = 0
+  let st_error = 1
+  let st_overloaded = 2
+  let st_expired = 3
+  let st_pong = 4
+  let st_json = 5 (* embedded JSON text: stats and any future reply shape *)
+  let st_draining = 6
+
+  let member_f64 reply name =
+    match Json.member name reply with Some (Json.Num f) -> f | _ -> Float.nan
+
+  let member_int reply name =
+    match Option.bind (Json.member name reply) Json.to_int with Some i -> i | None -> 0
+
+  let member_str reply name =
+    match Json.member name reply with Some (Json.Str s) -> s | _ -> ""
+
+  let encode_reply reply =
+    let buf = Buffer.create 128 in
+    let w_id () =
+      match Json.member "id" reply with
+      | Some j ->
+          w_u8 buf 1;
+          w_str16 buf (Json.to_string j)
+      | None -> w_u8 buf 0
+    in
+    (match status_of reply with
+    | "ok" ->
+        w_u8 buf st_ok;
+        w_id ();
+        w_f64 buf (member_f64 reply "lat");
+        w_f64 buf (member_f64 reply "lon");
+        w_f64 buf (member_f64 reply "area_km2");
+        w_f64 buf (member_f64 reply "error_radius_km");
+        w_f64 buf (member_f64 reply "top_weight");
+        w_u32 buf (member_int reply "cells_used");
+        w_u32 buf (member_int reply "constraints_used");
+        w_f64 buf (member_f64 reply "height_ms");
+        w_u8 buf (match Json.member "cached" reply with Some (Json.Bool true) -> 1 | _ -> 0);
+        (match Json.member "audit" reply with
+        | Some (Json.List entries) ->
+            w_u8 buf 1;
+            w_u16 buf (List.length entries);
+            List.iter
+              (fun e ->
+                w_str16 buf (member_str e "source");
+                w_f64 buf (member_f64 e "weight");
+                w_str16 buf (member_str e "polarity");
+                w_u32 buf (member_int e "cells_before");
+                w_u32 buf (member_int e "cells_after");
+                w_u32 buf (member_int e "splits");
+                w_u32 buf (member_int e "dropped");
+                w_u8 buf (match Json.member "shrank" e with Some (Json.Bool true) -> 1 | _ -> 0))
+              entries
+        | _ -> w_u8 buf 0)
+    | "error" ->
+        w_u8 buf st_error;
+        w_id ();
+        w_str16 buf (member_str reply "reason")
+    | "overloaded" ->
+        w_u8 buf st_overloaded;
+        w_id ()
+    | "expired" ->
+        w_u8 buf st_expired;
+        w_id ()
+    | "pong" -> w_u8 buf st_pong
+    | "draining" -> w_u8 buf st_draining
+    | _ ->
+        w_u8 buf st_json;
+        w_str32 buf (Json.to_string reply));
+    Buffer.contents buf
+
+  let decode_reply payload =
+    let r = { s = payload; pos = 0 } in
+    match
+      let r_id () =
+        if r_u8 r = 1 then
+          match Json.of_string (r_str16 r) with
+          | Ok j -> j
+          | Error e -> bad (Printf.sprintf "id: %s" e)
+        else Json.Null
+      in
+      match r_u8 r with
+      | 0 ->
+          let id = r_id () in
+          let lat = r_f64 r in
+          let lon = r_f64 r in
+          let area_km2 = r_f64 r in
+          let error_radius_km = r_f64 r in
+          let top_weight = r_f64 r in
+          let cells_used = r_u32 r in
+          let constraints_used = r_u32 r in
+          let height_ms = r_f64 r in
+          let cached = r_u8 r = 1 in
+          let base =
+            [
+              ("status", Json.Str "ok");
+              ("lat", Json.num lat);
+              ("lon", Json.num lon);
+              ("area_km2", Json.num area_km2);
+              ("error_radius_km", Json.num error_radius_km);
+              ("top_weight", Json.num top_weight);
+              ("cells_used", Json.Num (float_of_int cells_used));
+              ("constraints_used", Json.Num (float_of_int constraints_used));
+              ("height_ms", Json.num height_ms);
+              ("cached", Json.Bool cached);
+            ]
+          in
+          let base =
+            if r_u8 r = 1 then begin
+              let n = r_u16 r in
+              let entries = ref [] in
+              for _ = 1 to n do
+                let source = r_str16 r in
+                let weight = r_f64 r in
+                let polarity = r_str16 r in
+                let cells_before = r_u32 r in
+                let cells_after = r_u32 r in
+                let splits = r_u32 r in
+                let dropped = r_u32 r in
+                let shrank = r_u8 r = 1 in
+                entries :=
+                  Json.Obj
+                    [
+                      ("source", Json.Str source);
+                      ("weight", Json.num weight);
+                      ("polarity", Json.Str polarity);
+                      ("cells_before", Json.Num (float_of_int cells_before));
+                      ("cells_after", Json.Num (float_of_int cells_after));
+                      ("splits", Json.Num (float_of_int splits));
+                      ("dropped", Json.Num (float_of_int dropped));
+                      ("shrank", Json.Bool shrank);
+                    ]
+                  :: !entries
+              done;
+              base @ [ ("audit", Json.List (List.rev !entries)) ]
+            end
+            else base
+          in
+          Json.Obj (with_id id base)
+      | 1 ->
+          let id = r_id () in
+          let reason = r_str16 r in
+          Json.Obj (with_id id [ ("status", Json.Str "error"); ("reason", Json.Str reason) ])
+      | 2 -> Json.Obj (with_id (r_id ()) [ ("status", Json.Str "overloaded") ])
+      | 3 -> Json.Obj (with_id (r_id ()) [ ("status", Json.Str "expired") ])
+      | 4 -> pong_reply
+      | 5 -> (
+          match Json.of_string (r_str32 r) with
+          | Ok j -> j
+          | Error e -> bad (Printf.sprintf "embedded json: %s" e))
+      | 6 -> draining_reply
+      | st -> bad (Printf.sprintf "unknown status tag %d" st)
+    with
+    | reply ->
+        if r.pos <> String.length payload then Error "trailing bytes in frame" else Ok reply
+    | exception Bad msg -> Error msg
+end

@@ -77,3 +77,45 @@ val draining_reply : Json.t
 
 val status_of : Json.t -> string
 (** The ["status"] member of a reply, or [""]. *)
+
+(** {2 Binary codec}
+
+    A length-prefixed binary frame variant, negotiated per connection: a
+    client that sends the 4-byte {!Binary.magic} ["OCTB"] as its very
+    first bytes switches the whole connection (both directions) to
+    binary frames; anything else leaves it on newline-delimited JSON.
+    Each binary frame is a 4-byte little-endian payload length followed
+    by the payload.  Floats travel as raw IEEE-754 bits, so replies are
+    bit-identical to their JSON twins ({!Binary.decode_reply} of
+    {!Binary.encode_reply} reconstructs the exact reply object, member
+    order included — the parity suite pins this).  Request ids travel as
+    JSON text, so any id a JSON client could send round-trips too. *)
+module Binary : sig
+  val magic : string
+  (** ["OCTB"], sent once by the client immediately after connect. *)
+
+  val header_length : int
+  (** 4: the little-endian payload-length prefix of every frame. *)
+
+  val frame : string -> string
+  (** Prefix a payload with its length header. *)
+
+  val decode_length : string -> int
+  (** Payload length from exactly {!header_length} header bytes.
+      @raise Invalid_argument on any other input size. *)
+
+  val encode_request : request -> string
+  (** Payload only (no length prefix); see {!frame}. *)
+
+  val decode_request : string -> (request, string) result
+  (** Total: truncated, trailing, or out-of-range payloads return
+      [Error] with the same reason strings the JSON parser uses where a
+      JSON equivalent exists (range checks, non-finite RTTs). *)
+
+  val encode_reply : Json.t -> string
+  (** Any reply the server produces; unknown shapes (the [stats] object)
+      are embedded as JSON text behind a dedicated tag. *)
+
+  val decode_reply : string -> (Json.t, string) result
+  (** Reconstructs the exact reply object [encode_reply] consumed. *)
+end

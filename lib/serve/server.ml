@@ -1,11 +1,38 @@
+(* Event-driven serving core.
+
+   One event-loop thread owns every socket: a readiness loop
+   ([Unix.select] over the listener, a self-pipe, and all connection
+   fds — all non-blocking) accepts, reads, frames, and parses inline,
+   and drains per-connection output queues on writability.  Nothing on
+   the loop thread ever blocks on a peer: a slow reader just leaves its
+   output queued; a slow writer (slow-loris) just leaves bytes in its
+   input accumulator.
+
+   Blocking work — awaiting a batcher ticket for a cache-missing
+   localize — runs on a fixed {!Pool} of systhreads.  The loop submits
+   the request to the batcher at decode time (so admission-time load
+   shedding and the overload reply stay immediate) and hands the ticket
+   to the pool; the worker awaits, updates the cache, encodes the reply
+   for the connection's codec, appends it to the connection's output
+   queue, and wakes the loop through the self-pipe.
+
+   Control frames (ping/stats/shutdown), cache hits, decode errors, and
+   overload replies are answered inline on the loop thread.  Replies to
+   pipelined localize requests on one connection may therefore arrive
+   out of request order; clients correlate by [id] (the bundled tests
+   and bench run request/reply in lockstep, where order is preserved
+   trivially). *)
+
 type config = {
   host : string;
   port : int;
   jobs : int option;
+  workers : int;
   max_queue : int;
   max_batch : int;
   batch_delay_s : float;
   cache_capacity : int;
+  cache_shards : int;
   max_frame_bytes : int;
   default_deadline_ms : float option;
 }
@@ -15,44 +42,146 @@ let default_config =
     host = "127.0.0.1";
     port = 0;
     jobs = None;
+    workers = 8;
     max_queue = 256;
     max_batch = 64;
     batch_delay_s = 0.002;
     cache_capacity = 1024;
+    cache_shards = 8;
     max_frame_bytes = 1_048_576;
     default_deadline_ms = None;
   }
+
+(* Wire codec of one connection.  Every connection starts in [Sniffing]:
+   the first bytes either spell Protocol.Binary.magic (-> [Binary]) or
+   anything else (-> [Json_lines], replaying the sniffed bytes). *)
+type codec = Sniffing | Json_lines | Binary
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  mutable codec : codec;
+  sniff : Buffer.t;           (* bytes held while the codec is undecided *)
+  acc : Buffer.t;             (* JSON: current line accumulator *)
+  mutable discarding : bool;  (* JSON: skipping an oversized line to '\n' *)
+  bin_hdr : Buffer.t;         (* binary: partial 4-byte length header *)
+  mutable bin_need : int;     (* binary: payload bytes expected; -1 = in header *)
+  bin_payload : Buffer.t;     (* binary: partial payload *)
+  mutable bin_discard : int;  (* binary: oversized-payload bytes left to skip *)
+  outq : string Queue.t;      (* encoded replies awaiting writability *)
+  mutable out_off : int;      (* bytes of the queue head already written *)
+  mutable c_closed : bool;
+}
 
 type t = {
   cfg : config;
   listener : Unix.file_descr;
   bound_port : int;
   batcher : Batcher.t;
-  cache : (string, Octant.Estimate.t) Lru.t;
-  stopping : bool Atomic.t;
+  cache : (string, Octant.Estimate.t) Lru.Sharded.t;
+  pool : Pool.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  lock : Mutex.t; (* guards conns, every outq/out_off, next_conn *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  stopping : bool Atomic.t;  (* stop accepting and reading *)
+  flushing : bool Atomic.t;  (* exit the loop once output queues drain *)
   shutdown_requested : bool Atomic.t;
   stopped : bool Atomic.t;
-  conn_lock : Mutex.t;
-  conns : (int, Unix.file_descr) Hashtbl.t; (* open sockets, keyed by conn id *)
-  mutable threads : Thread.t list;          (* every spawned handler, for the final join *)
-  mutable next_conn : int;
-  mutable accept_thread : Thread.t option;
+  mutable loop_thread : Thread.t option;
 }
 
 let port t = t.bound_port
-let cache_stats t = Lru.stats t.cache
+let cache_stats t = Lru.Sharded.stats t.cache
 let queue_depth t = Batcher.queue_depth t.batcher
 
 let live_connections t =
-  Mutex.lock t.conn_lock;
+  Mutex.lock t.lock;
   let n = Hashtbl.length t.conns in
-  Mutex.unlock t.conn_lock;
+  Mutex.unlock t.lock;
   n
 
 let request_shutdown t = Atomic.set t.shutdown_requested true
 
+(* Wake the select loop; the pipe is non-blocking, and a full pipe
+   already guarantees a pending wakeup. *)
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "w" 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
+  | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
 (* ------------------------------------------------------------------ *)
-(* Frame handling                                                      *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let encode_reply_for codec reply =
+  match codec with
+  | Binary -> Protocol.Binary.frame (Protocol.Binary.encode_reply reply)
+  | Sniffing | Json_lines -> Json.to_string reply ^ "\n"
+
+(* Drain a connection's output queue as far as the kernel accepts.
+   Caller holds [t.lock]; the fd is non-blocking, so this never parks a
+   thread.  EINTR retries immediately (a signal mid-write must not kill
+   a reply); EAGAIN leaves the rest queued for the next writability
+   event.  Returns [true] on a hard write error — the caller decides
+   whether to close (loop thread) or to leave the corpse for the loop
+   to reap (any other thread: only the loop may close fds, else a
+   recycled descriptor number could alias a new connection). *)
+let drain_outq_locked conn =
+  let failed = ref false in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt conn.outq with
+    | None -> continue := false
+    | Some s -> (
+        let off = conn.out_off in
+        let len = String.length s - off in
+        match Unix.write_substring conn.c_fd s off len with
+        | n ->
+            if n = len then begin
+              ignore (Queue.pop conn.outq);
+              conn.out_off <- 0
+            end
+            else begin
+              conn.out_off <- off + n;
+              continue := false
+            end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ ->
+            failed := true;
+            continue := false)
+  done;
+  !failed
+
+(* Append an encoded reply to a connection's output queue and push it
+   out right away if the socket accepts it — the fast path skips the
+   self-pipe/select hop entirely, which matters on few-core hosts where
+   every thread handoff costs a scheduling quantum.  Safe from any
+   thread; a connection that died in the meantime drops the reply
+   (exactly as the old blocking write to a closed socket did).  On
+   EAGAIN or a write error the loop is woken: its writability pass
+   finishes the job or observes the error and closes on the loop
+   thread. *)
+let enqueue_encoded t conn_id encoded =
+  Mutex.lock t.lock;
+  let need_wake =
+    match Hashtbl.find_opt t.conns conn_id with
+    | Some conn when not conn.c_closed ->
+        Queue.push encoded conn.outq;
+        let failed = drain_outq_locked conn in
+        failed || not (Queue.is_empty conn.outq)
+    | Some _ | None -> false
+  in
+  Mutex.unlock t.lock;
+  if need_wake then wake t
+
+let respond t conn reply = enqueue_encoded t conn.c_id (encode_reply_for conn.codec reply)
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
 (* ------------------------------------------------------------------ *)
 
 (* The id of a frame that decoded as JSON but failed the shape check:
@@ -70,7 +199,7 @@ let percentile_of_snapshot snap q =
   | _ -> Json.Null
 
 let stats_reply t =
-  let c = Lru.stats t.cache in
+  let c = Lru.Sharded.stats t.cache in
   let snap = Obs.Telemetry.snapshot () in
   let counter name = Json.Num (float_of_int (Obs.Telemetry.Counter.value name)) in
   Json.Obj
@@ -83,8 +212,10 @@ let stats_reply t =
       ("overloaded", counter Metrics.overloaded);
       ("expired", counter Metrics.expired);
       ("batches", counter Metrics.batches);
+      ("dispatch_failures", counter Metrics.dispatch_failures);
       ("queue_depth", Json.Num (float_of_int (queue_depth t)));
       ("live_connections", Json.Num (float_of_int (live_connections t)));
+      ("cache_shards", Json.Num (float_of_int (Lru.Sharded.shard_count t.cache)));
       ( "cache",
         Json.Obj
           [
@@ -98,16 +229,21 @@ let stats_reply t =
       ("request_p99_ms", percentile_of_snapshot snap 0.99);
     ]
 
-let handle_localize t (req : Protocol.localize) =
+(* Cache hits, shed loads, and admission all happen inline on the loop
+   thread (submit never blocks); only awaiting a queued ticket moves to
+   the pool. *)
+let handle_localize t conn (req : Protocol.localize) =
   let t0 = Unix.gettimeofday () in
   Obs.Telemetry.Counter.incr Metrics.requests;
   let obs = Protocol.observations_of req in
   let key = Protocol.cache_key obs in
+  let codec = conn.codec in
+  let conn_id = conn.c_id in
   let finish reply =
     Obs.Telemetry.Histogram.observe Metrics.h_request_s (Unix.gettimeofday () -. t0);
-    reply
+    enqueue_encoded t conn_id (encode_reply_for codec reply)
   in
-  let cached = if req.Protocol.want_audit then None else Lru.find t.cache key in
+  let cached = if req.Protocol.want_audit then None else Lru.Sharded.find t.cache key in
   match cached with
   | Some est ->
       Obs.Telemetry.Counter.incr Metrics.responses_ok;
@@ -125,142 +261,316 @@ let handle_localize t (req : Protocol.localize) =
       | `Closed ->
           Obs.Telemetry.Counter.incr Metrics.overloaded;
           finish (Protocol.overloaded_reply ~id:req.Protocol.id)
-      | `Queued ticket -> (
-          match Batcher.await ticket with
-          | Batcher.Expired -> finish (Protocol.expired_reply ~id:req.Protocol.id)
-          | Batcher.Computed (Ok est, audit) ->
-              Lru.add t.cache key est;
-              Obs.Telemetry.Counter.incr Metrics.responses_ok;
-              let audit = if req.Protocol.want_audit then Some audit else None in
-              finish (Protocol.ok_reply ~id:req.Protocol.id ~cached:false ~audit est)
-          | Batcher.Computed (Error reason, _) ->
-              Obs.Telemetry.Counter.incr Metrics.responses_error;
-              finish (Protocol.error_reply ~id:req.Protocol.id reason)))
+      | `Queued ticket ->
+          let job () =
+            let reply =
+              match Batcher.await ticket with
+              | Batcher.Expired -> Protocol.expired_reply ~id:req.Protocol.id
+              | Batcher.Computed (Ok est, audit) ->
+                  Lru.Sharded.add t.cache key est;
+                  Obs.Telemetry.Counter.incr Metrics.responses_ok;
+                  let audit = if req.Protocol.want_audit then Some audit else None in
+                  Protocol.ok_reply ~id:req.Protocol.id ~cached:false ~audit est
+              | Batcher.Computed (Error reason, _) ->
+                  Obs.Telemetry.Counter.incr Metrics.responses_error;
+                  Protocol.error_reply ~id:req.Protocol.id reason
+            in
+            finish reply
+          in
+          (* The pool refuses only mid-shutdown, when reads have already
+             stopped; the stray decoded request is answered inline (the
+             await resolves during the drain). *)
+          if not (Pool.submit t.pool job) then job ())
 
-(* One reply per complete frame; [None] for blank lines. *)
-let handle_frame t line =
+let handle_request t conn = function
+  | Protocol.Ping -> respond t conn Protocol.pong_reply
+  | Protocol.Stats -> respond t conn (stats_reply t)
+  | Protocol.Shutdown ->
+      request_shutdown t;
+      respond t conn Protocol.draining_reply
+  | Protocol.Localize req -> handle_localize t conn req
+
+(* One reply per complete JSON frame; blank lines are ignored. *)
+let handle_json_frame t conn line =
   let line =
     let n = String.length line in
     if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
   in
-  if String.trim line = "" then None
+  if String.trim line = "" then ()
   else
     match Json.of_string line with
     | Error e ->
         Obs.Telemetry.Counter.incr Metrics.bad_frames;
-        Some (Protocol.error_reply ~id:Json.Null (Printf.sprintf "bad frame: %s" e))
+        respond t conn (Protocol.error_reply ~id:Json.Null (Printf.sprintf "bad frame: %s" e))
     | Ok json -> (
         match Protocol.parse_request json with
         | Error e ->
             Obs.Telemetry.Counter.incr Metrics.bad_frames;
-            Some (Protocol.error_reply ~id:(id_of_json json) (Printf.sprintf "bad request: %s" e))
-        | Ok Protocol.Ping -> Some Protocol.pong_reply
-        | Ok Protocol.Stats -> Some (stats_reply t)
-        | Ok Protocol.Shutdown ->
-            request_shutdown t;
-            Some Protocol.draining_reply
-        | Ok (Protocol.Localize req) -> Some (handle_localize t req))
+            respond t conn
+              (Protocol.error_reply ~id:(id_of_json json) (Printf.sprintf "bad request: %s" e))
+        | Ok req -> handle_request t conn req)
 
-(* ------------------------------------------------------------------ *)
-(* Connection plumbing                                                 *)
-(* ------------------------------------------------------------------ *)
-
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let sent = ref 0 in
-  while !sent < n do
-    sent := !sent + Unix.write fd b !sent (n - !sent)
-  done
-
-let send_reply fd reply = write_all fd (Json.to_string reply ^ "\n")
-
-let handle_connection t conn_id fd =
-  let chunk = Bytes.create 8192 in
-  let acc = Buffer.create 512 in
-  let discarding = ref false in
-  let overflow () =
-    (* The frame blew the limit: answer once, then skip input until the
-       next newline so the connection stays usable. *)
-    if not !discarding then begin
-      discarding := true;
-      Buffer.clear acc;
+let handle_binary_frame t conn payload =
+  match Protocol.Binary.decode_request payload with
+  | Error e ->
       Obs.Telemetry.Counter.incr Metrics.bad_frames;
-      send_reply fd
-        (Protocol.error_reply ~id:Json.Null
-           (Printf.sprintf "frame too large (max %d bytes)" t.cfg.max_frame_bytes))
+      respond t conn (Protocol.error_reply ~id:Json.Null (Printf.sprintf "bad request: %s" e))
+  | Ok req -> handle_request t conn req
+
+(* ------------------------------------------------------------------ *)
+(* Input framing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let feed_json t conn data =
+  String.iter
+    (fun c ->
+      if c = '\n' then begin
+        if conn.discarding then conn.discarding <- false
+        else begin
+          let line = Buffer.contents conn.acc in
+          Buffer.clear conn.acc;
+          handle_json_frame t conn line
+        end
+      end
+      else if not conn.discarding then begin
+        Buffer.add_char conn.acc c;
+        if Buffer.length conn.acc > t.cfg.max_frame_bytes then begin
+          (* The frame blew the limit: answer once, then skip input until
+             the next newline so the connection stays usable. *)
+          conn.discarding <- true;
+          Buffer.clear conn.acc;
+          Obs.Telemetry.Counter.incr Metrics.bad_frames;
+          respond t conn
+            (Protocol.error_reply ~id:Json.Null
+               (Printf.sprintf "frame too large (max %d bytes)" t.cfg.max_frame_bytes))
+        end
+      end)
+    data
+
+let feed_binary t conn data =
+  let n = String.length data in
+  let i = ref 0 in
+  while !i < n do
+    if conn.bin_discard > 0 then begin
+      (* Skipping the payload of an oversized frame, already answered. *)
+      let take = min conn.bin_discard (n - !i) in
+      conn.bin_discard <- conn.bin_discard - take;
+      i := !i + take
     end
-  in
-  let feed_char c =
-    if c = '\n' then begin
-      if !discarding then discarding := false
-      else begin
-        let line = Buffer.contents acc in
-        Buffer.clear acc;
-        match handle_frame t line with None -> () | Some reply -> send_reply fd reply
+    else if conn.bin_need < 0 then begin
+      let take = min (Protocol.Binary.header_length - Buffer.length conn.bin_hdr) (n - !i) in
+      Buffer.add_substring conn.bin_hdr data !i take;
+      i := !i + take;
+      if Buffer.length conn.bin_hdr = Protocol.Binary.header_length then begin
+        let len = Protocol.Binary.decode_length (Buffer.contents conn.bin_hdr) in
+        Buffer.clear conn.bin_hdr;
+        if len > t.cfg.max_frame_bytes then begin
+          Obs.Telemetry.Counter.incr Metrics.bad_frames;
+          respond t conn
+            (Protocol.error_reply ~id:Json.Null
+               (Printf.sprintf "frame too large (max %d bytes)" t.cfg.max_frame_bytes));
+          conn.bin_discard <- len
+        end
+        else if len = 0 then handle_binary_frame t conn ""
+        else conn.bin_need <- len
       end
     end
-    else if not !discarding then begin
-      Buffer.add_char acc c;
-      if Buffer.length acc > t.cfg.max_frame_bytes then overflow ()
+    else begin
+      let take = min (conn.bin_need - Buffer.length conn.bin_payload) (n - !i) in
+      Buffer.add_substring conn.bin_payload data !i take;
+      i := !i + take;
+      if Buffer.length conn.bin_payload = conn.bin_need then begin
+        let payload = Buffer.contents conn.bin_payload in
+        Buffer.clear conn.bin_payload;
+        conn.bin_need <- -1;
+        handle_binary_frame t conn payload
+      end
     end
-  in
-  let rec loop () =
-    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-    if n > 0 then begin
-      for i = 0 to n - 1 do
-        feed_char (Bytes.get chunk i)
-      done;
-      loop ()
-    end
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      Mutex.lock t.conn_lock;
-      if Hashtbl.mem t.conns conn_id then begin
-        Hashtbl.remove t.conns conn_id;
-        (try Unix.close fd with Unix.Unix_error _ -> ())
-      end;
-      Mutex.unlock t.conn_lock)
-    (fun () -> try loop () with Unix.Unix_error _ | Sys_error _ -> ())
+  done
 
-let accept_loop t =
-  let rec loop () =
+let rec feed t conn data =
+  if String.length data > 0 then
+    match conn.codec with
+    | Json_lines -> feed_json t conn data
+    | Binary -> feed_binary t conn data
+    | Sniffing ->
+        Buffer.add_string conn.sniff data;
+        let s = Buffer.contents conn.sniff in
+        let m = Protocol.Binary.magic in
+        let ml = String.length m in
+        if String.length s >= ml then begin
+          Buffer.clear conn.sniff;
+          if String.sub s 0 ml = m then begin
+            conn.codec <- Binary;
+            feed t conn (String.sub s ml (String.length s - ml))
+          end
+          else begin
+            conn.codec <- Json_lines;
+            feed t conn s
+          end
+        end
+        else if String.sub m 0 (String.length s) <> s then begin
+          (* Not a prefix of the magic: this is a JSON client. *)
+          Buffer.clear conn.sniff;
+          conn.codec <- Json_lines;
+          feed t conn s
+        end
+(* else: still a strict prefix of the magic; wait for more bytes *)
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let close_conn t conn =
+  Mutex.lock t.lock;
+  let was_open = not conn.c_closed in
+  if was_open then begin
+    conn.c_closed <- true;
+    Hashtbl.remove t.conns conn.c_id
+  end;
+  Mutex.unlock t.lock;
+  if was_open then try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
+let drain_wake t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+    | n when n = Bytes.length buf -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let accept_ready t =
+  let rec go () =
     match Unix.accept ~cloexec:true t.listener with
     | fd, _ ->
         if Atomic.get t.stopping then begin
           (try Unix.close fd with Unix.Unix_error _ -> ());
-          loop ()
+          go ()
         end
         else begin
+          (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
           (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
           Obs.Telemetry.Counter.incr Metrics.connections;
-          Mutex.lock t.conn_lock;
+          Mutex.lock t.lock;
           let conn_id = t.next_conn in
           t.next_conn <- conn_id + 1;
-          Hashtbl.replace t.conns conn_id fd;
-          t.threads <- Thread.create (fun () -> handle_connection t conn_id fd) () :: t.threads;
-          Mutex.unlock t.conn_lock;
-          loop ()
+          Hashtbl.replace t.conns conn_id
+            {
+              c_id = conn_id;
+              c_fd = fd;
+              codec = Sniffing;
+              sniff = Buffer.create 8;
+              acc = Buffer.create 256;
+              discarding = false;
+              bin_hdr = Buffer.create 4;
+              bin_need = -1;
+              bin_payload = Buffer.create 256;
+              bin_discard = 0;
+              outq = Queue.create ();
+              out_off = 0;
+              c_closed = false;
+            };
+          Mutex.unlock t.lock;
+          go ()
         end
-    | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.ECONNABORTED), _, _) ->
-        (* EINVAL/EBADF: the listener was shut down under us (stop);
-           ECONNABORTED: the peer gave up, keep accepting. *)
-        if not (Atomic.get t.stopping) then loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF), _, _) ->
+        (* Listener shut down under us (stop). *)
+        ()
   in
-  loop ()
+  go ()
+
+let handle_readable t conn buf =
+  if not conn.c_closed then begin
+    let rec go () =
+      match Unix.read conn.c_fd buf 0 (Bytes.length buf) with
+      | 0 -> close_conn t conn
+      | n ->
+          feed t conn (Bytes.sub_string buf 0 n);
+          (* Keep reading while the kernel has more; EAGAIN ends the
+             burst without blocking. *)
+          if n = Bytes.length buf then go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> close_conn t conn
+      | exception Sys_error _ -> close_conn t conn
+    in
+    go ()
+  end
+
+(* The loop-thread writability pass: same drain, but a hard error
+   closes the connection here (only the loop closes fds). *)
+let handle_writable t conn =
+  Mutex.lock t.lock;
+  let failed = if conn.c_closed then false else drain_outq_locked conn in
+  Mutex.unlock t.lock;
+  if failed then close_conn t conn
+
+let event_loop t =
+  let buf = Bytes.create 65536 in
+  let running = ref true in
+  while !running do
+    let stopping = Atomic.get t.stopping in
+    let rfds = ref [ t.wake_r ] in
+    if not stopping then rfds := t.listener :: !rfds;
+    let watched = ref [] in
+    let wfds = ref [] in
+    Mutex.lock t.lock;
+    Hashtbl.iter
+      (fun _ c ->
+        if not c.c_closed then begin
+          watched := c :: !watched;
+          if not stopping then rfds := c.c_fd :: !rfds;
+          if not (Queue.is_empty c.outq) then wfds := c.c_fd :: !wfds
+        end)
+      t.conns;
+    Mutex.unlock t.lock;
+    let r, w, _ =
+      try Unix.select !rfds !wfds [] 0.2
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.memq t.wake_r r then drain_wake t;
+    if (not (Atomic.get t.stopping)) && List.memq t.listener r then accept_ready t;
+    List.iter
+      (fun c ->
+        if List.memq c.c_fd w then handle_writable t c;
+        if (not (Atomic.get t.stopping)) && List.memq c.c_fd r then handle_readable t c buf)
+      !watched;
+    if Atomic.get t.flushing then begin
+      Mutex.lock t.lock;
+      let pending =
+        Hashtbl.fold (fun _ c acc -> acc || not (Queue.is_empty c.outq)) t.conns false
+      in
+      Mutex.unlock t.lock;
+      if not pending then running := false
+    end
+  done;
+  (* Loop is done: everything owed has been written.  Close the sockets. *)
+  Mutex.lock t.lock;
+  let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  Hashtbl.reset t.conns;
+  List.iter (fun c -> c.c_closed <- true) remaining;
+  Mutex.unlock t.lock;
+  List.iter (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) remaining
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let start ?(config = default_config) ~ctx () =
+let start ?(config = default_config) ?compute ~ctx () =
+  if config.workers < 1 then invalid_arg "Server.start: workers < 1";
+  if config.cache_shards < 1 then invalid_arg "Server.start: cache_shards < 1";
   let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listener Unix.SO_REUSEADDR true;
      Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
-     Unix.listen listener 64
+     Unix.listen listener 128;
+     Unix.set_nonblock listener
    with e ->
      (try Unix.close listener with Unix.Unix_error _ -> ());
      raise e);
@@ -269,28 +579,37 @@ let start ?(config = default_config) ~ctx () =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> config.port
   in
+  let compute =
+    match compute with Some c -> c | None -> Batcher.compute_of_ctx ctx
+  in
   let batcher =
-    Batcher.create ~ctx ?jobs:config.jobs ~max_queue:config.max_queue
+    Batcher.create ~compute ?jobs:config.jobs ~max_queue:config.max_queue
       ~max_batch:config.max_batch ~batch_delay_s:config.batch_delay_s ()
   in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     {
       cfg = config;
       listener;
       bound_port;
       batcher;
-      cache = Lru.create ~capacity:config.cache_capacity ();
+      cache = Lru.Sharded.create ~shards:config.cache_shards ~capacity:config.cache_capacity ();
+      pool = Pool.create ~workers:config.workers;
+      wake_r;
+      wake_w;
+      lock = Mutex.create ();
+      conns = Hashtbl.create 32;
+      next_conn = 0;
       stopping = Atomic.make false;
+      flushing = Atomic.make false;
       shutdown_requested = Atomic.make false;
       stopped = Atomic.make false;
-      conn_lock = Mutex.create ();
-      conns = Hashtbl.create 32;
-      threads = [];
-      next_conn = 0;
-      accept_thread = None;
+      loop_thread = None;
     }
   in
-  t.accept_thread <- Some (Thread.create accept_loop t);
+  t.loop_thread <- Some (Thread.create event_loop t);
   t
 
 let wait t =
@@ -301,23 +620,25 @@ let wait t =
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
     Atomic.set t.shutdown_requested true;
-    (* Wake the accept thread: shutting a listening socket down makes a
-       blocked accept(2) fail immediately on Linux. *)
-    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    (match t.accept_thread with Some th -> Thread.join th | None -> ());
-    t.accept_thread <- None;
-    (try Unix.close t.listener with Unix.Unix_error _ -> ());
-    (* Stop the readers: every registered socket is still open (handlers
-       close only after deregistering), so EOF their read sides.  In-flight
-       requests keep their write sides. *)
-    Mutex.lock t.conn_lock;
-    Hashtbl.iter
-      (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-      t.conns;
-    let threads = t.threads in
-    Mutex.unlock t.conn_lock;
-    (* Resolve everything still queued so blocked handlers can answer. *)
+    (* Phase 1: the loop stops accepting and reading — no new frames
+       will be decoded, so no new work enters after this wake. *)
+    wake t;
+    (* Phase 2: wait for every in-flight localize to produce its reply.
+       Pool workers block in Batcher.await; the batcher worker keeps
+       computing (drain has not been called), so every queued ticket
+       resolves and every reply lands in an output queue. *)
+    Pool.shutdown t.pool;
+    (* Phase 3: the batcher queue is empty (no submitters remain); close
+       it and join its worker. *)
     Batcher.drain t.batcher;
-    List.iter Thread.join threads;
+    (* Phase 4: flush the output queues, then the loop closes every
+       socket and exits. *)
+    Atomic.set t.flushing true;
+    wake t;
+    (match t.loop_thread with Some th -> Thread.join th | None -> ());
+    t.loop_thread <- None;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
     Atomic.set t.stopped true
   end

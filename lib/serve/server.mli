@@ -1,46 +1,72 @@
-(** The localization daemon: a TCP server over {!Protocol} frames.
+(** Event-driven localization daemon.
 
-    One accept thread plus one thread per connection; requests from all
-    connections coalesce in the shared {!Batcher} and recent results are
-    replayed from a shared {!Lru} keyed by the quantized observation
-    signature.  Built on stdlib [Unix] + [Thread] only.
+    A single event-loop thread owns every socket: it multiplexes
+    readiness over the listener and all connection fds (all
+    non-blocking), accepts, reads, frames and parses requests inline,
+    and drains per-connection output queues on writability.  A slow or
+    stalled peer therefore costs one fd and some buffered bytes — never
+    a thread.
 
-    Lifecycle: {!start} binds and returns immediately (port 0 picks an
-    ephemeral port, read it back with {!port}).  A [shutdown] frame or
-    {!request_shutdown} (the daemon's SIGTERM handler) makes {!wait}
-    return; the owner then calls {!stop}, which drains gracefully: stop
-    accepting, close connection read-sides, compute everything still
-    queued, answer it, and join every thread.  No accepted request is
-    dropped without a reply. *)
+    Two wire codecs share one port, negotiated per connection by the
+    first bytes sent: {!Protocol.Binary.magic} switches the connection
+    to length-prefixed binary frames; anything else is newline-delimited
+    JSON ({!Protocol}).  Replies use the connection's codec and are
+    bit-identical across codecs (the parity suite pins this).
+
+    Cache hits (a sharded LRU, {!Lru.Sharded}, keyed by the exact
+    quantized observation), decode errors, overload sheds, and control
+    frames are answered inline on the loop thread.  A cache-missing
+    localize is submitted to the {!Batcher} at decode time — so
+    admission control still sheds immediately — and a fixed {!Pool} of
+    worker threads awaits the tickets, caches results, and feeds encoded
+    replies back to the loop through the connection output queues.
+    Replies to pipelined requests on one connection may arrive out of
+    request order; clients correlate by [id].
+
+    {!stop} stops intake first, then waits for in-flight work
+    ({!Pool.shutdown}, then {!Batcher.drain}), then flushes every
+    output queue before closing the sockets — no accepted request is
+    dropped unanswered. *)
 
 type config = {
   host : string;              (** Bind address (default 127.0.0.1). *)
-  port : int;                 (** 0 = ephemeral. *)
-  jobs : int option;          (** Domains for each dispatched batch. *)
+  port : int;                 (** 0 = ephemeral; read back with {!port}. *)
+  jobs : int option;          (** Solver domains for dispatched batches. *)
+  workers : int;              (** Threads awaiting batcher tickets. *)
   max_queue : int;            (** Admission bound; beyond it requests shed. *)
   max_batch : int;            (** Items per dispatched batch. *)
   batch_delay_s : float;      (** Coalescing window after the first item. *)
-  cache_capacity : int;       (** LRU entries; 0 disables the cache. *)
+  cache_capacity : int;       (** LRU entries across all shards; 0 disables. *)
+  cache_shards : int;
+      (** Result-cache shards (clamped to a power of two ≤ capacity). *)
   max_frame_bytes : int;      (** Oversized frames get a structured error. *)
   default_deadline_ms : float option;
       (** Applied when a request carries no deadline of its own. *)
 }
 
 val default_config : config
-(** [{host = "127.0.0.1"; port = 0; jobs = None; max_queue = 256;
-     max_batch = 64; batch_delay_s = 0.002; cache_capacity = 1024;
+(** [{host = "127.0.0.1"; port = 0; jobs = None; workers = 8;
+     max_queue = 256; max_batch = 64; batch_delay_s = 0.002;
+     cache_capacity = 1024; cache_shards = 8;
      max_frame_bytes = 1_048_576; default_deadline_ms = None}] *)
 
 type t
 
-val start : ?config:config -> ctx:Octant.Pipeline.context -> unit -> t
-(** Bind, listen, spawn the accept thread.
+val start :
+  ?config:config -> ?compute:Batcher.compute -> ctx:Octant.Pipeline.context -> unit -> t
+(** Bind, listen, and return once the event loop is running.  [compute]
+    overrides the solver calls the batcher dispatches — the fault
+    -injection tests use it to make the solver raise or stall; it
+    defaults to {!Batcher.compute_of_ctx}[ ctx].
+    @raise Invalid_argument on [workers < 1] or [cache_shards < 1].
     @raise Unix.Unix_error when the bind fails. *)
 
 val port : t -> int
 (** The bound port (useful with [port = 0]). *)
 
 val cache_stats : t -> Lru.stats
+(** Summed across shards. *)
+
 val live_connections : t -> int
 val queue_depth : t -> int
 
@@ -53,5 +79,5 @@ val wait : t -> unit
     fires. *)
 
 val stop : t -> unit
-(** Graceful drain as described above.  Idempotent; safe to call from any
-    thread except a connection handler (it joins them). *)
+(** Graceful drain as described above.  Idempotent; safe to call from
+    any thread except a pool worker (it joins them). *)

@@ -198,6 +198,65 @@ let test_cached_equals_fresh () =
       Alcotest.(check (float 0.0)) "area" again.Octant.Estimate.area_km2
         replayed.Octant.Estimate.area_km2
 
+(* ---- sharded variant ---- *)
+
+(* The shard striping must be invisible to single-threaded semantics:
+   adds are found again, repeats hit, distinct keys miss once each, and
+   the summed stats reconcile exactly. *)
+let test_sharded_hit_rate () =
+  let c = Lru.Sharded.create ~shards:4 ~capacity:64 () in
+  Alcotest.(check int) "shard count" 4 (Lru.Sharded.shard_count c);
+  Alcotest.(check int) "total capacity" 64 (Lru.Sharded.capacity c);
+  let n = 48 in
+  for k = 0 to n - 1 do
+    Lru.Sharded.add c k (k * 10)
+  done;
+  (* Eviction is per shard, so a skewed hash may evict below the total
+     capacity — but adds and evictions must still reconcile exactly. *)
+  let resident = Lru.Sharded.length c in
+  let s0 = Lru.Sharded.stats c in
+  Alcotest.(check int) "adds minus evictions are resident" (n - s0.Lru.evictions) resident;
+  let hits = ref 0 in
+  for k = 0 to n - 1 do
+    match Lru.Sharded.find c k with
+    | Some v when v = k * 10 -> incr hits
+    | Some v -> Alcotest.failf "key %d: got %d" k v
+    | None -> () (* evicted from its shard *)
+  done;
+  Alcotest.(check int) "every resident key hits" resident !hits;
+  for k = n to n + 15 do
+    Alcotest.(check bool) "absent key misses" true (Lru.Sharded.find c k = None)
+  done;
+  let s = Lru.Sharded.stats c in
+  Alcotest.(check int) "hits summed" !hits s.Lru.hits;
+  Alcotest.(check int) "misses summed" (n - !hits + 16) s.Lru.misses;
+  (* Resident entries under capacity pressure: keep touching one hot key
+     while flooding; the hot key's shard must keep it (per-shard LRU). *)
+  let hot = 3 in
+  for k = 1000 to 1300 do
+    ignore (Lru.Sharded.find c hot);
+    Lru.Sharded.add c k k
+  done;
+  Alcotest.(check bool) "hot key survives the flood" true (Lru.Sharded.mem c hot);
+  if Lru.Sharded.length c > Lru.Sharded.capacity c then
+    Alcotest.failf "capacity exceeded: %d > %d" (Lru.Sharded.length c)
+      (Lru.Sharded.capacity c)
+
+let test_sharded_shapes () =
+  (* Shard count rounds down to a power of two and never exceeds the
+     capacity; the requested capacity is distributed exactly. *)
+  let c = Lru.Sharded.create ~shards:6 ~capacity:10 () in
+  Alcotest.(check int) "6 rounds down to 4 shards" 4 (Lru.Sharded.shard_count c);
+  Alcotest.(check int) "capacity preserved" 10 (Lru.Sharded.capacity c);
+  let tiny = Lru.Sharded.create ~shards:8 ~capacity:3 () in
+  Alcotest.(check int) "shards clamped to capacity" 2 (Lru.Sharded.shard_count tiny);
+  Alcotest.(check int) "tiny capacity preserved" 3 (Lru.Sharded.capacity tiny);
+  let off = Lru.Sharded.create ~shards:8 ~capacity:0 () in
+  Lru.Sharded.add off 1 1;
+  Alcotest.(check bool) "capacity 0 disables" true (Lru.Sharded.find off 1 = None);
+  let s = Lru.Sharded.stats off in
+  Alcotest.(check int) "disabled cache counts nothing" 0 (s.Lru.hits + s.Lru.misses)
+
 let suite =
   [
     ( "lru",
@@ -208,5 +267,9 @@ let suite =
           test_telemetry_mirror;
         Alcotest.test_case "cached reply equals a fresh computation" `Quick
           test_cached_equals_fresh;
+        Alcotest.test_case "sharded cache hit-rate and residency" `Quick
+          test_sharded_hit_rate;
+        Alcotest.test_case "sharded shapes: rounding, clamping, disable" `Quick
+          test_sharded_shapes;
       ] );
   ]

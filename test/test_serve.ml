@@ -401,6 +401,304 @@ let test_control_frames () =
         Alcotest.fail "stats reply does not count this connection";
       Unix.close fd)
 
+(* ---- the wedge regression: a raising solver must not kill serving ---- *)
+
+module Batcher = Octant_serve.Batcher
+
+(* Before the fix, an exception escaping [run_batch] unwound the
+   batcher's worker thread: every queued ticket hung in [await] forever,
+   every later submit coalesced into a queue nobody drained, and stop
+   deadlocked.  The contract now is that a solver fault resolves the
+   affected tickets with an error reply and the daemon keeps serving. *)
+let test_solver_fault_no_wedge () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:39.5 ~lon:(-98.0)) in
+  let real = Batcher.compute_of_ctx ctx in
+  let boom = Atomic.make true in
+  let compute =
+    {
+      Batcher.run_batch =
+        (fun ~jobs obs ->
+          if Atomic.exchange boom false then failwith "injected solver fault"
+          else real.Batcher.run_batch ~jobs obs);
+      run_audited = (fun _ -> failwith "injected audited fault");
+    }
+  in
+  let config =
+    { Server.default_config with Server.batch_delay_s = 0.0; cache_capacity = 0 }
+  in
+  let srv = Server.start ~config ~compute ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv) (* a wedged drain would hang the test here *)
+    (fun () ->
+      let fd, ic, oc = connect (Server.port srv) in
+      let reply = parse_reply (roundtrip ic oc (localize_line ~id:"doomed" rtts)) in
+      Alcotest.(check string) "faulted request answered with an error" "error"
+        (Protocol.status_of reply);
+      (match Json.member "reason" reply with
+      | Some (Json.Str r) when String.length r >= 16 && String.sub r 0 16 = "solver exception"
+        ->
+          ()
+      | _ ->
+          Alcotest.failf "reason does not name the solver exception: %s"
+            (Json.to_string reply));
+      (* The same connection must keep working... *)
+      let reply2 = parse_reply (roundtrip ic oc (localize_line ~id:"after" rtts)) in
+      Alcotest.(check string) "daemon answers the next request" "ok"
+        (Protocol.status_of reply2);
+      (* ...the audited path faults independently, also without wedging... *)
+      let reply3 = parse_reply (roundtrip ic oc (localize_line ~audit:true ~id:"aud" rtts)) in
+      Alcotest.(check string) "audited fault answered with an error" "error"
+        (Protocol.status_of reply3);
+      (* ...and a fresh connection is served too. *)
+      let fd2, ic2, oc2 = connect (Server.port srv) in
+      let reply4 = parse_reply (roundtrip ic2 oc2 (localize_line ~id:"fresh" rtts)) in
+      Alcotest.(check string) "fresh connection served after the fault" "ok"
+        (Protocol.status_of reply4);
+      Unix.close fd2;
+      Unix.close fd)
+
+(* ---- deadline runs out during the solve, not before it ---- *)
+
+let test_deadline_during_solve () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:37.0 ~lon:(-95.0)) in
+  let real = Batcher.compute_of_ctx ctx in
+  let compute =
+    {
+      Batcher.run_batch =
+        (fun ~jobs obs ->
+          Thread.delay 0.2;
+          real.Batcher.run_batch ~jobs obs);
+      run_audited = real.Batcher.run_audited;
+    }
+  in
+  let config =
+    { Server.default_config with Server.batch_delay_s = 0.0; cache_capacity = 0 }
+  in
+  let srv = Server.start ~config ~compute ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let fd, ic, oc = connect (Server.port srv) in
+      let line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", Json.Str "ran-out");
+               ("rtt_ms", Json.List (Array.to_list (Array.map Json.num rtts)));
+               ("deadline_ms", Json.num 60.0);
+             ])
+      in
+      (* Admission and dispatch land well inside the 60 ms budget; the
+         injected solve takes 200 ms.  Before the post-compute re-check
+         the server reported a stale [ok] after the caller's budget was
+         gone. *)
+      let reply = parse_reply (roundtrip ic oc line) in
+      Alcotest.(check string) "expired during the solve" "expired" (Protocol.status_of reply);
+      Unix.close fd)
+
+(* ---- binary frames answer bit-identically to JSON lines ---- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.read fd buf !off (n - !off) in
+    if k = 0 then Alcotest.fail "peer closed mid-frame";
+    off := !off + k
+  done;
+  Bytes.to_string buf
+
+let binary_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  write_all fd Protocol.Binary.magic;
+  fd
+
+let binary_roundtrip fd req =
+  write_all fd (Protocol.Binary.frame (Protocol.Binary.encode_request req));
+  let len = Protocol.Binary.decode_length (read_exactly fd Protocol.Binary.header_length) in
+  match Protocol.Binary.decode_reply (read_exactly fd len) with
+  | Ok json -> json
+  | Error e -> Alcotest.failf "undecodable binary reply: %s" e
+
+let test_binary_json_parity () =
+  let ctx, rng, target_rtts = make_ctx () in
+  (* No cache, so both codecs compute fresh and the [cached] member can't
+     differ between the two passes. *)
+  let config =
+    { Server.default_config with Server.batch_delay_s = 0.0; cache_capacity = 0 }
+  in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let jfd, ic, oc = connect port in
+      let bfd = binary_connect port in
+      let check_pair what json_line bin_req =
+        let jreply = parse_reply (roundtrip ic oc json_line) in
+        let breply = binary_roundtrip bfd bin_req in
+        if not (Json.equal jreply breply) then
+          Alcotest.failf "%s: codecs diverge\n  json:   %s\n  binary: %s" what
+            (Json.to_string jreply) (Json.to_string breply)
+      in
+      for i = 1 to 4 do
+        let truth =
+          Geo.Geodesy.coord
+            ~lat:(Stats.Rng.uniform rng 34.0 44.0)
+            ~lon:(Stats.Rng.uniform rng (-112.0) (-82.0))
+        in
+        let rtts = target_rtts truth in
+        let audit = i mod 2 = 0 in
+        let id = Printf.sprintf "pair-%d" i in
+        let req =
+          {
+            Protocol.id = Json.Str id;
+            rtt_ms = rtts;
+            whois = None;
+            deadline_ms = None;
+            want_audit = audit;
+          }
+        in
+        check_pair id (localize_line ~audit ~id rtts) (Protocol.Localize req)
+      done;
+      (* A whois hint travels as raw float bits and must not perturb
+         parity either. *)
+      let rtts = target_rtts (Geo.Geodesy.coord ~lat:40.0 ~lon:(-100.0)) in
+      let hint = Geo.Geodesy.coord ~lat:40.25 ~lon:(-100.125) in
+      let hinted_line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", Json.Str "hinted");
+               ("rtt_ms", Json.List (Array.to_list (Array.map Json.num rtts)));
+               ( "whois",
+                 Json.Obj
+                   [
+                     ("lat", Json.num hint.Geo.Geodesy.lat);
+                     ("lon", Json.num hint.Geo.Geodesy.lon);
+                   ] );
+             ])
+      in
+      let hinted_req =
+        {
+          Protocol.id = Json.Str "hinted";
+          rtt_ms = rtts;
+          whois = Some hint;
+          deadline_ms = None;
+          want_audit = false;
+        }
+      in
+      check_pair "whois hint" hinted_line (Protocol.Localize hinted_req);
+      (* Error and control paths too. *)
+      let bad = Array.make (n_landmarks - 3) 25.0 in
+      let bad_req =
+        {
+          Protocol.id = Json.Str "bad";
+          rtt_ms = bad;
+          whois = None;
+          deadline_ms = None;
+          want_audit = false;
+        }
+      in
+      check_pair "bad vector" (localize_line ~id:"bad" bad) (Protocol.Localize bad_req);
+      check_pair "ping" {|{"op":"ping"}|} Protocol.Ping;
+      Unix.close bfd;
+      Unix.close jfd)
+
+(* ---- slow-loris and idle connections cost fds, not threads ---- *)
+
+let test_slow_loris () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:40.5 ~lon:(-99.0)) in
+  let config = { Server.default_config with Server.batch_delay_s = 0.0 } in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let sfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sfd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let line = localize_line ~id:"slow" rtts ^ "\n" in
+      let dripper =
+        Thread.create
+          (fun () ->
+            String.iter
+              (fun c ->
+                write_all sfd (String.make 1 c);
+                Thread.delay 0.002)
+              line)
+          ()
+      in
+      (* While the loris drips its request a byte at a time, fast clients
+         must be served promptly — a thread-per-connection reader parked
+         on the slow socket would not show here, but a blocked event loop
+         would. *)
+      for i = 1 to 3 do
+        let fd, ic, oc = connect port in
+        let t0 = Unix.gettimeofday () in
+        let reply =
+          parse_reply (roundtrip ic oc (localize_line ~id:(Printf.sprintf "fast-%d" i) rtts))
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        Alcotest.(check string) "fast client served" "ok" (Protocol.status_of reply);
+        if dt > 1.0 then
+          Alcotest.failf "fast client waited %.0f ms behind a slow-loris" (dt *. 1000.0);
+        Unix.close fd
+      done;
+      Thread.join dripper;
+      (* The trickled request itself still completes once its newline
+         finally lands. *)
+      let ic = Unix.in_channel_of_descr sfd in
+      let reply = parse_reply (input_line ic) in
+      Alcotest.(check string) "slow-loris request eventually ok" "ok"
+        (Protocol.status_of reply);
+      Unix.close sfd)
+
+let test_idle_connections () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:36.5 ~lon:(-87.0)) in
+  let config = { Server.default_config with Server.batch_delay_s = 0.0 } in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let n_idle = 50 in
+      let idle =
+        Array.init n_idle (fun _ ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            fd)
+      in
+      let wait_for_conns target =
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        while Server.live_connections srv <> target && Unix.gettimeofday () < deadline do
+          Thread.delay 0.01
+        done
+      in
+      wait_for_conns n_idle;
+      Alcotest.(check int) "all idle connections accepted" n_idle
+        (Server.live_connections srv);
+      (* Fifty parked fds don't occupy any serving capacity. *)
+      let fd, ic, oc = connect port in
+      let reply = parse_reply (roundtrip ic oc (localize_line ~id:"active" rtts)) in
+      Alcotest.(check string) "served among idlers" "ok" (Protocol.status_of reply);
+      Unix.close fd;
+      Array.iter Unix.close idle;
+      wait_for_conns 0;
+      Alcotest.(check int) "idle connections reaped on close" 0
+        (Server.live_connections srv))
+
 let suite =
   [
     ( "serve",
@@ -412,5 +710,13 @@ let suite =
         Alcotest.test_case "overload sheds with an explicit reply" `Quick test_overload_shed;
         Alcotest.test_case "shutdown frame drains queued work" `Quick test_shutdown_drains;
         Alcotest.test_case "ping and stats frames" `Quick test_control_frames;
+        Alcotest.test_case "solver fault answers instead of wedging" `Quick
+          test_solver_fault_no_wedge;
+        Alcotest.test_case "deadline expires during the solve" `Quick
+          test_deadline_during_solve;
+        Alcotest.test_case "binary frames bit-identical to JSON lines" `Quick
+          test_binary_json_parity;
+        Alcotest.test_case "slow-loris client does not stall others" `Quick test_slow_loris;
+        Alcotest.test_case "idle connections cost nothing" `Quick test_idle_connections;
       ] );
   ]

@@ -67,6 +67,93 @@ let prop_roundtrip =
           || QCheck.Test.fail_reportf "reparsed to %s" (Json.to_string v')
       | Error e -> QCheck.Test.fail_reportf "own output rejected: %s" e)
 
+(* ---- binary codec: totality and round-trip ---- *)
+
+let prop_binary_decoders_total =
+  QCheck.Test.make ~count:2000 ~name:"binary decoders never raise"
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun s ->
+      (match Protocol.Binary.decode_request s with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+          QCheck.Test.fail_reportf "decode_request raised %s" (Printexc.to_string e));
+      match Protocol.Binary.decode_reply s with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "decode_reply raised %s" (Printexc.to_string e))
+
+let binary_request_gen =
+  let open QCheck.Gen in
+  let fin =
+    oneof [ oneofl [ 0.0; -1.0; 21.5; 0.125; 987.654321; 1e3 ]; float_range (-2.0) 500.0 ]
+  in
+  let id =
+    oneof
+      [
+        return Json.Null;
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 12));
+        map Json.num (float_range 0.0 1e6);
+      ]
+  in
+  let localize =
+    map
+      (fun (id, rtts, whois, deadline, audit) ->
+        Protocol.Localize
+          {
+            Protocol.id;
+            rtt_ms = Array.of_list rtts;
+            whois;
+            deadline_ms = deadline;
+            want_audit = audit;
+          })
+      (tup5 id
+         (list_size (int_range 0 16) fin)
+         (opt
+            (map2
+               (fun lat lon -> Geo.Geodesy.coord ~lat ~lon)
+               (float_range (-89.0) 89.0) (float_range (-179.0) 179.0)))
+         (opt (float_range 1.0 10_000.0))
+         bool)
+  in
+  frequency
+    [
+      (6, localize);
+      (1, return Protocol.Ping);
+      (1, return Protocol.Stats);
+      (1, return Protocol.Shutdown);
+    ]
+
+let request_equal a b =
+  match (a, b) with
+  | Protocol.Ping, Protocol.Ping
+  | Protocol.Stats, Protocol.Stats
+  | Protocol.Shutdown, Protocol.Shutdown ->
+      true
+  | Protocol.Localize x, Protocol.Localize y ->
+      Json.equal x.Protocol.id y.Protocol.id
+      && Array.length x.Protocol.rtt_ms = Array.length y.Protocol.rtt_ms
+      && Array.for_all2
+           (fun (u : float) v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+           x.Protocol.rtt_ms y.Protocol.rtt_ms
+      && (match (x.Protocol.whois, y.Protocol.whois) with
+         | None, None -> true
+         | Some a, Some b ->
+             a.Geo.Geodesy.lat = b.Geo.Geodesy.lat && a.Geo.Geodesy.lon = b.Geo.Geodesy.lon
+         | _ -> false)
+      && x.Protocol.deadline_ms = y.Protocol.deadline_ms
+      && x.Protocol.want_audit = y.Protocol.want_audit
+  | _ -> false
+
+let prop_binary_request_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"binary request encode/decode round-trips"
+    (QCheck.make binary_request_gen)
+    (fun req ->
+      match Protocol.Binary.decode_request (Protocol.Binary.encode_request req) with
+      | Ok req' ->
+          request_equal req req'
+          || QCheck.Test.fail_reportf "request did not survive the round-trip"
+      | Error e -> QCheck.Test.fail_reportf "own encoding rejected: %s" e)
+
 (* ---- live-server fuzz ---- *)
 
 let mini_ctx () =
@@ -223,12 +310,114 @@ let fuzz_server () =
       | Error e -> Alcotest.failf "ping reply unparseable: %s" e);
       Unix.close fd3)
 
+(* ---- live-server fuzz, binary side ---- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.read fd buf !off (n - !off) in
+    if k = 0 then Alcotest.fail "peer closed mid-frame";
+    off := !off + k
+  done;
+  Bytes.to_string buf
+
+let fuzz_binary_server () =
+  let ctx = mini_ctx () in
+  let config =
+    {
+      Server.default_config with
+      Server.max_frame_bytes = 4096;
+      batch_delay_s = 0.0;
+      cache_capacity = 16;
+    }
+  in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let bconnect () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        write_all fd Protocol.Binary.magic;
+        fd
+      in
+      let read_reply fd =
+        let len =
+          Protocol.Binary.decode_length (read_exactly fd Protocol.Binary.header_length)
+        in
+        match Protocol.Binary.decode_reply (read_exactly fd len) with
+        | Ok json -> json
+        | Error e -> Alcotest.failf "undecodable binary reply: %s" e
+      in
+      let valid_localize =
+        Protocol.Localize
+          {
+            Protocol.id = Json.Str "probe";
+            rtt_ms = [| 21.5; 33.0; 18.25; 40.0; 26.5; 31.0 |];
+            whois = None;
+            deadline_ms = None;
+            want_audit = false;
+          }
+      in
+      let fd = bconnect () in
+      (* Random framed payloads: every frame gets exactly one structured
+         reply (a rare byte pattern may decode as a valid control frame —
+         [shutdown] only flips the flag [wait] polls, so serving is
+         unaffected), and the connection keeps working. *)
+      let rand = Random.State.make [| 20260807 |] in
+      for _ = 1 to 40 do
+        let n = 1 + Random.State.int rand 64 in
+        let payload = String.init n (fun _ -> Char.chr (Random.State.int rand 256)) in
+        write_all fd (Protocol.Binary.frame payload);
+        let reply = read_reply fd in
+        match Protocol.status_of reply with
+        | "error" | "pong" | "stats" | "draining" | "ok" | "overloaded" | "expired" -> ()
+        | other -> Alcotest.failf "garbage frame produced status %S" other
+      done;
+      write_all fd (Protocol.Binary.frame (Protocol.Binary.encode_request valid_localize));
+      Alcotest.(check string) "still serving after binary garbage" "ok"
+        (Protocol.status_of (read_reply fd));
+      (* Oversized frame: structured error, the declared payload is
+         discarded as it arrives, then the connection serves again. *)
+      write_all fd
+        (let b = Bytes.create 4 in
+         Bytes.set_int32_le b 0 100_000l;
+         Bytes.to_string b);
+      Alcotest.(check string) "oversized binary frame rejected" "error"
+        (Protocol.status_of (read_reply fd));
+      write_all fd (String.make 100_000 'x');
+      write_all fd (Protocol.Binary.frame (Protocol.Binary.encode_request valid_localize));
+      Alcotest.(check string) "still serving after oversize" "ok"
+        (Protocol.status_of (read_reply fd));
+      Unix.close fd;
+      (* Truncated frame then hangup: no reply owed, no crash, no leak. *)
+      let fd2 = bconnect () in
+      write_all fd2 (String.sub (Protocol.Binary.frame (String.make 100 'p')) 0 30);
+      Unix.close fd2;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Server.live_connections srv > 0 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.01
+      done;
+      Alcotest.(check int) "no leaked binary connections" 0 (Server.live_connections srv))
+
 let suite =
   [
     ( "wire-fuzz",
       [
         QCheck_alcotest.to_alcotest prop_parser_total;
         QCheck_alcotest.to_alcotest prop_roundtrip;
+        QCheck_alcotest.to_alcotest prop_binary_decoders_total;
+        QCheck_alcotest.to_alcotest prop_binary_request_roundtrip;
         Alcotest.test_case "live server survives garbage" `Slow fuzz_server;
+        Alcotest.test_case "live server survives binary garbage" `Slow fuzz_binary_server;
       ] );
   ]
