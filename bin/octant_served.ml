@@ -76,6 +76,15 @@ let cache_shards_arg =
           "Result-cache shard count (rounded down to a power of two, clamped to the \
            capacity).")
 
+let max_conns_arg =
+  Arg.(
+    value
+    & opt int 900
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Live-connection cap; connections past it are closed at accept.  Must stay \
+           below the select(2) FD_SETSIZE limit (1024 on Linux).")
+
 let deadline_arg =
   Arg.(
     value
@@ -107,7 +116,7 @@ let backend_arg =
            $(b,grid)[:RES], or $(b,hybrid)[:CELLS].")
 
 let serve seed hosts probes port host jobs workers max_queue max_batch batch_delay_ms cache
-    cache_shards deadline backend telemetry =
+    cache_shards max_conns deadline backend telemetry =
   let telemetry_sink =
     match telemetry with
     | None -> None
@@ -147,6 +156,7 @@ let serve seed hosts probes port host jobs workers max_queue max_batch batch_del
       batch_delay_s = batch_delay_ms /. 1000.0;
       cache_capacity = cache;
       cache_shards;
+      max_connections = max_conns;
       default_deadline_ms = deadline;
     }
   in
@@ -184,6 +194,6 @@ let main =
     Term.(
       const serve $ seed_arg $ hosts_arg $ probes_arg $ port_arg $ host_arg $ jobs_arg
       $ workers_arg $ max_queue_arg $ max_batch_arg $ batch_delay_arg $ cache_arg
-      $ cache_shards_arg $ deadline_arg $ backend_arg $ telemetry_arg)
+      $ cache_shards_arg $ max_conns_arg $ deadline_arg $ backend_arg $ telemetry_arg)
 
 let () = exit (Cmd.eval main)

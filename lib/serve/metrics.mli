@@ -12,9 +12,14 @@
     [expired] (deadline passed before — or during — compute), [batches]
     (micro-batches dispatched), [dispatch_failures] (solver exceptions
     caught in {!Batcher} dispatch; every affected ticket is resolved with
-    an error instead of wedging), [connections] (accepted), [bad_frames]
-    (answered with a decode error), and the cache tallies mirrored by
-    {!Lru}.
+    an error instead of wedging), [connections] (accepted),
+    [rejected_connections] (closed at accept because the live-connection
+    cap was reached), [bad_frames] (answered with a decode error),
+    [encode_failures] (a reply the codec could not encode, answered with
+    a fallback error), [loop_failures] (unexpected exceptions caught on
+    the event-loop thread; each costs at most one connection),
+    [pool_job_failures] (jobs that raised on a pool worker), and the
+    cache tallies mirrored by {!Lru}.
 
     Histograms: [h_batch_size] (requests per dispatched batch),
     [h_queue_depth] (depth observed at admit), [h_request_s]
@@ -28,7 +33,11 @@ val expired : Obs.Telemetry.Counter.t
 val batches : Obs.Telemetry.Counter.t
 val dispatch_failures : Obs.Telemetry.Counter.t
 val connections : Obs.Telemetry.Counter.t
+val rejected_connections : Obs.Telemetry.Counter.t
 val bad_frames : Obs.Telemetry.Counter.t
+val encode_failures : Obs.Telemetry.Counter.t
+val loop_failures : Obs.Telemetry.Counter.t
+val pool_job_failures : Obs.Telemetry.Counter.t
 val cache_hits : Obs.Telemetry.Counter.t
 val cache_misses : Obs.Telemetry.Counter.t
 val cache_evictions : Obs.Telemetry.Counter.t

@@ -3,6 +3,7 @@ type t = {
   nonempty : Condition.t;
   all_done : Condition.t;
   jobs : (unit -> unit) Queue.t;
+  on_error : exn -> unit;
   mutable closed : bool;
   mutable active : int; (* jobs currently executing *)
   mutable threads : Thread.t list;
@@ -20,8 +21,10 @@ let worker t =
       t.active <- t.active + 1;
       Mutex.unlock t.lock;
       (* A job that raises must not kill the worker: the pool is shared
-         by every connection. *)
-      (try job () with _ -> ());
+         by every connection.  The owner hears about it through
+         [on_error] (itself guarded — an error hook must not become a
+         second way to lose a worker). *)
+      (try job () with e -> ( try t.on_error e with _ -> ()));
       Mutex.lock t.lock;
       t.active <- t.active - 1;
       if t.active = 0 && Queue.is_empty t.jobs then Condition.broadcast t.all_done;
@@ -31,7 +34,7 @@ let worker t =
   in
   loop ()
 
-let create ~workers =
+let create ?(on_error = fun _ -> ()) ~workers () =
   if workers < 1 then invalid_arg "Pool.create: workers < 1";
   let t =
     {
@@ -39,6 +42,7 @@ let create ~workers =
       nonempty = Condition.create ();
       all_done = Condition.create ();
       jobs = Queue.create ();
+      on_error;
       closed = false;
       active = 0;
       threads = [];

@@ -2,8 +2,9 @@
 
     The event-loop server must never block its loop thread, so any work
     that waits — chiefly {!Batcher.await} on a queued localize ticket —
-    runs here.  Jobs are closures; a raising job is swallowed (the pool
-    is shared by every connection) and the worker keeps going.
+    runs here.  Jobs are closures; a raising job never kills its worker
+    (the pool is shared by every connection) — the exception is reported
+    to [on_error] and the worker keeps going.
 
     {!shutdown} closes intake, waits for every queued and in-flight job
     to finish, then joins the workers — so after it returns, every reply
@@ -11,8 +12,10 @@
 
 type t
 
-val create : workers:int -> t
-(** @raise Invalid_argument on [workers < 1]. *)
+val create : ?on_error:(exn -> unit) -> workers:int -> unit -> t
+(** [on_error] hears every exception a job raises (default: ignore);
+    it runs on the worker thread and its own exceptions are swallowed.
+    @raise Invalid_argument on [workers < 1]. *)
 
 val submit : t -> (unit -> unit) -> bool
 (** [false] when the pool is already shut down (the job is not queued). *)

@@ -285,7 +285,11 @@ module Binary = struct
           lor if l.id <> Json.Null then flag_id else 0
         in
         w_u8 buf flags;
-        if l.id <> Json.Null then w_str16 buf (Json.to_string l.id);
+        (* Ids are client-controlled JSON text and re-serialization can
+           expand the client's spelling (floats re-render at 17
+           significant digits), so a 16-bit length is overflowable from
+           the wire; 32 bits is not (frames are capped well below 4 GiB). *)
+        if l.id <> Json.Null then w_str32 buf (Json.to_string l.id);
         (match l.deadline_ms with Some d -> w_f64 buf d | None -> ());
         (match l.whois with
         | Some c ->
@@ -307,7 +311,7 @@ module Binary = struct
           let flags = r_u8 r in
           let id =
             if flags land flag_id <> 0 then
-              match Json.of_string (r_str16 r) with
+              match Json.of_string (r_str32 r) with
               | Ok j -> j
               | Error e -> bad (Printf.sprintf "id: %s" e)
             else Json.Null
@@ -370,7 +374,7 @@ module Binary = struct
       match Json.member "id" reply with
       | Some j ->
           w_u8 buf 1;
-          w_str16 buf (Json.to_string j)
+          w_str32 buf (Json.to_string j)
       | None -> w_u8 buf 0
     in
     (match status_of reply with
@@ -405,7 +409,9 @@ module Binary = struct
     | "error" ->
         w_u8 buf st_error;
         w_id ();
-        w_str16 buf (member_str reply "reason")
+        (* Reasons can embed client data ("unknown op %S"), so they get
+           the same 32-bit prefix as ids. *)
+        w_str32 buf (member_str reply "reason")
     | "overloaded" ->
         w_u8 buf st_overloaded;
         w_id ()
@@ -424,7 +430,7 @@ module Binary = struct
     match
       let r_id () =
         if r_u8 r = 1 then
-          match Json.of_string (r_str16 r) with
+          match Json.of_string (r_str32 r) with
           | Ok j -> j
           | Error e -> bad (Printf.sprintf "id: %s" e)
         else Json.Null
@@ -489,7 +495,7 @@ module Binary = struct
           Json.Obj (with_id id base)
       | 1 ->
           let id = r_id () in
-          let reason = r_str16 r in
+          let reason = r_str32 r in
           Json.Obj (with_id id [ ("status", Json.Str "error"); ("reason", Json.Str reason) ])
       | 2 -> Json.Obj (with_id (r_id ()) [ ("status", Json.Str "overloaded") ])
       | 3 -> Json.Obj (with_id (r_id ()) [ ("status", Json.Str "expired") ])

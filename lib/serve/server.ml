@@ -34,6 +34,7 @@ type config = {
   cache_capacity : int;
   cache_shards : int;
   max_frame_bytes : int;
+  max_connections : int;
   default_deadline_ms : float option;
 }
 
@@ -49,6 +50,12 @@ let default_config =
     cache_capacity = 1024;
     cache_shards = 8;
     max_frame_bytes = 1_048_576;
+    (* [Unix.select] is FD_SETSIZE-bound (1024 on Linux): one connection
+       fd past that limit and readiness polling dies with EINVAL.  Cap
+       live connections well below it, leaving headroom for the
+       listener, the self-pipe, and whatever else the process has
+       open. *)
+    max_connections = 900;
     default_deadline_ms = None;
   }
 
@@ -120,6 +127,17 @@ let encode_reply_for codec reply =
   | Binary -> Protocol.Binary.frame (Protocol.Binary.encode_reply reply)
   | Sniffing | Json_lines -> Json.to_string reply ^ "\n"
 
+(* An unencodable reply (a pathological id or reason blowing a codec
+   length field) must never escape to the caller — on the loop thread it
+   would kill the event loop, on a pool worker it would silently drop
+   the client's answer.  Fall back to a minimal error both codecs are
+   guaranteed to accept. *)
+let encode_reply_safe codec reply =
+  try encode_reply_for codec reply
+  with _ ->
+    Obs.Telemetry.Counter.incr Metrics.encode_failures;
+    encode_reply_for codec (Protocol.error_reply ~id:Json.Null "reply encoding failed")
+
 (* Drain a connection's output queue as far as the kernel accepts.
    Caller holds [t.lock]; the fd is non-blocking, so this never parks a
    thread.  EINTR retries immediately (a signal mid-write must not kill
@@ -178,7 +196,7 @@ let enqueue_encoded t conn_id encoded =
   Mutex.unlock t.lock;
   if need_wake then wake t
 
-let respond t conn reply = enqueue_encoded t conn.c_id (encode_reply_for conn.codec reply)
+let respond t conn reply = enqueue_encoded t conn.c_id (encode_reply_safe conn.codec reply)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
@@ -213,6 +231,10 @@ let stats_reply t =
       ("expired", counter Metrics.expired);
       ("batches", counter Metrics.batches);
       ("dispatch_failures", counter Metrics.dispatch_failures);
+      ("rejected_connections", counter Metrics.rejected_connections);
+      ("encode_failures", counter Metrics.encode_failures);
+      ("loop_failures", counter Metrics.loop_failures);
+      ("pool_job_failures", counter Metrics.pool_job_failures);
       ("queue_depth", Json.Num (float_of_int (queue_depth t)));
       ("live_connections", Json.Num (float_of_int (live_connections t)));
       ("cache_shards", Json.Num (float_of_int (Lru.Sharded.shard_count t.cache)));
@@ -241,7 +263,7 @@ let handle_localize t conn (req : Protocol.localize) =
   let conn_id = conn.c_id in
   let finish reply =
     Obs.Telemetry.Histogram.observe Metrics.h_request_s (Unix.gettimeofday () -. t0);
-    enqueue_encoded t conn_id (encode_reply_for codec reply)
+    enqueue_encoded t conn_id (encode_reply_safe codec reply)
   in
   let cached = if req.Protocol.want_audit then None else Lru.Sharded.find t.cache key in
   match cached with
@@ -264,16 +286,24 @@ let handle_localize t conn (req : Protocol.localize) =
       | `Queued ticket ->
           let job () =
             let reply =
-              match Batcher.await ticket with
-              | Batcher.Expired -> Protocol.expired_reply ~id:req.Protocol.id
-              | Batcher.Computed (Ok est, audit) ->
-                  Lru.Sharded.add t.cache key est;
-                  Obs.Telemetry.Counter.incr Metrics.responses_ok;
-                  let audit = if req.Protocol.want_audit then Some audit else None in
-                  Protocol.ok_reply ~id:req.Protocol.id ~cached:false ~audit est
-              | Batcher.Computed (Error reason, _) ->
-                  Obs.Telemetry.Counter.incr Metrics.responses_error;
-                  Protocol.error_reply ~id:req.Protocol.id reason
+              (* The client is owed exactly one reply; anything raising
+                 between here and [finish] must degrade to an error
+                 reply, never to silence. *)
+              try
+                match Batcher.await ticket with
+                | Batcher.Expired -> Protocol.expired_reply ~id:req.Protocol.id
+                | Batcher.Computed (Ok est, audit) ->
+                    Lru.Sharded.add t.cache key est;
+                    Obs.Telemetry.Counter.incr Metrics.responses_ok;
+                    let audit = if req.Protocol.want_audit then Some audit else None in
+                    Protocol.ok_reply ~id:req.Protocol.id ~cached:false ~audit est
+                | Batcher.Computed (Error reason, _) ->
+                    Obs.Telemetry.Counter.incr Metrics.responses_error;
+                    Protocol.error_reply ~id:req.Protocol.id reason
+              with e ->
+                Obs.Telemetry.Counter.incr Metrics.responses_error;
+                Protocol.error_reply ~id:req.Protocol.id
+                  (Printf.sprintf "internal error: %s" (Printexc.to_string e))
             in
             finish reply
           in
@@ -450,6 +480,14 @@ let accept_ready t =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           go ()
         end
+        else if live_connections t >= t.cfg.max_connections then begin
+          (* Admitting past the cap would push [Unix.select] over
+             FD_SETSIZE and kill the loop with EINVAL — refusing one
+             client is strictly better than wedging all of them. *)
+          Obs.Telemetry.Counter.incr Metrics.rejected_connections;
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go ()
+        end
         else begin
           (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
           (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
@@ -511,46 +549,83 @@ let handle_writable t conn =
   Mutex.unlock t.lock;
   if failed then close_conn t conn
 
+(* How long the flushing phase of [stop] may spend pushing queued
+   replies at peers that have stopped reading before the remaining
+   output is abandoned and the sockets closed: a dead client must not
+   block daemon shutdown forever. *)
+let flush_timeout_s = 5.0
+
 let event_loop t =
   let buf = Bytes.create 65536 in
   let running = ref true in
+  let flush_deadline = ref None in
   while !running do
-    let stopping = Atomic.get t.stopping in
-    let rfds = ref [ t.wake_r ] in
-    if not stopping then rfds := t.listener :: !rfds;
-    let watched = ref [] in
-    let wfds = ref [] in
-    Mutex.lock t.lock;
-    Hashtbl.iter
-      (fun _ c ->
-        if not c.c_closed then begin
-          watched := c :: !watched;
-          if not stopping then rfds := c.c_fd :: !rfds;
-          if not (Queue.is_empty c.outq) then wfds := c.c_fd :: !wfds
-        end)
-      t.conns;
-    Mutex.unlock t.lock;
-    let r, w, _ =
-      try Unix.select !rfds !wfds [] 0.2
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
-    if List.memq t.wake_r r then drain_wake t;
-    if (not (Atomic.get t.stopping)) && List.memq t.listener r then accept_ready t;
-    List.iter
-      (fun c ->
-        if List.memq c.c_fd w then handle_writable t c;
-        if (not (Atomic.get t.stopping)) && List.memq c.c_fd r then handle_readable t c buf)
-      !watched;
+    (* The loop thread is the whole server: an exception escaping it
+       would leave the daemon alive but deaf — the exact wedge class
+       this design exists to kill.  A fault in per-connection handling
+       costs that connection; a fault anywhere else costs one tick. *)
+    (try
+       let stopping = Atomic.get t.stopping in
+       let rfds = ref [ t.wake_r ] in
+       if not stopping then rfds := t.listener :: !rfds;
+       let watched = ref [] in
+       let wfds = ref [] in
+       Mutex.lock t.lock;
+       Hashtbl.iter
+         (fun _ c ->
+           if not c.c_closed then begin
+             watched := c :: !watched;
+             if not stopping then rfds := c.c_fd :: !rfds;
+             if not (Queue.is_empty c.outq) then wfds := c.c_fd :: !wfds
+           end)
+         t.conns;
+       Mutex.unlock t.lock;
+       let r, w, _ =
+         try Unix.select !rfds !wfds [] 0.2 with
+         | Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+         | Unix.Unix_error _ ->
+             (* e.g. EBADF from a fd closed mid-snapshot; don't die and
+                don't spin. *)
+             Obs.Telemetry.Counter.incr Metrics.loop_failures;
+             Thread.delay 0.05;
+             ([], [], [])
+       in
+       if List.memq t.wake_r r then drain_wake t;
+       if (not (Atomic.get t.stopping)) && List.memq t.listener r then accept_ready t;
+       List.iter
+         (fun c ->
+           try
+             if List.memq c.c_fd w then handle_writable t c;
+             if (not (Atomic.get t.stopping)) && List.memq c.c_fd r then
+               handle_readable t c buf
+           with _ ->
+             Obs.Telemetry.Counter.incr Metrics.loop_failures;
+             close_conn t c)
+         !watched
+     with _ ->
+       Obs.Telemetry.Counter.incr Metrics.loop_failures;
+       Thread.delay 0.01);
     if Atomic.get t.flushing then begin
+      let now = Unix.gettimeofday () in
+      let deadline =
+        match !flush_deadline with
+        | Some d -> d
+        | None ->
+            let d = now +. flush_timeout_s in
+            flush_deadline := Some d;
+            d
+      in
       Mutex.lock t.lock;
       let pending =
         Hashtbl.fold (fun _ c acc -> acc || not (Queue.is_empty c.outq)) t.conns false
       in
       Mutex.unlock t.lock;
-      if not pending then running := false
+      if (not pending) || now >= deadline then running := false
     end
   done;
-  (* Loop is done: everything owed has been written.  Close the sockets. *)
+  (* Loop is done: everything owed has been written (or the flush
+     deadline gave up on peers that stopped reading).  Close the
+     sockets. *)
   Mutex.lock t.lock;
   let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
   Hashtbl.reset t.conns;
@@ -565,6 +640,7 @@ let event_loop t =
 let start ?(config = default_config) ?compute ~ctx () =
   if config.workers < 1 then invalid_arg "Server.start: workers < 1";
   if config.cache_shards < 1 then invalid_arg "Server.start: cache_shards < 1";
+  if config.max_connections < 1 then invalid_arg "Server.start: max_connections < 1";
   let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listener Unix.SO_REUSEADDR true;
@@ -596,7 +672,10 @@ let start ?(config = default_config) ?compute ~ctx () =
       bound_port;
       batcher;
       cache = Lru.Sharded.create ~shards:config.cache_shards ~capacity:config.cache_capacity ();
-      pool = Pool.create ~workers:config.workers;
+      pool =
+        Pool.create
+          ~on_error:(fun _ -> Obs.Telemetry.Counter.incr Metrics.pool_job_failures)
+          ~workers:config.workers ();
       wake_r;
       wake_w;
       lock = Mutex.create ();

@@ -26,7 +26,9 @@
     {!stop} stops intake first, then waits for in-flight work
     ({!Pool.shutdown}, then {!Batcher.drain}), then flushes every
     output queue before closing the sockets — no accepted request is
-    dropped unanswered. *)
+    dropped unanswered, except that a peer which has stopped reading
+    only gets a bounded flush window (a dead client must not block
+    shutdown forever). *)
 
 type config = {
   host : string;              (** Bind address (default 127.0.0.1). *)
@@ -40,6 +42,10 @@ type config = {
   cache_shards : int;
       (** Result-cache shards (clamped to a power of two ≤ capacity). *)
   max_frame_bytes : int;      (** Oversized frames get a structured error. *)
+  max_connections : int;
+      (** Live-connection cap; connections past it are closed at accept.
+          Must stay safely below FD_SETSIZE (1024 on Linux) — one fd past
+          it and [Unix.select] fails outright. *)
   default_deadline_ms : float option;
       (** Applied when a request carries no deadline of its own. *)
 }
@@ -48,7 +54,8 @@ val default_config : config
 (** [{host = "127.0.0.1"; port = 0; jobs = None; workers = 8;
      max_queue = 256; max_batch = 64; batch_delay_s = 0.002;
      cache_capacity = 1024; cache_shards = 8;
-     max_frame_bytes = 1_048_576; default_deadline_ms = None}] *)
+     max_frame_bytes = 1_048_576; max_connections = 900;
+     default_deadline_ms = None}] *)
 
 type t
 
@@ -58,7 +65,8 @@ val start :
     overrides the solver calls the batcher dispatches — the fault
     -injection tests use it to make the solver raise or stall; it
     defaults to {!Batcher.compute_of_ctx}[ ctx].
-    @raise Invalid_argument on [workers < 1] or [cache_shards < 1].
+    @raise Invalid_argument on [workers < 1], [cache_shards < 1], or
+    [max_connections < 1].
     @raise Unix.Unix_error when the bind fails. *)
 
 val port : t -> int

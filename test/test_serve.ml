@@ -615,6 +615,107 @@ let test_binary_json_parity () =
       Unix.close bfd;
       Unix.close jfd)
 
+(* ---- a pathological id is one request's problem, not the loop's ---- *)
+
+(* Regression: the binary codec carried ids behind a 16-bit length, so a
+   legal frame whose id re-serializes past 65535 bytes made reply
+   encoding raise on the event-loop thread (inline replies) and killed
+   the server.  Both codecs must now echo such ids and keep serving. *)
+let test_huge_id_live () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:41.0 ~lon:(-101.0)) in
+  let huge_id = Json.List (List.init 5_000 (fun _ -> Json.num 1e300)) in
+  assert (String.length (Json.to_string huge_id) > 65535);
+  let config = { Server.default_config with Server.batch_delay_s = 0.0 } in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let req =
+        {
+          Protocol.id = huge_id;
+          rtt_ms = rtts;
+          whois = None;
+          deadline_ms = None;
+          want_audit = false;
+        }
+      in
+      (* Binary, the codec with the length fields. *)
+      let bfd = binary_connect port in
+      let breply = binary_roundtrip bfd (Protocol.Localize req) in
+      Alcotest.(check string) "binary huge-id request ok" "ok" (Protocol.status_of breply);
+      (match Json.member "id" breply with
+      | Some id -> Alcotest.(check bool) "binary id echoed" true (Json.equal huge_id id)
+      | None -> Alcotest.fail "binary reply lost the id");
+      Alcotest.(check string) "binary connection still serving" "pong"
+        (Protocol.status_of (binary_roundtrip bfd Protocol.Ping));
+      Unix.close bfd;
+      (* JSON twin: same request as a (large) line. *)
+      let line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", huge_id);
+               ("rtt_ms", Json.List (Array.to_list (Array.map Json.num rtts)));
+             ])
+      in
+      let fd, ic, oc = connect port in
+      let jreply = parse_reply (roundtrip ic oc line) in
+      Alcotest.(check string) "json huge-id request ok" "ok" (Protocol.status_of jreply);
+      (match Json.member "id" jreply with
+      | Some id -> Alcotest.(check bool) "json id echoed" true (Json.equal huge_id id)
+      | None -> Alcotest.fail "json reply lost the id");
+      Unix.close fd)
+
+(* ---- the live-connection cap refuses instead of wedging ---- *)
+
+(* [Unix.select] dies with EINVAL past FD_SETSIZE, so the server caps
+   live connections at accept.  Over-cap connections are closed
+   immediately; admitted ones keep full service; a freed slot is
+   reusable. *)
+let test_connection_cap () =
+  let ctx, _, target_rtts = make_ctx () in
+  let rtts = target_rtts (Geo.Geodesy.coord ~lat:38.0 ~lon:(-96.0)) in
+  let config =
+    { Server.default_config with Server.batch_delay_s = 0.0; max_connections = 2 }
+  in
+  let srv = Server.start ~config ~ctx () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let fd1, ic1, oc1 = connect port in
+      let fd2, ic2, oc2 = connect port in
+      (* Ping both so the server has registered them before the third
+         connection arrives. *)
+      Alcotest.(check string) "conn 1 served" "pong"
+        (Protocol.status_of (parse_reply (roundtrip ic1 oc1 {|{"op":"ping"}|})));
+      Alcotest.(check string) "conn 2 served" "pong"
+        (Protocol.status_of (parse_reply (roundtrip ic2 oc2 {|{"op":"ping"}|})));
+      (* The third connection is over the cap: closed at accept, without
+         a reply. *)
+      let fd3, ic3, _ = connect port in
+      (match input_line ic3 with
+      | line -> Alcotest.failf "over-cap connection was served: %s" line
+      | exception (End_of_file | Sys_error _) -> ());
+      (try Unix.close fd3 with Unix.Unix_error _ -> ());
+      (* Refusing the third client never degrades the admitted two. *)
+      let reply = parse_reply (roundtrip ic1 oc1 (localize_line ~id:"capped" rtts)) in
+      Alcotest.(check string) "admitted conn still localizes" "ok"
+        (Protocol.status_of reply);
+      (* Closing an admitted connection frees its slot. *)
+      Unix.close fd2;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Server.live_connections srv > 1 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.01
+      done;
+      let fd4, ic4, oc4 = connect port in
+      Alcotest.(check string) "freed slot is reusable" "pong"
+        (Protocol.status_of (parse_reply (roundtrip ic4 oc4 {|{"op":"ping"}|})));
+      Unix.close fd4;
+      Unix.close fd1)
+
 (* ---- slow-loris and idle connections cost fds, not threads ---- *)
 
 let test_slow_loris () =
@@ -716,6 +817,10 @@ let suite =
           test_deadline_during_solve;
         Alcotest.test_case "binary frames bit-identical to JSON lines" `Quick
           test_binary_json_parity;
+        Alcotest.test_case "pathological ids answered on both codecs" `Quick
+          test_huge_id_live;
+        Alcotest.test_case "connection cap refuses instead of wedging" `Quick
+          test_connection_cap;
         Alcotest.test_case "slow-loris client does not stall others" `Quick test_slow_loris;
         Alcotest.test_case "idle connections cost nothing" `Quick test_idle_connections;
       ] );

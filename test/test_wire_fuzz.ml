@@ -154,6 +154,54 @@ let prop_binary_request_roundtrip =
           || QCheck.Test.fail_reportf "request did not survive the round-trip"
       | Error e -> QCheck.Test.fail_reportf "own encoding rejected: %s" e)
 
+(* ---- oversized ids and reasons must not blow a codec length field ---- *)
+
+(* Regression: ids travelled behind a 16-bit length, so an id whose
+   re-serialization expands past 65535 bytes (floats re-render at 17
+   significant digits) made [encode_reply] raise — on the event-loop
+   thread for inline replies, killing the server.  Ids and error reasons
+   now carry 32-bit lengths; this pins the round-trip at sizes the old
+   encoding could not represent. *)
+let test_huge_ids () =
+  let expanding_id = Json.List (List.init 5_000 (fun _ -> Json.num 1e300)) in
+  let big_str_id = Json.Str (String.make 70_000 'x') in
+  List.iter
+    (fun id ->
+      assert (String.length (Json.to_string id) > 65535);
+      let req =
+        Protocol.Localize
+          {
+            Protocol.id;
+            rtt_ms = [| 21.5; 33.0 |];
+            whois = None;
+            deadline_ms = None;
+            want_audit = false;
+          }
+      in
+      (match Protocol.Binary.decode_request (Protocol.Binary.encode_request req) with
+      | Ok (Protocol.Localize l) ->
+          Alcotest.(check bool) "request id round-trips" true (Json.equal id l.Protocol.id)
+      | Ok _ -> Alcotest.fail "huge-id request decoded to the wrong shape"
+      | Error e -> Alcotest.failf "huge-id request rejected: %s" e);
+      List.iter
+        (fun reply ->
+          match Protocol.Binary.decode_reply (Protocol.Binary.encode_reply reply) with
+          | Ok r ->
+              Alcotest.(check bool) "reply round-trips" true (Json.equal reply r)
+          | Error e -> Alcotest.failf "huge-id reply rejected: %s" e)
+        [
+          Protocol.error_reply ~id "boom";
+          Protocol.overloaded_reply ~id;
+          Protocol.expired_reply ~id;
+        ])
+    [ expanding_id; big_str_id ];
+  (* Error reasons embed client data ("unknown op %S") and can be huge
+     too. *)
+  let reply = Protocol.error_reply ~id:Json.Null (String.make 70_000 'r') in
+  match Protocol.Binary.decode_reply (Protocol.Binary.encode_reply reply) with
+  | Ok r -> Alcotest.(check bool) "huge reason round-trips" true (Json.equal reply r)
+  | Error e -> Alcotest.failf "huge reason rejected: %s" e
+
 (* ---- live-server fuzz ---- *)
 
 let mini_ctx () =
@@ -417,6 +465,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_roundtrip;
         QCheck_alcotest.to_alcotest prop_binary_decoders_total;
         QCheck_alcotest.to_alcotest prop_binary_request_roundtrip;
+        Alcotest.test_case "oversized ids and reasons survive the binary codec" `Quick
+          test_huge_ids;
         Alcotest.test_case "live server survives garbage" `Slow fuzz_server;
         Alcotest.test_case "live server survives binary garbage" `Slow fuzz_binary_server;
       ] );
