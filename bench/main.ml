@@ -7,6 +7,7 @@
      dune exec bench/main.exe fig4       -- coverage vs number of landmarks
      dune exec bench/main.exe ablation   -- per-mechanism ablation
      dune exec bench/main.exe timing     -- end-to-end solution times
+     dune exec bench/main.exe adversary  -- error vs f under colluding Byzantine landmarks
      dune exec bench/main.exe batch      -- multicore batch engine, sequential vs N domains
      dune exec bench/main.exe region     -- region backends: exact vs grid vs hybrid prefilter
      dune exec bench/main.exe geom       -- clip kernels: buffer vs list reference, alloc/op
@@ -938,6 +939,116 @@ let robustness () =
      # arrangement only demotes the true cell by one weight step.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Byzantine landmarks (BFT-PoLoc-style coalitions) *)
+(* ------------------------------------------------------------------ *)
+
+(* Acceptance thresholds, asserted here and re-checked by CI's jq pass
+   over BENCH_adversary.json.  Derived from the committed snapshot with
+   headroom: parity at f=0 is exact in expectation (hardening must not
+   change the clean answer much), the f=3 multiple bounds how far three
+   colluders may drag the hardened median from the clean run, and GeoLim's
+   empty-rate collapse is the brittleness the paper predicts for pure
+   intersections. *)
+let adv_max_parity_ratio_f0 = 1.25
+let adv_max_hardened_f3_multiple = 3.0
+let adv_min_geolim_empty_f3 = 0.5
+
+let adversary_bench () =
+  banner "ADVERSARY: colluding landmarks, error vs coalition size f (BFT-PoLoc threat model)";
+  let n_hosts = 41 in
+  let fs = [ 0; 1; 2; 3; 4 ] in
+  let points = Eval.Adversarial.run ~seed ~n_hosts ~fs () in
+  Printf.printf
+    "# %d hosts split half landmarks / half targets; f colluders fabricate\n\
+     # mutually consistent RTTs placing each target at a common fake region\n"
+    n_hosts;
+  Printf.printf "# %-4s %12s %6s %12s %6s %12s %6s %8s %12s\n" "f" "octant_mi" "hit%"
+    "harden_mi" "hit%" "geolim_mi" "hit%" "empty%" "geoping_mi";
+  List.iter
+    (fun (p : Eval.Adversarial.point) ->
+      Printf.printf "  %-4d %12.1f %6.1f %12.1f %6.1f %12.1f %6.1f %8.1f %12.1f\n" p.f
+        p.octant_median_miles
+        (100.0 *. p.octant_hit_rate)
+        p.hardened_median_miles
+        (100.0 *. p.hardened_hit_rate)
+        p.geolim_median_miles
+        (100.0 *. p.geolim_hit_rate)
+        (100.0 *. p.geolim_empty_rate)
+        p.geoping_median_miles)
+    points;
+  let at f =
+    match List.find_opt (fun (p : Eval.Adversarial.point) -> p.f = f) points with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "ADVERSARY FAIL: no curve point for f=%d\n" f;
+        exit 1
+  in
+  let p0 = at 0 and p3 = at 3 in
+  let parity_ratio =
+    Float.max
+      (p0.hardened_median_miles /. Float.max p0.octant_median_miles 0.1)
+      (p0.octant_median_miles /. Float.max p0.hardened_median_miles 0.1)
+  in
+  let hardened_f3_multiple = p3.hardened_median_miles /. Float.max p0.octant_median_miles 0.1 in
+  Printf.printf
+    "# gates: f=0 parity ratio %.2f (<= %.2f), hardened f=3 multiple %.2fx (<= %.1fx),\n\
+     #        GeoLim empty-rate at f=3 %.0f%% (>= %.0f%%)\n"
+    parity_ratio adv_max_parity_ratio_f0 hardened_f3_multiple adv_max_hardened_f3_multiple
+    (100.0 *. p3.geolim_empty_rate)
+    (100.0 *. adv_min_geolim_empty_f3);
+  if parity_ratio > adv_max_parity_ratio_f0 then begin
+    Printf.eprintf
+      "ADVERSARY FAIL: zero-adversary parity ratio %.2f exceeds %.2f (hardening distorts the \
+       clean run)\n"
+      parity_ratio adv_max_parity_ratio_f0;
+    exit 1
+  end;
+  if hardened_f3_multiple > adv_max_hardened_f3_multiple then begin
+    Printf.eprintf
+      "ADVERSARY FAIL: hardened median at f=3 is %.2fx the clean run (want <= %.1fx)\n"
+      hardened_f3_multiple adv_max_hardened_f3_multiple;
+    exit 1
+  end;
+  if p3.geolim_empty_rate < adv_min_geolim_empty_f3 then begin
+    Printf.eprintf
+      "ADVERSARY FAIL: GeoLim empty-rate at f=3 is %.0f%% (expected collapse >= %.0f%%)\n"
+      (100.0 *. p3.geolim_empty_rate)
+      (100.0 *. adv_min_geolim_empty_f3);
+    exit 1
+  end;
+  let json_rows =
+    List.map
+      (fun (p : Eval.Adversarial.point) ->
+        Json.Obj
+          [
+            ("f", Json.Num (float_of_int p.f));
+            ("octant_median_miles", Json.num p.octant_median_miles);
+            ("octant_hit_rate", Json.num p.octant_hit_rate);
+            ("hardened_median_miles", Json.num p.hardened_median_miles);
+            ("hardened_hit_rate", Json.num p.hardened_hit_rate);
+            ("geolim_median_miles", Json.num p.geolim_median_miles);
+            ("geolim_hit_rate", Json.num p.geolim_hit_rate);
+            ("geolim_empty_rate", Json.num p.geolim_empty_rate);
+            ("geoping_median_miles", Json.num p.geoping_median_miles);
+          ])
+      points
+  in
+  write_json "BENCH_adversary.json"
+    (Json.Obj
+       [
+         ("bench", Json.Str "adversary");
+         ("scenario", Json.Str "coalition");
+         ("hosts", Json.Num (float_of_int n_hosts));
+         ("rows", Json.List json_rows);
+         ("parity_ratio_f0", Json.num parity_ratio);
+         ("hardened_f3_multiple", Json.num hardened_f3_multiple);
+         ("geolim_empty_rate_f3", Json.num p3.geolim_empty_rate);
+         ("max_parity_ratio_f0", Json.num adv_max_parity_ratio_f0);
+         ("max_hardened_f3_multiple", Json.num adv_max_hardened_f3_multiple);
+         ("min_geolim_empty_f3", Json.num adv_min_geolim_empty_f3);
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Secondary landmarks (paper section 2: primary vs secondary landmarks) *)
 (* ------------------------------------------------------------------ *)
 
@@ -1079,6 +1190,7 @@ let () =
   | "vivaldi" -> vivaldi ()
   | "secondary" -> secondary ()
   | "robustness" -> robustness ()
+  | "adversary" -> adversary_bench ()
   | "timing" -> timing (Eval.Study.run ~seed ~n_hosts ())
   | "batch" -> batch ()
   | "serve" -> serve_bench ()
@@ -1091,6 +1203,7 @@ let () =
       fig4 ();
       ablation ();
       robustness ();
+      adversary_bench ();
       secondary ();
       vivaldi ();
       timing study;
@@ -1100,5 +1213,5 @@ let () =
       geom ();
       micro ()
   | other ->
-      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|secondary|vivaldi|timing|batch|serve|region|geom|micro|all)\n" other;
+      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|adversary|secondary|vivaldi|timing|batch|serve|region|geom|micro|all)\n" other;
       exit 1

@@ -58,6 +58,19 @@ let backend_arg =
            or $(b,hybrid)[:CELLS] (exact clipping behind a bbox + occupancy-grid \
            prefilter).")
 
+let harden_arg =
+  Arg.(
+    value & flag
+    & info [ "harden" ]
+        ~doc:
+          "Enable Byzantine-landmark hardening: consistency-score each \
+           landmark's latency constraint against the median-of-means \
+           consensus region, down-weight repeat offenders before they reach \
+           the solver, and trim far-flung weight-band cells at estimate \
+           extraction.")
+
+let harden_opt hardened = if hardened then Some Octant.Harden.default else None
+
 (* --- telemetry --- *)
 
 type telemetry_mode = Tree | Json_stdout | Json_file of string
@@ -114,7 +127,7 @@ let mk_bridge seed n_hosts probes =
 
 (* --- localize --- *)
 
-let localize seed hosts probes target no_piecewise no_geo backend telemetry =
+let localize seed hosts probes target no_piecewise no_geo backend harden telemetry =
   with_telemetry telemetry @@ fun () ->
   let deployment, bridge = mk_bridge seed hosts probes in
   let n = Eval.Bridge.host_count bridge in
@@ -134,6 +147,7 @@ let localize seed hosts probes target no_piecewise no_geo backend telemetry =
       use_land_mask = not no_geo;
       whois_weight = (if no_geo then 0.0 else Octant.Pipeline.default_config.Octant.Pipeline.whois_weight);
       backend;
+      harden = harden_opt harden;
     }
   in
   let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
@@ -180,7 +194,7 @@ let localize_cmd =
     (Cmd.info "localize" ~doc:"Localize one host of a simulated deployment")
     Term.(
       const localize $ seed_arg $ hosts_arg $ probes_arg $ target $ no_piecewise $ no_geo
-      $ backend_arg $ telemetry_arg)
+      $ backend_arg $ harden_arg $ telemetry_arg)
 
 (* --- calibrate --- *)
 
@@ -203,9 +217,15 @@ let calibrate_cmd =
 
 (* --- study --- *)
 
-let study seed hosts probes jobs backend telemetry =
+let study seed hosts probes jobs backend harden telemetry =
   with_telemetry telemetry @@ fun () ->
-  let config = { Octant.Pipeline.default_config with Octant.Pipeline.backend } in
+  let config =
+    {
+      Octant.Pipeline.default_config with
+      Octant.Pipeline.backend;
+      harden = harden_opt harden;
+    }
+  in
   let s = Eval.Study.run ~config ~seed ~n_hosts:hosts ~probes ?jobs:(jobs_opt jobs) () in
   Eval.Report.print_figure3 s;
   print_newline ();
@@ -214,16 +234,24 @@ let study seed hosts probes jobs backend telemetry =
 let study_cmd =
   Cmd.v
     (Cmd.info "study" ~doc:"Leave-one-out comparison of all methods (Figure 3)")
-    Term.(const study $ seed_arg $ hosts_arg $ probes_arg $ jobs_arg $ backend_arg $ telemetry_arg)
+    Term.(
+      const study $ seed_arg $ hosts_arg $ probes_arg $ jobs_arg $ backend_arg $ harden_arg
+      $ telemetry_arg)
 
 (* --- sweep --- *)
 
-let sweep seed hosts counts jobs backend telemetry =
+let sweep seed hosts counts jobs backend harden telemetry =
   with_telemetry telemetry @@ fun () ->
   let landmark_counts =
     String.split_on_char ',' counts |> List.map String.trim |> List.map int_of_string
   in
-  let config = { Octant.Pipeline.default_config with Octant.Pipeline.backend } in
+  let config =
+    {
+      Octant.Pipeline.default_config with
+      Octant.Pipeline.backend;
+      harden = harden_opt harden;
+    }
+  in
   let s = Eval.Sweep.run ~config ~seed ~n_hosts:hosts ~landmark_counts ?jobs:(jobs_opt jobs) () in
   Eval.Report.print_figure4 s
 
@@ -236,7 +264,9 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Coverage vs number of landmarks (Figure 4)")
-    Term.(const sweep $ seed_arg $ hosts_arg $ counts $ jobs_arg $ backend_arg $ telemetry_arg)
+    Term.(
+      const sweep $ seed_arg $ hosts_arg $ counts $ jobs_arg $ backend_arg $ harden_arg
+      $ telemetry_arg)
 
 (* --- ablation --- *)
 

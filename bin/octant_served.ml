@@ -115,8 +115,19 @@ let backend_arg =
           "Region backend for every localization this daemon serves: $(b,exact), \
            $(b,grid)[:RES], or $(b,hybrid)[:CELLS].")
 
+let harden_arg =
+  Arg.(
+    value & flag
+    & info [ "harden" ]
+        ~doc:
+          "Enable Byzantine-landmark hardening for every localization this \
+           daemon serves: consistency-score each landmark's latency \
+           constraint against the consensus region, down-weight repeat \
+           offenders, and trim far-flung weight-band cells at estimate \
+           extraction.")
+
 let serve seed hosts probes port host jobs workers max_queue max_batch batch_delay_ms cache
-    cache_shards max_conns deadline backend telemetry =
+    cache_shards max_conns deadline backend harden telemetry =
   let telemetry_sink =
     match telemetry with
     | None -> None
@@ -141,7 +152,12 @@ let serve seed hosts probes port host jobs workers max_queue max_batch batch_del
   let inter = Eval.Bridge.inter_rtt_for bridge all in
   let ctx =
     Octant.Pipeline.prepare
-      ~config:{ Octant.Pipeline.default_config with Octant.Pipeline.backend }
+      ~config:
+        {
+          Octant.Pipeline.default_config with
+          Octant.Pipeline.backend;
+          harden = (if harden then Some Octant.Harden.default else None);
+        }
       ~landmarks ~inter_landmark_rtt_ms:inter ()
   in
   let config =
@@ -194,6 +210,7 @@ let main =
     Term.(
       const serve $ seed_arg $ hosts_arg $ probes_arg $ port_arg $ host_arg $ jobs_arg
       $ workers_arg $ max_queue_arg $ max_batch_arg $ batch_delay_arg $ cache_arg
-      $ cache_shards_arg $ max_conns_arg $ deadline_arg $ backend_arg $ telemetry_arg)
+      $ cache_shards_arg $ max_conns_arg $ deadline_arg $ backend_arg $ harden_arg
+      $ telemetry_arg)
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,115 @@
+type config = {
+  mom_buckets : int;
+  conflict_attenuation : float;
+  consensus_conflicts : int;
+  consensus_slack_km : float;
+  weight_floor : float;
+  trim_band_km : float;
+}
+
+let default =
+  {
+    mom_buckets = 4;
+    conflict_attenuation = 0.7;
+    consensus_conflicts = 2;
+    consensus_slack_km = 150.0;
+    weight_floor = 0.05;
+    trim_band_km = 900.0;
+  }
+
+(* Deal the sorted values round-robin into [buckets]: sorting first makes
+   the bucket assignment — and therefore the estimate — independent of
+   input order, and spreads outliers one per bucket, which is the worst
+   case for them and the best case for the median. *)
+let median_of_means ?(buckets = 4) values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Harden.median_of_means: empty sample";
+  if buckets < 1 then invalid_arg "Harden.median_of_means: need at least one bucket";
+  let b = Stdlib.min buckets n in
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let sums = Array.make b 0.0 and counts = Array.make b 0 in
+  Array.iteri
+    (fun k v ->
+      let i = k mod b in
+      sums.(i) <- sums.(i) +. v;
+      counts.(i) <- counts.(i) + 1)
+    sorted;
+  Stats.Sample.median (Array.init b (fun i -> sums.(i) /. float_of_int counts.(i)))
+
+(* Canonical landmark order: by (rtt, x, y).  Any permutation of the
+   inputs sorts to the same sequence, so everything downstream is
+   permutation-invariant. *)
+let canonical_order ~centers ~rtt_ms =
+  let n = Array.length centers in
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare rtt_ms.(a) rtt_ms.(b) with
+      | 0 -> (
+          match compare centers.(a).Geo.Point.x centers.(b).Geo.Point.x with
+          | 0 -> compare centers.(a).Geo.Point.y centers.(b).Geo.Point.y
+          | c -> c)
+      | c -> c)
+    idx;
+  idx
+
+let consensus_point cfg ~centers ~rtt_ms =
+  let n = Array.length centers in
+  if n = 0 then invalid_arg "Harden.consensus_point: no landmarks";
+  if Array.length rtt_ms <> n then invalid_arg "Harden.consensus_point: length mismatch";
+  let order = canonical_order ~centers ~rtt_ms in
+  let b = Stdlib.max 1 (Stdlib.min cfg.mom_buckets n) in
+  let wx = Array.make b 0.0 and wy = Array.make b 0.0 and ws = Array.make b 0.0 in
+  Array.iteri
+    (fun k i ->
+      let slot = k mod b in
+      let rtt = rtt_ms.(i) in
+      let w = 1.0 /. ((rtt *. rtt) +. 25.0) in
+      wx.(slot) <- wx.(slot) +. (w *. centers.(i).Geo.Point.x);
+      wy.(slot) <- wy.(slot) +. (w *. centers.(i).Geo.Point.y);
+      ws.(slot) <- ws.(slot) +. w)
+    order;
+  let xs = Array.init b (fun i -> wx.(i) /. ws.(i)) in
+  let ys = Array.init b (fun i -> wy.(i) /. ws.(i)) in
+  Geo.Point.make (Stats.Sample.median xs) (Stats.Sample.median ys)
+
+type score = { pair_conflicts : int; violates_consensus : bool; factor : float }
+
+let factor_of cfg ~conflicts =
+  if conflicts <= 0 then 1.0
+  else Float.max cfg.weight_floor (cfg.conflict_attenuation ** float_of_int conflicts)
+
+(* Two annuli [r_a, R_a] around [ca] and [r_b, R_b] around [cb] can both
+   hold only if some point satisfies both distance bands.  They are
+   provably disjoint when the outer disks do not meet, or when one
+   annulus's farthest reach still sits inside the other's inner exclusion
+   disk. *)
+let annuli_disjoint ~d ~ra_lo ~ra_hi ~rb_lo ~rb_hi =
+  d > ra_hi +. rb_hi +. 1e-9 || ra_lo > d +. rb_hi +. 1e-9 || rb_lo > d +. ra_hi +. 1e-9
+
+let scores cfg ~centers ~rtt_ms ~upper_km ~lower_km =
+  let n = Array.length centers in
+  if Array.length rtt_ms <> n || Array.length upper_km <> n || Array.length lower_km <> n then
+    invalid_arg "Harden.scores: length mismatch";
+  let consensus = consensus_point cfg ~centers ~rtt_ms in
+  Array.init n (fun i ->
+      let pair_conflicts = ref 0 in
+      for j = 0 to n - 1 do
+        if j <> i then begin
+          let d = Geo.Point.dist centers.(i) centers.(j) in
+          if
+            annuli_disjoint ~d ~ra_lo:lower_km.(i) ~ra_hi:upper_km.(i) ~rb_lo:lower_km.(j)
+              ~rb_hi:upper_km.(j)
+          then incr pair_conflicts
+        end
+      done;
+      let dc = Geo.Point.dist centers.(i) consensus in
+      let violates_consensus =
+        dc > upper_km.(i) +. cfg.consensus_slack_km
+        || dc +. cfg.consensus_slack_km < lower_km.(i)
+      in
+      let conflicts =
+        !pair_conflicts + if violates_consensus then cfg.consensus_conflicts else 0
+      in
+      { pair_conflicts = !pair_conflicts; violates_consensus; factor = factor_of cfg ~conflicts })

@@ -1,0 +1,104 @@
+(** Solver hardening against Byzantine landmarks (BFT-PoLoc-style).
+
+    The weight machinery (§2.4) already tolerates a few {e random} bad
+    constraints, but coordinated liars — a coalition steering the estimate
+    toward a common fake region — defeat plain latency weighting: a
+    colluder fabricating a {e small} RTT earns a {e large} weight.  This
+    module scores each landmark's latency constraint against the rest of
+    the evidence and down-weights the inconsistent ones before they reach
+    the solver, plus a solve-time consensus trim.  Two mechanisms:
+
+    + {b Median-of-means consensus}: landmarks are split into buckets (in a
+      canonical, permutation-invariant order), each bucket votes a
+      latency-weighted centroid, and the coordinate-wise median of the
+      bucket votes is the consensus point.  Up to half the buckets can be
+      fully captured by liars without moving the median far — the classic
+      robustness of median-of-means, here over landmark buckets.
+    + {b Constraint-consistency scoring}: landmark [i]'s calibrated annulus
+      [r_i <= dist(c_i, target) <= R_i] is checked against every other
+      landmark's annulus (two annuli that cannot both hold conflict) and
+      against the consensus point (a bound that excludes the consensus
+      conflicts).  Each conflict multiplies the landmark's constraint
+      weight by a fixed attenuation, monotonically in the conflict count,
+      down to a floor — repeatedly-conflicting landmarks feed the existing
+      {!Weight} machinery at a fraction of their nominal trust.
+
+    Everything here is a pure function of its arguments: scores are
+    deterministic, independent of landmark order (permutation of the
+    inputs permutes the outputs), and safe to compute concurrently. *)
+
+type config = {
+  mom_buckets : int;
+      (** Median-of-means bucket count for the consensus point (default 4;
+          clamped to the landmark count). *)
+  conflict_attenuation : float;
+      (** Weight multiplier per conflict (default 0.7): a landmark with [k]
+          conflicts keeps [0.7^k] of its weight, down to [weight_floor]. *)
+  consensus_conflicts : int;
+      (** Extra conflicts charged when a landmark's bound excludes the
+          consensus point (default 2 — consensus disagreement is stronger
+          evidence than one pairwise clash). *)
+  consensus_slack_km : float;
+      (** Slack before a bound counts as excluding the consensus point
+          (default 150 km — honest calibrations are aggressive; only clear
+          violations are charged). *)
+  weight_floor : float;
+      (** Minimum weight factor (default 0.05): even a maximally
+          conflicting landmark keeps a sliver of influence, mirroring
+          {!Weight.policy.floor}. *)
+  trim_band_km : float;
+      (** Solve-time consensus trim: arrangement cells inside the weight
+          band but farther than this from the top-weight cell's centroid
+          are excluded from the estimate (default 900 km).  A fake region
+          that climbed near the top weight no longer rides the band into
+          the reported region. *)
+}
+
+val default : config
+
+val median_of_means : ?buckets:int -> float array -> float
+(** Robust location estimate: values are sorted, dealt round-robin into
+    [buckets] (default 4, clamped to the sample size), and the median of
+    the bucket means is returned.  Sorting first makes the result
+    independent of input order.  [buckets = 1] degenerates to the mean;
+    [buckets >= length] degenerates to the median.  Requires a non-empty
+    array of finite values.
+    @raise Invalid_argument otherwise. *)
+
+val consensus_point :
+  config -> centers:Geo.Point.t array -> rtt_ms:float array -> Geo.Point.t
+(** Median-of-means consensus over landmark buckets: landmarks are sorted
+    by (RTT, x, y), dealt round-robin into [mom_buckets] buckets, each
+    bucket contributes its latency-weighted centroid (weight
+    [1/(rtt^2+25)], the pipeline's focus heuristic), and the coordinate-wise
+    median of the bucket centroids is returned.  Permutation-invariant.
+    @raise Invalid_argument on empty or mismatched inputs. *)
+
+type score = {
+  pair_conflicts : int;   (** Landmarks whose annulus cannot hold jointly
+                              with this one. *)
+  violates_consensus : bool;
+  factor : float;         (** The weight multiplier, in [weight_floor, 1]. *)
+}
+
+val factor_of : config -> conflicts:int -> float
+(** [max weight_floor (conflict_attenuation ^ conflicts)] — monotonically
+    non-increasing in [conflicts], exactly 1 at zero conflicts. *)
+
+val scores :
+  config ->
+  centers:Geo.Point.t array ->
+  rtt_ms:float array ->
+  upper_km:float array ->
+  lower_km:float array ->
+  score array
+(** Consistency scores for one target's latency constraints.  [centers]
+    are the landmarks' projected positions; [upper_km]/[lower_km] the
+    calibrated bounds [R_i]/[r_i] for the (height-adjusted) RTTs in
+    [rtt_ms].  Annuli [i] and [j] conflict when they are provably disjoint:
+    [dist > R_i + R_j] (both say "near me" but too far apart) or one
+    annulus lies entirely inside the other's exclusion disk
+    ([r_i > dist + R_j] or [r_j > dist + R_i] — a deflating liar's tiny
+    disk deep inside an honest landmark's lower bound).  The output is
+    index-aligned with the inputs and permutation-invariant.
+    @raise Invalid_argument on mismatched lengths. *)

@@ -19,6 +19,7 @@ type config = {
   weight_band : float;
   sol_only : bool;
   backend : Geo.Region_backend.spec;
+  harden : Harden.config option;
 }
 
 let default_config =
@@ -43,11 +44,16 @@ let default_config =
     weight_band = 0.93;
     sol_only = false;
     backend = Geo.Region_backend.default;
+    harden = None;
   }
 
 let c_targets = Obs.Telemetry.Counter.make ~domain:"pipeline" "targets_localized"
 let c_batch_skipped = Obs.Telemetry.Counter.make ~domain:"pipeline" "batch_skipped"
 let c_prepares = Obs.Telemetry.Counter.make ~domain:"pipeline" "contexts_prepared"
+let c_harden_targets = Obs.Telemetry.Counter.make ~domain:"harden" "targets_scored"
+
+let c_harden_downweighted =
+  Obs.Telemetry.Counter.make ~domain:"harden" "landmarks_downweighted"
 
 (* Wall per target; latency-valued, so never part of the determinism
    signature.  Observed in seconds ([Sys.time] is process CPU time, which
@@ -148,6 +154,12 @@ let prepare ?(config = default_config) ~landmarks ~inter_landmark_rtt_ms () =
   }
 
 let landmark_count ctx = Array.length ctx.landmarks
+
+(* Heights, calibrations, and the geometry cache do not depend on the
+   hardening knob, so toggling it reuses the prepared context — the
+   adversarial eval driver localizes every target twice (hardened and not)
+   against one prepare. *)
+let with_harden ctx harden = { ctx with cfg = { ctx.cfg with harden } }
 let landmark_heights ctx = ctx.heights
 let calibration ctx i = ctx.calibrations.(i)
 let pooled_calibration ctx = ctx.pooled_calibration
@@ -163,7 +175,10 @@ let tessellate ctx = Geom_cache.region_for ctx.geom_cache
    config carries a spec and the module is built per arrangement.  The
    exact spec yields the identity backend: same cells, same golden. *)
 let solver_for ctx world =
-  Solver.create ~backend:(Geo.Region_backend.instantiate ctx.cfg.backend ~world) ~world ()
+  Solver.create
+    ~config:{ Solver.default_config with Solver.harden = ctx.cfg.harden }
+    ~backend:(Geo.Region_backend.instantiate ctx.cfg.backend ~world)
+    ~world ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -203,15 +218,19 @@ let world_region ctx projection =
        (Geo.Point.make (!lo_x -. m) (!lo_y -. m))
        (Geo.Point.make (!hi_x +. m) (!hi_y +. m)))
 
-(* Latency constraint for one landmark. *)
-let rtt_constraints ctx projection i rtt target_height =
+let adjusted_rtt_of ctx i rtt target_height =
   let cfg = ctx.cfg in
-  let adjusted =
-    if cfg.use_heights && not cfg.sol_only then
-      Heights.adjusted_rtt ~landmark_height_ms:ctx.heights.(i) ~target_height_ms:target_height rtt
-    else rtt
-  in
-  let weight = Weight.of_latency cfg.weight_policy adjusted in
+  if cfg.use_heights && not cfg.sol_only then
+    Heights.adjusted_rtt ~landmark_height_ms:ctx.heights.(i) ~target_height_ms:target_height rtt
+  else rtt
+
+(* Latency constraint for one landmark.  [weight_scale] is the hardening
+   attenuation factor (1.0 when hardening is off or the landmark is
+   consistent). *)
+let rtt_constraints ?(weight_scale = 1.0) ctx projection i rtt target_height =
+  let cfg = ctx.cfg in
+  let adjusted = adjusted_rtt_of ctx i rtt target_height in
+  let weight = weight_scale *. Weight.of_latency cfg.weight_policy adjusted in
   let center = Geo.Projection.project projection ctx.landmarks.(i).lm_position in
   let cal = ctx.calibrations.(i) in
   let source = Printf.sprintf "rtt L%d (%.1fms)" ctx.landmarks.(i).lm_key adjusted in
@@ -503,6 +522,47 @@ let prepare_target ?(undns = fun _ -> None) ctx obs =
       end
     else 0.0
   in
+  (* Hardened consistency scoring (§6d): every measured landmark's
+     calibrated annulus is checked against the others and against the
+     median-of-means consensus point; repeat offenders reach the solver at
+     a fraction of their nominal weight.  A pure function of the
+     observation vector, so batch fan-out stays bit-identical. *)
+  let weight_scales =
+    match cfg.harden with
+    | None -> None
+    | Some h ->
+        Obs.Telemetry.with_span "harden_scores" @@ fun () ->
+        let measured = ref [] in
+        Array.iteri
+          (fun i rtt -> if rtt > 0.0 then measured := i :: !measured)
+          obs.target_rtt_ms;
+        let idx = Array.of_list (List.rev !measured) in
+        let centers =
+          Array.map
+            (fun i -> Geo.Projection.project projection ctx.landmarks.(i).lm_position)
+            idx
+        in
+        let adjusted =
+          Array.map (fun i -> adjusted_rtt_of ctx i obs.target_rtt_ms.(i) target_height) idx
+        in
+        let upper =
+          Array.mapi (fun k i -> Calibration.upper_km ctx.calibrations.(i) adjusted.(k)) idx
+        in
+        let lower =
+          Array.mapi (fun k i -> Calibration.lower_km ctx.calibrations.(i) adjusted.(k)) idx
+        in
+        let scores = Harden.scores h ~centers ~rtt_ms:adjusted ~upper_km:upper ~lower_km:lower in
+        let scales = Array.make n 1.0 in
+        let down = ref 0 in
+        Array.iteri
+          (fun k i ->
+            scales.(i) <- scores.(k).Harden.factor;
+            if scores.(k).Harden.factor < 1.0 then incr down)
+          idx;
+        Obs.Telemetry.Counter.incr c_harden_targets;
+        Obs.Telemetry.Counter.add c_harden_downweighted !down;
+        Some scales
+  in
   (* Assemble constraints, heaviest first so cap-fusion hits light cells.
      Each assembly stage runs under its own span, so [--telemetry] shows
      where per-target time goes (this replaced an ad-hoc OCTANT_TIMING
@@ -512,7 +572,12 @@ let prepare_target ?(undns = fun _ -> None) ctx obs =
     Array.to_list
       (Array.mapi
          (fun i rtt ->
-           if rtt > 0.0 then rtt_constraints ctx projection i rtt target_height else [])
+           if rtt > 0.0 then
+             let weight_scale =
+               match weight_scales with None -> 1.0 | Some s -> s.(i)
+             in
+             rtt_constraints ~weight_scale ctx projection i rtt target_height
+           else [])
          obs.target_rtt_ms)
     |> List.concat
   in

@@ -44,6 +44,12 @@ type config = {
       (** Region representation the solver dispatches through (default
           [Exact]).  Grid/hybrid backends are instantiated per target
           against its world region. *)
+  harden : Harden.config option;
+      (** Byzantine-landmark hardening ({!Harden}): when set, each target's
+          latency constraints are consistency-scored (conflicting landmarks
+          down-weighted before they reach the solver) and the solver applies
+          the consensus trim at estimate extraction.  [None] (the default)
+          is bit-identical to the unhardened pipeline. *)
 }
 
 val default_config : config
@@ -91,6 +97,12 @@ val landmark_count : context -> int
     length every observation's [target_rtt_ms] must have.  Long-lived
     holders of a context (the serving daemon) use it to validate requests
     before queueing them. *)
+
+val with_harden : context -> Harden.config option -> context
+(** Same prepared context (heights, calibrations, shared geometry cache)
+    with the hardening knob replaced — preparation does not depend on it,
+    so evaluation drivers can localize every target both hardened and
+    unhardened against one [prepare]. *)
 
 val landmark_heights : context -> float array
 val calibration : context -> int -> Calibration.t

@@ -14,9 +14,11 @@ type 'r cell = {
 type config = {
   simplify_vertex_threshold : int;
   simplify_tolerance_km : float;
+  harden : Harden.config option;
 }
 
-let default_config = { simplify_vertex_threshold = 140; simplify_tolerance_km = 2.0 }
+let default_config =
+  { simplify_vertex_threshold = 140; simplify_tolerance_km = 2.0; harden = None }
 
 (* The arrangement packs its region backend existentially: cells are in
    whatever representation the backend chose, and every operation
@@ -39,6 +41,7 @@ let c_cap_fusions = Obs.Telemetry.Counter.make ~domain:"solver" "cap_fusions"
 let c_cells_fused = Obs.Telemetry.Counter.make ~domain:"solver" "cells_fused"
 let c_solves = Obs.Telemetry.Counter.make ~domain:"solver" "solves"
 let c_cells_selected = Obs.Telemetry.Counter.make ~domain:"solver" "cells_selected"
+let c_cells_trimmed = Obs.Telemetry.Counter.make ~domain:"solver" "cells_trimmed"
 
 (* Area flowing through cap fusion, km^2 rounded per event so the sums
    stay integer-associative (and therefore jobs-independent).  [before]
@@ -245,7 +248,7 @@ type estimate = {
 let solve ?(area_threshold_km2 = 5000.0) ?(weight_band = 1.0) t =
   Obs.Telemetry.with_span "solver.solve" @@ fun () ->
   match t with
-  | Packed { backend = (module B); cells; _ } -> (
+  | Packed { backend = (module B); config; cells; _ } -> (
       match sorted_cells cells with
       | [] -> invalid_arg "Solver.solve: empty arrangement"
       | first :: _ as sorted ->
@@ -253,15 +256,35 @@ let solve ?(area_threshold_km2 = 5000.0) ?(weight_band = 1.0) t =
              under a few violated constraints and are always included; beyond
              the band, cells are added only until the area threshold is met. *)
           let band_floor = weight_band *. first.weight in
+          (* Hardened consensus trim: a coalition's fake region can climb to
+             within the weight band of the truth, but it sits far from the
+             top-weight cell.  Band cells beyond the trim radius are dropped
+             before they can ride the band into the estimate.  The top cell
+             itself is at distance zero, so at least one cell survives. *)
+          let trimmed = ref 0 in
+          let trim =
+            match config.harden with
+            | None -> fun _ -> false
+            | Some h ->
+                let top_centroid = B.centroid first.region in
+                fun (c : _ cell) ->
+                  let far =
+                    Geo.Point.dist (B.centroid c.region) top_centroid > h.Harden.trim_band_km
+                  in
+                  if far then incr trimmed;
+                  far
+          in
           let rec take acc acc_area used = function
             | [] -> (List.rev acc, used)
             | (c : _ cell) :: rest ->
                 if c.weight >= band_floor -. 1e-9 then
-                  take (c :: acc) (acc_area +. c.area) (used + 1) rest
+                  if trim c then take acc acc_area used rest
+                  else take (c :: acc) (acc_area +. c.area) (used + 1) rest
                 else if used > 0 && acc_area >= area_threshold_km2 then (List.rev acc, used)
                 else take (c :: acc) (acc_area +. c.area) (used + 1) rest
           in
           let selected, used = take [] 0.0 0 sorted in
+          Obs.Telemetry.Counter.add c_cells_trimmed !trimmed;
           Obs.Telemetry.Counter.incr c_solves;
           Obs.Telemetry.Counter.add c_cells_selected used;
           (* Exact cells are disjoint by construction, so their union is

@@ -42,10 +42,17 @@ type config = {
   simplify_tolerance_km : float;
       (** Douglas–Peucker tolerance for that simplification (default 2.0
           km — far below geolocalization scales). *)
+  harden : Harden.config option;
+      (** When set, {!solve} applies the consensus trim: weight-band cells
+          whose centroid is farther than {!Harden.config.trim_band_km} from
+          the top-weight cell's centroid are excluded from the estimate.
+          [None] (the default) reproduces the historical solver bit for
+          bit. *)
 }
 
 val default_config : config
-(** The historical constants: threshold 140, tolerance 2 km. *)
+(** The historical constants: threshold 140, tolerance 2 km, no
+    hardening. *)
 
 val create :
   ?config:config -> ?backend:Geo.Region_intf.packed -> world:Geo.Region.t -> unit -> t

@@ -2,8 +2,13 @@ type policy = { tau_ms : float; floor : float; scale : float }
 
 let default = { tau_ms = 35.0; floor = 0.02; scale = 1.0 }
 
+(* Total: clock skew and height over-adjustment can drive a measured RTT
+   slightly negative, and a weight function that raises mid-batch kills
+   every other target's work.  Negative latencies clamp to zero (maximum
+   trust the policy allows); NaN earns the floor — an unmeasurable
+   latency deserves the minimum trust, not a poisoned arrangement. *)
 let of_latency p rtt_ms =
-  if rtt_ms < 0.0 then invalid_arg "Weight.of_latency: negative latency";
-  Float.max p.floor (p.scale *. exp (-.rtt_ms /. p.tau_ms))
+  if Float.is_nan rtt_ms then p.floor
+  else Float.max p.floor (p.scale *. exp (-.Float.max 0.0 rtt_ms /. p.tau_ms))
 
 let uniform = { tau_ms = infinity; floor = 1.0; scale = 1.0 }

@@ -15,7 +15,10 @@ val default : policy
 (** tau = 35 ms, floor = 0.02, scale = 1.0. *)
 
 val of_latency : policy -> float -> float
-(** [of_latency p rtt_ms = max floor (scale * exp (-rtt/tau))]. *)
+(** [of_latency p rtt_ms = max floor (scale * exp (-rtt/tau))].  Total over
+    all floats: negative latencies (clock skew, height over-adjustment)
+    clamp to zero and yield [max floor scale]; [nan] and [+infinity] yield
+    [floor].  Monotonically non-increasing on [0, +infinity). *)
 
 val uniform : policy
 (** Ablation policy: every constraint weighs 1.0 regardless of latency. *)

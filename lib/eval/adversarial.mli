@@ -1,0 +1,64 @@
+(** Error-vs-f curves under Byzantine landmarks ({!Netsim.Adversary}).
+
+    {!Robustness} stresses the solver with honest random noise; this driver
+    stresses it with {e coordinated} lies — [f] colluding landmarks steering
+    the estimate toward a common fake region, lone liars, landmarks
+    reporting wrong coordinates, or a delay-adding target — and measures,
+    at each [f], hardened Octant, unhardened Octant, and the GeoLim /
+    GeoPing baselines side by side on identical corrupted inputs.
+
+    Unlike {!Robustness}'s leave-one-out protocol, the host set is split in
+    half: even-indexed hosts are landmarks (the adversary corrupts a subset
+    of them), odd-indexed hosts are targets — interleaved because the
+    deployment lists hosts grouped by continent, and both sets must stay
+    geographically representative.  One context is prepared per [f]
+    (wrong-coordinate liars poison the calibration itself) and the hardened
+    run reuses it via {!Octant.Pipeline.with_harden}.
+
+    Deterministic: all randomness is seeded, adversary plans are resolved
+    at construction, and per-target work is pure — results are
+    bit-identical at every [jobs] setting. *)
+
+type scenario =
+  | Coalition             (** [f] colluders fabricate mutually consistent RTTs
+                              placing the target at a common fake region. *)
+  | Inflate of float      (** [f] lone liars multiply their RTTs by this factor. *)
+  | Deflate of float      (** [f] lone liars shrink their RTTs by this factor —
+                              deflation earns {e more} solver weight, the
+                              qualitatively harder direction. *)
+  | Wrong_coords of float (** [f] landmarks report positions offset by this many
+                              km; their RTTs are truthful, so the lie poisons
+                              calibration and constraint centers instead. *)
+  | Delay_target          (** The target itself pads probe responses to appear
+                              at the fake region ([f > 0] switches it on). *)
+
+type point = {
+  f : int;                        (** Number of corrupted landmarks. *)
+  octant_median_miles : float;    (** Unhardened Octant. *)
+  octant_hit_rate : float;
+  hardened_median_miles : float;  (** Octant with {!Octant.Harden} enabled. *)
+  hardened_hit_rate : float;
+  geolim_median_miles : float;
+  geolim_hit_rate : float;
+  geolim_empty_rate : float;      (** Fraction of targets where GeoLim's
+                                      intersection collapsed to empty — pure
+                                      intersection has no defense against a
+                                      single deflating liar. *)
+  geoping_median_miles : float;
+}
+
+val run :
+  ?config:Octant.Pipeline.config ->
+  ?harden:Octant.Harden.config ->
+  ?seed:int ->
+  ?n_hosts:int ->
+  ?fs:int list ->
+  ?scenario:scenario ->
+  ?jobs:int ->
+  unit ->
+  point list
+(** One curve point per requested [f] (default [0..4]; seed 7; 41 hosts;
+    [Coalition]).  [config] must leave [harden = None] — the driver derives
+    the hardened context itself.
+    @raise Invalid_argument with fewer than 8 hosts or [f] exceeding the
+    landmark half. *)

@@ -1,0 +1,139 @@
+type lie =
+  | Inflate of float
+  | Deflate of float
+  | Add_ms of float
+  | Wrong_coords of float
+
+type rtt_model = { inflation : float; base_ms : float; noise_ms : float }
+
+let default_rtt_model = { inflation = 1.35; base_ms = 2.0; noise_ms = 1.5 }
+
+(* Per-slot behavior, fully resolved at construction: no randomness is
+   left for application time. *)
+type profile =
+  | P_honest
+  | P_scale of float
+  | P_add of float
+  | P_wrong of { distance_km : float; bearing : float }
+  | P_collude of { noise_ms : float }
+
+type t = {
+  profiles : profile array;
+  fake : Geo.Geodesy.coord option;
+  model : rtt_model;
+  target_pad : Geo.Geodesy.coord option;
+}
+
+let honest ~n_landmarks =
+  {
+    profiles = Array.make n_landmarks P_honest;
+    fake = None;
+    model = default_rtt_model;
+    target_pad = None;
+  }
+
+(* The RTT a host at [from_] would plausibly measure to a target at [to_]:
+   the propagation floor for the great-circle distance, route-inflated,
+   plus a queuing floor and the liar's private jitter.  Mirrors the shape
+   of honest simulator RTTs so fabrications do not stand out. *)
+let plausible model ~noise_ms from_ to_ =
+  (model.inflation *. Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km from_ to_))
+  +. model.base_ms +. noise_ms
+
+let pick_liars rng ~n_landmarks ~f =
+  if f < 0 || f > n_landmarks then
+    invalid_arg "Adversary: coalition/liar size must be within the landmark count";
+  Stats.Rng.sample_without_replacement rng f (Array.init n_landmarks Fun.id)
+
+let lone_liars ?(model = default_rtt_model) ~seed ~n_landmarks ~f ~lie () =
+  let rng = Stats.Rng.create seed in
+  let chosen = pick_liars rng ~n_landmarks ~f in
+  let profiles = Array.make n_landmarks P_honest in
+  Array.iter
+    (fun i ->
+      profiles.(i) <-
+        (match lie with
+        | Inflate factor -> P_scale factor
+        | Deflate factor -> P_scale factor
+        | Add_ms ms -> P_add ms
+        | Wrong_coords offset_km ->
+            P_wrong
+              { distance_km = offset_km; bearing = Stats.Rng.uniform rng 0.0 (2.0 *. Float.pi) }))
+    chosen;
+  { profiles; fake = None; model; target_pad = None }
+
+let coalition ?(model = default_rtt_model) ~seed ~n_landmarks ~f ~fake () =
+  let rng = Stats.Rng.create seed in
+  let chosen = pick_liars rng ~n_landmarks ~f in
+  let profiles = Array.make n_landmarks P_honest in
+  Array.iter
+    (fun i -> profiles.(i) <- P_collude { noise_ms = Stats.Rng.uniform rng 0.0 model.noise_ms })
+    chosen;
+  { profiles; fake = Some fake; model; target_pad = None }
+
+let with_delay_target ?model ~fake t =
+  { t with target_pad = Some fake; model = Option.value model ~default:t.model }
+
+let restrict t indices =
+  let n = Array.length t.profiles in
+  {
+    t with
+    profiles =
+      Array.map
+        (fun i ->
+          if i < 0 || i >= n then invalid_arg "Adversary.restrict: index out of range";
+          t.profiles.(i))
+        indices;
+  }
+
+let n_landmarks t = Array.length t.profiles
+
+let liars t =
+  let acc = ref [] in
+  for i = Array.length t.profiles - 1 downto 0 do
+    match t.profiles.(i) with P_honest -> () | _ -> acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+let fake_point t = t.fake
+
+let fabricated_rtt_ms t ~landmark ~position =
+  match (t.profiles.(landmark), t.fake) with
+  | P_collude { noise_ms }, Some fake -> Some (plausible t.model ~noise_ms position fake)
+  | _ -> None
+
+let corrupt_rtts t ~landmark_positions rtts =
+  let n = Array.length t.profiles in
+  if Array.length landmark_positions <> n || Array.length rtts <> n then
+    invalid_arg "Adversary.corrupt_rtts: length mismatch";
+  Array.init n (fun i ->
+      let rtt = rtts.(i) in
+      if rtt <= 0.0 then rtt (* missing measurements cannot be fabricated *)
+      else begin
+        let lied =
+          match t.profiles.(i) with
+          | P_honest | P_wrong _ -> rtt
+          | P_scale factor -> Float.max 0.1 (rtt *. factor)
+          | P_add ms -> Float.max 0.1 (rtt +. ms)
+          | P_collude { noise_ms } -> (
+              match t.fake with
+              | Some fake -> plausible t.model ~noise_ms landmark_positions.(i) fake
+              | None -> rtt)
+        in
+        match t.target_pad with
+        | None -> lied
+        | Some fake ->
+            (* A delay-adding target can only make paths look longer: the
+               reported RTT is floored at whatever the landmark actually
+               measured (post landmark lie). *)
+            Float.max lied (plausible t.model ~noise_ms:0.0 landmark_positions.(i) fake)
+      end)
+
+let reported_positions t positions =
+  let n = Array.length t.profiles in
+  if Array.length positions <> n then invalid_arg "Adversary.reported_positions: length mismatch";
+  Array.init n (fun i ->
+      match t.profiles.(i) with
+      | P_wrong { distance_km; bearing } ->
+          Geo.Geodesy.destination positions.(i) ~bearing ~distance_km
+      | _ -> positions.(i))

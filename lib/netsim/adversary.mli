@@ -1,0 +1,97 @@
+(** Byzantine adversary models over the measurement substrate.
+
+    The paper claims the weighted solver "gracefully copes" with a few
+    erroneous constraints (§1.5, §2.4); BFT-PoLoc shows that {e coordinated}
+    lies — colluding landmarks steering the estimate toward a common fake
+    region, or a target padding its own probe responses — are qualitatively
+    harder than the honest random noise {!Measure}'s probe model produces.
+    This module builds deterministic, seeded adversary {e plans} that
+    corrupt measurement vectors after the honest substrate produced them,
+    so they compose with any probe model: honest RTTs in, lied RTTs out.
+
+    A plan is immutable once built.  All randomness (which landmarks lie,
+    fabrication noise) is drawn at construction time from {!Stats.Rng}
+    seeded by the caller, so applying a plan is a pure function — the
+    evaluation drivers can fan application out across domains and stay
+    bit-identical to the sequential run. *)
+
+type lie =
+  | Inflate of float      (** Multiply the measured RTT by a factor > 1. *)
+  | Deflate of float      (** Multiply by a factor < 1: claim the target is
+                              closer than physically possible. *)
+  | Add_ms of float       (** Add a fixed delay in milliseconds. *)
+  | Wrong_coords of float (** Report truthful RTTs from a position offset by
+                              this many km in a seeded random direction. *)
+
+type rtt_model = {
+  inflation : float; (** Route-inflation factor over the propagation floor. *)
+  base_ms : float;   (** Queuing/processing floor added to every fabrication. *)
+  noise_ms : float;  (** Per-colluder fabrication jitter bound (drawn once at
+                         plan construction, uniform in [0, noise_ms)). *)
+}
+
+val default_rtt_model : rtt_model
+(** 1.35 / 2.0 / 1.5 — matches the simulator's typical route inflation, so
+    fabricated RTTs are statistically indistinguishable from honest ones. *)
+
+type t
+
+val honest : n_landmarks:int -> t
+(** The identity plan: nobody lies. *)
+
+val lone_liars : ?model:rtt_model -> seed:int -> n_landmarks:int -> f:int -> lie:lie -> unit -> t
+(** [f] distinct landmarks (seeded choice) each applying [lie]
+    independently — uncoordinated Byzantine landmarks.
+    @raise Invalid_argument if [f] exceeds [n_landmarks]. *)
+
+val coalition :
+  ?model:rtt_model -> seed:int -> n_landmarks:int -> f:int -> fake:Geo.Geodesy.coord -> unit -> t
+(** [f] distinct landmarks (seeded choice) colluding toward a {e common}
+    fake region: each colluder discards its honest measurement and reports
+    the RTT it {e would} observe if the target sat at [fake] — the
+    propagation floor for its own distance to [fake], inflated by [model]
+    plus its private fabrication noise.  The lies are mutually consistent
+    by construction: every colluder's annulus contains [fake].
+    @raise Invalid_argument if [f] exceeds [n_landmarks]. *)
+
+val with_delay_target : ?model:rtt_model -> fake:Geo.Geodesy.coord -> t -> t
+(** Adversarial {e target}: pads every probe response so it appears to sit
+    at [fake].  A target can only add delay, never remove it, so each
+    reported RTT is [max honest (fabricated fake RTT)] — never below the
+    honest floor (asserted by the test suite).  Composes with any landmark
+    plan: landmark lies are applied first, the pad last. *)
+
+val restrict : t -> int array -> t
+(** [restrict t indices] projects the plan onto a landmark subset: slot [k]
+    of the result behaves like slot [indices.(k)] of [t].  Used by the
+    evaluation drivers when the landmark set for one target excludes the
+    target itself.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val n_landmarks : t -> int
+
+val liars : t -> int array
+(** Indices of lying landmarks, ascending.  Excludes the delay-adding
+    target, which is not a landmark. *)
+
+val fake_point : t -> Geo.Geodesy.coord option
+(** The coalition's common fake region center, if this is a coalition plan. *)
+
+val fabricated_rtt_ms : t -> landmark:int -> position:Geo.Geodesy.coord -> float option
+(** The exact RTT colluder [landmark] (at its true [position]) fabricates
+    for the plan's fake point — [None] for non-colluders.  Exposed so tests
+    can verify coordination without re-deriving the fabrication model. *)
+
+val corrupt_rtts : t -> landmark_positions:Geo.Geodesy.coord array -> float array -> float array
+(** Apply the plan to one target's measurement vector.  [landmark_positions]
+    are the {e true} landmark positions (fabrications are computed from
+    where the liar really sits).  Entries [<= 0] mark missing measurements
+    and pass through untouched — an adversary cannot fabricate a probe that
+    was never answered.  Pure: equal inputs give equal outputs.
+    @raise Invalid_argument on length mismatch. *)
+
+val reported_positions : t -> Geo.Geodesy.coord array -> Geo.Geodesy.coord array
+(** The positions the landmarks {e claim}: [Wrong_coords] liars report a
+    seeded offset position, everyone else tells the truth.  Feeding these
+    to calibration poisons the latency-distance model exactly the way a
+    landmark lying about its location would. *)

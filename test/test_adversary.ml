@@ -1,0 +1,245 @@
+(* Tests for Netsim.Adversary plans: seeded determinism of every lie
+   model, coalition coordination, the delay-adding target's honest-RTT
+   floor, plan restriction, and jobs-parity of the adversarial evaluation
+   driver.  The plans are pure once built, so most tests are exact
+   equality checks on arrays. *)
+
+open Netsim
+
+let n = 10
+
+(* A continent-sized landmark cloud plus one target, all seeded. *)
+let positions () =
+  let rng = Stats.Rng.create 4242 in
+  Array.init n (fun _ ->
+      Geo.Geodesy.coord
+        ~lat:(Stats.Rng.uniform rng 30.0 48.0)
+        ~lon:(Stats.Rng.uniform rng (-120.0) (-75.0)))
+
+(* Honest measurement vector; slot 7 is a missing measurement. *)
+let honest_rtts () =
+  let rng = Stats.Rng.create 917 in
+  Array.init n (fun i -> if i = 7 then -1.0 else Stats.Rng.uniform rng 5.0 80.0)
+
+let fake = Geo.Geodesy.coord ~lat:25.4 ~lon:(-89.7)
+
+let check_floats msg expected got =
+  Array.iteri
+    (fun i e ->
+      if Float.abs (e -. got.(i)) > 1e-12 then
+        Alcotest.failf "%s: slot %d expected %.12g got %.12g" msg i e got.(i))
+    expected
+
+let all_plans seed =
+  [
+    ("honest", Adversary.honest ~n_landmarks:n);
+    ("inflate", Adversary.lone_liars ~seed ~n_landmarks:n ~f:3 ~lie:(Adversary.Inflate 1.5) ());
+    ("deflate", Adversary.lone_liars ~seed ~n_landmarks:n ~f:3 ~lie:(Adversary.Deflate 0.6) ());
+    ("add", Adversary.lone_liars ~seed ~n_landmarks:n ~f:3 ~lie:(Adversary.Add_ms 20.0) ());
+    ( "wrong-coords",
+      Adversary.lone_liars ~seed ~n_landmarks:n ~f:3 ~lie:(Adversary.Wrong_coords 300.0) () );
+    ("coalition", Adversary.coalition ~seed ~n_landmarks:n ~f:3 ~fake ());
+    ( "coalition+delay",
+      Adversary.with_delay_target ~fake (Adversary.coalition ~seed ~n_landmarks:n ~f:3 ~fake ())
+    );
+  ]
+
+let test_honest_identity () =
+  let pos = positions () and rtts = honest_rtts () in
+  let plan = Adversary.honest ~n_landmarks:n in
+  check_floats "honest plan is identity" rtts
+    (Adversary.corrupt_rtts plan ~landmark_positions:pos rtts);
+  Alcotest.(check int) "no liars" 0 (Array.length (Adversary.liars plan));
+  Alcotest.(check bool) "no fake point" true (Adversary.fake_point plan = None)
+
+(* Every model: building the same plan twice from the same seed yields
+   bit-identical corruption, liar sets, and reported positions. *)
+let test_seeded_determinism () =
+  let pos = positions () and rtts = honest_rtts () in
+  List.iter2
+    (fun (name, p1) (_, p2) ->
+      check_floats
+        (name ^ ": same seed, same corruption")
+        (Adversary.corrupt_rtts p1 ~landmark_positions:pos rtts)
+        (Adversary.corrupt_rtts p2 ~landmark_positions:pos rtts);
+      Alcotest.(check (array int)) (name ^ ": same liars") (Adversary.liars p1)
+        (Adversary.liars p2);
+      let r1 = Adversary.reported_positions p1 pos and r2 = Adversary.reported_positions p2 pos in
+      Array.iteri
+        (fun i c ->
+          if Geo.Geodesy.distance_km c r2.(i) > 1e-9 then
+            Alcotest.failf "%s: reported position %d differs across rebuilds" name i)
+        r1)
+    (all_plans 99) (all_plans 99)
+
+let test_liar_selection () =
+  let plan = Adversary.lone_liars ~seed:5 ~n_landmarks:n ~f:4 ~lie:(Adversary.Add_ms 5.0) () in
+  let liars = Adversary.liars plan in
+  Alcotest.(check int) "f liars" 4 (Array.length liars);
+  Array.iteri
+    (fun k i ->
+      if i < 0 || i >= n then Alcotest.failf "liar index %d out of range" i;
+      if k > 0 && liars.(k - 1) >= i then Alcotest.fail "liar indices not strictly ascending")
+    liars;
+  Alcotest.(check int) "f = 0 means nobody lies" 0
+    (Array.length
+       (Adversary.liars (Adversary.lone_liars ~seed:5 ~n_landmarks:n ~f:0 ~lie:(Adversary.Add_ms 5.0) ())));
+  (match Adversary.lone_liars ~seed:5 ~n_landmarks:n ~f:(n + 1) ~lie:(Adversary.Add_ms 5.0) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "f > n_landmarks must be rejected");
+  match Adversary.coalition ~seed:5 ~n_landmarks:n ~f:(-1) ~fake () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative f must be rejected"
+
+(* Scale/add lies are exact arithmetic on the liar slots; honest slots and
+   missing measurements pass through untouched. *)
+let test_lie_arithmetic () =
+  let pos = positions () and rtts = honest_rtts () in
+  let check ~lie ~f:transform name =
+    let plan = Adversary.lone_liars ~seed:321 ~n_landmarks:n ~f:3 ~lie () in
+    let is_liar = Array.make n false in
+    Array.iter (fun i -> is_liar.(i) <- true) (Adversary.liars plan);
+    let got = Adversary.corrupt_rtts plan ~landmark_positions:pos rtts in
+    Array.iteri
+      (fun i rtt ->
+        let expected =
+          if rtt <= 0.0 || not is_liar.(i) then rtt else Float.max 0.1 (transform rtt)
+        in
+        if Float.abs (expected -. got.(i)) > 1e-12 then
+          Alcotest.failf "%s: slot %d expected %.12g got %.12g" name i expected got.(i))
+      rtts
+  in
+  check ~lie:(Adversary.Inflate 1.5) ~f:(fun r -> r *. 1.5) "inflate";
+  check ~lie:(Adversary.Deflate 0.6) ~f:(fun r -> r *. 0.6) "deflate";
+  check ~lie:(Adversary.Add_ms 20.0) ~f:(fun r -> r +. 20.0) "add";
+  (* An extreme deflation cannot drive the reported RTT to zero or below. *)
+  check ~lie:(Adversary.Deflate 1e-9) ~f:(fun r -> r *. 1e-9) "deflate floor"
+
+let test_wrong_coords () =
+  let pos = positions () and rtts = honest_rtts () in
+  let offset_km = 300.0 in
+  let plan =
+    Adversary.lone_liars ~seed:808 ~n_landmarks:n ~f:3 ~lie:(Adversary.Wrong_coords offset_km) ()
+  in
+  (* RTTs stay truthful: the lie is purely positional. *)
+  check_floats "wrong-coords leaves rtts truthful" rtts
+    (Adversary.corrupt_rtts plan ~landmark_positions:pos rtts);
+  let is_liar = Array.make n false in
+  Array.iter (fun i -> is_liar.(i) <- true) (Adversary.liars plan);
+  let reported = Adversary.reported_positions plan pos in
+  Array.iteri
+    (fun i claimed ->
+      let d = Geo.Geodesy.distance_km pos.(i) claimed in
+      if is_liar.(i) then begin
+        if Float.abs (d -. offset_km) > 0.5 then
+          Alcotest.failf "liar %d reported %.3f km away, wanted %.1f" i d offset_km
+      end
+      else if d > 1e-9 then Alcotest.failf "honest landmark %d moved %.6f km" i d)
+    reported
+
+(* Coalition lies are coordinated: every colluder fabricates the RTT its
+   own distance to the *common* fake point implies, within the model's
+   inflation plus its private jitter. *)
+let test_coalition_coordinated () =
+  let pos = positions () and rtts = honest_rtts () in
+  let plan = Adversary.coalition ~seed:606 ~n_landmarks:n ~f:4 ~fake () in
+  (match Adversary.fake_point plan with
+  | Some p ->
+      if Geo.Geodesy.distance_km p fake > 1e-9 then Alcotest.fail "fake point not preserved"
+  | None -> Alcotest.fail "coalition plan must expose its fake point");
+  let is_liar = Array.make n false in
+  Array.iter (fun i -> is_liar.(i) <- true) (Adversary.liars plan);
+  let got = Adversary.corrupt_rtts plan ~landmark_positions:pos rtts in
+  let m = Adversary.default_rtt_model in
+  Array.iteri
+    (fun i rtt ->
+      match Adversary.fabricated_rtt_ms plan ~landmark:i ~position:pos.(i) with
+      | None ->
+          if is_liar.(i) then Alcotest.failf "colluder %d has no fabrication" i;
+          if rtt > 0.0 && Float.abs (got.(i) -. rtt) > 1e-12 then
+            Alcotest.failf "honest landmark %d was corrupted" i
+      | Some fab ->
+          if not is_liar.(i) then Alcotest.failf "non-colluder %d fabricates" i;
+          (* The fabrication is the plan's actual output... *)
+          if rtt > 0.0 && Float.abs (got.(i) -. fab) > 1e-12 then
+            Alcotest.failf "colluder %d output %.12g differs from fabrication %.12g" i got.(i) fab;
+          (* ...and is the plausible RTT for the colluder's distance to the
+             fake point: inflated propagation + base, plus < noise_ms jitter. *)
+          let floor_ms =
+            (m.Adversary.inflation
+            *. Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km pos.(i) fake))
+            +. m.Adversary.base_ms
+          in
+          if fab < floor_ms -. 1e-9 || fab >= floor_ms +. m.Adversary.noise_ms then
+            Alcotest.failf "colluder %d fabrication %.6g outside [%.6g, %.6g)" i fab floor_ms
+              (floor_ms +. m.Adversary.noise_ms))
+    rtts;
+  (* Missing measurements cannot be fabricated, even by a colluder. *)
+  if got.(7) <> rtts.(7) then Alcotest.fail "missing measurement was fabricated"
+
+(* A delay-adding target can only make paths look longer: over an honest
+   landmark set, every reported RTT is >= the honest measurement. *)
+let test_delay_target_floor () =
+  let pos = positions () and rtts = honest_rtts () in
+  let plan = Adversary.with_delay_target ~fake (Adversary.honest ~n_landmarks:n) in
+  let got = Adversary.corrupt_rtts plan ~landmark_positions:pos rtts in
+  Array.iteri
+    (fun i rtt ->
+      if rtt <= 0.0 then begin
+        if got.(i) <> rtt then Alcotest.failf "missing measurement %d was padded" i
+      end
+      else if got.(i) < rtt -. 1e-12 then
+        Alcotest.failf "slot %d reported %.12g below honest floor %.12g" i got.(i) rtt)
+    rtts;
+  (* And the pad actually bites somewhere: the fake point is far from the
+     landmark cloud, so at least one honest RTT must have been raised. *)
+  let raised = ref false in
+  Array.iteri (fun i rtt -> if rtt > 0.0 && got.(i) > rtt +. 1e-9 then raised := true) rtts;
+  if not !raised then Alcotest.fail "delay target never padded anything"
+
+(* Restriction projects the plan: corruption through the restricted plan
+   equals the slice of the full plan's corruption. *)
+let test_restrict () =
+  let pos = positions () and rtts = honest_rtts () in
+  let plan = Adversary.coalition ~seed:606 ~n_landmarks:n ~f:4 ~fake () in
+  let idx = [| 2; 5; 9; 0; 7 |] in
+  let sub = Adversary.restrict plan idx in
+  Alcotest.(check int) "restricted size" (Array.length idx) (Adversary.n_landmarks sub);
+  let full = Adversary.corrupt_rtts plan ~landmark_positions:pos rtts in
+  let got =
+    Adversary.corrupt_rtts sub
+      ~landmark_positions:(Array.map (fun i -> pos.(i)) idx)
+      (Array.map (fun i -> rtts.(i)) idx)
+  in
+  check_floats "restricted corruption matches slice" (Array.map (fun i -> full.(i)) idx) got;
+  match Adversary.restrict plan [| 0; n |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range restriction must be rejected"
+
+(* The adversarial evaluation driver is bit-identical at every jobs
+   setting: observations are generated sequentially, plans are resolved at
+   construction, per-target work is pure. *)
+let test_eval_jobs_parity () =
+  let run jobs = Eval.Adversarial.run ~seed:11 ~n_hosts:17 ~fs:[ 0; 2 ] ~jobs () in
+  let p1 = run 1 and p4 = run 4 in
+  Alcotest.(check int) "same point count" (List.length p1) (List.length p4);
+  List.iter2
+    (fun (a : Eval.Adversarial.point) b ->
+      if a <> b then Alcotest.failf "adversarial eval diverged between jobs=1 and jobs=4 at f=%d" a.Eval.Adversarial.f)
+    p1 p4
+
+let suite =
+  [
+    ( "adversary",
+      [
+        Alcotest.test_case "honest plan is identity" `Quick test_honest_identity;
+        Alcotest.test_case "seeded determinism, all models" `Quick test_seeded_determinism;
+        Alcotest.test_case "liar selection" `Quick test_liar_selection;
+        Alcotest.test_case "lie arithmetic" `Quick test_lie_arithmetic;
+        Alcotest.test_case "wrong coords move reports only" `Quick test_wrong_coords;
+        Alcotest.test_case "coalition is coordinated" `Quick test_coalition_coordinated;
+        Alcotest.test_case "delay target never below honest floor" `Quick test_delay_target_floor;
+        Alcotest.test_case "restriction projects the plan" `Quick test_restrict;
+        Alcotest.test_case "eval driver jobs parity" `Slow test_eval_jobs_parity;
+      ] );
+  ]

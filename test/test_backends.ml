@@ -201,12 +201,19 @@ let test_config_defaults_pinned () =
     Octant.Solver.default_config.Octant.Solver.simplify_vertex_threshold;
   Alcotest.(check (float 0.0)) "tolerance" 2.0
     Octant.Solver.default_config.Octant.Solver.simplify_tolerance_km;
+  Alcotest.(check bool) "no hardening" true
+    (Octant.Solver.default_config.Octant.Solver.harden = None);
   (* Leaving config out and spelling out today's constants are the same
      arrangement, bit for bit. *)
   let est_implicit, s_implicit = solve_with () in
   let est_explicit, s_explicit =
     solve_with
-      ~config:{ Octant.Solver.simplify_vertex_threshold = 140; simplify_tolerance_km = 2.0 }
+      ~config:
+        {
+          Octant.Solver.simplify_vertex_threshold = 140;
+          simplify_tolerance_km = 2.0;
+          harden = None;
+        }
       ()
   in
   Alcotest.(check (float 0.0)) "same area" est_implicit.Octant.Solver.area_km2
@@ -222,7 +229,12 @@ let test_config_threshold_gates_simplification () =
   let est_default, s_default = solve_with () in
   let est_raw, s_raw =
     solve_with
-      ~config:{ Octant.Solver.simplify_vertex_threshold = max_int; simplify_tolerance_km = 2.0 }
+      ~config:
+        {
+          Octant.Solver.simplify_vertex_threshold = max_int;
+          simplify_tolerance_km = 2.0;
+          harden = None;
+        }
       ()
   in
   let v_default = total_vertices s_default in

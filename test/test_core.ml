@@ -30,10 +30,28 @@ let test_weight_uniform () =
   check_float "uniform at 0" 1.0 (Weight.of_latency Weight.uniform 0.0);
   check_float "uniform at 500" 1.0 (Weight.of_latency Weight.uniform 500.0)
 
-let test_weight_negative_latency_rejected () =
-  match Weight.of_latency Weight.default (-1.0) with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "negative latency must be rejected"
+(* of_latency is total: raw measurement vectors reach it unvalidated
+   (clock skew can produce negative RTTs, height adjustment can
+   over-subtract), so every float must map to a usable weight. *)
+let test_weight_total () =
+  let p = Weight.default in
+  (* Negative latencies clamp to zero — maximum trust, not an exception. *)
+  check_float "negative clamps to max weight" p.Weight.scale (Weight.of_latency p (-1.0));
+  check_float "deeply negative clamps too" p.Weight.scale (Weight.of_latency p (-1e12));
+  check_float "zero is the scale" p.Weight.scale (Weight.of_latency p 0.0);
+  check_float "infinite latency floors" p.Weight.floor (Weight.of_latency p Float.infinity);
+  check_float "nan floors" p.Weight.floor (Weight.of_latency p Float.nan)
+
+let test_weight_monotone () =
+  let p = Weight.default in
+  let prev = ref (Weight.of_latency p (-5.0)) in
+  List.iter
+    (fun rtt ->
+      let w = Weight.of_latency p rtt in
+      if w > !prev +. 1e-15 then Alcotest.failf "weight increased at %.1f ms" rtt;
+      if w < p.Weight.floor -. 1e-15 then Alcotest.failf "weight below floor at %.1f ms" rtt;
+      prev := w)
+    [ -1.0; 0.0; 1.0; 10.0; 50.0; 200.0; 1_000.0; 100_000.0; Float.infinity ]
 
 (* ------------------------------------------------------------------ *)
 (* Calibration *)
@@ -1011,7 +1029,8 @@ let suite =
         tc "exponential decay" test_weight_decay;
         tc "floor" test_weight_floor;
         tc "uniform policy" test_weight_uniform;
-        tc "negative latency rejected" test_weight_negative_latency_rejected;
+        tc "total over all floats" test_weight_total;
+        tc "monotone non-increasing" test_weight_monotone;
       ] );
     ( "calibration",
       [

@@ -1,0 +1,260 @@
+(* Property tests for Octant.Harden: median-of-means degeneracies and
+   outlier robustness, permutation invariance of the consensus point and
+   the consistency scores (the canonical ordering must hide input order),
+   monotonicity of the down-weighting, and — end to end — that hardening a
+   clean, adversary-free topology leaves the estimate essentially where the
+   unhardened solve put it. *)
+
+open Octant
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* median_of_means *)
+(* ------------------------------------------------------------------ *)
+
+let test_mom_degenerate () =
+  let values = [| 3.0; 9.0; 1.0; 7.0; 10.0 |] in
+  check_float "one bucket is the mean" 6.0 (Harden.median_of_means ~buckets:1 values);
+  check_float "buckets >= n is the median" 7.0
+    (Harden.median_of_means ~buckets:100 values);
+  check_float "singleton" 42.0 (Harden.median_of_means [| 42.0 |]);
+  (match Harden.median_of_means [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty sample must be rejected");
+  match Harden.median_of_means ~buckets:0 [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero buckets must be rejected"
+
+let test_mom_permutation_invariant () =
+  let rng = Stats.Rng.create 1301 in
+  let values = Array.init 23 (fun _ -> Stats.Rng.uniform rng 0.0 100.0) in
+  let reference = Harden.median_of_means values in
+  for _ = 1 to 20 do
+    let shuffled = Array.copy values in
+    Stats.Rng.shuffle rng shuffled;
+    check_float ~eps:0.0 "permutation invariant" reference (Harden.median_of_means shuffled)
+  done
+
+let test_mom_outlier_robust () =
+  (* 20 honest values near 10, one catastrophic outlier.  The mean is
+     dragged to ~47k; median-of-means keeps the outlier quarantined in one
+     bucket and stays near the honest mass. *)
+  let rng = Stats.Rng.create 77 in
+  let values = Array.init 21 (fun i -> if i = 13 then 1e6 else Stats.Rng.uniform rng 8.0 12.0) in
+  let mom = Harden.median_of_means values in
+  if mom < 8.0 || mom > 12.0 then Alcotest.failf "outlier moved the estimate to %.3f" mom
+
+(* ------------------------------------------------------------------ *)
+(* factor_of *)
+(* ------------------------------------------------------------------ *)
+
+let test_factor_monotone () =
+  let cfg = Harden.default in
+  check_float ~eps:0.0 "zero conflicts keeps full weight" 1.0 (Harden.factor_of cfg ~conflicts:0);
+  check_float "one conflict attenuates once" cfg.Harden.conflict_attenuation
+    (Harden.factor_of cfg ~conflicts:1);
+  let prev = ref 1.0 in
+  for k = 1 to 40 do
+    let f = Harden.factor_of cfg ~conflicts:k in
+    if f > !prev +. 1e-15 then Alcotest.failf "factor increased at %d conflicts" k;
+    if f < cfg.Harden.weight_floor -. 1e-15 then
+      Alcotest.failf "factor %.6g fell below the floor at %d conflicts" f k;
+    prev := f
+  done;
+  check_float ~eps:0.0 "deep conflict count hits the floor" cfg.Harden.weight_floor
+    (Harden.factor_of cfg ~conflicts:1000)
+
+(* ------------------------------------------------------------------ *)
+(* consensus_point / scores permutation invariance *)
+(* ------------------------------------------------------------------ *)
+
+(* Seeded landmark geometry on the solver's working plane: centers in a
+   1500 km box, annuli wide enough that most pairs are compatible. *)
+let scored_inputs () =
+  let rng = Stats.Rng.create 2718 in
+  let m = 11 in
+  let centers =
+    Array.init m (fun _ ->
+        Geo.Point.make (Stats.Rng.uniform rng 0.0 1500.0) (Stats.Rng.uniform rng 0.0 1500.0))
+  in
+  let rtt_ms = Array.init m (fun _ -> Stats.Rng.uniform rng 5.0 60.0) in
+  let upper_km = Array.map (fun r -> 100.0 +. (80.0 *. r)) rtt_ms in
+  let lower_km = Array.map (fun r -> 0.2 *. r) rtt_ms in
+  (centers, rtt_ms, upper_km, lower_km)
+
+let test_consensus_permutation_invariant () =
+  let centers, rtt_ms, _, _ = scored_inputs () in
+  let reference = Harden.consensus_point Harden.default ~centers ~rtt_ms in
+  let rng = Stats.Rng.create 515 in
+  let m = Array.length centers in
+  for _ = 1 to 20 do
+    let perm = Array.init m Fun.id in
+    Stats.Rng.shuffle rng perm;
+    let p =
+      Harden.consensus_point Harden.default
+        ~centers:(Array.map (fun i -> centers.(i)) perm)
+        ~rtt_ms:(Array.map (fun i -> rtt_ms.(i)) perm)
+    in
+    check_float ~eps:0.0 "consensus x" reference.Geo.Point.x p.Geo.Point.x;
+    check_float ~eps:0.0 "consensus y" reference.Geo.Point.y p.Geo.Point.y
+  done
+
+let test_scores_permutation_invariant () =
+  let centers, rtt_ms, upper_km, lower_km = scored_inputs () in
+  let reference = Harden.scores Harden.default ~centers ~rtt_ms ~upper_km ~lower_km in
+  let rng = Stats.Rng.create 626 in
+  let m = Array.length centers in
+  for _ = 1 to 20 do
+    let perm = Array.init m Fun.id in
+    Stats.Rng.shuffle rng perm;
+    let permuted =
+      Harden.scores Harden.default
+        ~centers:(Array.map (fun i -> centers.(i)) perm)
+        ~rtt_ms:(Array.map (fun i -> rtt_ms.(i)) perm)
+        ~upper_km:(Array.map (fun i -> upper_km.(i)) perm)
+        ~lower_km:(Array.map (fun i -> lower_km.(i)) perm)
+    in
+    Array.iteri
+      (fun k i ->
+        let a = reference.(i) and b = permuted.(k) in
+        if a.Harden.pair_conflicts <> b.Harden.pair_conflicts then
+          Alcotest.failf "pair conflicts moved under permutation at landmark %d" i;
+        if a.Harden.violates_consensus <> b.Harden.violates_consensus then
+          Alcotest.failf "consensus flag moved under permutation at landmark %d" i;
+        check_float ~eps:0.0 "factor under permutation" a.Harden.factor b.Harden.factor)
+      perm
+  done
+
+(* ------------------------------------------------------------------ *)
+(* scores semantics *)
+(* ------------------------------------------------------------------ *)
+
+(* Honest cluster: nearby centers, generous annuli containing everything —
+   nobody conflicts, every factor stays exactly 1. *)
+let test_scores_all_consistent () =
+  let m = 8 in
+  let centers = Array.init m (fun i -> Geo.Point.make (float_of_int (60 * i)) 100.0) in
+  let rtt_ms = Array.init m (fun i -> 10.0 +. float_of_int i) in
+  let upper_km = Array.make m 1200.0 in
+  let lower_km = Array.make m 0.0 in
+  let scores = Harden.scores Harden.default ~centers ~rtt_ms ~upper_km ~lower_km in
+  Array.iteri
+    (fun i s ->
+      if s.Harden.pair_conflicts <> 0 then
+        Alcotest.failf "honest landmark %d charged %d conflicts" i s.Harden.pair_conflicts;
+      if s.Harden.violates_consensus then
+        Alcotest.failf "honest landmark %d flagged against consensus" i;
+      check_float ~eps:0.0 "honest factor" 1.0 s.Harden.factor)
+    scores
+
+(* A deflating liar: far from the cluster with a tiny annulus that cannot
+   hold jointly with any honest bound.  It must conflict with every honest
+   landmark and end up with a strictly smaller factor than any of them. *)
+let test_scores_flag_deflating_liar () =
+  let honest = 8 in
+  let m = honest + 1 in
+  let centers =
+    Array.init m (fun i ->
+        if i = honest then Geo.Point.make 4000.0 4000.0
+        else Geo.Point.make (float_of_int (60 * i)) 100.0)
+  in
+  let rtt_ms = Array.init m (fun i -> if i = honest then 1.0 else 10.0 +. float_of_int i) in
+  let upper_km = Array.init m (fun i -> if i = honest then 50.0 else 1200.0) in
+  let lower_km = Array.make m 0.0 in
+  let scores = Harden.scores Harden.default ~centers ~rtt_ms ~upper_km ~lower_km in
+  let liar = scores.(honest) in
+  Alcotest.(check int) "liar conflicts with every honest landmark" honest liar.Harden.pair_conflicts;
+  if liar.Harden.factor >= 1.0 then Alcotest.fail "liar kept full weight";
+  for i = 0 to honest - 1 do
+    (* Pairwise conflicts are symmetric, so each honest landmark is charged
+       once — but only once; the liar must sit strictly below them all. *)
+    Alcotest.(check int) "honest landmark charged exactly once" 1 scores.(i).Harden.pair_conflicts;
+    if liar.Harden.factor >= scores.(i).Harden.factor then
+      Alcotest.failf "liar factor %.4f not below honest factor %.4f" liar.Harden.factor
+        scores.(i).Harden.factor
+  done
+
+let test_scores_rejects_mismatch () =
+  let centers = [| Geo.Point.make 0.0 0.0; Geo.Point.make 1.0 1.0 |] in
+  match
+    Harden.scores Harden.default ~centers ~rtt_ms:[| 1.0 |] ~upper_km:[| 1.0; 2.0 |]
+      ~lower_km:[| 0.0; 0.0 |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched lengths must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Zero adversaries end to end *)
+(* ------------------------------------------------------------------ *)
+
+(* The smoke topology, reseeded: hardening must be a near no-op when every
+   landmark is honest — same coverage, point estimate within a tight
+   tolerance of the unhardened solve. *)
+let test_harden_noop_on_clean_topology () =
+  let n_landmarks = 12 in
+  let rng = Stats.Rng.create 9090 in
+  let landmarks =
+    Array.init n_landmarks (fun i ->
+        {
+          Pipeline.lm_key = i;
+          lm_position =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 31.0 47.0)
+              ~lon:(Stats.Rng.uniform rng (-118.0) (-78.0));
+        })
+  in
+  let truth = Geo.Geodesy.coord ~lat:38.9 ~lon:(-95.4) in
+  let rtt a b =
+    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
+    (1.35 *. prop) +. 2.0 +. Stats.Rng.uniform rng 0.0 3.0
+  in
+  let inter = Array.make_matrix n_landmarks n_landmarks 0.0 in
+  for i = 0 to n_landmarks - 1 do
+    for j = i + 1 to n_landmarks - 1 do
+      let v = rtt landmarks.(i).Pipeline.lm_position landmarks.(j).Pipeline.lm_position in
+      inter.(i).(j) <- v;
+      inter.(j).(i) <- v
+    done
+  done;
+  let obs =
+    Pipeline.observations_of_rtts
+      (Array.map (fun l -> rtt l.Pipeline.lm_position truth) landmarks)
+  in
+  let ctx = Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let hctx = Pipeline.with_harden ctx (Some Harden.default) in
+  let plain = Pipeline.localize ctx obs in
+  let hardened = Pipeline.localize hctx obs in
+  let drift =
+    Geo.Geodesy.miles_of_km
+      (Geo.Geodesy.distance_km plain.Estimate.point hardened.Estimate.point)
+  in
+  if drift > 30.0 then
+    Alcotest.failf "hardening moved a clean estimate %.1f miles" drift;
+  if not (Estimate.covers hardened truth) then
+    Alcotest.fail "hardened estimate lost coverage on a clean topology";
+  (* The trim can only discard cells, never add them. *)
+  if hardened.Estimate.area_km2 > plain.Estimate.area_km2 +. 1e-6 then
+    Alcotest.failf "hardened region grew: %.1f -> %.1f km2" plain.Estimate.area_km2
+      hardened.Estimate.area_km2
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "harden",
+      [
+        tc "median-of-means degeneracies" test_mom_degenerate;
+        tc "median-of-means permutation invariant" test_mom_permutation_invariant;
+        tc "median-of-means outlier robust" test_mom_outlier_robust;
+        tc "factor monotone with floor" test_factor_monotone;
+        tc "consensus permutation invariant" test_consensus_permutation_invariant;
+        tc "scores permutation invariant" test_scores_permutation_invariant;
+        tc "all-consistent keeps full weight" test_scores_all_consistent;
+        tc "deflating liar down-weighted" test_scores_flag_deflating_liar;
+        tc "mismatched lengths rejected" test_scores_rejects_mismatch;
+        tc "no-op on a clean topology" test_harden_noop_on_clean_topology;
+      ] );
+  ]

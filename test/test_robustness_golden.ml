@@ -1,0 +1,76 @@
+(* Golden-file regression test for Eval.Robustness.run.
+
+   The robustness driver feeds every downstream comparison with GeoLim (the
+   paper's §2.4 claim), so its output for a fixed seed is pinned against a
+   committed fixture to 1e-6 — at jobs=1 and jobs=4, covering both the
+   numeric path and the parallel engine.  A small deployment keeps the run
+   in test-suite time.
+
+   Regenerating after an intentional numeric change:
+
+     OCTANT_ROBUSTNESS_GOLDEN_WRITE=$PWD/test/golden/robustness_golden.txt dune test *)
+
+let golden_path = "golden/robustness_golden.txt"
+let rates = [ 0.0; 0.2 ]
+
+let run jobs = Eval.Robustness.run ~seed:7 ~n_hosts:14 ~rates ~jobs ()
+
+let render points =
+  List.map
+    (fun (p : Eval.Robustness.point) ->
+      Printf.sprintf "rate %.2f octant %.6f %.6f geolim %.6f %.6f %.6f"
+        p.Eval.Robustness.corruption_rate p.Eval.Robustness.octant_median_miles
+        p.Eval.Robustness.octant_hit_rate p.Eval.Robustness.geolim_median_miles
+        p.Eval.Robustness.geolim_hit_rate p.Eval.Robustness.geolim_empty_rate)
+    points
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if String.trim line = "" then acc else String.trim line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Float fields compare to 1e-6 (so the fixture survives printf rounding);
+   everything else must match verbatim. *)
+let same_line expected got =
+  let we = String.split_on_char ' ' expected and wg = String.split_on_char ' ' got in
+  List.length we = List.length wg
+  && List.for_all2
+       (fun e g ->
+         match (float_of_string_opt e, float_of_string_opt g) with
+         | Some fe, Some fg -> Float.abs (fe -. fg) <= 1e-6 *. (1.0 +. Float.abs fe)
+         | _ -> e = g)
+       we wg
+
+let test_robustness_golden () =
+  match Sys.getenv_opt "OCTANT_ROBUSTNESS_GOLDEN_WRITE" with
+  | Some path ->
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) (render (run 1));
+      close_out oc;
+      Printf.printf "robustness golden fixture written to %s\n" path
+  | None ->
+      let expected = read_lines golden_path in
+      Alcotest.(check int) "fixture point count" (List.length rates) (List.length expected);
+      List.iter
+        (fun jobs ->
+          let got = render (run jobs) in
+          List.iteri
+            (fun i (e, g) ->
+              if not (same_line e g) then
+                Alcotest.failf "rate point %d diverged at jobs=%d:\n  expected: %s\n  got:      %s"
+                  i jobs e g)
+            (List.combine expected got))
+        [ 1; 4 ]
+
+let suite =
+  [
+    ( "robustness-golden",
+      [ Alcotest.test_case "robustness matches committed fixture" `Slow test_robustness_golden ] );
+  ]
