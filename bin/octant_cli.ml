@@ -71,6 +71,48 @@ let harden_arg =
 
 let harden_opt hardened = if hardened then Some Octant.Harden.default else None
 
+let budget_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "landmark-budget" ] ~docv:"K"
+        ~doc:
+          "Admit at most $(docv) landmarks per target, ranked by RTT \
+           tightness and angular coverage. Alone, all $(docv) are admitted \
+           in one round; with $(b,--refine) they bound the anytime loop. 0 \
+           (the default) means no budget.")
+
+let refine_arg =
+  Arg.(
+    value & flag
+    & info [ "refine" ]
+        ~doc:
+          "Enable anytime refinement: start from the best-ranked landmarks \
+           and admit more only while the weighted best cell keeps moving or \
+           shrinking, exiting early on stability. Composes with \
+           $(b,--harden) (ranking runs on post-attenuation weights) and \
+           $(b,--landmark-budget).")
+
+(* --landmark-budget alone is a single admission round of the K best-ranked
+   landmarks (initial = step = budget, so the anytime early exit never has
+   anything to cut); --refine turns the anytime loop on, bounded by the
+   budget when one is given and by [Solver.default_refine] otherwise. *)
+let refine_opt budget refine =
+  if refine then
+    Some
+      (if budget > 0 then
+         { Octant.Solver.default_refine with Octant.Solver.budget = budget }
+       else Octant.Solver.default_refine)
+  else if budget > 0 then
+    Some
+      {
+        Octant.Solver.default_refine with
+        Octant.Solver.budget = budget;
+        initial = budget;
+        step = budget;
+      }
+  else None
+
 (* --- telemetry --- *)
 
 type telemetry_mode = Tree | Json_stdout | Json_file of string
@@ -127,7 +169,7 @@ let mk_bridge seed n_hosts probes =
 
 (* --- localize --- *)
 
-let localize seed hosts probes target no_piecewise no_geo backend harden telemetry =
+let localize seed hosts probes target no_piecewise no_geo backend harden budget refine telemetry =
   with_telemetry telemetry @@ fun () ->
   let deployment, bridge = mk_bridge seed hosts probes in
   let n = Eval.Bridge.host_count bridge in
@@ -148,6 +190,7 @@ let localize seed hosts probes target no_piecewise no_geo backend harden telemet
       whois_weight = (if no_geo then 0.0 else Octant.Pipeline.default_config.Octant.Pipeline.whois_weight);
       backend;
       harden = harden_opt harden;
+      refine = refine_opt budget refine;
     }
   in
   let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
@@ -194,7 +237,7 @@ let localize_cmd =
     (Cmd.info "localize" ~doc:"Localize one host of a simulated deployment")
     Term.(
       const localize $ seed_arg $ hosts_arg $ probes_arg $ target $ no_piecewise $ no_geo
-      $ backend_arg $ harden_arg $ telemetry_arg)
+      $ backend_arg $ harden_arg $ budget_arg $ refine_arg $ telemetry_arg)
 
 (* --- calibrate --- *)
 
@@ -217,13 +260,14 @@ let calibrate_cmd =
 
 (* --- study --- *)
 
-let study seed hosts probes jobs backend harden telemetry =
+let study seed hosts probes jobs backend harden budget refine telemetry =
   with_telemetry telemetry @@ fun () ->
   let config =
     {
       Octant.Pipeline.default_config with
       Octant.Pipeline.backend;
       harden = harden_opt harden;
+      refine = refine_opt budget refine;
     }
   in
   let s = Eval.Study.run ~config ~seed ~n_hosts:hosts ~probes ?jobs:(jobs_opt jobs) () in
@@ -236,11 +280,11 @@ let study_cmd =
     (Cmd.info "study" ~doc:"Leave-one-out comparison of all methods (Figure 3)")
     Term.(
       const study $ seed_arg $ hosts_arg $ probes_arg $ jobs_arg $ backend_arg $ harden_arg
-      $ telemetry_arg)
+      $ budget_arg $ refine_arg $ telemetry_arg)
 
 (* --- sweep --- *)
 
-let sweep seed hosts counts jobs backend harden telemetry =
+let sweep seed hosts counts jobs backend harden budget refine telemetry =
   with_telemetry telemetry @@ fun () ->
   let landmark_counts =
     String.split_on_char ',' counts |> List.map String.trim |> List.map int_of_string
@@ -250,6 +294,7 @@ let sweep seed hosts counts jobs backend harden telemetry =
       Octant.Pipeline.default_config with
       Octant.Pipeline.backend;
       harden = harden_opt harden;
+      refine = refine_opt budget refine;
     }
   in
   let s = Eval.Sweep.run ~config ~seed ~n_hosts:hosts ~landmark_counts ?jobs:(jobs_opt jobs) () in
@@ -266,7 +311,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Coverage vs number of landmarks (Figure 4)")
     Term.(
       const sweep $ seed_arg $ hosts_arg $ counts $ jobs_arg $ backend_arg $ harden_arg
-      $ telemetry_arg)
+      $ budget_arg $ refine_arg $ telemetry_arg)
 
 (* --- ablation --- *)
 

@@ -50,6 +50,15 @@ type config = {
           down-weighted before they reach the solver) and the solver applies
           the consensus trim at estimate extraction.  [None] (the default)
           is bit-identical to the unhardened pipeline. *)
+  refine : Solver.refine_config option;
+      (** Adaptive landmark admission (ROADMAP item 1): when set,
+          {!localize} ranks each target's measured landmarks ({!Rank}) on
+          post-attenuation constraint weight and angular coverage, then
+          runs the anytime loop ({!Solver.solve_anytime}) admitting
+          landmarks in rank order — the budgeted prefix up front, more only
+          while the weighted best cell keeps moving or shrinking.  [None]
+          (the default) is bit-identical to the exhaustive pipeline, as is
+          a budget covering every landmark with [initial >= budget]. *)
 }
 
 val default_config : config
@@ -104,6 +113,11 @@ val with_harden : context -> Harden.config option -> context
     so evaluation drivers can localize every target both hardened and
     unhardened against one [prepare]. *)
 
+val with_refine : context -> Solver.refine_config option -> context
+(** Same prepared context with the refinement knob replaced — like
+    {!with_harden}, preparation does not depend on it, so budget sweeps
+    reuse one [prepare]. *)
+
 val landmark_heights : context -> float array
 val calibration : context -> int -> Calibration.t
 
@@ -141,9 +155,23 @@ val localize :
   context ->
   observations ->
   Estimate.t
-(** Localize one target.
+(** Localize one target.  With [config.refine] set this runs the adaptive
+    admission loop; otherwise every constraint is folded in, as the paper
+    describes.
     @raise Invalid_argument if [target_rtt_ms] length mismatches the
     context, or fewer than 3 landmarks measured the target. *)
+
+val localize_refined :
+  ?undns:(string -> Geo.Geodesy.coord option) ->
+  context ->
+  observations ->
+  Estimate.t * Solver.refine_stats
+(** {!localize} through the refinement path, additionally returning the
+    anytime-loop statistics (landmarks admitted and skipped — budget cuts
+    and early exits combined — rounds, and the per-round trace).  The
+    bench and the golden-trace tests are built on this.
+    @raise Invalid_argument if [config.refine] is [None], or on the same
+    malformed observations as {!localize}. *)
 
 val localize_audited :
   ?undns:(string -> Geo.Geodesy.coord option) ->

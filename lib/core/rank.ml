@@ -1,0 +1,67 @@
+type feature = {
+  slot : int;
+  center : Geo.Point.t;
+  rtt_ms : float;
+  weight : float;
+}
+
+(* Quality order: post-attenuation weight first (tightness as the solver
+   will actually see it — hardening has already scaled these weights), then
+   raw adjusted RTT, then position.  The positional tie-break makes the
+   order a function of the landmark's observable features rather than of
+   its slot in the input array, which is what makes the ranking
+   permutation-invariant; the final slot comparison only ever fires for
+   landmarks whose features are identical, and such landmarks are
+   interchangeable. *)
+let quality_cmp features a b =
+  let fa = features.(a) and fb = features.(b) in
+  match compare fb.weight fa.weight with
+  | 0 -> (
+      match compare fa.rtt_ms fb.rtt_ms with
+      | 0 -> (
+          match compare fa.center.Geo.Point.x fb.center.Geo.Point.x with
+          | 0 -> (
+              match compare fa.center.Geo.Point.y fb.center.Geo.Point.y with
+              | 0 -> compare fa.slot fb.slot
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sector_of ~sectors ~focus (p : Geo.Point.t) =
+  let d = Geo.Point.sub p focus in
+  let a = Float.atan2 d.Geo.Point.y d.Geo.Point.x in
+  let s =
+    int_of_float (Float.floor ((a +. Float.pi) /. (2.0 *. Float.pi) *. float_of_int sectors))
+  in
+  if s >= sectors then sectors - 1 else if s < 0 then 0 else s
+
+let order ?(sectors = 8) ~focus features =
+  let n = Array.length features in
+  let idx = Array.init n Fun.id in
+  Array.sort (quality_cmp features) idx;
+  (* Interleave quality with angular coverage: repeated sweeps over the
+     quality order, each sweep taking at most one landmark per bearing
+     sector around [focus].  Sweep 1 yields the best landmark of every
+     occupied sector (in quality order), sweep 2 the second best, and so
+     on — so the prefix of any budget covers as many directions as the
+     deployment allows while still preferring tight constraints. *)
+  let taken = Array.make n false in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  while !k < n do
+    let seen = Array.make sectors false in
+    Array.iter
+      (fun i ->
+        if not taken.(i) then begin
+          let s = sector_of ~sectors ~focus features.(i).center in
+          if not seen.(s) then begin
+            seen.(s) <- true;
+            taken.(i) <- true;
+            out.(!k) <- i;
+            incr k
+          end
+        end)
+      idx
+  done;
+  out

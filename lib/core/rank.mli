@@ -1,0 +1,33 @@
+(** Per-target landmark ranking for the adaptive refinement loop.
+
+    The anytime solver (see {!Solver.solve_anytime}) admits landmarks a few
+    at a time; this module decides the order.  Two forces matter: {e RTT
+    tightness} — a close landmark's annulus carries most of the positional
+    information, and its constraint weight (after any hardening
+    attenuation) encodes exactly that — and {e angular coverage} — three
+    tight annuli from the same direction intersect in a lens, while three
+    spread around the target pin it down.  The ranking interleaves the two:
+    landmarks are sorted by post-attenuation weight and then drafted
+    round-robin across bearing sectors around the projection focus, so any
+    budget prefix is both tight and directionally spread.
+
+    The order is a pure function of the landmark features — weight, RTT,
+    position — and never of their slot in the input array, so permuting the
+    input permutes the output consistently (property-tested in
+    [test_refine.ml]). *)
+
+type feature = {
+  slot : int;          (** Caller's landmark slot, carried through. *)
+  center : Geo.Point.t;(** Projected landmark position. *)
+  rtt_ms : float;      (** Height-adjusted RTT to the target. *)
+  weight : float;
+      (** Weight of the landmark's heaviest constraint, {e after} hardening
+          attenuation — ranking on post-attenuation weights is what makes
+          [--harden --refine] compose: a downweighted liar ranks (and
+          admits) late. *)
+}
+
+val order : ?sectors:int -> focus:Geo.Point.t -> feature array -> int array
+(** [order ~focus features] returns the indices of [features] best-first
+    (default 8 bearing sectors around [focus]).  Every index appears
+    exactly once. *)

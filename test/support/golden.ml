@@ -1,0 +1,47 @@
+(* Shared golden-fixture plumbing: line reading and tolerant comparison.
+
+   Golden files are whitespace-separated token lines.  Tokens that parse
+   as floats compare to 1e-6 relative (so a fixture survives printf
+   rounding and harmless last-bit drift); everything else must match
+   verbatim.  Suites regenerate their fixture when the suite's
+   [OCTANT_*_GOLDEN_WRITE] environment variable names a path. *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if String.trim line = "" then acc else String.trim line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let write_lines path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let same_line expected got =
+  let we = String.split_on_char ' ' expected and wg = String.split_on_char ' ' got in
+  List.length we = List.length wg
+  && List.for_all2
+       (fun e g ->
+         match (float_of_string_opt e, float_of_string_opt g) with
+         | Some fe, Some fg -> Float.abs (fe -. fg) <= 1e-6 *. (1.0 +. Float.abs fe)
+         | _ -> e = g)
+       we wg
+
+(* Compare rendered lines against the committed fixture; [what] labels
+   the run (e.g. "jobs=4") in the divergence report. *)
+let check ~what expected got =
+  if List.length expected <> List.length got then
+    Alcotest.failf "%s: fixture has %d lines, run produced %d" what (List.length expected)
+      (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+      if not (same_line e g) then
+        Alcotest.failf "%s: line %d diverged:\n  expected: %s\n  got:      %s" what (i + 1) e g)
+    (List.combine expected got)

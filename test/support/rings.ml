@@ -1,0 +1,20 @@
+(* Solver-level fixture: overlapping weighted annuli in a plain square
+   world.  Their mutual clips build cells whose boundaries exceed the
+   140-vertex simplify threshold, which is what the backend-parity and
+   config-regression suites need; the refinement suite reuses them as a
+   deterministic constraint set with no pipeline machinery attached. *)
+
+let pt = Geo.Point.make
+
+let world () =
+  Geo.Region.of_polygon (Geo.Polygon.rectangle (pt (-600.0) (-600.0)) (pt 600.0 600.0))
+
+let constraints () =
+  List.init 8 (fun k ->
+      let a = 0.8 *. float_of_int k in
+      Octant.Constr.ring
+        ~center:(pt (60.0 *. cos a) (60.0 *. sin a))
+        ~r_inner_km:(50.0 +. (6.0 *. float_of_int k))
+        ~r_outer_km:(210.0 +. (9.0 *. float_of_int k))
+        ~weight:1.0
+        ~source:(Printf.sprintf "ring %d" k))

@@ -1,0 +1,107 @@
+(* Shared seeded world/deployment fixtures.
+
+   Every end-to-end suite used to carry its own copy of the same
+   boilerplate: a seeded landmark cloud in a continent-sized lat/lon box,
+   a physically consistent RTT model (inflated propagation plus a queuing
+   floor plus seeded jitter), the symmetric inter-landmark matrix, and
+   per-target observation vectors.  This module is that boilerplate,
+   parameterized by the few numbers the suites actually vary.
+
+   Stream discipline: [make] draws the landmark coordinates first (lat
+   then lon per landmark), then the upper triangle of the inter matrix in
+   row-major order; every subsequent draw ([random_truth], [observe])
+   continues the same RNG stream.  That is exactly the order the suites
+   used inline, so adopting the fixture changes no test's world. *)
+
+type spec = {
+  seed : int;
+  n_landmarks : int;
+  lat_lo : float;
+  lat_hi : float;
+  lon_lo : float;
+  lon_hi : float;
+  inflation : float;  (* route inflation over propagation delay *)
+  base_ms : float;    (* queuing floor *)
+  jitter_ms : float;  (* uniform seeded jitter *)
+}
+
+let spec ?(seed = 1207) ?(n_landmarks = 12) ?(lat_lo = 31.0) ?(lat_hi = 47.0)
+    ?(lon_lo = -118.0) ?(lon_hi = -78.0) ?(inflation = 1.35) ?(base_ms = 2.0)
+    ?(jitter_ms = 3.0) () =
+  { seed; n_landmarks; lat_lo; lat_hi; lon_lo; lon_hi; inflation; base_ms; jitter_ms }
+
+type t = {
+  spec : spec;
+  landmarks : Octant.Pipeline.landmark array;
+  inter : float array array;
+  rng : Stats.Rng.t;  (* live stream; target draws continue it *)
+  rtt : Geo.Geodesy.coord -> Geo.Geodesy.coord -> float;
+}
+
+let make spec =
+  let rng = Stats.Rng.create spec.seed in
+  let landmarks =
+    Array.init spec.n_landmarks (fun i ->
+        {
+          Octant.Pipeline.lm_key = i;
+          lm_position =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng spec.lat_lo spec.lat_hi)
+              ~lon:(Stats.Rng.uniform rng spec.lon_lo spec.lon_hi);
+        })
+  in
+  (* The same model for landmark-landmark and landmark-target paths, so
+     the calibration learned on the former transfers to the latter. *)
+  let rtt a b =
+    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
+    (spec.inflation *. prop) +. spec.base_ms +. Stats.Rng.uniform rng 0.0 spec.jitter_ms
+  in
+  let n = spec.n_landmarks in
+  let inter = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = rtt landmarks.(i).Octant.Pipeline.lm_position landmarks.(j).Octant.Pipeline.lm_position in
+      inter.(i).(j) <- v;
+      inter.(j).(i) <- v
+    done
+  done;
+  { spec; landmarks; inter; rng; rtt }
+
+let context ?config w =
+  Octant.Pipeline.prepare ?config ~landmarks:w.landmarks ~inter_landmark_rtt_ms:w.inter ()
+
+let observe w truth =
+  Octant.Pipeline.observations_of_rtts
+    (Array.map (fun l -> w.rtt l.Octant.Pipeline.lm_position truth) w.landmarks)
+
+(* Truth somewhere inside the landmark cloud — surrounded, the geometry
+   Octant expects.  Defaults are the box the parity suite always used. *)
+let random_truth ?(lat_lo = 35.0) ?(lat_hi = 44.0) ?(lon_lo = -112.0) ?(lon_hi = -83.0) w =
+  Geo.Geodesy.coord
+    ~lat:(Stats.Rng.uniform w.rng lat_lo lat_hi)
+    ~lon:(Stats.Rng.uniform w.rng lon_lo lon_hi)
+
+let missing_observation w =
+  Octant.Pipeline.observations_of_rtts (Array.make w.spec.n_landmarks (-1.0))
+
+(* Bare seeded coordinate clouds, for suites (adversary plans) that build
+   their own measurement vectors. *)
+let coords ~seed ~n ~lat_lo ~lat_hi ~lon_lo ~lon_hi () =
+  let rng = Stats.Rng.create seed in
+  Array.init n (fun _ ->
+      Geo.Geodesy.coord
+        ~lat:(Stats.Rng.uniform rng lat_lo lat_hi)
+        ~lon:(Stats.Rng.uniform rng lon_lo lon_hi))
+
+(* Everything except [solve_time_s], which is a stopwatch reading. *)
+let check_same_estimate what (a : Octant.Estimate.t) (b : Octant.Estimate.t) =
+  let same =
+    a.Octant.Estimate.point = b.Octant.Estimate.point
+    && a.Octant.Estimate.point_plane = b.Octant.Estimate.point_plane
+    && a.Octant.Estimate.area_km2 = b.Octant.Estimate.area_km2
+    && a.Octant.Estimate.top_weight = b.Octant.Estimate.top_weight
+    && a.Octant.Estimate.cells_used = b.Octant.Estimate.cells_used
+    && a.Octant.Estimate.constraints_used = b.Octant.Estimate.constraints_used
+    && a.Octant.Estimate.target_height_ms = b.Octant.Estimate.target_height_ms
+  in
+  if not same then Alcotest.failf "%s: estimates diverge" what

@@ -10,11 +10,8 @@ let n = 10
 
 (* A continent-sized landmark cloud plus one target, all seeded. *)
 let positions () =
-  let rng = Stats.Rng.create 4242 in
-  Array.init n (fun _ ->
-      Geo.Geodesy.coord
-        ~lat:(Stats.Rng.uniform rng 30.0 48.0)
-        ~lon:(Stats.Rng.uniform rng (-120.0) (-75.0)))
+  Test_support.World.coords ~seed:4242 ~n ~lat_lo:30.0 ~lat_hi:48.0 ~lon_lo:(-120.0)
+    ~lon_hi:(-75.0) ()
 
 (* Honest measurement vector; slot 7 is a missing measurement. *)
 let honest_rtts () =

@@ -163,20 +163,11 @@ let test_spec_round_trip () =
 (* Backends through the solver *)
 (* ------------------------------------------------------------------ *)
 
-let solver_world () =
-  Region.of_polygon (Polygon.rectangle (pt (-600.0) (-600.0)) (pt 600.0 600.0))
-
-(* Overlapping annuli around scattered centers: their mutual clips build
-   cells whose boundaries exceed the 140-vertex simplify threshold. *)
-let ring_constraints () =
-  List.init 8 (fun k ->
-      let a = 0.8 *. float_of_int k in
-      Octant.Constr.ring
-        ~center:(pt (60.0 *. cos a) (60.0 *. sin a))
-        ~r_inner_km:(50.0 +. (6.0 *. float_of_int k))
-        ~r_outer_km:(210.0 +. (9.0 *. float_of_int k))
-        ~weight:1.0
-        ~source:(Printf.sprintf "ring %d" k))
+(* Overlapping annuli in a square world (shared with the refinement
+   suite): their mutual clips build cells whose boundaries exceed the
+   140-vertex simplify threshold. *)
+let solver_world () = Test_support.Rings.world ()
+let ring_constraints () = Test_support.Rings.constraints ()
 
 let solve_with ?config ?backend () =
   let world = solver_world () in
@@ -203,6 +194,8 @@ let test_config_defaults_pinned () =
     Octant.Solver.default_config.Octant.Solver.simplify_tolerance_km;
   Alcotest.(check bool) "no hardening" true
     (Octant.Solver.default_config.Octant.Solver.harden = None);
+  Alcotest.(check bool) "no refinement" true
+    (Octant.Solver.default_config.Octant.Solver.refine = None);
   (* Leaving config out and spelling out today's constants are the same
      arrangement, bit for bit. *)
   let est_implicit, s_implicit = solve_with () in
@@ -213,6 +206,7 @@ let test_config_defaults_pinned () =
           Octant.Solver.simplify_vertex_threshold = 140;
           simplify_tolerance_km = 2.0;
           harden = None;
+          refine = None;
         }
       ()
   in
@@ -234,6 +228,7 @@ let test_config_threshold_gates_simplification () =
           Octant.Solver.simplify_vertex_threshold = max_int;
           simplify_tolerance_km = 2.0;
           harden = None;
+          refine = None;
         }
       ()
   in

@@ -194,36 +194,10 @@ let test_scores_rejects_mismatch () =
    landmark is honest — same coverage, point estimate within a tight
    tolerance of the unhardened solve. *)
 let test_harden_noop_on_clean_topology () =
-  let n_landmarks = 12 in
-  let rng = Stats.Rng.create 9090 in
-  let landmarks =
-    Array.init n_landmarks (fun i ->
-        {
-          Pipeline.lm_key = i;
-          lm_position =
-            Geo.Geodesy.coord
-              ~lat:(Stats.Rng.uniform rng 31.0 47.0)
-              ~lon:(Stats.Rng.uniform rng (-118.0) (-78.0));
-        })
-  in
+  let w = Test_support.World.make (Test_support.World.spec ~seed:9090 ()) in
   let truth = Geo.Geodesy.coord ~lat:38.9 ~lon:(-95.4) in
-  let rtt a b =
-    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
-    (1.35 *. prop) +. 2.0 +. Stats.Rng.uniform rng 0.0 3.0
-  in
-  let inter = Array.make_matrix n_landmarks n_landmarks 0.0 in
-  for i = 0 to n_landmarks - 1 do
-    for j = i + 1 to n_landmarks - 1 do
-      let v = rtt landmarks.(i).Pipeline.lm_position landmarks.(j).Pipeline.lm_position in
-      inter.(i).(j) <- v;
-      inter.(j).(i) <- v
-    done
-  done;
-  let obs =
-    Pipeline.observations_of_rtts
-      (Array.map (fun l -> rtt l.Pipeline.lm_position truth) landmarks)
-  in
-  let ctx = Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let obs = Test_support.World.observe w truth in
+  let ctx = Test_support.World.context w in
   let hctx = Pipeline.with_harden ctx (Some Harden.default) in
   let plain = Pipeline.localize ctx obs in
   let hardened = Pipeline.localize hctx obs in

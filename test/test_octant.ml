@@ -104,5 +104,6 @@ let () =
    @ Test_netsim.suite @ Test_core.suite @ Test_harden.suite @ Test_telemetry.suite
    @ Test_baselines.suite @ Test_adversary.suite @ Test_integration.suite
    @ Test_batch_golden.suite @ Test_robustness_golden.suite @ Test_parity.suite
+   @ Test_refine.suite
    @ Test_lru.suite @ Test_wire_fuzz.suite @ Test_serve.suite @ Test_backends.suite
    @ smoke_suite)

@@ -4,64 +4,25 @@
    matching [localize_batch] slot, field for field, at every jobs
    setting.  Nothing else in the suite pinned these together. *)
 
-let n_landmarks = 12
+module World = Test_support.World
+
 let n_targets = 5
 let bad_target = 2
 
 let topology () =
-  let rng = Stats.Rng.create 90217 in
-  let landmarks =
-    Array.init n_landmarks (fun i ->
-        {
-          Octant.Pipeline.lm_key = i;
-          lm_position =
-            Geo.Geodesy.coord
-              ~lat:(Stats.Rng.uniform rng 33.0 47.0)
-              ~lon:(Stats.Rng.uniform rng (-119.0) (-77.0));
-        })
+  let w =
+    World.make
+      (World.spec ~seed:90217 ~lat_lo:33.0 ~lat_hi:47.0 ~lon_lo:(-119.0) ~lon_hi:(-77.0)
+         ~inflation:1.38 ~base_ms:1.8 ~jitter_ms:3.5 ())
   in
-  let rtt a b =
-    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
-    (1.38 *. prop) +. 1.8 +. Stats.Rng.uniform rng 0.0 3.5
-  in
-  let inter = Array.make_matrix n_landmarks n_landmarks 0.0 in
-  for i = 0 to n_landmarks - 1 do
-    for j = i + 1 to n_landmarks - 1 do
-      let v =
-        rtt landmarks.(i).Octant.Pipeline.lm_position landmarks.(j).Octant.Pipeline.lm_position
-      in
-      inter.(i).(j) <- v;
-      inter.(j).(i) <- v
-    done
-  done;
   let obs =
     Array.init n_targets (fun t ->
-        if t = bad_target then Octant.Pipeline.observations_of_rtts (Array.make n_landmarks (-1.0))
-        else begin
-          let truth =
-            Geo.Geodesy.coord
-              ~lat:(Stats.Rng.uniform rng 35.0 44.0)
-              ~lon:(Stats.Rng.uniform rng (-112.0) (-83.0))
-          in
-          Octant.Pipeline.observations_of_rtts
-            (Array.map (fun l -> rtt l.Octant.Pipeline.lm_position truth) landmarks)
-        end)
+        if t = bad_target then World.missing_observation w
+        else World.observe w (World.random_truth w))
   in
-  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
-  (ctx, obs)
+  (World.context w, obs)
 
-(* Everything except [solve_time_s], which is a stopwatch reading. *)
-let check_same_estimate what (a : Octant.Estimate.t) (b : Octant.Estimate.t) =
-  let same =
-    a.Octant.Estimate.point = b.Octant.Estimate.point
-    && a.Octant.Estimate.point_plane = b.Octant.Estimate.point_plane
-    && a.Octant.Estimate.area_km2 = b.Octant.Estimate.area_km2
-    && a.Octant.Estimate.top_weight = b.Octant.Estimate.top_weight
-    && a.Octant.Estimate.cells_used = b.Octant.Estimate.cells_used
-    && a.Octant.Estimate.constraints_used = b.Octant.Estimate.constraints_used
-    && a.Octant.Estimate.target_height_ms = b.Octant.Estimate.target_height_ms
-  in
-  if not same then Alcotest.failf "%s: estimates diverge" what
+let check_same_estimate = World.check_same_estimate
 
 let test_localize_one_parity () =
   let ctx, obs = topology () in

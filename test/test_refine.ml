@@ -1,0 +1,377 @@
+(* Property and golden tests for the adaptive refinement layer.
+
+   The load-bearing invariant is {e parity at full budget}: when the
+   budget covers every measured landmark and the first round admits them
+   all, the refined path filters the globally weight-sorted constraint
+   list into the identical sequence the unbudgeted solver ingests, so the
+   two are bit-identical — which is what makes [--landmark-budget] and
+   [--refine] safe to enable.  Property-tested over seeded worlds at
+   jobs 1 and 4.
+
+   Anytime behaviour is pinned from two sides: the best-cell top weight
+   is non-decreasing round over round on {e every} seeded world (adding
+   constraints only ever adds weight to cells), and on worlds whose
+   geometry refines cleanly the best-cell area is non-increasing too —
+   the paper's intuition that more landmarks only tighten the region.
+   The area form is not universal (a newly admitted annulus can re-rank a
+   larger cell to the top), so it is asserted on fixed seeds chosen to
+   exhibit it; both checks run with early exit disabled so the full trace
+   is visible.
+
+   Ranking is property-tested for permutation invariance — [Rank.order]
+   must be a pure function of the landmark features, never of their slot
+   order — and a golden trace file pins the exact round-by-round numbers
+   (regenerate with OCTANT_REFINE_GOLDEN_WRITE=$PWD/test/golden/refine_golden.txt).
+
+   Finally, [--harden --refine] composition: on a coalition-adversary
+   topology the hardened-and-refined median error must stay within 1.25x
+   of hardened-only — refinement ranks on post-attenuation weights, so it
+   must never resurrect what hardening put down. *)
+
+module World = Test_support.World
+open Octant
+
+let n_landmarks = 12
+
+(* Everything except [solve_time_s] (a stopwatch) and the region itself
+   (pinned indirectly through point/area/cells). *)
+let estimates_equal (a : Estimate.t) (b : Estimate.t) =
+  a.Estimate.point = b.Estimate.point
+  && a.Estimate.point_plane = b.Estimate.point_plane
+  && a.Estimate.area_km2 = b.Estimate.area_km2
+  && a.Estimate.top_weight = b.Estimate.top_weight
+  && a.Estimate.cells_used = b.Estimate.cells_used
+  && a.Estimate.constraints_used = b.Estimate.constraints_used
+  && a.Estimate.target_height_ms = b.Estimate.target_height_ms
+
+(* ------------------------------------------------------------------ *)
+(* Property (a): full budget is bit-identical to the unbudgeted solver  *)
+(* ------------------------------------------------------------------ *)
+
+(* Both spellings of "no landmark left out": budget 0 (= all measured)
+   and budget n, each with the whole budget admitted in round one — the
+   shapes [--landmark-budget n] produces. *)
+let full_budget_configs =
+  [
+    ( "budget=all",
+      {
+        Solver.budget = 0;
+        initial = n_landmarks;
+        step = 1;
+        stable_point_km = Solver.default_refine.Solver.stable_point_km;
+        stable_area_ratio = Solver.default_refine.Solver.stable_area_ratio;
+      } );
+    ( "budget=n",
+      {
+        Solver.budget = n_landmarks;
+        initial = n_landmarks;
+        step = n_landmarks;
+        stable_point_km = Solver.default_refine.Solver.stable_point_km;
+        stable_area_ratio = Solver.default_refine.Solver.stable_area_ratio;
+      } );
+  ]
+
+let prop_full_budget_parity =
+  QCheck.Test.make ~name:"full budget bit-identical to unbudgeted (jobs 1 and 4)" ~count:5
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 99_999))
+    (fun seed ->
+      let w = World.make (World.spec ~seed ()) in
+      (* Target 1 is unmeasurable: the Error path must agree too. *)
+      let obs =
+        Array.init 3 (fun t ->
+            if t = 1 then World.missing_observation w
+            else World.observe w (World.random_truth w))
+      in
+      let ctx = World.context w in
+      let baseline = Pipeline.localize_batch ~jobs:1 ctx obs in
+      List.for_all
+        (fun (cname, rc) ->
+          let rctx = Pipeline.with_refine ctx (Some rc) in
+          List.for_all
+            (fun jobs ->
+              let refined = Pipeline.localize_batch ~jobs rctx obs in
+              Array.for_all2
+                (fun d r ->
+                  match (d, r) with
+                  | Ok a, Ok b ->
+                      estimates_equal a b
+                      || QCheck.Test.fail_reportf
+                           "seed %d, %s, jobs=%d: refined estimate diverges from baseline" seed
+                           cname jobs
+                  | Error a, Error b ->
+                      a = b
+                      || QCheck.Test.fail_reportf
+                           "seed %d, %s, jobs=%d: error reasons diverge (%s vs %s)" seed cname
+                           jobs a b
+                  | _ ->
+                      QCheck.Test.fail_reportf
+                        "seed %d, %s, jobs=%d: Ok/Error status diverges" seed cname jobs)
+                baseline refined)
+            [ 1; 4 ])
+        full_budget_configs)
+
+(* ------------------------------------------------------------------ *)
+(* Property (b): the anytime trace is monotone                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Negative stability thresholds: the exit test can never pass, so the
+   loop runs the budget dry and the trace shows every round. *)
+let trace_cfg =
+  {
+    Solver.budget = 0;
+    initial = 3;
+    step = 1;
+    stable_point_km = -1.0;
+    stable_area_ratio = -1.0;
+  }
+
+let refined_trace ctx obs =
+  let _, stats = Pipeline.localize_refined ctx obs in
+  stats
+
+let pairwise f trace =
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+        f a b;
+        scan rest
+    | _ -> ()
+  in
+  scan trace
+
+(* Universal: each admitted landmark adds constraint weight somewhere, so
+   the best cell's weight never drops round over round. *)
+let prop_anytime_weight_monotone =
+  QCheck.Test.make ~name:"anytime trace: top weight non-decreasing" ~count:10
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 99_999))
+    (fun seed ->
+      let w = World.make (World.spec ~seed ()) in
+      let ctx = Pipeline.with_refine (World.context w) (Some trace_cfg) in
+      let stats = refined_trace ctx (World.observe w (World.random_truth w)) in
+      if stats.Solver.rs_rounds < 2 then
+        QCheck.Test.fail_reportf "seed %d: trace has %d rounds, loop never iterated" seed
+          stats.Solver.rs_rounds;
+      pairwise
+        (fun a b ->
+          if b.Solver.rr_weight < a.Solver.rr_weight -. 1e-9 then
+            QCheck.Test.fail_reportf
+              "seed %d: top weight dropped %.6f -> %.6f at %d landmarks" seed
+              a.Solver.rr_weight b.Solver.rr_weight b.Solver.rr_admitted;
+          if b.Solver.rr_admitted <= a.Solver.rr_admitted then
+            QCheck.Test.fail_reportf "seed %d: admitted count did not advance" seed)
+        stats.Solver.rs_trace;
+      true)
+
+(* Seeds whose geometry refines cleanly: admitting more landmarks only
+   shrinks the best-cell region, the headline anytime property.  Fixed
+   seeds because the area form is not universal — a fresh annulus can
+   promote a larger cell to the top — but on these worlds the trace must
+   stay non-increasing forever. *)
+let area_monotone_seeds = [ 19; 21; 28; 43; 53 ]
+
+let test_anytime_area_monotone () =
+  List.iter
+    (fun seed ->
+      let w = World.make (World.spec ~seed ()) in
+      let ctx = Pipeline.with_refine (World.context w) (Some trace_cfg) in
+      for _ = 1 to 2 do
+        let stats = refined_trace ctx (World.observe w (World.random_truth w)) in
+        pairwise
+          (fun a b ->
+            let tolerance = 1e-9 *. Float.max a.Solver.rr_area_km2 1.0 in
+            if b.Solver.rr_area_km2 > a.Solver.rr_area_km2 +. tolerance then
+              Alcotest.failf "seed %d: best-cell area grew %.3f -> %.3f km2 at %d landmarks"
+                seed a.Solver.rr_area_km2 b.Solver.rr_area_km2 b.Solver.rr_admitted)
+          stats.Solver.rs_trace
+      done)
+    area_monotone_seeds
+
+(* The stats themselves must be coherent: rounds = trace length, skipped
+   accounts for every landmark the budget or the early exit cut. *)
+let test_refine_stats_coherent () =
+  let w = World.make (World.spec ~seed:77 ()) in
+  let budgeted = { trace_cfg with Solver.budget = 7; initial = 3; step = 2 } in
+  let ctx = Pipeline.with_refine (World.context w) (Some budgeted) in
+  let stats = refined_trace ctx (World.observe w (World.random_truth w)) in
+  Alcotest.(check int) "rounds = trace length" stats.Solver.rs_rounds
+    (List.length stats.Solver.rs_trace);
+  Alcotest.(check int) "admitted at most the budget" 7 stats.Solver.rs_admitted;
+  Alcotest.(check int) "admitted + skipped = measured landmarks" n_landmarks
+    (stats.Solver.rs_admitted + stats.Solver.rs_skipped);
+  (match List.rev stats.Solver.rs_trace with
+  | last :: _ ->
+      Alcotest.(check int) "last trace row carries the final admitted count"
+        stats.Solver.rs_admitted last.Solver.rr_admitted
+  | [] -> Alcotest.fail "empty trace");
+  if stats.Solver.rs_early_exit then
+    Alcotest.fail "early exit fired with negative stability thresholds"
+
+(* ------------------------------------------------------------------ *)
+(* Property (c): ranking is permutation-invariant                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_rank_permutation_invariant =
+  QCheck.Test.make ~name:"ranking permutation-invariant over input order" ~count:60
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 999_999))
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let m = 3 + (seed mod 13) in
+      (* (weight, rtt, x, y): continuous draws, so exact ties — the only
+         case where the slot tiebreaker could leak input order — have
+         probability zero. *)
+      let base =
+        Array.init m (fun _ ->
+            ( Stats.Rng.uniform rng 0.1 10.0,
+              Stats.Rng.uniform rng 1.0 80.0,
+              Stats.Rng.uniform rng (-1500.0) 1500.0,
+              Stats.Rng.uniform rng (-1500.0) 1500.0 ))
+      in
+      let focus =
+        Geo.Point.make (Stats.Rng.uniform rng (-300.0) 300.0)
+          (Stats.Rng.uniform rng (-300.0) 300.0)
+      in
+      let features arr =
+        Array.mapi
+          (fun i (w, r, x, y) ->
+            { Rank.slot = i; center = Geo.Point.make x y; rtt_ms = r; weight = w })
+          arr
+      in
+      let ranked arr = Array.to_list (Array.map (fun i -> arr.(i)) (Rank.order ~focus (features arr))) in
+      let reference = ranked base in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let perm = Array.init m Fun.id in
+        Stats.Rng.shuffle rng perm;
+        let shuffled = Array.map (fun i -> base.(i)) perm in
+        if ranked shuffled <> reference then ok := false
+      done;
+      !ok
+      || QCheck.Test.fail_reportf "seed %d: shuffling %d landmarks changed the ranking" seed m)
+
+(* Sanity anchors the qcheck property can't see: every index appears
+   exactly once, and the top pick is the heaviest landmark. *)
+let test_rank_basics () =
+  let rng = Stats.Rng.create 31415 in
+  let m = 11 in
+  let features =
+    Array.init m (fun i ->
+        {
+          Rank.slot = i;
+          center =
+            Geo.Point.make (Stats.Rng.uniform rng 0.0 1500.0) (Stats.Rng.uniform rng 0.0 1500.0);
+          rtt_ms = Stats.Rng.uniform rng 2.0 70.0;
+          weight = Stats.Rng.uniform rng 0.5 9.5;
+        })
+  in
+  let order = Rank.order ~focus:(Geo.Point.make 750.0 750.0) features in
+  Alcotest.(check int) "every landmark ranked" m (Array.length order);
+  let seen = Array.make m false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= m then Alcotest.failf "rank index %d out of range" i;
+      if seen.(i) then Alcotest.failf "rank index %d repeated" i;
+      seen.(i) <- true)
+    order;
+  let heaviest = ref 0 in
+  Array.iteri (fun i f -> if f.Rank.weight > features.(!heaviest).Rank.weight then heaviest := i) features;
+  Alcotest.(check int) "heaviest landmark drafted first" !heaviest order.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Golden refinement trace                                              *)
+(* ------------------------------------------------------------------ *)
+
+let golden_path = "golden/refine_golden.txt"
+
+(* The defaults' anytime shape, shrunk to the fixture world: early exit
+   armed, so the file also pins where the stability test fires. *)
+let golden_cfg =
+  { Solver.default_refine with Solver.budget = 0; Solver.initial = 4; Solver.step = 2 }
+
+let render_golden () =
+  let w = World.make (World.spec ~seed:60601 ()) in
+  let ctx = Pipeline.with_refine (World.context w) (Some golden_cfg) in
+  List.concat
+    (List.init 4 (fun t ->
+         let obs = World.observe w (World.random_truth w) in
+         let est, stats = Pipeline.localize_refined ctx obs in
+         Printf.sprintf
+           "target %d rounds %d admitted %d skipped %d early_exit %b constraints %d skipped_cs %d"
+           t stats.Solver.rs_rounds stats.Solver.rs_admitted stats.Solver.rs_skipped
+           stats.Solver.rs_early_exit stats.Solver.rs_constraints_added
+           stats.Solver.rs_constraints_skipped
+         :: Printf.sprintf "target %d estimate %.9f %.9f %.6f" t
+              est.Estimate.point.Geo.Geodesy.lat est.Estimate.point.Geo.Geodesy.lon
+              est.Estimate.area_km2
+         :: List.mapi
+              (fun r (row : Solver.refine_round) ->
+                Printf.sprintf "target %d round %d admitted %d weight %.6f area %.6f point %.6f %.6f"
+                  t r row.Solver.rr_admitted row.Solver.rr_weight row.Solver.rr_area_km2
+                  row.Solver.rr_point.Geo.Point.x row.Solver.rr_point.Geo.Point.y)
+              stats.Solver.rs_trace))
+
+let test_refine_golden () =
+  match Sys.getenv_opt "OCTANT_REFINE_GOLDEN_WRITE" with
+  | Some path ->
+      Test_support.Golden.write_lines path (render_golden ());
+      Printf.printf "refine golden fixture written to %s\n" path
+  | None ->
+      Test_support.Golden.check ~what:"refine trace"
+        (Test_support.Golden.read_lines golden_path)
+        (render_golden ())
+
+(* ------------------------------------------------------------------ *)
+(* --harden --refine composition                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A 3-colluder coalition steering toward a fake point off the landmark
+   cloud.  Refinement ranks on post-attenuation weights, so the liars
+   hardening downweighted are drafted last (or cut): the refined hardened
+   estimate must not give back what hardening won. *)
+let test_harden_refine_composition () =
+  let n = 14 in
+  let w = World.make (World.spec ~seed:7311 ~n_landmarks:n ()) in
+  let positions = Array.map (fun l -> l.Pipeline.lm_position) w.World.landmarks in
+  let fake = Geo.Geodesy.coord ~lat:27.0 ~lon:(-80.0) in
+  let plan = Netsim.Adversary.coalition ~seed:4177 ~n_landmarks:n ~f:3 ~fake () in
+  let ctx = World.context w in
+  let hctx = Pipeline.with_harden ctx (Some Harden.default) in
+  let hrctx = Pipeline.with_refine hctx (Some Solver.default_refine) in
+  let n_targets = 6 in
+  let errs_h = Array.make n_targets 0.0 and errs_hr = Array.make n_targets 0.0 in
+  for t = 0 to n_targets - 1 do
+    let truth = World.random_truth w in
+    let honest =
+      Array.map (fun l -> w.World.rtt l.Pipeline.lm_position truth) w.World.landmarks
+    in
+    let corrupted = Netsim.Adversary.corrupt_rtts plan ~landmark_positions:positions honest in
+    let obs = Pipeline.observations_of_rtts corrupted in
+    errs_h.(t) <- Estimate.error_miles (Pipeline.localize hctx obs) truth;
+    errs_hr.(t) <- Estimate.error_miles (Pipeline.localize hrctx obs) truth
+  done;
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let mh = median errs_h and mhr = median errs_hr in
+  if mhr > (mh *. 1.25) +. 1e-9 then
+    Alcotest.failf
+      "refinement degraded the hardened solve: median %.1f mi hardened-only, %.1f mi with \
+       --refine (ratio %.3f > 1.25)"
+      mh mhr (mhr /. Float.max mh 1e-9)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "refine",
+      [
+        QCheck_alcotest.to_alcotest prop_full_budget_parity;
+        QCheck_alcotest.to_alcotest prop_anytime_weight_monotone;
+        QCheck_alcotest.to_alcotest prop_rank_permutation_invariant;
+        tc "anytime area monotone on pinned seeds" test_anytime_area_monotone;
+        tc "refine stats coherent" test_refine_stats_coherent;
+        tc "ranking basics" test_rank_basics;
+        Alcotest.test_case "trace matches committed fixture" `Slow test_refine_golden;
+        Alcotest.test_case "--harden --refine composition" `Slow test_harden_refine_composition;
+      ] );
+  ]
