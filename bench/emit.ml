@@ -1,0 +1,68 @@
+(* Shared envelope for the BENCH_<target>.json snapshots.
+
+   Every performance-tracking target goes through {!write}: the same
+   provenance fields (git revision, bench wall time, recommended domain
+   count) in every file, plus a [gates] array recording each acceptance
+   check the target ran.  The file is written {e before} the gates are
+   enforced, so a failed run still leaves its snapshot on disk for
+   debugging and artifact upload; enforcement then prints every breached
+   gate and exits non-zero. *)
+
+module Json = Octant_serve.Json
+
+type gate = { g_name : string; g_pass : bool; g_detail : string }
+
+let gate name pass detail = { g_name = name; g_pass = pass; g_detail = detail }
+
+(* Provenance only; "unknown" wherever git is absent (a source tarball). *)
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let rev = try String.trim (input_line ic) with End_of_file -> "" in
+       match (Unix.close_process_in ic, rev) with
+       | Unix.WEXITED 0, rev when rev <> "" -> rev
+       | _ -> "unknown"
+     with Unix.Unix_error _ | Sys_error _ -> "unknown")
+
+let now () = Unix.gettimeofday ()
+
+let write ~bench ~t0 ?(fields = []) ?(gates = []) ~rows path =
+  let json =
+    Json.Obj
+      ([
+         ("bench", Json.Str bench);
+         ("git_rev", Json.Str (Lazy.force git_rev));
+         ("bench_wall_s", Json.num (now () -. t0));
+         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
+       ]
+      @ fields
+      @ [
+          ("rows", Json.List rows);
+          ( "gates",
+            Json.List
+              (List.map
+                 (fun g ->
+                   Json.Obj
+                     [
+                       ("name", Json.Str g.g_name);
+                       ("pass", Json.Bool g.g_pass);
+                       ("detail", Json.Str g.g_detail);
+                     ])
+                 gates) );
+        ])
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "# wrote %s\n%!" path;
+  let failed = List.filter (fun g -> not g.g_pass) gates in
+  if failed <> [] then begin
+    List.iter
+      (fun g ->
+        Printf.eprintf "%s FAIL: gate %s: %s\n" (String.uppercase_ascii bench) g.g_name
+          g.g_detail)
+      failed;
+    exit 1
+  end

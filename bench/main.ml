@@ -10,6 +10,7 @@
      dune exec bench/main.exe adversary  -- error vs f under colluding Byzantine landmarks
      dune exec bench/main.exe refine     -- adaptive landmark admission, error/clips vs budget
      dune exec bench/main.exe batch      -- multicore batch engine, sequential vs N domains
+     dune exec bench/main.exe shard      -- planet substrate + sharded multi-daemon serving
      dune exec bench/main.exe region     -- region backends: exact vs grid vs hybrid prefilter
      dune exec bench/main.exe geom       -- clip kernels: buffer vs list reference, alloc/op
      dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
@@ -27,15 +28,10 @@ let banner title =
 
 (* Machine-readable snapshots for the performance-tracking targets, named
    BENCH_<target>.json in the working directory (CI uploads them as
-   artifacts and jq-validates the shape). *)
+   artifacts and jq-validates the shape).  Emit owns the shared envelope
+   (git revision, bench wall time, recommended domains, gate results)
+   and the write-then-enforce discipline. *)
 module Json = Octant_serve.Json
-
-let write_json path json =
-  let oc = open_out path in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "# wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2 *)
@@ -128,6 +124,7 @@ let timing study =
 
 let batch () =
   banner "BATCH: multicore batch engine (Pipeline.localize_batch)";
+  let bench_t0 = Emit.now () in
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   let bridge = Eval.Bridge.create deployment in
   let n = Eval.Bridge.host_count bridge in
@@ -178,10 +175,6 @@ let batch () =
   Printf.printf
     "  %-24s %6.2fs   (geometry cache: %d hits, %d misses; telemetry off: %d events)\n%!"
     "sequential localize" t_seq hits misses disabled_events;
-  if disabled_events <> 0 then begin
-    Printf.eprintf "BATCH FAIL: disabled telemetry recorded %d events (want 0)\n" disabled_events;
-    exit 1
-  end;
   (* Rows 2..: telemetry enabled, one fresh aggregate per jobs setting so
      the deterministic signatures are comparable. *)
   let signatures = ref [] in
@@ -300,20 +293,24 @@ let batch () =
     List.iter
       (fun (k, v) ->
         if not (List.mem_assoc k sig1) then Printf.eprintf "  %s: jobs1=absent jobs4=%d\n" k v)
-      sig4;
-    exit 1
+      sig4
   end;
-  write_json "BENCH_batch.json"
-    (Json.Obj
-       [
-         ("bench", Json.Str "batch");
-         ("landmarks", Json.Num (float_of_int n_lm));
-         ("targets", Json.Num (float_of_int n_targets));
-         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
-         ("sequential_s", Json.num t_seq);
-         ("rows", Json.List (List.rev !json_rows));
-         ("deterministic_signature_match", Json.Bool (sig1 = sig4));
-       ])
+  Emit.write ~bench:"batch" ~t0:bench_t0
+    ~fields:
+      [
+        ("landmarks", Json.Num (float_of_int n_lm));
+        ("targets", Json.Num (float_of_int n_targets));
+        ("sequential_s", Json.num t_seq);
+        ("deterministic_signature_match", Json.Bool (sig1 = sig4));
+      ]
+    ~gates:
+      [
+        Emit.gate "telemetry_noop" (disabled_events = 0)
+          (Printf.sprintf "disabled telemetry recorded %d events (want 0)" disabled_events);
+        Emit.gate "deterministic_signature_match" (sig1 = sig4)
+          "deterministic counters and span counts identical across jobs settings";
+      ]
+    ~rows:(List.rev !json_rows) "BENCH_batch.json"
 
 (* ------------------------------------------------------------------ *)
 (* Region backends *)
@@ -327,6 +324,7 @@ let batch () =
    backend wins. *)
 let region_bench () =
   banner "REGION: pluggable region backends (exact | grid | hybrid)";
+  let bench_t0 = Emit.now () in
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   let bridge = Eval.Bridge.create deployment in
   let n = Eval.Bridge.host_count bridge in
@@ -467,28 +465,24 @@ let region_bench () =
   (* The hybrid backend earns its keep only if the prefilter actually
      fires and the answer stays close to exact; fail loudly otherwise so
      CI catches a regressed prefilter. *)
-  if !hybrid_skip_ratio < 0.30 then begin
-    Printf.eprintf "REGION FAIL: hybrid prefilter skipped %.0f%% of clip pairs (want >= 30%%)\n"
-      (100.0 *. !hybrid_skip_ratio);
-    exit 1
-  end;
-  if !hybrid_err_pct > 5.0 then begin
-    Printf.eprintf
-      "REGION FAIL: hybrid median error %.1f%% away from exact (want within 5%%)\n"
-      !hybrid_err_pct;
-    exit 1
-  end;
-  write_json "BENCH_region.json"
-    (Json.Obj
-       [
-         ("bench", Json.Str "region");
-         ("landmarks", Json.Num (float_of_int n_lm));
-         ("targets", Json.Num (float_of_int n_targets));
-         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
-         ("rows", Json.List (List.rev !json_rows));
-         ("hybrid_skip_ratio", Json.num !hybrid_skip_ratio);
-         ("hybrid_median_error_vs_exact_pct", Json.num !hybrid_err_pct);
-       ])
+  Emit.write ~bench:"region" ~t0:bench_t0
+    ~fields:
+      [
+        ("landmarks", Json.Num (float_of_int n_lm));
+        ("targets", Json.Num (float_of_int n_targets));
+        ("hybrid_skip_ratio", Json.num !hybrid_skip_ratio);
+        ("hybrid_median_error_vs_exact_pct", Json.num !hybrid_err_pct);
+      ]
+    ~gates:
+      [
+        Emit.gate "hybrid_skip_ratio" (!hybrid_skip_ratio >= 0.30)
+          (Printf.sprintf "hybrid prefilter skipped %.0f%% of clip pairs (want >= 30%%)"
+             (100.0 *. !hybrid_skip_ratio));
+        Emit.gate "hybrid_error_vs_exact" (!hybrid_err_pct <= 5.0)
+          (Printf.sprintf "hybrid median error %.1f%% away from exact (want within 5%%)"
+             !hybrid_err_pct);
+      ]
+    ~rows:(List.rev !json_rows) "BENCH_region.json"
 
 (* ------------------------------------------------------------------ *)
 (* Geometry kernels *)
@@ -504,6 +498,7 @@ let region_bench () =
    start consing again. *)
 let geom () =
   banner "GEOM: clip kernel throughput and allocation, buffer vs list-based reference";
+  let bench_t0 = Emit.now () in
   let segments = 48 in
   let n_items = 120 in
   let reps = 3 in
@@ -645,19 +640,23 @@ let geom () =
   in
   Printf.printf "  minimum allocation reduction across ops: %.1fx (acceptance: >= 5x)\n%!"
     min_reduction;
-  write_json "BENCH_geom.json"
-    (Json.Obj
-       [
-         ("bench", Json.Str "geom");
-         ("segments", Json.Num (float_of_int segments));
-         ("pairs", Json.Num (float_of_int n_items));
-         ("reps", Json.Num (float_of_int reps));
-         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
-         ("rows", Json.List (List.rev !rows));
-         ( "alloc_reduction",
-           Json.Obj (List.rev_map (fun (n, r) -> (n, Json.num r)) !reductions) );
-         ("min_alloc_reduction", Json.num min_reduction);
-       ])
+  Emit.write ~bench:"geom" ~t0:bench_t0
+    ~fields:
+      [
+        ("segments", Json.Num (float_of_int segments));
+        ("pairs", Json.Num (float_of_int n_items));
+        ("reps", Json.Num (float_of_int reps));
+        ( "alloc_reduction",
+          Json.Obj (List.rev_map (fun (n, r) -> (n, Json.num r)) !reductions) );
+        ("min_alloc_reduction", Json.num min_reduction);
+      ]
+    ~gates:
+      [
+        Emit.gate "min_alloc_reduction" (min_reduction >= 5.0)
+          (Printf.sprintf
+             "minimum allocation reduction across ops %.1fx (acceptance: >= 5x)" min_reduction);
+      ]
+    ~rows:(List.rev !rows) "BENCH_geom.json"
 
 (* ------------------------------------------------------------------ *)
 (* Serving layer *)
@@ -680,6 +679,7 @@ let bench_read_exactly fd buf n =
 
 let serve_bench () =
   banner "SERVE: localization daemon (Octant_serve) over loopback TCP";
+  let bench_t0 = Emit.now () in
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   let bridge = Eval.Bridge.create deployment in
   let n = Eval.Bridge.host_count bridge in
@@ -726,6 +726,9 @@ let serve_bench () =
   let n_clients = 4 in
   Printf.printf "# %d landmarks, %d distinct requests, %d clients\n%!" n_lm n_targets n_clients;
   let rows = ref [] in
+  (* Gate inputs, mirrored by CI's jq re-validation of the snapshot. *)
+  let wire_rps = Hashtbl.create 4 in
+  let min_wire_hit_rate = ref infinity in
   (* One measured configuration of the daemon.
 
      [workload]: ["solve"] replays the committed-baseline shape — two
@@ -839,6 +842,10 @@ let serve_bench () =
       else float_of_int cache.Octant_serve.Lru.hits /. float_of_int lookups
     in
     let codec_name = match codec with `Json -> "json" | `Binary -> "binary" in
+    if workload = "wire" then begin
+      if jobs = 1 && shards = 8 then Hashtbl.replace wire_rps codec_name rps;
+      min_wire_hit_rate := Float.min !min_wire_hit_rate hit_rate
+    end;
     Printf.printf
       "  %-5s %-6s jobs=%d shards=%-2d %5d requests in %6.2fs  %8.1f req/s   p50=%6.2f ms  \
        p99=%6.2f ms  hit rate %.0f%%\n%!"
@@ -877,16 +884,336 @@ let serve_bench () =
     (fun (codec, shards) ->
       run_case ~workload:"wire" ~codec ~jobs:1 ~shards ~timed_passes:20 ~warm:true)
     [ (`Json, 1); (`Json, 8); (`Binary, 1); (`Binary, 8) ];
-  write_json "BENCH_serve.json"
-    (Json.Obj
-       [
-         ("bench", Json.Str "serve");
-         ("landmarks", Json.Num (float_of_int n_lm));
-         ("distinct_requests", Json.Num (float_of_int n_targets));
-         ("clients", Json.Num (float_of_int n_clients));
-         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
-         ("rows", Json.List (List.rev !rows));
-       ])
+  let wire_rate codec = Option.value ~default:0.0 (Hashtbl.find_opt wire_rps codec) in
+  Emit.write ~bench:"serve" ~t0:bench_t0
+    ~fields:
+      [
+        ("landmarks", Json.Num (float_of_int n_lm));
+        ("distinct_requests", Json.Num (float_of_int n_targets));
+        ("clients", Json.Num (float_of_int n_clients));
+      ]
+    ~gates:
+      [
+        Emit.gate "wire_json_rps" (wire_rate "json" >= 100.0)
+          (Printf.sprintf "hot json jobs=1 shards=8 row at %.1f req/s (want >= 100)"
+             (wire_rate "json"));
+        Emit.gate "wire_binary_rps" (wire_rate "binary" >= 100.0)
+          (Printf.sprintf "hot binary jobs=1 shards=8 row at %.1f req/s (want >= 100)"
+             (wire_rate "binary"));
+        Emit.gate "wire_cache_hit_rate" (!min_wire_hit_rate >= 0.9)
+          (Printf.sprintf "lowest wire-workload cache hit rate %.2f (want >= 0.9)"
+             !min_wire_hit_rate);
+      ]
+    ~rows:(List.rev !rows) "BENCH_serve.json"
+
+(* ------------------------------------------------------------------ *)
+(* Planet substrate + sharded serving *)
+(* ------------------------------------------------------------------ *)
+
+(* Two sections.  The substrate section streams every target of a
+   planet-scale world (O(10k) routers, O(1k) landmarks, O(100k) targets)
+   and gates on flat heap growth — targets are pure functions of
+   seed * index, so streaming must not accumulate state — plus
+   streamed-vs-eager bit parity on a small world.
+
+   The serving section measures the octant_shard front over 1, 2, and 4
+   octant_served backends on a hot-cache wire workload whose distinct
+   request set exceeds one backend's LRU capacity.  On a single-core
+   runner the scaling win comes from aggregate cache capacity, not
+   parallelism: one backend thrashes its LRU (every request pays the
+   solver), while the consistent-hash split gives each of two backends a
+   key range that fits, so the measured window is pure serving stack.
+   The 2-backend row must clear [shard_min_scaling_2x] times the
+   1-backend row; CI re-validates the committed snapshot with jq. *)
+let shard_min_scaling_2x = 1.6
+
+let shard_bench () =
+  banner "SHARD: planet substrate streaming + consistent-hash fan-out (octant_shard)";
+  let bench_t0 = Emit.now () in
+  (* --- Substrate section ------------------------------------------- *)
+  let world = Netsim.Planet.create ~seed () in
+  let p = Netsim.Planet.params world in
+  let create_s = Emit.now () -. bench_t0 in
+  Printf.printf "# planet world: %d routers, %d landmarks, %d streamable targets (%.2fs)\n%!"
+    p.Netsim.Planet.n_routers p.Netsim.Planet.n_landmarks p.Netsim.Planet.n_targets create_s;
+  (* Flat memory is judged on live words, not chunk sizes: heap_words is
+     the major heap's high-water mark and (on runtimes where compaction
+     is a no-op) pool slack from transient per-target allocations would
+     read as "growth" even though the stream retains nothing. *)
+  Gc.compact ();
+  let heap_before = (Gc.stat ()).Gc.live_words in
+  let t0 = Emit.now () in
+  let checksum =
+    Netsim.Planet.fold_targets world ~init:0.0 ~f:(fun acc _target rtts ->
+        acc +. rtts.(0) +. rtts.(Array.length rtts - 1))
+  in
+  let stream_s = Emit.now () -. t0 in
+  Gc.compact ();
+  let heap_after = (Gc.stat ()).Gc.live_words in
+  let heap_growth = float_of_int heap_after /. float_of_int (Stdlib.max 1 heap_before) in
+  let targets_per_s = float_of_int p.Netsim.Planet.n_targets /. stream_s in
+  Printf.printf
+    "  streamed %d targets x %d landmarks in %6.2fs (%8.0f targets/s)  checksum %.3f\n%!"
+    p.Netsim.Planet.n_targets p.Netsim.Planet.n_landmarks stream_s targets_per_s checksum;
+  Printf.printf "  live heap: %d -> %d words across the stream (growth %.3fx)\n%!" heap_before
+    heap_after heap_growth;
+  (* Streamed-vs-eager parity on a world small enough to materialize:
+     shuffled lazy access must reproduce the eager tables bit for bit. *)
+  let small =
+    Netsim.Planet.create
+      ~params:
+        {
+          Netsim.Planet.default_params with
+          Netsim.Planet.n_routers = 200;
+          n_landmarks = 16;
+          n_targets = 300;
+        }
+      ~seed ()
+  in
+  let eager_targets, eager_rtts = Netsim.Planet.eager small in
+  let order = Array.init (Array.length eager_targets) Fun.id in
+  let rng = Stats.Rng.create 99 in
+  for i = Array.length order - 1 downto 1 do
+    let j = Stats.Rng.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  let stream_parity =
+    Array.for_all
+      (fun i ->
+        let tgt = Netsim.Planet.target small i in
+        tgt = eager_targets.(i) && Netsim.Planet.rtt_vector small tgt = eager_rtts.(i))
+      order
+  in
+  Printf.printf "  streamed vs eager on a 300-target world (shuffled access): %s\n%!"
+    (if stream_parity then "bit-identical" else "DIVERGED");
+  (* --- Serving section --------------------------------------------- *)
+  let n_landmarks_ctx = 32 in
+  let ctx = Eval.Planet_bridge.prepare ~count:n_landmarks_ctx world in
+  let n_requests = 320 in
+  let cache_capacity = 256 in
+  let bin_requests =
+    Array.init n_requests (fun i ->
+        let obs =
+          Eval.Planet_bridge.observations ~count:n_landmarks_ctx world
+            (Netsim.Planet.target world i)
+        in
+        Octant_serve.Protocol.Binary.frame
+          (Octant_serve.Protocol.Binary.encode_request
+             (Octant_serve.Protocol.Localize
+                {
+                  Octant_serve.Protocol.id = Json.Num (float_of_int i);
+                  rtt_ms = obs.Octant.Pipeline.target_rtt_ms;
+                  whois = None;
+                  deadline_ms = None;
+                  want_audit = false;
+                })))
+  in
+  let n_clients = 4 in
+  Printf.printf
+    "# front + N in-process backends; %d distinct requests vs %d-entry backend caches, %d \
+     binary clients\n\
+     # (one backend's LRU thrashes; two backends' aggregate capacity fits the key space)\n%!"
+    n_requests cache_capacity n_clients;
+  let connect port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    bench_write_all fd Octant_serve.Protocol.Binary.magic;
+    fd
+  in
+  let reply_reader fd =
+    let hdr = Bytes.create Octant_serve.Protocol.Binary.header_length in
+    let payload = Bytes.create 65536 in
+    fun () ->
+      bench_read_exactly fd hdr Octant_serve.Protocol.Binary.header_length;
+      let len = Octant_serve.Protocol.Binary.decode_length (Bytes.to_string hdr) in
+      if len > Bytes.length payload then
+        failwith (Printf.sprintf "implausible binary reply length %d (desynced?)" len);
+      bench_read_exactly fd payload len
+  in
+  let rows = ref [] in
+  let rps_by_backends = Hashtbl.create 4 in
+  let run_row n_backends =
+    let servers =
+      List.init n_backends (fun _ ->
+          Octant_serve.Server.start
+            ~config:
+              {
+                Octant_serve.Server.default_config with
+                Octant_serve.Server.jobs = Some 1;
+                batch_delay_s = 0.0005;
+                cache_capacity;
+                cache_shards = 8;
+              }
+            ~ctx ())
+    in
+    let backend_addrs =
+      List.map (fun srv -> ("127.0.0.1", Octant_serve.Server.port srv)) servers
+    in
+    let front_config backends =
+      { Octant_serve.Shard.default_config with Octant_serve.Shard.backends }
+    in
+    (* Warm through a throwaway front so backend caches hold their key
+       range, then measure through a fresh front whose latency
+       histograms see only the hot window.  Both fronts route on the
+       same ring (same backend names), so the split is identical. *)
+    let warm_front = Octant_serve.Shard.start ~config:(front_config backend_addrs) () in
+    let fd = connect (Octant_serve.Shard.port warm_front) in
+    let read_reply = reply_reader fd in
+    Array.iter
+      (fun req ->
+        bench_write_all fd req;
+        read_reply ())
+      bin_requests;
+    Unix.close fd;
+    Octant_serve.Shard.stop warm_front;
+    let cache_base =
+      List.map
+        (fun srv ->
+          let s = Octant_serve.Server.cache_stats srv in
+          (s.Octant_serve.Lru.hits, s.Octant_serve.Lru.misses))
+        servers
+    in
+    let front = Octant_serve.Shard.start ~config:(front_config backend_addrs) () in
+    let port = Octant_serve.Shard.port front in
+    let timed_passes = if n_backends = 1 then 2 else 12 in
+    let latencies = Array.make n_clients [] in
+    let client c () =
+      let fd = connect port in
+      let read_reply = reply_reader fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          for _pass = 1 to timed_passes do
+            Array.iteri
+              (fun i req ->
+                if i mod n_clients = c then begin
+                  let t0 = Unix.gettimeofday () in
+                  bench_write_all fd req;
+                  read_reply ();
+                  latencies.(c) <- (Unix.gettimeofday () -. t0) :: latencies.(c)
+                end)
+              bin_requests
+          done)
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = Array.init n_clients (fun c -> Thread.create (client c) ()) in
+    Array.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let shard_stats = Octant_serve.Shard.backend_stats front in
+    Octant_serve.Shard.stop front;
+    let hits, misses =
+      List.fold_left2
+        (fun (h, m) srv (h0, m0) ->
+          let s = Octant_serve.Server.cache_stats srv in
+          (h + s.Octant_serve.Lru.hits - h0, m + s.Octant_serve.Lru.misses - m0))
+        (0, 0) servers cache_base
+    in
+    List.iter Octant_serve.Server.stop servers;
+    let hit_rate =
+      if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses)
+    in
+    let lat_ms =
+      Array.of_list
+        (List.concat_map (fun l -> List.map (fun s -> 1000.0 *. s) l) (Array.to_list latencies))
+    in
+    let total = Array.length lat_ms in
+    let rps = float_of_int total /. wall in
+    let p50 = Stats.Sample.percentile 50.0 lat_ms in
+    let p99 = Stats.Sample.percentile 99.0 lat_ms in
+    let max_shard_p99 =
+      List.fold_left
+        (fun acc (bs : Octant_serve.Shard.backend_stat) ->
+          if Float.is_nan bs.Octant_serve.Shard.bs_p99_ms then acc
+          else Float.max acc bs.Octant_serve.Shard.bs_p99_ms)
+        0.0 shard_stats
+    in
+    Hashtbl.replace rps_by_backends n_backends rps;
+    Printf.printf
+      "  backends=%d %5d requests in %6.2fs  %8.1f req/s   p50=%6.2f ms  p99=%6.2f ms  \
+       max shard p99=%6.2f ms  hit rate %.0f%%\n%!"
+      n_backends total wall rps p50 p99 max_shard_p99 (100.0 *. hit_rate);
+    List.iter
+      (fun (bs : Octant_serve.Shard.backend_stat) ->
+        Printf.printf "    %-22s sent %5d  replies %5d  p50=%6.2f ms  p99=%6.2f ms\n%!"
+          bs.Octant_serve.Shard.bs_name bs.Octant_serve.Shard.bs_sent
+          bs.Octant_serve.Shard.bs_replies bs.Octant_serve.Shard.bs_p50_ms
+          bs.Octant_serve.Shard.bs_p99_ms)
+      shard_stats;
+    rows :=
+      Json.Obj
+        [
+          ("backends", Json.Num (float_of_int n_backends));
+          ("requests", Json.Num (float_of_int total));
+          ("wall_s", Json.num wall);
+          ("requests_per_s", Json.num rps);
+          ("p50_ms", Json.num p50);
+          ("p99_ms", Json.num p99);
+          ("max_shard_p99_ms", Json.num max_shard_p99);
+          ("cache_hits", Json.Num (float_of_int hits));
+          ("cache_misses", Json.Num (float_of_int misses));
+          ("cache_hit_rate", Json.num hit_rate);
+          ( "shards",
+            Json.List
+              (List.map
+                 (fun (bs : Octant_serve.Shard.backend_stat) ->
+                   Json.Obj
+                     [
+                       ("name", Json.Str bs.Octant_serve.Shard.bs_name);
+                       ("sent", Json.Num (float_of_int bs.Octant_serve.Shard.bs_sent));
+                       ("replies", Json.Num (float_of_int bs.Octant_serve.Shard.bs_replies));
+                       ("p50_ms", Json.num bs.Octant_serve.Shard.bs_p50_ms);
+                       ("p99_ms", Json.num bs.Octant_serve.Shard.bs_p99_ms);
+                     ])
+                 shard_stats) );
+        ]
+      :: !rows
+  in
+  List.iter run_row [ 1; 2; 4 ];
+  let rps n = Option.value ~default:0.0 (Hashtbl.find_opt rps_by_backends n) in
+  let scaling_2x = rps 2 /. Float.max (rps 1) 1e-9 in
+  Printf.printf "# gates: 2-backend throughput %.2fx the 1-backend row (want >= %.1fx)\n%!"
+    scaling_2x shard_min_scaling_2x;
+  Emit.write ~bench:"shard" ~t0:bench_t0
+    ~fields:
+      [
+        ( "substrate",
+          Json.Obj
+            [
+              ("routers", Json.Num (float_of_int p.Netsim.Planet.n_routers));
+              ("landmarks", Json.Num (float_of_int p.Netsim.Planet.n_landmarks));
+              ("targets", Json.Num (float_of_int p.Netsim.Planet.n_targets));
+              ("create_s", Json.num create_s);
+              ("stream_s", Json.num stream_s);
+              ("targets_per_s", Json.num targets_per_s);
+              ("live_words_before", Json.Num (float_of_int heap_before));
+              ("live_words_after", Json.Num (float_of_int heap_after));
+              ("live_growth_ratio", Json.num heap_growth);
+              ("checksum", Json.num checksum);
+            ] );
+        ("ctx_landmarks", Json.Num (float_of_int n_landmarks_ctx));
+        ("distinct_requests", Json.Num (float_of_int n_requests));
+        ("backend_cache_capacity", Json.Num (float_of_int cache_capacity));
+        ("clients", Json.Num (float_of_int n_clients));
+        ("scaling_2x_ratio", Json.num scaling_2x);
+        ("min_scaling_2x", Json.num shard_min_scaling_2x);
+      ]
+    ~gates:
+      [
+        Emit.gate "stream_parity" stream_parity
+          "shuffled streamed targets bit-identical to the eager tables";
+        Emit.gate "flat_memory" (heap_growth <= 1.2)
+          (Printf.sprintf
+             "live heap grew %.3fx across a %d-target stream (want <= 1.2x: streaming must \
+              not accumulate state)"
+             heap_growth p.Netsim.Planet.n_targets);
+        Emit.gate "scaling_2x" (scaling_2x >= shard_min_scaling_2x)
+          (Printf.sprintf "2-backend throughput %.2fx the 1-backend row (want >= %.1fx)"
+             scaling_2x shard_min_scaling_2x);
+      ]
+    ~rows:(List.rev !rows) "BENCH_shard.json"
 
 (* ------------------------------------------------------------------ *)
 (* Adaptive refinement (--landmark-budget / --refine) *)
@@ -903,6 +1230,7 @@ let refine_max_default_clips_ratio = 0.75
 
 let refine_bench () =
   banner "REFINE: adaptive landmark admission, error and clip work vs budget";
+  let bench_t0 = Emit.now () in
   let deployment = Netsim.Deployment.make ~seed ~n_hosts () in
   let bridge = Eval.Bridge.create deployment in
   let n = Eval.Bridge.host_count bridge in
@@ -997,10 +1325,6 @@ let refine_bench () =
   in
   Printf.printf "  full-budget parity vs unbudgeted: %s\n%!"
     (if full_budget_parity then "bit-identical" else "DIVERGED");
-  if not full_budget_parity then begin
-    Printf.eprintf "REFINE FAIL: full-budget refined solve diverged from the unbudgeted solver\n";
-    exit 1
-  end;
   (* Budget sweep: the anytime defaults at several caps; budget 0 rides
      the sweep as "every landmark, anytime order" so the early-exit
      distribution at the far end is visible too. *)
@@ -1075,36 +1399,36 @@ let refine_bench () =
     default_error_ratio refine_max_default_error_ratio default_clips_ratio
     refine_max_default_clips_ratio
     (if full_budget_parity then "ok" else "FAIL");
-  if default_error_ratio > refine_max_default_error_ratio then begin
-    Printf.eprintf
-      "REFINE FAIL: default-budget median error is %.3fx the full-landmark solve (want <= %.2fx)\n"
-      default_error_ratio refine_max_default_error_ratio;
-    exit 1
-  end;
-  if default_clips_ratio > refine_max_default_clips_ratio then begin
-    Printf.eprintf
-      "REFINE FAIL: default budget only cut clips to %.3fx of unbudgeted (want <= %.2fx)\n"
-      default_clips_ratio refine_max_default_clips_ratio;
-    exit 1
-  end;
-  write_json "BENCH_refine.json"
-    (Json.Obj
-       [
-         ("bench", Json.Str "refine");
-         ("landmarks", Json.Num (float_of_int n_lm));
-         ("targets", Json.Num (float_of_int n_targets));
-         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
-         ("unbudgeted_median_error_miles", Json.num (Stats.Sample.median base_errs));
-         ("unbudgeted_p90_error_miles", Json.num (Stats.Sample.percentile 90.0 base_errs));
-         ("unbudgeted_clips_per_target", Json.num base_clips_per_target);
-         ("unbudgeted_wall_s", Json.num base_t);
-         ("rows", Json.List (List.rev !json_rows));
-         ("full_budget_parity", Json.Bool full_budget_parity);
-         ("default_error_ratio_vs_full", Json.num default_error_ratio);
-         ("default_clips_ratio_vs_full", Json.num default_clips_ratio);
-         ("max_default_error_ratio", Json.num refine_max_default_error_ratio);
-         ("max_default_clips_ratio", Json.num refine_max_default_clips_ratio);
-       ])
+  Emit.write ~bench:"refine" ~t0:bench_t0
+    ~fields:
+      [
+        ("landmarks", Json.Num (float_of_int n_lm));
+        ("targets", Json.Num (float_of_int n_targets));
+        ("unbudgeted_median_error_miles", Json.num (Stats.Sample.median base_errs));
+        ("unbudgeted_p90_error_miles", Json.num (Stats.Sample.percentile 90.0 base_errs));
+        ("unbudgeted_clips_per_target", Json.num base_clips_per_target);
+        ("unbudgeted_wall_s", Json.num base_t);
+        ("full_budget_parity", Json.Bool full_budget_parity);
+        ("default_error_ratio_vs_full", Json.num default_error_ratio);
+        ("default_clips_ratio_vs_full", Json.num default_clips_ratio);
+        ("max_default_error_ratio", Json.num refine_max_default_error_ratio);
+        ("max_default_clips_ratio", Json.num refine_max_default_clips_ratio);
+      ]
+    ~gates:
+      [
+        Emit.gate "full_budget_parity" full_budget_parity
+          "full-budget refined solve bit-identical to the unbudgeted solver";
+        Emit.gate "default_error_ratio"
+          (default_error_ratio <= refine_max_default_error_ratio)
+          (Printf.sprintf
+             "default-budget median error %.3fx the full-landmark solve (want <= %.2fx)"
+             default_error_ratio refine_max_default_error_ratio);
+        Emit.gate "default_clips_ratio"
+          (default_clips_ratio <= refine_max_default_clips_ratio)
+          (Printf.sprintf "default budget cut clips to %.3fx of unbudgeted (want <= %.2fx)"
+             default_clips_ratio refine_max_default_clips_ratio);
+      ]
+    ~rows:(List.rev !json_rows) "BENCH_refine.json"
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4 *)
@@ -1175,6 +1499,7 @@ let adv_min_geolim_empty_f3 = 0.5
 
 let adversary_bench () =
   banner "ADVERSARY: colluding landmarks, error vs coalition size f (BFT-PoLoc threat model)";
+  let bench_t0 = Emit.now () in
   let n_hosts = 41 in
   let fs = [ 0; 1; 2; 3; 4 ] in
   let points = Eval.Adversarial.run ~seed ~n_hosts ~fs () in
@@ -1216,26 +1541,6 @@ let adversary_bench () =
     parity_ratio adv_max_parity_ratio_f0 hardened_f3_multiple adv_max_hardened_f3_multiple
     (100.0 *. p3.geolim_empty_rate)
     (100.0 *. adv_min_geolim_empty_f3);
-  if parity_ratio > adv_max_parity_ratio_f0 then begin
-    Printf.eprintf
-      "ADVERSARY FAIL: zero-adversary parity ratio %.2f exceeds %.2f (hardening distorts the \
-       clean run)\n"
-      parity_ratio adv_max_parity_ratio_f0;
-    exit 1
-  end;
-  if hardened_f3_multiple > adv_max_hardened_f3_multiple then begin
-    Printf.eprintf
-      "ADVERSARY FAIL: hardened median at f=3 is %.2fx the clean run (want <= %.1fx)\n"
-      hardened_f3_multiple adv_max_hardened_f3_multiple;
-    exit 1
-  end;
-  if p3.geolim_empty_rate < adv_min_geolim_empty_f3 then begin
-    Printf.eprintf
-      "ADVERSARY FAIL: GeoLim empty-rate at f=3 is %.0f%% (expected collapse >= %.0f%%)\n"
-      (100.0 *. p3.geolim_empty_rate)
-      (100.0 *. adv_min_geolim_empty_f3);
-    exit 1
-  end;
   let json_rows =
     List.map
       (fun (p : Eval.Adversarial.point) ->
@@ -1253,21 +1558,34 @@ let adversary_bench () =
           ])
       points
   in
-  write_json "BENCH_adversary.json"
-    (Json.Obj
-       [
-         ("bench", Json.Str "adversary");
-         ("scenario", Json.Str "coalition");
-         ("hosts", Json.Num (float_of_int n_hosts));
-         ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));
-         ("rows", Json.List json_rows);
-         ("parity_ratio_f0", Json.num parity_ratio);
-         ("hardened_f3_multiple", Json.num hardened_f3_multiple);
-         ("geolim_empty_rate_f3", Json.num p3.geolim_empty_rate);
-         ("max_parity_ratio_f0", Json.num adv_max_parity_ratio_f0);
-         ("max_hardened_f3_multiple", Json.num adv_max_hardened_f3_multiple);
-         ("min_geolim_empty_f3", Json.num adv_min_geolim_empty_f3);
-       ])
+  Emit.write ~bench:"adversary" ~t0:bench_t0
+    ~fields:
+      [
+        ("scenario", Json.Str "coalition");
+        ("hosts", Json.Num (float_of_int n_hosts));
+        ("parity_ratio_f0", Json.num parity_ratio);
+        ("hardened_f3_multiple", Json.num hardened_f3_multiple);
+        ("geolim_empty_rate_f3", Json.num p3.geolim_empty_rate);
+        ("max_parity_ratio_f0", Json.num adv_max_parity_ratio_f0);
+        ("max_hardened_f3_multiple", Json.num adv_max_hardened_f3_multiple);
+        ("min_geolim_empty_f3", Json.num adv_min_geolim_empty_f3);
+      ]
+    ~gates:
+      [
+        Emit.gate "parity_f0" (parity_ratio <= adv_max_parity_ratio_f0)
+          (Printf.sprintf
+             "zero-adversary parity ratio %.2f (want <= %.2f; hardening must not distort the \
+              clean run)"
+             parity_ratio adv_max_parity_ratio_f0);
+        Emit.gate "hardened_f3" (hardened_f3_multiple <= adv_max_hardened_f3_multiple)
+          (Printf.sprintf "hardened median at f=3 is %.2fx the clean run (want <= %.1fx)"
+             hardened_f3_multiple adv_max_hardened_f3_multiple);
+        Emit.gate "geolim_collapse_f3" (p3.geolim_empty_rate >= adv_min_geolim_empty_f3)
+          (Printf.sprintf "GeoLim empty-rate at f=3 is %.0f%% (expected collapse >= %.0f%%)"
+             (100.0 *. p3.geolim_empty_rate)
+             (100.0 *. adv_min_geolim_empty_f3));
+      ]
+    ~rows:json_rows "BENCH_adversary.json"
 
 (* ------------------------------------------------------------------ *)
 (* Secondary landmarks (paper section 2: primary vs secondary landmarks) *)
@@ -1416,6 +1734,7 @@ let () =
   | "timing" -> timing (Eval.Study.run ~seed ~n_hosts ())
   | "batch" -> batch ()
   | "serve" -> serve_bench ()
+  | "shard" -> shard_bench ()
   | "region" -> region_bench ()
   | "geom" -> geom ()
   | "micro" -> micro ()
@@ -1432,9 +1751,10 @@ let () =
       timing study;
       batch ();
       serve_bench ();
+      shard_bench ();
       region_bench ();
       geom ();
       micro ()
   | other ->
-      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|adversary|refine|secondary|vivaldi|timing|batch|serve|region|geom|micro|all)\n" other;
+      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|adversary|refine|secondary|vivaldi|timing|batch|serve|shard|region|geom|micro|all)\n" other;
       exit 1

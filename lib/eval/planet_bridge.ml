@@ -1,0 +1,30 @@
+let clamp_count t count =
+  let n = Netsim.Planet.n_landmarks t in
+  match count with
+  | None -> n
+  | Some c ->
+      if c < 3 || c > n then
+        invalid_arg (Printf.sprintf "Planet_bridge: count %d outside [3, %d]" c n);
+      c
+
+let landmarks_for ?count t =
+  let k = clamp_count t count in
+  Array.init k (fun i ->
+      { Octant.Pipeline.lm_key = i; lm_position = Netsim.Planet.landmark_position t i })
+
+let inter_rtt_for ?count t =
+  let k = clamp_count t count in
+  let full = Netsim.Planet.inter_landmark_rtt t in
+  Array.init k (fun a -> Array.init k (fun b -> full.(a).(b)))
+
+let observations ?count t target =
+  let k = clamp_count t count in
+  Octant.Pipeline.observations_of_rtts
+    (Array.init k (fun lm -> Netsim.Planet.rtt_ms t ~lm target))
+
+let prepare ?config ?count t =
+  let landmarks = landmarks_for ?count t in
+  let inter = inter_rtt_for ?count t in
+  match config with
+  | None -> Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter ()
+  | Some config -> Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter ()

@@ -1,0 +1,28 @@
+(** {!Netsim.Planet} worlds as {!Octant.Pipeline} inputs.
+
+    {!Bridge} adapts the fully-materialized {!Netsim.Deployment}; this
+    module adapts the streamed planet substrate.  Planet targets carry
+    latency vectors only (no traceroutes, no whois), so observations go
+    through {!Octant.Pipeline.observations_of_rtts} — exactly the shape
+    a served localize request has on the wire.
+
+    [count] selects a prefix of the world's landmark set (a planet world
+    carries O(1k) landmarks; a serving context over all of them is
+    rarely what a benchmark wants).  Defaults to every landmark. *)
+
+val landmarks_for : ?count:int -> Netsim.Planet.t -> Octant.Pipeline.landmark array
+(** Landmark [i] of the world becomes [lm_key = i] at its position. *)
+
+val inter_rtt_for : ?count:int -> Netsim.Planet.t -> float array array
+(** The [count * count] prefix of the world's inter-landmark matrix. *)
+
+val observations : ?count:int -> Netsim.Planet.t -> Netsim.Planet.target -> Octant.Pipeline.observations
+(** Latency-only observations of a target from the first [count]
+    landmarks. *)
+
+val prepare :
+  ?config:Octant.Pipeline.config ->
+  ?count:int ->
+  Netsim.Planet.t ->
+  Octant.Pipeline.context
+(** [Pipeline.prepare] over the first [count] landmarks of the world. *)

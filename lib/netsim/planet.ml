@@ -1,0 +1,498 @@
+(* Planet-scale substrate: materialized backbone + routers + landmarks,
+   streamed targets.  See planet.mli for the representation argument.
+
+   Determinism layout: every materialized or streamed entity draws from
+   a generator seeded by a splitmix64 finalizer over (world seed, a
+   role tag, the entity index), never from a shared sequential stream —
+   that is what makes [target] order-independent and lets the eager and
+   streaming paths agree bit for bit. *)
+
+type params = {
+  n_routers : int;
+  n_landmarks : int;
+  n_targets : int;
+  n_providers : int;
+  pop_presence : float;
+  fiber_inflation_lo : float;
+  fiber_inflation_hi : float;
+  peering_penalty_ms : float;
+  router_height_mean_ms : float;
+  host_height_mean_ms : float;
+  host_height_floor_ms : float;
+  scatter_km : float;
+  metro_hop_ms : float;
+  jitter_mean_ms : float;
+}
+
+let default_params =
+  {
+    n_routers = 10_000;
+    n_landmarks = 1_000;
+    n_targets = 100_000;
+    n_providers = 4;
+    pop_presence = 0.75;
+    fiber_inflation_lo = 1.15;
+    fiber_inflation_hi = 1.6;
+    peering_penalty_ms = 5.0;
+    router_height_mean_ms = 0.3;
+    host_height_mean_ms = 1.2;
+    host_height_floor_ms = 0.4;
+    scatter_km = 25.0;
+    metro_hop_ms = 0.3;
+    jitter_mean_ms = 0.25;
+  }
+
+type target = {
+  t_index : int;
+  t_position : Geo.Geodesy.coord;
+  t_router : int;
+  t_last_mile_ms : float;
+  t_height_ms : float;
+}
+
+(* A backbone PoP: one (provider, hub city) pair. *)
+type pop = { pop_provider : int; pop_city : City.t }
+
+type router = {
+  r_position : Geo.Geodesy.coord;
+  r_height_ms : float;
+  (* Dual-homed to the provider's two nearest PoPs. *)
+  r_pop_a : int;
+  r_leg_a_ms : float;
+  r_pop_b : int;
+  r_leg_b_ms : float;
+}
+
+type host = {
+  h_position : Geo.Geodesy.coord;
+  h_router : int;
+  h_last_mile_ms : float;
+  h_height_ms : float;
+}
+
+type t = {
+  params : params;
+  seed : int;
+  pops : pop array;
+  pop_oneway_ms : float array array; (* all-pairs one-way along policy-shortest paths *)
+  routers : router array;
+  landmarks : host array;
+  mutable inter_cache : float array array option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Hash-seeded streams                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tag_router = 0x01
+let tag_landmark = 0x02
+let tag_target = 0x03
+let tag_jitter = 0x04
+let tag_backbone = 0x05
+
+let mix64 seed tag i =
+  let open Int64 in
+  let z =
+    logxor
+      (mul (of_int seed) 0x9E3779B97F4A7C15L)
+      (add (mul (of_int i) 0xBF58476D1CE4E5B9L) (of_int tag))
+  in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let stream seed tag i = Stats.Rng.create (Int64.to_int (mix64 seed tag i))
+
+(* Uniform in (0, 1] straight from the finalizer — the per-pair jitter
+   path creates no generator at all. *)
+let u01 seed tag i =
+  let bits = Int64.shift_right_logical (mix64 seed tag i) 11 in
+  (Int64.to_float bits +. 1.0) *. 0x1p-53
+
+(* ------------------------------------------------------------------ *)
+(* Latency model pieces (Topology's constants)                         *)
+(* ------------------------------------------------------------------ *)
+
+let oneway_of_km ~inflation km =
+  (km *. inflation /. Geo.Geodesy.c_fiber_km_per_ms) +. 0.05
+
+let router_height params rng =
+  0.05 +. Stats.Rng.exponential rng ~rate:(1.0 /. params.router_height_mean_ms)
+
+let host_height params rng =
+  params.host_height_floor_ms
+  +. Stats.Rng.exponential rng ~rate:(1.0 /. params.host_height_mean_ms)
+
+let scatter_position rng ~around ~max_km =
+  let bearing = Stats.Rng.float rng (2.0 *. Float.pi) in
+  let distance_km = Stats.Rng.float rng max_km in
+  Geo.Geodesy.destination around ~bearing ~distance_km
+
+(* ------------------------------------------------------------------ *)
+(* Backbone: PoPs + policy-shortest all-pairs one-way latencies        *)
+(* ------------------------------------------------------------------ *)
+
+(* Same wiring discipline as Topology.build, over PoPs instead of node
+   records: per-provider MST + 2-nearest redundancy, peering links at
+   exchange cities carrying the policy penalty in the routing weight but
+   not in the propagation cost.  All-pairs one-way latency then comes
+   from a Dijkstra per PoP over routing weight, summing propagation. *)
+let build_backbone params rng =
+  let hubs = City.hubs in
+  let pops = ref [] in
+  for p = 0 to params.n_providers - 1 do
+    let mine = ref [] in
+    Array.iter
+      (fun city -> if Stats.Rng.bernoulli rng params.pop_presence then mine := city :: !mine)
+      hubs;
+    let exchange_count = List.length (List.filter (fun c -> c.City.exchange) !mine) in
+    if exchange_count < 2 then begin
+      let missing =
+        Array.to_list City.exchanges |> List.filter (fun c -> not (List.memq c !mine))
+      in
+      let need = 2 - exchange_count in
+      List.iteri (fun i c -> if i < need then mine := c :: !mine) missing
+    end;
+    if List.length !mine < 4 then
+      Array.iter
+        (fun c -> if (not (List.memq c !mine)) && List.length !mine < 4 then mine := c :: !mine)
+        hubs;
+    List.iter (fun city -> pops := { pop_provider = p; pop_city = city } :: !pops) !mine
+  done;
+  let pops = Array.of_list (List.rev !pops) in
+  let n = Array.length pops in
+  (* Edge list as (u, v, oneway, weight). *)
+  let edges = ref [] in
+  let add_edge u v oneway weight = edges := (u, v, oneway, weight) :: !edges in
+  let link u v =
+    let km = City.distance_km pops.(u).pop_city pops.(v).pop_city in
+    let inflation =
+      Stats.Rng.uniform rng params.fiber_inflation_lo params.fiber_inflation_hi
+    in
+    let oneway = oneway_of_km ~inflation km in
+    add_edge u v oneway oneway
+  in
+  for p = 0 to params.n_providers - 1 do
+    let mine =
+      Array.to_list (Array.mapi (fun i pop -> (i, pop)) pops)
+      |> List.filter (fun (_, pop) -> pop.pop_provider = p)
+      |> Array.of_list
+    in
+    let m = Array.length mine in
+    if m > 1 then begin
+      let dist i j =
+        City.distance_km (snd mine.(i)).pop_city (snd mine.(j)).pop_city
+      in
+      let added = Hashtbl.create 64 in
+      let add i j =
+        let key = (min i j, max i j) in
+        if i <> j && not (Hashtbl.mem added key) then begin
+          Hashtbl.add added key ();
+          link (fst mine.(i)) (fst mine.(j))
+        end
+      in
+      (* Prim's MST. *)
+      let connected = Array.make m false in
+      connected.(0) <- true;
+      for _ = 1 to m - 1 do
+        let best = ref None in
+        for i = 0 to m - 1 do
+          if connected.(i) then
+            for j = 0 to m - 1 do
+              if not connected.(j) then
+                let d = dist i j in
+                match !best with
+                | Some (_, _, bd) when bd <= d -> ()
+                | _ -> best := Some (i, j, d)
+            done
+        done;
+        match !best with
+        | Some (i, j, _) ->
+            connected.(j) <- true;
+            add i j
+        | None -> ()
+      done;
+      (* 2-nearest redundancy. *)
+      for i = 0 to m - 1 do
+        let by_dist = Array.init m (fun j -> (dist i j, j)) in
+        Array.sort compare by_dist;
+        let linked = ref 0 in
+        Array.iter
+          (fun (_, j) ->
+            if j <> i && !linked < 2 then begin
+              add i j;
+              incr linked
+            end)
+          by_dist
+      done
+    end
+  done;
+  (* Peering at exchanges: cheap wire, expensive policy. *)
+  Array.iter
+    (fun exchange_city ->
+      let present =
+        Array.to_list (Array.mapi (fun i pop -> (i, pop)) pops)
+        |> List.filter (fun (_, pop) -> pop.pop_city == exchange_city)
+      in
+      List.iteri
+        (fun a (u, _) ->
+          List.iteri
+            (fun b (v, _) ->
+              if a < b then add_edge u v 0.15 (0.15 +. params.peering_penalty_ms))
+            present)
+        present)
+    City.exchanges;
+  (* Adjacency. *)
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v, oneway, weight) ->
+      adj.(u) <- (v, oneway, weight) :: adj.(u);
+      adj.(v) <- (u, oneway, weight) :: adj.(v))
+    !edges;
+  (* Dijkstra per source on routing weight, propagating one-way sums. *)
+  let oneway_ms = Array.make_matrix n n infinity in
+  let module H = struct
+    (* (weight, tie, pop, oneway) pairing heap via sorted module-free
+       binary heap on arrays. *)
+    type entry = { key : float; tie : int; pop : int; ow : float }
+  end in
+  let dijkstra src =
+    let dist = Array.make n infinity in
+    let ow = Array.make n infinity in
+    let heap = ref ([] : H.entry list) in
+    (* n is ~100: a sorted-insert list heap is fast enough and simple. *)
+    let push (e : H.entry) =
+      let rec ins = function
+        | [] -> [ e ]
+        | x :: rest as l ->
+            if e.H.key < x.H.key || (e.H.key = x.H.key && e.H.tie < x.H.tie) then e :: l
+            else x :: ins rest
+      in
+      heap := ins !heap
+    in
+    dist.(src) <- 0.0;
+    ow.(src) <- 0.0;
+    push { H.key = 0.0; tie = src; pop = src; ow = 0.0 };
+    let rec loop () =
+      match !heap with
+      | [] -> ()
+      | { H.key; pop = u; ow = u_ow; _ } :: rest ->
+          heap := rest;
+          if key <= dist.(u) then
+            List.iter
+              (fun (v, oneway, weight) ->
+                let alt = dist.(u) +. weight in
+                if alt < dist.(v) -. 1e-12 then begin
+                  dist.(v) <- alt;
+                  ow.(v) <- u_ow +. oneway;
+                  push { H.key = alt; tie = v; pop = v; ow = ow.(v) }
+                end)
+              adj.(u);
+          loop ()
+    in
+    loop ();
+    ow
+  in
+  for src = 0 to n - 1 do
+    oneway_ms.(src) <- dijkstra src
+  done;
+  (pops, oneway_ms)
+
+(* ------------------------------------------------------------------ *)
+(* World construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_router params seed pops i =
+  let rng = stream seed tag_router i in
+  let city = City.all.(Stats.Rng.int rng (Array.length City.all)) in
+  let position = scatter_position rng ~around:city.City.location ~max_km:params.scatter_km in
+  (* Home provider biased towards nearby PoPs, cubic falloff as in
+     Topology.build. *)
+  let n_pops = Array.length pops in
+  let nearest_of_provider = Array.make params.n_providers infinity in
+  for k = 0 to n_pops - 1 do
+    let d = Geo.Geodesy.distance_km position pops.(k).pop_city.City.location in
+    let p = pops.(k).pop_provider in
+    if d < nearest_of_provider.(p) then nearest_of_provider.(p) <- d
+  done;
+  let weights =
+    Array.map (fun d -> 1.0 /. ((100.0 +. d) ** 3.0)) nearest_of_provider
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let pick = Stats.Rng.float rng total in
+  let provider =
+    let acc = ref 0.0 and chosen = ref 0 in
+    Array.iteri
+      (fun p w ->
+        if !acc <= pick then chosen := p;
+        acc := !acc +. w)
+      weights;
+    !chosen
+  in
+  (* Dual-home to the provider's two nearest PoPs. *)
+  let best = ref (-1, infinity) and second = ref (-1, infinity) in
+  for k = 0 to n_pops - 1 do
+    if pops.(k).pop_provider = provider then begin
+      let d = Geo.Geodesy.distance_km position pops.(k).pop_city.City.location in
+      if d < snd !best then begin
+        second := !best;
+        best := (k, d)
+      end
+      else if d < snd !second then second := (k, d)
+    end
+  done;
+  let pop_a, d_a = !best in
+  let pop_b, d_b = if fst !second >= 0 then !second else !best in
+  let infl () = Stats.Rng.uniform rng params.fiber_inflation_lo params.fiber_inflation_hi in
+  {
+    r_position = position;
+    r_height_ms = router_height params rng;
+    r_pop_a = pop_a;
+    r_leg_a_ms = oneway_of_km ~inflation:(infl ()) d_a;
+    r_pop_b = pop_b;
+    r_leg_b_ms = oneway_of_km ~inflation:(infl ()) d_b;
+  }
+
+let make_host params seed tag routers i =
+  let rng = stream seed tag i in
+  let r = Stats.Rng.int rng (Array.length routers) in
+  let router = routers.(r) in
+  let position = scatter_position rng ~around:router.r_position ~max_km:(0.2 *. params.scatter_km) in
+  let km = Geo.Geodesy.distance_km position router.r_position in
+  let last_mile =
+    0.15 +. Stats.Rng.uniform rng 0.0 0.5 +. (km /. Geo.Geodesy.c_fiber_km_per_ms)
+  in
+  {
+    h_position = position;
+    h_router = r;
+    h_last_mile_ms = last_mile;
+    h_height_ms = host_height params rng;
+  }
+
+let create ?(params = default_params) ~seed () =
+  if params.n_providers < 1 || params.n_providers > 8 then
+    invalid_arg "Planet.create: unsupported provider count";
+  if params.n_routers < 1 then invalid_arg "Planet.create: n_routers < 1";
+  if params.n_landmarks < 1 then invalid_arg "Planet.create: n_landmarks < 1";
+  if params.n_targets < 0 then invalid_arg "Planet.create: n_targets < 0";
+  let backbone_rng = stream seed tag_backbone 0 in
+  let pops, pop_oneway_ms = build_backbone params backbone_rng in
+  let routers = Array.init params.n_routers (make_router params seed pops) in
+  let landmarks =
+    Array.init params.n_landmarks (make_host params seed tag_landmark routers)
+  in
+  { params; seed; pops; pop_oneway_ms; routers; landmarks; inter_cache = None }
+
+let params t = t.params
+let seed t = t.seed
+let n_routers t = Array.length t.routers
+let n_landmarks t = Array.length t.landmarks
+let n_targets t = t.params.n_targets
+let landmark_position t i = t.landmarks.(i).h_position
+
+(* ------------------------------------------------------------------ *)
+(* Latency queries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One-way latency between two access routers: best of the four
+   dual-homing combinations through the backbone. *)
+let router_oneway_ms t a b =
+  if a = b then t.params.metro_hop_ms
+  else begin
+    let ra = t.routers.(a) and rb = t.routers.(b) in
+    let m = t.pop_oneway_ms in
+    let via pa la pb lb = la +. m.(pa).(pb) +. lb in
+    Float.min
+      (Float.min
+         (via ra.r_pop_a ra.r_leg_a_ms rb.r_pop_a rb.r_leg_a_ms)
+         (via ra.r_pop_a ra.r_leg_a_ms rb.r_pop_b rb.r_leg_b_ms))
+      (Float.min
+         (via ra.r_pop_b ra.r_leg_b_ms rb.r_pop_a rb.r_leg_a_ms)
+         (via ra.r_pop_b ra.r_leg_b_ms rb.r_pop_b rb.r_leg_b_ms))
+  end
+
+let host_rtt_ms t jitter_index (a : host) (b : host) =
+  let oneway =
+    a.h_last_mile_ms +. router_oneway_ms t a.h_router b.h_router +. b.h_last_mile_ms
+  in
+  (* Residual min-of-probes jitter: exponential, floored at 0 — the
+     deterministic path is the floor, as Measure.min_rtt converges to. *)
+  let u = u01 t.seed tag_jitter jitter_index in
+  let jitter = -.t.params.jitter_mean_ms *. log u in
+  (2.0 *. oneway) +. a.h_height_ms +. b.h_height_ms +. jitter
+
+(* Jitter stream index for a (landmark, target-or-landmark) pair.
+   Targets occupy indices >= n_landmarks so landmark-landmark and
+   landmark-target pairs never collide. *)
+let pair_index t ~lm other = (other * Array.length t.landmarks) + lm
+
+let inter_landmark_rtt t =
+  match t.inter_cache with
+  | Some m -> m
+  | None ->
+      let n = Array.length t.landmarks in
+      (* Compute the upper triangle and mirror it: evaluating both
+         orientations would agree only up to float-summation order, and
+         the solver is entitled to a bit-exact symmetric matrix. *)
+      let m = Array.make_matrix n n 0.0 in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let v = host_rtt_ms t (pair_index t ~lm:i j) t.landmarks.(i) t.landmarks.(j) in
+          m.(i).(j) <- v;
+          m.(j).(i) <- v
+        done
+      done;
+      t.inter_cache <- Some m;
+      m
+
+let target t i =
+  if i < 0 || i >= t.params.n_targets then invalid_arg "Planet.target: index out of range";
+  let h = make_host t.params t.seed tag_target t.routers i in
+  {
+    t_index = i;
+    t_position = h.h_position;
+    t_router = h.h_router;
+    t_last_mile_ms = h.h_last_mile_ms;
+    t_height_ms = h.h_height_ms;
+  }
+
+let host_of_target (tg : target) =
+  {
+    h_position = tg.t_position;
+    h_router = tg.t_router;
+    h_last_mile_ms = tg.t_last_mile_ms;
+    h_height_ms = tg.t_height_ms;
+  }
+
+let rtt_ms t ~lm tg =
+  let idx = pair_index t ~lm (Array.length t.landmarks + tg.t_index) in
+  host_rtt_ms t idx t.landmarks.(lm) (host_of_target tg)
+
+let rtt_vector_into t tg buf =
+  let n = Array.length t.landmarks in
+  if Array.length buf <> n then invalid_arg "Planet.rtt_vector_into: buffer size";
+  let h = host_of_target tg in
+  let base = Array.length t.landmarks + tg.t_index in
+  for lm = 0 to n - 1 do
+    buf.(lm) <- host_rtt_ms t (pair_index t ~lm base) t.landmarks.(lm) h
+  done
+
+let rtt_vector t tg =
+  let buf = Array.make (Array.length t.landmarks) 0.0 in
+  rtt_vector_into t tg buf;
+  buf
+
+let fold_targets t ~init ~f =
+  let buf = Array.make (Array.length t.landmarks) 0.0 in
+  let acc = ref init in
+  for i = 0 to t.params.n_targets - 1 do
+    let tg = target t i in
+    rtt_vector_into t tg buf;
+    acc := f !acc tg buf
+  done;
+  !acc
+
+let eager t =
+  let targets = Array.init t.params.n_targets (target t) in
+  let rtts = Array.map (rtt_vector t) targets in
+  (targets, rtts)

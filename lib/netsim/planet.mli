@@ -1,0 +1,94 @@
+(** Planet-scale synthetic substrate with lazy target streaming.
+
+    {!Topology} materializes every router, host, and link of its world,
+    which caps it at the size of the embedded city database (a few
+    hundred nodes).  This module grows the substrate to O(10k) access
+    routers, O(1k) landmarks, and O(100k) targets by changing the
+    representation: only the backbone (provider PoPs at hub cities and
+    the all-pairs path costs between them), the access routers, and the
+    landmark set are materialized at {!create}; {e targets are never
+    stored}.  A target and its full RTT vector are pure functions of
+    [seed * index] — {!target} seeds a fresh generator from a hash of
+    the world seed and the target index, so any access order (forward,
+    shuffled, repeated, parallel) reproduces bit-identical values, and
+    streaming 100k targets holds peak memory flat at the size of the
+    materialized world.
+
+    The latency model follows {!Topology}'s: great-circle distance along
+    an inflated fiber path at 2/3 c, policy-penalized peering detours
+    between providers, exponential router/host height terms, a slow last
+    mile, and a per-(landmark, target) residual jitter floored at the
+    deterministic minimum — every term drawn from hash-derived streams
+    so the whole world is a function of the seed. *)
+
+type params = {
+  n_routers : int;        (** Access routers (default 10_000). *)
+  n_landmarks : int;      (** Landmark hosts (default 1_000). *)
+  n_targets : int;        (** Streamable targets (default 100_000). *)
+  n_providers : int;      (** Backbone providers (1..8, default 4). *)
+  pop_presence : float;   (** P(provider has a PoP at a hub city). *)
+  fiber_inflation_lo : float;
+  fiber_inflation_hi : float;
+  peering_penalty_ms : float;   (** Policy cost of crossing providers. *)
+  router_height_mean_ms : float;
+  host_height_mean_ms : float;
+  host_height_floor_ms : float;
+  scatter_km : float;     (** Max host distance from its access router. *)
+  metro_hop_ms : float;   (** One-way hop between co-attached hosts. *)
+  jitter_mean_ms : float; (** Mean residual jitter per (landmark, target). *)
+}
+
+val default_params : params
+
+type t
+
+type target = {
+  t_index : int;
+  t_position : Geo.Geodesy.coord;
+  t_router : int;           (** Access router the target attaches to. *)
+  t_last_mile_ms : float;   (** One-way last-mile latency. *)
+  t_height_ms : float;      (** Target end-host height (paper §2.2). *)
+}
+
+val create : ?params:params -> seed:int -> unit -> t
+(** Materializes the backbone, routers, and landmarks — O(n_routers +
+    n_landmarks + pops^2) memory, independent of [n_targets].
+    @raise Invalid_argument on unsupported provider or size counts. *)
+
+val params : t -> params
+val seed : t -> int
+val n_routers : t -> int
+val n_landmarks : t -> int
+val n_targets : t -> int
+
+val landmark_position : t -> int -> Geo.Geodesy.coord
+
+val inter_landmark_rtt : t -> float array array
+(** Deterministic landmark-to-landmark RTT matrix (diagonal 0), indexed
+    like the landmark set; computed on demand, cached in [t]. *)
+
+val target : t -> int -> target
+(** Pure in [seed t * index]: equal worlds and indices yield equal
+    targets regardless of access order or history.
+    @raise Invalid_argument outside [0, n_targets). *)
+
+val rtt_ms : t -> lm:int -> target -> float
+(** RTT between one landmark and a target, jitter included; pure in
+    (world, landmark index, target index). *)
+
+val rtt_vector_into : t -> target -> float array -> unit
+(** Fill a caller-owned [n_landmarks]-length buffer with the target's
+    full RTT vector — the zero-allocation streaming path.
+    @raise Invalid_argument on a wrong-size buffer. *)
+
+val rtt_vector : t -> target -> float array
+(** Allocating variant of {!rtt_vector_into}. *)
+
+val fold_targets : t -> init:'a -> f:('a -> target -> float array -> 'a) -> 'a
+(** Stream every target in index order.  The RTT buffer passed to [f]
+    is {e reused across calls} — copy it to retain it. *)
+
+val eager : t -> target array * float array array
+(** Materialize every target and its RTT vector up front (parity oracle
+    for the streaming path on small worlds; do not call at the default
+    100k-target scale). *)

@@ -1,0 +1,119 @@
+type codec = Sniffing | Json_lines | Binary
+
+type t = {
+  mutable codec : codec;
+  sniff : Buffer.t;           (* bytes held while the codec is undecided *)
+  acc : Buffer.t;             (* JSON: current line accumulator *)
+  mutable discarding : bool;  (* JSON: skipping an oversized line to '\n' *)
+  bin_hdr : Buffer.t;         (* binary: partial 4-byte length header *)
+  mutable bin_need : int;     (* binary: payload bytes expected; -1 = in header *)
+  bin_payload : Buffer.t;     (* binary: partial payload *)
+  mutable bin_discard : int;  (* binary: oversized-payload bytes left to skip *)
+}
+
+let make codec =
+  {
+    codec;
+    sniff = Buffer.create 8;
+    acc = Buffer.create 256;
+    discarding = false;
+    bin_hdr = Buffer.create 4;
+    bin_need = -1;
+    bin_payload = Buffer.create 256;
+    bin_discard = 0;
+  }
+
+let create () = make Sniffing
+let create_binary () = make Binary
+let codec t = t.codec
+
+let feed_json t ~max_frame_bytes ~on_json ~on_oversize data =
+  String.iter
+    (fun c ->
+      if c = '\n' then begin
+        if t.discarding then t.discarding <- false
+        else begin
+          let line = Buffer.contents t.acc in
+          Buffer.clear t.acc;
+          on_json line
+        end
+      end
+      else if not t.discarding then begin
+        Buffer.add_char t.acc c;
+        if Buffer.length t.acc > max_frame_bytes then begin
+          (* The frame blew the limit: report once, then skip input until
+             the next newline so the connection stays usable. *)
+          t.discarding <- true;
+          Buffer.clear t.acc;
+          on_oversize ()
+        end
+      end)
+    data
+
+let feed_binary t ~max_frame_bytes ~on_binary ~on_oversize data =
+  let n = String.length data in
+  let i = ref 0 in
+  while !i < n do
+    if t.bin_discard > 0 then begin
+      (* Skipping the payload of an oversized frame, already reported. *)
+      let take = min t.bin_discard (n - !i) in
+      t.bin_discard <- t.bin_discard - take;
+      i := !i + take
+    end
+    else if t.bin_need < 0 then begin
+      let take = min (Protocol.Binary.header_length - Buffer.length t.bin_hdr) (n - !i) in
+      Buffer.add_substring t.bin_hdr data !i take;
+      i := !i + take;
+      if Buffer.length t.bin_hdr = Protocol.Binary.header_length then begin
+        let len = Protocol.Binary.decode_length (Buffer.contents t.bin_hdr) in
+        Buffer.clear t.bin_hdr;
+        if len > max_frame_bytes then begin
+          on_oversize ();
+          t.bin_discard <- len
+        end
+        else if len = 0 then on_binary ""
+        else t.bin_need <- len
+      end
+    end
+    else begin
+      let take = min (t.bin_need - Buffer.length t.bin_payload) (n - !i) in
+      Buffer.add_substring t.bin_payload data !i take;
+      i := !i + take;
+      if Buffer.length t.bin_payload = t.bin_need then begin
+        let payload = Buffer.contents t.bin_payload in
+        Buffer.clear t.bin_payload;
+        t.bin_need <- -1;
+        on_binary payload
+      end
+    end
+  done
+
+let rec feed t ~max_frame_bytes ~on_json ~on_binary ~on_oversize data =
+  if String.length data > 0 then
+    match t.codec with
+    | Json_lines -> feed_json t ~max_frame_bytes ~on_json ~on_oversize data
+    | Binary -> feed_binary t ~max_frame_bytes ~on_binary ~on_oversize data
+    | Sniffing ->
+        Buffer.add_string t.sniff data;
+        let s = Buffer.contents t.sniff in
+        let m = Protocol.Binary.magic in
+        let ml = String.length m in
+        if String.length s >= ml then begin
+          Buffer.clear t.sniff;
+          if String.sub s 0 ml = m then begin
+            t.codec <- Binary;
+            feed t ~max_frame_bytes ~on_json ~on_binary ~on_oversize
+              (String.sub s ml (String.length s - ml))
+          end
+          else begin
+            t.codec <- Json_lines;
+            feed t ~max_frame_bytes ~on_json ~on_binary ~on_oversize s
+          end
+        end
+        else if String.sub m 0 (String.length s) <> s then begin
+          (* Not a prefix of the magic: this is a JSON peer. *)
+          Buffer.clear t.sniff;
+          t.codec <- Json_lines;
+          feed t ~max_frame_bytes ~on_json ~on_binary ~on_oversize s
+        end
+(* else: still a strict prefix of the magic; wait for more bytes *)

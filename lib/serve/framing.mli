@@ -1,0 +1,37 @@
+(** Wire framing shared by the daemon and the shard front.
+
+    One value holds the incremental framing state of one connection:
+    codec sniffing (first bytes spelling {!Protocol.Binary.magic} switch
+    the connection to binary frames, anything else to newline-delimited
+    JSON), line accumulation with oversized-line discard, and binary
+    length-prefix reassembly with oversized-payload skip.  Extracted
+    from the event-loop server so the front's backend connections (which
+    speak binary with no magic — the server never echoes it) reuse the
+    exact state machine the transport fuzz suite hammers. *)
+
+type codec = Sniffing | Json_lines | Binary
+
+type t
+
+val create : unit -> t
+(** Starts in [Sniffing]. *)
+
+val create_binary : unit -> t
+(** Starts in [Binary] with no magic expected — for the client side of
+    a connection to a binary server, whose replies carry no magic. *)
+
+val codec : t -> codec
+
+val feed :
+  t ->
+  max_frame_bytes:int ->
+  on_json:(string -> unit) ->
+  on_binary:(string -> unit) ->
+  on_oversize:(unit -> unit) ->
+  string ->
+  unit
+(** Consume a chunk of bytes.  [on_json] receives each complete line
+    (newline stripped, possibly with a trailing ['\r']); [on_binary]
+    each complete binary payload.  A frame exceeding [max_frame_bytes]
+    fires [on_oversize] once and is then skipped — the connection stays
+    usable.  Callbacks run inline, in frame order. *)

@@ -17,6 +17,23 @@ let cache_hits = counter "cache_hits"
 let cache_misses = counter "cache_misses"
 let cache_evictions = counter "cache_evictions"
 
+(* The shard front's domain.  [shard_refan] is the failover invariant
+   the e2e suite asserts: every request pending on a lost backend is
+   either re-fanned onto the surviving ring or answered with an error. *)
+let shard_counter name = Obs.Telemetry.Counter.make ~deterministic:false ~domain:"shard" name
+
+let shard_requests = shard_counter "requests"
+let shard_fanout = shard_counter "fanout"
+let shard_refan = shard_counter "refan"
+let shard_backend_lost = shard_counter "backend_lost"
+let shard_replies = shard_counter "replies"
+let shard_errors = shard_counter "errors"
+let shard_orphan_replies = shard_counter "orphan_replies"
+let shard_bad_frames = shard_counter "bad_frames"
+let shard_connections = shard_counter "connections"
+let shard_rejected_connections = shard_counter "rejected_connections"
+let shard_loop_failures = shard_counter "loop_failures"
+
 let h_batch_size = Obs.Telemetry.Histogram.make ~unit_:"req" ~domain:"serve" "batch_size"
 let h_queue_depth = Obs.Telemetry.Histogram.make ~unit_:"req" ~domain:"serve" "queue_depth"
 let h_request_s = Obs.Telemetry.Histogram.make ~unit_:"s" ~domain:"serve" "request_s"

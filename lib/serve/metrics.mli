@@ -41,6 +41,32 @@ val pool_job_failures : Obs.Telemetry.Counter.t
 val cache_hits : Obs.Telemetry.Counter.t
 val cache_misses : Obs.Telemetry.Counter.t
 val cache_evictions : Obs.Telemetry.Counter.t
+
+(** {2 The [shard] domain}
+
+    Service-level events of the {!Shard} front, also
+    [~deterministic:false]: [shard_requests] (localize frames admitted
+    at the front), [shard_fanout] (request sends to a backend, re-fans
+    included), [shard_refan] (pending requests re-routed onto the
+    surviving ring after a backend loss), [shard_backend_lost]
+    (backend connections declared dead), [shard_replies] (backend
+    replies forwarded to a client), [shard_errors] (per-request error
+    replies synthesized by the front — routing-exhausted, draining, or
+    no backend available), [shard_orphan_replies] (backend replies whose
+    sequence number no longer has a pending request), plus the front's
+    own transport tallies mirroring the serve domain. *)
+
+val shard_requests : Obs.Telemetry.Counter.t
+val shard_fanout : Obs.Telemetry.Counter.t
+val shard_refan : Obs.Telemetry.Counter.t
+val shard_backend_lost : Obs.Telemetry.Counter.t
+val shard_replies : Obs.Telemetry.Counter.t
+val shard_errors : Obs.Telemetry.Counter.t
+val shard_orphan_replies : Obs.Telemetry.Counter.t
+val shard_bad_frames : Obs.Telemetry.Counter.t
+val shard_connections : Obs.Telemetry.Counter.t
+val shard_rejected_connections : Obs.Telemetry.Counter.t
+val shard_loop_failures : Obs.Telemetry.Counter.t
 val h_batch_size : Obs.Telemetry.Histogram.t
 val h_queue_depth : Obs.Telemetry.Histogram.t
 val h_request_s : Obs.Telemetry.Histogram.t

@@ -1,0 +1,71 @@
+(* FNV-1a 64-bit over the key bytes, finished with a murmur3-style
+   avalanche; virtual nodes hash "name#i".  The avalanche matters: raw
+   FNV leaves the high bits of near-identical strings (vnode labels
+   differ only in trailing digits) correlated, and unsigned comparison
+   orders by exactly those bits, so without it one backend's vnodes can
+   clump and capture far more than its share of the ring.  The point
+   array is sorted by (hash, name) — the name tie-break makes the ring
+   total even on hash collisions, so route is deterministic. *)
+
+type t = { vnodes : int; names : string list; points : (int64 * string) array }
+
+let avalanche h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xFF51AFD7ED558CCDL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xC4CEB9FE1A85EC53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  avalanche !h
+
+let point_compare (ha, na) (hb, nb) =
+  match Int64.unsigned_compare ha hb with 0 -> String.compare na nb | c -> c
+
+let build vnodes names =
+  let points =
+    List.concat_map
+      (fun name ->
+        List.init vnodes (fun i -> (fnv1a64 (Printf.sprintf "%s#%d" name i), name)))
+      names
+    |> Array.of_list
+  in
+  Array.sort point_compare points;
+  { vnodes; names; points }
+
+let make ?(vnodes = 128) names =
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes < 1";
+  build vnodes (List.sort_uniq String.compare names)
+
+let is_empty t = t.names = []
+let members t = t.names
+let mem t name = List.mem name t.names
+let cardinal t = List.length t.names
+
+let route t key =
+  let n = Array.length t.points in
+  if n = 0 then None
+  else begin
+    let h = fnv1a64 key in
+    (* First point with hash >= h (unsigned), wrapping to 0. *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    Some (snd t.points.(if !lo = n then 0 else !lo))
+  end
+
+let add t name =
+  if mem t name then t else build t.vnodes (List.sort_uniq String.compare (name :: t.names))
+
+let remove t name =
+  if not (mem t name) then t
+  else build t.vnodes (List.filter (fun n -> n <> name) t.names)

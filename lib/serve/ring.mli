@@ -1,0 +1,35 @@
+(** Consistent-hash ring over named backends.
+
+    Keys and backend names hash onto a 64-bit circle (FNV-1a); each
+    backend owns the arcs preceding its virtual nodes, so a key routes
+    to the first virtual node at or clockwise-after its hash.  The two
+    properties the shard front leans on (pinned by the qcheck suite):
+
+    - {b balance}: with the default virtual-node count, key ownership
+      spreads across backends within a small factor of fair share;
+    - {b minimal remapping}: removing one backend only re-routes the
+      keys that hashed to it — every other key keeps its backend, which
+      is what keeps the surviving backends' result caches hot through a
+      failover.
+
+    Values are immutable; {!add} and {!remove} return new rings. *)
+
+type t
+
+val make : ?vnodes:int -> string list -> t
+(** Ring over the given backend names (duplicates collapse); [vnodes]
+    (default 128) virtual nodes per backend.
+    @raise Invalid_argument if [vnodes < 1]. *)
+
+val is_empty : t -> bool
+val members : t -> string list
+(** Sorted, deduplicated. *)
+
+val mem : t -> string -> bool
+val cardinal : t -> int
+
+val route : t -> string -> string option
+(** Owning backend of a key; [None] on an empty ring. *)
+
+val add : t -> string -> t
+val remove : t -> string -> t

@@ -59,22 +59,14 @@ let default_config =
     default_deadline_ms = None;
   }
 
-(* Wire codec of one connection.  Every connection starts in [Sniffing]:
-   the first bytes either spell Protocol.Binary.magic (-> [Binary]) or
-   anything else (-> [Json_lines], replaying the sniffed bytes). *)
-type codec = Sniffing | Json_lines | Binary
-
+(* Wire codec and framing state live in {!Framing}: every connection
+   starts sniffing — the first bytes either spell Protocol.Binary.magic
+   (-> binary frames) or anything else (-> JSON lines, replaying the
+   sniffed bytes). *)
 type conn = {
   c_id : int;
   c_fd : Unix.file_descr;
-  mutable codec : codec;
-  sniff : Buffer.t;           (* bytes held while the codec is undecided *)
-  acc : Buffer.t;             (* JSON: current line accumulator *)
-  mutable discarding : bool;  (* JSON: skipping an oversized line to '\n' *)
-  bin_hdr : Buffer.t;         (* binary: partial 4-byte length header *)
-  mutable bin_need : int;     (* binary: payload bytes expected; -1 = in header *)
-  bin_payload : Buffer.t;     (* binary: partial payload *)
-  mutable bin_discard : int;  (* binary: oversized-payload bytes left to skip *)
+  frame : Framing.t;          (* codec sniffing + frame reassembly *)
   outq : string Queue.t;      (* encoded replies awaiting writability *)
   mutable out_off : int;      (* bytes of the queue head already written *)
   mutable c_closed : bool;
@@ -124,8 +116,8 @@ let wake t =
 
 let encode_reply_for codec reply =
   match codec with
-  | Binary -> Protocol.Binary.frame (Protocol.Binary.encode_reply reply)
-  | Sniffing | Json_lines -> Json.to_string reply ^ "\n"
+  | Framing.Binary -> Protocol.Binary.frame (Protocol.Binary.encode_reply reply)
+  | Framing.Sniffing | Framing.Json_lines -> Json.to_string reply ^ "\n"
 
 (* An unencodable reply (a pathological id or reason blowing a codec
    length field) must never escape to the caller — on the loop thread it
@@ -196,7 +188,8 @@ let enqueue_encoded t conn_id encoded =
   Mutex.unlock t.lock;
   if need_wake then wake t
 
-let respond t conn reply = enqueue_encoded t conn.c_id (encode_reply_safe conn.codec reply)
+let respond t conn reply =
+  enqueue_encoded t conn.c_id (encode_reply_safe (Framing.codec conn.frame) reply)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
@@ -259,7 +252,7 @@ let handle_localize t conn (req : Protocol.localize) =
   Obs.Telemetry.Counter.incr Metrics.requests;
   let obs = Protocol.observations_of req in
   let key = Protocol.cache_key obs in
-  let codec = conn.codec in
+  let codec = Framing.codec conn.frame in
   let conn_id = conn.c_id in
   let finish reply =
     Obs.Telemetry.Histogram.observe Metrics.h_request_s (Unix.gettimeofday () -. t0);
@@ -351,101 +344,19 @@ let handle_binary_frame t conn payload =
 (* Input framing                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let feed_json t conn data =
-  String.iter
-    (fun c ->
-      if c = '\n' then begin
-        if conn.discarding then conn.discarding <- false
-        else begin
-          let line = Buffer.contents conn.acc in
-          Buffer.clear conn.acc;
-          handle_json_frame t conn line
-        end
-      end
-      else if not conn.discarding then begin
-        Buffer.add_char conn.acc c;
-        if Buffer.length conn.acc > t.cfg.max_frame_bytes then begin
-          (* The frame blew the limit: answer once, then skip input until
-             the next newline so the connection stays usable. *)
-          conn.discarding <- true;
-          Buffer.clear conn.acc;
-          Obs.Telemetry.Counter.incr Metrics.bad_frames;
-          respond t conn
-            (Protocol.error_reply ~id:Json.Null
-               (Printf.sprintf "frame too large (max %d bytes)" t.cfg.max_frame_bytes))
-        end
-      end)
+(* Sniffing, line/length reassembly, and oversized-frame discard all
+   live in {!Framing}; the server contributes the per-frame handlers
+   and the oversize error reply. *)
+let feed t conn data =
+  Framing.feed conn.frame ~max_frame_bytes:t.cfg.max_frame_bytes
+    ~on_json:(handle_json_frame t conn)
+    ~on_binary:(handle_binary_frame t conn)
+    ~on_oversize:(fun () ->
+      Obs.Telemetry.Counter.incr Metrics.bad_frames;
+      respond t conn
+        (Protocol.error_reply ~id:Json.Null
+           (Printf.sprintf "frame too large (max %d bytes)" t.cfg.max_frame_bytes)))
     data
-
-let feed_binary t conn data =
-  let n = String.length data in
-  let i = ref 0 in
-  while !i < n do
-    if conn.bin_discard > 0 then begin
-      (* Skipping the payload of an oversized frame, already answered. *)
-      let take = min conn.bin_discard (n - !i) in
-      conn.bin_discard <- conn.bin_discard - take;
-      i := !i + take
-    end
-    else if conn.bin_need < 0 then begin
-      let take = min (Protocol.Binary.header_length - Buffer.length conn.bin_hdr) (n - !i) in
-      Buffer.add_substring conn.bin_hdr data !i take;
-      i := !i + take;
-      if Buffer.length conn.bin_hdr = Protocol.Binary.header_length then begin
-        let len = Protocol.Binary.decode_length (Buffer.contents conn.bin_hdr) in
-        Buffer.clear conn.bin_hdr;
-        if len > t.cfg.max_frame_bytes then begin
-          Obs.Telemetry.Counter.incr Metrics.bad_frames;
-          respond t conn
-            (Protocol.error_reply ~id:Json.Null
-               (Printf.sprintf "frame too large (max %d bytes)" t.cfg.max_frame_bytes));
-          conn.bin_discard <- len
-        end
-        else if len = 0 then handle_binary_frame t conn ""
-        else conn.bin_need <- len
-      end
-    end
-    else begin
-      let take = min (conn.bin_need - Buffer.length conn.bin_payload) (n - !i) in
-      Buffer.add_substring conn.bin_payload data !i take;
-      i := !i + take;
-      if Buffer.length conn.bin_payload = conn.bin_need then begin
-        let payload = Buffer.contents conn.bin_payload in
-        Buffer.clear conn.bin_payload;
-        conn.bin_need <- -1;
-        handle_binary_frame t conn payload
-      end
-    end
-  done
-
-let rec feed t conn data =
-  if String.length data > 0 then
-    match conn.codec with
-    | Json_lines -> feed_json t conn data
-    | Binary -> feed_binary t conn data
-    | Sniffing ->
-        Buffer.add_string conn.sniff data;
-        let s = Buffer.contents conn.sniff in
-        let m = Protocol.Binary.magic in
-        let ml = String.length m in
-        if String.length s >= ml then begin
-          Buffer.clear conn.sniff;
-          if String.sub s 0 ml = m then begin
-            conn.codec <- Binary;
-            feed t conn (String.sub s ml (String.length s - ml))
-          end
-          else begin
-            conn.codec <- Json_lines;
-            feed t conn s
-          end
-        end
-        else if String.sub m 0 (String.length s) <> s then begin
-          (* Not a prefix of the magic: this is a JSON client. *)
-          Buffer.clear conn.sniff;
-          conn.codec <- Json_lines;
-          feed t conn s
-        end
-(* else: still a strict prefix of the magic; wait for more bytes *)
 
 (* ------------------------------------------------------------------ *)
 (* Event loop                                                          *)
@@ -499,14 +410,7 @@ let accept_ready t =
             {
               c_id = conn_id;
               c_fd = fd;
-              codec = Sniffing;
-              sniff = Buffer.create 8;
-              acc = Buffer.create 256;
-              discarding = false;
-              bin_hdr = Buffer.create 4;
-              bin_need = -1;
-              bin_payload = Buffer.create 256;
-              bin_discard = 0;
+              frame = Framing.create ();
               outq = Queue.create ();
               out_off = 0;
               c_closed = false;

@@ -1,0 +1,898 @@
+(* Sharded serving front.  See shard.mli for the architecture contract.
+
+   Single-threaded by construction: the event-loop thread owns every
+   socket, every queue, the pending table, and the ring — the front
+   never computes, so unlike {!Server} there is no worker pool and no
+   cross-thread reply path.  The mutex only makes the observer API
+   (stats, pending_count) safe to call from other threads; nothing on
+   the loop thread ever blocks on it while holding work. *)
+
+type config = {
+  host : string;
+  port : int;
+  backends : (string * int) list;
+  vnodes : int;
+  max_attempts : int;
+  max_frame_bytes : int;
+  max_connections : int;
+  drain_timeout_s : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    backends = [];
+    vnodes = 128;
+    max_attempts = 3;
+    max_frame_bytes = 1_048_576;
+    max_connections = 900;
+    drain_timeout_s = 5.0;
+  }
+
+type backend_stat = {
+  bs_name : string;
+  bs_up : bool;
+  bs_inflight : int;
+  bs_sent : int;
+  bs_replies : int;
+  bs_p50_ms : float;
+  bs_p99_ms : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Local latency histogram                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Quarter-octave log buckets over [2^-8, 2^24) ms (~19% resolution):
+   always-on per-backend latency without growing state, independent of
+   the global telemetry enable flag. *)
+module Lat = struct
+  let n_buckets = (4 * 32) + 1
+
+  type t = { buckets : int array; mutable count : int }
+
+  let make () = { buckets = Array.make n_buckets 0; count = 0 }
+
+  let bucket_of_ms ms =
+    if ms <= 0.00390625 then 0
+    else begin
+      let b = 1 + int_of_float (Float.ceil (4.0 *. ((Float.log ms /. Float.log 2.0) +. 8.0))) in
+      if b < 0 then 0 else if b >= n_buckets then n_buckets - 1 else b
+    end
+
+  let observe t ms =
+    t.buckets.(bucket_of_ms ms) <- t.buckets.(bucket_of_ms ms) + 1;
+    t.count <- t.count + 1
+
+  (* Upper edge of the bucket holding the q-quantile. *)
+  let quantile_ms t q =
+    if t.count = 0 then Float.nan
+    else begin
+      let want =
+        let w = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+        if w < 1 then 1 else if w > t.count then t.count else w
+      in
+      let acc = ref 0 and found = ref (n_buckets - 1) and i = ref 0 in
+      while !i < n_buckets && !acc < want do
+        acc := !acc + t.buckets.(!i);
+        if !acc >= want then found := !i;
+        incr i
+      done;
+      2.0 ** ((float_of_int (!found - 1) /. 4.0) -. 8.0)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type slot = { mutable s_reply : string option }
+
+type client = {
+  cl_id : int;
+  cl_fd : Unix.file_descr;
+  cl_frame : Framing.t;
+  cl_outq : string Queue.t;
+  mutable cl_out_off : int;
+  cl_slots : slot Queue.t; (* replies owed, in request order *)
+  mutable cl_closed : bool;
+}
+
+type backend = {
+  b_name : string; (* "host:port" *)
+  b_addr : Unix.sockaddr;
+  mutable b_fd : Unix.file_descr option; (* None = down, never re-dialed *)
+  mutable b_frame : Framing.t;
+  b_outq : string Queue.t;
+  mutable b_out_off : int;
+  mutable b_inflight : int;
+  mutable b_sent : int;
+  mutable b_replies : int;
+  b_lat : Lat.t;
+  b_sent_counter : Obs.Telemetry.Counter.t;
+}
+
+type pending = {
+  p_seq : int;
+  p_client : int;
+  p_slot : slot;
+  p_codec : Framing.codec; (* client codec at decode time *)
+  p_id : Json.t;           (* original id, restored on the way back *)
+  p_key : string;          (* ring routing key: the exact quantized observation *)
+  p_wire : string;         (* framed binary request carrying the seq id *)
+  mutable p_attempts : int;
+  mutable p_backend : string;
+  p_t0 : float;
+}
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  bound_port : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  lock : Mutex.t; (* observer API only; all mutation is loop-thread *)
+  clients : (int, client) Hashtbl.t;
+  mutable next_client : int;
+  backends : backend array;
+  mutable ring : Ring.t;
+  pending : (int, pending) Hashtbl.t;
+  mutable next_seq : int;
+  stopping : bool Atomic.t;
+  flushing : bool Atomic.t;
+  shutdown_requested : bool Atomic.t;
+  stopped : bool Atomic.t;
+  mutable last_input : float; (* last client bytes seen; gates drain exit *)
+  mutable loop_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+
+let pending_count t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.pending in
+  Mutex.unlock t.lock;
+  n
+
+let live_connections t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.clients in
+  Mutex.unlock t.lock;
+  n
+
+let backend_stats t =
+  Mutex.lock t.lock;
+  let stats =
+    Array.to_list
+      (Array.map
+         (fun b ->
+           {
+             bs_name = b.b_name;
+             bs_up = b.b_fd <> None;
+             bs_inflight = b.b_inflight;
+             bs_sent = b.b_sent;
+             bs_replies = b.b_replies;
+             bs_p50_ms = Lat.quantile_ms b.b_lat 0.50;
+             bs_p99_ms = Lat.quantile_ms b.b_lat 0.99;
+           })
+         t.backends)
+  in
+  Mutex.unlock t.lock;
+  stats
+
+let request_shutdown t = Atomic.set t.shutdown_requested true
+
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "w" 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
+  | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let encode_reply_for codec reply =
+  match codec with
+  | Framing.Binary -> Protocol.Binary.frame (Protocol.Binary.encode_reply reply)
+  | Framing.Sniffing | Framing.Json_lines -> Json.to_string reply ^ "\n"
+
+let encode_reply_safe codec reply =
+  try encode_reply_for codec reply
+  with _ ->
+    Obs.Telemetry.Counter.incr Metrics.encode_failures;
+    encode_reply_for codec (Protocol.error_reply ~id:Json.Null "reply encoding failed")
+
+(* Restore the client's original id on a backend reply (the wire carried
+   the internal sequence number).  Mirrors Protocol's convention: no
+   [id] member when the request carried none, first member otherwise. *)
+let restore_id p reply =
+  match reply with
+  | Json.Obj fields ->
+      let rest = List.filter (fun (k, _) -> k <> "id") fields in
+      if p.p_id = Json.Null then Json.Obj rest else Json.Obj (("id", p.p_id) :: rest)
+  | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* Output queues (loop thread only)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Drain as far as the kernel accepts.  [`Failed] on a hard error; the
+   caller decides what dies (a client conn, or a whole backend). *)
+let drain_queue fd outq get_off set_off =
+  let result = ref `Ok in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt outq with
+    | None -> continue := false
+    | Some s -> (
+        let off = get_off () in
+        let len = String.length s - off in
+        match Unix.write_substring fd s off len with
+        | n ->
+            if n = len then begin
+              ignore (Queue.pop outq);
+              set_off 0
+            end
+            else begin
+              set_off (off + n);
+              continue := false
+            end
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            continue := false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ ->
+            result := `Failed;
+            continue := false)
+  done;
+  !result
+
+let drain_client c =
+  if c.cl_closed then `Ok
+  else drain_queue c.cl_fd c.cl_outq (fun () -> c.cl_out_off) (fun o -> c.cl_out_off <- o)
+
+let close_client t c =
+  if not c.cl_closed then begin
+    Mutex.lock t.lock;
+    c.cl_closed <- true;
+    Hashtbl.remove t.clients c.cl_id;
+    Mutex.unlock t.lock;
+    try Unix.close c.cl_fd with Unix.Unix_error _ -> ()
+  end
+
+(* Release every in-order reply at the head of the slot queue into the
+   connection's output queue, then push. *)
+let flush_client t c =
+  if not c.cl_closed then begin
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt c.cl_slots with
+      | Some { s_reply = Some encoded } ->
+          ignore (Queue.pop c.cl_slots);
+          Queue.push encoded c.cl_outq
+      | Some { s_reply = None } | None -> continue := false
+    done;
+    match drain_client c with `Failed -> close_client t c | `Ok -> ()
+  end
+
+let new_slot c =
+  let slot = { s_reply = None } in
+  Queue.push slot c.cl_slots;
+  slot
+
+let fill t c slot reply =
+  slot.s_reply <- Some (encode_reply_safe (Framing.codec c.cl_frame) reply);
+  flush_client t c
+
+(* ------------------------------------------------------------------ *)
+(* Pending requests: routing, re-fanning, failure                      *)
+(* ------------------------------------------------------------------ *)
+
+let backend_by_name t name = Array.find_opt (fun b -> b.b_name = name) t.backends
+
+let deliver t p reply =
+  match Hashtbl.find_opt t.clients p.p_client with
+  | Some c when not c.cl_closed ->
+      p.p_slot.s_reply <- Some (encode_reply_safe p.p_codec reply);
+      flush_client t c
+  | Some _ | None -> () (* client went away; the answer has no address *)
+
+let fail_pending t p reason =
+  Mutex.lock t.lock;
+  Hashtbl.remove t.pending p.p_seq;
+  Mutex.unlock t.lock;
+  Obs.Telemetry.Counter.incr Metrics.shard_errors;
+  deliver t p (Protocol.error_reply ~id:p.p_id reason)
+
+(* Mutual recursion: sending can reveal a dead backend, whose loss
+   re-fans its pendings, which sends again — bounded by [max_attempts]
+   per pending and by the backend count (each loss removes one). *)
+let rec route_and_send t p =
+  if p.p_attempts >= t.cfg.max_attempts then
+    fail_pending t p "backend lost (retries exhausted)"
+  else
+    match Ring.route t.ring p.p_key with
+    | None -> fail_pending t p "no backends available"
+    | Some name -> (
+        match backend_by_name t name with
+        | None | Some { b_fd = None; _ } ->
+            (* The ring only holds live backends; a miss here means the
+               loss path is mid-flight — treat as exhausted routing. *)
+            fail_pending t p "no backends available"
+        | Some b ->
+            p.p_attempts <- p.p_attempts + 1;
+            p.p_backend <- name;
+            Mutex.lock t.lock;
+            b.b_inflight <- b.b_inflight + 1;
+            b.b_sent <- b.b_sent + 1;
+            Mutex.unlock t.lock;
+            Obs.Telemetry.Counter.incr Metrics.shard_fanout;
+            Obs.Telemetry.Counter.incr b.b_sent_counter;
+            Queue.push p.p_wire b.b_outq;
+            backend_drain t b)
+
+and backend_drain t b =
+  match b.b_fd with
+  | None -> ()
+  | Some fd -> (
+      match drain_queue fd b.b_outq (fun () -> b.b_out_off) (fun o -> b.b_out_off <- o) with
+      | `Failed -> backend_down t b
+      | `Ok -> ())
+
+and backend_down t b =
+  match b.b_fd with
+  | None -> ()
+  | Some fd ->
+      Mutex.lock t.lock;
+      b.b_fd <- None;
+      b.b_inflight <- 0;
+      Mutex.unlock t.lock;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Queue.clear b.b_outq;
+      b.b_out_off <- 0;
+      b.b_frame <- Framing.create_binary ();
+      t.ring <- Ring.remove t.ring b.b_name;
+      Obs.Telemetry.Counter.incr Metrics.shard_backend_lost;
+      (* Re-fan everything that was awaiting this backend onto the
+         surviving ring, lowest sequence first (deterministic order). *)
+      let victims =
+        Hashtbl.fold
+          (fun _ p acc -> if p.p_backend = b.b_name then p :: acc else acc)
+          t.pending []
+        |> List.sort (fun a c -> compare a.p_seq c.p_seq)
+      in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem t.pending p.p_seq then begin
+            Obs.Telemetry.Counter.incr Metrics.shard_refan;
+            route_and_send t p
+          end)
+        victims
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value c = Json.Num (float_of_int (Obs.Telemetry.Counter.value c))
+
+let stats_reply t =
+  let backend_json =
+    List.map
+      (fun bs ->
+        Json.Obj
+          [
+            ("name", Json.Str bs.bs_name);
+            ("up", Json.Bool bs.bs_up);
+            ("inflight", Json.Num (float_of_int bs.bs_inflight));
+            ("sent", Json.Num (float_of_int bs.bs_sent));
+            ("replies", Json.Num (float_of_int bs.bs_replies));
+            ("p50_ms", Json.num bs.bs_p50_ms);
+            ("p99_ms", Json.num bs.bs_p99_ms);
+          ])
+      (backend_stats t)
+  in
+  Json.Obj
+    [
+      ("status", Json.Str "stats");
+      ("role", Json.Str "shard-front");
+      ("backends", Json.List backend_json);
+      ("pending", Json.Num (float_of_int (pending_count t)));
+      ("live_connections", Json.Num (float_of_int (live_connections t)));
+      ("requests", counter_value Metrics.shard_requests);
+      ("fanout", counter_value Metrics.shard_fanout);
+      ("refan", counter_value Metrics.shard_refan);
+      ("backend_lost", counter_value Metrics.shard_backend_lost);
+      ("replies", counter_value Metrics.shard_replies);
+      ("errors", counter_value Metrics.shard_errors);
+      ("orphan_replies", counter_value Metrics.shard_orphan_replies);
+    ]
+
+let dispatch_localize t c slot (req : Protocol.localize) =
+  Obs.Telemetry.Counter.incr Metrics.shard_requests;
+  if Atomic.get t.stopping then
+    fill t c slot (Protocol.error_reply ~id:req.Protocol.id "draining")
+  else begin
+    let key = Protocol.cache_key (Protocol.observations_of req) in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let wire =
+      Protocol.Binary.frame
+        (Protocol.Binary.encode_request
+           (Protocol.Localize { req with Protocol.id = Json.Num (float_of_int seq) }))
+    in
+    let p =
+      {
+        p_seq = seq;
+        p_client = c.cl_id;
+        p_slot = slot;
+        p_codec = Framing.codec c.cl_frame;
+        p_id = req.Protocol.id;
+        p_key = key;
+        p_wire = wire;
+        p_attempts = 0;
+        p_backend = "";
+        p_t0 = Unix.gettimeofday ();
+      }
+    in
+    Mutex.lock t.lock;
+    Hashtbl.replace t.pending seq p;
+    Mutex.unlock t.lock;
+    route_and_send t p
+  end
+
+let handle_request t c slot = function
+  | Protocol.Ping -> fill t c slot Protocol.pong_reply
+  | Protocol.Stats -> fill t c slot (stats_reply t)
+  | Protocol.Shutdown ->
+      request_shutdown t;
+      fill t c slot Protocol.draining_reply
+  | Protocol.Localize req -> dispatch_localize t c slot req
+
+let handle_client_json t c line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.trim line = "" then ()
+  else begin
+    let slot = new_slot c in
+    match Json.of_string line with
+    | Error e ->
+        Obs.Telemetry.Counter.incr Metrics.shard_bad_frames;
+        fill t c slot (Protocol.error_reply ~id:Json.Null (Printf.sprintf "bad frame: %s" e))
+    | Ok json -> (
+        match Protocol.parse_request json with
+        | Error e ->
+            Obs.Telemetry.Counter.incr Metrics.shard_bad_frames;
+            let id = Option.value ~default:Json.Null (Json.member "id" json) in
+            fill t c slot (Protocol.error_reply ~id (Printf.sprintf "bad request: %s" e))
+        | Ok req -> handle_request t c slot req)
+  end
+
+let handle_client_binary t c payload =
+  let slot = new_slot c in
+  match Protocol.Binary.decode_request payload with
+  | Error e ->
+      Obs.Telemetry.Counter.incr Metrics.shard_bad_frames;
+      fill t c slot (Protocol.error_reply ~id:Json.Null (Printf.sprintf "bad request: %s" e))
+  | Ok req -> handle_request t c slot req
+
+let feed_client t c data =
+  Framing.feed c.cl_frame ~max_frame_bytes:t.cfg.max_frame_bytes
+    ~on_json:(handle_client_json t c)
+    ~on_binary:(handle_client_binary t c)
+    ~on_oversize:(fun () ->
+      Obs.Telemetry.Counter.incr Metrics.shard_bad_frames;
+      let slot = new_slot c in
+      fill t c slot
+        (Protocol.error_reply ~id:Json.Null
+           (Printf.sprintf "frame too large (max %d bytes)" t.cfg.max_frame_bytes)))
+    data
+
+(* ------------------------------------------------------------------ *)
+(* Backend replies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let handle_backend_reply t b reply =
+  let seq =
+    match Json.member "id" reply with
+    | Some (Json.Num f) when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+  in
+  match seq with
+  | None -> Obs.Telemetry.Counter.incr Metrics.shard_orphan_replies
+  | Some seq -> (
+      match Hashtbl.find_opt t.pending seq with
+      | None -> Obs.Telemetry.Counter.incr Metrics.shard_orphan_replies
+      | Some p ->
+          Mutex.lock t.lock;
+          Hashtbl.remove t.pending seq;
+          if b.b_inflight > 0 then b.b_inflight <- b.b_inflight - 1;
+          b.b_replies <- b.b_replies + 1;
+          Lat.observe b.b_lat (1000.0 *. (Unix.gettimeofday () -. p.p_t0));
+          Mutex.unlock t.lock;
+          Obs.Telemetry.Counter.incr Metrics.shard_replies;
+          deliver t p (restore_id p reply))
+
+let feed_backend t b data =
+  Framing.feed b.b_frame ~max_frame_bytes:t.cfg.max_frame_bytes
+    ~on_json:(fun _ -> ())
+    ~on_binary:(fun payload ->
+      match Protocol.Binary.decode_reply payload with
+      | Ok reply -> handle_backend_reply t b reply
+      | Error _ ->
+          (* An undecodable backend frame means the length-prefixed
+             stream is corrupt: every later frame boundary is suspect,
+             so correlation by id is no longer trustworthy.  Kill the
+             connection; the loss path re-fans its pendings. *)
+          Obs.Telemetry.Counter.incr Metrics.shard_bad_frames;
+          backend_down t b)
+    ~on_oversize:(fun () ->
+      Obs.Telemetry.Counter.incr Metrics.shard_bad_frames;
+      backend_down t b)
+    data
+
+let backend_readable t b buf =
+  match b.b_fd with
+  | None -> ()
+  | Some fd ->
+      let rec go () =
+        match b.b_fd with
+        | None -> ()
+        | Some _ -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> backend_down t b
+            | n ->
+                feed_backend t b (Bytes.sub_string buf 0 n);
+                if n = Bytes.length buf then go ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception Unix.Unix_error _ -> backend_down t b
+            | exception Sys_error _ -> backend_down t b)
+      in
+      go ()
+
+(* ------------------------------------------------------------------ *)
+(* Event loop                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let drain_wake t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+    | n when n = Bytes.length buf -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let accept_ready t =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listener with
+    | fd, _ ->
+        if Atomic.get t.stopping then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go ()
+        end
+        else if live_connections t >= t.cfg.max_connections then begin
+          Obs.Telemetry.Counter.incr Metrics.shard_rejected_connections;
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go ()
+        end
+        else begin
+          (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+          Obs.Telemetry.Counter.incr Metrics.shard_connections;
+          Mutex.lock t.lock;
+          let id = t.next_client in
+          t.next_client <- id + 1;
+          Hashtbl.replace t.clients id
+            {
+              cl_id = id;
+              cl_fd = fd;
+              cl_frame = Framing.create ();
+              cl_outq = Queue.create ();
+              cl_out_off = 0;
+              cl_slots = Queue.create ();
+              cl_closed = false;
+            };
+          Mutex.unlock t.lock;
+          go ()
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF), _, _) -> ()
+  in
+  go ()
+
+let client_readable t c buf =
+  if not c.cl_closed then begin
+    let rec go () =
+      match Unix.read c.cl_fd buf 0 (Bytes.length buf) with
+      | 0 -> close_client t c
+      | n ->
+          t.last_input <- Unix.gettimeofday ();
+          feed_client t c (Bytes.sub_string buf 0 n);
+          if n = Bytes.length buf then go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> close_client t c
+      | exception Sys_error _ -> close_client t c
+    in
+    go ()
+  end
+
+let flush_timeout_s = 5.0
+
+(* Quiescence window on client input before the drain or flush phase may
+   conclude.  Requests fully sent before stop() can still be in flight in
+   the kernel when the pending table momentarily reads empty; exiting at
+   that instant closes sockets with unread data, which resets the
+   connection and destroys the replies those requests are owed. *)
+let drain_grace_s = 0.3
+
+let event_loop t =
+  let buf = Bytes.create 65536 in
+  let running = ref true in
+  let drain_deadline = ref None in
+  let flush_deadline = ref None in
+  while !running do
+    (try
+       let stopping = Atomic.get t.stopping in
+       let flushing = Atomic.get t.flushing in
+       let rfds = ref [ t.wake_r ] in
+       if not stopping then rfds := t.listener :: !rfds;
+       let wfds = ref [] in
+       let watched_clients = ref [] in
+       Mutex.lock t.lock;
+       Hashtbl.iter
+         (fun _ c ->
+           if not c.cl_closed then begin
+             watched_clients := c :: !watched_clients;
+             (* Clients stay readable even while stopping: requests
+                already pipelined into the socket must be read and
+                answered (with "draining" errors) — abandoning them
+                unread turns the final close into a reset that also
+                destroys the replies they are owed. *)
+             rfds := c.cl_fd :: !rfds;
+             if not (Queue.is_empty c.cl_outq) then wfds := c.cl_fd :: !wfds
+           end)
+         t.clients;
+       Mutex.unlock t.lock;
+       let watched_backends = ref [] in
+       Array.iter
+         (fun b ->
+           match b.b_fd with
+           | Some fd ->
+               watched_backends := (b, fd) :: !watched_backends;
+               (* Backends stay readable through the drain phase: their
+                  replies are what empties the pending table. *)
+               if not flushing then rfds := fd :: !rfds;
+               if not (Queue.is_empty b.b_outq) then wfds := fd :: !wfds
+           | None -> ())
+         t.backends;
+       let r, w, _ =
+         try Unix.select !rfds !wfds [] 0.2 with
+         | Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+         | Unix.Unix_error _ ->
+             Obs.Telemetry.Counter.incr Metrics.shard_loop_failures;
+             Thread.delay 0.05;
+             ([], [], [])
+       in
+       if List.memq t.wake_r r then drain_wake t;
+       if (not (Atomic.get t.stopping)) && List.memq t.listener r then accept_ready t;
+       List.iter
+         (fun (b, fd) ->
+           try
+             if List.memq fd w then backend_drain t b;
+             if (not flushing) && b.b_fd <> None && List.memq fd r then backend_readable t b buf
+           with _ ->
+             Obs.Telemetry.Counter.incr Metrics.shard_loop_failures;
+             backend_down t b)
+         !watched_backends;
+       List.iter
+         (fun c ->
+           try
+             if List.memq c.cl_fd w then begin
+               match drain_client c with `Failed -> close_client t c | `Ok -> ()
+             end;
+             if List.memq c.cl_fd r then client_readable t c buf
+           with _ ->
+             Obs.Telemetry.Counter.incr Metrics.shard_loop_failures;
+             close_client t c)
+         !watched_clients
+     with _ ->
+       Obs.Telemetry.Counter.incr Metrics.shard_loop_failures;
+       Thread.delay 0.01);
+    (* Drain phase: intake is closed, backends keep answering; once the
+       pending table empties (or the drain window runs out) the owed
+       remainder degrades to error replies — never silence. *)
+    if Atomic.get t.stopping && not (Atomic.get t.flushing) then begin
+      let now = Unix.gettimeofday () in
+      let deadline =
+        match !drain_deadline with
+        | Some d -> d
+        | None ->
+            let d = now +. t.cfg.drain_timeout_s in
+            drain_deadline := Some d;
+            d
+      in
+      if (Hashtbl.length t.pending = 0 && now -. t.last_input >= drain_grace_s)
+         || now >= deadline
+      then begin
+        let remaining =
+          Hashtbl.fold (fun _ p acc -> p :: acc) t.pending []
+          |> List.sort (fun a b -> compare a.p_seq b.p_seq)
+        in
+        List.iter (fun p -> fail_pending t p "draining") remaining;
+        Atomic.set t.flushing true
+      end
+    end;
+    if Atomic.get t.flushing then begin
+      let now = Unix.gettimeofday () in
+      let deadline =
+        match !flush_deadline with
+        | Some d -> d
+        | None ->
+            let d = now +. flush_timeout_s in
+            flush_deadline := Some d;
+            d
+      in
+      Mutex.lock t.lock;
+      let pending_out =
+        Hashtbl.fold (fun _ c acc -> acc || not (Queue.is_empty c.cl_outq)) t.clients false
+      in
+      Mutex.unlock t.lock;
+      if ((not pending_out) && now -. t.last_input >= drain_grace_s) || now >= deadline then
+        running := false
+    end
+  done;
+  (* Close every socket still open. *)
+  Mutex.lock t.lock;
+  let remaining = Hashtbl.fold (fun _ c acc -> c :: acc) t.clients [] in
+  Hashtbl.reset t.clients;
+  List.iter (fun c -> c.cl_closed <- true) remaining;
+  Mutex.unlock t.lock;
+  List.iter (fun c -> try Unix.close c.cl_fd with Unix.Unix_error _ -> ()) remaining;
+  Array.iter
+    (fun b ->
+      match b.b_fd with
+      | Some fd ->
+          b.b_fd <- None;
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ())
+    t.backends
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let connect_backend (host, port) =
+  let name = Printf.sprintf "%s:%d" host port in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd_opt =
+    match Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | fd -> (
+        try
+          Unix.connect fd addr;
+          Unix.setsockopt fd Unix.TCP_NODELAY true;
+          (* The magic is the first and only codec negotiation; after it
+             the connection speaks length-prefixed binary both ways. *)
+          write_all fd Protocol.Binary.magic;
+          Unix.set_nonblock fd;
+          Some fd
+        with Unix.Unix_error _ | Sys_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          None)
+    | exception Unix.Unix_error _ -> None
+  in
+  {
+    b_name = name;
+    b_addr = addr;
+    b_fd = fd_opt;
+    b_frame = Framing.create_binary ();
+    b_outq = Queue.create ();
+    b_out_off = 0;
+    b_inflight = 0;
+    b_sent = 0;
+    b_replies = 0;
+    b_lat = Lat.make ();
+    b_sent_counter =
+      Obs.Telemetry.Counter.make ~deterministic:false ~domain:"shard" ("sent:" ^ name);
+  }
+
+let start ?(config = default_config) () =
+  if config.backends = [] then invalid_arg "Shard.start: no backends";
+  if config.max_attempts < 1 then invalid_arg "Shard.start: max_attempts < 1";
+  if config.max_connections < 1 then invalid_arg "Shard.start: max_connections < 1";
+  if config.vnodes < 1 then invalid_arg "Shard.start: vnodes < 1";
+  let names = List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) config.backends in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Shard.start: duplicate backend";
+  let backends = Array.of_list (List.map connect_backend config.backends) in
+  let up_names =
+    Array.to_list backends
+    |> List.filter_map (fun b -> if b.b_fd <> None then Some b.b_name else None)
+  in
+  let close_backends () =
+    Array.iter
+      (fun b ->
+        match b.b_fd with
+        | Some fd ->
+            b.b_fd <- None;
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+        | None -> ())
+      backends
+  in
+  if up_names = [] then begin
+    close_backends ();
+    failwith "Shard.start: no backend reachable"
+  end;
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listener 128;
+     Unix.set_nonblock listener
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     close_backends ();
+     raise e);
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      cfg = config;
+      listener;
+      bound_port;
+      wake_r;
+      wake_w;
+      lock = Mutex.create ();
+      clients = Hashtbl.create 32;
+      next_client = 0;
+      backends;
+      ring = Ring.make ~vnodes:config.vnodes up_names;
+      pending = Hashtbl.create 64;
+      next_seq = 0;
+      stopping = Atomic.make false;
+      flushing = Atomic.make false;
+      shutdown_requested = Atomic.make false;
+      stopped = Atomic.make false;
+      last_input = Unix.gettimeofday ();
+      loop_thread = None;
+    }
+  in
+  t.loop_thread <- Some (Thread.create event_loop t);
+  t
+
+let wait t =
+  while not (Atomic.get t.shutdown_requested || Atomic.get t.stopped) do
+    Thread.delay 0.05
+  done
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Atomic.set t.shutdown_requested true;
+    wake t;
+    (match t.loop_thread with Some th -> Thread.join th | None -> ());
+    t.loop_thread <- None;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+    Atomic.set t.stopped true
+  end

@@ -106,4 +106,4 @@ let () =
    @ Test_batch_golden.suite @ Test_robustness_golden.suite @ Test_parity.suite
    @ Test_refine.suite
    @ Test_lru.suite @ Test_wire_fuzz.suite @ Test_serve.suite @ Test_backends.suite
-   @ smoke_suite)
+   @ Test_planet.suite @ Test_ring.suite @ Test_shard.suite @ smoke_suite)

@@ -1,0 +1,151 @@
+(* The planet substrate's streaming contract.
+
+   Targets are never stored: a target and its RTT vector are pure
+   functions of (world seed, target index).  The parity test is the
+   anchor — on a world small enough to materialize, lazy access in a
+   shuffled order must reproduce the eager tables bit for bit, which is
+   exactly what licenses the 100k-target worlds to stream with flat
+   memory.  The remaining tests pin determinism across world instances,
+   seed sensitivity, physical sanity of the latency model, and that
+   streaming really does hold the heap flat. *)
+
+module Planet = Netsim.Planet
+
+let small_params =
+  {
+    Planet.default_params with
+    Planet.n_routers = 150;
+    n_landmarks = 14;
+    n_targets = 200;
+  }
+
+let test_streamed_eager_parity () =
+  let world = Planet.create ~params:small_params ~seed:11 () in
+  let eager_targets, eager_rtts = Planet.eager world in
+  Alcotest.(check int) "eager size" 200 (Array.length eager_targets);
+  (* Shuffled access order: purity means history cannot matter. *)
+  let order = Array.init 200 Fun.id in
+  let rng = Stats.Rng.create 4242 in
+  for i = 199 downto 1 do
+    let j = Stats.Rng.int rng (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  Array.iter
+    (fun i ->
+      let tgt = Planet.target world i in
+      if tgt <> eager_targets.(i) then Alcotest.failf "target %d differs from eager" i;
+      if Planet.rtt_vector world tgt <> eager_rtts.(i) then
+        Alcotest.failf "rtt vector %d differs from eager" i)
+    order;
+  (* And a second access of the same index after all that history. *)
+  let t0 = Planet.target world 0 in
+  Alcotest.(check bool) "repeated access identical" true
+    (t0 = eager_targets.(0) && Planet.rtt_vector world t0 = eager_rtts.(0))
+
+let test_world_determinism () =
+  let a = Planet.create ~params:small_params ~seed:7 () in
+  let b = Planet.create ~params:small_params ~seed:7 () in
+  for i = 0 to Planet.n_landmarks a - 1 do
+    if Planet.landmark_position a i <> Planet.landmark_position b i then
+      Alcotest.failf "landmark %d position differs across equal-seed worlds" i
+  done;
+  for i = 0 to 49 do
+    let ta = Planet.target a i and tb = Planet.target b i in
+    if ta <> tb then Alcotest.failf "target %d differs across equal-seed worlds" i;
+    if Planet.rtt_vector a ta <> Planet.rtt_vector b tb then
+      Alcotest.failf "rtt vector %d differs across equal-seed worlds" i
+  done;
+  let c = Planet.create ~params:small_params ~seed:8 () in
+  let differs = ref false in
+  for i = 0 to 19 do
+    if Planet.target a i <> Planet.target c i then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let test_rtt_sanity () =
+  let world = Planet.create ~params:small_params ~seed:3 () in
+  let inter = Planet.inter_landmark_rtt world in
+  let n = Planet.n_landmarks world in
+  for i = 0 to n - 1 do
+    if inter.(i).(i) <> 0.0 then Alcotest.failf "inter diagonal %d nonzero" i;
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        if not (Float.is_finite inter.(i).(j)) || inter.(i).(j) <= 0.0 then
+          Alcotest.failf "inter (%d,%d) = %f not positive finite" i j inter.(i).(j);
+        if inter.(i).(j) <> inter.(j).(i) then Alcotest.failf "inter (%d,%d) asymmetric" i j
+      end
+    done
+  done;
+  Alcotest.(check bool) "inter matrix cached" true (inter == Planet.inter_landmark_rtt world);
+  Planet.fold_targets world ~init:() ~f:(fun () tgt rtts ->
+      Alcotest.(check int) "vector length" n (Array.length rtts);
+      Array.iteri
+        (fun lm v ->
+          if not (Float.is_finite v) || v <= 0.0 then
+            Alcotest.failf "rtt (lm %d, target %d) = %f not positive finite" lm
+              tgt.Planet.t_index v;
+          (* RTT can never beat light through fiber over the great
+             circle (heights and last mile only add). *)
+          let km =
+            Geo.Geodesy.distance_km (Planet.landmark_position world lm) tgt.Planet.t_position
+          in
+          if v < Geo.Geodesy.distance_to_min_rtt_ms km -. 1e-6 then
+            Alcotest.failf "rtt (lm %d, target %d) = %.3f beats light over %.0f km" lm
+              tgt.Planet.t_index v km)
+        rtts)
+
+let test_bounds_and_buffers () =
+  let world = Planet.create ~params:small_params ~seed:5 () in
+  Alcotest.check_raises "negative index" (Invalid_argument "Planet.target: index out of range")
+    (fun () -> ignore (Planet.target world (-1)));
+  (match Planet.target world (Planet.n_targets world) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "index past n_targets accepted");
+  let tgt = Planet.target world 0 in
+  (match Planet.rtt_vector_into world tgt (Array.make 3 0.0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "wrong-size buffer accepted");
+  let buf = Array.make (Planet.n_landmarks world) 0.0 in
+  Planet.rtt_vector_into world tgt buf;
+  Alcotest.(check bool) "into matches allocating" true (buf = Planet.rtt_vector world tgt)
+
+(* Streaming must hold the heap flat: the world is materialized once and
+   every target is transient.  20k targets through the reused-buffer fold
+   with compaction fore and aft — growth beyond a few percent means
+   streaming is accumulating state somewhere.  Judged on live words, not
+   heap_words: the latter is a high-water mark and transient garbage
+   would read as growth on runtimes whose compaction is a no-op. *)
+let test_flat_memory () =
+  let world =
+    Planet.create
+      ~params:{ small_params with Planet.n_targets = 20_000 }
+      ~seed:13 ()
+  in
+  (* Touch the cached inter matrix first so it does not count as growth. *)
+  ignore (Planet.inter_landmark_rtt world);
+  Gc.compact ();
+  let before = (Gc.stat ()).Gc.live_words in
+  let acc =
+    Planet.fold_targets world ~init:0.0 ~f:(fun acc _tgt rtts -> acc +. rtts.(0))
+  in
+  Gc.compact ();
+  let after = (Gc.stat ()).Gc.live_words in
+  let growth = float_of_int after /. float_of_int (Stdlib.max 1 before) in
+  if not (Float.is_finite acc) then Alcotest.fail "stream checksum not finite";
+  if growth > 1.25 then
+    Alcotest.failf "heap grew %.2fx across a 20k-target stream (want flat)" growth
+
+let suite =
+  [
+    ( "planet",
+      [
+        Alcotest.test_case "streamed equals eager, shuffled access" `Quick
+          test_streamed_eager_parity;
+        Alcotest.test_case "equal seeds give equal worlds" `Quick test_world_determinism;
+        Alcotest.test_case "latency model sanity" `Quick test_rtt_sanity;
+        Alcotest.test_case "bounds and buffer contracts" `Quick test_bounds_and_buffers;
+        Alcotest.test_case "streaming holds the heap flat" `Slow test_flat_memory;
+      ] );
+  ]

@@ -1,0 +1,138 @@
+(* Property suite for the consistent-hash ring behind the shard front.
+
+   Two load-bearing properties.  Balance: with 128 virtual nodes per
+   backend, no backend's share of a large random key set strays far from
+   1/n — the aggregate-cache-capacity argument for sharding dies if one
+   backend owns most of the key space.  Minimal remapping: removing one
+   backend moves {e only} the keys that hashed to it; every other key
+   keeps its owner bit for bit.  This is exact, not statistical — the
+   surviving vnode hashes are independent of set membership — and it is
+   what makes failover cheap: a lost backend invalidates only its own
+   cache share.
+
+   Seeded generators throughout; a failure is a deterministic repro. *)
+
+module Ring = Octant_serve.Ring
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+
+let names_of rng =
+  let n = 2 + Stats.Rng.int rng 7 in
+  List.init n (fun i -> Printf.sprintf "10.0.%d.%d:%d" i (Stats.Rng.int rng 256) (7000 + i))
+
+let keys_of rng n =
+  List.init n (fun _ ->
+      String.init (4 + Stats.Rng.int rng 20) (fun _ -> Char.chr (33 + Stats.Rng.int rng 94)))
+
+let route_exn ring key =
+  match Ring.route ring key with
+  | Some name -> name
+  | None -> QCheck.Test.fail_reportf "route returned None on a non-empty ring"
+
+let prop_balance =
+  QCheck.Test.make ~count:20 ~name:"every backend owns a sane share of the key space" arb_seed
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let names = names_of rng in
+      let n = List.length names in
+      let ring = Ring.make names in
+      let keys = keys_of rng 4000 in
+      let counts = Hashtbl.create n in
+      List.iter
+        (fun k ->
+          let b = route_exn ring k in
+          Hashtbl.replace counts b (1 + Option.value ~default:0 (Hashtbl.find_opt counts b)))
+        keys;
+      let avg = float_of_int (List.length keys) /. float_of_int n in
+      List.iter
+        (fun name ->
+          let c = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts name)) in
+          if c < 0.2 *. avg || c > 3.0 *. avg then
+            QCheck.Test.fail_reportf
+              "seed %d: backend %s owns %.0f of %d keys (avg %.0f, n=%d) — outside [0.2x, 3x]"
+              seed name c (List.length keys) avg n)
+        names;
+      true)
+
+let prop_minimal_remapping =
+  QCheck.Test.make ~count:20 ~name:"removing a backend only moves its own keys" arb_seed
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let names = names_of rng in
+      let ring = Ring.make names in
+      let victim = List.nth names (Stats.Rng.int rng (List.length names)) in
+      let survivor_ring = Ring.remove ring victim in
+      List.iter
+        (fun k ->
+          let before = route_exn ring k in
+          if before = victim then begin
+            (* Its keys must land somewhere else (unless the ring emptied). *)
+            match Ring.route survivor_ring k with
+            | Some after when after <> victim -> ()
+            | Some _ -> QCheck.Test.fail_reportf "seed %d: key still routes to removed %s" seed victim
+            | None ->
+                if Ring.cardinal survivor_ring > 0 then
+                  QCheck.Test.fail_reportf "seed %d: route None on non-empty survivor ring" seed
+          end
+          else
+            (* Every other key keeps its owner, exactly. *)
+            let after = route_exn survivor_ring k in
+            if after <> before then
+              QCheck.Test.fail_reportf
+                "seed %d: key moved %s -> %s though only %s was removed" seed before after
+                victim)
+        (keys_of rng 2000);
+      true)
+
+let prop_add_restores =
+  QCheck.Test.make ~count:20 ~name:"remove then add restores the original routing" arb_seed
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let names = names_of rng in
+      let ring = Ring.make names in
+      let victim = List.nth names (Stats.Rng.int rng (List.length names)) in
+      let restored = Ring.add (Ring.remove ring victim) victim in
+      List.iter
+        (fun k ->
+          let a = route_exn ring k and b = route_exn restored k in
+          if a <> b then
+            QCheck.Test.fail_reportf "seed %d: routing not restored (%s vs %s)" seed a b)
+        (keys_of rng 1000);
+      true)
+
+let test_edge_cases () =
+  let empty = Ring.make [] in
+  Alcotest.(check bool) "empty ring is empty" true (Ring.is_empty empty);
+  Alcotest.(check bool) "route on empty ring" true (Ring.route empty "k" = None);
+  let one = Ring.make [ "a:1" ] in
+  Alcotest.(check int) "cardinal" 1 (Ring.cardinal one);
+  Alcotest.(check bool) "single backend owns everything" true
+    (List.for_all (fun k -> Ring.route one k = Some "a:1") [ "x"; "y"; ""; "zzz" ]);
+  Alcotest.(check bool) "mem" true (Ring.mem one "a:1");
+  Alcotest.(check bool) "not mem" false (Ring.mem one "b:2");
+  let dup = Ring.make [ "a:1"; "a:1"; "b:2" ] in
+  Alcotest.(check int) "duplicate names collapse" 2 (Ring.cardinal dup);
+  Alcotest.(check bool) "remove last leaves empty" true
+    (Ring.is_empty (Ring.remove (Ring.remove dup "a:1") "b:2"))
+
+let test_deterministic () =
+  let a = Ring.make [ "a:1"; "b:2"; "c:3" ] and b = Ring.make [ "c:3"; "a:1"; "b:2" ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "construction order irrelevant for %S" k)
+        true
+        (Ring.route a k = Ring.route b k))
+    (List.init 64 (fun i -> Printf.sprintf "key-%d" i))
+
+let suite =
+  [
+    ( "ring",
+      [
+        QCheck_alcotest.to_alcotest prop_balance;
+        QCheck_alcotest.to_alcotest prop_minimal_remapping;
+        QCheck_alcotest.to_alcotest prop_add_restores;
+        Alcotest.test_case "edge cases" `Quick test_edge_cases;
+        Alcotest.test_case "construction-order independence" `Quick test_deterministic;
+      ] );
+  ]

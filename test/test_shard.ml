@@ -1,0 +1,359 @@
+(* End-to-end harness for the sharded serving front.
+
+   The front's contract: a consistent-hash fan-out over octant_served
+   backends that (a) answers byte-for-byte what a single daemon would
+   have answered, (b) delivers replies in request order per client
+   connection, and (c) treats backend loss as routine — pendings on a
+   lost backend re-fan onto the surviving ring and every request still
+   gets a reply, an invariant asserted here by killing a backend
+   mid-batch and checking both the replies and the shard/refan
+   telemetry counter.
+
+   The lost backend in the failover test is a scripted stub (accept,
+   swallow frames, hang, drop the connection) rather than a real
+   daemon: a real [Server.stop] drains gracefully, and the point is
+   precisely an ungraceful loss. *)
+
+module Json = Octant_serve.Json
+module Protocol = Octant_serve.Protocol
+module Server = Octant_serve.Server
+module Shard = Octant_serve.Shard
+
+let n_landmarks = 12
+
+let make_ctx () =
+  let rng = Stats.Rng.create 90210 in
+  let landmarks =
+    Array.init n_landmarks (fun i ->
+        {
+          Octant.Pipeline.lm_key = i;
+          lm_position =
+            Geo.Geodesy.coord
+              ~lat:(Stats.Rng.uniform rng 32.0 46.0)
+              ~lon:(Stats.Rng.uniform rng (-118.0) (-78.0));
+        })
+  in
+  let rtt a b =
+    let prop = Geo.Geodesy.distance_to_min_rtt_ms (Geo.Geodesy.distance_km a b) in
+    (1.36 *. prop) +. 2.1 +. Stats.Rng.uniform rng 0.0 2.6
+  in
+  let inter = Array.make_matrix n_landmarks n_landmarks 0.0 in
+  for i = 0 to n_landmarks - 1 do
+    for j = i + 1 to n_landmarks - 1 do
+      let v =
+        rtt landmarks.(i).Octant.Pipeline.lm_position landmarks.(j).Octant.Pipeline.lm_position
+      in
+      inter.(i).(j) <- v;
+      inter.(j).(i) <- v
+    done
+  done;
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let target_rtts truth = Array.map (fun l -> rtt l.Octant.Pipeline.lm_position truth) landmarks in
+  (ctx, rng, target_rtts)
+
+let rand_rtts rng target_rtts =
+  target_rtts
+    (Geo.Geodesy.coord
+       ~lat:(Stats.Rng.uniform rng 33.0 45.0)
+       ~lon:(Stats.Rng.uniform rng (-116.0) (-80.0)))
+
+let localize_line ~id rtts =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("rtt_ms", Json.List (Array.to_list (Array.map Json.num rtts)));
+       ])
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let parse_reply raw =
+  match Json.of_string raw with
+  | Ok json -> json
+  | Error e -> Alcotest.failf "unparseable reply %S: %s" raw e
+
+let start_backends ?(config = Server.default_config) ctx n =
+  List.init n (fun _ -> Server.start ~config ~ctx ())
+
+let front_over ?(max_attempts = 3) servers_ports =
+  Shard.start
+    ~config:
+      {
+        Shard.default_config with
+        Shard.backends = List.map (fun p -> ("127.0.0.1", p)) servers_ports;
+        max_attempts;
+      }
+    ()
+
+let with_cluster ?config ~backends:n f =
+  let ctx, rng, target_rtts = make_ctx () in
+  let servers = start_backends ?config ctx n in
+  let front = front_over (List.map Server.port servers) in
+  Fun.protect
+    ~finally:(fun () ->
+      Shard.stop front;
+      List.iter Server.stop servers)
+    (fun () -> f ~front ~servers ~ctx ~rng ~target_rtts)
+
+(* Replies through the front must be byte-identical to the same request
+   answered by a daemon directly — id restoration included.  The one
+   legitimate divergence is the "cached" flag: it reports the state of
+   whichever backend's LRU answered, and the two paths warm different
+   caches.  Normalize it away before comparing. *)
+let strip_cached raw =
+  match parse_reply raw with
+  | Json.Obj fields -> Json.to_string (Json.Obj (List.remove_assoc "cached" fields))
+  | other -> Json.to_string other
+
+let test_front_parity () =
+  with_cluster ~backends:2 (fun ~front ~servers ~ctx:_ ~rng ~target_rtts ->
+      let direct = Server.port (List.hd servers) in
+      let fdf, icf, ocf = connect (Shard.port front) in
+      let fdd, icd, ocd = connect direct in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close fdf;
+          Unix.close fdd)
+        (fun () ->
+          for i = 0 to 11 do
+            let id =
+              if i mod 3 = 0 then Json.Str (Printf.sprintf "req-%d" i)
+              else Json.Num (float_of_int (1000 + i))
+            in
+            let line = localize_line ~id (rand_rtts rng target_rtts) in
+            send ocf line;
+            let through_front = input_line icf in
+            send ocd line;
+            let direct_reply = input_line icd in
+            Alcotest.(check string)
+              (Printf.sprintf "request %d byte-identical through the front" i)
+              (strip_cached direct_reply) (strip_cached through_front)
+          done;
+          (* A request with no id at all: the daemon omits the field and
+             so must the front, even though it rides on an internal
+             sequence number. *)
+          let rtts = rand_rtts rng target_rtts in
+          let line =
+            Json.to_string
+              (Json.Obj [ ("rtt_ms", Json.List (Array.to_list (Array.map Json.num rtts))) ])
+          in
+          send ocf line;
+          let through_front = input_line icf in
+          send ocd line;
+          Alcotest.(check string) "id-less request byte-identical"
+            (strip_cached (input_line icd))
+            (strip_cached through_front)))
+
+(* Pipelining N requests without reading must return replies in request
+   order — the front's slot queue, not the backends, owns the order. *)
+let test_order_preserved () =
+  with_cluster ~backends:3 (fun ~front ~servers:_ ~ctx:_ ~rng ~target_rtts ->
+      let fd, ic, oc = connect (Shard.port front) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let n = 40 in
+          for i = 0 to n - 1 do
+            send oc (localize_line ~id:(Json.Num (float_of_int i)) (rand_rtts rng target_rtts))
+          done;
+          for i = 0 to n - 1 do
+            let reply = parse_reply (input_line ic) in
+            (match Json.member "id" reply with
+            | Some (Json.Num f) when int_of_float f = i -> ()
+            | other ->
+                Alcotest.failf "reply %d out of order: id %s" i
+                  (match other with Some j -> Json.to_string j | None -> "<absent>"));
+            Alcotest.(check string)
+              (Printf.sprintf "reply %d ok" i)
+              "ok" (Protocol.status_of reply)
+          done))
+
+let test_control_frames () =
+  with_cluster ~backends:2 (fun ~front ~servers:_ ~ctx:_ ~rng:_ ~target_rtts:_ ->
+      let fd, ic, oc = connect (Shard.port front) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          send oc {|{"op":"ping"}|};
+          Alcotest.(check string) "pong" "pong" (Protocol.status_of (parse_reply (input_line ic)));
+          send oc {|{"op":"stats"}|};
+          let stats = parse_reply (input_line ic) in
+          Alcotest.(check string) "stats" "stats" (Protocol.status_of stats);
+          (match Json.member "role" stats with
+          | Some (Json.Str "shard-front") -> ()
+          | _ -> Alcotest.failf "stats lacks shard-front role: %s" (Json.to_string stats));
+          match Json.member "backends" stats with
+          | Some (Json.List l) -> Alcotest.(check int) "two backends in stats" 2 (List.length l)
+          | _ -> Alcotest.failf "stats lacks backends: %s" (Json.to_string stats)))
+
+(* A scripted backend for the loss path: speaks just enough OCTB to be
+   dialed (reads the magic), swallows [swallow] request frames without
+   ever replying, then drops the connection. *)
+let stub_backend ~swallow =
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 4;
+  let port =
+    match Unix.getsockname listener with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listener in
+        let buf = Bytes.create 4096 in
+        let seen = ref 0 in
+        (* Count frames by their length prefix; the magic is 4 bytes. *)
+        let acc = ref 0 in
+        (try
+           while !seen < swallow do
+             let n = Unix.read fd buf 0 (Bytes.length buf) in
+             if n = 0 then raise Exit;
+             acc := !acc + n;
+             (* Frames are length-prefixed; a localize request here is
+                well over 100 bytes, so a byte-count heuristic is enough
+                for a test stub. *)
+             seen := (!acc - 4) / 100
+           done
+         with _ -> ());
+        Unix.close fd;
+        Unix.close listener)
+      ()
+  in
+  (port, thread)
+
+(* Kill a backend mid-batch: requests pending on the stub must re-fan
+   onto the surviving daemon and every request must still be answered,
+   in order, with the shard/refan counter recording the failover. *)
+let test_backend_loss_refan () =
+  let ctx, rng, target_rtts = make_ctx () in
+  Octant.Telemetry.reset ();
+  Octant.Telemetry.enable ();
+  let counter d n =
+    let snap = Octant.Telemetry.snapshot () in
+    List.fold_left
+      (fun acc c ->
+        if c.Octant.Telemetry.c_domain = d && c.Octant.Telemetry.c_name = n then
+          c.Octant.Telemetry.c_value
+        else acc)
+      0 snap.Octant.Telemetry.counters
+  in
+  let stub_port, stub_thread = stub_backend ~swallow:1 in
+  let real = Server.start ~ctx () in
+  let front =
+    Shard.start
+      ~config:
+        {
+          Shard.default_config with
+          Shard.backends = [ ("127.0.0.1", stub_port); ("127.0.0.1", Server.port real) ];
+        }
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Octant.Telemetry.disable ();
+      Shard.stop front;
+      Server.stop real;
+      Thread.join stub_thread)
+    (fun () ->
+      let fd, ic, oc = connect (Shard.port front) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let n = 24 in
+          for i = 0 to n - 1 do
+            send oc (localize_line ~id:(Json.Num (float_of_int i)) (rand_rtts rng target_rtts))
+          done;
+          for i = 0 to n - 1 do
+            let reply = parse_reply (input_line ic) in
+            (match Json.member "id" reply with
+            | Some (Json.Num f) when int_of_float f = i -> ()
+            | _ -> Alcotest.failf "reply %d out of order after failover" i);
+            Alcotest.(check string)
+              (Printf.sprintf "reply %d ok despite backend loss" i)
+              "ok" (Protocol.status_of reply)
+          done;
+          Alcotest.(check bool) "a backend was declared lost" true
+            (counter "shard" "backend_lost" >= 1);
+          Alcotest.(check bool) "pendings were re-fanned" true (counter "shard" "refan" >= 1);
+          (* The front keeps serving on the survivor. *)
+          send oc {|{"op":"ping"}|};
+          Alcotest.(check string) "front alive after failover" "pong"
+            (Protocol.status_of (parse_reply (input_line ic)));
+          send oc
+            (localize_line ~id:(Json.Str "after") (rand_rtts rng target_rtts));
+          Alcotest.(check string) "localize after failover" "ok"
+            (Protocol.status_of (parse_reply (input_line ic)))))
+
+(* Shutdown drains: pipelined requests in flight when stop() is called
+   are answered (ok or explicit error), then the connection closes. *)
+let test_stop_drains () =
+  with_cluster ~backends:2 (fun ~front ~servers:_ ~ctx:_ ~rng ~target_rtts ->
+      let fd, ic, oc = connect (Shard.port front) in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let n = 16 in
+          for i = 0 to n - 1 do
+            send oc (localize_line ~id:(Json.Num (float_of_int i)) (rand_rtts rng target_rtts))
+          done;
+          let stopper = Thread.create (fun () -> Shard.stop front) () in
+          for i = 0 to n - 1 do
+            match input_line ic with
+            | raw ->
+                let status = Protocol.status_of (parse_reply raw) in
+                if status <> "ok" && status <> "error" then
+                  Alcotest.failf "reply %d: unexpected status %S during drain" i status
+            | exception End_of_file ->
+                Alcotest.failf "connection closed with %d replies still owed" (n - i)
+          done;
+          (match input_line ic with
+          | _ -> Alcotest.fail "expected EOF after drain"
+          | exception End_of_file -> ());
+          Thread.join stopper))
+
+let test_config_validation () =
+  (match Shard.start ~config:Shard.default_config () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty backend list accepted");
+  (* A port nothing listens on: the front must refuse to start rather
+     than serve a ring of zero backends. *)
+  let dead = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let dead_port =
+    match Unix.getsockname dead with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  Unix.close dead;
+  match
+    Shard.start
+      ~config:{ Shard.default_config with Shard.backends = [ ("127.0.0.1", dead_port) ] }
+      ()
+  with
+  | exception Failure _ -> ()
+  | front ->
+      Shard.stop front;
+      Alcotest.fail "front started with no reachable backend"
+
+let suite =
+  [
+    ( "shard",
+      [
+        Alcotest.test_case "replies byte-identical to a direct daemon" `Quick test_front_parity;
+        Alcotest.test_case "pipelined replies preserve request order" `Quick
+          test_order_preserved;
+        Alcotest.test_case "ping and stats answered by the front" `Quick test_control_frames;
+        Alcotest.test_case "backend loss re-fans mid-batch, no wedge" `Quick
+          test_backend_loss_refan;
+        Alcotest.test_case "stop drains in-flight requests" `Quick test_stop_drains;
+        Alcotest.test_case "config validation refuses bad clusters" `Quick
+          test_config_validation;
+      ] );
+  ]
