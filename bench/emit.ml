@@ -27,11 +27,17 @@ let git_rev =
 
 let now () = Unix.gettimeofday ()
 
+let schema_version = 1
+
 let write ~bench ~t0 ?(fields = []) ?(gates = []) ~rows path =
   let json =
     Json.Obj
       ([
          ("bench", Json.Str bench);
+         (* Version of this envelope's shape; CI's jq validators assert
+            it, so a field rename or removal must bump it in lockstep
+            with the validators. *)
+         ("schema_version", Json.Num (float_of_int schema_version));
          ("git_rev", Json.Str (Lazy.force git_rev));
          ("bench_wall_s", Json.num (now () -. t0));
          ("recommended_domains", Json.Num (float_of_int (Octant.Parallel.default_jobs ())));

@@ -9,6 +9,7 @@
      dune exec bench/main.exe timing     -- end-to-end solution times
      dune exec bench/main.exe adversary  -- error vs f under colluding Byzantine landmarks
      dune exec bench/main.exe refine     -- adaptive landmark admission, error/clips vs budget
+     dune exec bench/main.exe stream     -- persistent sessions: incremental folds vs re-solves
      dune exec bench/main.exe batch      -- multicore batch engine, sequential vs N domains
      dune exec bench/main.exe shard      -- planet substrate + sharded multi-daemon serving
      dune exec bench/main.exe region     -- region backends: exact vs grid vs hybrid prefilter
@@ -1431,6 +1432,187 @@ let refine_bench () =
     ~rows:(List.rev !json_rows) "BENCH_refine.json"
 
 (* ------------------------------------------------------------------ *)
+(* Streaming re-localization *)
+(* ------------------------------------------------------------------ *)
+
+(* Gates for the persistent-session live-update path (ROADMAP item 1):
+   folding a delta into the live arrangement must beat a from-scratch
+   re-solve of the same constraint log by at least this factor, the
+   incremental estimate must stay bit-identical to that re-solve at
+   every prefix, and the session's live state must stay flat across a
+   long feed (epoch decay actually bounds the log). *)
+let stream_min_fold_speedup = 2.0
+let stream_max_live_growth = 1.10
+
+let stream_bench () =
+  banner "STREAM: persistent sessions, incremental folds vs full re-solves";
+  let bench_t0 = Emit.now () in
+  (* A 16-landmark world: hosts 0..15 serve as landmarks, host 16 is the
+     streamed target. *)
+  let n_world = 20 in
+  let n_lm = 16 in
+  let deployment = Netsim.Deployment.make ~seed ~n_hosts:n_world () in
+  let bridge = Eval.Bridge.create deployment in
+  let lm_set = Array.init n_lm Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) lm_set in
+  let inter = Eval.Bridge.inter_rtt_for bridge lm_set in
+  let ctx = Octant.Pipeline.prepare ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let base_obs = Eval.Bridge.observations bridge ~landmark_indices:lm_set ~target:16 in
+  let base_rtts = base_obs.Octant.Pipeline.target_rtt_ms in
+  (* Deterministic synthetic feed: each update re-measures two random
+     landmarks with +-10% jitter on the true RTT; every [retire_every]
+     updates epochs older than a [window]-epoch sliding horizon decay. *)
+  let retire_every = 64 in
+  let window = 96 in
+  let feed n =
+    let rng = Stats.Rng.create 42 in
+    Array.init n (fun i ->
+        let epoch = i + 1 in
+        let d_rtts =
+          Array.init 2 (fun _ ->
+              let lm = Stats.Rng.int rng n_lm in
+              (lm, base_rtts.(lm) *. Stats.Rng.uniform rng 0.9 1.1))
+        in
+        let retire =
+          if epoch mod retire_every = 0 && epoch - window >= 0 then Some (epoch - window)
+          else None
+        in
+        (epoch, d_rtts, retire))
+  in
+  let same (a : Octant.Estimate.t) (b : Octant.Estimate.t) =
+    a.Octant.Estimate.point = b.Octant.Estimate.point
+    && a.Octant.Estimate.point_plane = b.Octant.Estimate.point_plane
+    && a.Octant.Estimate.area_km2 = b.Octant.Estimate.area_km2
+    && a.Octant.Estimate.top_weight = b.Octant.Estimate.top_weight
+    && a.Octant.Estimate.cells_used = b.Octant.Estimate.cells_used
+    && a.Octant.Estimate.constraints_used = b.Octant.Estimate.constraints_used
+    && a.Octant.Estimate.target_height_ms = b.Octant.Estimate.target_height_ms
+  in
+  let apply session (epoch, d_rtts, retire) =
+    let est =
+      Octant.Pipeline.Session.fold session
+        { Octant.Pipeline.Session.d_rtts; d_epoch = epoch }
+    in
+    match retire with
+    | Some upto -> Octant.Pipeline.Session.retire session ~upto_epoch:upto
+    | None -> est
+  in
+  (* Phase A: prefix parity and fold-vs-resolve speedup.  At every
+     prefix of the feed the folded estimate is compared (bit for bit)
+     against a from-scratch re-solve of the session's surviving
+     constraint log, and both paths are timed on the same prefixes. *)
+  let n_parity = 150 in
+  let parity_feed = feed n_parity in
+  let session, _ = Octant.Pipeline.Session.create ctx base_obs in
+  let fold_s = ref 0.0 and resolve_s = ref 0.0 in
+  let parity_failures = ref 0 in
+  Array.iter
+    (fun u ->
+      let t0 = Unix.gettimeofday () in
+      let est = apply session u in
+      fold_s := !fold_s +. (Unix.gettimeofday () -. t0);
+      let t1 = Unix.gettimeofday () in
+      let replay = Octant.Pipeline.Session.replay_estimate session in
+      resolve_s := !resolve_s +. (Unix.gettimeofday () -. t1);
+      if not (same est replay) then incr parity_failures)
+    parity_feed;
+  let prefix_parity = !parity_failures = 0 in
+  let fold_speedup = !resolve_s /. Float.max !fold_s 1e-9 in
+  let fold_us = 1e6 *. !fold_s /. float_of_int n_parity in
+  let resolve_us = 1e6 *. !resolve_s /. float_of_int n_parity in
+  Printf.printf
+    "  parity feed: %d updates  fold %7.0f us/update  re-solve %7.0f us/update  speedup %.2fx  parity %s\n%!"
+    n_parity fold_us resolve_us fold_speedup
+    (if prefix_parity then "ok (every prefix)" else Printf.sprintf "FAIL (%d)" !parity_failures);
+  (* Phase B: a long feed.  Folds only (re-solve sampled sparsely for a
+     parity spot check), live state sampled to prove epoch decay keeps
+     session memory flat across >= 1k updates. *)
+  let n_long = 1200 in
+  let long_feed = feed n_long in
+  let session2, _ = Octant.Pipeline.Session.create ctx base_obs in
+  let samples = ref [] in
+  let long_fold_s = ref 0.0 in
+  let long_parity_ok = ref true in
+  Array.iteri
+    (fun i u ->
+      let t0 = Unix.gettimeofday () in
+      let est = apply session2 u in
+      long_fold_s := !long_fold_s +. (Unix.gettimeofday () -. t0);
+      if (i + 1) mod 50 = 0 then
+        samples :=
+          ( i + 1,
+            Octant.Pipeline.Session.live_constraints session2,
+            Octant.Pipeline.Session.cells_live session2 )
+          :: !samples;
+      if (i + 1) mod 200 = 0 then
+        long_parity_ok :=
+          !long_parity_ok && same est (Octant.Pipeline.Session.replay_estimate session2))
+    long_feed;
+  let samples = List.rev !samples in
+  let updates_per_s = float_of_int n_long /. Float.max !long_fold_s 1e-9 in
+  (* Flatness: after the first retire horizon has passed, the peak live
+     constraint count must not keep growing. *)
+  let warm = List.filter (fun (i, _, _) -> i > window) samples in
+  let half = (n_long + window) / 2 in
+  let peak p =
+    List.fold_left (fun acc (i, live, _) -> if p i then Stdlib.max acc live else acc) 0 warm
+  in
+  let first_peak = peak (fun i -> i <= half) in
+  let second_peak = peak (fun i -> i > half) in
+  let live_growth = float_of_int second_peak /. float_of_int (Stdlib.max first_peak 1) in
+  let memory_flat = live_growth <= stream_max_live_growth in
+  Printf.printf
+    "  long feed: %d updates at %7.0f updates/s  live peak %d (first half) -> %d (second half, %.2fx)\n%!"
+    n_long updates_per_s first_peak second_peak live_growth;
+  Printf.printf "# gates: prefix parity %s, fold speedup %.2fx (>= %.1fx), live growth %.2fx (<= %.2fx)\n%!"
+    (if prefix_parity && !long_parity_ok then "ok" else "FAIL")
+    fold_speedup stream_min_fold_speedup live_growth stream_max_live_growth;
+  Emit.write ~bench:"stream" ~t0:bench_t0
+    ~fields:
+      [
+        ("landmarks", Json.Num (float_of_int n_lm));
+        ("parity_updates", Json.Num (float_of_int n_parity));
+        ("long_updates", Json.Num (float_of_int n_long));
+        ("retire_every", Json.Num (float_of_int retire_every));
+        ("retire_window", Json.Num (float_of_int window));
+        ("fold_us_per_update", Json.num fold_us);
+        ("resolve_us_per_update", Json.num resolve_us);
+        ("fold_speedup", Json.num fold_speedup);
+        ("min_fold_speedup", Json.num stream_min_fold_speedup);
+        ("updates_per_s", Json.num updates_per_s);
+        ("live_peak_first_half", Json.Num (float_of_int first_peak));
+        ("live_peak_second_half", Json.Num (float_of_int second_peak));
+        ("live_growth", Json.num live_growth);
+        ("max_live_growth", Json.num stream_max_live_growth);
+        ("prefix_parity", Json.Bool (prefix_parity && !long_parity_ok));
+      ]
+    ~gates:
+      [
+        Emit.gate "prefix_parity"
+          (prefix_parity && !long_parity_ok)
+          "incremental estimate bit-identical to a from-scratch re-solve at every prefix";
+        Emit.gate "fold_speedup"
+          (fold_speedup >= stream_min_fold_speedup)
+          (Printf.sprintf "fold %.2fx faster than naive re-solve (want >= %.1fx)" fold_speedup
+             stream_min_fold_speedup);
+        Emit.gate "memory_flat" memory_flat
+          (Printf.sprintf
+             "peak live constraints grew %.2fx across %d updates (want <= %.2fx)" live_growth
+             n_long stream_max_live_growth);
+      ]
+    ~rows:
+      (List.map
+         (fun (i, live, cells) ->
+           Json.Obj
+             [
+               ("update", Json.Num (float_of_int i));
+               ("live_constraints", Json.Num (float_of_int live));
+               ("cells_live", Json.Num (float_of_int cells));
+             ])
+         samples)
+    "BENCH_stream.json"
+
+(* ------------------------------------------------------------------ *)
 (* Figure 4 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1731,6 +1913,7 @@ let () =
   | "robustness" -> robustness ()
   | "adversary" -> adversary_bench ()
   | "refine" -> refine_bench ()
+  | "stream" -> stream_bench ()
   | "timing" -> timing (Eval.Study.run ~seed ~n_hosts ())
   | "batch" -> batch ()
   | "serve" -> serve_bench ()
@@ -1746,6 +1929,7 @@ let () =
       robustness ();
       adversary_bench ();
       refine_bench ();
+      stream_bench ();
       secondary ();
       vivaldi ();
       timing study;
@@ -1756,5 +1940,5 @@ let () =
       geom ();
       micro ()
   | other ->
-      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|adversary|refine|secondary|vivaldi|timing|batch|serve|shard|region|geom|micro|all)\n" other;
+      Printf.eprintf "unknown bench target %S (fig2|fig3|fig4|ablation|robustness|adversary|refine|stream|secondary|vivaldi|timing|batch|serve|shard|region|geom|micro|all)\n" other;
       exit 1

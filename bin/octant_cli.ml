@@ -323,10 +323,165 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"Disable each Octant mechanism in turn")
     Term.(const ablation $ seed_arg $ hosts_arg)
 
+(* --- stream --- *)
+
+(* Replay a recorded observation feed through the persistent session API.
+   The feed is newline-delimited JSON in the daemon's own update-frame
+   shape ({!Octant_serve.Protocol}), one frame per line:
+
+     {"op":"update","target_id":"t1","epoch":0,"rtt_ms":[12.3,...]}
+     {"op":"update","target_id":"t1","epoch":1,"delta":[[3,17.2],[5,9.1]]}
+     {"op":"update","target_id":"t1","retire_upto":0}
+
+   Each applied frame prints the per-update estimate delta: how far the
+   point estimate moved, how the region changed, and the session's live
+   evidence.  --verify re-solves the session's constraint log from
+   scratch after every frame and fails on any divergence — the prefix
+   -parity contract, checkable on any recorded feed. *)
+let stream seed hosts probes feed verify backend harden budget refine telemetry =
+  with_telemetry telemetry @@ fun () ->
+  let module Protocol = Octant_serve.Protocol in
+  let module Json = Octant_serve.Json in
+  let _, bridge = mk_bridge seed hosts probes in
+  let n = Eval.Bridge.host_count bridge in
+  let all = Array.init n Fun.id in
+  let landmarks = Eval.Bridge.landmarks_for bridge ~exclude:(-1) all in
+  let inter = Eval.Bridge.inter_rtt_for bridge all in
+  let config =
+    {
+      Octant.Pipeline.default_config with
+      Octant.Pipeline.backend;
+      harden = harden_opt harden;
+      refine = refine_opt budget refine;
+    }
+  in
+  let ctx = Octant.Pipeline.prepare ~config ~landmarks ~inter_landmark_rtt_ms:inter () in
+  let sessions = Octant.Pipeline.Sessions.create () in
+  let prev : (string, Octant.Estimate.t) Hashtbl.t = Hashtbl.create 8 in
+  let fail line_no fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s:%d: %s\n" feed line_no msg;
+        exit 1)
+      fmt
+  in
+  let estimates_equal (a : Octant.Estimate.t) (b : Octant.Estimate.t) =
+    a.Octant.Estimate.point = b.Octant.Estimate.point
+    && a.Octant.Estimate.point_plane = b.Octant.Estimate.point_plane
+    && a.Octant.Estimate.area_km2 = b.Octant.Estimate.area_km2
+    && a.Octant.Estimate.top_weight = b.Octant.Estimate.top_weight
+    && a.Octant.Estimate.cells_used = b.Octant.Estimate.cells_used
+    && a.Octant.Estimate.constraints_used = b.Octant.Estimate.constraints_used
+    && a.Octant.Estimate.target_height_ms = b.Octant.Estimate.target_height_ms
+  in
+  let report line_no kind target (est : Octant.Estimate.t) session =
+    let moved =
+      match Hashtbl.find_opt prev target with
+      | Some p -> Geo.Geodesy.distance_km p.Octant.Estimate.point est.Octant.Estimate.point
+      | None -> 0.0
+    in
+    Hashtbl.replace prev target est;
+    Printf.printf
+      "%4d  %-6s %-12s (%8.3f, %9.3f)  moved %8.2f km  area %12.0f km2  live %3d  cells %3d\n%!"
+      line_no kind target est.Octant.Estimate.point.Geo.Geodesy.lat
+      est.Octant.Estimate.point.Geo.Geodesy.lon moved est.Octant.Estimate.area_km2
+      (Octant.Pipeline.Session.live_constraints session)
+      est.Octant.Estimate.cells_used;
+    if verify then begin
+      let replay = Octant.Pipeline.Session.replay_estimate session in
+      if not (estimates_equal est replay) then
+        fail line_no "prefix parity violated for %S: incremental and batch replay diverged"
+          target
+    end
+  in
+  let apply line_no (u : Protocol.update) =
+    match Protocol.base_observations_of u with
+    | Some obs ->
+        let session, est =
+          try Octant.Pipeline.Session.create ~epoch:u.Protocol.u_epoch ctx obs
+          with Invalid_argument msg -> fail line_no "bad base observations: %s" msg
+        in
+        let est =
+          match u.Protocol.u_retire_upto with
+          | Some upto -> Octant.Pipeline.Session.retire session ~upto_epoch:upto
+          | None -> est
+        in
+        ignore (Octant.Pipeline.Sessions.add sessions u.Protocol.u_target session);
+        report line_no "base" u.Protocol.u_target est session
+    | None -> (
+        match Octant.Pipeline.Sessions.find sessions u.Protocol.u_target with
+        | None -> fail line_no "unknown session %S (no prior base frame)" u.Protocol.u_target
+        | Some session ->
+            let delta = Protocol.quantized_delta u in
+            let est = ref (Octant.Pipeline.Session.estimate session) in
+            (try
+               if Array.length delta > 0 then
+                 est :=
+                   Octant.Pipeline.Session.fold session
+                     {
+                       Octant.Pipeline.Session.d_rtts = delta;
+                       d_epoch = u.Protocol.u_epoch;
+                     }
+             with Invalid_argument msg -> fail line_no "bad delta: %s" msg);
+            (match u.Protocol.u_retire_upto with
+            | Some upto -> est := Octant.Pipeline.Session.retire session ~upto_epoch:upto
+            | None -> ());
+            let kind = if Array.length delta > 0 then "delta" else "retire" in
+            report line_no kind u.Protocol.u_target !est session)
+  in
+  let ic = try open_in feed with Sys_error e -> Printf.eprintf "%s\n" e; exit 1 in
+  let line_no = ref 0 and applied = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then begin
+         match Json.of_string line with
+         | Error e -> fail !line_no "bad frame: %s" e
+         | Ok json -> (
+             match Protocol.parse_request json with
+             | Error e -> fail !line_no "bad request: %s" e
+             | Ok (Protocol.Update u) ->
+                 apply !line_no u;
+                 incr applied
+             | Ok _ -> fail !line_no "feed frames must be updates (op=\"update\")")
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Printf.printf "replayed %d updates across %d live sessions%s\n" !applied
+    (Octant.Pipeline.Sessions.live sessions)
+    (if verify then " (prefix parity verified)" else "")
+
+let stream_cmd =
+  let feed =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FEED"
+          ~doc:
+            "Recorded observation feed: newline-delimited JSON update frames in the \
+             daemon's wire shape.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "After every applied frame, re-solve the session's constraint log from \
+             scratch and fail on any divergence from the incremental estimate.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Replay a recorded observation feed through persistent solver sessions")
+    Term.(
+      const stream $ seed_arg $ hosts_arg $ probes_arg $ feed $ verify $ backend_arg
+      $ harden_arg $ budget_arg $ refine_arg $ telemetry_arg)
+
 let main =
   Cmd.group
     (Cmd.info "octant_cli" ~version:"1.0.0"
        ~doc:"Octant geolocalization framework — reproduction CLI")
-    [ localize_cmd; calibrate_cmd; study_cmd; sweep_cmd; ablation_cmd ]
+    [ localize_cmd; calibrate_cmd; study_cmd; sweep_cmd; ablation_cmd; stream_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -76,6 +76,15 @@ let cache_shards_arg =
           "Result-cache shard count (rounded down to a power of two, clamped to the \
            capacity).")
 
+let sessions_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "sessions" ] ~docv:"N"
+        ~doc:
+          "Live streaming-session cap for {\"op\":\"update\"} clients; the \
+           least-recently-touched session past it is evicted.")
+
 let max_conns_arg =
   Arg.(
     value
@@ -164,7 +173,7 @@ let refine_opt budget refine =
   else None
 
 let serve seed hosts probes port host jobs workers max_queue max_batch batch_delay_ms cache
-    cache_shards max_conns deadline backend harden budget refine telemetry =
+    cache_shards sessions max_conns deadline backend harden budget refine telemetry =
   let telemetry_sink =
     match telemetry with
     | None -> None
@@ -210,6 +219,7 @@ let serve seed hosts probes port host jobs workers max_queue max_batch batch_del
       batch_delay_s = batch_delay_ms /. 1000.0;
       cache_capacity = cache;
       cache_shards;
+      session_capacity = sessions;
       max_connections = max_conns;
       default_deadline_ms = deadline;
     }
@@ -248,7 +258,7 @@ let main =
     Term.(
       const serve $ seed_arg $ hosts_arg $ probes_arg $ port_arg $ host_arg $ jobs_arg
       $ workers_arg $ max_queue_arg $ max_batch_arg $ batch_delay_arg $ cache_arg
-      $ cache_shards_arg $ max_conns_arg $ deadline_arg $ backend_arg $ harden_arg
-      $ budget_arg $ refine_arg $ telemetry_arg)
+      $ cache_shards_arg $ sessions_arg $ max_conns_arg $ deadline_arg $ backend_arg
+      $ harden_arg $ budget_arg $ refine_arg $ telemetry_arg)
 
 let () = exit (Cmd.eval main)

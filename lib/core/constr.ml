@@ -5,33 +5,36 @@ type shape =
 
 type polarity = Positive | Negative
 
-type t = { shape : shape; polarity : polarity; weight : float; source : string }
+type t = { shape : shape; polarity : polarity; weight : float; source : string; epoch : int }
 
 let check_weight w = if w < 0.0 then invalid_arg "Constr: negative weight"
 
 let positive_disk ~center ~radius_km ~weight ~source =
   check_weight weight;
   if radius_km <= 0.0 then invalid_arg "Constr.positive_disk: radius must be positive";
-  { shape = Disk { center; radius_km }; polarity = Positive; weight; source }
+  { shape = Disk { center; radius_km }; polarity = Positive; weight; source; epoch = 0 }
 
 let ring ~center ~r_inner_km ~r_outer_km ~weight ~source =
   check_weight weight;
   if r_inner_km < 0.0 || r_outer_km <= r_inner_km then invalid_arg "Constr.ring: bad radii";
   if r_inner_km = 0.0 then positive_disk ~center ~radius_km:r_outer_km ~weight ~source
-  else { shape = Ring { center; r_inner_km; r_outer_km }; polarity = Positive; weight; source }
+  else
+    { shape = Ring { center; r_inner_km; r_outer_km }; polarity = Positive; weight; source; epoch = 0 }
 
 let negative_disk ~center ~radius_km ~weight ~source =
   check_weight weight;
   if radius_km <= 0.0 then invalid_arg "Constr.negative_disk: radius must be positive";
-  { shape = Disk { center; radius_km }; polarity = Negative; weight; source }
+  { shape = Disk { center; radius_km }; polarity = Negative; weight; source; epoch = 0 }
 
 let positive_region region ~weight ~source =
   check_weight weight;
-  { shape = Rough region; polarity = Positive; weight; source }
+  { shape = Rough region; polarity = Positive; weight; source; epoch = 0 }
 
 let negative_region region ~weight ~source =
   check_weight weight;
-  { shape = Rough region; polarity = Negative; weight; source }
+  { shape = Rough region; polarity = Negative; weight; source; epoch = 0 }
+
+let with_epoch epoch c = { c with epoch }
 
 let region_of_shape ?(segments = 64) = function
   | Disk { center; radius_km } -> Geo.Region.disk ~segments ~center ~radius:radius_km ()

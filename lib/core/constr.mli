@@ -23,6 +23,10 @@ type t = {
   polarity : polarity;
   weight : float;
   source : string;  (** Human-readable provenance, e.g. ["rtt L7 (12.3ms)"]. *)
+  epoch : int;
+      (** Measurement generation this evidence belongs to.  Smart
+          constructors emit epoch 0; streaming sessions re-tag batches with
+          {!with_epoch} so old evidence can be retired as a feed ages. *)
 }
 
 val positive_disk : center:Geo.Point.t -> radius_km:float -> weight:float -> source:string -> t
@@ -30,6 +34,9 @@ val ring : center:Geo.Point.t -> r_inner_km:float -> r_outer_km:float -> weight:
 val negative_disk : center:Geo.Point.t -> radius_km:float -> weight:float -> source:string -> t
 val positive_region : Geo.Region.t -> weight:float -> source:string -> t
 val negative_region : Geo.Region.t -> weight:float -> source:string -> t
+
+val with_epoch : int -> t -> t
+(** Tag a constraint with a measurement epoch (pure copy). *)
 
 val region_of_shape : ?segments:int -> shape -> Geo.Region.t
 (** Materialize the shape as a region (default 64-gon circles). *)

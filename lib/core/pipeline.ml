@@ -815,6 +815,274 @@ let localize_one ?undns ctx obs =
       Obs.Telemetry.Counter.incr c_batch_skipped;
       Error reason
 
+(* ---- Streaming re-localization: persistent per-target sessions ---- *)
+
+let c_sessions_opened = Obs.Telemetry.Counter.make ~domain:"session" "opened"
+
+module Session = struct
+  type delta = { d_rtts : (int * float) array; d_epoch : int }
+
+  (* The projection, world, target height, and hardening scales are all
+     functions of the {e whole} base observation vector, so they are pinned
+     at creation: a delta folds new annuli into the existing plane rather
+     than re-deriving the plane (re-deriving would silently re-shape every
+     prior constraint and void the parity rail).  A caller that wants the
+     plane re-centred sends a fresh full observation vector, which opens a
+     new session. *)
+  type t = {
+    s_ctx : context;
+    s_projection : Geo.Projection.t;
+    s_world : Geo.Region.t;
+    s_target_height_ms : float;
+    s_weight_scales : float array option;
+    s_solver : Solver.Session.t;
+    mutable s_last_epoch : int;
+  }
+
+  let knobs ctx =
+    (ctx.cfg.max_cells, tessellate ctx, ctx.cfg.area_threshold_km2, ctx.cfg.weight_band)
+
+  (* Constraints for one delta entry, built through the pinned plane and
+     hardening scale.  Landmarks unmeasured at creation carry scale 1.0 —
+     re-scoring the coalition against a feed is future work (documented in
+     DESIGN §6f); correctness never depends on it, only attack resistance
+     of the streamed path. *)
+  let delta_constraints s (i, rtt) ~epoch =
+    let n = Array.length s.s_ctx.landmarks in
+    if i < 0 || i >= n then
+      invalid_arg (Printf.sprintf "Pipeline.Session.fold: landmark index %d out of range" i);
+    if rtt <= 0.0 then invalid_arg "Pipeline.Session.fold: delta RTT must be positive";
+    let weight_scale = match s.s_weight_scales with None -> 1.0 | Some sc -> sc.(i) in
+    List.map
+      (Constr.with_epoch epoch)
+      (rtt_constraints ~weight_scale s.s_ctx s.s_projection i rtt s.s_target_height_ms)
+
+  let estimate_of s (sol : Solver.estimate) ~elapsed =
+    {
+      Estimate.projection = s.s_projection;
+      region = sol.Solver.region;
+      point = Geo.Projection.unproject s.s_projection sol.Solver.point;
+      point_plane = sol.Solver.point;
+      area_km2 = sol.Solver.area_km2;
+      top_weight = sol.Solver.weight;
+      cells_used = sol.Solver.cells_used;
+      constraints_used = Solver.Session.live_constraints s.s_solver;
+      target_height_ms = s.s_target_height_ms;
+      solve_time_s = elapsed;
+    }
+
+  (* Creation mirrors [localize] exactly — plain fold-all, or the anytime
+     admission loop when [config.refine] is set (resuming its final
+     arrangement instead of restarting from round one, per ROADMAP) — so
+     the session's first estimate is bit-identical to the one-shot path
+     over the same observations. *)
+  let create ?undns ?(epoch = 0) ctx obs =
+    Obs.Telemetry.with_span "session.create" @@ fun () ->
+    let t_start = Sys.time () in
+    let prepared, inputs = prepare_target_full ?undns ctx obs in
+    let max_cells, tess, area_threshold_km2, weight_band = knobs ctx in
+    let weight_scales =
+      match ctx.cfg.harden with
+      | None -> None
+      | Some _ ->
+          (* [prepare_target_full] already folded the scales into the
+             prepared constraints; recover them per landmark for deltas.
+             The heaviest constraint of a group divided by the nominal
+             weight is exactly the scale [rtt_constraints] applied. *)
+          let n = Array.length ctx.landmarks in
+          let scales = Array.make n 1.0 in
+          Array.iter
+            (fun (i, cs) ->
+              let nominal =
+                Weight.of_latency ctx.cfg.weight_policy
+                  (adjusted_rtt_of ctx i obs.target_rtt_ms.(i) prepared.target_height_ms)
+              in
+              let actual =
+                List.fold_left
+                  (fun acc (c : Constr.t) -> Float.max acc c.Constr.weight)
+                  0.0 cs
+              in
+              if nominal > 0.0 then scales.(i) <- actual /. nominal)
+            inputs.ri_measured;
+          Some scales
+    in
+    let tag = List.map (Constr.with_epoch epoch) in
+    let solver_session =
+      let base = solver_for ctx prepared.world in
+      match ctx.cfg.refine with
+      | None ->
+          (* Resume over the assembled base arrangement rather than
+             folding it, so [folds] counts streamed deltas only — the
+             refine branch below starts at zero folds the same way. *)
+          let cs = tag prepared.constraints in
+          let current = Solver.add_all ~max_cells ~tessellate:tess base cs in
+          Solver.Session.resume ~max_cells ~tessellate:tess ~area_threshold_km2 ~weight_band
+            ~base ~current ~log:cs ()
+      | Some rc ->
+          (* The refined admission prefix, as in [localize_refined]; the
+             log is the constraints the loop actually admitted, so retire
+             and parity replay see exactly what the arrangement holds. *)
+          let n_measured = Array.length inputs.ri_measured in
+          let order = Rank.order ~focus:inputs.ri_focus inputs.ri_features in
+          let budget =
+            if rc.Solver.budget <= 0 || rc.Solver.budget > n_measured then n_measured
+            else Stdlib.max rc.Solver.budget (Stdlib.min 3 n_measured)
+          in
+          let initial_n = Stdlib.min (Stdlib.max rc.Solver.initial 1) budget in
+          let group k = snd inputs.ri_measured.(k) in
+          let in_prefix lo hi c =
+            let rec scan j = j < hi && (List.memq c (group order.(j)) || scan (j + 1)) in
+            scan lo
+          in
+          let is_latency c = in_prefix 0 n_measured c in
+          let initial_cs =
+            List.filter
+              (fun c -> (not (is_latency c)) || in_prefix 0 initial_n c)
+              prepared.constraints
+          in
+          let pending =
+            Array.init (budget - initial_n) (fun j ->
+                let k = order.(initial_n + j) in
+                List.filter (fun c -> List.memq c (group k)) prepared.constraints)
+          in
+          let initial_cs = tag initial_cs and pending = Array.map tag pending in
+          let _, stats, final =
+            Solver.solve_anytime_state ~area_threshold_km2 ~weight_band ~max_cells
+              ~tessellate:tess ~initial_landmarks:initial_n ~initial:initial_cs ~pending base
+          in
+          let consumed = Array.length pending - stats.Solver.rs_skipped in
+          let log = initial_cs @ List.concat (Array.to_list (Array.sub pending 0 consumed)) in
+          Solver.Session.resume ~max_cells ~tessellate:tess ~area_threshold_km2 ~weight_band
+            ~base ~current:final ~log ()
+    in
+    Obs.Telemetry.Counter.incr c_sessions_opened;
+    let s =
+      {
+        s_ctx = ctx;
+        s_projection = prepared.projection;
+        s_world = prepared.world;
+        s_target_height_ms = prepared.target_height_ms;
+        s_weight_scales = weight_scales;
+        s_solver = solver_session;
+        s_last_epoch = epoch;
+      }
+    in
+    let sol = Solver.Session.estimate solver_session in
+    (s, estimate_of s sol ~elapsed:(Sys.time () -. t_start))
+
+  let fold s { d_rtts; d_epoch } =
+    let t_start = Sys.time () in
+    let cs =
+      List.concat_map
+        (fun entry -> delta_constraints s entry ~epoch:d_epoch)
+        (Array.to_list d_rtts)
+    in
+    (* Heaviest first within the delta, matching assembly order idiom so
+       cap fusion keeps hitting light cells. *)
+    let cs =
+      List.stable_sort
+        (fun (a : Constr.t) (b : Constr.t) -> compare b.Constr.weight a.Constr.weight)
+        cs
+    in
+    if d_epoch > s.s_last_epoch then s.s_last_epoch <- d_epoch;
+    let sol = Solver.Session.fold s.s_solver cs in
+    estimate_of s sol ~elapsed:(Sys.time () -. t_start)
+
+  let retire s ~upto_epoch =
+    let t_start = Sys.time () in
+    let sol = Solver.Session.retire s.s_solver ~upto_epoch in
+    estimate_of s sol ~elapsed:(Sys.time () -. t_start)
+
+  let estimate s =
+    let t_start = Sys.time () in
+    let sol = Solver.Session.estimate s.s_solver in
+    estimate_of s sol ~elapsed:(Sys.time () -. t_start)
+
+  (* The parity comparator: a from-scratch batch recompute over exactly
+     the constraints the session holds, through a fresh arrangement with
+     the same pinned knobs.  Incremental folding performs literally the
+     same [Solver.add] sequence, so on the exact backend the two estimates
+     are bit-identical at every feed prefix — the safety rail every
+     streaming test and the bench gate lean on. *)
+  let replay_estimate s =
+    let t_start = Sys.time () in
+    let max_cells, tess, area_threshold_km2, weight_band = knobs s.s_ctx in
+    let fresh =
+      Solver.add_all ~max_cells ~tessellate:tess
+        (solver_for s.s_ctx s.s_world)
+        (Solver.Session.log s.s_solver)
+    in
+    let sol = Solver.solve ~area_threshold_km2 ~weight_band fresh in
+    estimate_of s sol ~elapsed:(Sys.time () -. t_start)
+
+  let live_constraints s = Solver.Session.live_constraints s.s_solver
+  let folds s = Solver.Session.folds s.s_solver
+  let retires s = Solver.Session.retires s.s_solver
+  let cells_live s = Solver.Session.cells_live s.s_solver
+  let last_epoch s = s.s_last_epoch
+  let constraint_log s = Solver.Session.log s.s_solver
+end
+
+(* Bounded per-target session registry: a mutex-guarded table with
+   least-recently-used eviction, so a long-lived holder (daemon, CLI
+   stream replay) can pin thousands of live targets without unbounded
+   growth.  Eviction returns the victim so the holder can count it. *)
+module Sessions = struct
+  type entry = { e_session : Session.t; mutable e_tick : int }
+
+  type t = {
+    capacity : int;
+    table : (string, entry) Hashtbl.t;
+    mutable tick : int;
+    lock : Mutex.t;
+  }
+
+  let create ?(capacity = 1024) () =
+    if capacity <= 0 then invalid_arg "Pipeline.Sessions.create: capacity must be positive";
+    { capacity; table = Hashtbl.create 64; tick = 0; lock = Mutex.create () }
+
+  let with_lock t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let touch t e =
+    t.tick <- t.tick + 1;
+    e.e_tick <- t.tick
+
+  let find t target_id =
+    with_lock t @@ fun () ->
+    match Hashtbl.find_opt t.table target_id with
+    | None -> None
+    | Some e ->
+        touch t e;
+        Some e.e_session
+
+  (* Insert (replacing any previous session for the target) and evict the
+     least-recently-touched entry when over capacity. *)
+  let add t target_id session =
+    with_lock t @@ fun () ->
+    Hashtbl.replace t.table target_id { e_session = session; e_tick = t.tick + 1 };
+    t.tick <- t.tick + 1;
+    if Hashtbl.length t.table <= t.capacity then None
+    else begin
+      let victim = ref None in
+      Hashtbl.iter
+        (fun id e ->
+          match !victim with
+          | Some (_, tick) when tick <= e.e_tick -> ()
+          | _ -> victim := Some (id, e.e_tick))
+        t.table;
+      match !victim with
+      | Some (id, _) ->
+          Hashtbl.remove t.table id;
+          Some id
+      | None -> None
+    end
+
+  let remove t target_id = with_lock t @@ fun () -> Hashtbl.remove t.table target_id
+  let live t = with_lock t @@ fun () -> Hashtbl.length t.table
+end
+
 let localize_batch ?undns ?jobs ?chunk ctx observations =
   (* The context is immutable after [prepare] (the geometry cache mutates
      internally but never changes observable results), and [localize] is a

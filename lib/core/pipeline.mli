@@ -218,3 +218,95 @@ val localize_batch :
 
 val geometry_cache_stats : context -> int * int
 (** [(hits, misses)] of the context's constraint-geometry memo cache. *)
+
+(** Streaming re-localization (ROADMAP item 1): a persistent per-target
+    session over a prepared context.
+
+    A session pins the target's plane — projection, world region, target
+    height, hardening weight scales — at creation from the base
+    observation vector, then folds sparse RTT deltas into the live solver
+    arrangement: O(delta) constraint adds per update instead of a full
+    re-solve.  Epoch-tagged evidence can be retired ({!Session.retire}),
+    re-solving from the surviving constraint log (the region can only
+    widen).  With [config.refine] set, creation runs the anytime admission
+    loop once and {e resumes} its final arrangement, so later deltas fold
+    into the refined state instead of restarting from round one.
+
+    Parity contract (the safety rail): at every feed prefix,
+    {!Session.estimate} is bit-identical on the exact backend to
+    {!Session.replay_estimate} — a from-scratch batch recompute over the
+    session's constraint log — because folding performs literally the same
+    [Solver.add] sequence a replay would.  Property-tested, golden-pinned,
+    and enforced end to end through the daemon in [test_stream.ml]. *)
+module Session : sig
+  type t
+
+  type delta = {
+    d_rtts : (int * float) array;
+        (** Sparse new measurements as (landmark index, RTT ms).  A
+            landmark may repeat across (or within) deltas: each entry is an
+            independent measurement and contributes its own constraints,
+            exactly like co-located landmarks do in batch. *)
+    d_epoch : int;  (** Measurement generation, for {!retire}. *)
+  }
+
+  val create :
+    ?undns:(string -> Geo.Geodesy.coord option) ->
+    ?epoch:int ->
+    context ->
+    observations ->
+    t * Estimate.t
+  (** Open a session from a full base observation vector (epoch tag
+      default 0).  The returned estimate is bit-identical to {!localize}
+      over the same observations.
+      @raise Invalid_argument on the same malformed observations as
+      {!localize}. *)
+
+  val fold : t -> delta -> Estimate.t
+  (** Fold one delta into the arrangement and re-extract the estimate.
+      Out-of-order epochs are accepted — log order is application order;
+      epochs only matter to {!retire}.
+      @raise Invalid_argument on an out-of-range landmark index or a
+      non-positive RTT. *)
+
+  val retire : t -> upto_epoch:int -> Estimate.t
+  (** Drop all evidence with [epoch <= upto_epoch] and re-solve from the
+      surviving log. *)
+
+  val estimate : t -> Estimate.t
+  (** Current estimate, no mutation. *)
+
+  val replay_estimate : t -> Estimate.t
+  (** The parity comparator: a fresh arrangement over the session's
+      constraint log, solved with the same pinned knobs. *)
+
+  val live_constraints : t -> int
+  val folds : t -> int
+  val retires : t -> int
+  val cells_live : t -> int
+  val last_epoch : t -> int
+
+  val constraint_log : t -> Constr.t list
+  (** Chronological surviving constraint log (exposed for tests and the
+      stream bench). *)
+end
+
+(** Bounded, thread-safe per-target session registry with
+    least-recently-used eviction — the daemon's and the CLI's session
+    store. *)
+module Sessions : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 1024 live sessions. *)
+
+  val find : t -> string -> Session.t option
+  (** Lookup by target id; touches recency. *)
+
+  val add : t -> string -> Session.t -> string option
+  (** Insert (replacing any existing session under the id); returns the
+      target id evicted to stay within capacity, if any. *)
+
+  val remove : t -> string -> unit
+  val live : t -> int
+end

@@ -386,7 +386,7 @@ type refine_stats = {
 let c_refine_rounds = Obs.Telemetry.Counter.make ~domain:"refine" "rounds"
 let c_refine_early = Obs.Telemetry.Counter.make ~domain:"refine" "early_exits"
 
-let solve_anytime ?area_threshold_km2 ?weight_band ?max_cells ?tessellate
+let solve_anytime_state ?area_threshold_km2 ?weight_band ?max_cells ?tessellate
     ~initial_landmarks ~initial ~pending t =
   let rc =
     match t with
@@ -450,4 +450,107 @@ let solve_anytime ?area_threshold_km2 ?weight_band ?max_cells ?tessellate
       rs_constraints_added = !cs_added;
       rs_constraints_skipped = !constraints_skipped;
       rs_trace = List.rev !trace;
-    } )
+    },
+    !t )
+
+let solve_anytime ?area_threshold_km2 ?weight_band ?max_cells ?tessellate ~initial_landmarks
+    ~initial ~pending t =
+  let est, stats, _ =
+    solve_anytime_state ?area_threshold_km2 ?weight_band ?max_cells ?tessellate
+      ~initial_landmarks ~initial ~pending t
+  in
+  (est, stats)
+
+(* ---- Persistent per-target sessions (streaming re-localization) ---- *)
+
+let c_session_folds = Obs.Telemetry.Counter.make ~domain:"session" "folds"
+let c_session_retires = Obs.Telemetry.Counter.make ~domain:"session" "retires"
+let c_session_fold_constraints = Obs.Telemetry.Counter.make ~domain:"session" "fold_constraints"
+
+let c_session_retired_constraints =
+  Obs.Telemetry.Counter.make ~domain:"session" "retired_constraints"
+
+module Session = struct
+  type solver = t
+
+  (* [base] is the pristine world arrangement (zero constraints); [current]
+     is [base] with every entry of [log_rev] folded in, oldest first.  The
+     underlying solver is persistent, so retiring evidence is a rebuild:
+     [add_all base surviving] — exactly the batch recompute the parity
+     tests compare against, which is what makes prefix parity hold by
+     construction rather than by delicate bookkeeping. *)
+  type nonrec t = {
+    base : solver;
+    s_max_cells : int option;
+    s_tessellate : (Constr.t -> Geo.Region.t) option;
+    s_area_threshold_km2 : float option;
+    s_weight_band : float option;
+    mutable current : solver;
+    mutable log_rev : Constr.t list;
+    mutable live_constraints : int;
+    mutable n_folds : int;
+    mutable n_retires : int;
+  }
+
+  let make ?max_cells ?tessellate ?area_threshold_km2 ?weight_band ~base ~current ~log () =
+    {
+      base;
+      s_max_cells = max_cells;
+      s_tessellate = tessellate;
+      s_area_threshold_km2 = area_threshold_km2;
+      s_weight_band = weight_band;
+      current;
+      log_rev = List.rev log;
+      live_constraints = List.length log;
+      n_folds = 0;
+      n_retires = 0;
+    }
+
+  let create ?max_cells ?tessellate ?area_threshold_km2 ?weight_band base =
+    make ?max_cells ?tessellate ?area_threshold_km2 ?weight_band ~base ~current:base ~log:[] ()
+
+  let resume ?max_cells ?tessellate ?area_threshold_km2 ?weight_band ~base ~current ~log () =
+    make ?max_cells ?tessellate ?area_threshold_km2 ?weight_band ~base ~current ~log ()
+
+  let add_all' s t cs = add_all ?max_cells:s.s_max_cells ?tessellate:s.s_tessellate t cs
+
+  let estimate s =
+    solve ?area_threshold_km2:s.s_area_threshold_km2 ?weight_band:s.s_weight_band s.current
+
+  let fold s cs =
+    Obs.Telemetry.with_span "session.fold" @@ fun () ->
+    s.current <- add_all' s s.current cs;
+    s.log_rev <- List.rev_append cs s.log_rev;
+    s.live_constraints <- s.live_constraints + List.length cs;
+    s.n_folds <- s.n_folds + 1;
+    Obs.Telemetry.Counter.incr c_session_folds;
+    Obs.Telemetry.Counter.add c_session_fold_constraints (List.length cs);
+    estimate s
+
+  (* Correct-first decay: drop every logged constraint at or below
+     [upto_epoch] and re-solve from the surviving suffix in its original
+     fold order.  Lazily widening the existing arrangement instead is a
+     possible optimization, but it would forfeit the bit-parity rail. *)
+  let retire s ~upto_epoch =
+    Obs.Telemetry.with_span "session.retire" @@ fun () ->
+    let surviving =
+      List.filter (fun (c : Constr.t) -> c.Constr.epoch > upto_epoch) (List.rev s.log_rev)
+    in
+    let n_surviving = List.length surviving in
+    let retired = s.live_constraints - n_surviving in
+    s.current <- add_all' s s.base surviving;
+    s.log_rev <- List.rev surviving;
+    s.live_constraints <- n_surviving;
+    s.n_retires <- s.n_retires + 1;
+    Obs.Telemetry.Counter.incr c_session_retires;
+    Obs.Telemetry.Counter.add c_session_retired_constraints retired;
+    estimate s
+
+  let log s = List.rev s.log_rev
+  let live_constraints s = s.live_constraints
+  let folds s = s.n_folds
+  let retires s = s.n_retires
+  let cells_live s = cell_count s.current
+  let current s = s.current
+  let base s = s.base
+end

@@ -159,3 +159,85 @@ val solve_anytime :
     (a full budget) reproduce the unbudgeted solver bit for bit, which is
     the property that keeps refinement safe to enable
     (property-tested in [test_refine.ml]). *)
+
+val solve_anytime_state :
+  ?area_threshold_km2:float ->
+  ?weight_band:float ->
+  ?max_cells:int ->
+  ?tessellate:(Constr.t -> Geo.Region.t) ->
+  initial_landmarks:int ->
+  initial:Constr.t list ->
+  pending:Constr.t list array ->
+  t ->
+  estimate * refine_stats * t
+(** {!solve_anytime}, additionally returning the final arrangement so a
+    streaming session can {e resume} the anytime solve — later deltas fold
+    into the refined arrangement instead of restarting from round one.
+    The admitted constraint log is reconstructible from the stats: the
+    first [Array.length pending - rs_skipped] pending groups entered, in
+    order, after [initial]. *)
+
+(** Persistent per-target solver state for streaming re-localization.
+
+    A session holds the pristine world arrangement ([base]), the current
+    arrangement, and the chronological log of folded constraints, with the
+    solve/tessellation knobs pinned at creation.  {!Session.fold}
+    intersects only the {e new} constraints into the existing arrangement
+    — the underlying solver is persistent, so this performs literally the
+    same [add] calls a from-scratch batch replay of the log would, which
+    makes prefix parity (incremental ≡ batch at every feed prefix)
+    structural on the exact backend.  {!Session.retire} drops evidence at
+    or below an epoch and re-solves from the surviving log suffix
+    (correct-first decay). *)
+module Session : sig
+  type solver := t
+  type t
+
+  val create :
+    ?max_cells:int ->
+    ?tessellate:(Constr.t -> Geo.Region.t) ->
+    ?area_threshold_km2:float ->
+    ?weight_band:float ->
+    solver ->
+    t
+  (** Open a session over a pristine arrangement, pinning the add/solve
+      knobs every subsequent fold and retire will use. *)
+
+  val resume :
+    ?max_cells:int ->
+    ?tessellate:(Constr.t -> Geo.Region.t) ->
+    ?area_threshold_km2:float ->
+    ?weight_band:float ->
+    base:solver ->
+    current:solver ->
+    log:Constr.t list ->
+    unit ->
+    t
+  (** Adopt an already-built arrangement (e.g. the final state of
+      {!solve_anytime_state}) whose constraint history is [log],
+      chronological.  [base] must be [current]'s zero-constraint origin —
+      it is what {!retire} rebuilds from. *)
+
+  val fold : t -> Constr.t list -> estimate
+  (** Intersect new constraints into the arrangement and re-extract the
+      estimate.  O(delta) solver adds, vs O(log) for a batch recompute. *)
+
+  val retire : t -> upto_epoch:int -> estimate
+  (** Drop every logged constraint with [epoch <= upto_epoch], rebuild the
+      arrangement from [base] over the surviving log (original order), and
+      re-extract the estimate.  The region can only widen or stay. *)
+
+  val estimate : t -> estimate
+  (** Solve the current arrangement without mutating anything. *)
+
+  val log : t -> Constr.t list
+  (** Chronological fold log (survivors only, after any retire). *)
+
+  val live_constraints : t -> int
+  val folds : t -> int
+  val retires : t -> int
+  val cells_live : t -> int
+
+  val current : t -> solver
+  val base : t -> solver
+end

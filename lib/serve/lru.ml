@@ -17,6 +17,11 @@ type ('k, 'v) t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  (* Version tag bumped by every [invalidate_key]: an [add_at] whose
+     generation was read before the bump is dropped, so a compute racing a
+     streamed update can never re-install the stale value it computed. *)
+  mutable generation : int;
+  mutable invalidations : int;
 }
 
 let create ~capacity () =
@@ -29,6 +34,8 @@ let create ~capacity () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    generation = 0;
+    invalidations = 0;
   }
 
 let capacity t = t.cap
@@ -70,39 +77,65 @@ let find t k =
 
 let mem t k = locked t (fun () -> Hashtbl.mem t.table k)
 
-let add t k v =
-  if t.cap > 0 then
-    locked t (fun () ->
-        let sentinel =
-          match t.sentinel with
-          | Some s -> s
-          | None ->
-              (* The sentinel needs a node value to exist; borrow the first
-                 insertion's and let the cycle point at itself. *)
-              let rec s = { key = k; value = v; prev = s; next = s } in
-              t.sentinel <- Some s;
-              s
-        in
-        (match Hashtbl.find_opt t.table k with
-        | Some node ->
-            node.value <- v;
-            unlink node;
-            link_front sentinel node
-        | None ->
-            if Hashtbl.length t.table >= t.cap then begin
-              let victim = sentinel.prev in
-              (* cap >= 1 and the table is at capacity, so the eviction
-                 end is a real node, never the sentinel itself. *)
-              unlink victim;
-              Hashtbl.remove t.table victim.key;
-              t.evictions <- t.evictions + 1;
-              Obs.Telemetry.Counter.incr Metrics.cache_evictions
-            end;
-            let node = { key = k; value = v; prev = sentinel; next = sentinel } in
-            link_front sentinel node;
-            Hashtbl.replace t.table k node))
+let add_locked t k v =
+  let sentinel =
+    match t.sentinel with
+    | Some s -> s
+    | None ->
+        (* The sentinel needs a node value to exist; borrow the first
+           insertion's and let the cycle point at itself. *)
+        let rec s = { key = k; value = v; prev = s; next = s } in
+        t.sentinel <- Some s;
+        s
+  in
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      unlink node;
+      link_front sentinel node
+  | None ->
+      if Hashtbl.length t.table >= t.cap then begin
+        let victim = sentinel.prev in
+        (* cap >= 1 and the table is at capacity, so the eviction
+           end is a real node, never the sentinel itself. *)
+        unlink victim;
+        Hashtbl.remove t.table victim.key;
+        t.evictions <- t.evictions + 1;
+        Obs.Telemetry.Counter.incr Metrics.cache_evictions
+      end;
+      let node = { key = k; value = v; prev = sentinel; next = sentinel } in
+      link_front sentinel node;
+      Hashtbl.replace t.table k node
 
-type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+let add t k v = if t.cap > 0 then locked t (fun () -> add_locked t k v)
+
+let generation t = if t.cap = 0 then 0 else locked t (fun () -> t.generation)
+
+let add_at t ~gen k v =
+  if t.cap > 0 then locked t (fun () -> if t.generation = gen then add_locked t k v)
+
+let invalidate_key t k =
+  if t.cap = 0 then false
+  else
+    locked t (fun () ->
+        t.generation <- t.generation + 1;
+        t.invalidations <- t.invalidations + 1;
+        Obs.Telemetry.Counter.incr Metrics.cache_invalidations;
+        match Hashtbl.find_opt t.table k with
+        | Some node ->
+            unlink node;
+            Hashtbl.remove t.table k;
+            true
+        | None -> false)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  size : int;
+  capacity : int;
+}
 
 let stats t =
   locked t (fun () ->
@@ -110,6 +143,7 @@ let stats t =
         hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
+        invalidations = t.invalidations;
         size = Hashtbl.length t.table;
         capacity = t.cap;
       })
@@ -150,6 +184,12 @@ module Sharded = struct
   let capacity t = Array.fold_left (fun acc s -> acc + capacity s) 0 t.shards
   let length t = Array.fold_left (fun acc s -> acc + length s) 0 t.shards
 
+  (* Generation tags are per shard; read and re-check on the same key so
+     the tag travels with the shard that actually stores it. *)
+  let generation t k = generation (shard_of t k)
+  let add_at t ~gen k v = add_at (shard_of t k) ~gen k v
+  let invalidate_key t k = invalidate_key (shard_of t k) k
+
   let stats t =
     Array.fold_left
       (fun acc s ->
@@ -158,9 +198,10 @@ module Sharded = struct
           hits = acc.hits + st.hits;
           misses = acc.misses + st.misses;
           evictions = acc.evictions + st.evictions;
+          invalidations = acc.invalidations + st.invalidations;
           size = acc.size + st.size;
           capacity = acc.capacity + st.capacity;
         })
-      { hits = 0; misses = 0; evictions = 0; size = 0; capacity = 0 }
+      { hits = 0; misses = 0; evictions = 0; invalidations = 0; size = 0; capacity = 0 }
       t.shards
 end

@@ -34,7 +34,29 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 val mem : ('k, 'v) t -> 'k -> bool
 (** Presence test with no promotion and no counter effect. *)
 
-type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+val generation : ('k, 'v) t -> int
+(** Current version tag (0 for a disabled cache).  Read it {e before}
+    computing a value destined for {!add_at}. *)
+
+val add_at : ('k, 'v) t -> gen:int -> 'k -> 'v -> unit
+(** {!add}, but dropped if an {!invalidate_key} has bumped the generation
+    since [gen] was read — closes the race where a reply computed from
+    pre-update state would be cached after the update invalidated it. *)
+
+val invalidate_key : ('k, 'v) t -> 'k -> bool
+(** Remove the entry (if present) and bump the generation so in-flight
+    {!add_at}s with an older tag are dropped.  Returns whether an entry
+    was actually removed; counts one invalidation either way (no-op on a
+    disabled cache). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  size : int;
+  capacity : int;
+}
 
 val stats : ('k, 'v) t -> stats
 
@@ -59,6 +81,13 @@ module Sharded : sig
   val mem : ('k, 'v) t -> 'k -> bool
   val capacity : ('k, 'v) t -> int
   val length : ('k, 'v) t -> int
+
+  val generation : ('k, 'v) t -> 'k -> int
+  (** Version tag of the key's shard — invalidations elsewhere never
+      spuriously drop this key's {!add_at}. *)
+
+  val add_at : ('k, 'v) t -> gen:int -> 'k -> 'v -> unit
+  val invalidate_key : ('k, 'v) t -> 'k -> bool
 
   val stats : ('k, 'v) t -> stats
   (** Tallies summed across shards. *)

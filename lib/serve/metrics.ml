@@ -16,6 +16,15 @@ let pool_job_failures = counter "pool_job_failures"
 let cache_hits = counter "cache_hits"
 let cache_misses = counter "cache_misses"
 let cache_evictions = counter "cache_evictions"
+let cache_invalidations = counter "cache_invalidations"
+
+(* Streaming re-localization: per-target session lifecycle and the
+   fold/retire traffic through the live-update wire path. *)
+let sessions_opened = counter "sessions_opened"
+let sessions_evicted = counter "sessions_evicted"
+let folds = counter "folds"
+let retires = counter "retires"
+let invalidations = counter "invalidations"
 
 (* The shard front's domain.  [shard_refan] is the failover invariant
    the e2e suite asserts: every request pending on a lost backend is

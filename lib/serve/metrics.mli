@@ -41,6 +41,25 @@ val pool_job_failures : Obs.Telemetry.Counter.t
 val cache_hits : Obs.Telemetry.Counter.t
 val cache_misses : Obs.Telemetry.Counter.t
 val cache_evictions : Obs.Telemetry.Counter.t
+val cache_invalidations : Obs.Telemetry.Counter.t
+
+(** {2 Streaming re-localization}
+
+    Per-target session lifecycle through the live-update wire path, all
+    [~deterministic:false]: [sessions_opened] (base vectors that opened
+    or reset a session), [sessions_evicted] (idle sessions dropped by
+    the LRU session store), [folds] (delta frames folded into a live
+    arrangement), [retires] (epoch-decay re-solves), [invalidations]
+    (update-triggered result-cache invalidations — the count of times a
+    session's state moved past its base observation's cached reply;
+    [cache_invalidations] above is the LRU-side mirror, one per
+    {!Lru.invalidate_key} call). *)
+
+val sessions_opened : Obs.Telemetry.Counter.t
+val sessions_evicted : Obs.Telemetry.Counter.t
+val folds : Obs.Telemetry.Counter.t
+val retires : Obs.Telemetry.Counter.t
+val invalidations : Obs.Telemetry.Counter.t
 
 (** {2 The [shard] domain}
 

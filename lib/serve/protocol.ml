@@ -6,7 +6,17 @@ type localize = {
   want_audit : bool;
 }
 
-type request = Localize of localize | Ping | Stats | Shutdown
+type update = {
+  u_id : Json.t;
+  u_target : string;
+  u_epoch : int;
+  u_base : float array option;
+  u_delta : (int * float) array;
+  u_retire_upto : int option;
+  u_whois : Geo.Geodesy.coord option;
+}
+
+type request = Localize of localize | Update of update | Ping | Stats | Shutdown
 
 (* ------------------------------------------------------------------ *)
 (* Request decoding                                                    *)
@@ -23,6 +33,107 @@ let parse_coord = function
       | _ -> Error "whois: expected {\"lat\": <num>, \"lon\": <num>}")
   | _ -> Error "whois: expected an object"
 
+let parse_rtt_array items =
+  let ok = ref true in
+  let rtts =
+    Array.of_list
+      (List.map
+         (fun v ->
+           match Json.to_float v with
+           | Some f when Float.is_finite f -> f
+           | Some _ | None ->
+               ok := false;
+               -1.0)
+         items)
+  in
+  if !ok then Ok rtts else Error "rtt_ms: expected an array of finite numbers"
+
+(* Sparse deltas come as [[index, rtt_ms], ...]: index a non-negative
+   integer, rtt a positive finite number (a delta is a new measurement,
+   never a retraction — retraction is what [retire_upto] is for). *)
+let parse_delta items =
+  let err = ref None in
+  let entries =
+    List.map
+      (fun v ->
+        match v with
+        | Json.List [ i; r ] -> (
+            match (Json.to_int i, Json.to_float r) with
+            | Some i, Some r when i >= 0 && Float.is_finite r && r > 0.0 -> (i, r)
+            | _ ->
+                err := Some "delta: expected [index >= 0, rtt_ms > 0] pairs";
+                (0, 0.0))
+        | _ ->
+            err := Some "delta: expected [index, rtt_ms] pairs";
+            (0, 0.0))
+      items
+  in
+  match !err with Some e -> Error e | None -> Ok (Array.of_list entries)
+
+let parse_update json =
+  match Json.member "target_id" json with
+  | Some (Json.Str target) when target <> "" -> (
+      let id = Option.value ~default:Json.Null (Json.member "id" json) in
+      let epoch_r =
+        match Json.member "epoch" json with
+        | None -> Ok 0
+        | Some v -> (
+            match Json.to_int v with
+            | Some e when e >= 0 -> Ok e
+            | _ -> Error "epoch: expected a non-negative integer")
+      in
+      let retire_r =
+        match Json.member "retire_upto" json with
+        | None -> Ok None
+        | Some v -> (
+            match Json.to_int v with
+            | Some e when e >= 0 -> Ok (Some e)
+            | _ -> Error "retire_upto: expected a non-negative integer")
+      in
+      let base_r =
+        match Json.member "rtt_ms" json with
+        | None -> Ok None
+        | Some (Json.List items) -> Result.map Option.some (parse_rtt_array items)
+        | Some _ -> Error "rtt_ms: expected an array"
+      in
+      let delta_r =
+        match Json.member "delta" json with
+        | None -> Ok [||]
+        | Some (Json.List items) -> parse_delta items
+        | Some _ -> Error "delta: expected an array"
+      in
+      let whois_r =
+        match Json.member "whois" json with
+        | None | Some Json.Null -> Ok None
+        | Some w -> Result.map Option.some (parse_coord w)
+      in
+      match (epoch_r, retire_r, base_r, delta_r, whois_r) with
+      | Ok epoch, Ok retire_upto, Ok base, Ok delta, Ok whois ->
+          if base <> None && Array.length delta > 0 then
+            Error "update: rtt_ms and delta are mutually exclusive"
+          else if base = None && Array.length delta = 0 && retire_upto = None then
+            Error "update: need rtt_ms, delta, or retire_upto"
+          else
+            Ok
+              (Update
+                 {
+                   u_id = id;
+                   u_target = target;
+                   u_epoch = epoch;
+                   u_base = base;
+                   u_delta = delta;
+                   u_retire_upto = retire_upto;
+                   u_whois = whois;
+                 })
+      | Error e, _, _, _, _
+      | _, Error e, _, _, _
+      | _, _, Error e, _, _
+      | _, _, _, Error e, _
+      | _, _, _, _, Error e ->
+          Error e)
+  | Some _ -> Error "target_id: expected a non-empty string"
+  | None -> Error "update: missing target_id"
+
 let parse_request json =
   match json with
   | Json.Obj _ -> (
@@ -30,26 +141,16 @@ let parse_request json =
       | Some (Json.Str "ping") -> Ok Ping
       | Some (Json.Str "stats") -> Ok Stats
       | Some (Json.Str "shutdown") -> Ok Shutdown
+      | Some (Json.Str "update") -> parse_update json
       | Some (Json.Str other) -> Error (Printf.sprintf "unknown op %S" other)
       | Some _ -> Error "op: expected a string"
       | None -> (
           match Json.member "rtt_ms" json with
           | None -> Error "missing rtt_ms (or op)"
           | Some (Json.List items) -> (
-              let ok = ref true in
-              let rtts =
-                Array.of_list
-                  (List.map
-                     (fun v ->
-                       match Json.to_float v with
-                       | Some f when Float.is_finite f -> f
-                       | Some _ | None ->
-                           ok := false;
-                           -1.0)
-                     items)
-              in
-              if not !ok then Error "rtt_ms: expected an array of finite numbers"
-              else
+              match parse_rtt_array items with
+              | Error e -> Error e
+              | Ok rtts -> (
                 let id = Option.value ~default:Json.Null (Json.member "id" json) in
                 match Json.member "deadline_ms" json with
                 | Some v when Json.to_float v = None -> Error "deadline_ms: expected a number"
@@ -67,7 +168,7 @@ let parse_request json =
                             Ok
                               (Localize
                                  { id; rtt_ms = rtts; whois = Some c; deadline_ms; want_audit })
-                        | Error e -> Error e)))
+                        | Error e -> Error e))))
           | Some _ -> Error "rtt_ms: expected an array"))
   | _ -> Error "expected a JSON object frame"
 
@@ -94,6 +195,19 @@ let observations_of req =
             ~lon:(quantize_deg c.Geo.Geodesy.lon))
         req.whois;
   }
+
+(* Updates are quantized on ingest exactly like localize requests, so a
+   session's base observation shares its signature (and therefore its
+   result-cache key) with the equivalent one-shot request. *)
+let base_observations_of u =
+  match u.u_base with
+  | None -> None
+  | Some rtts ->
+      Some
+        (observations_of
+           { id = u.u_id; rtt_ms = rtts; whois = u.u_whois; deadline_ms = None; want_audit = false })
+
+let quantized_delta u = Array.map (fun (i, rtt) -> (i, quantize_rtt rtt)) u.u_delta
 
 let cache_key (obs : Octant.Pipeline.observations) =
   let buf = Buffer.create (8 + (8 * Array.length obs.Octant.Pipeline.target_rtt_ms)) in
@@ -265,10 +379,17 @@ module Binary = struct
   let op_stats = 1
   let op_shutdown = 2
   let op_localize = 3
+  let op_update = 4
   let flag_audit = 1
   let flag_whois = 2
   let flag_deadline = 4
   let flag_id = 8
+
+  (* Update flags (separate space: updates never carry audit/deadline). *)
+  let uflag_id = 1
+  let uflag_whois = 2
+  let uflag_base = 4
+  let uflag_retire = 8
 
   let encode_request req =
     let buf = Buffer.create 64 in
@@ -297,7 +418,36 @@ module Binary = struct
             w_f64 buf c.Geo.Geodesy.lon
         | None -> ());
         w_u32 buf (Array.length l.rtt_ms);
-        Array.iter (w_f64 buf) l.rtt_ms);
+        Array.iter (w_f64 buf) l.rtt_ms
+    | Update u ->
+        w_u8 buf op_update;
+        let flags =
+          (if u.u_id <> Json.Null then uflag_id else 0)
+          lor (if u.u_whois <> None then uflag_whois else 0)
+          lor (if u.u_base <> None then uflag_base else 0)
+          lor if u.u_retire_upto <> None then uflag_retire else 0
+        in
+        w_u8 buf flags;
+        if u.u_id <> Json.Null then w_str32 buf (Json.to_string u.u_id);
+        w_str16 buf u.u_target;
+        w_u32 buf u.u_epoch;
+        (match u.u_whois with
+        | Some c ->
+            w_f64 buf c.Geo.Geodesy.lat;
+            w_f64 buf c.Geo.Geodesy.lon
+        | None -> ());
+        (match u.u_base with
+        | Some rtts ->
+            w_u32 buf (Array.length rtts);
+            Array.iter (w_f64 buf) rtts
+        | None -> ());
+        w_u32 buf (Array.length u.u_delta);
+        Array.iter
+          (fun (i, rtt) ->
+            w_u32 buf i;
+            w_f64 buf rtt)
+          u.u_delta;
+        (match u.u_retire_upto with Some e -> w_u32 buf e | None -> ()));
     Buffer.contents buf
 
   let decode_request payload =
@@ -344,6 +494,66 @@ module Binary = struct
             bad "rtt_ms: expected an array of finite numbers";
           Localize
             { id; rtt_ms = rtts; whois; deadline_ms; want_audit = flags land flag_audit <> 0 }
+      | 4 ->
+          let flags = r_u8 r in
+          let id =
+            if flags land uflag_id <> 0 then
+              match Json.of_string (r_str32 r) with
+              | Ok j -> j
+              | Error e -> bad (Printf.sprintf "id: %s" e)
+            else Json.Null
+          in
+          let target = r_str16 r in
+          if target = "" then bad "target_id: expected a non-empty string";
+          let epoch = r_u32 r in
+          let whois =
+            if flags land uflag_whois <> 0 then begin
+              let lat = r_f64 r in
+              let lon = r_f64 r in
+              if not (Float.abs lat <= 90.0 && Float.abs lon <= 180.0) then
+                bad "whois: lat/lon out of range";
+              Some (Geo.Geodesy.coord ~lat ~lon)
+            end
+            else None
+          in
+          let base =
+            if flags land uflag_base <> 0 then begin
+              let n = r_u32 r in
+              need r (8 * n);
+              let rtts = Array.make n 0.0 in
+              for i = 0 to n - 1 do
+                rtts.(i) <- r_f64 r
+              done;
+              if Array.exists (fun f -> not (Float.is_finite f)) rtts then
+                bad "rtt_ms: expected an array of finite numbers";
+              Some rtts
+            end
+            else None
+          in
+          let n_delta = r_u32 r in
+          need r (12 * n_delta);
+          let delta =
+            Array.init n_delta (fun _ ->
+                let i = r_u32 r in
+                let rtt = r_f64 r in
+                if not (Float.is_finite rtt && rtt > 0.0) then
+                  bad "delta: expected [index >= 0, rtt_ms > 0] pairs";
+                (i, rtt))
+          in
+          let retire_upto = if flags land uflag_retire <> 0 then Some (r_u32 r) else None in
+          if base <> None && n_delta > 0 then bad "update: rtt_ms and delta are mutually exclusive";
+          if base = None && n_delta = 0 && retire_upto = None then
+            bad "update: need rtt_ms, delta, or retire_upto";
+          Update
+            {
+              u_id = id;
+              u_target = target;
+              u_epoch = epoch;
+              u_base = base;
+              u_delta = delta;
+              u_retire_upto = retire_upto;
+              u_whois = whois;
+            }
       | op -> bad (Printf.sprintf "unknown op %d" op)
     with
     | req -> if r.pos <> String.length payload then Error "trailing bytes in frame" else Ok req

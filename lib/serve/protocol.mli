@@ -35,7 +35,37 @@ type localize = {
   want_audit : bool;           (** Include the per-constraint audit in the reply. *)
 }
 
-type request = Localize of localize | Ping | Stats | Shutdown
+type update = {
+  u_id : Json.t;                  (** Echoed verbatim; [Null] when absent. *)
+  u_target : string;              (** Session key; routes sticky in the shard front. *)
+  u_epoch : int;                  (** Measurement generation of this update. *)
+  u_base : float array option;
+      (** Full RTT vector: open (or reset) the target's session. *)
+  u_delta : (int * float) array;
+      (** Sparse (landmark index, RTT ms) measurements folded into an
+          existing session.  Mutually exclusive with [u_base]. *)
+  u_retire_upto : int option;
+      (** Retire evidence with [epoch <=] this after applying the rest. *)
+  u_whois : Geo.Geodesy.coord option;  (** Hint; meaningful with [u_base]. *)
+}
+(** The streaming live-update frame (ROADMAP item 1):
+
+    {v
+      {"op":"update","target_id":"t1","epoch":0,"rtt_ms":[12.3,...]}
+      {"op":"update","target_id":"t1","epoch":1,"delta":[[3,17.2],[5,9.1]]}
+      {"op":"update","target_id":"t1","retire_upto":0}
+    v}
+
+    A base vector opens or resets the session; a delta folds new
+    measurements into it; [retire_upto] decays old epochs.  Replies use
+    the ordinary ["ok"] estimate shape with [cached] always [false] —
+    update replies are computed from live session state, never replayed
+    from the result cache.  A delta for an unknown target id gets
+    [{"status":"error","reason":"unknown session ..."}]; the client (or
+    the shard front's documented failover contract) replays from a base
+    vector. *)
+
+type request = Localize of localize | Update of update | Ping | Stats | Shutdown
 
 val parse_request : Json.t -> (request, string) result
 (** Shape-check a decoded frame.  Anything that is not an object with
@@ -48,6 +78,16 @@ val quantize_rtt : float -> float
 
 val observations_of : localize -> Octant.Pipeline.observations
 (** The quantized observation the pipeline actually localizes. *)
+
+val base_observations_of : update -> Octant.Pipeline.observations option
+(** The quantized base observation of a session-opening update ([None]
+    for delta/retire-only frames).  Quantized exactly like
+    {!observations_of}, so the session's base shares its {!cache_key}
+    with the equivalent one-shot request — that key is what the server
+    invalidates when the session's state moves past it. *)
+
+val quantized_delta : update -> (int * float) array
+(** Delta entries with RTTs on the same 1/1024 ms ingest grid. *)
 
 val cache_key : Octant.Pipeline.observations -> string
 (** Exact signature of a quantized observation: RTT float bits plus the

@@ -36,6 +36,7 @@ type config = {
   max_frame_bytes : int;
   max_connections : int;
   default_deadline_ms : float option;
+  session_capacity : int;
 }
 
 let default_config =
@@ -57,6 +58,7 @@ let default_config =
        open. *)
     max_connections = 900;
     default_deadline_ms = None;
+    session_capacity = 256;
   }
 
 (* Wire codec and framing state live in {!Framing}: every connection
@@ -74,10 +76,20 @@ type conn = {
 
 type t = {
   cfg : config;
+  ctx : Octant.Pipeline.context;
   listener : Unix.file_descr;
   bound_port : int;
   batcher : Batcher.t;
   cache : (string, Octant.Estimate.t) Lru.Sharded.t;
+  sessions : Octant.Pipeline.Sessions.t;
+  (* Serializes every streamed update end to end: registry lookup,
+     fold/retire mutation of the per-target solver session, and the
+     base-key bookkeeping below move as one atomic step, so two deltas
+     for one target can never interleave mid-fold and the invalidation
+     always sees the key the session was opened under.  Updates are rare
+     next to localizes; one lock is correctness-first and cheap. *)
+  session_lock : Mutex.t;
+  session_keys : (string, string) Hashtbl.t;  (* target id -> base cache key *)
   pool : Pool.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
@@ -230,6 +242,17 @@ let stats_reply t =
       ("pool_job_failures", counter Metrics.pool_job_failures);
       ("queue_depth", Json.Num (float_of_int (queue_depth t)));
       ("live_connections", Json.Num (float_of_int (live_connections t)));
+      ("sessions_live", Json.Num (float_of_int (Octant.Pipeline.Sessions.live t.sessions)));
+      ( "sessions",
+        Json.Obj
+          [
+            ("live", Json.Num (float_of_int (Octant.Pipeline.Sessions.live t.sessions)));
+            ("opened", counter Metrics.sessions_opened);
+            ("evicted", counter Metrics.sessions_evicted);
+            ("folds", counter Metrics.folds);
+            ("retires", counter Metrics.retires);
+            ("invalidations", counter Metrics.invalidations);
+          ] );
       ("cache_shards", Json.Num (float_of_int (Lru.Sharded.shard_count t.cache)));
       ( "cache",
         Json.Obj
@@ -237,6 +260,7 @@ let stats_reply t =
             ("hits", Json.Num (float_of_int c.Lru.hits));
             ("misses", Json.Num (float_of_int c.Lru.misses));
             ("evictions", Json.Num (float_of_int c.Lru.evictions));
+            ("invalidations", Json.Num (float_of_int c.Lru.invalidations));
             ("size", Json.Num (float_of_int c.Lru.size));
             ("capacity", Json.Num (float_of_int c.Lru.capacity));
           ] );
@@ -252,6 +276,10 @@ let handle_localize t conn (req : Protocol.localize) =
   Obs.Telemetry.Counter.incr Metrics.requests;
   let obs = Protocol.observations_of req in
   let key = Protocol.cache_key obs in
+  (* Read the key's version tag before computing: if a streamed update
+     invalidates this key while the batcher works, the [add_at] below is
+     dropped instead of re-installing the stale reply. *)
+  let cache_gen = Lru.Sharded.generation t.cache key in
   let codec = Framing.codec conn.frame in
   let conn_id = conn.c_id in
   let finish reply =
@@ -286,7 +314,7 @@ let handle_localize t conn (req : Protocol.localize) =
                 match Batcher.await ticket with
                 | Batcher.Expired -> Protocol.expired_reply ~id:req.Protocol.id
                 | Batcher.Computed (Ok est, audit) ->
-                    Lru.Sharded.add t.cache key est;
+                    Lru.Sharded.add_at t.cache ~gen:cache_gen key est;
                     Obs.Telemetry.Counter.incr Metrics.responses_ok;
                     let audit = if req.Protocol.want_audit then Some audit else None in
                     Protocol.ok_reply ~id:req.Protocol.id ~cached:false ~audit est
@@ -305,6 +333,105 @@ let handle_localize t conn (req : Protocol.localize) =
              await resolves during the drain). *)
           if not (Pool.submit t.pool job) then job ())
 
+(* ------------------------------------------------------------------ *)
+(* Streaming updates                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop the cached one-shot reply for the session's base observation:
+   the session's live state has moved past it, so a later localize over
+   the same vector must recompute (and [add_at] keeps any in-flight
+   stale compute from re-installing it). *)
+let invalidate_session_key t target =
+  match Hashtbl.find_opt t.session_keys target with
+  | None -> ()
+  | Some key ->
+      ignore (Lru.Sharded.invalidate_key t.cache key);
+      Obs.Telemetry.Counter.incr Metrics.invalidations
+
+(* Apply one update frame under [session_lock].  Replies are computed
+   from live session state — never the result cache — so [cached] is
+   always [false]. *)
+let apply_update t (u : Protocol.update) =
+  let ok est =
+    Obs.Telemetry.Counter.incr Metrics.responses_ok;
+    Protocol.ok_reply ~id:u.Protocol.u_id ~cached:false ~audit:None est
+  in
+  let err reason =
+    Obs.Telemetry.Counter.incr Metrics.responses_error;
+    Protocol.error_reply ~id:u.Protocol.u_id reason
+  in
+  Mutex.lock t.session_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.session_lock)
+    (fun () ->
+      try
+        match Protocol.base_observations_of u with
+        | Some obs ->
+            (* Open (or reset) the session.  The base estimate is
+               bit-identical to a one-shot localize over the same
+               observations, so the cached entry under this key — if any
+               — is still truthful and stays. *)
+            let session, est =
+              Octant.Pipeline.Session.create ~epoch:u.Protocol.u_epoch t.ctx obs
+            in
+            Obs.Telemetry.Counter.incr Metrics.sessions_opened;
+            (match Octant.Pipeline.Sessions.add t.sessions u.Protocol.u_target session with
+            | Some victim ->
+                Obs.Telemetry.Counter.incr Metrics.sessions_evicted;
+                Hashtbl.remove t.session_keys victim
+            | None -> ());
+            Hashtbl.replace t.session_keys u.Protocol.u_target (Protocol.cache_key obs);
+            (match u.Protocol.u_retire_upto with
+            | Some upto ->
+                let est = Octant.Pipeline.Session.retire session ~upto_epoch:upto in
+                Obs.Telemetry.Counter.incr Metrics.retires;
+                invalidate_session_key t u.Protocol.u_target;
+                ok est
+            | None -> ok est)
+        | None -> (
+            match Octant.Pipeline.Sessions.find t.sessions u.Protocol.u_target with
+            | None ->
+                (* The failover contract: the client (or the shard front
+                   after a backend loss) replays from a base vector. *)
+                err ("unknown session " ^ u.Protocol.u_target)
+            | Some session ->
+                let est = ref (Octant.Pipeline.Session.estimate session) in
+                let delta = Protocol.quantized_delta u in
+                if Array.length delta > 0 then begin
+                  est :=
+                    Octant.Pipeline.Session.fold session
+                      { Octant.Pipeline.Session.d_rtts = delta; d_epoch = u.Protocol.u_epoch };
+                  Obs.Telemetry.Counter.incr Metrics.folds
+                end;
+                (match u.Protocol.u_retire_upto with
+                | Some upto ->
+                    est := Octant.Pipeline.Session.retire session ~upto_epoch:upto;
+                    Obs.Telemetry.Counter.incr Metrics.retires
+                | None -> ());
+                invalidate_session_key t u.Protocol.u_target;
+                ok !est)
+      with Invalid_argument reason -> err reason)
+
+(* Session creation runs a full solve; deltas run a fold.  Both belong
+   on the pool, not the loop thread. *)
+let handle_update t conn (u : Protocol.update) =
+  let t0 = Unix.gettimeofday () in
+  Obs.Telemetry.Counter.incr Metrics.requests;
+  let codec = Framing.codec conn.frame in
+  let conn_id = conn.c_id in
+  let job () =
+    let reply =
+      try apply_update t u
+      with e ->
+        Obs.Telemetry.Counter.incr Metrics.responses_error;
+        Protocol.error_reply ~id:u.Protocol.u_id
+          (Printf.sprintf "internal error: %s" (Printexc.to_string e))
+    in
+    Obs.Telemetry.Histogram.observe Metrics.h_request_s (Unix.gettimeofday () -. t0);
+    enqueue_encoded t conn_id (encode_reply_safe codec reply)
+  in
+  if not (Pool.submit t.pool job) then job ()
+
 let handle_request t conn = function
   | Protocol.Ping -> respond t conn Protocol.pong_reply
   | Protocol.Stats -> respond t conn (stats_reply t)
@@ -312,6 +439,7 @@ let handle_request t conn = function
       request_shutdown t;
       respond t conn Protocol.draining_reply
   | Protocol.Localize req -> handle_localize t conn req
+  | Protocol.Update u -> handle_update t conn u
 
 (* One reply per complete JSON frame; blank lines are ignored. *)
 let handle_json_frame t conn line =
@@ -545,6 +673,7 @@ let start ?(config = default_config) ?compute ~ctx () =
   if config.workers < 1 then invalid_arg "Server.start: workers < 1";
   if config.cache_shards < 1 then invalid_arg "Server.start: cache_shards < 1";
   if config.max_connections < 1 then invalid_arg "Server.start: max_connections < 1";
+  if config.session_capacity < 1 then invalid_arg "Server.start: session_capacity < 1";
   let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listener Unix.SO_REUSEADDR true;
@@ -572,10 +701,14 @@ let start ?(config = default_config) ?compute ~ctx () =
   let t =
     {
       cfg = config;
+      ctx;
       listener;
       bound_port;
       batcher;
       cache = Lru.Sharded.create ~shards:config.cache_shards ~capacity:config.cache_capacity ();
+      sessions = Octant.Pipeline.Sessions.create ~capacity:config.session_capacity ();
+      session_lock = Mutex.create ();
+      session_keys = Hashtbl.create 32;
       pool =
         Pool.create
           ~on_error:(fun _ -> Obs.Telemetry.Counter.incr Metrics.pool_job_failures)

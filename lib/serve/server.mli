@@ -48,6 +48,11 @@ type config = {
           it and [Unix.select] fails outright. *)
   default_deadline_ms : float option;
       (** Applied when a request carries no deadline of its own. *)
+  session_capacity : int;
+      (** Live streaming sessions ({!Protocol.update}); the
+          least-recently-touched session past it is evicted, and a later
+          delta for the evicted target gets the ["unknown session"] error
+          (the client replays from a base vector). *)
 }
 
 val default_config : config
@@ -55,7 +60,7 @@ val default_config : config
      max_queue = 256; max_batch = 64; batch_delay_s = 0.002;
      cache_capacity = 1024; cache_shards = 8;
      max_frame_bytes = 1_048_576; max_connections = 900;
-     default_deadline_ms = None}] *)
+     default_deadline_ms = None; session_capacity = 256}] *)
 
 type t
 
@@ -65,8 +70,8 @@ val start :
     overrides the solver calls the batcher dispatches — the fault
     -injection tests use it to make the solver raise or stall; it
     defaults to {!Batcher.compute_of_ctx}[ ctx].
-    @raise Invalid_argument on [workers < 1], [cache_shards < 1], or
-    [max_connections < 1].
+    @raise Invalid_argument on [workers < 1], [cache_shards < 1],
+    [max_connections < 1], or [session_capacity < 1].
     @raise Unix.Unix_error when the bind fails. *)
 
 val port : t -> int

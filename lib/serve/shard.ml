@@ -440,6 +440,46 @@ let dispatch_localize t c slot (req : Protocol.localize) =
     route_and_send t p
   end
 
+(* Streamed updates route by target id, not by observation signature:
+   every frame for one target lands on the same backend, which is where
+   that target's live session state is.  After a backend loss the ring
+   deterministically re-homes the target; session state does not move
+   with it, so a re-fanned (or first-after-loss) delta gets the
+   backend's "unknown session" error and the client replays from a base
+   vector — the documented failover contract, the same recovery as a
+   batch recompute. *)
+let dispatch_update t c slot (u : Protocol.update) =
+  Obs.Telemetry.Counter.incr Metrics.shard_requests;
+  if Atomic.get t.stopping then
+    fill t c slot (Protocol.error_reply ~id:u.Protocol.u_id "draining")
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let wire =
+      Protocol.Binary.frame
+        (Protocol.Binary.encode_request
+           (Protocol.Update { u with Protocol.u_id = Json.Num (float_of_int seq) }))
+    in
+    let p =
+      {
+        p_seq = seq;
+        p_client = c.cl_id;
+        p_slot = slot;
+        p_codec = Framing.codec c.cl_frame;
+        p_id = u.Protocol.u_id;
+        p_key = u.Protocol.u_target;
+        p_wire = wire;
+        p_attempts = 0;
+        p_backend = "";
+        p_t0 = Unix.gettimeofday ();
+      }
+    in
+    Mutex.lock t.lock;
+    Hashtbl.replace t.pending seq p;
+    Mutex.unlock t.lock;
+    route_and_send t p
+  end
+
 let handle_request t c slot = function
   | Protocol.Ping -> fill t c slot Protocol.pong_reply
   | Protocol.Stats -> fill t c slot (stats_reply t)
@@ -447,6 +487,7 @@ let handle_request t c slot = function
       request_shutdown t;
       fill t c slot Protocol.draining_reply
   | Protocol.Localize req -> dispatch_localize t c slot req
+  | Protocol.Update u -> dispatch_update t c slot u
 
 let handle_client_json t c line =
   let line =

@@ -257,6 +257,78 @@ let test_sharded_shapes () =
   let s = Lru.Sharded.stats off in
   Alcotest.(check int) "disabled cache counts nothing" 0 (s.Lru.hits + s.Lru.misses)
 
+(* ---- generation tags: the compute/invalidate race ---- *)
+
+(* The streamed-update rail: a reply computed from pre-update state must
+   not land in the cache after the update invalidated its key.  [add_at]
+   carries the generation read before the compute; [invalidate_key] bumps
+   it, so the stale insert is dropped while a current-generation insert
+   still lands. *)
+let test_invalidate_generation () =
+  let c = Lru.create ~capacity:8 () in
+  let g0 = Lru.generation c in
+  Lru.add c 1 100;
+  Alcotest.(check int) "plain adds leave the generation alone" g0 (Lru.generation c);
+  Alcotest.(check bool) "invalidating a resident key removes it" true
+    (Lru.invalidate_key c 1);
+  Alcotest.(check bool) "entry gone" true (Lru.find c 1 = None);
+  Alcotest.(check bool) "generation bumped" true (Lru.generation c > g0);
+  (* Stale insert: gen read before the invalidation must be dropped. *)
+  Lru.add_at c ~gen:g0 1 111;
+  Alcotest.(check bool) "stale add_at is dropped" true (Lru.find c 1 = None);
+  (* Current insert: gen read after the invalidation lands. *)
+  let g1 = Lru.generation c in
+  Lru.add_at c ~gen:g1 1 222;
+  Alcotest.(check (option int)) "current add_at lands" (Some 222) (Lru.find c 1);
+  (* Absent key: nothing removed, but the generation still bumps (the
+     in-flight compute for that key must still be dropped) and the
+     invalidation is still counted. *)
+  let before = (Lru.stats c).Lru.invalidations in
+  Alcotest.(check bool) "absent key removes nothing" false (Lru.invalidate_key c 99);
+  Alcotest.(check bool) "absent key still bumps" true (Lru.generation c > g1);
+  Alcotest.(check int) "absent key still counts" (before + 1)
+    (Lru.stats c).Lru.invalidations;
+  (* Disabled cache: everything is a no-op at generation 0. *)
+  let off = Lru.create ~capacity:0 () in
+  Alcotest.(check int) "disabled cache sits at generation 0" 0 (Lru.generation off);
+  Alcotest.(check bool) "disabled invalidate is a no-op" false (Lru.invalidate_key off 1);
+  Lru.add_at off ~gen:0 1 1;
+  Alcotest.(check bool) "disabled add_at stays empty" true (Lru.find off 1 = None);
+  Alcotest.(check int) "disabled cache counts no invalidations" 0
+    (Lru.stats off).Lru.invalidations
+
+(* Generations are per shard: invalidating one key must only drop
+   in-flight inserts that hash to the same shard.  Record every key's
+   generation first, then check each add_at lands iff its own shard's
+   tag is unchanged — true under any hash placement. *)
+let test_sharded_invalidate_generation () =
+  let c = Lru.Sharded.create ~shards:8 ~capacity:64 () in
+  let keys = List.init 10 Fun.id in
+  List.iter (fun k -> Lru.Sharded.add c k k) keys;
+  let gens = Array.init 10 (fun k -> Lru.Sharded.generation c k) in
+  Alcotest.(check bool) "invalidate removes key 5" true (Lru.Sharded.invalidate_key c 5);
+  List.iter
+    (fun k ->
+      if k <> 5 then begin
+        Lru.Sharded.add_at c ~gen:gens.(k) k (k + 100);
+        let landed = Lru.Sharded.find c k = Some (k + 100) in
+        let same_gen = Lru.Sharded.generation c k = gens.(k) in
+        Alcotest.(check bool)
+          (Printf.sprintf "key %d add_at lands iff its shard was untouched" k)
+          same_gen landed
+      end)
+    keys;
+  (* Key 5's own shard was bumped: its stale insert must be dropped. *)
+  Lru.Sharded.add_at c ~gen:gens.(5) 5 105;
+  Alcotest.(check bool) "key 5's stale add_at is dropped" true
+    (Lru.Sharded.find c 5 = None);
+  let g5 = Lru.Sharded.generation c 5 in
+  Lru.Sharded.add_at c ~gen:g5 5 505;
+  Alcotest.(check (option int)) "key 5's fresh add_at lands" (Some 505)
+    (Lru.Sharded.find c 5);
+  let s = Lru.Sharded.stats c in
+  Alcotest.(check int) "one invalidation summed across shards" 1 s.Lru.invalidations
+
 let suite =
   [
     ( "lru",
@@ -271,5 +343,9 @@ let suite =
           test_sharded_hit_rate;
         Alcotest.test_case "sharded shapes: rounding, clamping, disable" `Quick
           test_sharded_shapes;
+        Alcotest.test_case "invalidate_key bumps the generation; stale add_at drops"
+          `Quick test_invalidate_generation;
+        Alcotest.test_case "sharded generations are per shard" `Quick
+          test_sharded_invalidate_generation;
       ] );
   ]

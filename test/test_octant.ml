@@ -105,5 +105,6 @@ let () =
    @ Test_baselines.suite @ Test_adversary.suite @ Test_integration.suite
    @ Test_batch_golden.suite @ Test_robustness_golden.suite @ Test_parity.suite
    @ Test_refine.suite
-   @ Test_lru.suite @ Test_wire_fuzz.suite @ Test_serve.suite @ Test_backends.suite
+   @ Test_lru.suite @ Test_wire_fuzz.suite @ Test_serve.suite @ Test_stream.suite
+   @ Test_backends.suite
    @ Test_planet.suite @ Test_ring.suite @ Test_shard.suite @ smoke_suite)
